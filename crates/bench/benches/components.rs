@@ -1,0 +1,95 @@
+//! Criterion microbenchmarks of the simulator's hot components: cache
+//! array accesses, directory CAM lookups, branch prediction, prefetcher
+//! observation and the functional backing store.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hsim_coherence::{DirConfig, Directory};
+use hsim_core::BranchPredictor;
+use hsim_mem::{AccessKind, Cache, CacheConfig, PagedMem, PrefetchConfig, StreamPrefetcher, WritePolicy};
+
+fn bench_cache(c: &mut Criterion) {
+    let mut cache = Cache::new(CacheConfig {
+        name: "L1D",
+        size_bytes: 32 * 1024,
+        ways: 8,
+        line_bytes: 64,
+        latency: 2,
+        write_policy: WritePolicy::WriteThrough,
+    });
+    for i in 0..512u64 {
+        cache.fill(i * 64, false, false);
+    }
+    let mut i = 0u64;
+    c.bench_function("cache_access_hit", |b| {
+        b.iter(|| {
+            i = (i + 1) % 512;
+            black_box(cache.access(black_box(i * 64), AccessKind::Read))
+        })
+    });
+}
+
+fn bench_directory(c: &mut Criterion) {
+    let mut dir = Directory::new(DirConfig::default());
+    dir.configure(1024).unwrap();
+    for k in 0..32u64 {
+        dir.update_get(
+            hsim_isa::memmap::LM_BASE + k * 1024,
+            0x1000_0000 + k * 1024,
+            0,
+        )
+        .unwrap();
+    }
+    let mut a = 0u64;
+    c.bench_function("directory_cam_lookup", |b| {
+        b.iter(|| {
+            a = (a + 8) % (32 * 1024);
+            black_box(dir.lookup(black_box(0x1000_0000 + a)))
+        })
+    });
+}
+
+fn bench_predictor(c: &mut Criterion) {
+    let mut bp = BranchPredictor::new(4096, 4096, 4096, 12);
+    let mut pc = 0u64;
+    c.bench_function("branch_predict_update", |b| {
+        b.iter(|| {
+            pc = (pc + 8) & 0xffff;
+            let t = bp.predict(black_box(pc));
+            bp.update(pc, t);
+            black_box(t)
+        })
+    });
+}
+
+fn bench_prefetcher(c: &mut Criterion) {
+    let mut pf = StreamPrefetcher::new(PrefetchConfig::default());
+    let mut addr = 0u64;
+    c.bench_function("prefetcher_observe", |b| {
+        b.iter(|| {
+            addr += 8;
+            black_box(pf.observe(black_box(0x40), addr, 64))
+        })
+    });
+}
+
+fn bench_backing(c: &mut Criterion) {
+    let mut mem = PagedMem::new();
+    let mut a = 0u64;
+    c.bench_function("backing_rw64", |b| {
+        b.iter(|| {
+            a = (a + 8) & 0xf_ffff;
+            mem.write_u64(a, a);
+            black_box(mem.read_u64(a))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_cache,
+    bench_directory,
+    bench_predictor,
+    bench_prefetcher,
+    bench_backing
+);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! End-to-end simulator throughput: whole-kernel runs per paper figure,
+//! at test scale so `cargo bench` stays quick. These are the Criterion
+//! counterparts of the `fig7`/`fig8`/`fig9` binaries — one benchmark per
+//! experiment, measuring the wall time of regenerating a representative
+//! slice of each.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hsim::prelude::*;
+use hsim_workloads::nas;
+
+fn bench_fig7_point(c: &mut Criterion) {
+    // One WR point of the Figure 7 sweep.
+    let k = microbench(&MicrobenchConfig {
+        mode: MicroMode::Wr,
+        guarded_pct: 50,
+        n: 2048,
+    });
+    c.bench_function("fig7_wr50_microbench", |b| {
+        b.iter(|| black_box(run_kernel(&k, SysMode::HybridCoherent, false).unwrap().cycles))
+    });
+}
+
+fn bench_fig8_pair(c: &mut Criterion) {
+    // FT coherent vs oracle (the double-store benchmark).
+    let k = nas::ft(Scale::Test);
+    c.bench_function("fig8_ft_coherent", |b| {
+        b.iter(|| black_box(run_kernel(&k, SysMode::HybridCoherent, false).unwrap().cycles))
+    });
+    c.bench_function("fig8_ft_oracle", |b| {
+        b.iter(|| black_box(run_kernel(&k, SysMode::HybridOracle, false).unwrap().cycles))
+    });
+}
+
+fn bench_fig9_pair(c: &mut Criterion) {
+    let k = nas::cg(Scale::Test);
+    c.bench_function("fig9_cg_hybrid", |b| {
+        b.iter(|| black_box(run_kernel(&k, SysMode::HybridCoherent, false).unwrap().cycles))
+    });
+    c.bench_function("fig9_cg_cache_based", |b| {
+        b.iter(|| black_box(run_kernel(&k, SysMode::CacheBased, false).unwrap().cycles))
+    });
+}
+
+fn bench_tracking_overhead(c: &mut Criterion) {
+    let k = nas::is(Scale::Test);
+    c.bench_function("coherence_tracker_on", |b| {
+        b.iter(|| black_box(run_kernel(&k, SysMode::HybridCoherent, true).unwrap().cycles))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig7_point, bench_fig8_pair, bench_fig9_pair, bench_tracking_overhead
+}
+criterion_main!(benches);

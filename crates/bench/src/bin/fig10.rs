@@ -1,0 +1,50 @@
+//! Regenerates Figure 10: energy-consumption reduction of the coherent
+//! hybrid memory system vs the cache-based system, with the CPU / caches
+//! / LM / others component split.
+//!
+//! ```text
+//! cargo run --release -p hsim-bench --bin fig10 [--test-scale]
+//! ```
+
+use hsim::prelude::*;
+use hsim_bench::{kernels, scale_from_args, Table};
+
+fn main() {
+    let rows = compare_systems(&kernels(scale_from_args())).expect("simulation failed");
+    println!("FIGURE 10: energy normalized to the cache-based system");
+    println!("(component split of the hybrid bar; paper reports 12%-41% savings, avg 27%)");
+    println!();
+    let t = Table::new(&[4, 8, 8, 8, 8, 8, 12]);
+    t.row(&["", "total", "cpu", "caches", "lm", "others", "saving"].map(String::from));
+    t.sep();
+    let mut sum = 0.0;
+    for r in &rows {
+        let ct = r.cache.energy_total();
+        let e = &r.hybrid.energy;
+        sum += r.energy_norm;
+        t.row(&[
+            r.name.clone(),
+            format!("{:.3}", r.energy_norm),
+            format!("{:.3}", e.cpu / ct),
+            format!("{:.3}", e.caches / ct),
+            format!("{:.3}", e.lm / ct),
+            format!("{:.3}", e.others / ct),
+            format!("{:.1}%", (1.0 - r.energy_norm) * 100.0),
+        ]);
+    }
+    t.sep();
+    println!("average saving: {:.1}% (paper: 27%)", (1.0 - sum / rows.len() as f64) * 100.0);
+    println!();
+    println!("Cache-based component split, for reference:");
+    for r in &rows {
+        let ct = r.cache.energy_total();
+        let e = &r.cache.energy;
+        println!(
+            "  {:4} cpu={:.3} caches={:.3} others={:.3}",
+            r.name,
+            e.cpu / ct,
+            e.caches / ct,
+            e.others / ct
+        );
+    }
+}

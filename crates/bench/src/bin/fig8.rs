@@ -1,0 +1,46 @@
+//! Regenerates Figure 8: overhead of the coherence protocol on the real
+//! benchmarks, against the incoherent hybrid with an oracle compiler.
+//!
+//! ```text
+//! cargo run --release -p hsim-bench --bin fig8 [--test-scale]
+//! ```
+
+use hsim::prelude::*;
+use hsim_bench::{kernels, paper_energy_overhead, paper_time_overhead, scale_from_args, Table};
+
+fn main() {
+    let rows = fig8(&kernels(scale_from_args())).expect("simulation failed");
+    println!("FIGURE 8: coherence-protocol overhead vs the oracle baseline");
+    println!();
+    let t = Table::new(&[4, 12, 12, 14, 14]);
+    t.row(&["", "time ovh", "energy ovh", "paper time", "paper energy"].map(String::from));
+    t.sep();
+    let (mut ts, mut es) = (0.0, 0.0);
+    for r in &rows {
+        ts += r.time_ratio - 1.0;
+        es += r.energy_ratio - 1.0;
+        t.row(&[
+            r.name.clone(),
+            format!("{:+.2}%", (r.time_ratio - 1.0) * 100.0),
+            format!("{:+.2}%", (r.energy_ratio - 1.0) * 100.0),
+            format!("{:+.2}%", paper_time_overhead(&r.name)),
+            format!("~{:+.1}%", paper_energy_overhead(&r.name)),
+        ]);
+    }
+    t.sep();
+    t.row(&[
+        "AVG".into(),
+        format!("{:+.2}%", ts / rows.len() as f64 * 100.0),
+        format!("{:+.2}%", es / rows.len() as f64 * 100.0),
+        "+0.26%".into(),
+        "+2.03%".into(),
+    ]);
+    println!();
+    println!("Directory accesses (coherent runs):");
+    for r in &rows {
+        println!(
+            "  {:4} {:10} lookups+updates; collapsed double stores: {}",
+            r.name, r.coherent.dir_accesses, r.coherent.core.collapsed_stores
+        );
+    }
+}

@@ -1,0 +1,35 @@
+//! Regenerates Figure 9: execution-time reduction of the coherent hybrid
+//! memory system vs the cache-based system, with the work / synch /
+//! control phase split.
+//!
+//! ```text
+//! cargo run --release -p hsim-bench --bin fig9 [--test-scale]
+//! ```
+
+use hsim::prelude::*;
+use hsim_bench::{kernels, paper_speedup, scale_from_args, Table};
+
+fn main() {
+    let rows = compare_systems(&kernels(scale_from_args())).expect("simulation failed");
+    println!("FIGURE 9: execution time normalized to the cache-based system");
+    println!();
+    let t = Table::new(&[4, 10, 8, 8, 8, 8, 10, 12]);
+    t.row(&["", "time", "work", "synch", "control", "other", "speedup", "paper"].map(String::from));
+    t.sep();
+    let mut sum = 0.0;
+    for r in &rows {
+        sum += r.speedup;
+        t.row(&[
+            r.name.clone(),
+            format!("{:.3}", r.time_norm),
+            format!("{:.3}", r.phases_norm[3]),
+            format!("{:.3}", r.phases_norm[2]),
+            format!("{:.3}", r.phases_norm[1]),
+            format!("{:.3}", r.phases_norm[0]),
+            format!("{:.2}x", r.speedup),
+            format!("{:.2}x", paper_speedup(&r.name)),
+        ]);
+    }
+    t.sep();
+    println!("average speedup: {:.2}x (paper: 1.38x)", sum / rows.len() as f64);
+}

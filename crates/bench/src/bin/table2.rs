@@ -1,0 +1,60 @@
+//! Regenerates Table 2: the microbenchmark scheme — the four modes and
+//! the assembly the compiler emits for each (the inner work loop).
+//!
+//! ```text
+//! cargo run -p hsim-bench --bin table2
+//! ```
+
+use hsim::prelude::*;
+use hsim_isa::asm::format_inst;
+use hsim_isa::Inst;
+
+fn main() {
+    println!("TABLE 2: microbenchmark scheme");
+    println!("int a[N]; int c;");
+    println!("for(i=0; i<N-1; i++) {{ a[i+1] = a[i] + c; }}");
+    println!();
+    println!("(one chain shown; the sweep runs {} such chains and guards", hsim_workloads::microbench::CHAINS);
+    println!("a fraction of them — see `fig7`)");
+    for mode in [MicroMode::Baseline, MicroMode::Rd, MicroMode::Wr, MicroMode::RdWr] {
+        let k = microbench(&MicrobenchConfig {
+            mode,
+            guarded_pct: 100,
+            n: 256,
+        });
+        let ck = compile(&k, CodegenMode::HybridCoherent);
+        println!("\n=== mode {} ===", mode.name());
+        // Show the first chain's statement instructions from the main
+        // work-loop body: the slice between the `sll r0` index setup and
+        // the second chain's load.
+        let insts = &ck.program.insts;
+        // Locate the main body: first `sll r0, r2, 3` after a Work phase
+        // marker.
+        let mut start = None;
+        for (i, inst) in insts.iter().enumerate() {
+            if let Inst::PhaseMark { phase: Phase::Work } = inst {
+                start = Some(i);
+                break;
+            }
+        }
+        let start = start.expect("work phase");
+        let mut shown = 0;
+        let names = std::collections::HashMap::new();
+        for inst in &insts[start..] {
+            if inst.is_mem() || matches!(inst, Inst::Alu { .. } | Inst::Li { .. }) {
+                println!("    {}", format_inst(inst, &names));
+                shown += 1;
+                // One chain: load, add(+1), store(s); stop after the
+                // first chain's plain store.
+                if inst.is_store() && inst.route() == Some(Route::Plain) && shown > 2 {
+                    break;
+                }
+                if shown > 8 {
+                    break;
+                }
+            }
+        }
+        let guarded = ck.program.count_route(Route::Guarded);
+        println!("    ; guarded instructions in program: {guarded}");
+    }
+}

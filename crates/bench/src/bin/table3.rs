@@ -1,0 +1,75 @@
+//! Regenerates Table 3: activity in the memory subsystem for the hybrid
+//! and cache-based systems (guarded references, AMAT, L1 hit ratio, and
+//! access counts per component in thousands).
+//!
+//! ```text
+//! cargo run --release -p hsim-bench --bin table3 [--test-scale]
+//! ```
+
+use hsim::prelude::*;
+use hsim_bench::{k, kernels, paper_table3, scale_from_args, Table};
+
+fn main() {
+    let scale = scale_from_args();
+    let rows = compare_systems(&kernels(scale)).expect("simulation failed");
+
+    println!("TABLE 3: activity in the memory subsystem (counts in thousands)");
+    println!();
+    let t = Table::new(&[4, 15, 12, 6, 8, 9, 9, 9, 9, 9]);
+    t.row(&[
+        "Name", "Mode", "Guarded", "AMAT", "L1 hit%", "L1 acc", "L2 acc", "L3 acc", "LM acc",
+        "Dir acc",
+    ]
+    .map(String::from));
+    t.sep();
+    for r in &rows {
+        let g = format!(
+            "{}/{} ({:.0}%)",
+            r.hybrid.guarded_refs,
+            r.hybrid.total_refs,
+            100.0 * r.hybrid.guarded_refs as f64 / r.hybrid.total_refs.max(1) as f64
+        );
+        t.row(&[
+            r.name.clone(),
+            "Hybrid coherent".into(),
+            g,
+            format!("{:.2}", r.hybrid.amat),
+            format!("{:.2}", r.hybrid.l1d_hit_ratio),
+            k(r.hybrid.l1_accesses),
+            k(r.hybrid.l2_accesses),
+            k(r.hybrid.l3_accesses),
+            k(r.hybrid.lm_accesses),
+            k(r.hybrid.dir_accesses),
+        ]);
+        t.row(&[
+            r.name.clone(),
+            "Cache-based".into(),
+            "0".into(),
+            format!("{:.2}", r.cache.amat),
+            format!("{:.2}", r.cache.l1d_hit_ratio),
+            k(r.cache.l1_accesses),
+            k(r.cache.l2_accesses),
+            k(r.cache.l3_accesses),
+            "0".into(),
+            "0".into(),
+        ]);
+        if let Some((pg, ha, hl1, ca, cl1)) = paper_table3(&r.name) {
+            t.row(&[
+                "".into(),
+                "(paper)".into(),
+                pg.into(),
+                format!("{ha:.2}/{ca:.2}"),
+                format!("{hl1:.1}/{cl1:.1}"),
+                "".into(),
+                "".into(),
+                "".into(),
+                "".into(),
+                "".into(),
+            ]);
+        }
+        t.sep();
+    }
+    println!("\n'(paper)' rows give the paper's guarded ratio, then hybrid/cache AMAT and L1 hit%.");
+    println!("Access counts depend on the workload sizes and are not directly comparable;");
+    println!("the ratios and orderings are (see EXPERIMENTS.md).");
+}

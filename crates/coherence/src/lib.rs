@@ -1,0 +1,33 @@
+//! # hsim-coherence — the paper's hardware/software coherence protocol
+//!
+//! This crate models the hardware contribution of *"Hardware-Software
+//! Coherence Protocol for the Coexistence of Caches and Local Memories"*
+//! (SC 2012) and the machinery to check its correctness argument:
+//!
+//! * [`directory`] — the per-core **coherence directory** (Figure 4): a
+//!   32-entry CAM mapping system-memory base addresses to local-memory
+//!   buffers, configured through Base/Offset mask registers, updated by
+//!   every `dma-get`, looked up during address generation of guarded
+//!   memory instructions, with a presence bit per entry for double
+//!   buffering.
+//! * [`state`] — the data-replication state machine of Figure 6
+//!   (MM / LM / CM / LM-CM) with its legal transitions.
+//! * [`tracker`] — a runtime checker that replays the machine's memory
+//!   and DMA events through the state machine and asserts the paper's
+//!   §3.4 invariants: replicated copies are either identical or the LM
+//!   copy is the newest, and every access is served by a memory holding a
+//!   valid copy.
+//!
+//! The directory is deliberately independent of the pipeline model so it
+//! can be exhaustively unit- and property-tested in isolation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod directory;
+pub mod state;
+pub mod tracker;
+
+pub use directory::{DirConfig, DirError, DirHit, DirStats, Directory};
+pub use state::{DataEvent, DataState, TransitionError};
+pub use tracker::{AccessSide, CoherenceViolation, Tracker};

@@ -1,0 +1,190 @@
+//! The data-replication state machine of Figure 6.
+//!
+//! A piece of data (one buffer-sized chunk of the address space) can be:
+//! in main memory only (**MM**), replicated in the local memory (**LM**),
+//! replicated in the cache hierarchy (**CM**), or replicated in both
+//! (**LM-CM**). Software LM actions (`LM-map`, `LM-unmap`,
+//! `LM-writeback`) and hardware cache actions (`CM-access`, `CM-evict`)
+//! move the chunk between states.
+//!
+//! The diagram is conceptual — the paper stresses it is *not* implemented
+//! in hardware. Here it serves two purposes: documentation of §3.4, and a
+//! reference model the [`tracker`](crate::tracker) replays at run time to
+//! prove that a simulation never leaves the legal state space.
+
+/// Replication state of one chunk of data (Figure 6).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum DataState {
+    /// Only the main-memory copy exists.
+    #[default]
+    MM,
+    /// One replica, in the local memory.
+    LM,
+    /// One replica, in the cache hierarchy.
+    CM,
+    /// Two replicas: local memory and cache hierarchy.
+    LmCm,
+}
+
+/// Events that move a chunk between states.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DataEvent {
+    /// A `dma-get` copies the chunk into an LM buffer.
+    LmMap,
+    /// A `dma-get` overwrites the LM buffer that held this chunk.
+    LmUnmap,
+    /// A `dma-put` writes the chunk back to system memory (and
+    /// invalidates the cached copy, per §2.1).
+    LmWriteback,
+    /// A cache line of the chunk is placed in the cache hierarchy (a
+    /// demand SM access, e.g. the plain half of a double store).
+    CmAccess,
+    /// The last cache line of the chunk is evicted from the hierarchy.
+    CmEvict,
+}
+
+/// An illegal transition: the simulation produced an event the protocol's
+/// state machine does not allow from the current state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TransitionError {
+    /// State the chunk was in.
+    pub state: DataState,
+    /// The offending event.
+    pub event: DataEvent,
+}
+
+impl std::fmt::Display for TransitionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "illegal transition: {:?} in state {:?}", self.event, self.state)
+    }
+}
+
+impl std::error::Error for TransitionError {}
+
+impl DataState {
+    /// Applies one event, returning the successor state or an error for
+    /// transitions Figure 6 does not define.
+    pub fn step(self, event: DataEvent) -> Result<DataState, TransitionError> {
+        use DataEvent::*;
+        use DataState::*;
+        let next = match (self, event) {
+            // From MM: a copy is created on either side.
+            (MM, LmMap) => LM,
+            (MM, CmAccess) => CM,
+            // From LM: writeback keeps the replica; unmap discards it; a
+            // cache access (double store) creates the second replica.
+            (LM, LmWriteback) => LM,
+            (LM, LmUnmap) => MM,
+            (LM, CmAccess) => LmCm,
+            // A dma-get re-mapping the same chunk refreshes the replica.
+            (LM, LmMap) => LM,
+            // From CM: eviction discards the replica; an LM map creates
+            // the second replica (coherent DMA reads the cached copy).
+            (CM, CmEvict) => MM,
+            (CM, CmAccess) => CM,
+            (CM, LmMap) => LmCm,
+            // From LM-CM: the writeback invalidates the cached copy
+            // (dma-put semantics), eviction drops the cache copy, unmap
+            // drops the LM copy.
+            (LmCm, LmWriteback) => LM,
+            (LmCm, CmEvict) => LM,
+            (LmCm, LmUnmap) => CM,
+            (LmCm, CmAccess) => LmCm,
+            (LmCm, LmMap) => LmCm,
+            // Everything else is illegal (e.g. evicting a non-existent
+            // cache copy, unmapping a chunk that is not in the LM).
+            (s, e) => return Err(TransitionError { state: s, event: e }),
+        };
+        Ok(next)
+    }
+
+    /// True when an LM replica exists.
+    pub fn in_lm(self) -> bool {
+        matches!(self, DataState::LM | DataState::LmCm)
+    }
+
+    /// True when a cache replica exists.
+    pub fn in_cache(self) -> bool {
+        matches!(self, DataState::CM | DataState::LmCm)
+    }
+
+    /// Number of replicas outside main memory.
+    pub fn replicas(self) -> u32 {
+        self.in_lm() as u32 + self.in_cache() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use DataEvent::*;
+    use DataState::*;
+
+    #[test]
+    fn figure6_happy_paths() {
+        // MM -> LM -> LM-CM (double store) -> LM (evict) -> MM (unmap).
+        let mut s = MM;
+        for (e, want) in [
+            (LmMap, LM),
+            (CmAccess, LmCm),
+            (CmEvict, LM),
+            (LmUnmap, MM),
+        ] {
+            s = s.step(e).unwrap();
+            assert_eq!(s, want);
+        }
+        // MM -> CM -> LM-CM (map) -> CM (unmap) -> MM (evict).
+        let mut s = MM;
+        for (e, want) in [(CmAccess, CM), (LmMap, LmCm), (LmUnmap, CM), (CmEvict, MM)] {
+            s = s.step(e).unwrap();
+            assert_eq!(s, want);
+        }
+    }
+
+    #[test]
+    fn writeback_does_not_unmap() {
+        // §3.4.1: "an LM-writeback action does not imply a switch to the
+        // MM state".
+        assert_eq!(LM.step(LmWriteback).unwrap(), LM);
+        // A dma-put from LM-CM invalidates the cache copy.
+        assert_eq!(LmCm.step(LmWriteback).unwrap(), LM);
+    }
+
+    #[test]
+    fn no_direct_eviction_from_lmcm_to_mm() {
+        // §3.4.2: "There is no direct transition from the LM-CM state to
+        // the MM state" — each single event removes at most one replica.
+        for e in [LmMap, LmUnmap, LmWriteback, CmAccess, CmEvict] {
+            if let Ok(next) = LmCm.step(e) {
+                assert_ne!(next, MM, "event {e:?} must not jump to MM");
+            }
+        }
+    }
+
+    #[test]
+    fn illegal_transitions_are_rejected() {
+        assert!(MM.step(LmUnmap).is_err());
+        assert!(MM.step(LmWriteback).is_err());
+        assert!(MM.step(CmEvict).is_err());
+        assert!(LM.step(CmEvict).is_err());
+        assert!(CM.step(LmUnmap).is_err());
+        assert!(CM.step(LmWriteback).is_err());
+    }
+
+    #[test]
+    fn replica_counting() {
+        assert_eq!(MM.replicas(), 0);
+        assert_eq!(LM.replicas(), 1);
+        assert_eq!(CM.replicas(), 1);
+        assert_eq!(LmCm.replicas(), 2);
+        assert!(LmCm.in_lm() && LmCm.in_cache());
+        assert!(LM.in_lm() && !LM.in_cache());
+    }
+
+    #[test]
+    fn error_display() {
+        let e = MM.step(CmEvict).unwrap_err();
+        assert!(e.to_string().contains("CmEvict"));
+        assert!(e.to_string().contains("MM"));
+    }
+}

@@ -1,0 +1,391 @@
+//! Runtime coherence checker.
+//!
+//! The simulator's functional data always lives in a single backing
+//! store, but the LM window and the SM hold *separate bytes*, so the
+//! paper's replication invariants (§3.4) are directly checkable at run
+//! time:
+//!
+//! 1. whenever data is replicated, either both copies are identical or
+//!    the LM copy is the valid (newest) one — equivalently, an SM access
+//!    to a chunk that is mapped to the LM must observe the same value the
+//!    LM holds;
+//! 2. LM accesses only touch buffers with a live mapping;
+//! 3. the sequence of map / unmap / writeback / cache-fill / cache-evict
+//!    events per chunk follows the Figure 6 state machine.
+//!
+//! The machine (root crate) feeds events in; violations are collected
+//! rather than panicking so integration tests can assert on the full
+//! list. The tracker costs time and is meant for tests and debugging —
+//! benchmark runs disable it.
+
+use crate::state::{DataEvent, DataState};
+use std::collections::HashMap;
+
+/// Which memory served an access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessSide {
+    /// The local memory.
+    Lm,
+    /// System memory (cache hierarchy).
+    Sm,
+}
+
+/// A recorded violation of the protocol's invariants.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CoherenceViolation {
+    /// Address (or chunk base) involved.
+    pub addr: u64,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+#[derive(Default)]
+struct Chunk {
+    state: DataState,
+    /// Cache-resident lines of this chunk, with per-line level counts.
+    resident: HashMap<u64, u32>,
+}
+
+impl Chunk {
+    fn lines_resident(&self) -> bool {
+        self.resident.values().any(|&c| c > 0)
+    }
+}
+
+/// The runtime checker.
+pub struct Tracker {
+    chunk_mask: u64,
+    chunk_size: u64,
+    chunks: HashMap<u64, Chunk>,
+    /// All violations recorded so far.
+    pub violations: Vec<CoherenceViolation>,
+    /// Count of events processed (to confirm the tracker was actually
+    /// exercised by a test).
+    pub events: u64,
+}
+
+impl Tracker {
+    /// Creates a tracker with the given chunk (LM buffer) size.
+    pub fn new(chunk_size: u64) -> Self {
+        assert!(chunk_size.is_power_of_two());
+        Tracker {
+            chunk_mask: !(chunk_size - 1),
+            chunk_size,
+            chunks: HashMap::new(),
+            violations: Vec::new(),
+            events: 0,
+        }
+    }
+
+    /// Reconfigures the chunk size (mirrors `dir.cfg`): all tracking
+    /// state is reset, as the directory invalidates its entries.
+    pub fn set_chunk_size(&mut self, chunk_size: u64) {
+        assert!(chunk_size.is_power_of_two());
+        self.chunk_mask = !(chunk_size - 1);
+        self.chunk_size = chunk_size;
+        self.chunks.clear();
+    }
+
+    /// The chunk base owning `addr`.
+    #[inline]
+    pub fn chunk_of(&self, addr: u64) -> u64 {
+        addr & self.chunk_mask
+    }
+
+    fn violation(&mut self, addr: u64, msg: String) {
+        self.violations.push(CoherenceViolation { addr, msg });
+    }
+
+    fn step(&mut self, chunk: u64, event: DataEvent) {
+        self.events += 1;
+        let c = self.chunks.entry(chunk).or_default();
+        match c.state.step(event) {
+            Ok(next) => c.state = next,
+            Err(e) => {
+                let msg = format!("chunk {chunk:#x}: {e}");
+                self.violation(chunk, msg);
+            }
+        }
+    }
+
+    /// A `dma-get` mapped the chunk starting at `sm_chunk` into the LM.
+    pub fn on_map(&mut self, sm_chunk: u64) {
+        debug_assert_eq!(sm_chunk & !self.chunk_mask, 0, "map of unaligned chunk");
+        self.step(sm_chunk, DataEvent::LmMap);
+    }
+
+    /// A `dma-get` overwrote the buffer that held `sm_chunk`.
+    pub fn on_unmap(&mut self, sm_chunk: u64) {
+        self.step(sm_chunk, DataEvent::LmUnmap);
+    }
+
+    /// A `dma-put` wrote `sm_chunk` back. The put's bus requests
+    /// invalidate cached copies, so residency is cleared here; the cache
+    /// model's matching invalidation events then find nothing to remove.
+    pub fn on_writeback(&mut self, sm_chunk: u64) {
+        if let Some(c) = self.chunks.get_mut(&sm_chunk) {
+            c.resident.clear();
+        }
+        self.step(sm_chunk, DataEvent::LmWriteback);
+    }
+
+    /// A data-cache level filled `line`.
+    pub fn on_cache_fill(&mut self, line: u64) {
+        let chunk = self.chunk_of(line);
+        if !self.chunks.contains_key(&chunk) {
+            return; // never-mapped chunks are not tracked
+        }
+        let c = self.chunks.get_mut(&chunk).unwrap();
+        let was_resident = c.lines_resident();
+        *c.resident.entry(line).or_insert(0) += 1;
+        if !was_resident {
+            self.step(chunk, DataEvent::CmAccess);
+        }
+    }
+
+    /// A data-cache level evicted or invalidated `line`.
+    pub fn on_cache_evict(&mut self, line: u64) {
+        let chunk = self.chunk_of(line);
+        let Some(c) = self.chunks.get_mut(&chunk) else {
+            return;
+        };
+        let Some(count) = c.resident.get_mut(&line) else {
+            return; // cleared by a writeback, or never counted
+        };
+        if *count > 0 {
+            *count -= 1;
+        }
+        if *count == 0 {
+            c.resident.remove(&line);
+        }
+        if !self.chunks[&chunk].lines_resident() {
+            // Last line gone: the cache replica disappeared.
+            if self.chunks[&chunk].state.in_cache() {
+                self.step(chunk, DataEvent::CmEvict);
+            }
+        }
+    }
+
+    /// Validates an access served by system memory. `identical` reports
+    /// whether the SM bytes equal the LM bytes at the accessed location
+    /// *after* the access (the machine compares both copies); it is
+    /// `None` when the chunk is not LM-mapped.
+    pub fn check_sm_access(&mut self, addr: u64, is_write: bool, identical: Option<bool>) {
+        self.events += 1;
+        let chunk = self.chunk_of(addr);
+        let mapped = self
+            .chunks
+            .get(&chunk)
+            .map(|c| c.state.in_lm())
+            .unwrap_or(false);
+        if !mapped {
+            return;
+        }
+        match identical {
+            Some(true) => {}
+            Some(false) => {
+                let what = if is_write { "store diverged the copies" } else { "load observed a stale copy" };
+                let msg = format!(
+                    "SM {} at {addr:#x}: chunk {chunk:#x} is LM-mapped and the copies differ ({what})",
+                    if is_write { "write" } else { "read" },
+                );
+                self.violation(addr, msg);
+            }
+            None => {
+                let msg = format!(
+                    "machine reported chunk {chunk:#x} unmapped but tracker has it mapped (addr {addr:#x})"
+                );
+                self.violation(addr, msg);
+            }
+        }
+    }
+
+    /// Validates an access served by the local memory: the buffer must
+    /// hold a live mapping of `sm_chunk` (`None` when the machine could
+    /// not resolve one — always a violation).
+    pub fn check_lm_access(&mut self, lm_addr: u64, sm_chunk: Option<u64>) {
+        self.events += 1;
+        match sm_chunk {
+            None => {
+                let msg = format!("LM access at {lm_addr:#x} to a buffer with no live mapping");
+                self.violation(lm_addr, msg);
+            }
+            Some(chunk) => {
+                let ok = self
+                    .chunks
+                    .get(&self.chunk_of(chunk))
+                    .map(|c| c.state.in_lm())
+                    .unwrap_or(false);
+                if !ok {
+                    let msg = format!(
+                        "LM access at {lm_addr:#x}: tracker does not consider chunk {chunk:#x} mapped"
+                    );
+                    self.violation(lm_addr, msg);
+                }
+            }
+        }
+    }
+
+    /// The current Figure 6 state of the chunk owning `addr`.
+    pub fn state_of(&self, addr: u64) -> DataState {
+        self.chunks
+            .get(&self.chunk_of(addr))
+            .map(|c| c.state)
+            .unwrap_or_default()
+    }
+
+    /// True when no violations were recorded.
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CHUNK: u64 = 1024;
+
+    fn tracker() -> Tracker {
+        Tracker::new(CHUNK)
+    }
+
+    #[test]
+    fn map_then_lm_access_is_clean() {
+        let mut t = tracker();
+        t.on_map(0x1000_0000);
+        t.check_lm_access(0x7fff_0000_0000, Some(0x1000_0000));
+        assert!(t.clean());
+        assert_eq!(t.state_of(0x1000_0010), DataState::LM);
+    }
+
+    #[test]
+    fn lm_access_without_mapping_flagged() {
+        let mut t = tracker();
+        t.check_lm_access(0x7fff_0000_0000, None);
+        assert_eq!(t.violations.len(), 1);
+        let mut t = tracker();
+        t.check_lm_access(0x7fff_0000_0000, Some(0x1000_0000));
+        assert_eq!(t.violations.len(), 1, "chunk never mapped");
+    }
+
+    #[test]
+    fn sm_access_to_mapped_chunk_with_identical_copies_ok() {
+        let mut t = tracker();
+        t.on_map(0x1000_0000);
+        t.check_sm_access(0x1000_0008, false, Some(true));
+        t.check_sm_access(0x1000_0008, true, Some(true)); // double-store half
+        assert!(t.clean());
+    }
+
+    #[test]
+    fn stale_sm_read_flagged() {
+        let mut t = tracker();
+        t.on_map(0x1000_0000);
+        t.check_sm_access(0x1000_0008, false, Some(false));
+        assert_eq!(t.violations.len(), 1);
+        assert!(t.violations[0].msg.contains("stale"));
+    }
+
+    #[test]
+    fn diverging_sm_write_flagged() {
+        let mut t = tracker();
+        t.on_map(0x1000_0000);
+        t.check_sm_access(0x1000_0008, true, Some(false));
+        assert_eq!(t.violations.len(), 1);
+        assert!(t.violations[0].msg.contains("diverged"));
+    }
+
+    #[test]
+    fn sm_access_to_unmapped_chunk_ignored() {
+        let mut t = tracker();
+        t.check_sm_access(0x5000_0000, false, None);
+        t.check_sm_access(0x5000_0000, true, None);
+        assert!(t.clean());
+    }
+
+    #[test]
+    fn unmap_then_sm_access_is_fine() {
+        let mut t = tracker();
+        t.on_map(0x1000_0000);
+        t.on_unmap(0x1000_0000);
+        t.check_sm_access(0x1000_0008, false, None);
+        assert!(t.clean());
+        assert_eq!(t.state_of(0x1000_0000), DataState::MM);
+    }
+
+    #[test]
+    fn double_store_cache_fill_reaches_lmcm() {
+        let mut t = tracker();
+        t.on_map(0x1000_0000);
+        // Plain half of the double store pulls the line into the caches.
+        t.on_cache_fill(0x1000_0000);
+        assert_eq!(t.state_of(0x1000_0000), DataState::LmCm);
+        // Cache eviction drops back to LM.
+        t.on_cache_evict(0x1000_0000);
+        assert_eq!(t.state_of(0x1000_0000), DataState::LM);
+        assert!(t.clean());
+    }
+
+    #[test]
+    fn multi_level_residency_needs_all_evictions() {
+        let mut t = tracker();
+        t.on_map(0x1000_0000);
+        // Same line filled at L1 and L2.
+        t.on_cache_fill(0x1000_0000);
+        t.on_cache_fill(0x1000_0000);
+        t.on_cache_evict(0x1000_0000);
+        assert_eq!(t.state_of(0x1000_0000), DataState::LmCm, "still in L2");
+        t.on_cache_evict(0x1000_0000);
+        assert_eq!(t.state_of(0x1000_0000), DataState::LM);
+        assert!(t.clean());
+    }
+
+    #[test]
+    fn writeback_clears_residency_without_evict_event() {
+        let mut t = tracker();
+        t.on_map(0x1000_0000);
+        t.on_cache_fill(0x1000_0040);
+        t.on_writeback(0x1000_0000);
+        assert_eq!(t.state_of(0x1000_0000), DataState::LM);
+        // The dma-put's invalidation arrives afterwards; it must not
+        // produce an illegal CmEvict.
+        t.on_cache_evict(0x1000_0040);
+        assert!(t.clean(), "{:?}", t.violations);
+    }
+
+    #[test]
+    fn unmap_without_map_is_a_violation() {
+        let mut t = tracker();
+        t.on_unmap(0x1000_0000);
+        assert_eq!(t.violations.len(), 1);
+        assert!(t.violations[0].msg.contains("illegal transition"));
+    }
+
+    #[test]
+    fn fills_of_untracked_chunks_ignored() {
+        let mut t = tracker();
+        t.on_cache_fill(0x9000_0000);
+        t.on_cache_evict(0x9000_0000);
+        assert!(t.clean());
+        assert_eq!(t.state_of(0x9000_0000), DataState::MM);
+    }
+
+    #[test]
+    fn reconfigure_resets_tracking() {
+        let mut t = tracker();
+        t.on_map(0x1000_0000);
+        t.set_chunk_size(4096);
+        assert_eq!(t.state_of(0x1000_0000), DataState::MM);
+        t.on_map(0x1000_0000);
+        assert!(t.clean());
+    }
+
+    #[test]
+    fn mapped_but_machine_says_unmapped_flagged() {
+        let mut t = tracker();
+        t.on_map(0x1000_0000);
+        t.check_sm_access(0x1000_0008, false, None);
+        assert_eq!(t.violations.len(), 1);
+    }
+}

@@ -1,0 +1,104 @@
+//! The three-valued alias oracle.
+//!
+//! The paper's classification (§3.1 phase 1) consumes an alias-analysis
+//! function with three outcomes: the pointers *alias*, *do not alias*, or
+//! *may alias*. Real analyses (GCC 4.6 in the paper) fail to prove
+//! non-aliasing for many indirect references; the evaluation's per-
+//! benchmark "guarded references" counts are exactly the references GCC
+//! could not disambiguate. [`AliasOracle`] lets each workload state, per
+//! array pair, what the modeled compiler is able to prove — the ground
+//! truth (array identity) stays in the IR and the interpreter.
+
+use crate::ir::ArrayId;
+use std::collections::HashMap;
+
+/// Outcome of the alias-analysis function (§3.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum AliasAnswer {
+    /// Provably disjoint.
+    #[default]
+    No,
+    /// The analysis cannot tell.
+    May,
+    /// Provably the same object.
+    Must,
+}
+
+/// What the compiler's alias analysis can prove about array pairs.
+///
+/// Unlisted pairs default to [`AliasAnswer::No`] — distinct named arrays
+/// are trivially disjoint — except the reflexive pair, which is always
+/// [`AliasAnswer::Must`].
+#[derive(Clone, Debug, Default)]
+pub struct AliasOracle {
+    pairs: HashMap<(ArrayId, ArrayId), AliasAnswer>,
+}
+
+impl AliasOracle {
+    /// Empty oracle: perfect knowledge (only reflexive must-aliases).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares the analysis outcome for a pair (symmetric).
+    pub fn set(&mut self, a: ArrayId, b: ArrayId, ans: AliasAnswer) {
+        self.pairs.insert(key(a, b), ans);
+    }
+
+    /// Declares that the analysis cannot disambiguate `a` from `b`.
+    pub fn may_alias(&mut self, a: ArrayId, b: ArrayId) {
+        self.set(a, b, AliasAnswer::May);
+    }
+
+    /// Queries the oracle.
+    pub fn query(&self, a: ArrayId, b: ArrayId) -> AliasAnswer {
+        if a == b {
+            return AliasAnswer::Must;
+        }
+        self.pairs.get(&key(a, b)).copied().unwrap_or_default()
+    }
+
+    /// True when the analysis cannot rule out aliasing.
+    pub fn unresolved(&self, a: ArrayId, b: ArrayId) -> bool {
+        self.query(a, b) != AliasAnswer::No
+    }
+}
+
+fn key(a: ArrayId, b: ArrayId) -> (ArrayId, ArrayId) {
+    (a.min(b), a.max(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reflexive_is_must() {
+        let o = AliasOracle::new();
+        assert_eq!(o.query(3, 3), AliasAnswer::Must);
+    }
+
+    #[test]
+    fn default_is_no() {
+        let o = AliasOracle::new();
+        assert_eq!(o.query(0, 1), AliasAnswer::No);
+        assert!(!o.unresolved(0, 1));
+    }
+
+    #[test]
+    fn set_is_symmetric() {
+        let mut o = AliasOracle::new();
+        o.may_alias(2, 5);
+        assert_eq!(o.query(2, 5), AliasAnswer::May);
+        assert_eq!(o.query(5, 2), AliasAnswer::May);
+        assert!(o.unresolved(5, 2));
+    }
+
+    #[test]
+    fn later_set_overrides() {
+        let mut o = AliasOracle::new();
+        o.may_alias(0, 1);
+        o.set(1, 0, AliasAnswer::No);
+        assert_eq!(o.query(0, 1), AliasAnswer::No);
+    }
+}

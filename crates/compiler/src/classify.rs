@@ -1,0 +1,360 @@
+//! Phase 1 of the compiler support: classification of memory references
+//! (§3.1).
+//!
+//! * **Regular** references expose a unit-stride pattern and are mapped
+//!   to the local memory (up to the 32-buffer directory limit; exceeding
+//!   arrays are simply not mapped, as §3.2 prescribes).
+//! * **Local** references (`scale = 0`) are loop-invariant scalars; they
+//!   stay in the caches, where they are L1-resident.
+//! * **Irregular** references are unpredictable accesses the analysis
+//!   can prove disjoint from every LM-mapped array; they go to the
+//!   caches.
+//! * **Potentially incoherent** references are unpredictable accesses
+//!   that `may`/`must` alias an LM-mapped array (or are forced by the
+//!   microbenchmark modes); they become guarded instructions, and writes
+//!   among them become double stores.
+
+use crate::alias::AliasOracle;
+use crate::ir::{Index, Kernel, LoopNest, RefId};
+use std::collections::HashSet;
+
+/// The class of a memory reference.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RefClass {
+    /// Unit-stride, mapped to an LM buffer.
+    Regular,
+    /// Unit-stride but not mapped (beyond the directory's buffer limit).
+    RegularUnmapped,
+    /// Loop-invariant scalar (cache-served, L1-resident).
+    Local,
+    /// Unpredictable, provably no alias with LM-mapped data.
+    Irregular,
+    /// Unpredictable, may/must alias LM-mapped data: guarded.
+    PotentiallyIncoherent,
+}
+
+/// The per-loop compilation plan derived from classification.
+#[derive(Clone, Debug)]
+pub struct LoopPlan {
+    /// Class per reference.
+    pub classes: Vec<RefClass>,
+    /// Arrays mapped to LM buffers, in buffer order.
+    pub lm_arrays: Vec<usize>,
+    /// LM buffer size in bytes (power of two).
+    pub buf_size: u64,
+    /// Elements per buffer window.
+    pub chunk_elems: u64,
+    /// Largest positive affine offset among mapped regular references
+    /// (the work loop peels this many trailing iterations per tile).
+    pub tail_span: u64,
+    /// Arrays whose buffers are written and therefore written back.
+    pub dirty_arrays: HashSet<usize>,
+    /// References needing the double store (potentially incoherent
+    /// writes, §3.1).
+    pub double_stores: HashSet<RefId>,
+}
+
+impl LoopPlan {
+    /// Count of references classified as potentially incoherent.
+    pub fn guarded_refs(&self) -> usize {
+        self.classes
+            .iter()
+            .filter(|c| **c == RefClass::PotentiallyIncoherent)
+            .count()
+    }
+
+    /// Buffer index of an LM-mapped array.
+    pub fn buffer_of(&self, array: usize) -> Option<usize> {
+        self.lm_arrays.iter().position(|a| *a == array)
+    }
+}
+
+/// Classifies one loop and derives its plan.
+///
+/// `lm_size` is the local-memory capacity; `max_buffers` the directory
+/// entry count (32). Passing `lm_size = 0` (cache-based compilation)
+/// classifies every strided reference as `RegularUnmapped` and suppresses
+/// potential incoherence entirely (there is no LM to be incoherent
+/// with).
+pub fn classify_loop(
+    kernel: &Kernel,
+    l: &LoopNest,
+    lm_size: u64,
+    max_buffers: usize,
+) -> LoopPlan {
+    let alias: &AliasOracle = &kernel.alias;
+    // Pass A: strided arrays in textual order of first appearance.
+    // Forced-incoherent references still witness a strided pattern (the
+    // Table 2 microbenchmark keeps its LM tiling in every mode and only
+    // changes which accesses are guarded); arrays the workload explicitly
+    // excludes (`no_map`) are skipped.
+    let mut strided_arrays: Vec<usize> = Vec::new();
+    for r in &l.refs {
+        if l.unmapped_arrays.contains(&r.array) {
+            continue;
+        }
+        if let Index::Affine { scale: 1, .. } = r.index {
+            if !strided_arrays.contains(&r.array) {
+                strided_arrays.push(r.array);
+            }
+        }
+    }
+    // Decide how many arrays fit: equal split of the LM rounded down to a
+    // power of two, at least one cache line.
+    let (lm_arrays, buf_size) = if lm_size == 0 || strided_arrays.is_empty() {
+        (Vec::new(), 0)
+    } else {
+        let mut arrays = strided_arrays.clone();
+        arrays.truncate(max_buffers);
+        loop {
+            let per = lm_size / arrays.len() as u64;
+            let buf = prev_pow2(per);
+            if buf >= 64 {
+                break (arrays, buf);
+            }
+            arrays.pop();
+        }
+    };
+    let mapped: HashSet<usize> = lm_arrays.iter().copied().collect();
+
+    // Pass B: classify each reference.
+    let mut classes = Vec::with_capacity(l.refs.len());
+    for (rid, r) in l.refs.iter().enumerate() {
+        let forced = l.forced_incoherent.contains(&rid);
+        let class = match r.index {
+            Index::Affine { scale: 0, .. } => RefClass::Local,
+            Index::Affine { .. } => {
+                if forced && lm_size > 0 {
+                    RefClass::PotentiallyIncoherent
+                } else if mapped.contains(&r.array) {
+                    RefClass::Regular
+                } else {
+                    RefClass::RegularUnmapped
+                }
+            }
+            Index::Indirect { .. } => {
+                if lm_size == 0 {
+                    RefClass::Irregular
+                } else if forced || lm_arrays.iter().any(|a| alias.unresolved(r.array, *a)) {
+                    RefClass::PotentiallyIncoherent
+                } else {
+                    RefClass::Irregular
+                }
+            }
+        };
+        classes.push(class);
+    }
+
+    // Pass C: tail span, dirty buffers, double stores.
+    let mut tail_span = 0u64;
+    for (rid, r) in l.refs.iter().enumerate() {
+        if classes[rid] == RefClass::Regular {
+            if let Index::Affine { offset, .. } = r.index {
+                if offset > 0 {
+                    tail_span = tail_span.max(offset as u64);
+                }
+            }
+        }
+    }
+    let written = l.written_refs();
+    let mut dirty_arrays = HashSet::new();
+    let mut double_stores = HashSet::new();
+    for rid in &written {
+        match classes[*rid] {
+            RefClass::Regular => {
+                dirty_arrays.insert(l.refs[*rid].array);
+            }
+            RefClass::PotentiallyIncoherent => {
+                // §3.1: the compiler can almost never prove the aliased
+                // LM data will be written back, so potentially incoherent
+                // writes always get the double store.
+                double_stores.insert(*rid);
+            }
+            _ => {}
+        }
+    }
+
+    LoopPlan {
+        classes,
+        chunk_elems: if buf_size == 0 { 0 } else { buf_size / 8 },
+        lm_arrays,
+        buf_size,
+        tail_span,
+        dirty_arrays,
+        double_stores,
+    }
+}
+
+fn prev_pow2(x: u64) -> u64 {
+    if x == 0 {
+        0
+    } else {
+        1u64 << (63 - x.leading_zeros())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{Expr, KernelBuilder};
+
+    const LM: u64 = 32 * 1024;
+
+    /// The paper's Figure 3 example: a, b regular; c irregular (proved);
+    /// ptr potentially incoherent (may-alias a).
+    fn figure3() -> (Kernel, LoopPlan) {
+        let mut kb = KernelBuilder::new("fig3");
+        let a = kb.array_i64("a", 4096);
+        let b = kb.array_i64("b", 4096);
+        let c = kb.array_i64("c", 2048);
+        let idx = kb.array_i64("idx", 4096);
+        let ptr = kb.array_i64("ptr_target", 4096);
+        kb.begin_loop(4096);
+        let ra = kb.ref_affine(a, 1, 0);
+        let rb = kb.ref_affine(b, 1, 0);
+        let ridx = kb.ref_affine(idx, 1, 0);
+        let rc = kb.ref_indirect(c, ridx, 0);
+        let rp = kb.ref_indirect(ptr, ridx, 0);
+        kb.stmt(ra, Expr::Ref(rb));
+        kb.stmt(rc, Expr::ConstI(0));
+        kb.stmt(rp, Expr::add(Expr::Ref(rp), Expr::ConstI(1)));
+        kb.alias_mut().may_alias(ptr, a);
+        kb.end_loop();
+        let k = kb.build().unwrap();
+        let plan = classify_loop(&k, &k.loops[0], LM, 32);
+        (k, plan)
+    }
+
+    #[test]
+    fn figure3_classification() {
+        let (_, plan) = figure3();
+        assert_eq!(plan.classes[0], RefClass::Regular); // a
+        assert_eq!(plan.classes[1], RefClass::Regular); // b
+        assert_eq!(plan.classes[2], RefClass::Regular); // idx (strided)
+        assert_eq!(plan.classes[3], RefClass::Irregular); // c: proved no-alias
+        assert_eq!(plan.classes[4], RefClass::PotentiallyIncoherent); // ptr
+        assert_eq!(plan.guarded_refs(), 1);
+    }
+
+    #[test]
+    fn figure3_plan_details() {
+        let (_, plan) = figure3();
+        // Three mapped arrays -> 32K/3 -> 8K buffers.
+        assert_eq!(plan.lm_arrays.len(), 3);
+        assert_eq!(plan.buf_size, 8192);
+        assert_eq!(plan.chunk_elems, 1024);
+        // a is written via a regular ref -> dirty; ptr write -> double
+        // store.
+        assert!(plan.dirty_arrays.contains(&0));
+        assert!(!plan.dirty_arrays.contains(&1));
+        assert_eq!(plan.double_stores.len(), 1);
+        assert!(plan.double_stores.contains(&4));
+    }
+
+    #[test]
+    fn paper_figure2_buffers_split_evenly() {
+        // "In Figure 2 there are two regular accesses (a and b) so two
+        // buffers would be allocated, each one of them occupying half the
+        // storage."
+        let mut kb = KernelBuilder::new("fig2");
+        let a = kb.array_i64("a", 4096);
+        let b = kb.array_i64("b", 4096);
+        kb.begin_loop(4096);
+        let ra = kb.ref_affine(a, 1, 0);
+        let rb = kb.ref_affine(b, 1, 0);
+        kb.stmt(ra, Expr::Ref(rb));
+        kb.end_loop();
+        let k = kb.build().unwrap();
+        let plan = classify_loop(&k, &k.loops[0], LM, 32);
+        assert_eq!(plan.buf_size, 16 * 1024);
+    }
+
+    #[test]
+    fn cache_based_maps_nothing() {
+        let (k, _) = figure3();
+        let plan = classify_loop(&k, &k.loops[0], 0, 32);
+        assert!(plan.lm_arrays.is_empty());
+        assert_eq!(plan.classes[0], RefClass::RegularUnmapped);
+        assert_eq!(plan.classes[4], RefClass::Irregular);
+        assert_eq!(plan.guarded_refs(), 0);
+        assert!(plan.double_stores.is_empty());
+    }
+
+    #[test]
+    fn buffer_limit_demotes_extra_arrays() {
+        // 40 strided arrays against a 32-entry directory: the last 8 are
+        // not mapped (§3.2).
+        let mut kb = KernelBuilder::new("many");
+        let mut refs = Vec::new();
+        for i in 0..40 {
+            let a = kb.array_i64(&format!("a{i}"), 2048);
+            refs.push(a);
+        }
+        kb.begin_loop(2048);
+        let rs: Vec<_> = refs.iter().map(|a| kb.ref_affine(*a, 1, 0)).collect();
+        for w in &rs {
+            kb.stmt(*w, Expr::ConstI(1));
+        }
+        kb.end_loop();
+        let k = kb.build().unwrap();
+        let plan = classify_loop(&k, &k.loops[0], LM, 32);
+        assert_eq!(plan.lm_arrays.len(), 32);
+        assert_eq!(plan.buf_size, 1024); // 32K/32
+        let unmapped = plan
+            .classes
+            .iter()
+            .filter(|c| **c == RefClass::RegularUnmapped)
+            .count();
+        assert_eq!(unmapped, 8);
+    }
+
+    #[test]
+    fn scalar_refs_are_local() {
+        let mut kb = KernelBuilder::new("s");
+        let a = kb.array_i64("a", 2048);
+        let s = kb.array_i64("s", 4);
+        kb.begin_loop(2048);
+        let ra = kb.ref_affine(a, 1, 0);
+        let rs = kb.ref_affine(s, 0, 2);
+        kb.stmt(rs, Expr::add(Expr::Ref(rs), Expr::Ref(ra)));
+        kb.end_loop();
+        let k = kb.build().unwrap();
+        let plan = classify_loop(&k, &k.loops[0], LM, 32);
+        assert_eq!(plan.classes[1], RefClass::Local);
+        // Scalars are not LM-mapped and never dirty buffers.
+        assert!(!plan.dirty_arrays.contains(&1));
+    }
+
+    #[test]
+    fn forced_incoherent_affine_is_guarded() {
+        let mut kb = KernelBuilder::new("f");
+        let a = kb.array_i64("a", 2049);
+        kb.begin_loop(2048);
+        let rload = kb.ref_affine(a, 1, 0);
+        let rstore = kb.ref_affine(a, 1, 1);
+        kb.force_incoherent(rstore);
+        kb.stmt(rstore, Expr::add(Expr::Ref(rload), Expr::ConstI(3)));
+        kb.end_loop();
+        let k = kb.build().unwrap();
+        let plan = classify_loop(&k, &k.loops[0], LM, 32);
+        assert_eq!(plan.classes[0], RefClass::Regular);
+        assert_eq!(plan.classes[1], RefClass::PotentiallyIncoherent);
+        assert!(plan.double_stores.contains(&1));
+        // Forced-incoherent writes do not dirty the buffer by themselves.
+        assert!(!plan.dirty_arrays.contains(&0));
+    }
+
+    #[test]
+    fn tail_span_follows_max_positive_offset() {
+        let mut kb = KernelBuilder::new("t");
+        let a = kb.array_i64("a", 4100);
+        kb.begin_loop(4096);
+        let r0 = kb.ref_affine(a, 1, 0);
+        let r2 = kb.ref_affine(a, 1, 2);
+        kb.stmt(r2, Expr::Ref(r0));
+        kb.end_loop();
+        let k = kb.build().unwrap();
+        let plan = classify_loop(&k, &k.loops[0], LM, 32);
+        assert_eq!(plan.tail_span, 2);
+    }
+}

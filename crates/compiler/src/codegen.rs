@@ -1,0 +1,889 @@
+//! Phases 2–3 of the compiler support: the tiling transformation
+//! (Figure 2) and assembly emission (Figure 3).
+//!
+//! ## Transformed-code shape (hybrid modes)
+//!
+//! Each loop is tiled over buffer-size-aligned *windows* of its LM-mapped
+//! arrays. Per tile the generated code runs the paper's three phases:
+//!
+//! ```text
+//! dir.cfg <buf_size>                  ; configure the directory masks
+//! control:  dma-get every mapped window        (tile 0)
+//! synch:    dma-synch
+//! work:     main part  — all mapped refs access the LM
+//!           tail part  — the last `span` iterations, where refs with a
+//!                        positive offset may cross into the next window;
+//!                        those refs use *guarded* accesses and let the
+//!                        directory route them (LM while in-window, SM
+//!                        once past it) — the paper's own mechanism
+//!                        reused for window-boundary correctness
+//! control:  dma-put dirty windows, advance, dma-get next windows
+//! synch:    dma-synch   … repeat …
+//! ```
+//!
+//! ## Reference lowering
+//!
+//! * regular (mapped)          → plain load/store on the LM buffer
+//! * regular (unmapped)/local  → plain load/store on system memory
+//! * irregular                 → plain SM access through the indirect
+//!   index
+//! * potentially incoherent    → **guarded** access with the SM address;
+//!   writes additionally emit the plain-store half of the **double
+//!   store** (Figure 3 lines 19–20), sharing the address register so the
+//!   LSQ can collapse the pair when the directory lookup misses
+//!
+//! `CacheBased` mode skips tiling entirely and lowers every reference to
+//! plain SM accesses — the §4.3 comparison system.
+
+use crate::classify::{classify_loop, LoopPlan, RefClass};
+use crate::ir::{Elem, Expr, Index, Kernel, LoopNest, RefId};
+use crate::layout::Layout;
+use hsim_isa::inst::{AluOp, Cond, FpuOp, Phase};
+use hsim_isa::memmap::{LM_BASE, LM_SIZE};
+use hsim_isa::reg::{FReg, Reg};
+use hsim_isa::{Program, ProgramBuilder, Route, Width};
+use std::collections::HashMap;
+
+/// Code-generation target mode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CodegenMode {
+    /// The proposal: LM + directory + guarded instructions + double
+    /// stores.
+    HybridCoherent,
+    /// The incoherent oracle-compiler baseline of Figure 8: LM, no
+    /// directory hardware, oracle-routed accesses, single stores.
+    HybridOracle,
+    /// The §4.3 cache-based system: no LM at all.
+    CacheBased,
+}
+
+impl CodegenMode {
+    /// The route used for potentially incoherent accesses in this mode.
+    fn pot_inc_route(self) -> Route {
+        match self {
+            CodegenMode::HybridCoherent => Route::Guarded,
+            CodegenMode::HybridOracle => Route::Oracle,
+            CodegenMode::CacheBased => Route::Plain,
+        }
+    }
+
+    /// Whether this mode tiles loops onto the LM.
+    fn uses_lm(self) -> bool {
+        !matches!(self, CodegenMode::CacheBased)
+    }
+
+    /// Whether potentially incoherent writes need the double store.
+    fn double_store(self) -> bool {
+        matches!(self, CodegenMode::HybridCoherent)
+    }
+}
+
+/// A compiled kernel: the program plus everything the machine and the
+/// experiment harness need to load and account for it.
+pub struct CompiledKernel {
+    /// The generated program.
+    pub program: Program,
+    /// Array placement.
+    pub layout: Layout,
+    /// Per-loop classification plans.
+    pub plans: Vec<LoopPlan>,
+    /// The mode this kernel was compiled for.
+    pub mode: CodegenMode,
+    /// Kernel name.
+    pub name: String,
+}
+
+impl CompiledKernel {
+    /// Static count of potentially incoherent references across loops.
+    pub fn guarded_refs(&self) -> usize {
+        self.plans.iter().map(|p| p.guarded_refs()).sum()
+    }
+
+    /// Static count of all references across loops.
+    pub fn total_refs(&self) -> usize {
+        self.plans.iter().map(|p| p.classes.len()).sum()
+    }
+}
+
+// Register conventions (see module docs of the emitter below).
+const R_IDX: Reg = Reg(0); // j*8 within the work loop
+const R_SCRATCH1: Reg = Reg(1); // indirect index values
+const R_J: Reg = Reg(2); // work loop variable
+const R_JEND: Reg = Reg(3); // iterations this tile
+const R_MAIN_END: Reg = Reg(4); // main-part bound
+/// Holds constant zero within compiled loops (absolute-addressing base).
+const R_ZERO: Reg = Reg(5);
+const R_ADDR1: Reg = Reg(6); // materialized bases
+const R_ADDR2: Reg = Reg(7); // statement-cached target address
+const ARRAY_REGS_FIRST: u8 = 8;
+const ARRAY_REGS_LAST: u8 = 19; // r8..r19: array base registers
+const TEMP_FIRST: u8 = 20;
+const TEMP_LAST: u8 = 25; // r20..r25: int expression temps
+const R_TILE_BYTES: Reg = Reg(26); // t * buf_size
+const R_TILE_ELEMS: Reg = Reg(27); // t * chunk_elems
+const R_N: Reg = Reg(28); // loop trip count
+const R_DMA_A: Reg = Reg(29);
+const R_DMA_B: Reg = Reg(30);
+const R_DMA_C: Reg = Reg(31);
+
+/// What an array base register holds. System-memory addresses need no
+/// registers at all: the array's SM base is folded into the memory
+/// instruction's displacement (x86-style large-displacement addressing),
+/// so only LM buffer bases compete for registers.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+enum BaseKind {
+    /// LM buffer base of a mapped array (constant within a loop).
+    LmBuf,
+}
+
+/// Per-loop allocation of array base registers, with li-materialization
+/// fallback when r8..r19 run out.
+struct BaseAlloc {
+    map: HashMap<(usize, BaseKind), Reg>,
+    next: u8,
+}
+
+impl BaseAlloc {
+    fn new() -> Self {
+        BaseAlloc {
+            map: HashMap::new(),
+            next: ARRAY_REGS_FIRST,
+        }
+    }
+
+    fn reserve(&mut self, array: usize, kind: BaseKind) {
+        if self.map.contains_key(&(array, kind)) || self.next > ARRAY_REGS_LAST {
+            return;
+        }
+        self.map.insert((array, kind), Reg(self.next));
+        self.next += 1;
+    }
+
+    fn get(&self, array: usize, kind: BaseKind) -> Option<Reg> {
+        self.map.get(&(array, kind)).copied()
+    }
+
+    /// All (array, kind) -> reg assignments, for prologue initialization.
+    fn assignments(&self) -> Vec<(usize, BaseKind, Reg)> {
+        let mut v: Vec<_> = self.map.iter().map(|((a, k), r)| (*a, *k, *r)).collect();
+        v.sort_by_key(|(_, _, r)| r.0);
+        v
+    }
+}
+
+struct LoopEmitter<'a> {
+    b: &'a mut ProgramBuilder,
+    kernel: &'a Kernel,
+    l: &'a LoopNest,
+    plan: &'a LoopPlan,
+    layout: &'a Layout,
+    mode: CodegenMode,
+    bases: BaseAlloc,
+    /// Cached address register for the current statement's target.
+    stmt_addr: Option<RefId>,
+    int_temp: u8,
+    fp_temp: u8,
+}
+
+/// Compiles a kernel for the given mode.
+pub fn compile(kernel: &Kernel, mode: CodegenMode) -> CompiledKernel {
+    kernel.validate().expect("invalid kernel");
+    let layout = Layout::new(kernel);
+    let (lm_size, max_bufs) = if mode.uses_lm() { (LM_SIZE, 32) } else { (0, 0) };
+    let plans: Vec<LoopPlan> = kernel
+        .loops
+        .iter()
+        .map(|l| classify_loop(kernel, l, lm_size, max_bufs))
+        .collect();
+
+    let mut b = ProgramBuilder::new();
+    for (l, plan) in kernel.loops.iter().zip(&plans) {
+        if l.n == 0 {
+            continue;
+        }
+        let mut em = LoopEmitter {
+            kernel,
+            l,
+            plan,
+            layout: &layout,
+            mode,
+            bases: BaseAlloc::new(),
+            stmt_addr: None,
+            int_temp: TEMP_FIRST,
+            fp_temp: 0,
+            b: &mut b,
+        };
+        if mode.uses_lm() && !plan.lm_arrays.is_empty() {
+            em.emit_tiled();
+        } else {
+            em.emit_flat();
+        }
+    }
+    b.phase(Phase::Other);
+    b.halt();
+
+    CompiledKernel {
+        program: b.build(),
+        layout,
+        plans,
+        mode,
+        name: kernel.name.clone(),
+    }
+}
+
+impl<'a> LoopEmitter<'a> {
+    // ------------------------------------------------------------ helpers
+
+    fn lm_buf_base(&self, array: usize) -> u64 {
+        let k = self.plan.buffer_of(array).expect("array not mapped") as u64;
+        LM_BASE + k * self.plan.buf_size
+    }
+
+    fn sm_base(&self, array: usize) -> u64 {
+        self.layout.arrays[array].base
+    }
+
+    /// Returns a register holding the LM buffer base, materializing into
+    /// `R_ADDR1` when no array register was allocated.
+    fn lm_base_reg(&mut self, array: usize) -> Reg {
+        if let Some(r) = self.bases.get(array, BaseKind::LmBuf) {
+            return r;
+        }
+        let base = self.lm_buf_base(array);
+        self.b.li(R_ADDR1, base as i64);
+        R_ADDR1
+    }
+
+    fn alloc_int_temp(&mut self) -> Reg {
+        assert!(self.int_temp <= TEMP_LAST, "int expression too deep");
+        let r = Reg(self.int_temp);
+        self.int_temp += 1;
+        r
+    }
+
+    fn free_int_temp(&mut self) {
+        self.int_temp -= 1;
+    }
+
+    fn alloc_fp_temp(&mut self) -> FReg {
+        assert!(self.fp_temp < 16, "fp expression too deep");
+        let r = FReg(self.fp_temp);
+        self.fp_temp += 1;
+        r
+    }
+
+    fn free_fp_temp(&mut self) {
+        self.fp_temp -= 1;
+    }
+
+    // -------------------------------------------------------- addressing
+
+    /// Emits the address computation for reference `r` and returns
+    /// `(base, index, displacement, route)` for the memory instruction.
+    /// `tail` selects the window-crossing lowering of the work loop's
+    /// tail part.
+    ///
+    /// System-memory addressing needs no base register: the array's SM
+    /// base is a compile-time constant folded into the displacement, and
+    /// the window advance is carried by `R_TILE_BYTES` (zero in flat
+    /// loops). A strided SM access is thus
+    /// `disp(sm_base + d*8)(R_TILE_BYTES + R_IDX)` — one instruction,
+    /// exactly like the paper's x86 `a(,esi,4)` addressing.
+    fn ref_addressing(&mut self, r: RefId, tail: bool) -> (Reg, Option<Reg>, i64, Route) {
+        let mr = self.l.refs[r];
+        let class = self.plan.classes[r];
+        let pot_route = self.mode.pot_inc_route();
+        match (class, mr.index) {
+            (RefClass::Regular, Index::Affine { offset, .. }) => {
+                if tail && offset > 0 {
+                    // May cross the window: guarded access on the SM
+                    // address; the directory routes it (see module docs).
+                    let route = if self.mode == CodegenMode::HybridOracle {
+                        Route::Oracle
+                    } else {
+                        Route::Guarded
+                    };
+                    let disp = self.sm_base(mr.array) as i64 + offset * 8;
+                    (R_TILE_BYTES, Some(R_IDX), disp, route)
+                } else {
+                    let base = self.lm_base_reg(mr.array);
+                    (base, Some(R_IDX), offset * 8, Route::Plain)
+                }
+            }
+            (
+                RefClass::RegularUnmapped | RefClass::PotentiallyIncoherent,
+                Index::Affine { offset, .. },
+            ) => {
+                let route = if class == RefClass::PotentiallyIncoherent {
+                    pot_route
+                } else {
+                    Route::Plain
+                };
+                let disp = self.sm_base(mr.array) as i64 + offset * 8;
+                (R_TILE_BYTES, Some(R_IDX), disp, route)
+            }
+            (RefClass::Local, Index::Affine { offset, .. }) => {
+                let disp = self.sm_base(mr.array) as i64 + offset * 8;
+                (R_ZERO, None, disp, Route::Plain)
+            }
+            (class, Index::Indirect { idx_ref, offset }) => {
+                // Load the index value, scale it, and use it against the
+                // array's SM base (in the displacement).
+                let (ib, ii, id, ir) = self.ref_addressing(idx_ref, tail);
+                self.b.load_x_opt(R_SCRATCH1, ib, ii, id, Width::D, ir);
+                self.b.alui(AluOp::Sll, R_SCRATCH1, R_SCRATCH1, 3);
+                let route = if class == RefClass::PotentiallyIncoherent {
+                    pot_route
+                } else {
+                    Route::Plain
+                };
+                let disp = self.sm_base(mr.array) as i64 + offset * 8;
+                (R_SCRATCH1, None, disp, route)
+            }
+            (c, i) => unreachable!("class {c:?} with index {i:?}"),
+        }
+    }
+
+    // ------------------------------------------------------- expressions
+
+    /// Evaluates an integer expression into a temp register.
+    fn eval_int(&mut self, e: &Expr, tail: bool) -> Reg {
+        match e {
+            Expr::ConstI(v) => {
+                let t = self.alloc_int_temp();
+                self.b.li(t, *v);
+                t
+            }
+            Expr::Ivar => {
+                // i = tile_elem_base + j (flat mode: R_TILE_ELEMS is 0).
+                let t = self.alloc_int_temp();
+                self.b.add(t, R_TILE_ELEMS, R_J);
+                t
+            }
+            Expr::Ref(r) => {
+                let t = self.alloc_int_temp();
+                self.emit_load_into(*r, tail, Some(t), None);
+                t
+            }
+            Expr::Add(a, x) => self.int_binop(AluOp::Add, a, x, tail),
+            Expr::Sub(a, x) => self.int_binop(AluOp::Sub, a, x, tail),
+            Expr::Mul(a, x) => self.int_binop(AluOp::Mul, a, x, tail),
+            Expr::ConstF(_) | Expr::CvtIF(_) => unreachable!("fp expr in int context"),
+        }
+    }
+
+    fn int_binop(&mut self, op: AluOp, a: &Expr, b: &Expr, tail: bool) -> Reg {
+        let ra = self.eval_int(a, tail);
+        let rb = self.eval_int(b, tail);
+        self.b.alu(op, ra, ra, rb);
+        self.free_int_temp();
+        ra
+    }
+
+    /// Evaluates an FP expression into a temp register.
+    fn eval_fp(&mut self, e: &Expr, tail: bool) -> FReg {
+        match e {
+            Expr::ConstF(v) => {
+                let t = self.alloc_fp_temp();
+                let bits = self.alloc_int_temp();
+                self.b.li(bits, v.to_bits() as i64);
+                self.b.push(hsim_isa::Inst::MovIF { fd: t, rs: bits });
+                self.free_int_temp();
+                t
+            }
+            Expr::Ref(r) => {
+                let t = self.alloc_fp_temp();
+                self.emit_load_into(*r, tail, None, Some(t));
+                t
+            }
+            Expr::Add(a, x) => self.fp_binop(FpuOp::FAdd, a, x, tail),
+            Expr::Sub(a, x) => self.fp_binop(FpuOp::FSub, a, x, tail),
+            Expr::Mul(a, x) => self.fp_binop(FpuOp::FMul, a, x, tail),
+            Expr::CvtIF(a) => {
+                let ri = self.eval_int(a, tail);
+                let t = self.alloc_fp_temp();
+                self.b.push(hsim_isa::Inst::CvtIF { fd: t, rs: ri });
+                self.free_int_temp();
+                t
+            }
+            Expr::ConstI(_) | Expr::Ivar => unreachable!("int expr in fp context"),
+        }
+    }
+
+    fn fp_binop(&mut self, op: FpuOp, a: &Expr, b: &Expr, tail: bool) -> FReg {
+        let ra = self.eval_fp(a, tail);
+        let rb = self.eval_fp(b, tail);
+        self.b.fpu(op, ra, ra, rb);
+        self.free_fp_temp();
+        ra
+    }
+
+    /// Emits the load of reference `r` into an int or FP register. Uses
+    /// the statement's cached target address when `r` is the statement
+    /// target (the `x += …` pattern of Figure 3).
+    fn emit_load_into(&mut self, r: RefId, tail: bool, rd: Option<Reg>, fd: Option<FReg>) {
+        let (base, index, disp, route) = if self.stmt_addr == Some(r) {
+            (R_ADDR2, None, 0, self.route_of(r, tail))
+        } else {
+            self.ref_addressing(r, tail)
+        };
+        match (rd, fd) {
+            (Some(rd), None) => self.b.load_x_opt(rd, base, index, disp, Width::D, route),
+            (None, Some(fd)) => self.b.fload_x_opt(fd, base, index, disp, route),
+            _ => unreachable!(),
+        }
+    }
+
+    fn route_of(&self, r: RefId, tail: bool) -> Route {
+        match self.plan.classes[r] {
+            RefClass::PotentiallyIncoherent => self.mode.pot_inc_route(),
+            RefClass::Regular => {
+                if tail {
+                    if let Index::Affine { offset, .. } = self.l.refs[r].index {
+                        if offset > 0 {
+                            return if self.mode == CodegenMode::HybridOracle {
+                                Route::Oracle
+                            } else {
+                                Route::Guarded
+                            };
+                        }
+                    }
+                }
+                Route::Plain
+            }
+            _ => Route::Plain,
+        }
+    }
+
+    // --------------------------------------------------------- statements
+
+    fn emit_stmt(&mut self, s: &crate::ir::Stmt, tail: bool) {
+        let target = s.target;
+        let is_fp = self.kernel.ref_elem(self.l, target) == Elem::F64;
+        // Pre-compute the target address into R_ADDR2 when the value
+        // expression reads the same reference (read-modify-write), so the
+        // load and both stores of a double store share one address.
+        let mut reads_target = false;
+        s.value.clone().walk_refs(&mut |r| {
+            if r == target {
+                reads_target = true;
+            }
+        });
+        // Read-modify-write statements and indirect targets compute the
+        // address once into R_ADDR2 (Figure 3 shares the address between
+        // gld/gst/st). Affine double-store targets need no shared
+        // register: both stores carry identical base+index+displacement
+        // operands and the LSQ collapse matches on the final address.
+        let needs_shared_addr = reads_target
+            || matches!(self.l.refs[target].index, Index::Indirect { .. })
+                && self.plan.double_stores.contains(&target)
+                && self.mode.double_store();
+        let (base, index, disp, route) = if needs_shared_addr {
+            let (b_, i_, d_, r_) = self.ref_addressing(target, tail);
+            match i_ {
+                Some(ix) => self.b.add(R_ADDR2, b_, ix),
+                None => self.b.mv(R_ADDR2, b_),
+            }
+            if d_ != 0 {
+                self.b.addi(R_ADDR2, R_ADDR2, d_);
+            }
+            self.stmt_addr = Some(target);
+            (R_ADDR2, None, 0, r_)
+        } else {
+            (Reg(0), None, 0, Route::Plain) // placeholder; recomputed below
+        };
+
+        if is_fp {
+            let v = self.eval_fp(&s.value, tail);
+            let (base, index, disp, route) = if needs_shared_addr {
+                (base, index, disp, route)
+            } else {
+                self.ref_addressing(target, tail)
+            };
+            self.b.fstore_x_opt(v, base, index, disp, route);
+            if route == Route::Guarded
+                && self.plan.double_stores.contains(&target)
+                && self.mode.double_store()
+            {
+                self.b.fstore_x_opt(v, base, index, disp, Route::Plain);
+            }
+            self.free_fp_temp();
+        } else {
+            let v = self.eval_int(&s.value, tail);
+            let (base, index, disp, route) = if needs_shared_addr {
+                (base, index, disp, route)
+            } else {
+                self.ref_addressing(target, tail)
+            };
+            self.b.store_x_opt(v, base, index, disp, Width::D, route);
+            if route == Route::Guarded
+                && self.plan.double_stores.contains(&target)
+                && self.mode.double_store()
+            {
+                self.b.store_x_opt(v, base, index, disp, Width::D, Route::Plain);
+            }
+            self.free_int_temp();
+        }
+        self.stmt_addr = None;
+        debug_assert_eq!(self.int_temp, TEMP_FIRST, "int temp leak");
+        debug_assert_eq!(self.fp_temp, 0, "fp temp leak");
+    }
+
+    fn emit_body(&mut self, tail: bool) {
+        // j*8 for indexed addressing.
+        self.b.alui(AluOp::Sll, R_IDX, R_J, 3);
+        for s in &self.l.stmts.clone() {
+            self.emit_stmt(s, tail);
+        }
+    }
+
+    // -------------------------------------------------------- loop shapes
+
+    /// Flat (untiled) emission: cache-based mode, or loops without any
+    /// mapped array.
+    fn emit_flat(&mut self) {
+        self.reserve_base_regs();
+        self.b.phase(Phase::Work);
+        self.b.li(R_TILE_ELEMS, 0);
+        self.b.li(R_TILE_BYTES, 0);
+        self.b.li(R_N, self.l.n as i64);
+        self.init_base_regs();
+        self.b.li(R_J, 0);
+        let top = self.b.new_label();
+        self.b.bind(top);
+        self.emit_body(false);
+        self.b.addi(R_J, R_J, 1);
+        self.b.branch(Cond::Lt, R_J, R_N, top);
+        self.b.phase(Phase::Other);
+    }
+
+    /// Tiled three-phase emission (Figure 2).
+    fn emit_tiled(&mut self) {
+        let plan = self.plan;
+        let buf = plan.buf_size as i64;
+        let chunk = plan.chunk_elems as i64;
+        let span = plan.tail_span as i64;
+
+        self.reserve_base_regs();
+
+        // Prologue: configure the directory, initialize cursors and base
+        // registers, map the first windows.
+        self.b.phase(Phase::Control);
+        self.b.li(R_DMA_A, buf);
+        self.b.dir_cfg(R_DMA_A);
+        self.b.li(R_TILE_BYTES, 0);
+        self.b.li(R_TILE_ELEMS, 0);
+        self.b.li(R_N, self.l.n as i64);
+        self.init_base_regs();
+        self.emit_gets();
+        self.b.phase(Phase::Synch);
+        self.b.dma_synch(0);
+
+        let tile_top = self.b.new_named_label("tile");
+        let exit = self.b.new_named_label("exit");
+        self.b.bind(tile_top);
+        self.b.phase(Phase::Work);
+
+        // j_end = min(chunk, n - tile_elems)
+        self.b.li(R_JEND, chunk);
+        self.b.alu(AluOp::Sub, R_SCRATCH1, R_N, R_TILE_ELEMS);
+        let keep_chunk = self.b.new_label();
+        self.b.branch(Cond::Ge, R_SCRATCH1, R_JEND, keep_chunk);
+        self.b.mv(R_JEND, R_SCRATCH1);
+        self.b.bind(keep_chunk);
+
+        // main_end = max(0, j_end - span)
+        if span > 0 {
+            self.b.addi(R_MAIN_END, R_JEND, -span);
+            let pos = self.b.new_label();
+            self.b.branch(Cond::Ge, R_MAIN_END, R_ZERO, pos);
+            self.b.mv(R_MAIN_END, R_ZERO);
+            self.b.bind(pos);
+        } else {
+            self.b.mv(R_MAIN_END, R_JEND);
+        }
+
+        // Main part.
+        self.b.li(R_J, 0);
+        let main_done = self.b.new_label();
+        self.b.branch(Cond::Ge, R_J, R_MAIN_END, main_done);
+        let main_top = self.b.new_label();
+        self.b.bind(main_top);
+        self.emit_body(false);
+        self.b.addi(R_J, R_J, 1);
+        self.b.branch(Cond::Lt, R_J, R_MAIN_END, main_top);
+        self.b.bind(main_done);
+
+        // Tail part (window-crossing iterations).
+        if span > 0 {
+            let tail_done = self.b.new_label();
+            self.b.branch(Cond::Ge, R_J, R_JEND, tail_done);
+            let tail_top = self.b.new_label();
+            self.b.bind(tail_top);
+            self.emit_body(true);
+            self.b.addi(R_J, R_J, 1);
+            self.b.branch(Cond::Lt, R_J, R_JEND, tail_top);
+            self.b.bind(tail_done);
+        }
+
+        // Control: write back dirty windows, advance, map next windows.
+        self.b.phase(Phase::Control);
+        self.emit_puts();
+        self.b.addi(R_TILE_BYTES, R_TILE_BYTES, buf);
+        self.b.addi(R_TILE_ELEMS, R_TILE_ELEMS, chunk);
+        self.b.branch(Cond::Ge, R_TILE_ELEMS, R_N, exit);
+        self.emit_gets();
+        self.b.phase(Phase::Synch);
+        self.b.dma_synch(0);
+        self.b.jump(tile_top);
+        self.b.bind(exit);
+        self.b.phase(Phase::Other);
+    }
+
+    /// Reserves LM-buffer base registers (SM addressing needs none).
+    fn reserve_base_regs(&mut self) {
+        let mapped = self.plan.lm_arrays.clone();
+        for a in &mapped {
+            self.bases.reserve(*a, BaseKind::LmBuf);
+        }
+    }
+
+    fn init_base_regs(&mut self) {
+        self.b.li(R_ZERO, 0);
+        for (array, _, reg) in self.bases.assignments() {
+            let v = self.lm_buf_base(array) as i64;
+            self.b.li(reg, v);
+        }
+    }
+
+    /// `dma-get` of the current window of every mapped array.
+    fn emit_gets(&mut self) {
+        for a in self.plan.lm_arrays.clone() {
+            self.b.li(R_DMA_A, self.lm_buf_base(a) as i64);
+            self.b.li(R_DMA_B, self.sm_base(a) as i64);
+            self.b.add(R_DMA_B, R_DMA_B, R_TILE_BYTES);
+            self.b.li(R_DMA_C, self.plan.buf_size as i64);
+            self.b.dma_get(R_DMA_A, R_DMA_B, R_DMA_C, 0);
+        }
+    }
+
+    /// `dma-put` of the just-computed window of every dirty array.
+    /// Read-only windows are not written back — the optimization that
+    /// makes the double store necessary (§3.1).
+    fn emit_puts(&mut self) {
+        for a in self.plan.lm_arrays.clone() {
+            if !self.plan.dirty_arrays.contains(&a) {
+                continue;
+            }
+            self.b.li(R_DMA_A, self.lm_buf_base(a) as i64);
+            self.b.li(R_DMA_B, self.sm_base(a) as i64);
+            self.b.add(R_DMA_B, R_DMA_B, R_TILE_BYTES);
+            self.b.li(R_DMA_C, self.plan.buf_size as i64);
+            self.b.dma_put(R_DMA_A, R_DMA_B, R_DMA_C, 0);
+        }
+    }
+}
+
+impl Expr {
+    fn walk_refs(&self, f: &mut impl FnMut(RefId)) {
+        match self {
+            Expr::Ref(r) => f(*r),
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) => {
+                a.walk_refs(f);
+                b.walk_refs(f);
+            }
+            Expr::CvtIF(a) => a.walk_refs(f),
+            _ => {}
+        }
+    }
+}
+
+/// Small builder extensions: loads/stores with an optional index.
+trait BuilderExt {
+    fn load_x_opt(&mut self, rd: Reg, base: Reg, index: Option<Reg>, off: i64, w: Width, r: Route);
+    fn store_x_opt(&mut self, rs: Reg, base: Reg, index: Option<Reg>, off: i64, w: Width, r: Route);
+    fn fload_x_opt(&mut self, fd: FReg, base: Reg, index: Option<Reg>, off: i64, r: Route);
+    fn fstore_x_opt(&mut self, fs: FReg, base: Reg, index: Option<Reg>, off: i64, r: Route);
+}
+
+impl BuilderExt for ProgramBuilder {
+    fn load_x_opt(&mut self, rd: Reg, base: Reg, index: Option<Reg>, off: i64, w: Width, r: Route) {
+        match index {
+            Some(ix) => self.load_x(rd, base, ix, off, w, r),
+            None => self.load(rd, base, off, w, r),
+        }
+    }
+
+    fn store_x_opt(&mut self, rs: Reg, base: Reg, index: Option<Reg>, off: i64, w: Width, r: Route) {
+        match index {
+            Some(ix) => self.store_x(rs, base, ix, off, w, r),
+            None => self.store(rs, base, off, w, r),
+        }
+    }
+
+    fn fload_x_opt(&mut self, fd: FReg, base: Reg, index: Option<Reg>, off: i64, r: Route) {
+        match index {
+            Some(ix) => self.fload_x(fd, base, ix, off, r),
+            None => self.fload(fd, base, off, r),
+        }
+    }
+
+    fn fstore_x_opt(&mut self, fs: FReg, base: Reg, index: Option<Reg>, off: i64, r: Route) {
+        match index {
+            Some(ix) => self.fstore_x(fs, base, ix, off, r),
+            None => self.fstore(fs, base, off, r),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::KernelBuilder;
+    use hsim_isa::Inst;
+
+    fn figure3_kernel() -> Kernel {
+        let mut kb = KernelBuilder::new("fig3");
+        let a = kb.array_i64("a", 4096);
+        let b = kb.array_i64("b", 4096);
+        let c = kb.array_i64("c", 2048);
+        let idx = kb.array_i64_init("idx", &(0..4096).map(|i| i % 2048).collect::<Vec<_>>());
+        let ptr = kb.array_i64("ptr_target", 4096);
+        kb.begin_loop(4096);
+        let ra = kb.ref_affine(a, 1, 0);
+        let rb = kb.ref_affine(b, 1, 0);
+        let ridx = kb.ref_affine(idx, 1, 0);
+        let rc = kb.ref_indirect(c, ridx, 0);
+        let rp = kb.ref_indirect(ptr, ridx, 0);
+        kb.stmt(ra, Expr::Ref(rb));
+        kb.stmt(rc, Expr::ConstI(0));
+        kb.stmt(rp, Expr::add(Expr::Ref(rp), Expr::ConstI(1)));
+        kb.alias_mut().may_alias(ptr, a);
+        kb.end_loop();
+        kb.build().unwrap()
+    }
+
+    #[test]
+    fn coherent_mode_emits_guards_and_double_store() {
+        let ck = compile(&figure3_kernel(), CodegenMode::HybridCoherent);
+        let p = &ck.program;
+        assert!(p.count_route(Route::Guarded) >= 2, "gld + gst expected");
+        assert_eq!(p.count_route(Route::Oracle), 0);
+        // Double store: a guarded store immediately followed by a plain
+        // store with identical operands (Figure 3 lines 19-20).
+        let mut found = false;
+        for w in p.insts.windows(2) {
+            if let (
+                Inst::Store { rs: r1, base: b1, index: i1, offset: o1, route: Route::Guarded, .. },
+                Inst::Store { rs: r2, base: b2, index: i2, offset: o2, route: Route::Plain, .. },
+            ) = (&w[0], &w[1])
+            {
+                if r1 == r2 && b1 == b2 && i1 == i2 && o1 == o2 {
+                    found = true;
+                }
+            }
+        }
+        assert!(found, "double store pattern missing:\n{}", hsim_isa::asm::disassemble(p));
+    }
+
+    #[test]
+    fn oracle_mode_uses_single_oracle_stores() {
+        let ck = compile(&figure3_kernel(), CodegenMode::HybridOracle);
+        let p = &ck.program;
+        assert_eq!(p.count_route(Route::Guarded), 0);
+        assert!(p.count_route(Route::Oracle) >= 2);
+        // No double store in oracle mode: count plain stores adjacent to
+        // oracle stores with same operands.
+        for w in p.insts.windows(2) {
+            if let (
+                Inst::Store { route: Route::Oracle, base: b1, index: i1, offset: o1, .. },
+                Inst::Store { route: Route::Plain, base: b2, index: i2, offset: o2, .. },
+            ) = (&w[0], &w[1])
+            {
+                assert!(
+                    !(b1 == b2 && i1 == i2 && o1 == o2),
+                    "oracle mode must not emit double stores"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cache_mode_has_no_lm_artifacts() {
+        let ck = compile(&figure3_kernel(), CodegenMode::CacheBased);
+        let p = &ck.program;
+        assert_eq!(p.count_route(Route::Guarded), 0);
+        assert_eq!(p.count_route(Route::Oracle), 0);
+        assert_eq!(p.count(|i| i.is_dma()), 0);
+        assert_eq!(p.count(|i| matches!(i, Inst::DirCfg { .. })), 0);
+    }
+
+    #[test]
+    fn tiled_code_has_dma_structure() {
+        let ck = compile(&figure3_kernel(), CodegenMode::HybridCoherent);
+        let p = &ck.program;
+        let gets = p.count(|i| matches!(i, Inst::DmaGet { .. }));
+        let puts = p.count(|i| matches!(i, Inst::DmaPut { .. }));
+        let synchs = p.count(|i| matches!(i, Inst::DmaSynch { .. }));
+        // 4 mapped arrays (a, b, idx + ... exactly the strided ones): one
+        // get per mapped array in prologue + one in steady state; puts
+        // only for dirty a.
+        assert!(gets >= 2, "gets={gets}");
+        assert_eq!(puts, 1, "only `a` is dirty");
+        assert_eq!(synchs, 2);
+        assert_eq!(p.count(|i| matches!(i, Inst::DirCfg { .. })), 1);
+        // Phase markers present.
+        for ph in [Phase::Control, Phase::Synch, Phase::Work] {
+            assert!(p.count(|i| matches!(i, Inst::PhaseMark { phase } if *phase == ph)) > 0);
+        }
+    }
+
+    #[test]
+    fn static_ref_counts() {
+        let ck = compile(&figure3_kernel(), CodegenMode::HybridCoherent);
+        assert_eq!(ck.total_refs(), 5);
+        assert_eq!(ck.guarded_refs(), 1);
+    }
+
+    #[test]
+    fn tail_span_kernels_emit_guarded_tail() {
+        // a[i+1] = a[i]: offset 1 regular ref -> tail part with guarded
+        // crossing accesses.
+        let mut kb = KernelBuilder::new("chain");
+        let a = kb.array_i64("a", 8193);
+        kb.begin_loop(8192);
+        let r0 = kb.ref_affine(a, 1, 0);
+        let r1 = kb.ref_affine(a, 1, 1);
+        kb.stmt(r1, Expr::add(Expr::Ref(r0), Expr::ConstI(1)));
+        kb.end_loop();
+        let k = kb.build().unwrap();
+        let ck = compile(&k, CodegenMode::HybridCoherent);
+        assert!(ck.plans[0].tail_span == 1);
+        assert!(ck.program.count_route(Route::Guarded) > 0, "tail uses guards");
+    }
+
+    #[test]
+    fn empty_loop_skipped() {
+        let mut kb = KernelBuilder::new("empty");
+        let a = kb.array_i64("a", 16);
+        kb.begin_loop(0);
+        let ra = kb.ref_affine(a, 1, 0);
+        kb.stmt(ra, Expr::ConstI(1));
+        kb.end_loop();
+        let k = kb.build().unwrap();
+        let ck = compile(&k, CodegenMode::HybridCoherent);
+        // Just the trailing phase marker + halt.
+        assert!(ck.program.len() <= 2);
+    }
+
+    #[test]
+    fn disassembly_shows_paper_mnemonics() {
+        let ck = compile(&figure3_kernel(), CodegenMode::HybridCoherent);
+        let asm = hsim_isa::asm::disassemble(&ck.program);
+        assert!(asm.contains("gld.d"), "guarded load mnemonic");
+        assert!(asm.contains("gst.d"), "guarded store mnemonic");
+        assert!(asm.contains("dma.get"));
+        assert!(asm.contains("dma.synch"));
+        assert!(asm.contains("phase work"));
+    }
+}

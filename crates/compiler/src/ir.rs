@@ -1,0 +1,582 @@
+//! The loop-nest intermediate representation.
+//!
+//! A [`Kernel`] is a sequence of counted loops over arrays of `i64` or
+//! `f64` elements. Memory references are explicit ([`MemRef`]) and
+//! indexed either affinely in the loop variable (`a[i + d]`, with an
+//! optional zero scale for loop-invariant scalars) or *indirectly*
+//! through the value of another reference (`c[idx[i]]`, `ptr[a[i]]`) —
+//! the unpredictable access patterns of §2.2. This is rich enough to
+//! express the paper's Figure 2/3 running example, the Table 2
+//! microbenchmark and the six NAS-signature kernels, while keeping
+//! classification and tiling analyzable.
+
+use crate::alias::AliasOracle;
+use std::collections::HashSet;
+
+/// Index of an array within a kernel.
+pub type ArrayId = usize;
+/// Index of a memory reference within a loop.
+pub type RefId = usize;
+
+/// Element type of an array. Both are 8 bytes wide.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Elem {
+    /// 64-bit signed integer.
+    I64,
+    /// IEEE double.
+    F64,
+}
+
+impl Elem {
+    /// Element size in bytes.
+    pub const BYTES: u64 = 8;
+}
+
+/// An array declaration.
+#[derive(Clone, Debug)]
+pub struct ArrayDecl {
+    /// Name (for reports and error messages).
+    pub name: String,
+    /// Element type.
+    pub elem: Elem,
+    /// Length in elements.
+    pub len: u64,
+}
+
+/// How a reference indexes its array.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Index {
+    /// Element index `scale*i + offset` with `scale ∈ {0, 1}`:
+    /// `scale = 1` is a strided (regular) access, `scale = 0` a
+    /// loop-invariant scalar access.
+    Affine {
+        /// 0 (scalar) or 1 (unit stride).
+        scale: i64,
+        /// Constant element offset.
+        offset: i64,
+    },
+    /// Element index `value(idx_ref) + offset`: an unpredictable access
+    /// through the value of another (affine, integer) reference.
+    Indirect {
+        /// The reference producing the index value (must be `I64` and
+        /// affine).
+        idx_ref: RefId,
+        /// Constant element offset.
+        offset: i64,
+    },
+}
+
+/// A memory reference within a loop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemRef {
+    /// The accessed array.
+    pub array: ArrayId,
+    /// The index expression.
+    pub index: Index,
+}
+
+/// Expressions evaluated in the loop body. Typed: integer and FP
+/// expressions are distinct; [`Expr::CvtIF`] bridges them.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// Integer constant.
+    ConstI(i64),
+    /// FP constant.
+    ConstF(f64),
+    /// The loop variable (integer).
+    Ivar,
+    /// The value of a memory reference (type = its array's element type).
+    Ref(RefId),
+    /// Addition.
+    Add(Box<Expr>, Box<Expr>),
+    /// Subtraction.
+    Sub(Box<Expr>, Box<Expr>),
+    /// Multiplication.
+    Mul(Box<Expr>, Box<Expr>),
+    /// Integer-to-double conversion.
+    CvtIF(Box<Expr>),
+}
+
+impl Expr {
+    /// Convenience constructor: `a + b`.
+    pub fn add(a: Expr, b: Expr) -> Expr {
+        Expr::Add(Box::new(a), Box::new(b))
+    }
+
+    /// Convenience constructor: `a - b`.
+    pub fn sub(a: Expr, b: Expr) -> Expr {
+        Expr::Sub(Box::new(a), Box::new(b))
+    }
+
+    /// Convenience constructor: `a * b`.
+    pub fn mul(a: Expr, b: Expr) -> Expr {
+        Expr::Mul(Box::new(a), Box::new(b))
+    }
+
+    /// Convenience constructor: `(f64) a`.
+    pub fn cvt(a: Expr) -> Expr {
+        Expr::CvtIF(Box::new(a))
+    }
+
+    fn for_each_ref(&self, f: &mut impl FnMut(RefId)) {
+        match self {
+            Expr::Ref(r) => f(*r),
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) => {
+                a.for_each_ref(f);
+                b.for_each_ref(f);
+            }
+            Expr::CvtIF(a) => a.for_each_ref(f),
+            _ => {}
+        }
+    }
+}
+
+/// One statement: store `value` into the `target` reference.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Stmt {
+    /// The written reference.
+    pub target: RefId,
+    /// The value expression.
+    pub value: Expr,
+}
+
+/// A counted loop (`for i in 0..n`) with its references and statements.
+#[derive(Clone, Debug, Default)]
+pub struct LoopNest {
+    /// Trip count.
+    pub n: u64,
+    /// All memory references of the loop body.
+    pub refs: Vec<MemRef>,
+    /// The statements, executed in order each iteration.
+    pub stmts: Vec<Stmt>,
+    /// References the compiler must treat as potentially incoherent even
+    /// if affine (models the Table 2 microbenchmark's assumption that a
+    /// reference "is potentially incoherent").
+    pub forced_incoherent: HashSet<RefId>,
+    /// Arrays the compiler must not map to the LM in this loop (workload
+    /// knob for arrays that are only touched through unpredictable
+    /// references in the modeled original program).
+    pub unmapped_arrays: HashSet<ArrayId>,
+}
+
+impl LoopNest {
+    /// References written by some statement.
+    pub fn written_refs(&self) -> HashSet<RefId> {
+        self.stmts.iter().map(|s| s.target).collect()
+    }
+
+    /// References read (in any expression, including as indirect
+    /// indexes).
+    pub fn read_refs(&self) -> HashSet<RefId> {
+        let mut out = HashSet::new();
+        for s in &self.stmts {
+            s.value.for_each_ref(&mut |r| {
+                out.insert(r);
+            });
+        }
+        for r in &self.refs {
+            if let Index::Indirect { idx_ref, .. } = r.index {
+                out.insert(idx_ref);
+            }
+        }
+        out
+    }
+}
+
+/// A whole kernel: arrays, loops, initial data and the alias oracle.
+#[derive(Clone, Debug, Default)]
+pub struct Kernel {
+    /// Kernel name.
+    pub name: String,
+    /// Array declarations.
+    pub arrays: Vec<ArrayDecl>,
+    /// The loops, executed in order.
+    pub loops: Vec<LoopNest>,
+    /// What the compiler's alias analysis can prove (per array pair).
+    pub alias: AliasOracle,
+    /// Initial contents per array, as raw 64-bit element bits. Shorter
+    /// vectors are zero-extended to the array length.
+    pub init: Vec<Vec<u64>>,
+}
+
+/// Validation errors for kernels.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum IrError {
+    /// A reference names a missing array.
+    BadArray(RefId),
+    /// A statement or index uses a missing reference.
+    BadRef(usize),
+    /// Indirect index through a non-affine or non-integer reference.
+    BadIndirect(RefId),
+    /// Affine scale other than 0 or 1.
+    BadScale(RefId),
+    /// A `scale=1` reference can step outside its array.
+    OutOfBounds(RefId),
+    /// Expression/type mismatch in a statement.
+    TypeMismatch(usize),
+}
+
+impl std::fmt::Display for IrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IrError::BadArray(r) => write!(f, "ref {r} names a missing array"),
+            IrError::BadRef(s) => write!(f, "statement/index {s} uses a missing ref"),
+            IrError::BadIndirect(r) => write!(f, "ref {r}: indirect index must be an affine i64 ref"),
+            IrError::BadScale(r) => write!(f, "ref {r}: affine scale must be 0 or 1"),
+            IrError::OutOfBounds(r) => write!(f, "ref {r} can step outside its array"),
+            IrError::TypeMismatch(s) => write!(f, "statement {s}: type mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for IrError {}
+
+impl Kernel {
+    /// Element type of a reference within a loop.
+    pub fn ref_elem(&self, l: &LoopNest, r: RefId) -> Elem {
+        self.arrays[l.refs[r].array].elem
+    }
+
+    /// Structural + type validation.
+    pub fn validate(&self) -> Result<(), IrError> {
+        for l in &self.loops {
+            for (rid, r) in l.refs.iter().enumerate() {
+                if r.array >= self.arrays.len() {
+                    return Err(IrError::BadArray(rid));
+                }
+                match r.index {
+                    Index::Affine { scale, offset } => {
+                        if scale != 0 && scale != 1 {
+                            return Err(IrError::BadScale(rid));
+                        }
+                        let len = self.arrays[r.array].len as i64;
+                        if scale == 0 {
+                            if offset < 0 || offset >= len {
+                                return Err(IrError::OutOfBounds(rid));
+                            }
+                        } else if offset < 0 || l.n as i64 - 1 + offset >= len {
+                            return Err(IrError::OutOfBounds(rid));
+                        }
+                    }
+                    Index::Indirect { idx_ref, .. } => {
+                        if idx_ref >= l.refs.len() {
+                            return Err(IrError::BadRef(rid));
+                        }
+                        let idx = &l.refs[idx_ref];
+                        let affine = matches!(idx.index, Index::Affine { .. });
+                        if !affine || self.arrays[idx.array].elem != Elem::I64 {
+                            return Err(IrError::BadIndirect(rid));
+                        }
+                    }
+                }
+            }
+            for (sid, s) in l.stmts.iter().enumerate() {
+                if s.target >= l.refs.len() {
+                    return Err(IrError::BadRef(sid));
+                }
+                let want = self.ref_elem(l, s.target);
+                let got = self.expr_type(l, &s.value, sid)?;
+                if want != got {
+                    return Err(IrError::TypeMismatch(sid));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn expr_type(&self, l: &LoopNest, e: &Expr, sid: usize) -> Result<Elem, IrError> {
+        Ok(match e {
+            Expr::ConstI(_) | Expr::Ivar => Elem::I64,
+            Expr::ConstF(_) => Elem::F64,
+            Expr::Ref(r) => {
+                if *r >= l.refs.len() {
+                    return Err(IrError::BadRef(sid));
+                }
+                self.ref_elem(l, *r)
+            }
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) => {
+                let ta = self.expr_type(l, a, sid)?;
+                let tb = self.expr_type(l, b, sid)?;
+                if ta != tb {
+                    return Err(IrError::TypeMismatch(sid));
+                }
+                ta
+            }
+            Expr::CvtIF(a) => {
+                if self.expr_type(l, a, sid)? != Elem::I64 {
+                    return Err(IrError::TypeMismatch(sid));
+                }
+                Elem::F64
+            }
+        })
+    }
+}
+
+/// Fluent builder for kernels.
+///
+/// ```
+/// use hsim_compiler::{KernelBuilder, Expr, Index, Elem};
+///
+/// let mut kb = KernelBuilder::new("axpy");
+/// let x = kb.array_f64("x", 1024);
+/// let y = kb.array_f64("y", 1024);
+/// kb.begin_loop(1024);
+/// let rx = kb.ref_affine(x, 1, 0);
+/// let ry = kb.ref_affine(y, 1, 0);
+/// kb.stmt(ry, Expr::add(Expr::Ref(ry), Expr::mul(Expr::ConstF(2.0), Expr::Ref(rx))));
+/// kb.end_loop();
+/// let k = kb.build().unwrap();
+/// assert_eq!(k.loops.len(), 1);
+/// ```
+#[derive(Default)]
+pub struct KernelBuilder {
+    kernel: Kernel,
+    cur: Option<LoopNest>,
+}
+
+impl KernelBuilder {
+    /// Starts a kernel.
+    pub fn new(name: &str) -> Self {
+        KernelBuilder {
+            kernel: Kernel {
+                name: name.to_string(),
+                ..Kernel::default()
+            },
+            cur: None,
+        }
+    }
+
+    /// Declares an `f64` array initialized to zero.
+    pub fn array_f64(&mut self, name: &str, len: u64) -> ArrayId {
+        self.push_array(name, Elem::F64, len, Vec::new())
+    }
+
+    /// Declares an `i64` array initialized to zero.
+    pub fn array_i64(&mut self, name: &str, len: u64) -> ArrayId {
+        self.push_array(name, Elem::I64, len, Vec::new())
+    }
+
+    /// Declares an `f64` array with initial values.
+    pub fn array_f64_init(&mut self, name: &str, data: &[f64]) -> ArrayId {
+        let bits = data.iter().map(|v| v.to_bits()).collect();
+        self.push_array(name, Elem::F64, data.len() as u64, bits)
+    }
+
+    /// Declares an `i64` array with initial values.
+    pub fn array_i64_init(&mut self, name: &str, data: &[i64]) -> ArrayId {
+        let bits = data.iter().map(|v| *v as u64).collect();
+        self.push_array(name, Elem::I64, data.len() as u64, bits)
+    }
+
+    fn push_array(&mut self, name: &str, elem: Elem, len: u64, init: Vec<u64>) -> ArrayId {
+        self.kernel.arrays.push(ArrayDecl {
+            name: name.to_string(),
+            elem,
+            len,
+        });
+        self.kernel.init.push(init);
+        self.kernel.arrays.len() - 1
+    }
+
+    /// Opens a loop of `n` iterations. Panics if one is already open.
+    pub fn begin_loop(&mut self, n: u64) {
+        assert!(self.cur.is_none(), "loop already open");
+        self.cur = Some(LoopNest {
+            n,
+            ..LoopNest::default()
+        });
+    }
+
+    fn cur(&mut self) -> &mut LoopNest {
+        self.cur.as_mut().expect("no open loop")
+    }
+
+    /// Adds an affine reference `array[scale*i + offset]`.
+    pub fn ref_affine(&mut self, array: ArrayId, scale: i64, offset: i64) -> RefId {
+        let l = self.cur();
+        l.refs.push(MemRef {
+            array,
+            index: Index::Affine { scale, offset },
+        });
+        l.refs.len() - 1
+    }
+
+    /// Adds an indirect reference `array[value(idx_ref) + offset]`.
+    pub fn ref_indirect(&mut self, array: ArrayId, idx_ref: RefId, offset: i64) -> RefId {
+        let l = self.cur();
+        l.refs.push(MemRef {
+            array,
+            index: Index::Indirect { idx_ref, offset },
+        });
+        l.refs.len() - 1
+    }
+
+    /// Forces a reference to be treated as potentially incoherent
+    /// (Table 2 microbenchmark modes).
+    pub fn force_incoherent(&mut self, r: RefId) {
+        self.cur().forced_incoherent.insert(r);
+    }
+
+    /// Forbids mapping an array to the LM in the open loop.
+    pub fn no_map(&mut self, a: ArrayId) {
+        self.cur().unmapped_arrays.insert(a);
+    }
+
+    /// Adds a statement `target = value`.
+    pub fn stmt(&mut self, target: RefId, value: Expr) {
+        self.cur().stmts.push(Stmt { target, value });
+    }
+
+    /// Closes the open loop.
+    pub fn end_loop(&mut self) {
+        let l = self.cur.take().expect("no open loop");
+        self.kernel.loops.push(l);
+    }
+
+    /// Access to the alias oracle being built.
+    pub fn alias_mut(&mut self) -> &mut AliasOracle {
+        &mut self.kernel.alias
+    }
+
+    /// Validates and returns the kernel.
+    pub fn build(self) -> Result<Kernel, IrError> {
+        assert!(self.cur.is_none(), "unclosed loop");
+        self.kernel.validate()?;
+        Ok(self.kernel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn figure2_kernel() -> Kernel {
+        // The paper's running example:
+        //   for i { a[i] = b[i]; c[idx[i]] = 0; ptr[pidx[i]] += 1 }
+        // with ptr modeled as an array the compiler cannot disambiguate
+        // from a.
+        let mut kb = KernelBuilder::new("fig2");
+        let a = kb.array_i64("a", 1024);
+        let b = kb.array_i64("b", 1024);
+        let c = kb.array_i64("c", 512);
+        let idx = kb.array_i64("idx", 1024);
+        kb.begin_loop(1024);
+        let ra = kb.ref_affine(a, 1, 0);
+        let rb = kb.ref_affine(b, 1, 0);
+        let ridx = kb.ref_affine(idx, 1, 0);
+        let rc = kb.ref_indirect(c, ridx, 0);
+        let rptr = kb.ref_indirect(a, ridx, 0);
+        kb.stmt(ra, Expr::Ref(rb));
+        kb.stmt(rc, Expr::ConstI(0));
+        kb.stmt(rptr, Expr::add(Expr::Ref(rptr), Expr::ConstI(1)));
+        kb.end_loop();
+        kb.build().unwrap()
+    }
+
+    #[test]
+    fn builder_produces_valid_kernel() {
+        let k = figure2_kernel();
+        assert_eq!(k.arrays.len(), 4);
+        assert_eq!(k.loops[0].refs.len(), 5);
+        assert_eq!(k.loops[0].stmts.len(), 3);
+    }
+
+    #[test]
+    fn written_and_read_refs() {
+        let k = figure2_kernel();
+        let l = &k.loops[0];
+        let w = l.written_refs();
+        assert!(w.contains(&0) && w.contains(&3) && w.contains(&4));
+        let r = l.read_refs();
+        assert!(r.contains(&1), "b is read");
+        assert!(r.contains(&2), "idx is read (as an index)");
+        assert!(r.contains(&4), "ptr target read for +=");
+    }
+
+    #[test]
+    fn out_of_bounds_affine_rejected() {
+        let mut kb = KernelBuilder::new("bad");
+        let a = kb.array_i64("a", 10);
+        kb.begin_loop(10);
+        let ra = kb.ref_affine(a, 1, 1); // i+1 reaches 10: out of range
+        kb.stmt(ra, Expr::ConstI(0));
+        kb.end_loop();
+        assert_eq!(kb.build().unwrap_err(), IrError::OutOfBounds(0));
+    }
+
+    #[test]
+    fn bounds_with_padding_accepted() {
+        let mut kb = KernelBuilder::new("ok");
+        let a = kb.array_i64("a", 11);
+        kb.begin_loop(10);
+        let ra = kb.ref_affine(a, 1, 1);
+        kb.stmt(ra, Expr::ConstI(0));
+        kb.end_loop();
+        assert!(kb.build().is_ok());
+    }
+
+    #[test]
+    fn scalar_scale_zero_bounds() {
+        let mut kb = KernelBuilder::new("s");
+        let a = kb.array_i64("a", 4);
+        kb.begin_loop(100);
+        let r = kb.ref_affine(a, 0, 3);
+        kb.stmt(r, Expr::ConstI(1));
+        kb.end_loop();
+        assert!(kb.build().is_ok());
+
+        let mut kb = KernelBuilder::new("s2");
+        let a = kb.array_i64("a", 4);
+        kb.begin_loop(100);
+        let r = kb.ref_affine(a, 0, 4);
+        kb.stmt(r, Expr::ConstI(1));
+        kb.end_loop();
+        assert_eq!(kb.build().unwrap_err(), IrError::OutOfBounds(0));
+    }
+
+    #[test]
+    fn indirect_through_f64_rejected() {
+        let mut kb = KernelBuilder::new("bad");
+        let a = kb.array_f64("a", 16);
+        let c = kb.array_i64("c", 16);
+        kb.begin_loop(16);
+        let ra = kb.ref_affine(a, 1, 0);
+        let rc = kb.ref_indirect(c, ra, 0);
+        kb.stmt(rc, Expr::ConstI(0));
+        kb.end_loop();
+        assert_eq!(kb.build().unwrap_err(), IrError::BadIndirect(1));
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        let mut kb = KernelBuilder::new("bad");
+        let a = kb.array_f64("a", 16);
+        kb.begin_loop(16);
+        let ra = kb.ref_affine(a, 1, 0);
+        kb.stmt(ra, Expr::ConstI(1)); // int into f64 array
+        kb.end_loop();
+        assert_eq!(kb.build().unwrap_err(), IrError::TypeMismatch(0));
+    }
+
+    #[test]
+    fn cvt_bridges_types() {
+        let mut kb = KernelBuilder::new("ok");
+        let a = kb.array_f64("a", 16);
+        kb.begin_loop(16);
+        let ra = kb.ref_affine(a, 1, 0);
+        kb.stmt(ra, Expr::cvt(Expr::Ivar));
+        kb.end_loop();
+        assert!(kb.build().is_ok());
+    }
+
+    #[test]
+    fn bad_scale_rejected() {
+        let mut kb = KernelBuilder::new("bad");
+        let a = kb.array_i64("a", 1000);
+        kb.begin_loop(10);
+        let ra = kb.ref_affine(a, 2, 0);
+        kb.stmt(ra, Expr::ConstI(0));
+        kb.end_loop();
+        assert_eq!(kb.build().unwrap_err(), IrError::BadScale(0));
+    }
+}

@@ -1,0 +1,342 @@
+//! Branch prediction: hybrid (selector + gshare + bimodal) direction
+//! predictor, branch target buffer, and return address stack — the
+//! Table 1 front end.
+
+/// A table of 2-bit saturating counters.
+#[derive(Clone)]
+struct Counters {
+    table: Vec<u8>,
+    mask: usize,
+}
+
+impl Counters {
+    fn new(entries: usize, init: u8) -> Self {
+        let n = entries.next_power_of_two();
+        Counters {
+            table: vec![init; n],
+            mask: n - 1,
+        }
+    }
+
+    #[inline]
+    fn get(&self, idx: usize) -> u8 {
+        self.table[idx & self.mask]
+    }
+
+    #[inline]
+    fn update(&mut self, idx: usize, up: bool) {
+        let c = &mut self.table[idx & self.mask];
+        if up {
+            *c = (*c + 1).min(3);
+        } else {
+            *c = c.saturating_sub(1);
+        }
+    }
+}
+
+/// Hybrid direction predictor: a selector of 2-bit counters chooses
+/// between a gshare and a bimodal component per branch (Table 1: "Hybrid
+/// 4K selector, 4K G-share, 4K Bimodal").
+pub struct BranchPredictor {
+    gshare: Counters,
+    bimodal: Counters,
+    selector: Counters,
+    ghist_mask: u64,
+    /// Speculative global history (updated at fetch with predictions).
+    spec_ghist: u64,
+    /// Architectural global history (updated at dispatch with outcomes).
+    arch_ghist: u64,
+    /// Statistics: direction lookups.
+    pub lookups: u64,
+    /// Statistics: direction updates.
+    pub updates: u64,
+}
+
+impl BranchPredictor {
+    /// Builds the predictor.
+    pub fn new(gshare_entries: usize, bimodal_entries: usize, selector_entries: usize, ghist_bits: u32) -> Self {
+        BranchPredictor {
+            gshare: Counters::new(gshare_entries, 1),
+            bimodal: Counters::new(bimodal_entries, 1),
+            selector: Counters::new(selector_entries, 2),
+            ghist_mask: (1u64 << ghist_bits) - 1,
+            spec_ghist: 0,
+            arch_ghist: 0,
+            lookups: 0,
+            updates: 0,
+        }
+    }
+
+    #[inline]
+    fn gshare_idx(&self, pc: u64, hist: u64) -> usize {
+        (pc ^ hist) as usize
+    }
+
+    /// Predicts the direction of the conditional branch at `pc` using the
+    /// speculative history, and shifts the prediction into that history.
+    pub fn predict(&mut self, pc: u64) -> bool {
+        self.lookups += 1;
+        let g = self.gshare.get(self.gshare_idx(pc, self.spec_ghist & self.ghist_mask)) >= 2;
+        let b = self.bimodal.get(pc as usize) >= 2;
+        let use_gshare = self.selector.get(pc as usize) >= 2;
+        let taken = if use_gshare { g } else { b };
+        self.spec_ghist = (self.spec_ghist << 1) | taken as u64;
+        taken
+    }
+
+    /// Trains all components with the actual outcome (called at dispatch,
+    /// when the functional direction is known) and advances the
+    /// architectural history.
+    pub fn update(&mut self, pc: u64, taken: bool) {
+        self.updates += 1;
+        let gidx = self.gshare_idx(pc, self.arch_ghist & self.ghist_mask);
+        let g_correct = (self.gshare.get(gidx) >= 2) == taken;
+        let b_correct = (self.bimodal.get(pc as usize) >= 2) == taken;
+        if g_correct != b_correct {
+            self.selector.update(pc as usize, g_correct);
+        }
+        self.gshare.update(gidx, taken);
+        self.bimodal.update(pc as usize, taken);
+        self.arch_ghist = (self.arch_ghist << 1) | taken as u64;
+    }
+
+    /// Repairs the speculative history after a misprediction: the
+    /// front end restarts from the architectural history.
+    pub fn repair(&mut self) {
+        self.spec_ghist = self.arch_ghist;
+    }
+}
+
+/// A set-associative branch target buffer.
+pub struct Btb {
+    tags: Vec<u64>,
+    lru: Vec<u64>,
+    ways: usize,
+    set_mask: u64,
+    clock: u64,
+    /// Statistics: lookups.
+    pub lookups: u64,
+    /// Statistics: misses.
+    pub misses: u64,
+}
+
+impl Btb {
+    /// Builds a BTB with `entries` total entries and `ways` associativity.
+    pub fn new(entries: usize, ways: usize) -> Self {
+        let sets = (entries / ways).next_power_of_two();
+        Btb {
+            tags: vec![u64::MAX; sets * ways],
+            lru: vec![0; sets * ways],
+            ways,
+            set_mask: sets as u64 - 1,
+            clock: 0,
+            lookups: 0,
+            misses: 0,
+        }
+    }
+
+    /// Looks up `pc`; on a miss the entry is allocated. Returns whether
+    /// the target was present (a miss costs a fetch bubble for taken
+    /// branches).
+    pub fn lookup_allocate(&mut self, pc: u64) -> bool {
+        self.clock += 1;
+        self.lookups += 1;
+        let base = ((pc & self.set_mask) as usize) * self.ways;
+        for w in 0..self.ways {
+            if self.tags[base + w] == pc {
+                self.lru[base + w] = self.clock;
+                return true;
+            }
+        }
+        self.misses += 1;
+        // Allocate the LRU way.
+        let victim = (0..self.ways).map(|w| base + w).min_by_key(|&i| self.lru[i]).unwrap();
+        self.tags[victim] = pc;
+        self.lru[victim] = self.clock;
+        false
+    }
+}
+
+/// Return address stack (Table 1: 32 entries), with overflow wrap.
+pub struct Ras {
+    stack: Vec<u64>,
+    top: usize,
+    count: usize,
+}
+
+impl Ras {
+    /// Builds an empty RAS of `entries` slots.
+    pub fn new(entries: usize) -> Self {
+        Ras {
+            stack: vec![0; entries.max(1)],
+            top: 0,
+            count: 0,
+        }
+    }
+
+    /// Pushes a return address (overwrites the oldest on overflow).
+    pub fn push(&mut self, addr: u64) {
+        self.top = (self.top + 1) % self.stack.len();
+        self.stack[self.top] = addr;
+        self.count = (self.count + 1).min(self.stack.len());
+    }
+
+    /// Pops the predicted return address; `None` when empty.
+    pub fn pop(&mut self) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let v = self.stack[self.top];
+        self.top = (self.top + self.stack.len() - 1) % self.stack.len();
+        self.count -= 1;
+        Some(v)
+    }
+
+    /// Number of live entries.
+    pub fn depth(&self) -> usize {
+        self.count
+    }
+
+    /// Restores the RAS from an architectural call-stack snapshot (the
+    /// most recent `entries` frames) after a misprediction.
+    pub fn restore_from(&mut self, arch_stack: &[u64]) {
+        self.top = 0;
+        self.count = 0;
+        let skip = arch_stack.len().saturating_sub(self.stack.len());
+        for &a in &arch_stack[skip..] {
+            self.push(a);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predictor_learns_always_taken() {
+        let mut p = BranchPredictor::new(4096, 4096, 4096, 12);
+        let pc = 0x40;
+        for _ in 0..8 {
+            let t = p.predict(pc);
+            p.update(pc, true);
+            if !t {
+                p.repair();
+            }
+        }
+        assert!(p.predict(pc), "must have learned taken");
+        p.update(pc, true);
+    }
+
+    #[test]
+    fn predictor_learns_alternating_pattern_via_gshare() {
+        let mut p = BranchPredictor::new(4096, 4096, 4096, 12);
+        let pc = 0x80;
+        let mut correct = 0;
+        let mut total = 0;
+        for i in 0..400u32 {
+            let actual = i % 2 == 0;
+            let predicted = p.predict(pc);
+            p.update(pc, actual);
+            if predicted != actual {
+                p.repair();
+            } else if i >= 200 {
+                correct += 1;
+            }
+            if i >= 200 {
+                total += 1;
+            }
+        }
+        assert!(
+            correct * 10 >= total * 9,
+            "gshare must capture period-2 pattern: {correct}/{total}"
+        );
+    }
+
+    #[test]
+    fn loop_exit_mispredicts_once_per_loop() {
+        // A 100-iteration loop branch: bimodal learns "taken"; the exit
+        // mispredicts. Accuracy over many loops must exceed 95%.
+        let mut p = BranchPredictor::new(4096, 4096, 4096, 12);
+        let pc = 0x11;
+        let mut wrong = 0;
+        let mut total = 0;
+        for _ in 0..20 {
+            for i in 0..100 {
+                let actual = i != 99;
+                let predicted = p.predict(pc);
+                p.update(pc, actual);
+                if predicted != actual {
+                    p.repair();
+                    wrong += 1;
+                }
+                total += 1;
+            }
+        }
+        assert!(wrong <= total / 20 + 20, "wrong={wrong}/{total}");
+    }
+
+    #[test]
+    fn btb_allocates_and_hits() {
+        let mut b = Btb::new(16, 4);
+        assert!(!b.lookup_allocate(0x100));
+        assert!(b.lookup_allocate(0x100));
+        assert_eq!(b.misses, 1);
+        assert_eq!(b.lookups, 2);
+    }
+
+    #[test]
+    fn btb_capacity_eviction() {
+        let mut b = Btb::new(8, 2); // 4 sets x 2 ways
+        // Three PCs mapping to set 0: 0, 4, 8 (set = pc & 3).
+        b.lookup_allocate(0);
+        b.lookup_allocate(4);
+        b.lookup_allocate(8); // evicts pc 0
+        assert!(!b.lookup_allocate(0), "evicted entry misses");
+        assert!(b.lookup_allocate(8));
+    }
+
+    #[test]
+    fn ras_push_pop_lifo() {
+        let mut r = Ras::new(4);
+        r.push(1);
+        r.push(2);
+        r.push(3);
+        assert_eq!(r.pop(), Some(3));
+        assert_eq!(r.pop(), Some(2));
+        assert_eq!(r.pop(), Some(1));
+        assert_eq!(r.pop(), None);
+    }
+
+    #[test]
+    fn ras_overflow_wraps() {
+        let mut r = Ras::new(2);
+        r.push(1);
+        r.push(2);
+        r.push(3); // overwrites 1
+        assert_eq!(r.depth(), 2);
+        assert_eq!(r.pop(), Some(3));
+        assert_eq!(r.pop(), Some(2));
+        assert_eq!(r.pop(), None);
+    }
+
+    #[test]
+    fn ras_restore_from_arch_stack() {
+        let mut r = Ras::new(4);
+        r.push(99); // speculative garbage
+        r.restore_from(&[10, 20, 30]);
+        assert_eq!(r.pop(), Some(30));
+        assert_eq!(r.pop(), Some(20));
+        assert_eq!(r.pop(), Some(10));
+        assert_eq!(r.pop(), None);
+    }
+
+    #[test]
+    fn ras_restore_truncates_to_capacity() {
+        let mut r = Ras::new(2);
+        r.restore_from(&[1, 2, 3, 4]);
+        assert_eq!(r.pop(), Some(4));
+        assert_eq!(r.pop(), Some(3));
+        assert_eq!(r.pop(), None);
+    }
+}

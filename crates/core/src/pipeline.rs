@@ -1,0 +1,1210 @@
+//! The cycle-level out-of-order pipeline.
+//!
+//! Functional-first, timing-directed: at **dispatch** an instruction
+//! executes functionally (register values, memory data via the
+//! [`MemoryPort`], DMA side effects), in program order. The timing model
+//! then tracks it through issue, execution and commit under the Table 1
+//! resource constraints. See the crate docs for the modeling choices.
+
+use crate::branch::{BranchPredictor, Btb, Ras};
+use crate::config::CoreConfig;
+use crate::port::{DmaKind, MemSide, MemoryPort, RouteInfo};
+use crate::stats::{level_index, phase_index, CoreStats};
+use hsim_isa::inst::{Inst, Operand, Phase};
+use hsim_isa::memmap::MemoryMap;
+use hsim_isa::reg::{FReg, Reg};
+use hsim_isa::{Program, Route, Width};
+use std::collections::VecDeque;
+
+/// Simulation errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// No instruction committed for a long time: a modeling deadlock.
+    Deadlock {
+        /// Cycle at which the watchdog fired.
+        cycle: u64,
+    },
+    /// The cycle budget (`CoreConfig::max_cycles`) was exhausted.
+    CycleLimit,
+    /// `ret` executed with an empty architectural call stack.
+    RetWithoutCall {
+        /// PC of the offending instruction.
+        pc: usize,
+    },
+    /// Execution ran off the end of the program without `halt`.
+    RanOffProgram,
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Deadlock { cycle } => write!(f, "pipeline deadlock at cycle {cycle}"),
+            SimError::CycleLimit => write!(f, "cycle limit exhausted"),
+            SimError::RetWithoutCall { pc } => write!(f, "ret with empty call stack at pc {pc}"),
+            SimError::RanOffProgram => write!(f, "execution ran off the end of the program"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum EState {
+    Waiting,
+    Issued,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum FuClass {
+    IntAlu,
+    FpAlu,
+    Mem,
+}
+
+#[derive(Clone, Copy)]
+struct MemOp {
+    info: RouteInfo,
+    width: Width,
+    route: Route,
+}
+
+struct RobEntry {
+    seq: u64,
+    pc: usize,
+    state: EState,
+    /// Producer sequence numbers (up to 3: e.g. dma-get reads 3 regs).
+    srcs: [Option<u64>; 3],
+    fu: FuClass,
+    /// Execution latency for non-memory instructions.
+    latency: u64,
+    /// Cycle the result is available (valid once issued).
+    done_at: u64,
+    is_load: bool,
+    is_store: bool,
+    is_fp: bool,
+    is_branch: bool,
+    mem: Option<MemOp>,
+    /// `dma-synch`: may not complete before this cycle.
+    synch_until: u64,
+    /// Marks the start of an execution phase at commit.
+    phase_mark: Option<Phase>,
+    is_halt: bool,
+    /// This control instruction was mispredicted; fetch restarts at
+    /// `redirect_to` once it executes.
+    mispredicted: bool,
+    redirect_to: usize,
+}
+
+struct Fetched {
+    pc: usize,
+    /// Predicted next PC chosen by the front end.
+    predicted_next: usize,
+}
+
+/// The out-of-order core.
+pub struct Core {
+    cfg: CoreConfig,
+    program: Program,
+    mmap: MemoryMap,
+
+    // Architectural (functional) state.
+    int_regs: [i64; 32],
+    fp_regs: [f64; 32],
+    arch_call_stack: Vec<u64>,
+
+    // Front end.
+    fetch_pc: usize,
+    fetch_queue: VecDeque<Fetched>,
+    fetch_resume_at: u64,
+    last_fetch_line: u64,
+    /// A mispredicted control instruction is in flight; fetch is stalled
+    /// until it executes.
+    pending_redirect: Option<u64>,
+    fetch_off: bool,
+    /// Branch predictor.
+    pub bp: BranchPredictor,
+    /// Branch target buffer.
+    pub btb: Btb,
+    /// Return address stack.
+    pub ras: Ras,
+
+    // Back end.
+    rob: VecDeque<RobEntry>,
+    head_seq: u64,
+    next_seq: u64,
+    last_writer_int: [Option<u64>; 32],
+    last_writer_fp: [Option<u64>; 32],
+    int_inflight: usize,
+    fp_inflight: usize,
+    loads_inflight: usize,
+    stores_inflight: usize,
+
+    now: u64,
+    cur_phase: Phase,
+    halted: bool,
+    last_commit_cycle: u64,
+    /// Statistics.
+    pub stats: CoreStats,
+}
+
+impl Core {
+    /// Builds a core ready to execute `program` from PC 0.
+    pub fn new(cfg: CoreConfig, program: Program, mmap: MemoryMap) -> Self {
+        Core {
+            bp: BranchPredictor::new(
+                cfg.gshare_entries,
+                cfg.bimodal_entries,
+                cfg.selector_entries,
+                cfg.ghist_bits,
+            ),
+            btb: Btb::new(cfg.btb_entries, cfg.btb_ways),
+            ras: Ras::new(cfg.ras_entries),
+            cfg,
+            program,
+            mmap,
+            int_regs: [0; 32],
+            fp_regs: [0.0; 32],
+            arch_call_stack: Vec::new(),
+            fetch_pc: 0,
+            fetch_queue: VecDeque::new(),
+            fetch_resume_at: 0,
+            last_fetch_line: u64::MAX,
+            pending_redirect: None,
+            fetch_off: false,
+            rob: VecDeque::new(),
+            head_seq: 0,
+            next_seq: 0,
+            last_writer_int: [None; 32],
+            last_writer_fp: [None; 32],
+            int_inflight: 0,
+            fp_inflight: 0,
+            loads_inflight: 0,
+            stores_inflight: 0,
+            now: 0,
+            cur_phase: Phase::Other,
+            halted: false,
+            last_commit_cycle: 0,
+            stats: CoreStats::default(),
+        }
+    }
+
+    /// Whether the program has halted.
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Current cycle.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Architectural value of an integer register.
+    pub fn int_reg(&self, r: Reg) -> i64 {
+        self.int_regs[r.index()]
+    }
+
+    /// Architectural value of an FP register.
+    pub fn fp_reg(&self, r: FReg) -> f64 {
+        self.fp_regs[r.index()]
+    }
+
+    /// Runs to completion (or error).
+    pub fn run(&mut self, port: &mut impl MemoryPort) -> Result<(), SimError> {
+        while !self.halted {
+            self.tick(port)?;
+        }
+        Ok(())
+    }
+
+    /// Advances the machine one cycle.
+    pub fn tick(&mut self, port: &mut impl MemoryPort) -> Result<(), SimError> {
+        self.commit(port);
+        if self.halted {
+            self.end_cycle();
+            return Ok(());
+        }
+        self.issue(port);
+        self.dispatch(port)?;
+        self.fetch(port);
+        self.end_cycle();
+        if self.now - self.last_commit_cycle > 200_000 {
+            return Err(SimError::Deadlock { cycle: self.now });
+        }
+        if self.now >= self.cfg.max_cycles {
+            return Err(SimError::CycleLimit);
+        }
+        Ok(())
+    }
+
+    fn end_cycle(&mut self) {
+        self.stats.phase_cycles[phase_index(self.cur_phase)] += 1;
+        self.now += 1;
+        self.stats.cycles = self.now;
+    }
+
+    // --------------------------------------------------------------- commit
+
+    fn commit(&mut self, port: &mut impl MemoryPort) {
+        let mut committed = 0;
+        let mut store_ports = self.cfg.ls_units;
+        let mut last_store: Option<(u64, u64, MemSide)> = None; // (addr, width, side)
+        while committed < self.cfg.commit_width {
+            let Some(e) = self.rob.front() else { break };
+            if e.state != EState::Issued || e.done_at > self.now {
+                break;
+            }
+            if e.is_store && store_ports == 0 {
+                break;
+            }
+            let e = self.rob.pop_front().unwrap();
+            self.head_seq = e.seq + 1;
+            committed += 1;
+            self.stats.committed += 1;
+            if e.is_load {
+                self.stats.loads += 1;
+                self.loads_inflight -= 1;
+            }
+            if e.is_fp {
+                self.stats.fp_ops += 1;
+                self.fp_inflight -= 1;
+            } else if writes_int(&self.program.insts[e.pc]) {
+                self.int_inflight -= 1;
+            }
+            if e.is_branch {
+                self.stats.branches += 1;
+            }
+            if let Some(m) = &e.mem {
+                match e.mem_route() {
+                    Route::Guarded => self.stats.guarded += 1,
+                    Route::Oracle => self.stats.oracle_routed += 1,
+                    Route::Plain => {}
+                }
+                if e.is_store {
+                    self.stats.stores += 1;
+                    self.stores_inflight -= 1;
+                    store_ports -= 1;
+                    let key = (m.info.addr, m.width.bytes(), m.info.side);
+                    if last_store == Some(key) {
+                        // Store collapsing: the LSQ merges the second
+                        // store into the first — one cache access.
+                        self.stats.collapsed_stores += 1;
+                    } else {
+                        let _ = port.timing_access(self.now, self.pc_addr(e.pc), &m.info, true);
+                        last_store = Some(key);
+                    }
+                }
+            }
+            if let Some(p) = e.phase_mark {
+                self.cur_phase = p;
+            }
+            if e.is_halt {
+                self.halted = true;
+                self.last_commit_cycle = self.now;
+                return;
+            }
+            self.last_commit_cycle = self.now;
+        }
+    }
+
+    // ---------------------------------------------------------------- issue
+
+    fn issue(&mut self, port: &mut impl MemoryPort) {
+        let mut int_free = self.cfg.int_alus;
+        let mut fp_free = self.cfg.fp_alus;
+        let mut mem_free = self.cfg.ls_units;
+        let mut slots = self.cfg.issue_width;
+        let head = self.head_seq;
+        let now = self.now;
+
+        // Oldest-first selection.
+        for i in 0..self.rob.len() {
+            if slots == 0 {
+                break;
+            }
+            if self.rob[i].state != EState::Waiting {
+                continue;
+            }
+            // Operand readiness.
+            let mut ready_at = 0u64;
+            let mut ready = true;
+            for s in self.rob[i].srcs.iter().flatten() {
+                if *s < head {
+                    continue; // producer committed
+                }
+                let p = &self.rob[(*s - head) as usize];
+                if p.state != EState::Issued {
+                    ready = false;
+                    break;
+                }
+                ready_at = ready_at.max(p.done_at);
+            }
+            if !ready || ready_at > now {
+                continue;
+            }
+            // FU availability.
+            let fu_free = match self.rob[i].fu {
+                FuClass::IntAlu => &mut int_free,
+                FuClass::FpAlu => &mut fp_free,
+                FuClass::Mem => &mut mem_free,
+            };
+            if *fu_free == 0 {
+                continue;
+            }
+            // Loads: memory disambiguation against older stores.
+            if self.rob[i].is_load {
+                match self.load_disambiguate(i) {
+                    LoadPath::Blocked => continue,
+                    LoadPath::Forward => {
+                        *fu_free -= 1;
+                        slots -= 1;
+                        let done = now + 1 + self.cfg.forward_latency;
+                        let e = &mut self.rob[i];
+                        e.state = EState::Issued;
+                        e.done_at = done;
+                        self.stats.issued += 1;
+                        self.stats.lsq_forwards += 1;
+                        self.stats.served[5] += 1;
+                        continue;
+                    }
+                    LoadPath::Memory => {
+                        *fu_free -= 1;
+                        slots -= 1;
+                        let pc_addr = self.pc_addr(self.rob[i].pc);
+                        let e = &mut self.rob[i];
+                        let m = e.mem.as_ref().unwrap();
+                        // AGU takes one cycle; the presence bit may delay
+                        // the access further (§3.2 double-buffer support).
+                        let mut start = now + 1;
+                        if m.info.ready_at > start {
+                            self.stats.presence_stalls += 1;
+                            start = m.info.ready_at;
+                        }
+                        let info = m.info;
+                        let (lat, served) = port.timing_access(start, pc_addr, &info, false);
+                        e.state = EState::Issued;
+                        e.done_at = start + lat;
+                        self.stats.issued += 1;
+                        self.stats.load_latency_sum += e.done_at - (now + 1);
+                        self.stats.loads_timed += 1;
+                        self.stats.served[level_index(served)] += 1;
+                        if matches!(
+                            served,
+                            hsim_mem::Level::L2 | hsim_mem::Level::L3 | hsim_mem::Level::Dram
+                        ) {
+                            self.stats.replay_issues += self.cfg.replay_per_miss;
+                        }
+                        continue;
+                    }
+                }
+            }
+            // Everything else.
+            *fu_free -= 1;
+            slots -= 1;
+            let e = &mut self.rob[i];
+            e.state = EState::Issued;
+            e.done_at = if e.synch_until > 0 {
+                (now + 1).max(e.synch_until)
+            } else {
+                now + e.latency
+            };
+            self.stats.issued += 1;
+            // A resolved misprediction restarts the front end.
+            if e.mispredicted {
+                let target = e.redirect_to;
+                let resume = e.done_at + self.cfg.redirect_penalty;
+                self.pending_redirect = None;
+                self.fetch_pc = target;
+                self.fetch_resume_at = self.fetch_resume_at.max(resume);
+                self.last_fetch_line = u64::MAX;
+            }
+        }
+    }
+
+    fn load_disambiguate(&self, i: usize) -> LoadPath {
+        let e = &self.rob[i];
+        let m = e.mem.as_ref().unwrap();
+        let (a, w) = (m.info.addr, m.width.bytes());
+        // Scan older stores, youngest first.
+        for j in (0..i).rev() {
+            let s = &self.rob[j];
+            if !s.is_store {
+                continue;
+            }
+            let sm = s.mem.as_ref().unwrap();
+            let (sa, sw) = (sm.info.addr, sm.width.bytes());
+            let overlap = a < sa + sw && sa < a + w;
+            if !overlap {
+                continue;
+            }
+            if s.state == EState::Waiting {
+                return LoadPath::Blocked; // store address not generated yet
+            }
+            if sa == a && sw == w {
+                return LoadPath::Forward;
+            }
+            return LoadPath::Blocked; // partial overlap: wait for commit
+        }
+        LoadPath::Memory
+    }
+
+    // ------------------------------------------------------------- dispatch
+
+    fn dispatch(&mut self, port: &mut impl MemoryPort) -> Result<(), SimError> {
+        let mut budget = self.cfg.fetch_width;
+        while budget > 0 {
+            if self.rob.len() >= self.cfg.rob_size {
+                self.stats.rob_full_stalls += 1;
+                break;
+            }
+            let Some(f) = self.fetch_queue.front() else { break };
+            let pc = f.pc;
+            if pc >= self.program.len() {
+                return Err(SimError::RanOffProgram);
+            }
+            let inst = self.program.insts[pc];
+            // Rename resource checks.
+            if writes_int(&inst) && self.int_inflight >= self.cfg.int_rename_budget() {
+                break;
+            }
+            if writes_fp(&inst) && self.fp_inflight >= self.cfg.fp_rename_budget() {
+                break;
+            }
+            if inst.is_load() && self.loads_inflight >= self.cfg.lsq_loads {
+                break;
+            }
+            if inst.is_store() && self.stores_inflight >= self.cfg.lsq_stores {
+                break;
+            }
+            let f = self.fetch_queue.pop_front().unwrap();
+            budget -= 1;
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.stats.dispatched += 1;
+
+            let mut entry = RobEntry {
+                seq,
+                pc,
+                state: EState::Waiting,
+                srcs: [None; 3],
+                fu: FuClass::IntAlu,
+                latency: 1,
+                done_at: 0,
+                is_load: inst.is_load(),
+                is_store: inst.is_store(),
+                is_fp: writes_fp(&inst),
+                is_branch: inst.is_cond_branch(),
+                mem: None,
+                synch_until: 0,
+                phase_mark: None,
+                is_halt: false,
+                mispredicted: false,
+                redirect_to: 0,
+            };
+
+            // Functional execution + dependence collection.
+            let actual_next = self.exec_functional(port, &inst, pc, seq, &mut entry)?;
+
+            if writes_int(&inst) {
+                self.int_inflight += 1;
+            }
+            if writes_fp(&inst) {
+                self.fp_inflight += 1;
+            }
+            if entry.is_load {
+                self.loads_inflight += 1;
+            }
+            if entry.is_store {
+                self.stores_inflight += 1;
+            }
+            self.rob.push_back(entry);
+
+            // Control-flow resolution: compare against the front end's
+            // prediction.
+            if actual_next != f.predicted_next {
+                self.stats.mispredicts += 1;
+                let e = self.rob.back_mut().unwrap();
+                e.mispredicted = true;
+                e.redirect_to = actual_next;
+                self.pending_redirect = Some(seq);
+                self.fetch_queue.clear();
+                self.bp.repair();
+                self.ras.restore_from(&self.arch_call_stack);
+                break;
+            }
+            if matches!(inst, Inst::Halt) {
+                self.fetch_off = true;
+                self.fetch_queue.clear();
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// Functionally executes `inst`, filling producers/latency/FU class in
+    /// `entry`, and returns the actual next PC.
+    fn exec_functional(
+        &mut self,
+        port: &mut impl MemoryPort,
+        inst: &Inst,
+        pc: usize,
+        _seq: u64,
+        entry: &mut RobEntry,
+    ) -> Result<usize, SimError> {
+        use Inst::*;
+        let mut next = pc + 1;
+        match *inst {
+            Alu { op, rd, rs1, src2 } => {
+                let a = self.int_regs[rs1.index()];
+                let (b, src2_dep) = match src2 {
+                    Operand::Reg(r) => (self.int_regs[r.index()], self.last_writer_int[r.index()]),
+                    Operand::Imm(i) => (i, None),
+                };
+                entry.srcs[0] = self.last_writer_int[rs1.index()];
+                entry.srcs[1] = src2_dep;
+                entry.latency = op.latency() as u64;
+                self.write_int(rd, op.eval(a, b), entry);
+            }
+            Li { rd, imm } => {
+                self.write_int(rd, imm, entry);
+            }
+            Fpu { op, fd, fs1, fs2 } => {
+                let a = self.fp_regs[fs1.index()];
+                let b = self.fp_regs[fs2.index()];
+                entry.srcs[0] = self.last_writer_fp[fs1.index()];
+                entry.srcs[1] = self.last_writer_fp[fs2.index()];
+                entry.fu = FuClass::FpAlu;
+                entry.latency = op.latency() as u64;
+                self.write_fp(fd, op.eval(a, b), entry);
+            }
+            MovIF { fd, rs } => {
+                entry.srcs[0] = self.last_writer_int[rs.index()];
+                entry.fu = FuClass::FpAlu;
+                let v = f64::from_bits(self.int_regs[rs.index()] as u64);
+                self.write_fp(fd, v, entry);
+            }
+            MovFI { rd, fs } => {
+                entry.srcs[0] = self.last_writer_fp[fs.index()];
+                self.write_int(rd, self.fp_regs[fs.index()].to_bits() as i64, entry);
+            }
+            CvtIF { fd, rs } => {
+                entry.srcs[0] = self.last_writer_int[rs.index()];
+                entry.fu = FuClass::FpAlu;
+                entry.latency = 3;
+                self.write_fp(fd, self.int_regs[rs.index()] as f64, entry);
+            }
+            CvtFI { rd, fs } => {
+                entry.srcs[0] = self.last_writer_fp[fs.index()];
+                entry.latency = 3;
+                self.write_int(rd, self.fp_regs[fs.index()] as i64, entry);
+            }
+            Load { rd, base, index, offset, width, route } => {
+                entry.srcs[0] = self.last_writer_int[base.index()];
+                entry.srcs[1] = index.and_then(|x| self.last_writer_int[x.index()]);
+                entry.fu = FuClass::Mem;
+                let addr = self.effective_addr(base, index, offset);
+                let (bits, info) = port.exec_mem(self.pc_addr(pc), addr, width, route, None);
+                entry.mem = Some(MemOp { info, width, route });
+                self.write_int(rd, bits as i64, entry);
+            }
+            Store { rs, base, index, offset, width, route } => {
+                entry.srcs[0] = self.last_writer_int[rs.index()];
+                entry.srcs[1] = self.last_writer_int[base.index()];
+                entry.srcs[2] = index.and_then(|x| self.last_writer_int[x.index()]);
+                entry.fu = FuClass::Mem;
+                let addr = self.effective_addr(base, index, offset);
+                let bits = self.int_regs[rs.index()] as u64;
+                let (_, info) = port.exec_mem(self.pc_addr(pc), addr, width, route, Some(bits));
+                entry.mem = Some(MemOp { info, width, route });
+            }
+            FLoad { fd, base, index, offset, route } => {
+                entry.srcs[0] = self.last_writer_int[base.index()];
+                entry.srcs[1] = index.and_then(|x| self.last_writer_int[x.index()]);
+                entry.fu = FuClass::Mem;
+                let addr = self.effective_addr(base, index, offset);
+                let (bits, info) = port.exec_mem(self.pc_addr(pc), addr, Width::D, route, None);
+                entry.mem = Some(MemOp { info, width: Width::D, route });
+                self.write_fp(fd, f64::from_bits(bits), entry);
+            }
+            FStore { fs, base, index, offset, route } => {
+                entry.srcs[0] = self.last_writer_fp[fs.index()];
+                entry.srcs[1] = self.last_writer_int[base.index()];
+                entry.srcs[2] = index.and_then(|x| self.last_writer_int[x.index()]);
+                entry.fu = FuClass::Mem;
+                let addr = self.effective_addr(base, index, offset);
+                let bits = self.fp_regs[fs.index()].to_bits();
+                let (_, info) = port.exec_mem(self.pc_addr(pc), addr, Width::D, route, Some(bits));
+                entry.mem = Some(MemOp { info, width: Width::D, route });
+            }
+            Branch { cond, rs1, rs2, target } => {
+                entry.srcs[0] = self.last_writer_int[rs1.index()];
+                entry.srcs[1] = self.last_writer_int[rs2.index()];
+                let taken = cond.eval(self.int_regs[rs1.index()], self.int_regs[rs2.index()]);
+                self.bp.update(self.pc_addr(pc), taken);
+                next = if taken { target } else { pc + 1 };
+            }
+            Jump { target } => {
+                next = target;
+            }
+            Call { target } => {
+                self.arch_call_stack.push((pc + 1) as u64);
+                next = target;
+            }
+            Ret => {
+                let Some(ra) = self.arch_call_stack.pop() else {
+                    return Err(SimError::RetWithoutCall { pc });
+                };
+                next = ra as usize;
+            }
+            DmaGet { lm, sm, bytes, tag } => {
+                entry.srcs[0] = self.last_writer_int[lm.index()];
+                entry.srcs[1] = self.last_writer_int[sm.index()];
+                entry.srcs[2] = self.last_writer_int[bytes.index()];
+                entry.fu = FuClass::Mem;
+                let _ = port.exec_dma(
+                    self.now,
+                    DmaKind::Get,
+                    self.int_regs[lm.index()] as u64,
+                    self.int_regs[sm.index()] as u64,
+                    self.int_regs[bytes.index()] as u64,
+                    tag,
+                );
+            }
+            DmaPut { lm, sm, bytes, tag } => {
+                entry.srcs[0] = self.last_writer_int[lm.index()];
+                entry.srcs[1] = self.last_writer_int[sm.index()];
+                entry.srcs[2] = self.last_writer_int[bytes.index()];
+                entry.fu = FuClass::Mem;
+                let _ = port.exec_dma(
+                    self.now,
+                    DmaKind::Put,
+                    self.int_regs[lm.index()] as u64,
+                    self.int_regs[sm.index()] as u64,
+                    self.int_regs[bytes.index()] as u64,
+                    tag,
+                );
+            }
+            DmaSynch { tag } => {
+                entry.synch_until = port.dma_synch(self.now, tag).max(1);
+            }
+            DirCfg { rs } => {
+                entry.srcs[0] = self.last_writer_int[rs.index()];
+                port.dir_configure(self.int_regs[rs.index()] as u64);
+            }
+            PhaseMark { phase } => {
+                entry.phase_mark = Some(phase);
+            }
+            Halt => {
+                entry.is_halt = true;
+            }
+            Nop => {}
+        }
+        Ok(next)
+    }
+
+    #[inline]
+    fn effective_addr(&self, base: Reg, index: Option<Reg>, offset: i64) -> u64 {
+        let mut a = self.int_regs[base.index()] as u64;
+        if let Some(x) = index {
+            a = a.wrapping_add(self.int_regs[x.index()] as u64);
+        }
+        a.wrapping_add(offset as u64)
+    }
+
+    fn write_int(&mut self, rd: Reg, v: i64, entry: &mut RobEntry) {
+        self.int_regs[rd.index()] = v;
+        self.last_writer_int[rd.index()] = Some(entry.seq);
+    }
+
+    fn write_fp(&mut self, fd: FReg, v: f64, entry: &mut RobEntry) {
+        self.fp_regs[fd.index()] = v;
+        self.last_writer_fp[fd.index()] = Some(entry.seq);
+    }
+
+    #[inline]
+    fn pc_addr(&self, pc: usize) -> u64 {
+        self.mmap.pc_addr(pc)
+    }
+
+    // ---------------------------------------------------------------- fetch
+
+    fn fetch(&mut self, port: &mut impl MemoryPort) {
+        if self.fetch_off || self.pending_redirect.is_some() {
+            self.stats.fetch_stall_cycles += 1;
+            return;
+        }
+        if self.now < self.fetch_resume_at {
+            self.stats.fetch_stall_cycles += 1;
+            return;
+        }
+        let mut slots = self.cfg.fetch_width;
+        while slots > 0 && self.fetch_queue.len() < self.cfg.fetch_queue {
+            let pc = self.fetch_pc;
+            if pc >= self.program.len() {
+                break; // dispatch will flag RanOffProgram if reached
+            }
+            // I-cache: charge a bubble when crossing into a line that
+            // misses.
+            let addr = self.pc_addr(pc);
+            let line = addr / 64;
+            if line != self.last_fetch_line {
+                let lat = port.fetch_latency(self.now, addr);
+                self.last_fetch_line = line;
+                if lat > 2 {
+                    self.fetch_resume_at = self.now + lat;
+                    return;
+                }
+            }
+            let inst = self.program.insts[pc];
+            let predicted_next = self.predict_next(pc, &inst);
+            self.fetch_queue.push_back(Fetched { pc, predicted_next });
+            self.stats.fetched += 1;
+            slots -= 1;
+            self.fetch_pc = predicted_next;
+            if predicted_next != pc + 1 {
+                break; // taken-control fetch break
+            }
+            if matches!(inst, Inst::Halt) {
+                break;
+            }
+        }
+    }
+
+    /// Front-end next-PC logic: real predictor state, no peeking at
+    /// functional outcomes.
+    fn predict_next(&mut self, pc: usize, inst: &Inst) -> usize {
+        match *inst {
+            Inst::Branch { target, .. } => {
+                let taken = self.bp.predict(self.pc_addr(pc));
+                if taken {
+                    if !self.btb.lookup_allocate(self.pc_addr(pc)) {
+                        self.stats.btb_bubbles += 1;
+                        self.fetch_resume_at = self.now + self.cfg.btb_miss_penalty;
+                    }
+                    target
+                } else {
+                    pc + 1
+                }
+            }
+            Inst::Jump { target } => target,
+            Inst::Call { target } => {
+                self.ras.push((pc + 1) as u64);
+                target
+            }
+            Inst::Ret => match self.ras.pop() {
+                Some(ra) => ra as usize,
+                None => pc + 1, // cold RAS: will mispredict
+            },
+            _ => pc + 1,
+        }
+    }
+}
+
+enum LoadPath {
+    Blocked,
+    Forward,
+    Memory,
+}
+
+impl RobEntry {
+    fn mem_route(&self) -> Route {
+        self.mem.map(|m| m.route).unwrap_or(Route::Plain)
+    }
+}
+
+fn writes_int(inst: &Inst) -> bool {
+    matches!(
+        inst,
+        Inst::Alu { .. }
+            | Inst::Li { .. }
+            | Inst::MovFI { .. }
+            | Inst::CvtFI { .. }
+            | Inst::Load { .. }
+    )
+}
+
+fn writes_fp(inst: &Inst) -> bool {
+    matches!(
+        inst,
+        Inst::Fpu { .. } | Inst::MovIF { .. } | Inst::CvtIF { .. } | Inst::FLoad { .. }
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::port::ServedLevel;
+    use hsim_isa::inst::{AluOp, Cond};
+    use hsim_isa::ProgramBuilder;
+    use std::collections::HashMap;
+
+    /// A flat test port: all SM accesses hit a 4-cycle memory; LM window
+    /// accesses take 2 cycles; no directory.
+    struct MockPort {
+        mem: HashMap<u64, u64>,
+        mmap: MemoryMap,
+        sm_latency: u64,
+        accesses: Vec<(u64, bool)>,
+        timed: Vec<(u64, bool)>,
+    }
+
+    impl MockPort {
+        fn new() -> Self {
+            MockPort {
+                mem: HashMap::new(),
+                mmap: MemoryMap::default(),
+                sm_latency: 4,
+                accesses: Vec::new(),
+                timed: Vec::new(),
+            }
+        }
+
+        fn read64(&self, addr: u64) -> u64 {
+            let base = addr & !7;
+            let off = (addr - base) * 8;
+            let lo = self.mem.get(&base).copied().unwrap_or(0);
+            if off == 0 {
+                lo
+            } else {
+                let hi = self.mem.get(&(base + 8)).copied().unwrap_or(0);
+                (lo >> off) | (hi << (64 - off))
+            }
+        }
+    }
+
+    impl MemoryPort for MockPort {
+        fn exec_mem(
+            &mut self,
+            _pc: u64,
+            addr: u64,
+            width: Width,
+            _route: Route,
+            store: Option<u64>,
+        ) -> (u64, RouteInfo) {
+            let side = if self.mmap.is_lm(addr) { MemSide::Lm } else { MemSide::Sm };
+            let info = RouteInfo { side, addr, dir_lookup: false, dir_hit: false, ready_at: 0 };
+            self.accesses.push((addr, store.is_some()));
+            match store {
+                Some(bits) => {
+                    // Only 8-byte aligned stores needed by the tests.
+                    let mask = match width {
+                        Width::B => 0xff,
+                        Width::W => 0xffff_ffff,
+                        Width::D => u64::MAX,
+                    };
+                    let old = self.read64(addr & !7);
+                    let sh = (addr & 7) * 8;
+                    let nv = (old & !(mask << sh)) | ((bits & mask) << sh);
+                    self.mem.insert(addr & !7, nv);
+                    (0, info)
+                }
+                None => {
+                    let raw = self.read64(addr);
+                    let v = match width {
+                        Width::B => raw & 0xff,
+                        Width::W => (raw & 0xffff_ffff) as u32 as i32 as i64 as u64,
+                        Width::D => raw,
+                    };
+                    (v, info)
+                }
+            }
+        }
+
+        fn timing_access(&mut self, _now: u64, _pc: u64, info: &RouteInfo, write: bool) -> (u64, ServedLevel) {
+            self.timed.push((info.addr, write));
+            match info.side {
+                MemSide::Lm => (2, ServedLevel::Lm),
+                MemSide::Sm => (self.sm_latency, ServedLevel::L1),
+            }
+        }
+
+        fn exec_dma(&mut self, now: u64, _k: DmaKind, _lm: u64, _sm: u64, bytes: u64, _tag: u8) -> u64 {
+            now + 10 + bytes / 16
+        }
+
+        fn dma_synch(&mut self, now: u64, _tag: u8) -> u64 {
+            now + 25
+        }
+
+        fn dir_configure(&mut self, _b: u64) {}
+
+        fn fetch_latency(&mut self, _now: u64, _addr: u64) -> u64 {
+            2
+        }
+    }
+
+    fn run_prog(build: impl FnOnce(&mut ProgramBuilder)) -> (Core, MockPort) {
+        let mut b = ProgramBuilder::new();
+        build(&mut b);
+        let p = b.build();
+        let mut core = Core::new(CoreConfig::default(), p, MemoryMap::default());
+        let mut port = MockPort::new();
+        core.run(&mut port).expect("program must halt");
+        (core, port)
+    }
+
+    #[test]
+    fn arithmetic_and_halt() {
+        let (core, _) = run_prog(|b| {
+            b.li(Reg(1), 6);
+            b.li(Reg(2), 7);
+            b.alu(AluOp::Mul, Reg(3), Reg(1), Reg(2));
+            b.alui(AluOp::Add, Reg(3), Reg(3), 100);
+            b.halt();
+        });
+        assert_eq!(core.int_reg(Reg(3)), 142);
+        assert_eq!(core.stats.committed, 5);
+        assert!(core.halted());
+    }
+
+    #[test]
+    fn loop_commits_right_instruction_count() {
+        let n = 50;
+        let (core, _) = run_prog(|b| {
+            let top = b.new_label();
+            b.li(Reg(1), 0);
+            b.li(Reg(2), n);
+            b.bind(top);
+            b.addi(Reg(1), Reg(1), 1);
+            b.branch(Cond::Lt, Reg(1), Reg(2), top);
+            b.halt();
+        });
+        assert_eq!(core.int_reg(Reg(1)), n);
+        // 2 setup + 2*n loop + 1 halt.
+        assert_eq!(core.stats.committed, 2 + 2 * n as u64 + 1);
+        assert!(core.stats.branches == n as u64);
+        // The loop branch should mispredict only a handful of times.
+        assert!(core.stats.mispredicts <= 4, "mispredicts={}", core.stats.mispredicts);
+    }
+
+    #[test]
+    fn memory_round_trip_through_port() {
+        let (core, port) = run_prog(|b| {
+            b.li(Reg(1), 0x1000_0000);
+            b.li(Reg(2), 12345);
+            b.st(Reg(2), Reg(1), 0);
+            b.ld(Reg(3), Reg(1), 0);
+            b.halt();
+        });
+        assert_eq!(core.int_reg(Reg(3)), 12345);
+        assert_eq!(port.accesses.len(), 2);
+        assert_eq!(core.stats.loads, 1);
+        assert_eq!(core.stats.stores, 1);
+        // The load forwarded from the in-flight store.
+        assert_eq!(core.stats.lsq_forwards, 1);
+    }
+
+    #[test]
+    fn store_commit_collapsing() {
+        // Two back-to-back stores to the same address commit with one
+        // cache access (the paper's double-store optimization).
+        let (core, port) = run_prog(|b| {
+            b.li(Reg(1), 0x1000_0000);
+            b.li(Reg(2), 7);
+            b.st(Reg(2), Reg(1), 0);
+            b.st(Reg(2), Reg(1), 0);
+            b.halt();
+        });
+        assert_eq!(core.stats.stores, 2);
+        assert_eq!(core.stats.collapsed_stores, 1);
+        let writes = port.timed.iter().filter(|(_, w)| *w).count();
+        assert_eq!(writes, 1, "only one timed store access");
+    }
+
+    #[test]
+    fn different_address_stores_do_not_collapse() {
+        let (core, port) = run_prog(|b| {
+            b.li(Reg(1), 0x1000_0000);
+            b.li(Reg(2), 7);
+            b.st(Reg(2), Reg(1), 0);
+            b.st(Reg(2), Reg(1), 8);
+            b.halt();
+        });
+        assert_eq!(core.stats.collapsed_stores, 0);
+        let writes = port.timed.iter().filter(|(_, w)| *w).count();
+        assert_eq!(writes, 2);
+    }
+
+    #[test]
+    fn dependent_chain_is_serialized() {
+        // 20 dependent 1-cycle adds take at least 20 cycles; 20
+        // independent ones finish much faster.
+        let (dep, _) = run_prog(|b| {
+            b.li(Reg(1), 0);
+            for _ in 0..20 {
+                b.addi(Reg(1), Reg(1), 1);
+            }
+            b.halt();
+        });
+        let (indep, _) = run_prog(|b| {
+            b.li(Reg(1), 0);
+            for i in 0..20 {
+                b.li(Reg((1 + (i % 8)) as u8), i);
+            }
+            b.halt();
+        });
+        assert_eq!(dep.int_reg(Reg(1)), 20);
+        assert!(
+            dep.stats.cycles > indep.stats.cycles + 8,
+            "dep {} vs indep {}",
+            dep.stats.cycles,
+            indep.stats.cycles
+        );
+    }
+
+    #[test]
+    fn call_ret_roundtrip() {
+        let (core, _) = run_prog(|b| {
+            let f = b.new_label();
+            let done = b.new_label();
+            b.li(Reg(1), 1);
+            b.call(f);
+            b.addi(Reg(1), Reg(1), 10); // after return
+            b.jump(done);
+            b.bind(f);
+            b.addi(Reg(1), Reg(1), 100);
+            b.ret();
+            b.bind(done);
+            b.halt();
+        });
+        assert_eq!(core.int_reg(Reg(1)), 111);
+    }
+
+    #[test]
+    fn ret_without_call_errors() {
+        let mut b = ProgramBuilder::new();
+        b.ret();
+        b.halt();
+        let p = b.build();
+        let mut core = Core::new(CoreConfig::default(), p, MemoryMap::default());
+        let mut port = MockPort::new();
+        assert_eq!(core.run(&mut port), Err(SimError::RetWithoutCall { pc: 0 }));
+    }
+
+    #[test]
+    fn dma_and_synch_complete() {
+        let (core, _) = run_prog(|b| {
+            b.li(Reg(1), 0x7fff_0000_0000u64 as i64);
+            b.li(Reg(2), 0x1000_0000);
+            b.li(Reg(3), 1024);
+            b.dma_get(Reg(1), Reg(2), Reg(3), 0);
+            b.dma_synch(0);
+            b.halt();
+        });
+        assert_eq!(core.stats.committed, 6);
+    }
+
+    #[test]
+    fn phase_cycles_are_attributed() {
+        let (core, _) = run_prog(|b| {
+            b.phase(Phase::Control);
+            for _ in 0..10 {
+                b.nop();
+            }
+            b.phase(Phase::Work);
+            b.li(Reg(1), 0);
+            for _ in 0..50 {
+                b.addi(Reg(1), Reg(1), 1);
+            }
+            b.halt();
+        });
+        assert!(core.stats.phase(Phase::Work) > core.stats.phase(Phase::Control));
+        let total: u64 = core.stats.phase_cycles.iter().sum();
+        assert_eq!(total, core.stats.cycles);
+    }
+
+    #[test]
+    fn mispredicts_cost_cycles() {
+        // A data-dependent unpredictable branch pattern (period 3 with a
+        // short history) vs an always-taken one of the same length.
+        let mk = |pattern: bool| {
+            move |b: &mut ProgramBuilder| {
+                let top = b.new_label();
+                let skip = b.new_label();
+                b.li(Reg(1), 0);
+                b.li(Reg(2), 300);
+                b.li(Reg(4), 0); // lfsr-ish state
+                b.bind(top);
+                if pattern {
+                    // r4 = (r4*1103515245 + 12345) >> 16 & 1: pseudo-random
+                    b.alui(AluOp::Mul, Reg(4), Reg(4), 1103515245);
+                    b.alui(AluOp::Add, Reg(4), Reg(4), 12345);
+                    b.alui(AluOp::Srl, Reg(5), Reg(4), 16);
+                    b.alui(AluOp::And, Reg(5), Reg(5), 1);
+                } else {
+                    b.li(Reg(5), 0);
+                }
+                b.li(Reg(6), 1);
+                b.branch(Cond::Eq, Reg(5), Reg(6), skip);
+                b.addi(Reg(3), Reg(3), 1);
+                b.bind(skip);
+                b.addi(Reg(1), Reg(1), 1);
+                b.branch(Cond::Lt, Reg(1), Reg(2), top);
+                b.halt();
+            }
+        };
+        let (random, _) = run_prog(mk(true));
+        let (steady, _) = run_prog(mk(false));
+        assert!(random.stats.mispredicts > steady.stats.mispredicts + 20);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let build = |b: &mut ProgramBuilder| {
+            let top = b.new_label();
+            b.li(Reg(1), 0);
+            b.li(Reg(2), 100);
+            b.li(Reg(7), 0x1000_0000);
+            b.bind(top);
+            b.st(Reg(1), Reg(7), 0);
+            b.ld(Reg(3), Reg(7), 0);
+            b.addi(Reg(1), Reg(1), 1);
+            b.branch(Cond::Lt, Reg(1), Reg(2), top);
+            b.halt();
+        };
+        let (a, _) = run_prog(build);
+        let (b2, _) = run_prog(build);
+        assert_eq!(a.stats.cycles, b2.stats.cycles);
+        assert_eq!(a.stats.committed, b2.stats.committed);
+        assert_eq!(a.stats.mispredicts, b2.stats.mispredicts);
+    }
+
+    #[test]
+    fn presence_bit_stalls_load() {
+        // A port that reports the LM mapping ready only at cycle 500.
+        struct StallPort(MockPort);
+        impl MemoryPort for StallPort {
+            fn exec_mem(&mut self, pc: u64, addr: u64, width: Width, route: Route, store: Option<u64>) -> (u64, RouteInfo) {
+                let (v, mut info) = self.0.exec_mem(pc, addr, width, route, store);
+                if route == Route::Guarded {
+                    info.ready_at = 500;
+                }
+                (v, info)
+            }
+            fn timing_access(&mut self, now: u64, pc: u64, info: &RouteInfo, write: bool) -> (u64, ServedLevel) {
+                self.0.timing_access(now, pc, info, write)
+            }
+            fn exec_dma(&mut self, now: u64, k: DmaKind, lm: u64, sm: u64, bytes: u64, tag: u8) -> u64 {
+                self.0.exec_dma(now, k, lm, sm, bytes, tag)
+            }
+            fn dma_synch(&mut self, now: u64, tag: u8) -> u64 {
+                self.0.dma_synch(now, tag)
+            }
+            fn dir_configure(&mut self, b: u64) {
+                self.0.dir_configure(b)
+            }
+            fn fetch_latency(&mut self, now: u64, addr: u64) -> u64 {
+                self.0.fetch_latency(now, addr)
+            }
+        }
+        let mut b = ProgramBuilder::new();
+        b.li(Reg(1), 0x1000_0000);
+        b.load(Reg(2), Reg(1), 0, Width::D, Route::Guarded);
+        b.halt();
+        let p = b.build();
+        let mut core = Core::new(CoreConfig::default(), p, MemoryMap::default());
+        let mut port = StallPort(MockPort::new());
+        core.run(&mut port).unwrap();
+        assert!(core.stats.cycles >= 500, "guarded load must wait for the presence bit");
+        assert_eq!(core.stats.presence_stalls, 1);
+    }
+}

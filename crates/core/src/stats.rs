@@ -1,0 +1,147 @@
+//! Core activity statistics.
+
+use hsim_isa::Phase;
+use hsim_mem::Level;
+
+/// Per-run statistics of the core pipeline. Everything the energy model
+/// and the experiment harness need is counted here.
+#[derive(Clone, Debug, Default)]
+pub struct CoreStats {
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Instructions fetched into the fetch queue.
+    pub fetched: u64,
+    /// Instructions dispatched (renamed + functionally executed).
+    pub dispatched: u64,
+    /// Instructions issued to functional units.
+    pub issued: u64,
+    /// Instructions committed.
+    pub committed: u64,
+    /// Committed loads.
+    pub loads: u64,
+    /// Committed stores.
+    pub stores: u64,
+    /// Committed conditional branches.
+    pub branches: u64,
+    /// Committed FP operations.
+    pub fp_ops: u64,
+    /// Committed guarded memory instructions.
+    pub guarded: u64,
+    /// Committed oracle-routed memory instructions.
+    pub oracle_routed: u64,
+    /// Mispredictions (direction, target or return address).
+    pub mispredicts: u64,
+    /// Fetch bubbles caused by BTB misses on predicted-taken branches.
+    pub btb_bubbles: u64,
+    /// Loads served by store-to-load forwarding.
+    pub lsq_forwards: u64,
+    /// Stores whose cache access was collapsed with the preceding
+    /// same-address store at commit (the double-store optimization).
+    pub collapsed_stores: u64,
+    /// Issue slots re-executed after load misses (energy model input).
+    pub replay_issues: u64,
+    /// Guarded accesses that stalled on an unset presence bit.
+    pub presence_stalls: u64,
+    /// Sum of load latencies (for AMAT) over `loads_timed`.
+    pub load_latency_sum: u64,
+    /// Loads with a timed memory access (excludes forwarded loads).
+    pub loads_timed: u64,
+    /// Loads served per level: [L1, L2, L3, DRAM, LM, forward].
+    pub served: [u64; 6],
+    /// Cycles attributed per execution phase, indexed by [`phase_index`].
+    pub phase_cycles: [u64; 4],
+    /// Cycles dispatch stalled on a full ROB.
+    pub rob_full_stalls: u64,
+    /// Cycles fetch was stalled (redirects, I-cache misses).
+    pub fetch_stall_cycles: u64,
+}
+
+/// Dense index for [`Phase`] used by `phase_cycles`.
+pub fn phase_index(p: Phase) -> usize {
+    match p {
+        Phase::Other => 0,
+        Phase::Control => 1,
+        Phase::Synch => 2,
+        Phase::Work => 3,
+    }
+}
+
+/// Dense index for serving [`Level`] used by `served`.
+pub fn level_index(l: Level) -> usize {
+    match l {
+        Level::L1 => 0,
+        Level::L2 => 1,
+        Level::L3 => 2,
+        Level::Dram => 3,
+        Level::Lm => 4,
+        Level::Forward | Level::Mmio => 5,
+    }
+}
+
+impl CoreStats {
+    /// Average memory access time over timed loads, in cycles.
+    pub fn amat(&self) -> f64 {
+        if self.loads_timed == 0 {
+            0.0
+        } else {
+            self.load_latency_sum as f64 / self.loads_timed as f64
+        }
+    }
+
+    /// Committed instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / self.cycles as f64
+        }
+    }
+
+    /// Cycles spent in a phase.
+    pub fn phase(&self, p: Phase) -> u64 {
+        self.phase_cycles[phase_index(p)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics() {
+        let mut s = CoreStats::default();
+        assert_eq!(s.amat(), 0.0);
+        assert_eq!(s.ipc(), 0.0);
+        s.cycles = 100;
+        s.committed = 250;
+        s.load_latency_sum = 60;
+        s.loads_timed = 20;
+        assert!((s.ipc() - 2.5).abs() < 1e-12);
+        assert!((s.amat() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phase_indices_are_dense_and_distinct() {
+        let idxs: Vec<usize> = Phase::ALL.iter().map(|&p| phase_index(p)).collect();
+        let mut sorted = idxs.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 4);
+        assert!(sorted.iter().all(|&i| i < 4));
+    }
+
+    #[test]
+    fn level_indices_cover_array() {
+        for l in [
+            Level::L1,
+            Level::L2,
+            Level::L3,
+            Level::Dram,
+            Level::Lm,
+            Level::Forward,
+            Level::Mmio,
+        ] {
+            assert!(level_index(l) < 6);
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! # hsim-energy — Wattch-style activity-based energy model
+//!
+//! The paper evaluates energy with Wattch integrated into PTLsim, with
+//! CACTI-derived per-structure access energies. This crate reproduces the
+//! *methodology*: every architectural event (instruction dispatched, cache
+//! accessed, DMA byte moved, directory CAM searched, …) is counted by the
+//! simulator, and the model charges a per-event energy plus per-cycle
+//! leakage for each structure.
+//!
+//! Absolute joules are not the point — the paper's Figures 8 and 10 are
+//! built from *relative* magnitudes: an LM access costs a fraction of an
+//! L1 access (no tag array, no TLB), a directory lookup is a 32-entry CAM
+//! (tiny next to the memory subsystem), and cache misses re-execute
+//! pipeline work. The default parameters encode those CACTI-flavoured
+//! ratios for a 45 nm process; every number is overridable for
+//! sensitivity studies (`bench/ablate_*`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod model;
+pub mod params;
+
+pub use model::{Activity, EnergyBreakdown, EnergyModel};
+pub use params::EnergyParams;

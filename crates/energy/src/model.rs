@@ -1,0 +1,244 @@
+//! Activity aggregation and the energy computation.
+
+use crate::params::EnergyParams;
+
+/// Raw event counts collected by the simulator. The machine in the root
+/// crate fills this from `CoreStats`, the cache statistics, the DMA
+/// controller and the directory.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Activity {
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Instructions fetched.
+    pub fetched: u64,
+    /// Instructions dispatched.
+    pub dispatched: u64,
+    /// Instructions issued (first time).
+    pub issued: u64,
+    /// Issue slots re-executed after load misses (replays).
+    pub replayed: u64,
+    /// Instructions committed.
+    pub committed: u64,
+    /// Committed FP operations.
+    pub fp_ops: u64,
+    /// Load/store queue searches (loads + stores).
+    pub memops: u64,
+    /// Branch predictor events (lookups + updates).
+    pub bpred_events: u64,
+    /// BTB lookups.
+    pub btb_lookups: u64,
+    /// L1I + L1D total accesses (Table 3 accounting).
+    pub l1_accesses: u64,
+    /// L2 total accesses.
+    pub l2_accesses: u64,
+    /// L3 total accesses.
+    pub l3_accesses: u64,
+    /// Lines moved between cache levels (fills + write-backs).
+    pub bus_lines: u64,
+    /// LM CPU accesses.
+    pub lm_accesses: u64,
+    /// LM DMA traffic in 64-byte blocks.
+    pub lm_dma_blocks: u64,
+    /// TLB lookups.
+    pub tlb_lookups: u64,
+    /// Prefetcher observations.
+    pub prefetch_obs: u64,
+    /// Directory CAM lookups.
+    pub dir_lookups: u64,
+    /// Directory entry updates.
+    pub dir_updates: u64,
+    /// DMA engine traffic in 64-byte blocks.
+    pub dma_blocks: u64,
+    /// DRAM line transfers (reads + writes).
+    pub dram_lines: u64,
+    /// Whether an LM is present (its leakage is charged only then).
+    pub has_lm: bool,
+}
+
+/// Energy per Figure 10 component group, in nanojoules.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct EnergyBreakdown {
+    /// Core pipeline: fetch/rename/issue/commit, ALUs, LSQ, predictors,
+    /// replays, core leakage.
+    pub cpu: f64,
+    /// Cache hierarchy: L1I + L1D + L2 + L3 dynamic + leakage.
+    pub caches: f64,
+    /// Local memory: CPU accesses + DMA traffic + leakage.
+    pub lm: f64,
+    /// Others: prefetchers, DMA engine, buses, TLB and the coherence
+    /// directory (reported separately in `directory` as well).
+    pub others: f64,
+    /// Of `others`: the coherence directory alone (Figure 8's analysis).
+    pub directory: f64,
+    /// Off-chip DRAM (excluded from `total`, reported for completeness).
+    pub dram: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total on-chip energy (the paper's Figure 8/10 metric).
+    pub fn total(&self) -> f64 {
+        self.cpu + self.caches + self.lm + self.others
+    }
+}
+
+/// The energy model: parameters + evaluation.
+#[derive(Clone, Debug, Default)]
+pub struct EnergyModel {
+    /// The parameter set in use.
+    pub params: EnergyParams,
+}
+
+impl EnergyModel {
+    /// Builds a model with the default 45 nm parameters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Evaluates the energy of a run.
+    pub fn evaluate(&self, a: &Activity) -> EnergyBreakdown {
+        let p = &self.params;
+        let cpu = a.fetched as f64 * p.fetch_per_inst
+            + a.dispatched as f64 * p.dispatch_per_inst
+            + (a.issued + a.replayed) as f64 * p.issue_per_inst
+            + a.committed as f64 * p.commit_per_inst
+            + a.fp_ops as f64 * p.fp_extra
+            + a.memops as f64 * p.lsq_per_memop
+            + a.bpred_events as f64 * p.bpred_per_event
+            + a.btb_lookups as f64 * p.btb_per_lookup
+            + a.cycles as f64 * p.core_leak_per_cycle;
+        let caches = a.l1_accesses as f64 * p.l1_per_access
+            + a.l2_accesses as f64 * p.l2_per_access
+            + a.l3_accesses as f64 * p.l3_per_access
+            + a.cycles as f64 * p.cache_leak_per_cycle;
+        let lm = if a.has_lm {
+            a.lm_accesses as f64 * p.lm_per_access
+                + a.lm_dma_blocks as f64 * p.lm_per_dma_block
+                + a.cycles as f64 * p.lm_leak_per_cycle
+        } else {
+            0.0
+        };
+        let directory = a.dir_lookups as f64 * p.dir_per_lookup
+            + a.dir_updates as f64 * p.dir_per_update;
+        let others = a.tlb_lookups as f64 * p.tlb_per_lookup
+            + a.prefetch_obs as f64 * p.prefetch_per_obs
+            + a.dma_blocks as f64 * p.dma_per_block
+            + a.bus_lines as f64 * p.bus_per_line
+            + directory;
+        let dram = a.dram_lines as f64 * p.dram_per_line;
+        EnergyBreakdown {
+            cpu,
+            caches,
+            lm,
+            others,
+            directory,
+            dram,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_activity() -> Activity {
+        Activity {
+            cycles: 1000,
+            fetched: 4000,
+            dispatched: 3800,
+            issued: 3700,
+            replayed: 100,
+            committed: 3600,
+            fp_ops: 500,
+            memops: 1200,
+            bpred_events: 600,
+            btb_lookups: 300,
+            l1_accesses: 1200,
+            l2_accesses: 80,
+            l3_accesses: 20,
+            bus_lines: 90,
+            lm_accesses: 0,
+            lm_dma_blocks: 0,
+            tlb_lookups: 1200,
+            prefetch_obs: 1200,
+            dir_lookups: 0,
+            dir_updates: 0,
+            dma_blocks: 0,
+            dram_lines: 10,
+            has_lm: false,
+        }
+    }
+
+    #[test]
+    fn zero_activity_is_leakage_only() {
+        let m = EnergyModel::new();
+        let a = Activity {
+            cycles: 100,
+            has_lm: true,
+            ..Activity::default()
+        };
+        let e = m.evaluate(&a);
+        let p = &m.params;
+        let want = 100.0 * (p.core_leak_per_cycle + p.cache_leak_per_cycle + p.lm_leak_per_cycle);
+        assert!((e.total() - want).abs() < 1e-9);
+        assert_eq!(e.dram, 0.0);
+    }
+
+    #[test]
+    fn no_lm_means_no_lm_energy() {
+        let m = EnergyModel::new();
+        let e = m.evaluate(&base_activity());
+        assert_eq!(e.lm, 0.0);
+    }
+
+    #[test]
+    fn directory_is_part_of_others() {
+        let m = EnergyModel::new();
+        let mut a = base_activity();
+        let e0 = m.evaluate(&a);
+        a.dir_lookups = 1000;
+        a.dir_updates = 100;
+        let e1 = m.evaluate(&a);
+        assert!(e1.directory > 0.0);
+        assert!((e1.others - e0.others - e1.directory).abs() < 1e-9);
+        assert_eq!(e1.cpu, e0.cpu);
+        assert_eq!(e1.caches, e0.caches);
+    }
+
+    #[test]
+    fn energy_is_monotone_in_activity() {
+        let m = EnergyModel::new();
+        let a = base_activity();
+        let e0 = m.evaluate(&a).total();
+        for f in [
+            |a: &mut Activity| a.l2_accesses += 1000,
+            |a: &mut Activity| a.issued += 1000,
+            |a: &mut Activity| a.replayed += 1000,
+            |a: &mut Activity| a.cycles += 1000,
+        ] {
+            let mut b = a.clone();
+            f(&mut b);
+            assert!(m.evaluate(&b).total() > e0);
+        }
+    }
+
+    #[test]
+    fn replays_cost_like_issues() {
+        let m = EnergyModel::new();
+        let mut a = base_activity();
+        let e0 = m.evaluate(&a).cpu;
+        a.replayed += 500;
+        let e1 = m.evaluate(&a).cpu;
+        assert!((e1 - e0 - 500.0 * m.params.issue_per_inst).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dram_excluded_from_total() {
+        let m = EnergyModel::new();
+        let mut a = base_activity();
+        let t0 = m.evaluate(&a).total();
+        a.dram_lines += 1_000_000;
+        let e = m.evaluate(&a);
+        assert_eq!(e.total(), t0);
+        assert!(e.dram > 0.0);
+    }
+}

@@ -1,0 +1,115 @@
+//! Per-event energies and per-cycle leakage, in nanojoules.
+//!
+//! Magnitudes follow CACTI-style scaling for a 45 nm process at ~2 GHz:
+//! SRAM access energy grows with capacity and associativity; a CAM of 32
+//! entries is small; a scratchpad saves the tag array, the comparators
+//! and the TLB lookup of an equally sized cache (the paper's §2.1
+//! motivation); DRAM is off-chip and accounted separately.
+
+/// Energy parameters (all dynamic energies in nJ/event, leakage in
+/// nJ/cycle).
+#[derive(Clone, Debug)]
+pub struct EnergyParams {
+    // ---- core pipeline ----
+    /// Fetch + decode energy per fetched instruction.
+    pub fetch_per_inst: f64,
+    /// Rename + ROB-allocate energy per dispatched instruction.
+    pub dispatch_per_inst: f64,
+    /// Wakeup/select + register-file + bypass energy per issued
+    /// instruction (also charged for each replayed issue slot).
+    pub issue_per_inst: f64,
+    /// Commit/retire energy per instruction.
+    pub commit_per_inst: f64,
+    /// Extra energy of an FP operation over an INT one.
+    pub fp_extra: f64,
+    /// LSQ search energy per load/store.
+    pub lsq_per_memop: f64,
+    /// Branch-direction-predictor energy per lookup/update.
+    pub bpred_per_event: f64,
+    /// BTB energy per lookup.
+    pub btb_per_lookup: f64,
+    /// Core leakage + clock tree, per cycle.
+    pub core_leak_per_cycle: f64,
+
+    // ---- memory structures ----
+    /// L1 (I or D) energy per access.
+    pub l1_per_access: f64,
+    /// L2 energy per access.
+    pub l2_per_access: f64,
+    /// L3 energy per access.
+    pub l3_per_access: f64,
+    /// Combined cache leakage per cycle (dominated by the L3).
+    pub cache_leak_per_cycle: f64,
+    /// Local-memory energy per CPU access (no tags, no TLB: a fraction
+    /// of `l1_per_access`).
+    pub lm_per_access: f64,
+    /// Local-memory energy per DMA-transferred 64-byte block.
+    pub lm_per_dma_block: f64,
+    /// LM leakage per cycle.
+    pub lm_leak_per_cycle: f64,
+    /// TLB energy per lookup.
+    pub tlb_per_lookup: f64,
+    /// Prefetcher history-table energy per observation.
+    pub prefetch_per_obs: f64,
+    /// Directory CAM energy per lookup (32-entry CAM, §3.2).
+    pub dir_per_lookup: f64,
+    /// Directory energy per entry update.
+    pub dir_per_update: f64,
+    /// DMA engine + bus energy per transferred 64-byte block.
+    pub dma_per_block: f64,
+    /// Bus energy per cache line moved between levels (fills,
+    /// write-backs).
+    pub bus_per_line: f64,
+    /// Off-chip DRAM energy per 64-byte line (reported separately).
+    pub dram_per_line: f64,
+}
+
+impl Default for EnergyParams {
+    fn default() -> Self {
+        EnergyParams {
+            fetch_per_inst: 0.06,
+            dispatch_per_inst: 0.05,
+            issue_per_inst: 0.09,
+            commit_per_inst: 0.04,
+            fp_extra: 0.10,
+            lsq_per_memop: 0.035,
+            bpred_per_event: 0.004,
+            btb_per_lookup: 0.005,
+            core_leak_per_cycle: 0.25,
+
+            l1_per_access: 0.055,
+            l2_per_access: 0.28,
+            l3_per_access: 1.10,
+            cache_leak_per_cycle: 0.30,
+            lm_per_access: 0.022, // ~0.4x of L1: no tag array, no TLB
+            lm_per_dma_block: 0.05,
+            lm_leak_per_cycle: 0.012,
+            tlb_per_lookup: 0.012,
+            prefetch_per_obs: 0.006,
+            dir_per_lookup: 0.011, // 32-entry CAM at 45nm (CACTI, §3.2)
+            dir_per_update: 0.008,
+            dma_per_block: 0.06,
+            bus_per_line: 0.08,
+            dram_per_line: 15.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_magnitudes_hold() {
+        let p = EnergyParams::default();
+        // The LM must be substantially cheaper than the L1 (paper §1).
+        assert!(p.lm_per_access < 0.5 * p.l1_per_access);
+        // Cache energy grows down the hierarchy.
+        assert!(p.l1_per_access < p.l2_per_access);
+        assert!(p.l2_per_access < p.l3_per_access);
+        // The directory CAM is a small structure, well under the L1.
+        assert!(p.dir_per_lookup < 0.5 * p.l1_per_access);
+        // DRAM dominates any on-chip access.
+        assert!(p.dram_per_line > 10.0 * p.l3_per_access);
+    }
+}

@@ -1,0 +1,705 @@
+//! Textual assembler and disassembler.
+//!
+//! The syntax is a minimal RISC-style format, one instruction per line,
+//! with `;`/`#` comments and `name:` labels:
+//!
+//! ```text
+//! ; increment loop
+//!     li   r1, 0
+//!     li   r2, 10
+//! top:
+//!     addi r1, r1, 1
+//!     blt  r1, r2, top
+//!     halt
+//! ```
+//!
+//! Guarded and oracle memory operations use the `g`/`o` mnemonic prefixes
+//! from the paper's Figure 3: `gld.d`, `gst.d`, `old.d`, `ost.w`, `gfld`,
+//! `ofst`, …
+
+use crate::inst::{AluOp, Cond, FpuOp, Inst, Operand, Phase, Route, Width};
+use crate::program::Program;
+use crate::reg::{FReg, Reg, NUM_FP_REGS, NUM_INT_REGS};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// An assembly error with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number in the source text.
+    pub line: usize,
+    /// Human-readable message.
+    pub msg: String,
+}
+
+impl std::fmt::Display for AsmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn err(line: usize, msg: impl Into<String>) -> AsmError {
+    AsmError {
+        line,
+        msg: msg.into(),
+    }
+}
+
+/// Assembles source text into a [`Program`].
+pub fn assemble(src: &str) -> Result<Program, AsmError> {
+    // Pass 1: collect labels.
+    let mut labels: HashMap<String, usize> = HashMap::new();
+    let mut pc = 0usize;
+    for (ln, raw) in src.lines().enumerate() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(name) = line.strip_suffix(':') {
+            let name = name.trim();
+            if name.is_empty() || name.contains(char::is_whitespace) {
+                return Err(err(ln + 1, format!("bad label {line:?}")));
+            }
+            if labels.insert(name.to_string(), pc).is_some() {
+                return Err(err(ln + 1, format!("duplicate label {name:?}")));
+            }
+        } else {
+            pc += 1;
+        }
+    }
+
+    // Pass 2: parse instructions.
+    let mut insts = Vec::with_capacity(pc);
+    for (ln, raw) in src.lines().enumerate() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() || line.ends_with(':') {
+            continue;
+        }
+        insts.push(parse_inst(line, ln + 1, &labels)?);
+    }
+    let label_names = labels.into_iter().map(|(k, v)| (v, k)).collect();
+    Ok(Program { insts, label_names })
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find([';', '#']) {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+fn parse_inst(line: &str, ln: usize, labels: &HashMap<String, usize>) -> Result<Inst, AsmError> {
+    let (mn, rest) = match line.find(char::is_whitespace) {
+        Some(i) => (&line[..i], line[i..].trim()),
+        None => (line, ""),
+    };
+    let ops: Vec<&str> = if rest.is_empty() {
+        vec![]
+    } else {
+        rest.split(',').map(str::trim).collect()
+    };
+    let nops = |n: usize| -> Result<(), AsmError> {
+        if ops.len() == n {
+            Ok(())
+        } else {
+            Err(err(ln, format!("{mn}: expected {n} operands, got {}", ops.len())))
+        }
+    };
+
+    // ALU register/immediate forms: `add rd, rs1, rs2|imm`,
+    // `addi rd, rs1, imm`.
+    let alu_ops: &[(&str, AluOp)] = &[
+        ("add", AluOp::Add),
+        ("sub", AluOp::Sub),
+        ("mul", AluOp::Mul),
+        ("div", AluOp::Div),
+        ("and", AluOp::And),
+        ("or", AluOp::Or),
+        ("xor", AluOp::Xor),
+        ("sll", AluOp::Sll),
+        ("srl", AluOp::Srl),
+        ("sra", AluOp::Sra),
+        ("slt", AluOp::Slt),
+        ("sltu", AluOp::Sltu),
+    ];
+    for &(name, op) in alu_ops {
+        if mn == name || mn == format!("{name}i") {
+            nops(3)?;
+            let rd = parse_reg(ops[0], ln)?;
+            let rs1 = parse_reg(ops[1], ln)?;
+            let src2 = if mn.ends_with('i') || ops[2].parse::<i64>().is_ok() {
+                Operand::Imm(parse_imm(ops[2], ln)?)
+            } else {
+                Operand::Reg(parse_reg(ops[2], ln)?)
+            };
+            return Ok(Inst::Alu { op, rd, rs1, src2 });
+        }
+    }
+
+    let fpu_ops: &[(&str, FpuOp)] = &[
+        ("fadd", FpuOp::FAdd),
+        ("fsub", FpuOp::FSub),
+        ("fmul", FpuOp::FMul),
+        ("fdiv", FpuOp::FDiv),
+        ("fsqrt", FpuOp::FSqrt),
+        ("fmin", FpuOp::FMin),
+        ("fmax", FpuOp::FMax),
+    ];
+    for &(name, op) in fpu_ops {
+        if mn == name {
+            if op.is_unary() {
+                nops(2)?;
+                let fd = parse_freg(ops[0], ln)?;
+                let fs1 = parse_freg(ops[1], ln)?;
+                return Ok(Inst::Fpu { op, fd, fs1, fs2: fs1 });
+            }
+            nops(3)?;
+            return Ok(Inst::Fpu {
+                op,
+                fd: parse_freg(ops[0], ln)?,
+                fs1: parse_freg(ops[1], ln)?,
+                fs2: parse_freg(ops[2], ln)?,
+            });
+        }
+    }
+
+    // Loads/stores: `[g|o]ld.{b,w,d} rd, off(base)`, `[g|o]st.{b,w,d}`,
+    // `[g|o]fld fd, off(base)`, `[g|o]fst fs, off(base)`.
+    if let Some((route, kind, width)) = parse_mem_mnemonic(mn) {
+        nops(2)?;
+        match kind {
+            MemKind::Load => {
+                let rd = parse_reg(ops[0], ln)?;
+                let (offset, base, index) = parse_mem_operand(ops[1], ln)?;
+                return Ok(Inst::Load {
+                    rd,
+                    base,
+                    index,
+                    offset,
+                    width,
+                    route,
+                });
+            }
+            MemKind::Store => {
+                let rs = parse_reg(ops[0], ln)?;
+                let (offset, base, index) = parse_mem_operand(ops[1], ln)?;
+                return Ok(Inst::Store {
+                    rs,
+                    base,
+                    index,
+                    offset,
+                    width,
+                    route,
+                });
+            }
+            MemKind::FLoad => {
+                let fd = parse_freg(ops[0], ln)?;
+                let (offset, base, index) = parse_mem_operand(ops[1], ln)?;
+                return Ok(Inst::FLoad {
+                    fd,
+                    base,
+                    index,
+                    offset,
+                    route,
+                });
+            }
+            MemKind::FStore => {
+                let fs = parse_freg(ops[0], ln)?;
+                let (offset, base, index) = parse_mem_operand(ops[1], ln)?;
+                return Ok(Inst::FStore {
+                    fs,
+                    base,
+                    index,
+                    offset,
+                    route,
+                });
+            }
+        }
+    }
+
+    let conds: &[(&str, Cond)] = &[
+        ("beq", Cond::Eq),
+        ("bne", Cond::Ne),
+        ("blt", Cond::Lt),
+        ("bge", Cond::Ge),
+        ("bltu", Cond::Ltu),
+        ("bgeu", Cond::Geu),
+    ];
+    for &(name, cond) in conds {
+        if mn == name {
+            nops(3)?;
+            return Ok(Inst::Branch {
+                cond,
+                rs1: parse_reg(ops[0], ln)?,
+                rs2: parse_reg(ops[1], ln)?,
+                target: parse_target(ops[2], ln, labels)?,
+            });
+        }
+    }
+
+    match mn {
+        "li" => {
+            nops(2)?;
+            Ok(Inst::Li {
+                rd: parse_reg(ops[0], ln)?,
+                imm: parse_imm(ops[1], ln)?,
+            })
+        }
+        "mov.if" => {
+            nops(2)?;
+            Ok(Inst::MovIF {
+                fd: parse_freg(ops[0], ln)?,
+                rs: parse_reg(ops[1], ln)?,
+            })
+        }
+        "mov.fi" => {
+            nops(2)?;
+            Ok(Inst::MovFI {
+                rd: parse_reg(ops[0], ln)?,
+                fs: parse_freg(ops[1], ln)?,
+            })
+        }
+        "cvt.if" => {
+            nops(2)?;
+            Ok(Inst::CvtIF {
+                fd: parse_freg(ops[0], ln)?,
+                rs: parse_reg(ops[1], ln)?,
+            })
+        }
+        "cvt.fi" => {
+            nops(2)?;
+            Ok(Inst::CvtFI {
+                rd: parse_reg(ops[0], ln)?,
+                fs: parse_freg(ops[1], ln)?,
+            })
+        }
+        "jmp" => {
+            nops(1)?;
+            Ok(Inst::Jump {
+                target: parse_target(ops[0], ln, labels)?,
+            })
+        }
+        "call" => {
+            nops(1)?;
+            Ok(Inst::Call {
+                target: parse_target(ops[0], ln, labels)?,
+            })
+        }
+        "ret" => {
+            nops(0)?;
+            Ok(Inst::Ret)
+        }
+        "dma.get" | "dma.put" => {
+            nops(4)?;
+            let lm = parse_reg(ops[0], ln)?;
+            let sm = parse_reg(ops[1], ln)?;
+            let bytes = parse_reg(ops[2], ln)?;
+            let tag = parse_tag(ops[3], ln)?;
+            Ok(if mn == "dma.get" {
+                Inst::DmaGet { lm, sm, bytes, tag }
+            } else {
+                Inst::DmaPut { lm, sm, bytes, tag }
+            })
+        }
+        "dma.synch" => {
+            nops(1)?;
+            Ok(Inst::DmaSynch {
+                tag: parse_tag(ops[0], ln)?,
+            })
+        }
+        "dir.cfg" => {
+            nops(1)?;
+            Ok(Inst::DirCfg {
+                rs: parse_reg(ops[0], ln)?,
+            })
+        }
+        "phase" => {
+            nops(1)?;
+            let phase = match ops[0] {
+                "other" => Phase::Other,
+                "control" => Phase::Control,
+                "synch" => Phase::Synch,
+                "work" => Phase::Work,
+                p => return Err(err(ln, format!("unknown phase {p:?}"))),
+            };
+            Ok(Inst::PhaseMark { phase })
+        }
+        "halt" => {
+            nops(0)?;
+            Ok(Inst::Halt)
+        }
+        "nop" => {
+            nops(0)?;
+            Ok(Inst::Nop)
+        }
+        _ => Err(err(ln, format!("unknown mnemonic {mn:?}"))),
+    }
+}
+
+enum MemKind {
+    Load,
+    Store,
+    FLoad,
+    FStore,
+}
+
+fn parse_mem_mnemonic(mn: &str) -> Option<(Route, MemKind, Width)> {
+    let (route, rest) = if let Some(r) = mn.strip_prefix('g') {
+        (Route::Guarded, r)
+    } else if let Some(r) = mn.strip_prefix('o') {
+        (Route::Oracle, r)
+    } else {
+        (Route::Plain, mn)
+    };
+    if rest == "fld" {
+        return Some((route, MemKind::FLoad, Width::D));
+    }
+    if rest == "fst" {
+        return Some((route, MemKind::FStore, Width::D));
+    }
+    let (kind, rest) = if let Some(r) = rest.strip_prefix("ld") {
+        (MemKind::Load, r)
+    } else if let Some(r) = rest.strip_prefix("st") {
+        (MemKind::Store, r)
+    } else {
+        return None;
+    };
+    let width = match rest {
+        ".b" => Width::B,
+        ".w" => Width::W,
+        ".d" => Width::D,
+        _ => return None,
+    };
+    Some((route, kind, width))
+}
+
+fn parse_reg(s: &str, ln: usize) -> Result<Reg, AsmError> {
+    let n: usize = s
+        .strip_prefix('r')
+        .and_then(|n| n.parse().ok())
+        .ok_or_else(|| err(ln, format!("expected integer register, got {s:?}")))?;
+    if n >= NUM_INT_REGS {
+        return Err(err(ln, format!("register {s} out of range")));
+    }
+    Ok(Reg(n as u8))
+}
+
+fn parse_freg(s: &str, ln: usize) -> Result<FReg, AsmError> {
+    let n: usize = s
+        .strip_prefix('f')
+        .and_then(|n| n.parse().ok())
+        .ok_or_else(|| err(ln, format!("expected fp register, got {s:?}")))?;
+    if n >= NUM_FP_REGS {
+        return Err(err(ln, format!("register {s} out of range")));
+    }
+    Ok(FReg(n as u8))
+}
+
+fn parse_imm(s: &str, ln: usize) -> Result<i64, AsmError> {
+    let (neg, t) = match s.strip_prefix('-') {
+        Some(t) => (true, t),
+        None => (false, s),
+    };
+    let v = if let Some(hex) = t.strip_prefix("0x") {
+        i64::from_str_radix(hex, 16).ok()
+    } else {
+        t.parse::<i64>().ok().or_else(|| {
+            // Allow u64 literals for high addresses.
+            t.parse::<u64>().ok().map(|u| u as i64)
+        })
+    };
+    let v = v.ok_or_else(|| err(ln, format!("bad immediate {s:?}")))?;
+    Ok(if neg { v.wrapping_neg() } else { v })
+}
+
+/// Parses `off(base)` and `off(base+index)` memory operands.
+fn parse_mem_operand(s: &str, ln: usize) -> Result<(i64, Reg, Option<Reg>), AsmError> {
+    let open = s
+        .find('(')
+        .ok_or_else(|| err(ln, format!("expected off(base), got {s:?}")))?;
+    if !s.ends_with(')') {
+        return Err(err(ln, format!("expected off(base), got {s:?}")));
+    }
+    let off_str = s[..open].trim();
+    let offset = if off_str.is_empty() {
+        0
+    } else {
+        parse_imm(off_str, ln)?
+    };
+    let inner = s[open + 1..s.len() - 1].trim();
+    match inner.split_once('+') {
+        Some((b, i)) => Ok((
+            offset,
+            parse_reg(b.trim(), ln)?,
+            Some(parse_reg(i.trim(), ln)?),
+        )),
+        None => Ok((offset, parse_reg(inner, ln)?, None)),
+    }
+}
+
+fn parse_target(s: &str, ln: usize, labels: &HashMap<String, usize>) -> Result<usize, AsmError> {
+    if let Some(&pc) = labels.get(s) {
+        return Ok(pc);
+    }
+    if let Some(n) = s.strip_prefix('@').and_then(|n| n.parse::<usize>().ok()) {
+        return Ok(n);
+    }
+    Err(err(ln, format!("unknown label {s:?}")))
+}
+
+fn parse_tag(s: &str, ln: usize) -> Result<u8, AsmError> {
+    let t: u8 = s
+        .parse()
+        .map_err(|_| err(ln, format!("bad DMA tag {s:?}")))?;
+    if t >= 8 {
+        return Err(err(ln, format!("DMA tag {t} out of range (0-7)")));
+    }
+    Ok(t)
+}
+
+// ---------------------------------------------------------------------------
+// Disassembler
+// ---------------------------------------------------------------------------
+
+fn fmt_base(base: &crate::reg::Reg, index: &Option<crate::reg::Reg>) -> String {
+    match index {
+        Some(i) => format!("{base}+{i}"),
+        None => format!("{base}"),
+    }
+}
+
+/// Formats one instruction in assembler syntax. Control-flow targets are
+/// printed as `@pc` raw targets unless the program supplies a label name.
+pub fn format_inst(inst: &Inst, label_names: &HashMap<usize, String>) -> String {
+    let tgt = |t: &usize| {
+        label_names
+            .get(t)
+            .cloned()
+            .unwrap_or_else(|| format!("@{t}"))
+    };
+    match inst {
+        Inst::Alu { op, rd, rs1, src2 } => match src2 {
+            Operand::Reg(r) => format!("{} {rd}, {rs1}, {r}", op.mnemonic()),
+            Operand::Imm(i) => format!("{}i {rd}, {rs1}, {i}", op.mnemonic()),
+        },
+        Inst::Li { rd, imm } => format!("li {rd}, {imm}"),
+        Inst::Fpu { op, fd, fs1, fs2 } => {
+            if op.is_unary() {
+                format!("{} {fd}, {fs1}", op.mnemonic())
+            } else {
+                format!("{} {fd}, {fs1}, {fs2}", op.mnemonic())
+            }
+        }
+        Inst::MovIF { fd, rs } => format!("mov.if {fd}, {rs}"),
+        Inst::MovFI { rd, fs } => format!("mov.fi {rd}, {fs}"),
+        Inst::CvtIF { fd, rs } => format!("cvt.if {fd}, {rs}"),
+        Inst::CvtFI { rd, fs } => format!("cvt.fi {rd}, {fs}"),
+        Inst::Load {
+            rd,
+            base,
+            index,
+            offset,
+            width,
+            route,
+        } => format!(
+            "{}ld{} {rd}, {offset}({})",
+            route.prefix(),
+            width.suffix(),
+            fmt_base(base, index)
+        ),
+        Inst::Store {
+            rs,
+            base,
+            index,
+            offset,
+            width,
+            route,
+        } => format!(
+            "{}st{} {rs}, {offset}({})",
+            route.prefix(),
+            width.suffix(),
+            fmt_base(base, index)
+        ),
+        Inst::FLoad {
+            fd,
+            base,
+            index,
+            offset,
+            route,
+        } => format!("{}fld {fd}, {offset}({})", route.prefix(), fmt_base(base, index)),
+        Inst::FStore {
+            fs,
+            base,
+            index,
+            offset,
+            route,
+        } => format!("{}fst {fs}, {offset}({})", route.prefix(), fmt_base(base, index)),
+        Inst::Branch {
+            cond,
+            rs1,
+            rs2,
+            target,
+        } => format!("{} {rs1}, {rs2}, {}", cond.mnemonic(), tgt(target)),
+        Inst::Jump { target } => format!("jmp {}", tgt(target)),
+        Inst::Call { target } => format!("call {}", tgt(target)),
+        Inst::Ret => "ret".to_string(),
+        Inst::DmaGet { lm, sm, bytes, tag } => format!("dma.get {lm}, {sm}, {bytes}, {tag}"),
+        Inst::DmaPut { lm, sm, bytes, tag } => format!("dma.put {lm}, {sm}, {bytes}, {tag}"),
+        Inst::DmaSynch { tag } => format!("dma.synch {tag}"),
+        Inst::DirCfg { rs } => format!("dir.cfg {rs}"),
+        Inst::PhaseMark { phase } => format!("phase {}", phase.name()),
+        Inst::Halt => "halt".to_string(),
+        Inst::Nop => "nop".to_string(),
+    }
+}
+
+/// Disassembles a whole program, emitting labels at branch targets.
+pub fn disassemble(p: &Program) -> String {
+    // Collect every control-flow target so we can emit labels for them.
+    let mut targets: HashMap<usize, String> = p.label_names.clone();
+    for inst in &p.insts {
+        if let Inst::Branch { target, .. } | Inst::Jump { target } | Inst::Call { target } = inst {
+            targets
+                .entry(*target)
+                .or_insert_with(|| format!("L{target}"));
+        }
+    }
+    let mut out = String::new();
+    for (pc, inst) in p.insts.iter().enumerate() {
+        if let Some(name) = targets.get(&pc) {
+            let _ = writeln!(out, "{name}:");
+        }
+        let _ = writeln!(out, "    {}", format_inst(inst, &targets));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assemble_basic_loop() {
+        let p = assemble(
+            "; simple counting loop\n\
+             \tli r1, 0\n\
+             \tli r2, 10\n\
+             top:\n\
+             \taddi r1, r1, 1\n\
+             \tblt r1, r2, top\n\
+             \thalt\n",
+        )
+        .unwrap();
+        assert_eq!(p.len(), 5);
+        match p.insts[3] {
+            Inst::Branch { cond: Cond::Lt, target, .. } => assert_eq!(target, 2),
+            ref other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn assemble_all_routes() {
+        let p = assemble(
+            "ld.d r1, 0(r2)\n\
+             gld.d r1, 8(r2)\n\
+             old.w r1, -4(r2)\n\
+             st.b r1, 0(r2)\n\
+             gst.d r1, 0(r2)\n\
+             ost.d r1, 0(r2)\n\
+             fld f1, 0(r2)\n\
+             gfld f1, 0(r2)\n\
+             fst f1, 16(r2)\n\
+             gfst f1, 16(r2)\n\
+             ofst f1, 16(r2)\n",
+        )
+        .unwrap();
+        assert_eq!(p.count_route(Route::Guarded), 4);
+        assert_eq!(p.count_route(Route::Oracle), 3);
+        assert_eq!(p.count_route(Route::Plain), 4);
+    }
+
+    #[test]
+    fn assemble_dma_and_phase() {
+        let p = assemble(
+            "phase control\n\
+             dma.get r1, r2, r3, 1\n\
+             phase synch\n\
+             dma.synch 1\n\
+             phase work\n\
+             dir.cfg r4\n\
+             dma.put r1, r2, r3, 0\n\
+             halt\n",
+        )
+        .unwrap();
+        assert_eq!(p.len(), 8);
+        assert_eq!(p.insts[1], Inst::DmaGet { lm: Reg(1), sm: Reg(2), bytes: Reg(3), tag: 1 });
+        assert_eq!(p.insts[4], Inst::PhaseMark { phase: Phase::Work });
+    }
+
+    #[test]
+    fn immediate_forms() {
+        let p = assemble("addi r1, r2, -8\nadd r1, r2, 16\nadd r1, r2, r3\nli r1, 0x1f\n").unwrap();
+        assert_eq!(
+            p.insts[0],
+            Inst::Alu { op: AluOp::Add, rd: Reg(1), rs1: Reg(2), src2: Operand::Imm(-8) }
+        );
+        assert_eq!(
+            p.insts[1],
+            Inst::Alu { op: AluOp::Add, rd: Reg(1), rs1: Reg(2), src2: Operand::Imm(16) }
+        );
+        assert_eq!(
+            p.insts[2],
+            Inst::Alu { op: AluOp::Add, rd: Reg(1), rs1: Reg(2), src2: Operand::Reg(Reg(3)) }
+        );
+        assert_eq!(p.insts[3], Inst::Li { rd: Reg(1), imm: 31 });
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = assemble("nop\nbogus r1\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        let e = assemble("ld.d r1, r2\n").unwrap_err();
+        assert!(e.msg.contains("off(base)"), "{}", e.msg);
+        let e = assemble("beq r1, r2, nowhere\n").unwrap_err();
+        assert!(e.msg.contains("unknown label"));
+        let e = assemble("dma.synch 9\n").unwrap_err();
+        assert!(e.msg.contains("out of range"));
+        let e = assemble("ld.d r99, 0(r1)\n").unwrap_err();
+        assert!(e.msg.contains("out of range"));
+    }
+
+    #[test]
+    fn duplicate_label_rejected() {
+        let e = assemble("a:\nnop\na:\nnop\n").unwrap_err();
+        assert!(e.msg.contains("duplicate"));
+    }
+
+    #[test]
+    fn disassemble_round_trip() {
+        let src = "\
+            li r1, 0\n\
+            li r2, 100\n\
+            top:\n\
+            gld.d r3, 0(r1)\n\
+            ld.d r9, 8(r1+r2)\n\
+            gst.w r9, -8(r1+r2)\n\
+            gfld f5, 0(r1+r2)\n\
+            addi r3, r3, 1\n\
+            gst.d r3, 0(r1)\n\
+            st.d r3, 0(r1)\n\
+            fadd f1, f2, f3\n\
+            fsqrt f4, f1\n\
+            blt r1, r2, top\n\
+            call fn\n\
+            halt\n\
+            fn:\n\
+            phase work\n\
+            ret\n";
+        let p1 = assemble(src).unwrap();
+        let text = disassemble(&p1);
+        let p2 = assemble(&text).unwrap();
+        assert_eq!(p1.insts, p2.insts, "round trip changed program:\n{text}");
+    }
+}

@@ -1,0 +1,688 @@
+//! Instruction definitions and their pure (register-only) semantics.
+//!
+//! Memory and DMA semantics live in the machine model (`hsim` root crate);
+//! this module defines everything that can be evaluated without touching
+//! memory: ALU/FPU operations, branch conditions, and the instruction
+//! shapes themselves.
+
+use crate::reg::{FReg, Reg};
+use std::fmt;
+
+/// Integer ALU operations (3 INT ALUs in the modeled core).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Signed multiplication (longer latency).
+    Mul,
+    /// Signed division (long latency, unpipelined).
+    Div,
+    /// Bit-wise and.
+    And,
+    /// Bit-wise or.
+    Or,
+    /// Bit-wise xor.
+    Xor,
+    /// Logical shift left.
+    Sll,
+    /// Logical shift right.
+    Srl,
+    /// Arithmetic shift right.
+    Sra,
+    /// Set-less-than (signed): `rd = (rs1 < src2) as i64`.
+    Slt,
+    /// Set-less-than (unsigned).
+    Sltu,
+}
+
+impl AluOp {
+    /// Evaluates the operation on two 64-bit integers.
+    ///
+    /// Division by zero returns 0 (the simulated machine has no traps).
+    #[inline]
+    pub fn eval(self, a: i64, b: i64) -> i64 {
+        match self {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::Mul => a.wrapping_mul(b),
+            AluOp::Div => {
+                if b == 0 {
+                    0
+                } else {
+                    a.wrapping_div(b)
+                }
+            }
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Xor => a ^ b,
+            AluOp::Sll => a.wrapping_shl(b as u32 & 63),
+            AluOp::Srl => ((a as u64).wrapping_shr(b as u32 & 63)) as i64,
+            AluOp::Sra => a.wrapping_shr(b as u32 & 63),
+            AluOp::Slt => (a < b) as i64,
+            AluOp::Sltu => ((a as u64) < (b as u64)) as i64,
+        }
+    }
+
+    /// Execution latency in cycles on the modeled core.
+    #[inline]
+    pub fn latency(self) -> u32 {
+        match self {
+            AluOp::Mul => 3,
+            AluOp::Div => 20,
+            _ => 1,
+        }
+    }
+
+    /// Mnemonic used by the assembler (register-register form).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::Mul => "mul",
+            AluOp::Div => "div",
+            AluOp::And => "and",
+            AluOp::Or => "or",
+            AluOp::Xor => "xor",
+            AluOp::Sll => "sll",
+            AluOp::Srl => "srl",
+            AluOp::Sra => "sra",
+            AluOp::Slt => "slt",
+            AluOp::Sltu => "sltu",
+        }
+    }
+}
+
+/// Floating-point operations (3 FP ALUs in the modeled core). All operate
+/// on 64-bit IEEE doubles.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FpuOp {
+    /// Addition.
+    FAdd,
+    /// Subtraction.
+    FSub,
+    /// Multiplication.
+    FMul,
+    /// Division (long latency).
+    FDiv,
+    /// Square root (long latency).
+    FSqrt,
+    /// Minimum.
+    FMin,
+    /// Maximum.
+    FMax,
+}
+
+impl FpuOp {
+    /// Evaluates the operation. Unary operations (`FSqrt`) ignore `b`.
+    #[inline]
+    pub fn eval(self, a: f64, b: f64) -> f64 {
+        match self {
+            FpuOp::FAdd => a + b,
+            FpuOp::FSub => a - b,
+            FpuOp::FMul => a * b,
+            FpuOp::FDiv => a / b,
+            FpuOp::FSqrt => a.sqrt(),
+            FpuOp::FMin => a.min(b),
+            FpuOp::FMax => a.max(b),
+        }
+    }
+
+    /// Execution latency in cycles on the modeled core.
+    #[inline]
+    pub fn latency(self) -> u32 {
+        match self {
+            FpuOp::FAdd | FpuOp::FSub | FpuOp::FMin | FpuOp::FMax => 3,
+            FpuOp::FMul => 4,
+            FpuOp::FDiv => 12,
+            FpuOp::FSqrt => 15,
+        }
+    }
+
+    /// Mnemonic used by the assembler.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            FpuOp::FAdd => "fadd",
+            FpuOp::FSub => "fsub",
+            FpuOp::FMul => "fmul",
+            FpuOp::FDiv => "fdiv",
+            FpuOp::FSqrt => "fsqrt",
+            FpuOp::FMin => "fmin",
+            FpuOp::FMax => "fmax",
+        }
+    }
+
+    /// True for operations that only read their first operand.
+    pub fn is_unary(self) -> bool {
+        matches!(self, FpuOp::FSqrt)
+    }
+}
+
+/// Branch conditions comparing two integer registers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Cond {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less-than.
+    Lt,
+    /// Signed greater-or-equal.
+    Ge,
+    /// Unsigned less-than.
+    Ltu,
+    /// Unsigned greater-or-equal.
+    Geu,
+}
+
+impl Cond {
+    /// Evaluates the condition.
+    #[inline]
+    pub fn eval(self, a: i64, b: i64) -> bool {
+        match self {
+            Cond::Eq => a == b,
+            Cond::Ne => a != b,
+            Cond::Lt => a < b,
+            Cond::Ge => a >= b,
+            Cond::Ltu => (a as u64) < (b as u64),
+            Cond::Geu => (a as u64) >= (b as u64),
+        }
+    }
+
+    /// Mnemonic suffix used by the assembler (`b{suffix}`).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Cond::Eq => "beq",
+            Cond::Ne => "bne",
+            Cond::Lt => "blt",
+            Cond::Ge => "bge",
+            Cond::Ltu => "bltu",
+            Cond::Geu => "bgeu",
+        }
+    }
+}
+
+/// Access width of a memory operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Width {
+    /// One byte (zero-extended on load).
+    B,
+    /// Four bytes (sign-extended on load).
+    W,
+    /// Eight bytes.
+    D,
+}
+
+impl Width {
+    /// Width in bytes.
+    #[inline]
+    pub fn bytes(self) -> u64 {
+        match self {
+            Width::B => 1,
+            Width::W => 4,
+            Width::D => 8,
+        }
+    }
+
+    /// Assembler suffix (`.b` / `.w` / `.d`).
+    pub fn suffix(self) -> &'static str {
+        match self {
+            Width::B => ".b",
+            Width::W => ".w",
+            Width::D => ".d",
+        }
+    }
+}
+
+/// How a memory instruction's effective address is routed (paper §3.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum Route {
+    /// A conventional load/store: the pre-MMU range check sends it to the
+    /// LM (when the address lies in the LM window) or to the caches.
+    #[default]
+    Plain,
+    /// A *guarded* access: the address-generation unit looks the SM base
+    /// address up in the coherence directory and diverts the access to the
+    /// LM on a hit. This is the paper's hardware contribution.
+    Guarded,
+    /// The incoherent-oracle baseline of Figure 8: no directory hardware,
+    /// but the access is magically served by whichever memory holds the
+    /// valid copy. Only meaningful in the `HybridOracle` machine mode.
+    Oracle,
+}
+
+impl Route {
+    /// Assembler prefix for load/store mnemonics.
+    pub fn prefix(self) -> &'static str {
+        match self {
+            Route::Plain => "",
+            Route::Guarded => "g",
+            Route::Oracle => "o",
+        }
+    }
+}
+
+/// Execution-model phase markers (paper Figure 2): the transformed code
+/// runs a *control* phase (DMA programming), a *synchronization* phase
+/// (waiting on DMA completion) and a *work* phase per tile. The simulator
+/// attributes cycles to the phase named by the most recently committed
+/// marker, which regenerates Figure 9's stacked bars.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum Phase {
+    /// Anything outside the transformed loop.
+    #[default]
+    Other,
+    /// Control phase: programming DMA transfers, pointer bookkeeping.
+    Control,
+    /// Synchronization phase: `dma-synch` waits.
+    Synch,
+    /// Work phase: the actual computation on the current tile.
+    Work,
+}
+
+impl Phase {
+    /// Name used by the assembler and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Other => "other",
+            Phase::Control => "control",
+            Phase::Synch => "synch",
+            Phase::Work => "work",
+        }
+    }
+
+    /// All phases, in report order.
+    pub const ALL: [Phase; 4] = [Phase::Work, Phase::Synch, Phase::Control, Phase::Other];
+}
+
+/// Second source operand of an ALU instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// A register.
+    Reg(Reg),
+    /// A sign-extended immediate.
+    Imm(i64),
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Imm(i) => write!(f, "{i}"),
+        }
+    }
+}
+
+/// One instruction of the hsim ISA.
+///
+/// Branch/jump/call targets are *program indices* (PCs); the
+/// [`ProgramBuilder`](crate::program::ProgramBuilder) resolves labels to
+/// indices at build time.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Inst {
+    /// Integer ALU operation: `rd = op(rs1, src2)`.
+    Alu {
+        /// Operation.
+        op: AluOp,
+        /// Destination register.
+        rd: Reg,
+        /// First source register.
+        rs1: Reg,
+        /// Second source (register or immediate).
+        src2: Operand,
+    },
+    /// Load immediate: `rd = imm`.
+    Li {
+        /// Destination register.
+        rd: Reg,
+        /// Immediate value.
+        imm: i64,
+    },
+    /// Floating-point operation: `fd = op(fs1, fs2)`.
+    Fpu {
+        /// Operation.
+        op: FpuOp,
+        /// Destination register.
+        fd: FReg,
+        /// First source register.
+        fs1: FReg,
+        /// Second source register (ignored by unary ops).
+        fs2: FReg,
+    },
+    /// Move integer bits into an FP register: `fd = bits(rs)`.
+    MovIF {
+        /// FP destination.
+        fd: FReg,
+        /// Integer source.
+        rs: Reg,
+    },
+    /// Move FP bits into an integer register: `rd = bits(fs)`.
+    MovFI {
+        /// Integer destination.
+        rd: Reg,
+        /// FP source.
+        fs: FReg,
+    },
+    /// Convert integer to double: `fd = rs as f64`.
+    CvtIF {
+        /// FP destination.
+        fd: FReg,
+        /// Integer source.
+        rs: Reg,
+    },
+    /// Convert double to integer (truncating): `rd = fs as i64`.
+    CvtFI {
+        /// Integer destination.
+        rd: Reg,
+        /// FP source.
+        fs: FReg,
+    },
+    /// Integer load: `rd = mem[base + index + offset]`.
+    Load {
+        /// Destination register.
+        rd: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Optional index register added to the base (x86-style indexed
+        /// addressing; the paper's Table 2 microbenchmark relies on it).
+        index: Option<Reg>,
+        /// Byte offset.
+        offset: i64,
+        /// Access width.
+        width: Width,
+        /// Routing (plain / guarded / oracle).
+        route: Route,
+    },
+    /// Integer store: `mem[base + index + offset] = rs`.
+    Store {
+        /// Value register.
+        rs: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Optional index register added to the base.
+        index: Option<Reg>,
+        /// Byte offset.
+        offset: i64,
+        /// Access width.
+        width: Width,
+        /// Routing (plain / guarded / oracle).
+        route: Route,
+    },
+    /// FP load (8 bytes): `fd = mem[base + index + offset]`.
+    FLoad {
+        /// Destination register.
+        fd: FReg,
+        /// Base address register.
+        base: Reg,
+        /// Optional index register added to the base.
+        index: Option<Reg>,
+        /// Byte offset.
+        offset: i64,
+        /// Routing (plain / guarded / oracle).
+        route: Route,
+    },
+    /// FP store (8 bytes): `mem[base + index + offset] = fs`.
+    FStore {
+        /// Value register.
+        fs: FReg,
+        /// Base address register.
+        base: Reg,
+        /// Optional index register added to the base.
+        index: Option<Reg>,
+        /// Byte offset.
+        offset: i64,
+        /// Routing (plain / guarded / oracle).
+        route: Route,
+    },
+    /// Conditional branch to `target` when `cond(rs1, rs2)` holds.
+    Branch {
+        /// Condition.
+        cond: Cond,
+        /// First comparison register.
+        rs1: Reg,
+        /// Second comparison register.
+        rs2: Reg,
+        /// Target PC (label-resolved).
+        target: usize,
+    },
+    /// Unconditional jump.
+    Jump {
+        /// Target PC (label-resolved).
+        target: usize,
+    },
+    /// Call: pushes the return PC on the (architectural) RAS and jumps.
+    Call {
+        /// Target PC (label-resolved).
+        target: usize,
+    },
+    /// Return: pops the return PC.
+    Ret,
+    /// Programs a DMA transfer from system memory into the local memory
+    /// (`dma-get`, §2.1). Registers carry the LM destination address, the
+    /// SM source address and the byte count; `tag` groups transfers for
+    /// `dma-synch`. Updates the coherence directory (§3.2).
+    DmaGet {
+        /// Register holding the LM destination address.
+        lm: Reg,
+        /// Register holding the SM source address.
+        sm: Reg,
+        /// Register holding the transfer size in bytes.
+        bytes: Reg,
+        /// Synchronization tag (0–7).
+        tag: u8,
+    },
+    /// Programs a DMA transfer from the local memory back to system memory
+    /// (`dma-put`): copies to main memory and invalidates matching cache
+    /// lines.
+    DmaPut {
+        /// Register holding the LM source address.
+        lm: Reg,
+        /// Register holding the SM destination address.
+        sm: Reg,
+        /// Register holding the transfer size in bytes.
+        bytes: Reg,
+        /// Synchronization tag (0–7).
+        tag: u8,
+    },
+    /// Blocks until every DMA transfer with the given tag has completed.
+    DmaSynch {
+        /// Synchronization tag (0–7).
+        tag: u8,
+    },
+    /// Configures the directory's buffer size (Base/Offset mask registers,
+    /// §3.2). The register holds the new LM buffer size in bytes, which
+    /// must be a power of two.
+    DirCfg {
+        /// Register holding the buffer size.
+        rs: Reg,
+    },
+    /// Execution-phase marker (control / synch / work / other).
+    PhaseMark {
+        /// The phase that starts here.
+        phase: Phase,
+    },
+    /// Stops the machine.
+    Halt,
+    /// No operation.
+    Nop,
+}
+
+impl Inst {
+    /// True for loads of any kind (integer or FP).
+    #[inline]
+    pub fn is_load(&self) -> bool {
+        matches!(self, Inst::Load { .. } | Inst::FLoad { .. })
+    }
+
+    /// True for stores of any kind (integer or FP).
+    #[inline]
+    pub fn is_store(&self) -> bool {
+        matches!(self, Inst::Store { .. } | Inst::FStore { .. })
+    }
+
+    /// True for memory operations.
+    #[inline]
+    pub fn is_mem(&self) -> bool {
+        self.is_load() || self.is_store()
+    }
+
+    /// The routing of a memory operation, or `None` for non-memory ops.
+    #[inline]
+    pub fn route(&self) -> Option<Route> {
+        match self {
+            Inst::Load { route, .. }
+            | Inst::Store { route, .. }
+            | Inst::FLoad { route, .. }
+            | Inst::FStore { route, .. } => Some(*route),
+            _ => None,
+        }
+    }
+
+    /// True for control-transfer instructions.
+    #[inline]
+    pub fn is_control(&self) -> bool {
+        matches!(
+            self,
+            Inst::Branch { .. } | Inst::Jump { .. } | Inst::Call { .. } | Inst::Ret
+        )
+    }
+
+    /// True for conditional branches.
+    #[inline]
+    pub fn is_cond_branch(&self) -> bool {
+        matches!(self, Inst::Branch { .. })
+    }
+
+    /// True for DMA operations (handled by the DMA controller).
+    #[inline]
+    pub fn is_dma(&self) -> bool {
+        matches!(
+            self,
+            Inst::DmaGet { .. } | Inst::DmaPut { .. } | Inst::DmaSynch { .. }
+        )
+    }
+
+    /// The access width of a memory operation (FP ops are 8 bytes wide).
+    #[inline]
+    pub fn mem_width(&self) -> Option<Width> {
+        match self {
+            Inst::Load { width, .. } | Inst::Store { width, .. } => Some(*width),
+            Inst::FLoad { .. } | Inst::FStore { .. } => Some(Width::D),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alu_eval_basics() {
+        assert_eq!(AluOp::Add.eval(2, 3), 5);
+        assert_eq!(AluOp::Sub.eval(2, 3), -1);
+        assert_eq!(AluOp::Mul.eval(-4, 3), -12);
+        assert_eq!(AluOp::Div.eval(7, 2), 3);
+        assert_eq!(AluOp::Div.eval(7, 0), 0, "div by zero is defined as 0");
+        assert_eq!(AluOp::And.eval(0b1100, 0b1010), 0b1000);
+        assert_eq!(AluOp::Or.eval(0b1100, 0b1010), 0b1110);
+        assert_eq!(AluOp::Xor.eval(0b1100, 0b1010), 0b0110);
+        assert_eq!(AluOp::Sll.eval(1, 4), 16);
+        assert_eq!(AluOp::Srl.eval(-1, 60), 15);
+        assert_eq!(AluOp::Sra.eval(-16, 2), -4);
+        assert_eq!(AluOp::Slt.eval(-1, 0), 1);
+        assert_eq!(AluOp::Sltu.eval(-1, 0), 0, "-1 is u64::MAX unsigned");
+    }
+
+    #[test]
+    fn alu_eval_wrapping() {
+        assert_eq!(AluOp::Add.eval(i64::MAX, 1), i64::MIN);
+        assert_eq!(AluOp::Mul.eval(i64::MAX, 2), -2);
+        // Shift amounts are masked to 6 bits.
+        assert_eq!(AluOp::Sll.eval(1, 64), 1);
+        assert_eq!(AluOp::Sll.eval(1, 65), 2);
+    }
+
+    #[test]
+    fn fpu_eval_basics() {
+        assert_eq!(FpuOp::FAdd.eval(1.5, 2.25), 3.75);
+        assert_eq!(FpuOp::FSub.eval(1.5, 2.25), -0.75);
+        assert_eq!(FpuOp::FMul.eval(3.0, -2.0), -6.0);
+        assert_eq!(FpuOp::FDiv.eval(1.0, 4.0), 0.25);
+        assert_eq!(FpuOp::FSqrt.eval(9.0, 0.0), 3.0);
+        assert_eq!(FpuOp::FMin.eval(1.0, 2.0), 1.0);
+        assert_eq!(FpuOp::FMax.eval(1.0, 2.0), 2.0);
+    }
+
+    #[test]
+    fn cond_eval() {
+        assert!(Cond::Eq.eval(3, 3));
+        assert!(Cond::Ne.eval(3, 4));
+        assert!(Cond::Lt.eval(-1, 0));
+        assert!(Cond::Ge.eval(0, 0));
+        assert!(!Cond::Ltu.eval(-1, 0));
+        assert!(Cond::Geu.eval(-1, 0));
+    }
+
+    #[test]
+    fn widths() {
+        assert_eq!(Width::B.bytes(), 1);
+        assert_eq!(Width::W.bytes(), 4);
+        assert_eq!(Width::D.bytes(), 8);
+    }
+
+    #[test]
+    fn inst_classification() {
+        let ld = Inst::Load {
+            rd: Reg(1),
+            base: Reg(2),
+            index: None,
+            offset: 0,
+            width: Width::D,
+            route: Route::Guarded,
+        };
+        assert!(ld.is_load() && ld.is_mem() && !ld.is_store());
+        assert_eq!(ld.route(), Some(Route::Guarded));
+        assert_eq!(ld.mem_width(), Some(Width::D));
+
+        let st = Inst::FStore {
+            fs: FReg(0),
+            base: Reg(2),
+            index: Some(Reg(3)),
+            offset: 8,
+            route: Route::Plain,
+        };
+        assert!(st.is_store() && st.is_mem());
+        assert_eq!(st.mem_width(), Some(Width::D));
+
+        let br = Inst::Branch {
+            cond: Cond::Ne,
+            rs1: Reg(1),
+            rs2: Reg(2),
+            target: 0,
+        };
+        assert!(br.is_control() && br.is_cond_branch());
+        assert!(!br.is_mem());
+        assert_eq!(br.route(), None);
+
+        assert!(Inst::DmaSynch { tag: 0 }.is_dma());
+        assert!(!Inst::Halt.is_dma());
+    }
+
+    #[test]
+    fn latencies_are_positive() {
+        for op in [
+            AluOp::Add,
+            AluOp::Mul,
+            AluOp::Div,
+            AluOp::Sll,
+            AluOp::Slt,
+        ] {
+            assert!(op.latency() >= 1);
+        }
+        for op in [FpuOp::FAdd, FpuOp::FMul, FpuOp::FDiv, FpuOp::FSqrt] {
+            assert!(op.latency() >= 1);
+        }
+    }
+}

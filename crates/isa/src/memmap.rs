@@ -1,0 +1,169 @@
+//! The simulated machine's virtual address map.
+//!
+//! The paper integrates the local memory by reserving a range of the
+//! virtual address space that is direct-mapped to the LM's physical storage
+//! (§2.1). A range check performed *before* any MMU action decides whether
+//! an access is served by the LM (bypassing the TLB entirely) or by the
+//! system memory (caches + DRAM). [`MemoryMap`] encapsulates that range
+//! check plus the layout of the remaining segments.
+//!
+//! Layout (all regions are configurable; these are the defaults):
+//!
+//! ```text
+//! 0x0000_0000_0000 .. +code     code segment (instructions, 8 B each)
+//! 0x0000_1000_0000 .. +heap     data segment (arrays, workload data)
+//! 0x7fff_0000_0000 .. +lm_size  local memory window  (TLB bypassed)
+//! 0x7fff_f000_0000 .. +4 KiB    DMAC / directory MMIO registers
+//! ```
+
+/// A virtual/physical address in the simulated 64-bit machine.
+pub type Addr = u64;
+
+/// Default base of the code segment.
+pub const CODE_BASE: Addr = 0x0000_0000_0000;
+/// Default base of the data segment.
+pub const DATA_BASE: Addr = 0x0000_1000_0000;
+/// Default base of the local-memory window.
+pub const LM_BASE: Addr = 0x7fff_0000_0000;
+/// Default local-memory size: 32 KiB (Table 1).
+pub const LM_SIZE: u64 = 32 * 1024;
+/// Default base of the MMIO window holding the DMAC and directory registers.
+pub const MMIO_BASE: Addr = 0x7fff_f000_0000;
+/// Size of the MMIO window.
+pub const MMIO_SIZE: u64 = 4096;
+/// Byte size of one encoded instruction (used to map PCs to I-cache lines).
+pub const INST_BYTES: u64 = 8;
+
+/// Classification of a virtual address by the pre-MMU range check.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Region {
+    /// Served by the local memory; the MMU/TLB is bypassed.
+    LocalMem,
+    /// Non-cacheable MMIO registers (DMAC, directory configuration).
+    Mmio,
+    /// Everything else: system memory (cache hierarchy + DRAM).
+    SysMem,
+}
+
+/// The address map of one simulated core.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MemoryMap {
+    /// Base virtual address of the local-memory window.
+    pub lm_base: Addr,
+    /// Size in bytes of the local memory.
+    pub lm_size: u64,
+    /// Base of the MMIO window.
+    pub mmio_base: Addr,
+    /// Size of the MMIO window.
+    pub mmio_size: u64,
+    /// Base of the code segment.
+    pub code_base: Addr,
+    /// Base of the data segment.
+    pub data_base: Addr,
+}
+
+impl Default for MemoryMap {
+    fn default() -> Self {
+        MemoryMap {
+            lm_base: LM_BASE,
+            lm_size: LM_SIZE,
+            mmio_base: MMIO_BASE,
+            mmio_size: MMIO_SIZE,
+            code_base: CODE_BASE,
+            data_base: DATA_BASE,
+        }
+    }
+}
+
+impl MemoryMap {
+    /// The pre-MMU range check of §2.1: classifies `addr` into the region
+    /// that must serve it.
+    #[inline]
+    pub fn region(&self, addr: Addr) -> Region {
+        if addr.wrapping_sub(self.lm_base) < self.lm_size {
+            Region::LocalMem
+        } else if addr.wrapping_sub(self.mmio_base) < self.mmio_size {
+            Region::Mmio
+        } else {
+            Region::SysMem
+        }
+    }
+
+    /// True when `addr` falls inside the local-memory window.
+    #[inline]
+    pub fn is_lm(&self, addr: Addr) -> bool {
+        self.region(addr) == Region::LocalMem
+    }
+
+    /// Offset of `addr` within the LM, or `None` when outside the window.
+    #[inline]
+    pub fn lm_offset(&self, addr: Addr) -> Option<u64> {
+        let off = addr.wrapping_sub(self.lm_base);
+        (off < self.lm_size).then_some(off)
+    }
+
+    /// The virtual address of the `n`-th instruction of a program.
+    #[inline]
+    pub fn pc_addr(&self, pc: usize) -> Addr {
+        self.code_base + pc as u64 * INST_BYTES
+    }
+
+    /// Checks that a `[addr, addr+len)` range lies entirely within the LM.
+    pub fn lm_range_ok(&self, addr: Addr, len: u64) -> bool {
+        match self.lm_offset(addr) {
+            Some(off) => off + len <= self.lm_size,
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_regions() {
+        let m = MemoryMap::default();
+        assert_eq!(m.region(DATA_BASE), Region::SysMem);
+        assert_eq!(m.region(LM_BASE), Region::LocalMem);
+        assert_eq!(m.region(LM_BASE + LM_SIZE - 1), Region::LocalMem);
+        assert_eq!(m.region(LM_BASE + LM_SIZE), Region::SysMem);
+        assert_eq!(m.region(MMIO_BASE), Region::Mmio);
+        assert_eq!(m.region(MMIO_BASE + MMIO_SIZE), Region::SysMem);
+        assert_eq!(m.region(0), Region::SysMem);
+    }
+
+    #[test]
+    fn lm_offset_boundaries() {
+        let m = MemoryMap::default();
+        assert_eq!(m.lm_offset(LM_BASE), Some(0));
+        assert_eq!(m.lm_offset(LM_BASE + 100), Some(100));
+        assert_eq!(m.lm_offset(LM_BASE - 1), None);
+        assert_eq!(m.lm_offset(LM_BASE + LM_SIZE), None);
+    }
+
+    #[test]
+    fn lm_range_check() {
+        let m = MemoryMap::default();
+        assert!(m.lm_range_ok(LM_BASE, LM_SIZE));
+        assert!(m.lm_range_ok(LM_BASE + 8, 16));
+        assert!(!m.lm_range_ok(LM_BASE + 8, LM_SIZE));
+        assert!(!m.lm_range_ok(DATA_BASE, 8));
+    }
+
+    #[test]
+    fn pc_addresses_are_dense() {
+        let m = MemoryMap::default();
+        assert_eq!(m.pc_addr(0), CODE_BASE);
+        assert_eq!(m.pc_addr(1) - m.pc_addr(0), INST_BYTES);
+    }
+
+    #[test]
+    fn region_check_handles_wraparound() {
+        // An address far below lm_base must not be classified LocalMem via
+        // wrapping arithmetic.
+        let m = MemoryMap::default();
+        assert_eq!(m.region(1), Region::SysMem);
+        assert_eq!(m.region(u64::MAX), Region::SysMem);
+    }
+}

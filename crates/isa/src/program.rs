@@ -1,0 +1,424 @@
+//! Programs and the label-resolving program builder.
+
+use crate::inst::{AluOp, Cond, FpuOp, Inst, Operand, Phase, Route, Width};
+use crate::reg::{FReg, Reg};
+use std::collections::HashMap;
+
+/// A forward-referenceable code label handed out by [`ProgramBuilder`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// A fully resolved program: a dense instruction array whose control-flow
+/// targets are instruction indices.
+#[derive(Clone, Debug, Default)]
+pub struct Program {
+    /// The instructions; `pc` indexes this vector.
+    pub insts: Vec<Inst>,
+    /// Optional label names for the disassembler, keyed by target PC.
+    pub label_names: HashMap<usize, String>,
+}
+
+impl Program {
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// True when the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Counts instructions matching a predicate (used by tests and the
+    /// experiment harness, e.g. to count guarded references).
+    pub fn count(&self, f: impl Fn(&Inst) -> bool) -> usize {
+        self.insts.iter().filter(|i| f(i)).count()
+    }
+
+    /// Counts memory instructions with the given routing.
+    pub fn count_route(&self, route: Route) -> usize {
+        self.count(|i| i.route() == Some(route))
+    }
+}
+
+/// Builds a [`Program`], resolving labels to instruction indices.
+///
+/// ```
+/// use hsim_isa::{ProgramBuilder, Reg, Cond};
+///
+/// let mut b = ProgramBuilder::new();
+/// let loop_top = b.new_label();
+/// b.li(Reg(1), 0);
+/// b.li(Reg(2), 10);
+/// b.bind(loop_top);
+/// b.addi(Reg(1), Reg(1), 1);
+/// b.branch(Cond::Lt, Reg(1), Reg(2), loop_top);
+/// b.halt();
+/// let p = b.build();
+/// assert_eq!(p.len(), 5);
+/// ```
+#[derive(Default)]
+pub struct ProgramBuilder {
+    insts: Vec<Inst>,
+    /// For each instruction that references a label, the label it uses.
+    fixups: Vec<(usize, Label)>,
+    /// Label id -> bound PC.
+    bound: Vec<Option<usize>>,
+    names: Vec<Option<String>>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current instruction count (the PC of the next emitted instruction).
+    pub fn here(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Allocates a fresh, unbound label.
+    pub fn new_label(&mut self) -> Label {
+        self.bound.push(None);
+        self.names.push(None);
+        Label(self.bound.len() - 1)
+    }
+
+    /// Allocates a fresh label with a name (kept for disassembly).
+    pub fn new_named_label(&mut self, name: &str) -> Label {
+        let l = self.new_label();
+        self.names[l.0] = Some(name.to_string());
+        l
+    }
+
+    /// Binds `label` to the current position.
+    ///
+    /// Panics if the label was already bound.
+    pub fn bind(&mut self, label: Label) {
+        assert!(self.bound[label.0].is_none(), "label bound twice");
+        self.bound[label.0] = Some(self.insts.len());
+    }
+
+    /// Emits a raw instruction. Control-flow targets emitted this way must
+    /// already be resolved indices.
+    pub fn push(&mut self, inst: Inst) {
+        self.insts.push(inst);
+    }
+
+    // ---- ALU helpers -----------------------------------------------------
+
+    /// `rd = rs1 op rs2`.
+    pub fn alu(&mut self, op: AluOp, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.push(Inst::Alu {
+            op,
+            rd,
+            rs1,
+            src2: Operand::Reg(rs2),
+        });
+    }
+
+    /// `rd = rs1 op imm`.
+    pub fn alui(&mut self, op: AluOp, rd: Reg, rs1: Reg, imm: i64) {
+        self.push(Inst::Alu {
+            op,
+            rd,
+            rs1,
+            src2: Operand::Imm(imm),
+        });
+    }
+
+    /// `rd = rs1 + rs2`.
+    pub fn add(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.alu(AluOp::Add, rd, rs1, rs2);
+    }
+
+    /// `rd = rs1 + imm`.
+    pub fn addi(&mut self, rd: Reg, rs1: Reg, imm: i64) {
+        self.alui(AluOp::Add, rd, rs1, imm);
+    }
+
+    /// `rd = imm`.
+    pub fn li(&mut self, rd: Reg, imm: i64) {
+        self.push(Inst::Li { rd, imm });
+    }
+
+    /// `rd = rs` (encoded as `rd = rs + 0`).
+    pub fn mv(&mut self, rd: Reg, rs: Reg) {
+        self.addi(rd, rs, 0);
+    }
+
+    /// `fd = fs1 op fs2`.
+    pub fn fpu(&mut self, op: FpuOp, fd: FReg, fs1: FReg, fs2: FReg) {
+        self.push(Inst::Fpu { op, fd, fs1, fs2 });
+    }
+
+    // ---- memory helpers --------------------------------------------------
+
+    /// Integer load with explicit routing.
+    pub fn load(&mut self, rd: Reg, base: Reg, offset: i64, width: Width, route: Route) {
+        self.push(Inst::Load {
+            rd,
+            base,
+            index: None,
+            offset,
+            width,
+            route,
+        });
+    }
+
+    /// Integer load with base+index addressing.
+    pub fn load_x(&mut self, rd: Reg, base: Reg, index: Reg, offset: i64, width: Width, route: Route) {
+        self.push(Inst::Load {
+            rd,
+            base,
+            index: Some(index),
+            offset,
+            width,
+            route,
+        });
+    }
+
+    /// Integer store with explicit routing.
+    pub fn store(&mut self, rs: Reg, base: Reg, offset: i64, width: Width, route: Route) {
+        self.push(Inst::Store {
+            rs,
+            base,
+            index: None,
+            offset,
+            width,
+            route,
+        });
+    }
+
+    /// Integer store with base+index addressing.
+    pub fn store_x(&mut self, rs: Reg, base: Reg, index: Reg, offset: i64, width: Width, route: Route) {
+        self.push(Inst::Store {
+            rs,
+            base,
+            index: Some(index),
+            offset,
+            width,
+            route,
+        });
+    }
+
+    /// 64-bit plain load.
+    pub fn ld(&mut self, rd: Reg, base: Reg, offset: i64) {
+        self.load(rd, base, offset, Width::D, Route::Plain);
+    }
+
+    /// 64-bit plain store.
+    pub fn st(&mut self, rs: Reg, base: Reg, offset: i64) {
+        self.store(rs, base, offset, Width::D, Route::Plain);
+    }
+
+    /// FP load with explicit routing.
+    pub fn fload(&mut self, fd: FReg, base: Reg, offset: i64, route: Route) {
+        self.push(Inst::FLoad {
+            fd,
+            base,
+            index: None,
+            offset,
+            route,
+        });
+    }
+
+    /// FP load with base+index addressing.
+    pub fn fload_x(&mut self, fd: FReg, base: Reg, index: Reg, offset: i64, route: Route) {
+        self.push(Inst::FLoad {
+            fd,
+            base,
+            index: Some(index),
+            offset,
+            route,
+        });
+    }
+
+    /// FP store with explicit routing.
+    pub fn fstore(&mut self, fs: FReg, base: Reg, offset: i64, route: Route) {
+        self.push(Inst::FStore {
+            fs,
+            base,
+            index: None,
+            offset,
+            route,
+        });
+    }
+
+    /// FP store with base+index addressing.
+    pub fn fstore_x(&mut self, fs: FReg, base: Reg, index: Reg, offset: i64, route: Route) {
+        self.push(Inst::FStore {
+            fs,
+            base,
+            index: Some(index),
+            offset,
+            route,
+        });
+    }
+
+    // ---- control flow ----------------------------------------------------
+
+    /// Conditional branch to a label.
+    pub fn branch(&mut self, cond: Cond, rs1: Reg, rs2: Reg, target: Label) {
+        self.fixups.push((self.insts.len(), target));
+        self.push(Inst::Branch {
+            cond,
+            rs1,
+            rs2,
+            target: usize::MAX,
+        });
+    }
+
+    /// Unconditional jump to a label.
+    pub fn jump(&mut self, target: Label) {
+        self.fixups.push((self.insts.len(), target));
+        self.push(Inst::Jump { target: usize::MAX });
+    }
+
+    /// Call to a label.
+    pub fn call(&mut self, target: Label) {
+        self.fixups.push((self.insts.len(), target));
+        self.push(Inst::Call { target: usize::MAX });
+    }
+
+    /// Return.
+    pub fn ret(&mut self) {
+        self.push(Inst::Ret);
+    }
+
+    // ---- system ------------------------------------------------------------
+
+    /// `dma-get`: SM -> LM transfer; updates the directory.
+    pub fn dma_get(&mut self, lm: Reg, sm: Reg, bytes: Reg, tag: u8) {
+        self.push(Inst::DmaGet { lm, sm, bytes, tag });
+    }
+
+    /// `dma-put`: LM -> SM transfer; invalidates cached copies.
+    pub fn dma_put(&mut self, lm: Reg, sm: Reg, bytes: Reg, tag: u8) {
+        self.push(Inst::DmaPut { lm, sm, bytes, tag });
+    }
+
+    /// `dma-synch`: wait for transfers with `tag`.
+    pub fn dma_synch(&mut self, tag: u8) {
+        self.push(Inst::DmaSynch { tag });
+    }
+
+    /// Directory buffer-size configuration.
+    pub fn dir_cfg(&mut self, rs: Reg) {
+        self.push(Inst::DirCfg { rs });
+    }
+
+    /// Phase marker.
+    pub fn phase(&mut self, phase: Phase) {
+        self.push(Inst::PhaseMark { phase });
+    }
+
+    /// Halt.
+    pub fn halt(&mut self) {
+        self.push(Inst::Halt);
+    }
+
+    /// Nop.
+    pub fn nop(&mut self) {
+        self.push(Inst::Nop);
+    }
+
+    /// Resolves all labels and returns the program.
+    ///
+    /// Panics if any referenced label was never bound.
+    pub fn build(self) -> Program {
+        let ProgramBuilder {
+            mut insts,
+            fixups,
+            bound,
+            names,
+        } = self;
+        for (pc, label) in fixups {
+            let dst = bound[label.0]
+                .unwrap_or_else(|| panic!("label {:?} referenced but never bound", label));
+            match &mut insts[pc] {
+                Inst::Branch { target, .. } | Inst::Jump { target } | Inst::Call { target } => {
+                    *target = dst;
+                }
+                other => panic!("fixup on non-control instruction {other:?}"),
+            }
+        }
+        let mut label_names = HashMap::new();
+        for (id, pc) in bound.iter().enumerate() {
+            if let (Some(pc), Some(name)) = (pc, &names[id]) {
+                label_names.insert(*pc, name.clone());
+            }
+        }
+        Program { insts, label_names }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let mut b = ProgramBuilder::new();
+        let fwd = b.new_label();
+        let back = b.new_label();
+        b.bind(back);
+        b.li(Reg(1), 1);
+        b.jump(fwd); // forward reference
+        b.branch(Cond::Eq, Reg(1), Reg(1), back); // backward reference
+        b.bind(fwd);
+        b.halt();
+        let p = b.build();
+        assert_eq!(p.insts[1], Inst::Jump { target: 3 });
+        match p.insts[2] {
+            Inst::Branch { target, .. } => assert_eq!(target, 0),
+            ref other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "never bound")]
+    fn unbound_label_panics() {
+        let mut b = ProgramBuilder::new();
+        let l = b.new_label();
+        b.jump(l);
+        let _ = b.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "bound twice")]
+    fn double_bind_panics() {
+        let mut b = ProgramBuilder::new();
+        let l = b.new_label();
+        b.bind(l);
+        b.nop();
+        b.bind(l);
+    }
+
+    #[test]
+    fn count_routes() {
+        let mut b = ProgramBuilder::new();
+        b.load(Reg(1), Reg(2), 0, Width::D, Route::Guarded);
+        b.store(Reg(1), Reg(2), 0, Width::D, Route::Guarded);
+        b.store(Reg(1), Reg(2), 0, Width::D, Route::Plain);
+        b.ld(Reg(3), Reg(2), 8);
+        b.halt();
+        let p = b.build();
+        assert_eq!(p.count_route(Route::Guarded), 2);
+        assert_eq!(p.count_route(Route::Plain), 2);
+        assert_eq!(p.count_route(Route::Oracle), 0);
+        assert_eq!(p.count(|i| i.is_store()), 2);
+    }
+
+    #[test]
+    fn named_labels_survive() {
+        let mut b = ProgramBuilder::new();
+        let l = b.new_named_label("loop");
+        b.bind(l);
+        b.nop();
+        b.jump(l);
+        let p = b.build();
+        assert_eq!(p.label_names.get(&0).map(String::as_str), Some("loop"));
+    }
+}

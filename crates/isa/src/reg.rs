@@ -1,0 +1,109 @@
+//! Architectural register names.
+//!
+//! The ISA exposes 32 integer registers (`r0`–`r31`) and 32 floating-point
+//! registers (`f0`–`f31`). There is no hard-wired zero register; the
+//! compiler reserves `r0` as a conventional scratch register instead. The
+//! simulated core renames both files onto 256-entry physical register files
+//! (Table 1 of the paper).
+
+use std::fmt;
+
+/// Number of architectural integer registers.
+pub const NUM_INT_REGS: usize = 32;
+/// Number of architectural floating-point registers.
+pub const NUM_FP_REGS: usize = 32;
+
+/// An architectural integer register (`r0`–`r31`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(pub u8);
+
+/// An architectural floating-point register (`f0`–`f31`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FReg(pub u8);
+
+impl Reg {
+    /// Creates `r{n}`, panicking if `n` is out of range.
+    #[inline]
+    pub fn new(n: usize) -> Self {
+        assert!(n < NUM_INT_REGS, "integer register r{n} out of range");
+        Reg(n as u8)
+    }
+
+    /// The register index as a usize, suitable for table lookups.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl FReg {
+    /// Creates `f{n}`, panicking if `n` is out of range.
+    #[inline]
+    pub fn new(n: usize) -> Self {
+        assert!(n < NUM_FP_REGS, "fp register f{n} out of range");
+        FReg(n as u8)
+    }
+
+    /// The register index as a usize, suitable for table lookups.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Display for FReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+impl fmt::Debug for FReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_display() {
+        assert_eq!(Reg::new(7).to_string(), "r7");
+        assert_eq!(FReg::new(31).to_string(), "f31");
+    }
+
+    #[test]
+    fn reg_index_round_trip() {
+        for n in 0..NUM_INT_REGS {
+            assert_eq!(Reg::new(n).index(), n);
+        }
+        for n in 0..NUM_FP_REGS {
+            assert_eq!(FReg::new(n).index(), n);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn reg_out_of_range_panics() {
+        let _ = Reg::new(32);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn freg_out_of_range_panics() {
+        let _ = FReg::new(32);
+    }
+}

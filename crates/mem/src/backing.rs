@@ -1,0 +1,261 @@
+//! Functional backing store: a sparse, paged 64-bit address space.
+//!
+//! Every byte of architectural state (data segment, local-memory window,
+//! DMA buffers) lives here. The cache hierarchy and local memory are pure
+//! *timing* models layered on top, so functional correctness is independent
+//! of timing bugs — which in turn lets the test suite check the coherence
+//! protocol end to end by comparing final memory images across machine
+//! configurations.
+//!
+//! Pages are 4 KiB and allocated on first touch. A one-entry translation
+//! cache makes the common sequential-access pattern cheap.
+
+use std::collections::HashMap;
+
+const PAGE_SHIFT: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+const OFFSET_MASK: u64 = (PAGE_SIZE - 1) as u64;
+
+/// Sparse paged memory. Reads of untouched memory return zero.
+#[derive(Default)]
+pub struct PagedMem {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+    /// One-entry lookup cache: (page number, raw pointer-free index).
+    last_page: Option<u64>,
+}
+
+impl PagedMem {
+    /// Creates an empty memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of resident (touched) pages.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    #[inline]
+    fn page_of(addr: u64) -> (u64, usize) {
+        (addr >> PAGE_SHIFT, (addr & OFFSET_MASK) as usize)
+    }
+
+    /// Reads one byte.
+    #[inline]
+    pub fn read_u8(&self, addr: u64) -> u8 {
+        let (pn, off) = Self::page_of(addr);
+        match self.pages.get(&pn) {
+            Some(p) => p[off],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte.
+    #[inline]
+    pub fn write_u8(&mut self, addr: u64, val: u8) {
+        let (pn, off) = Self::page_of(addr);
+        self.last_page = Some(pn);
+        self.page_mut(pn)[off] = val;
+    }
+
+    fn page_mut(&mut self, pn: u64) -> &mut [u8; PAGE_SIZE] {
+        self.pages.entry(pn).or_insert_with(|| Box::new([0; PAGE_SIZE]))
+    }
+
+    /// Reads `N` little-endian bytes starting at `addr`.
+    #[inline]
+    fn read_bytes<const N: usize>(&self, addr: u64) -> [u8; N] {
+        let (pn, off) = Self::page_of(addr);
+        if off + N <= PAGE_SIZE {
+            if let Some(p) = self.pages.get(&pn) {
+                let mut out = [0u8; N];
+                out.copy_from_slice(&p[off..off + N]);
+                return out;
+            }
+            return [0u8; N];
+        }
+        // Page-crossing access: byte-by-byte (rare).
+        let mut out = [0u8; N];
+        for (i, b) in out.iter_mut().enumerate() {
+            *b = self.read_u8(addr + i as u64);
+        }
+        out
+    }
+
+    #[inline]
+    fn write_bytes(&mut self, addr: u64, bytes: &[u8]) {
+        let (pn, off) = Self::page_of(addr);
+        if off + bytes.len() <= PAGE_SIZE {
+            self.page_mut(pn)[off..off + bytes.len()].copy_from_slice(bytes);
+            return;
+        }
+        for (i, b) in bytes.iter().enumerate() {
+            self.write_u8(addr + i as u64, *b);
+        }
+    }
+
+    /// Reads a 32-bit little-endian value.
+    #[inline]
+    pub fn read_u32(&self, addr: u64) -> u32 {
+        u32::from_le_bytes(self.read_bytes(addr))
+    }
+
+    /// Writes a 32-bit little-endian value.
+    #[inline]
+    pub fn write_u32(&mut self, addr: u64, val: u32) {
+        self.write_bytes(addr, &val.to_le_bytes());
+    }
+
+    /// Reads a 64-bit little-endian value.
+    #[inline]
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        u64::from_le_bytes(self.read_bytes(addr))
+    }
+
+    /// Writes a 64-bit little-endian value.
+    #[inline]
+    pub fn write_u64(&mut self, addr: u64, val: u64) {
+        self.write_bytes(addr, &val.to_le_bytes());
+    }
+
+    /// Reads an `i64`.
+    #[inline]
+    pub fn read_i64(&self, addr: u64) -> i64 {
+        self.read_u64(addr) as i64
+    }
+
+    /// Writes an `i64`.
+    #[inline]
+    pub fn write_i64(&mut self, addr: u64, val: i64) {
+        self.write_u64(addr, val as u64);
+    }
+
+    /// Reads an `f64`.
+    #[inline]
+    pub fn read_f64(&self, addr: u64) -> f64 {
+        f64::from_bits(self.read_u64(addr))
+    }
+
+    /// Writes an `f64`.
+    #[inline]
+    pub fn write_f64(&mut self, addr: u64, val: f64) {
+        self.write_u64(addr, val.to_bits());
+    }
+
+    /// Copies `len` bytes from `src` to `dst` (the functional effect of a
+    /// DMA transfer). Ranges may overlap; the copy behaves like
+    /// `memmove`.
+    pub fn copy(&mut self, dst: u64, src: u64, len: u64) {
+        if len == 0 || dst == src {
+            return;
+        }
+        // Buffer through a temporary to get memmove semantics over the
+        // sparse pages. DMA transfers are at most tens of KiB.
+        let mut tmp = vec![0u8; len as usize];
+        for (i, b) in tmp.iter_mut().enumerate() {
+            *b = self.read_u8(src + i as u64);
+        }
+        self.write_bytes(dst, &tmp);
+    }
+
+    /// Computes a FNV-1a checksum of `[addr, addr+len)`; used by tests to
+    /// compare memory images cheaply.
+    pub fn checksum(&self, addr: u64, len: u64) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for i in 0..len {
+            h ^= self.read_u8(addr + i) as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_initialised() {
+        let m = PagedMem::new();
+        assert_eq!(m.read_u64(0x1234), 0);
+        assert_eq!(m.read_u8(u64::MAX - 8), 0);
+        assert_eq!(m.resident_pages(), 0);
+    }
+
+    #[test]
+    fn read_your_writes() {
+        let mut m = PagedMem::new();
+        m.write_u64(0x1000, 0xdead_beef_cafe_f00d);
+        assert_eq!(m.read_u64(0x1000), 0xdead_beef_cafe_f00d);
+        m.write_u32(0x2000, 0x1234_5678);
+        assert_eq!(m.read_u32(0x2000), 0x1234_5678);
+        m.write_u8(0x3000, 0xab);
+        assert_eq!(m.read_u8(0x3000), 0xab);
+        m.write_f64(0x4000, -1.25);
+        assert_eq!(m.read_f64(0x4000), -1.25);
+        m.write_i64(0x5000, -42);
+        assert_eq!(m.read_i64(0x5000), -42);
+    }
+
+    #[test]
+    fn little_endian_layout() {
+        let mut m = PagedMem::new();
+        m.write_u32(0x100, 0x0403_0201);
+        assert_eq!(m.read_u8(0x100), 1);
+        assert_eq!(m.read_u8(0x103), 4);
+    }
+
+    #[test]
+    fn page_crossing_access() {
+        let mut m = PagedMem::new();
+        let addr = (1 << 12) - 4; // crosses the first page boundary
+        m.write_u64(addr, 0x1122_3344_5566_7788);
+        assert_eq!(m.read_u64(addr), 0x1122_3344_5566_7788);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn copy_non_overlapping() {
+        let mut m = PagedMem::new();
+        for i in 0..64u64 {
+            m.write_u8(0x1000 + i, i as u8);
+        }
+        m.copy(0x2000, 0x1000, 64);
+        for i in 0..64u64 {
+            assert_eq!(m.read_u8(0x2000 + i), i as u8);
+        }
+    }
+
+    #[test]
+    fn copy_overlapping_is_memmove() {
+        let mut m = PagedMem::new();
+        for i in 0..16u64 {
+            m.write_u8(0x100 + i, i as u8);
+        }
+        m.copy(0x104, 0x100, 16); // forward overlap
+        for i in 0..16u64 {
+            assert_eq!(m.read_u8(0x104 + i), i as u8);
+        }
+    }
+
+    #[test]
+    fn copy_zero_len_and_self() {
+        let mut m = PagedMem::new();
+        m.write_u8(0x10, 7);
+        m.copy(0x20, 0x10, 0);
+        assert_eq!(m.read_u8(0x20), 0);
+        m.copy(0x10, 0x10, 8);
+        assert_eq!(m.read_u8(0x10), 7);
+    }
+
+    #[test]
+    fn checksum_detects_differences() {
+        let mut a = PagedMem::new();
+        let mut b = PagedMem::new();
+        a.write_u64(0x100, 1);
+        b.write_u64(0x100, 1);
+        assert_eq!(a.checksum(0x100, 64), b.checksum(0x100, 64));
+        b.write_u8(0x120, 9);
+        assert_ne!(a.checksum(0x100, 64), b.checksum(0x100, 64));
+    }
+}

@@ -1,0 +1,44 @@
+//! # hsim-mem — memory subsystem of the hybrid-memory simulator
+//!
+//! Implements every storage component of the paper's architecture
+//! (Figure 1 / Table 1):
+//!
+//! * [`backing`] — the functional 64-bit address space (sparse paged
+//!   memory). Caches are *timing* models; data always lives here, which is
+//!   what makes the end-to-end coherence checks possible.
+//! * [`cache`] — set-associative cache arrays with LRU replacement,
+//!   write-through and write-back policies, and the Table 3 access
+//!   accounting (demand, prefetch, fill, write-back, snoop, invalidate).
+//! * [`mshr`] — miss-status holding registers: in-flight miss merging and
+//!   occupancy limits.
+//! * [`prefetch`] — the IP-based stream prefetcher of Table 1, with a
+//!   finite per-PC history table (the source of the paper's
+//!   "collisions in the history tables" effect for many-stream loops).
+//! * [`tlb`] — a TLB model for system-memory accesses; local-memory
+//!   accesses bypass it entirely (paper §2.1).
+//! * [`lm`] — the local memory (scratchpad) timing model.
+//! * [`dma`] — the DMA controller: `dma-get` / `dma-put` / `dma-synch`,
+//!   coherent with the cache hierarchy (snoops on get, invalidates on put).
+//! * [`hierarchy`] — the L1/L2/L3 + DRAM walk that ties the above together
+//!   and produces per-level access counts and latencies.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod backing;
+pub mod cache;
+pub mod dma;
+pub mod hierarchy;
+pub mod lm;
+pub mod mshr;
+pub mod prefetch;
+pub mod tlb;
+
+pub use backing::PagedMem;
+pub use cache::{AccessKind, Cache, CacheConfig, CacheStats, WritePolicy};
+pub use dma::{DmaConfig, DmaOp, DmaStats, Dmac};
+pub use hierarchy::{AccessResponse, Level, MemConfig, MemSystem};
+pub use lm::{LmConfig, LocalMem};
+pub use mshr::MshrFile;
+pub use prefetch::{PrefetchConfig, StreamPrefetcher};
+pub use tlb::{Tlb, TlbConfig};

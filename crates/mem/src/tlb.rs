@@ -1,0 +1,151 @@
+//! TLB model for system-memory accesses.
+//!
+//! The paper's key point about address translation (§2.1): local-memory
+//! accesses perform a *range check prior to any MMU action* and bypass the
+//! TLB entirely, making them power-efficient and deterministic. SM
+//! accesses, in contrast, consult this TLB; misses add a fixed page-walk
+//! penalty. The machine only calls [`Tlb::access`] for SM addresses.
+
+/// TLB configuration.
+#[derive(Clone, Debug)]
+pub struct TlbConfig {
+    /// Number of entries.
+    pub entries: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Page size in bytes (power of two).
+    pub page_bytes: u64,
+    /// Page-walk penalty in cycles on a miss.
+    pub miss_penalty: u64,
+}
+
+impl Default for TlbConfig {
+    fn default() -> Self {
+        TlbConfig {
+            entries: 64,
+            ways: 4,
+            page_bytes: 4096,
+            miss_penalty: 30,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Default)]
+struct TlbEntry {
+    vpn: u64,
+    valid: bool,
+    lru: u64,
+}
+
+/// TLB statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TlbStats {
+    /// Lookups that hit.
+    pub hits: u64,
+    /// Lookups that missed (walked).
+    pub misses: u64,
+}
+
+/// A set-associative TLB.
+pub struct Tlb {
+    cfg: TlbConfig,
+    sets: Vec<TlbEntry>,
+    set_mask: u64,
+    page_shift: u32,
+    clock: u64,
+    /// Statistics.
+    pub stats: TlbStats,
+}
+
+impl Tlb {
+    /// Builds an empty TLB.
+    pub fn new(cfg: TlbConfig) -> Self {
+        assert!(cfg.page_bytes.is_power_of_two());
+        assert!(cfg.entries % cfg.ways == 0);
+        let sets = (cfg.entries / cfg.ways).next_power_of_two();
+        Tlb {
+            set_mask: sets as u64 - 1,
+            page_shift: cfg.page_bytes.trailing_zeros(),
+            sets: vec![TlbEntry::default(); sets * cfg.ways],
+            clock: 0,
+            stats: TlbStats::default(),
+            cfg,
+        }
+    }
+
+    /// Looks up `addr`, filling the entry on a miss. Returns the added
+    /// latency (0 on hit, `miss_penalty` on miss).
+    pub fn access(&mut self, addr: u64) -> u64 {
+        self.clock += 1;
+        let vpn = addr >> self.page_shift;
+        let base = ((vpn & self.set_mask) as usize) * self.cfg.ways;
+        for w in 0..self.cfg.ways {
+            let e = &mut self.sets[base + w];
+            if e.valid && e.vpn == vpn {
+                e.lru = self.clock;
+                self.stats.hits += 1;
+                return 0;
+            }
+        }
+        self.stats.misses += 1;
+        // Fill LRU way.
+        let victim = (0..self.cfg.ways)
+            .map(|w| base + w)
+            .min_by_key(|&i| if self.sets[i].valid { self.sets[i].lru } else { 0 })
+            .unwrap();
+        self.sets[victim] = TlbEntry {
+            vpn,
+            valid: true,
+            lru: self.clock,
+        };
+        self.cfg.miss_penalty
+    }
+
+    /// Total lookups.
+    pub fn lookups(&self) -> u64 {
+        self.stats.hits + self.stats.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_access_misses_second_hits() {
+        let mut t = Tlb::new(TlbConfig::default());
+        assert_eq!(t.access(0x1000), 30);
+        assert_eq!(t.access(0x1008), 0, "same page");
+        assert_eq!(t.access(0x2000), 30, "new page");
+        assert_eq!(t.stats.hits, 1);
+        assert_eq!(t.stats.misses, 2);
+    }
+
+    #[test]
+    fn capacity_eviction() {
+        let cfg = TlbConfig {
+            entries: 4,
+            ways: 2,
+            page_bytes: 4096,
+            miss_penalty: 30,
+        };
+        let mut t = Tlb::new(cfg);
+        // 2 sets x 2 ways. Pages mapping to set 0: vpn 0,2,4...
+        assert_eq!(t.access(0 << 12), 30);
+        assert_eq!(t.access(2 << 12), 30);
+        assert_eq!(t.access(4 << 12), 30); // evicts vpn 0
+        assert_eq!(t.access(0 << 12), 30, "evicted page misses again");
+        assert_eq!(t.access(4 << 12), 0, "recently used page survives");
+    }
+
+    #[test]
+    fn streaming_large_array_misses_per_page() {
+        let mut t = Tlb::new(TlbConfig::default());
+        // Stream 256 pages of 4 KiB with 64B accesses: one miss per page.
+        for a in (0..(256 * 4096u64)).step_by(64) {
+            t.access(0x100_0000 + a);
+        }
+        assert_eq!(t.stats.misses, 256);
+        assert_eq!(t.lookups(), 256 * 64);
+    }
+}

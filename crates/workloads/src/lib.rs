@@ -1,0 +1,24 @@
+//! # hsim-workloads — the evaluation workloads (§4)
+//!
+//! * [`microbench`] — the Table 2 microbenchmark: a load/add/store loop
+//!   in four modes (Baseline / RD / WR / RD+WR) with an adjustable
+//!   percentage of potentially incoherent references.
+//! * [`nas`] — six kernels reproducing the *memory-reference signatures*
+//!   of the NAS benchmarks used in the paper (CG, EP, FT, IS, MG, SP):
+//!   the per-benchmark counts of strided / local / irregular /
+//!   potentially-incoherent references of Table 3 and §4.2, with data
+//!   footprints and reuse patterns matching the paper's narrative. The
+//!   real NAS sources and 150M-instruction SimPoints are not reproducible
+//!   inside this simulator; DESIGN.md §1 documents why the signature
+//!   approach preserves the evaluated mechanisms.
+//!
+//! All kernels are deterministic: data is generated from fixed seeds.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod microbench;
+pub mod nas;
+
+pub use microbench::{microbench, MicroMode, MicrobenchConfig};
+pub use nas::{all_nas, cg, ep, ft, is, mg, sp, Scale};

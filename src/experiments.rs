@@ -1,0 +1,192 @@
+//! Experiment drivers: one function per paper table/figure.
+//!
+//! The bench harness binaries (`hsim-bench`) print these results in the
+//! paper's format; the integration tests assert the qualitative shapes
+//! at small scale. Each driver compiles the workload for the modes it
+//! compares, runs the machine(s), and returns structured rows.
+
+use crate::machine::{Machine, MachineConfig, SysMode};
+use crate::metrics::RunReport;
+use hsim_compiler::{compile, interpret, Kernel};
+use hsim_core::pipeline::SimError;
+use hsim_workloads::{microbench, MicroMode, MicrobenchConfig};
+
+/// Compiles `kernel` for `mode`, runs it, and reports.
+pub fn run_kernel(kernel: &Kernel, mode: SysMode, track: bool) -> Result<RunReport, SimError> {
+    let ck = compile(kernel, mode.codegen());
+    let mut cfg = MachineConfig::for_mode(mode);
+    cfg.track_coherence = track;
+    let mut m = Machine::for_kernel(cfg, &ck, kernel);
+    m.run()?;
+    Ok(RunReport::collect(&m, &ck))
+}
+
+/// Runs `kernel` in `mode` and also checks the final memory image
+/// against the reference interpreter. Returns the report and the number
+/// of mismatching array elements.
+pub fn run_kernel_verified(
+    kernel: &Kernel,
+    mode: SysMode,
+    track: bool,
+) -> Result<(RunReport, usize), SimError> {
+    let ck = compile(kernel, mode.codegen());
+    let mut cfg = MachineConfig::for_mode(mode);
+    cfg.track_coherence = track;
+    let mut m = Machine::for_kernel(cfg, &ck, kernel);
+    m.run()?;
+    let report = RunReport::collect(&m, &ck);
+    let want = interpret(kernel).expect("kernel must interpret");
+    let mut mismatches = 0;
+    for (id, expect) in want.iter().enumerate() {
+        let got = m.read_array(&ck, kernel, id);
+        mismatches += got
+            .iter()
+            .zip(expect)
+            .filter(|(g, w)| g != w)
+            .count();
+    }
+    Ok((report, mismatches))
+}
+
+/// One point of Figure 7.
+#[derive(Clone, Debug)]
+pub struct Fig7Point {
+    /// Microbenchmark mode.
+    pub mode: MicroMode,
+    /// Percentage of guarded references.
+    pub pct: u32,
+    /// Work-phase execution-time ratio against the Baseline mode.
+    ///
+    /// The work phase isolates the cost of the guards and double stores,
+    /// which is what the paper's microbenchmark measures; the control
+    /// phase additionally differs because a buffer that is only written
+    /// through guarded stores is mapped read-only and skips its
+    /// `dma-put`s (see EXPERIMENTS.md).
+    pub overhead: f64,
+    /// Instruction-count ratio against the Baseline mode.
+    pub inst_ratio: f64,
+}
+
+/// Figure 7: microbenchmark overhead as the share of guarded references
+/// grows, for the RD / WR / RD+WR modes. `n` is the iteration count;
+/// `step` the sweep step in percent (multiple of 10).
+pub fn fig7(n: u64, step: u32) -> Result<Vec<Fig7Point>, SimError> {
+    let base_kernel = microbench(&MicrobenchConfig {
+        mode: MicroMode::Baseline,
+        guarded_pct: 0,
+        n,
+    });
+    let base = run_kernel(&base_kernel, SysMode::HybridCoherent, false)?;
+    let base_work = base.phase(hsim_isa::Phase::Work).max(1) as f64;
+    let mut out = Vec::new();
+    for mode in [MicroMode::Rd, MicroMode::Wr, MicroMode::RdWr] {
+        let mut pct = 0;
+        while pct <= 100 {
+            let k = microbench(&MicrobenchConfig {
+                mode,
+                guarded_pct: pct,
+                n,
+            });
+            let r = run_kernel(&k, SysMode::HybridCoherent, false)?;
+            out.push(Fig7Point {
+                mode,
+                pct,
+                overhead: r.phase(hsim_isa::Phase::Work) as f64 / base_work,
+                inst_ratio: r.committed as f64 / base.committed as f64,
+            });
+            pct += step.max(10);
+        }
+    }
+    Ok(out)
+}
+
+/// One row of Figure 8: coherence-protocol overhead on a real benchmark.
+#[derive(Clone, Debug)]
+pub struct Fig8Row {
+    /// Benchmark name.
+    pub name: String,
+    /// Execution-time overhead vs the oracle baseline (ratio, 1.0 = no
+    /// overhead).
+    pub time_ratio: f64,
+    /// Energy overhead vs the oracle baseline.
+    pub energy_ratio: f64,
+    /// Reports for deeper inspection (coherent, oracle).
+    pub coherent: RunReport,
+    /// The oracle baseline report.
+    pub oracle: RunReport,
+}
+
+/// Figure 8: hybrid-coherent vs hybrid-oracle on the given kernels.
+pub fn fig8(kernels: &[Kernel]) -> Result<Vec<Fig8Row>, SimError> {
+    kernels
+        .iter()
+        .map(|k| {
+            let coherent = run_kernel(k, SysMode::HybridCoherent, false)?;
+            let oracle = run_kernel(k, SysMode::HybridOracle, false)?;
+            Ok(Fig8Row {
+                name: k.name.clone(),
+                time_ratio: coherent.cycles as f64 / oracle.cycles as f64,
+                energy_ratio: coherent.energy_total() / oracle.energy_total(),
+                coherent,
+                oracle,
+            })
+        })
+        .collect()
+}
+
+/// One row of Figures 9 and 10 plus Table 3: hybrid-coherent vs
+/// cache-based.
+#[derive(Clone, Debug)]
+pub struct ComparisonRow {
+    /// Benchmark name.
+    pub name: String,
+    /// Speedup of the hybrid system (cache cycles / hybrid cycles).
+    pub speedup: f64,
+    /// Hybrid execution time normalized to cache-based (Figure 9 bar).
+    pub time_norm: f64,
+    /// Normalized phase split of the hybrid bar `[other, control,
+    /// synch, work]`.
+    pub phases_norm: [f64; 4],
+    /// Hybrid energy normalized to cache-based (Figure 10 bar).
+    pub energy_norm: f64,
+    /// Hybrid run report.
+    pub hybrid: RunReport,
+    /// Cache-based run report.
+    pub cache: RunReport,
+}
+
+/// Figures 9/10 + Table 3: runs both systems on each kernel.
+pub fn compare_systems(kernels: &[Kernel]) -> Result<Vec<ComparisonRow>, SimError> {
+    kernels
+        .iter()
+        .map(|k| {
+            let hybrid = run_kernel(k, SysMode::HybridCoherent, false)?;
+            let cache = run_kernel(k, SysMode::CacheBased, false)?;
+            let denom = cache.cycles.max(1) as f64;
+            Ok(ComparisonRow {
+                name: k.name.clone(),
+                speedup: cache.cycles as f64 / hybrid.cycles.max(1) as f64,
+                time_norm: hybrid.cycles as f64 / denom,
+                phases_norm: [
+                    hybrid.phase_cycles[0] as f64 / denom,
+                    hybrid.phase_cycles[1] as f64 / denom,
+                    hybrid.phase_cycles[2] as f64 / denom,
+                    hybrid.phase_cycles[3] as f64 / denom,
+                ],
+                energy_norm: hybrid.energy_total() / cache.energy_total(),
+                hybrid,
+                cache,
+            })
+        })
+        .collect()
+}
+
+/// Geometric-mean helper used when averaging ratios across benchmarks.
+pub fn geomean(xs: impl Iterator<Item = f64>) -> f64 {
+    let (sum, n) = xs.fold((0.0, 0), |(s, n), x| (s + x.ln(), n + 1));
+    if n == 0 {
+        1.0
+    } else {
+        (sum / n as f64).exp()
+    }
+}

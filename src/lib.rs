@@ -1,0 +1,72 @@
+//! # hsim — hybrid memory system with a hardware/software coherence protocol
+//!
+//! A from-scratch reproduction of *"Hardware-Software Coherence Protocol
+//! for the Coexistence of Caches and Local Memories"* (Alvarez et al.,
+//! SC 2012): a cycle-level out-of-order core with a cache hierarchy
+//! **and** a scratchpad local memory, kept coherent by a per-core
+//! hardware directory plus compiler-emitted guarded memory instructions.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use hsim::prelude::*;
+//!
+//! // The paper's running example: a[i] = b[i] with an update through a
+//! // pointer the compiler cannot disambiguate from `a`.
+//! let mut kb = KernelBuilder::new("example");
+//! let a = kb.array_i64("a", 4096);
+//! let b = kb.array_i64_init("b", &(0..4096).collect::<Vec<i64>>());
+//! kb.begin_loop(4096);
+//! let ra = kb.ref_affine(a, 1, 0);
+//! let rb = kb.ref_affine(b, 1, 0);
+//! kb.stmt(ra, Expr::Ref(rb));
+//! kb.end_loop();
+//! let kernel = kb.build().unwrap();
+//!
+//! // Compile for the coherent hybrid memory system and simulate.
+//! let report = run_kernel(&kernel, SysMode::HybridCoherent, false).unwrap();
+//! assert!(report.cycles > 0);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`isa`] | the simulated ISA: guarded/oracle memory ops, DMA, assembler |
+//! | [`mem`] | caches, MSHRs, prefetcher, TLB, LM, DMAC, DRAM |
+//! | [`coherence`] | the directory (Figure 4), Figure 6 state machine, runtime checker |
+//! | [`core`] | 4-wide out-of-order core (Table 1) |
+//! | [`energy`] | Wattch-style activity-based energy model |
+//! | [`compiler`] | loop IR, classification, tiling, guarded codegen, double store |
+//! | [`workloads`] | Table 2 microbenchmark + six NAS-signature kernels |
+//! | [`machine`] | the assembled systems: hybrid coherent / hybrid oracle / cache-based |
+//! | [`experiments`] | drivers regenerating every table and figure |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod machine;
+pub mod metrics;
+
+pub use hsim_coherence as coherence;
+pub use hsim_compiler as compiler;
+pub use hsim_core as core;
+pub use hsim_energy as energy;
+pub use hsim_isa as isa;
+pub use hsim_mem as mem;
+pub use hsim_workloads as workloads;
+
+pub use experiments::{compare_systems, fig7, fig8, geomean, run_kernel, run_kernel_verified};
+pub use machine::{Machine, MachineConfig, SysMode, World};
+pub use metrics::{activity, RunReport};
+
+/// The most common imports for building and running kernels.
+pub mod prelude {
+    pub use crate::experiments::{compare_systems, fig7, fig8, run_kernel, run_kernel_verified};
+    pub use crate::machine::{Machine, MachineConfig, SysMode};
+    pub use crate::metrics::RunReport;
+    pub use hsim_compiler::{compile, interpret, CodegenMode, Expr, Kernel, KernelBuilder};
+    pub use hsim_isa::{Phase, Program, ProgramBuilder, Route};
+    pub use hsim_workloads::{microbench, MicroMode, MicrobenchConfig, Scale};
+}

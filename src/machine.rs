@@ -1,0 +1,433 @@
+//! The machine: one simulated core wired to its memory world.
+//!
+//! [`Machine`] assembles the out-of-order core (`hsim-core`), the memory
+//! hierarchy + LM + DMAC (`hsim-mem`), the coherence directory
+//! (`hsim-coherence`) and the functional backing store into the three
+//! systems of the evaluation:
+//!
+//! * [`SysMode::HybridCoherent`] — the paper's proposal: guarded accesses
+//!   look up the directory in the AGU and are diverted to the LM on a
+//!   hit (stalling on unset presence bits); `dma-get` updates the
+//!   directory; potentially incoherent writes arrive as double stores.
+//! * [`SysMode::HybridOracle`] — Figure 8's baseline: same LM and DMA,
+//!   but no directory hardware; oracle-routed accesses are served by the
+//!   memory holding the valid copy at zero cost.
+//! * [`SysMode::CacheBased`] — §4.3's comparison system: no LM, 64 KB
+//!   L1D.
+//!
+//! When coherence tracking is enabled, every functional access, DMA
+//! command and cache residency change is replayed through the
+//! `hsim-coherence` tracker, asserting the §3.4 invariants for the whole
+//! run.
+
+use hsim_coherence::{DirConfig, Directory, Tracker};
+use hsim_compiler::{CodegenMode, CompiledKernel, Kernel};
+use hsim_core::pipeline::SimError;
+use hsim_core::{Core, CoreConfig, DmaKind, MemSide, MemoryPort, RouteInfo};
+use hsim_isa::memmap::{MemoryMap, Region};
+use hsim_isa::{Program, Route, Width};
+use hsim_mem::{Level, MemConfig, MemSystem, PagedMem};
+
+/// Which of the evaluation's three systems to simulate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SysMode {
+    /// The proposal: hybrid memory system + coherence protocol.
+    HybridCoherent,
+    /// The incoherent hybrid with an oracle compiler (Figure 8 baseline).
+    HybridOracle,
+    /// The cache-based system (§4.3 comparison).
+    CacheBased,
+}
+
+impl SysMode {
+    /// The matching code-generation mode.
+    pub fn codegen(self) -> CodegenMode {
+        match self {
+            SysMode::HybridCoherent => CodegenMode::HybridCoherent,
+            SysMode::HybridOracle => CodegenMode::HybridOracle,
+            SysMode::CacheBased => CodegenMode::CacheBased,
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SysMode::HybridCoherent => "Hybrid coherent",
+            SysMode::HybridOracle => "Hybrid oracle",
+            SysMode::CacheBased => "Cache-based",
+        }
+    }
+
+    /// All three modes.
+    pub const ALL: [SysMode; 3] = [SysMode::HybridCoherent, SysMode::HybridOracle, SysMode::CacheBased];
+}
+
+/// Full machine configuration.
+#[derive(Clone, Debug)]
+pub struct MachineConfig {
+    /// Core parameters (Table 1).
+    pub core: CoreConfig,
+    /// Memory-system parameters (Table 1).
+    pub mem: MemConfig,
+    /// System mode.
+    pub mode: SysMode,
+    /// Run the coherence tracker (tests; costs time).
+    pub track_coherence: bool,
+    /// Extra AGU cycles charged per directory lookup (0 per §3.2's CACTI
+    /// argument; the `ablate_dir_latency` bench raises it).
+    pub dir_lookup_extra_cycles: u64,
+}
+
+impl MachineConfig {
+    /// The standard configuration for a mode.
+    pub fn for_mode(mode: SysMode) -> Self {
+        let mem = match mode {
+            SysMode::CacheBased => MemConfig::cache_based(),
+            _ => MemConfig::hybrid(),
+        };
+        MachineConfig {
+            core: CoreConfig::default(),
+            mem,
+            mode,
+            track_coherence: false,
+            dir_lookup_extra_cycles: 0,
+        }
+    }
+
+    /// Enables the runtime coherence checker.
+    pub fn with_tracking(mut self) -> Self {
+        self.track_coherence = true;
+        self
+    }
+}
+
+/// Everything the core's [`MemoryPort`] needs (split from the core for
+/// borrow reasons).
+pub struct World {
+    /// The memory hierarchy, LM and DMAC.
+    pub mem: MemSystem,
+    /// The coherence directory (hybrid modes only).
+    pub dir: Option<Directory>,
+    /// The functional backing store.
+    pub backing: PagedMem,
+    /// The runtime coherence checker, when enabled.
+    pub tracker: Option<Tracker>,
+    mmap: MemoryMap,
+    mode: SysMode,
+    dir_extra: u64,
+}
+
+/// A simulated machine: core + world.
+pub struct Machine {
+    /// The out-of-order core.
+    pub core: Core,
+    /// The memory world.
+    pub world: World,
+    /// The configuration it was built with.
+    pub cfg: MachineConfig,
+}
+
+impl Machine {
+    /// Builds a machine executing `program`.
+    pub fn new(cfg: MachineConfig, program: Program) -> Self {
+        let mmap = MemoryMap::default();
+        let mut mem = MemSystem::new(cfg.mem.clone());
+        let has_lm = cfg.mem.lm.is_some();
+        let dir = has_lm.then(|| Directory::new(DirConfig::default()));
+        let track = cfg.track_coherence && has_lm;
+        if track {
+            mem.enable_events();
+        }
+        let tracker = track.then(|| {
+            Tracker::new(dir.as_ref().map(|d| d.buf_size()).unwrap_or(1024))
+        });
+        Machine {
+            core: Core::new(cfg.core.clone(), program, mmap.clone()),
+            world: World {
+                mem,
+                dir,
+                backing: PagedMem::new(),
+                tracker,
+                mmap,
+                mode: cfg.mode,
+                dir_extra: cfg.dir_lookup_extra_cycles,
+            },
+            cfg,
+        }
+    }
+
+    /// Builds a machine for a compiled kernel and loads its initial data.
+    pub fn for_kernel(cfg: MachineConfig, ck: &CompiledKernel, kernel: &Kernel) -> Self {
+        assert_eq!(
+            cfg.mode.codegen(),
+            ck.mode,
+            "machine mode must match the kernel's codegen mode"
+        );
+        let mut m = Machine::new(cfg, ck.program.clone());
+        m.load_data(ck, kernel);
+        m
+    }
+
+    /// Writes the kernel's initial array data into the backing store.
+    pub fn load_data(&mut self, ck: &CompiledKernel, kernel: &Kernel) {
+        for (id, init) in kernel.init.iter().enumerate() {
+            let base = ck.layout.arrays[id].base;
+            for (i, bits) in init.iter().enumerate() {
+                if *bits != 0 {
+                    self.world.backing.write_u64(base + i as u64 * 8, *bits);
+                }
+            }
+        }
+    }
+
+    /// Runs to completion.
+    pub fn run(&mut self) -> Result<(), SimError> {
+        self.core.run(&mut self.world)
+    }
+
+    /// Reads back an array's contents (raw element bits).
+    pub fn read_array(&self, ck: &CompiledKernel, kernel: &Kernel, id: usize) -> Vec<u64> {
+        let base = ck.layout.arrays[id].base;
+        (0..kernel.arrays[id].len)
+            .map(|i| self.world.backing.read_u64(base + i * 8))
+            .collect()
+    }
+
+    /// Coherence violations recorded by the tracker (0 when disabled).
+    pub fn violations(&self) -> usize {
+        self.world.tracker.as_ref().map(|t| t.violations.len()).unwrap_or(0)
+    }
+}
+
+impl World {
+    /// Resolves the routing of a memory access (the pre-MMU range check
+    /// plus, for guarded/oracle accesses, the directory).
+    fn route_access(&mut self, addr: u64, route: Route) -> RouteInfo {
+        match self.mmap.region(addr) {
+            Region::LocalMem => RouteInfo {
+                side: MemSide::Lm,
+                addr,
+                dir_lookup: false,
+                dir_hit: false,
+                ready_at: 0,
+            },
+            Region::Mmio | Region::SysMem => {
+                let effective = match (route, self.mode) {
+                    (Route::Plain, _) | (_, SysMode::CacheBased) => Route::Plain,
+                    (r, _) => r,
+                };
+                match effective {
+                    Route::Plain => RouteInfo {
+                        side: MemSide::Sm,
+                        addr,
+                        dir_lookup: false,
+                        dir_hit: false,
+                        ready_at: 0,
+                    },
+                    Route::Guarded => {
+                        let dir = self.dir.as_mut().expect("guarded access without directory");
+                        match dir.lookup(addr) {
+                            Some(hit) => RouteInfo {
+                                side: MemSide::Lm,
+                                addr: hit.lm_addr,
+                                dir_lookup: true,
+                                dir_hit: true,
+                                ready_at: hit.ready_at,
+                            },
+                            None => RouteInfo {
+                                side: MemSide::Sm,
+                                addr,
+                                dir_lookup: true,
+                                dir_hit: false,
+                                ready_at: 0,
+                            },
+                        }
+                    }
+                    Route::Oracle => {
+                        // No hardware: routed by whichever memory holds
+                        // the valid copy, which the (functional) mapping
+                        // identifies. No stats, no energy, no stalls.
+                        let dir = self.dir.as_ref().expect("oracle access without directory");
+                        match dir.lookup_quiet(addr) {
+                            Some(hit) => RouteInfo {
+                                side: MemSide::Lm,
+                                addr: hit.lm_addr,
+                                dir_lookup: false,
+                                dir_hit: true,
+                                ready_at: 0,
+                            },
+                            None => RouteInfo {
+                                side: MemSide::Sm,
+                                addr,
+                                dir_lookup: false,
+                                dir_hit: false,
+                                ready_at: 0,
+                            },
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn read_value(&self, addr: u64, width: Width) -> u64 {
+        match width {
+            Width::B => self.backing.read_u8(addr) as u64,
+            Width::W => self.backing.read_u32(addr) as i32 as i64 as u64,
+            Width::D => self.backing.read_u64(addr),
+        }
+    }
+
+    fn write_value(&mut self, addr: u64, bits: u64, width: Width) {
+        match width {
+            Width::B => self.backing.write_u8(addr, bits as u8),
+            Width::W => self.backing.write_u32(addr, bits as u32),
+            Width::D => self.backing.write_u64(addr, bits),
+        }
+    }
+
+    fn drain_events_into_tracker(&mut self) {
+        if self.tracker.is_none() {
+            return;
+        }
+        let events = self.mem.drain_events();
+        let t = self.tracker.as_mut().unwrap();
+        for e in events {
+            if e.fill {
+                t.on_cache_fill(e.line);
+            } else {
+                t.on_cache_evict(e.line);
+            }
+        }
+    }
+
+    /// For an SM access to `addr`: `Some(identical)` when the owning
+    /// chunk is LM-mapped (comparing both copies at the access width),
+    /// `None` otherwise.
+    fn copies_identical(&self, addr: u64, width: Width) -> Option<bool> {
+        let dir = self.dir.as_ref()?;
+        let hit = dir.lookup_quiet(addr)?;
+        Some(self.read_value(addr, width) == self.read_value(hit.lm_addr, width))
+    }
+
+    /// The SM chunk currently held by the LM buffer owning `lm_addr`.
+    fn lm_mapping_of(&self, lm_addr: u64) -> Option<u64> {
+        let dir = self.dir.as_ref()?;
+        let idx = dir.buf_index(lm_addr)?;
+        dir.mapped_chunk(idx)
+    }
+}
+
+impl MemoryPort for World {
+    fn exec_mem(
+        &mut self,
+        _pc: u64,
+        addr: u64,
+        width: Width,
+        route: Route,
+        store: Option<u64>,
+    ) -> (u64, RouteInfo) {
+        let info = self.route_access(addr, route);
+        let value = match store {
+            Some(bits) => {
+                self.write_value(info.addr, bits, width);
+                // An oracle store that hits the LM also keeps the SM copy
+                // up to date: the magic oracle compiler of Figure 8 never
+                // loses data to an unmapped read-only buffer, without
+                // paying for a second store. (The coherent machine pays
+                // for this with the explicit double store instead.)
+                if route == Route::Oracle && info.side == MemSide::Lm {
+                    self.write_value(addr, bits, width);
+                }
+                0
+            }
+            None => self.read_value(info.addr, width),
+        };
+        if self.tracker.is_some() {
+            match info.side {
+                MemSide::Lm => {
+                    let chunk = self.lm_mapping_of(info.addr);
+                    self.tracker
+                        .as_mut()
+                        .unwrap()
+                        .check_lm_access(info.addr, chunk);
+                }
+                MemSide::Sm => {
+                    let identical = self.copies_identical(info.addr, width);
+                    self.tracker.as_mut().unwrap().check_sm_access(
+                        info.addr,
+                        store.is_some(),
+                        identical,
+                    );
+                }
+            }
+        }
+        (value, info)
+    }
+
+    fn timing_access(&mut self, now: u64, pc: u64, info: &RouteInfo, write: bool) -> (u64, Level) {
+        let extra = if info.dir_lookup { self.dir_extra } else { 0 };
+        match info.side {
+            MemSide::Lm => {
+                let r = self.mem.lm_access(write);
+                (r.latency + extra, Level::Lm)
+            }
+            MemSide::Sm => {
+                let r = self.mem.data_access(now, pc, info.addr, write);
+                self.drain_events_into_tracker();
+                (r.latency + extra, r.served)
+            }
+        }
+    }
+
+    fn exec_dma(&mut self, now: u64, kind: DmaKind, lm: u64, sm: u64, bytes: u64, tag: u8) -> u64 {
+        match kind {
+            DmaKind::Get => {
+                let done = self.mem.dma_get(now, sm, bytes, tag);
+                self.drain_events_into_tracker();
+                self.backing.copy(lm, sm, bytes);
+                if let Some(dir) = &mut self.dir {
+                    let old = dir.buf_index(lm).and_then(|i| dir.mapped_chunk(i));
+                    dir.update_get(lm, sm, done)
+                        .unwrap_or_else(|e| panic!("dma-get: {e}"));
+                    if let Some(t) = &mut self.tracker {
+                        if let Some(old_chunk) = old {
+                            t.on_unmap(old_chunk);
+                        }
+                        t.on_map(sm);
+                    }
+                }
+                done
+            }
+            DmaKind::Put => {
+                // The writeback semantically precedes its invalidation
+                // bus requests.
+                if let Some(t) = &mut self.tracker {
+                    t.on_writeback(sm & !(self.dir.as_ref().map(|d| d.offset_mask()).unwrap_or(0)));
+                }
+                let done = self.mem.dma_put(now, sm, bytes, tag);
+                self.drain_events_into_tracker();
+                self.backing.copy(sm, lm, bytes);
+                done
+            }
+        }
+    }
+
+    fn dma_synch(&mut self, now: u64, tag: u8) -> u64 {
+        self.mem.dma_synch(now, tag)
+    }
+
+    fn dir_configure(&mut self, buf_size: u64) {
+        if let Some(dir) = &mut self.dir {
+            dir.configure(buf_size)
+                .unwrap_or_else(|e| panic!("dir.cfg: {e}"));
+        }
+        if let Some(t) = &mut self.tracker {
+            t.set_chunk_size(buf_size);
+        }
+    }
+
+    fn fetch_latency(&mut self, now: u64, pc_addr: u64) -> u64 {
+        self.mem.inst_fetch(now, pc_addr)
+    }
+}

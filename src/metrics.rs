@@ -1,0 +1,145 @@
+//! Run reports: the measurements every experiment consumes.
+
+use crate::machine::{Machine, SysMode};
+use hsim_compiler::CompiledKernel;
+use hsim_core::CoreStats;
+use hsim_energy::{Activity, EnergyBreakdown, EnergyModel};
+use hsim_isa::Phase;
+
+/// Everything measured in one run — the union of what Table 3 and
+/// Figures 7–10 need.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Workload name.
+    pub name: String,
+    /// System mode.
+    pub mode: SysMode,
+    /// Total cycles.
+    pub cycles: u64,
+    /// Committed instructions.
+    pub committed: u64,
+    /// Cycles per phase `[other, control, synch, work]`.
+    pub phase_cycles: [u64; 4],
+    /// Average memory access time over timed loads.
+    pub amat: f64,
+    /// L1D demand hit ratio (%).
+    pub l1d_hit_ratio: f64,
+    /// Total L1D accesses (Table 3 accounting).
+    pub l1_accesses: u64,
+    /// Total L2 accesses.
+    pub l2_accesses: u64,
+    /// Total L3 accesses.
+    pub l3_accesses: u64,
+    /// Total LM accesses (CPU + DMA blocks).
+    pub lm_accesses: u64,
+    /// Directory accesses (lookups + updates; coherent mode only).
+    pub dir_accesses: u64,
+    /// Static guarded/total reference counts of the compiled kernel.
+    pub guarded_refs: usize,
+    /// Static total reference count.
+    pub total_refs: usize,
+    /// Energy breakdown.
+    pub energy: EnergyBreakdown,
+    /// Coherence violations recorded (tracking runs only).
+    pub violations: usize,
+    /// Full core statistics.
+    pub core: CoreStats,
+}
+
+impl RunReport {
+    /// Collects a report from a finished machine.
+    pub fn collect(m: &Machine, ck: &CompiledKernel) -> RunReport {
+        let core = m.core.stats.clone();
+        let w = &m.world;
+        let coherent = matches!(m.cfg.mode, SysMode::HybridCoherent);
+        let dir_accesses = match (&w.dir, coherent) {
+            (Some(d), true) => d.stats.lookups + d.stats.updates,
+            _ => 0,
+        };
+        let energy = EnergyModel::new().evaluate(&activity(m));
+        RunReport {
+            name: ck.name.clone(),
+            mode: m.cfg.mode,
+            cycles: core.cycles,
+            committed: core.committed,
+            phase_cycles: core.phase_cycles,
+            amat: core.amat(),
+            l1d_hit_ratio: w.mem.l1d.stats.hit_ratio(),
+            l1_accesses: w.mem.l1d.stats.total_accesses(),
+            l2_accesses: w.mem.l2.stats.total_accesses(),
+            l3_accesses: w.mem.l3.stats.total_accesses(),
+            lm_accesses: w.mem.lm_total_accesses(),
+            dir_accesses,
+            guarded_refs: ck.guarded_refs(),
+            total_refs: ck.total_refs(),
+            energy,
+            violations: m.violations(),
+            core,
+        }
+    }
+
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        self.committed as f64 / self.cycles.max(1) as f64
+    }
+
+    /// Cycles in a phase.
+    pub fn phase(&self, p: Phase) -> u64 {
+        self.phase_cycles[hsim_core::stats::phase_index(p)]
+    }
+
+    /// Total on-chip energy (nJ).
+    pub fn energy_total(&self) -> f64 {
+        self.energy.total()
+    }
+}
+
+/// Converts a finished machine's counters into the energy model's
+/// activity vector.
+pub fn activity(m: &Machine) -> Activity {
+    let c = &m.core.stats;
+    let w = &m.world;
+    let mem = &w.mem;
+    let coherent = matches!(m.cfg.mode, SysMode::HybridCoherent);
+    let (dir_lookups, dir_updates) = match (&w.dir, coherent) {
+        (Some(d), true) => (d.stats.lookups, d.stats.updates),
+        _ => (0, 0),
+    };
+    let line = mem.cfg.l1d.line_bytes;
+    let lm = mem.lm.as_ref();
+    let dma = &mem.dmac.stats;
+    let bus_lines = mem.l1d.stats.fills
+        + mem.l1i.stats.fills
+        + mem.l2.stats.fills
+        + mem.l3.stats.fills
+        + mem.l1d.stats.writebacks_out
+        + mem.l2.stats.writebacks_out
+        + mem.l3.stats.writebacks_out;
+    Activity {
+        cycles: c.cycles,
+        fetched: c.fetched,
+        dispatched: c.dispatched,
+        issued: c.issued,
+        replayed: c.replay_issues,
+        committed: c.committed,
+        fp_ops: c.fp_ops,
+        memops: c.loads + c.stores,
+        bpred_events: m.core.bp.lookups + m.core.bp.updates,
+        btb_lookups: m.core.btb.lookups,
+        l1_accesses: mem.l1d.stats.total_accesses() + mem.l1i.stats.total_accesses(),
+        l2_accesses: mem.l2.stats.total_accesses(),
+        l3_accesses: mem.l3.stats.total_accesses(),
+        bus_lines,
+        lm_accesses: lm.map(|l| l.stats.cpu_accesses()).unwrap_or(0),
+        lm_dma_blocks: lm
+            .map(|l| (l.stats.dma_bytes_in + l.stats.dma_bytes_out).div_ceil(line))
+            .unwrap_or(0),
+        tlb_lookups: mem.tlb.lookups(),
+        prefetch_obs: mem.prefetcher.stats.observations,
+        dir_lookups,
+        dir_updates,
+        dma_blocks: (dma.bytes_get + dma.bytes_put).div_ceil(line),
+        dram_lines: mem.dram_stats().reads + mem.dram_stats().writes,
+        has_lm: lm.is_some(),
+    }
+}

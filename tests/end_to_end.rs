@@ -1,0 +1,176 @@
+//! End-to-end integration tests: the paper's correctness claims, checked
+//! across the whole stack at test scale.
+//!
+//! Every NAS-signature kernel and every microbenchmark mode runs on all
+//! three machines (hybrid coherent / hybrid oracle / cache-based) with
+//! the coherence tracker on; the final memory image must match the
+//! reference interpreter bit-for-bit and the tracker must record zero
+//! violations.
+
+use hsim::prelude::*;
+use hsim_workloads::nas;
+
+fn check_all_modes(k: &hsim_compiler::Kernel) {
+    for mode in [SysMode::HybridCoherent, SysMode::HybridOracle, SysMode::CacheBased] {
+        let (r, mismatches) = run_kernel_verified(k, mode, true)
+            .unwrap_or_else(|e| panic!("{} {mode:?}: {e}", k.name));
+        assert_eq!(mismatches, 0, "{} {:?}: memory image diverged", k.name, mode);
+        assert_eq!(r.violations, 0, "{} {:?}: coherence violations", k.name, mode);
+        assert!(r.cycles > 0 && r.committed > 0);
+    }
+}
+
+#[test]
+fn cg_functional_equivalence() {
+    check_all_modes(&nas::cg(Scale::Test));
+}
+
+#[test]
+fn ep_functional_equivalence() {
+    check_all_modes(&nas::ep(Scale::Test));
+}
+
+#[test]
+fn ft_functional_equivalence() {
+    check_all_modes(&nas::ft(Scale::Test));
+}
+
+#[test]
+fn is_functional_equivalence() {
+    check_all_modes(&nas::is(Scale::Test));
+}
+
+#[test]
+fn mg_functional_equivalence() {
+    check_all_modes(&nas::mg(Scale::Test));
+}
+
+#[test]
+fn sp_functional_equivalence() {
+    check_all_modes(&nas::sp(Scale::Test));
+}
+
+#[test]
+fn microbench_all_modes_functional_equivalence() {
+    for mode in [MicroMode::Baseline, MicroMode::Rd, MicroMode::Wr, MicroMode::RdWr] {
+        for pct in [0, 50, 100] {
+            let k = microbench(&MicrobenchConfig {
+                mode,
+                guarded_pct: pct,
+                n: 3000, // not a multiple of the chunk: exercises partial tiles
+            });
+            check_all_modes(&k);
+        }
+    }
+}
+
+#[test]
+fn guarded_counts_match_table3_signatures() {
+    for (k, total, guarded) in [
+        (nas::cg(Scale::Test), 7, 1),
+        (nas::ep(Scale::Test), 20, 1),
+        (nas::ft(Scale::Test), 34, 4),
+        (nas::is(Scale::Test), 5, 2),
+        (nas::mg(Scale::Test), 60, 1),
+        (nas::sp(Scale::Test), 497, 0),
+    ] {
+        let ck = compile(&k, CodegenMode::HybridCoherent);
+        assert_eq!(ck.total_refs(), total, "{}", k.name);
+        assert_eq!(ck.guarded_refs(), guarded, "{}", k.name);
+    }
+}
+
+#[test]
+fn phase_cycles_sum_to_total() {
+    let k = nas::cg(Scale::Test);
+    let r = run_kernel(&k, SysMode::HybridCoherent, false).unwrap();
+    let sum: u64 = r.phase_cycles.iter().sum();
+    assert_eq!(sum, r.cycles);
+    // Tiled code must actually spend time in all three phases.
+    assert!(r.phase(Phase::Work) > 0);
+    assert!(r.phase(Phase::Control) > 0);
+    assert!(r.phase(Phase::Synch) > 0);
+}
+
+#[test]
+fn determinism_across_runs() {
+    let k = nas::ft(Scale::Test);
+    let a = run_kernel(&k, SysMode::HybridCoherent, false).unwrap();
+    let b = run_kernel(&k, SysMode::HybridCoherent, false).unwrap();
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.committed, b.committed);
+    assert_eq!(a.l1_accesses, b.l1_accesses);
+    assert_eq!(a.dir_accesses, b.dir_accesses);
+    assert_eq!(a.energy_total(), b.energy_total());
+}
+
+#[test]
+fn oracle_mode_uses_no_directory() {
+    let k = nas::is(Scale::Test);
+    let coherent = run_kernel(&k, SysMode::HybridCoherent, false).unwrap();
+    let oracle = run_kernel(&k, SysMode::HybridOracle, false).unwrap();
+    assert!(coherent.dir_accesses > 0, "guards must access the directory");
+    assert_eq!(oracle.dir_accesses, 0, "the oracle has no directory hardware");
+    assert_eq!(oracle.energy.directory, 0.0);
+    // The coherent machine executes the double stores: more instructions.
+    assert!(coherent.committed > oracle.committed);
+}
+
+#[test]
+fn mg_guarded_gathers_hit_the_directory() {
+    // MG's gather indices stay inside the current window: Figure 5's
+    // gld17H path. Lookups must mostly hit.
+    let k = nas::mg(Scale::Test);
+    let ck = compile(&k, CodegenMode::HybridCoherent);
+    let cfg = hsim::MachineConfig::for_mode(SysMode::HybridCoherent);
+    let mut m = hsim::Machine::for_kernel(cfg, &ck, &k);
+    m.run().unwrap();
+    let dir = m.world.dir.as_ref().unwrap();
+    assert!(dir.stats.lookups > 0);
+    // The window-local gathers always hit; the stencil's window-crossing
+    // tail guards (offsets +1/+2 near the window boundary) account for
+    // the misses — both Figure 5 paths (gld17H and gld17M) execute.
+    assert!(
+        dir.stats.hits * 10 >= dir.stats.lookups * 6,
+        "expected mostly hits, got {}/{}",
+        dir.stats.hits,
+        dir.stats.lookups
+    );
+    assert!(dir.stats.hits < dir.stats.lookups, "tail guards must miss");
+}
+
+#[test]
+fn cg_guarded_gathers_miss_the_directory() {
+    // CG's gathered vector is never LM-mapped: Figure 5's gld17M path.
+    let k = nas::cg(Scale::Test);
+    let ck = compile(&k, CodegenMode::HybridCoherent);
+    let cfg = hsim::MachineConfig::for_mode(SysMode::HybridCoherent);
+    let mut m = hsim::Machine::for_kernel(cfg, &ck, &k);
+    m.run().unwrap();
+    let dir = m.world.dir.as_ref().unwrap();
+    assert!(dir.stats.lookups > 0);
+    assert_eq!(dir.stats.hits, 0, "x is never mapped: all lookups miss");
+}
+
+#[test]
+fn double_stores_collapse_when_guard_misses() {
+    // IS: both guarded stores target unmapped histograms, so the guarded
+    // store falls through to the SM address of its paired plain store and
+    // the LSQ collapses them.
+    let k = nas::is(Scale::Test);
+    let r = run_kernel(&k, SysMode::HybridCoherent, false).unwrap();
+    assert!(
+        r.core.collapsed_stores > 0,
+        "IS double stores must collapse at commit"
+    );
+}
+
+#[test]
+fn cache_based_machine_has_no_lm_activity() {
+    let k = nas::cg(Scale::Test);
+    let r = run_kernel(&k, SysMode::CacheBased, false).unwrap();
+    assert_eq!(r.lm_accesses, 0);
+    assert_eq!(r.dir_accesses, 0);
+    assert_eq!(r.energy.lm, 0.0);
+    assert_eq!(r.core.served[4], 0, "no loads served by LM");
+}

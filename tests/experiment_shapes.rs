@@ -1,0 +1,130 @@
+//! Shape tests for the paper's experiments at test scale: the qualitative
+//! claims (who wins, what is flat, what grows) must hold even on the
+//! small workloads the CI runs.
+
+use hsim::prelude::*;
+use hsim_workloads::nas;
+
+#[test]
+fn fig7_rd_is_free_and_wr_grows_linearly() {
+    let pts = fig7(4 * 1024, 20).unwrap();
+    // RD: flat at 1.0 (guarded loads are free — the lookup fits the AGU
+    // cycle).
+    for p in pts.iter().filter(|p| p.mode == MicroMode::Rd) {
+        assert!(
+            (p.overhead - 1.0).abs() < 0.02,
+            "RD overhead at {}% must be ~1.0, got {:.3}",
+            p.pct,
+            p.overhead
+        );
+    }
+    // WR: monotonically growing with the guarded share, driven by the
+    // double store's extra instructions.
+    let wr: Vec<_> = pts.iter().filter(|p| p.mode == MicroMode::Wr).collect();
+    assert!(wr.last().unwrap().overhead > 1.15, "WR @100% must cost >15%");
+    assert!(wr.last().unwrap().overhead < 1.6, "WR @100% must stay bounded");
+    for w in wr.windows(2) {
+        assert!(
+            w[1].overhead >= w[0].overhead - 0.02,
+            "WR overhead must grow with the guarded share"
+        );
+    }
+    // Instruction count at 100% grows by the double store's extra store.
+    assert!(wr.last().unwrap().inst_ratio > 1.15);
+    assert!(wr.last().unwrap().inst_ratio < 1.35);
+    // RD/WR tracks WR (the guarded load adds nothing).
+    let rdwr: Vec<_> = pts.iter().filter(|p| p.mode == MicroMode::RdWr).collect();
+    for (a, b) in wr.iter().zip(&rdwr) {
+        assert!(
+            (a.overhead - b.overhead).abs() < 0.05,
+            "RD/WR must track WR at {}%",
+            a.pct
+        );
+    }
+}
+
+#[test]
+fn fig8_overheads_are_small_and_double_store_driven() {
+    let kernels = nas::all_nas(Scale::Test);
+    let rows = fig8(&kernels).unwrap();
+    for r in &rows {
+        match r.name.as_str() {
+            // No potentially incoherent writes: zero time overhead.
+            "CG" | "MG" | "SP" => {
+                assert!(
+                    (r.time_ratio - 1.0).abs() < 0.002,
+                    "{} must have ~zero protocol overhead, got {:.4}",
+                    r.name,
+                    r.time_ratio
+                );
+            }
+            // Double-store kernels: small but nonzero.
+            "EP" | "FT" | "IS" => {
+                assert!(
+                    r.time_ratio < 1.15,
+                    "{} overhead must stay small, got {:.3}",
+                    r.name,
+                    r.time_ratio
+                );
+                assert!(r.coherent.committed > r.oracle.committed);
+            }
+            _ => unreachable!(),
+        }
+        // Energy overhead present but bounded.
+        assert!(r.energy_ratio >= 0.999 && r.energy_ratio < 1.15, "{}", r.name);
+    }
+}
+
+#[test]
+fn fig9_memory_bound_kernels_favor_the_hybrid() {
+    // At test scale the footprints are small, so only the strongest
+    // effects are asserted: MG and FT (many streams, heavy reuse) must
+    // favor the hybrid; EP (compute-bound) must be close to parity.
+    let kernels = vec![nas::ep(Scale::Test), nas::ft(Scale::Test), nas::mg(Scale::Test)];
+    let rows = compare_systems(&kernels).unwrap();
+    let get = |n: &str| rows.iter().find(|r| r.name == n).unwrap();
+    assert!(get("MG").speedup > 1.2, "MG: {:.2}", get("MG").speedup);
+    assert!(get("FT").speedup > 1.1, "FT: {:.2}", get("FT").speedup);
+    let ep = get("EP").speedup;
+    assert!((0.8..1.25).contains(&ep), "EP must be near parity: {ep:.2}");
+}
+
+#[test]
+fn fig10_hybrid_saves_energy_on_stream_kernels() {
+    let kernels = vec![nas::ft(Scale::Test), nas::mg(Scale::Test)];
+    for r in compare_systems(&kernels).unwrap() {
+        assert!(
+            r.energy_norm < 0.95,
+            "{}: hybrid must save energy, got {:.3}",
+            r.name,
+            r.energy_norm
+        );
+        // The LM itself must be a small fraction of total energy (paper:
+        // <5%).
+        let lm_share = r.hybrid.energy.lm / r.hybrid.energy_total();
+        assert!(lm_share < 0.10, "{}: LM share {:.3}", r.name, lm_share);
+    }
+}
+
+#[test]
+fn table3_activity_shifts_from_caches_to_lm() {
+    let kernels = vec![nas::mg(Scale::Test)];
+    let r = &compare_systems(&kernels).unwrap()[0];
+    // The hybrid system must serve most traffic from the LM and touch the
+    // caches less than the cache-based system does.
+    assert!(r.hybrid.lm_accesses > 0);
+    assert!(
+        r.hybrid.l1_accesses < r.cache.l1_accesses,
+        "L1 activity must drop: {} vs {}",
+        r.hybrid.l1_accesses,
+        r.cache.l1_accesses
+    );
+    assert!(r.hybrid.amat < r.cache.amat, "AMAT must improve");
+}
+
+#[test]
+fn geomean_helper() {
+    let g = hsim::geomean([2.0, 8.0].into_iter());
+    assert!((g - 4.0).abs() < 1e-12);
+    assert_eq!(hsim::geomean(std::iter::empty()), 1.0);
+}

@@ -1,0 +1,303 @@
+//! Property-based tests: randomized kernels and access streams checked
+//! against reference models.
+//!
+//! The central property is the paper's correctness claim: for *any* loop
+//! kernel, the code the compiler generates for the coherent hybrid
+//! machine (and for the oracle and cache-based machines) computes exactly
+//! what the direct interpretation of the kernel computes, with zero
+//! coherence violations — regardless of aliasing, tiling boundaries,
+//! guarded stores and window crossings.
+
+use hsim::prelude::*;
+use proptest::prelude::*;
+
+/// A random but well-formed kernel: 1-3 arrays of i64, one loop with a
+/// mix of strided (offset 0..=2), scalar, indirect and forced-incoherent
+/// references.
+fn arb_kernel() -> impl Strategy<Value = Kernel> {
+    (
+        2u64..600,                       // n
+        1usize..4,                       // value arrays
+        prop::collection::vec(0u8..5, 1..5), // statement shapes
+        any::<u64>(),                    // data seed
+        prop::bool::ANY,                 // force an incoherent ref?
+    )
+        .prop_map(|(n, n_arrays, shapes, seed, force)| {
+            let mut kb = KernelBuilder::new("prop");
+            let mut state = seed | 1;
+            let mut next = move || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            };
+            let arrays: Vec<_> = (0..n_arrays)
+                .map(|k| {
+                    let init: Vec<i64> = (0..n + 2).map(|_| (next() % 1000) as i64).collect();
+                    kb.array_i64_init(&format!("a{k}"), &init)
+                })
+                .collect();
+            let idx_init: Vec<i64> = (0..n).map(|_| (next() % n) as i64).collect();
+            let idx = kb.array_i64_init("idx", &idx_init);
+            let scal = kb.array_i64_init("s", &[3, 5]);
+            kb.begin_loop(n);
+            let ridx = kb.ref_affine(idx, 1, 0);
+            for (si, shape) in shapes.iter().enumerate() {
+                let a = arrays[si % arrays.len()];
+                match shape {
+                    // strided read-modify-write with offset
+                    0 => {
+                        let r0 = kb.ref_affine(a, 1, 0);
+                        let r1 = kb.ref_affine(a, 1, (si as i64 % 3).min(2));
+                        kb.stmt(r1, Expr::add(Expr::Ref(r0), Expr::ConstI(1)));
+                    }
+                    // scalar accumulate
+                    1 => {
+                        let r0 = kb.ref_affine(a, 1, 0);
+                        let rs = kb.ref_affine(scal, 0, 0);
+                        kb.stmt(rs, Expr::add(Expr::Ref(rs), Expr::Ref(r0)));
+                    }
+                    // indirect write (scatter) into the first array:
+                    // must-aliases its own regular refs -> guarded
+                    2 => {
+                        let rg = kb.ref_indirect(arrays[0], ridx, 0);
+                        kb.stmt(rg, Expr::add(Expr::Ref(rg), Expr::ConstI(2)));
+                    }
+                    // indirect read (gather) combined with ivar
+                    3 => {
+                        let rg = kb.ref_indirect(arrays[0], ridx, 0);
+                        let r1 = kb.ref_affine(a, 1, 0);
+                        kb.stmt(r1, Expr::add(Expr::Ref(rg), Expr::Ivar));
+                    }
+                    // plain strided copy between arrays
+                    _ => {
+                        let r0 = kb.ref_affine(arrays[(si + 1) % arrays.len()], 1, 0);
+                        let r1 = kb.ref_affine(a, 1, 0);
+                        kb.stmt(r1, Expr::sub(Expr::Ref(r0), Expr::ConstI(1)));
+                    }
+                }
+            }
+            if force {
+                // Force the idx stream's own access guarded as well.
+                kb.force_incoherent(ridx);
+            }
+            kb.end_loop();
+            kb.build().expect("generated kernel must validate")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The flagship property: all three machines compute the interpreter's
+    /// result, with zero coherence violations.
+    #[test]
+    fn compiled_kernels_match_interpreter(kernel in arb_kernel()) {
+        for mode in [SysMode::HybridCoherent, SysMode::HybridOracle, SysMode::CacheBased] {
+            let (r, mismatches) = run_kernel_verified(&kernel, mode, true).unwrap();
+            prop_assert_eq!(mismatches, 0, "memory diverged in {:?}", mode);
+            prop_assert_eq!(r.violations, 0, "violations in {:?}", mode);
+        }
+    }
+
+    /// Simulation is deterministic for arbitrary kernels.
+    #[test]
+    fn simulation_is_deterministic(kernel in arb_kernel()) {
+        let a = run_kernel(&kernel, SysMode::HybridCoherent, false).unwrap();
+        let b = run_kernel(&kernel, SysMode::HybridCoherent, false).unwrap();
+        prop_assert_eq!(a.cycles, b.cycles);
+        prop_assert_eq!(a.committed, b.committed);
+    }
+}
+
+mod directory_props {
+    use super::*;
+    use hsim::coherence::{DirConfig, Directory};
+    use hsim::isa::memmap::{LM_BASE, LM_SIZE};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// Address decomposition: for any configured buffer size and any
+        /// mapped chunk, every in-chunk address diverts to the LM address
+        /// with the same offset, and out-of-chunk addresses miss.
+        #[test]
+        fn lookup_matches_reference_model(
+            buf_log in 6u32..15, // 64 B .. 16 KiB
+            buf_idx in 0u64..32,
+            chunk_sel in 0u64..1024,
+            offset in 0u64..16384,
+        ) {
+            let buf_size = 1u64 << buf_log;
+            let mut dir = Directory::new(DirConfig::default());
+            dir.configure(buf_size).unwrap();
+            let n_bufs = dir.num_buffers() as u64;
+            let buf_idx = buf_idx % n_bufs;
+            let sm_chunk = 0x1000_0000u64 + chunk_sel * buf_size;
+            let lm_addr = LM_BASE + buf_idx * buf_size;
+            dir.update_get(lm_addr, sm_chunk, 7).unwrap();
+
+            let probe = sm_chunk.wrapping_add(offset);
+            let hit = dir.lookup(probe);
+            if offset < buf_size {
+                let h = hit.expect("in-chunk must hit");
+                prop_assert_eq!(h.lm_addr, lm_addr + offset);
+                prop_assert_eq!(h.ready_at, 7);
+                prop_assert!(h.lm_addr >= LM_BASE && h.lm_addr < LM_BASE + LM_SIZE);
+            } else if offset >= buf_size {
+                // Outside the chunk: may only hit if it falls into the
+                // same chunk again (it cannot, offsets < 16K and chunks
+                // don't repeat) — must miss.
+                prop_assert!(hit.is_none());
+            }
+        }
+
+        /// Base/offset masks decompose and reassemble any address.
+        #[test]
+        fn masks_partition_addresses(buf_log in 6u32..15, addr in any::<u64>()) {
+            let mut dir = Directory::new(DirConfig::default());
+            dir.configure(1 << buf_log).unwrap();
+            let base = addr & dir.base_mask();
+            let off = addr & dir.offset_mask();
+            prop_assert_eq!(base | off, addr);
+            prop_assert_eq!(base & off, 0);
+        }
+    }
+}
+
+mod state_machine_props {
+    use super::*;
+    use hsim::coherence::{DataEvent, DataState};
+
+    fn arb_event() -> impl Strategy<Value = DataEvent> {
+        prop_oneof![
+            Just(DataEvent::LmMap),
+            Just(DataEvent::LmUnmap),
+            Just(DataEvent::LmWriteback),
+            Just(DataEvent::CmAccess),
+            Just(DataEvent::CmEvict),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(512))]
+
+        /// Under arbitrary event streams (applying only the legal ones),
+        /// the replica invariants of §3.4 hold: replica count matches the
+        /// state, and no single event removes two replicas.
+        #[test]
+        fn replica_count_is_consistent(events in prop::collection::vec(arb_event(), 0..64)) {
+            let mut s = DataState::MM;
+            for e in events {
+                if let Ok(next) = s.step(e) {
+                    let before = s.replicas() as i64;
+                    let after = next.replicas() as i64;
+                    prop_assert!((after - before).abs() <= 1,
+                        "{:?} --{:?}--> {:?} changed replicas by more than one", s, e, next);
+                    // LM-CM never jumps straight to MM (§3.4.2).
+                    if s == DataState::LmCm {
+                        prop_assert_ne!(next, DataState::MM);
+                    }
+                    s = next;
+                }
+            }
+        }
+    }
+}
+
+mod cache_props {
+    use super::*;
+    use hsim::mem::{AccessKind, Cache, CacheConfig, WritePolicy};
+    use std::collections::HashSet;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Inclusion-of-recency: immediately after any access sequence,
+        /// re-probing the most recent `ways` distinct lines of any one set
+        /// always hits (true LRU never evicts the most recent).
+        #[test]
+        fn lru_keeps_most_recent_lines(addrs in prop::collection::vec(0u64..(1 << 16), 1..200)) {
+            let mut c = Cache::new(CacheConfig {
+                name: "T",
+                size_bytes: 4096,
+                ways: 4,
+                line_bytes: 64,
+                latency: 1,
+                write_policy: WritePolicy::WriteBack,
+            });
+            for a in &addrs {
+                if !c.access(*a, AccessKind::Read) {
+                    c.fill(c.line_addr(*a), false, false);
+                }
+            }
+            // The last 4 distinct lines touched within one set must hit.
+            let last = *addrs.last().unwrap();
+            let set_of = |a: u64| (a / 64) % 16;
+            let mut recent = Vec::new();
+            let mut seen = HashSet::new();
+            for a in addrs.iter().rev() {
+                if set_of(*a) == set_of(last) && seen.insert(c.line_addr(*a)) {
+                    recent.push(c.line_addr(*a));
+                    if recent.len() == 4 {
+                        break;
+                    }
+                }
+            }
+            for line in recent {
+                prop_assert!(c.probe(line), "recently-touched line {line:#x} missing");
+            }
+        }
+
+        /// Write-back caches never lose dirty data silently: every dirty
+        /// line is either resident or was reported evicted.
+        #[test]
+        fn dirty_lines_are_never_lost(writes in prop::collection::vec(0u64..(1 << 14), 1..150)) {
+            let mut c = Cache::new(CacheConfig {
+                name: "T",
+                size_bytes: 2048,
+                ways: 2,
+                line_bytes: 64,
+                latency: 1,
+                write_policy: WritePolicy::WriteBack,
+            });
+            let mut dirty: HashSet<u64> = HashSet::new();
+            for a in &writes {
+                let line = c.line_addr(*a);
+                if !c.access(*a, AccessKind::Write) {
+                    if let Some(ev) = c.fill(line, true, false) {
+                        if ev.dirty {
+                            prop_assert!(dirty.remove(&ev.addr), "evicted unknown dirty line");
+                        }
+                    }
+                }
+                dirty.insert(line);
+                // Re-access as write to mark dirty if the fill path raced.
+                c.access(*a, AccessKind::Write);
+            }
+            for line in dirty {
+                prop_assert!(c.probe(line), "dirty line {line:#x} vanished");
+            }
+        }
+    }
+}
+
+mod asm_props {
+    use super::*;
+    use hsim::isa::asm::{assemble, disassemble};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Assembler/disassembler round trip over random compiled
+        /// programs (which exercise every instruction the compiler can
+        /// emit, including guarded forms and DMA ops).
+        #[test]
+        fn compiled_programs_roundtrip_through_asm(kernel in arb_kernel()) {
+            let ck = compile(&kernel, CodegenMode::HybridCoherent);
+            let text = disassemble(&ck.program);
+            let back = assemble(&text).expect("disassembly must re-assemble");
+            prop_assert_eq!(&back.insts, &ck.program.insts);
+        }
+    }
+}
