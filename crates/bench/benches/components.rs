@@ -5,7 +5,9 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use hsim_coherence::{DirConfig, Directory};
 use hsim_core::BranchPredictor;
-use hsim_mem::{AccessKind, Cache, CacheConfig, PagedMem, PrefetchConfig, StreamPrefetcher, WritePolicy};
+use hsim_mem::{
+    AccessKind, Cache, CacheConfig, PagedMem, PrefetchConfig, StreamPrefetcher, WritePolicy,
+};
 
 fn bench_cache(c: &mut Criterion) {
     let mut cache = Cache::new(CacheConfig {

@@ -1,0 +1,62 @@
+//! Multicore scaling: one NAS kernel sharded over 1/2/4/8 simulated
+//! cores of a single machine (shared L3/DRAM backside), plus the
+//! host-parallel batch driver against the sequential experiment loop.
+//!
+//! Besides wall-clock timings, each configuration prints its simulated
+//! cycles-per-core and makespan once, so `cargo bench` doubles as a
+//! quick scaling report.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hsim::prelude::*;
+use hsim_workloads::nas;
+
+fn bench_core_count_sweep(c: &mut Criterion) {
+    let kernel = nas::cg(Scale::Test);
+    for cores in [1usize, 2, 4, 8] {
+        let report = run_kernel_multi(&kernel, cores, SysMode::HybridCoherent, false).unwrap();
+        let cycles: Vec<u64> = report.per_core.iter().map(|r| r.cycles).collect();
+        println!(
+            "cg x{cores}: makespan {} cycles, per-core {:?}, bus waits {}",
+            report.makespan,
+            cycles,
+            report.total_bus_wait_cycles()
+        );
+        c.bench_function(format!("cg_shard_{cores}core_machine"), |b| {
+            b.iter(|| {
+                black_box(
+                    run_kernel_multi(&kernel, cores, SysMode::HybridCoherent, false)
+                        .unwrap()
+                        .makespan,
+                )
+            })
+        });
+    }
+}
+
+fn bench_batch_driver(c: &mut Criterion) {
+    // The fig8 sweep over three kernels, sequential loop vs the
+    // thread-pool driver. On a multi-core host the parallel driver wins
+    // by roughly the worker count; results are identical either way.
+    let kernels = vec![
+        nas::ep(Scale::Test),
+        nas::is(Scale::Test),
+        nas::cg(Scale::Test),
+    ];
+    let host = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    println!("host parallelism: {host} thread(s)");
+    c.bench_function("fig8_sweep_sequential", |b| {
+        b.iter(|| black_box(fig8(&kernels).unwrap().len()))
+    });
+    c.bench_function("fig8_sweep_parallel", |b| {
+        b.iter(|| black_box(fig8_parallel(&kernels).unwrap().len()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_core_count_sweep, bench_batch_driver
+}
+criterion_main!(benches);

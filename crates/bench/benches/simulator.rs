@@ -16,7 +16,13 @@ fn bench_fig7_point(c: &mut Criterion) {
         n: 2048,
     });
     c.bench_function("fig7_wr50_microbench", |b| {
-        b.iter(|| black_box(run_kernel(&k, SysMode::HybridCoherent, false).unwrap().cycles))
+        b.iter(|| {
+            black_box(
+                run_kernel(&k, SysMode::HybridCoherent, false)
+                    .unwrap()
+                    .cycles,
+            )
+        })
     });
 }
 
@@ -24,7 +30,13 @@ fn bench_fig8_pair(c: &mut Criterion) {
     // FT coherent vs oracle (the double-store benchmark).
     let k = nas::ft(Scale::Test);
     c.bench_function("fig8_ft_coherent", |b| {
-        b.iter(|| black_box(run_kernel(&k, SysMode::HybridCoherent, false).unwrap().cycles))
+        b.iter(|| {
+            black_box(
+                run_kernel(&k, SysMode::HybridCoherent, false)
+                    .unwrap()
+                    .cycles,
+            )
+        })
     });
     c.bench_function("fig8_ft_oracle", |b| {
         b.iter(|| black_box(run_kernel(&k, SysMode::HybridOracle, false).unwrap().cycles))
@@ -34,7 +46,13 @@ fn bench_fig8_pair(c: &mut Criterion) {
 fn bench_fig9_pair(c: &mut Criterion) {
     let k = nas::cg(Scale::Test);
     c.bench_function("fig9_cg_hybrid", |b| {
-        b.iter(|| black_box(run_kernel(&k, SysMode::HybridCoherent, false).unwrap().cycles))
+        b.iter(|| {
+            black_box(
+                run_kernel(&k, SysMode::HybridCoherent, false)
+                    .unwrap()
+                    .cycles,
+            )
+        })
     });
     c.bench_function("fig9_cg_cache_based", |b| {
         b.iter(|| black_box(run_kernel(&k, SysMode::CacheBased, false).unwrap().cycles))
@@ -44,7 +62,13 @@ fn bench_fig9_pair(c: &mut Criterion) {
 fn bench_tracking_overhead(c: &mut Criterion) {
     let k = nas::is(Scale::Test);
     c.bench_function("coherence_tracker_on", |b| {
-        b.iter(|| black_box(run_kernel(&k, SysMode::HybridCoherent, true).unwrap().cycles))
+        b.iter(|| {
+            black_box(
+                run_kernel(&k, SysMode::HybridCoherent, true)
+                    .unwrap()
+                    .cycles,
+            )
+        })
     });
 }
 

@@ -16,7 +16,11 @@ use hsim::prelude::*;
 use hsim_bench::scale_from_args;
 use hsim_workloads::nas;
 
-fn run_with(kernel: &hsim_compiler::Kernel, mode: SysMode, f: impl Fn(&mut MachineConfig)) -> RunReport {
+fn run_with(
+    kernel: &hsim_compiler::Kernel,
+    mode: SysMode,
+    f: impl Fn(&mut MachineConfig),
+) -> RunReport {
     let ck = compile(kernel, mode.codegen());
     let mut cfg = MachineConfig::for_mode(mode);
     f(&mut cfg);
@@ -35,7 +39,9 @@ fn main() {
     let is = nas::is(scale);
     let base = run_with(&is, SysMode::HybridCoherent, |_| {});
     for extra in [1u64, 2] {
-        let r = run_with(&is, SysMode::HybridCoherent, |c| c.dir_lookup_extra_cycles = extra);
+        let r = run_with(&is, SysMode::HybridCoherent, |c| {
+            c.dir_lookup_extra_cycles = extra
+        });
         println!(
             "IS, +{extra} cycle directory lookup:  {:+.2}% time (paper assumes 0: in-cycle CAM)",
             (r.cycles as f64 / base.cycles as f64 - 1.0) * 100.0
@@ -45,7 +51,9 @@ fn main() {
     // 2. Prefetcher history-table size on SP (497 streams).
     let sp = nas::sp(scale);
     let sp_cache = run_with(&sp, SysMode::CacheBased, |_| {});
-    let sp_huge = run_with(&sp, SysMode::CacheBased, |c| c.mem.prefetch.table_entries = 4096);
+    let sp_huge = run_with(&sp, SysMode::CacheBased, |c| {
+        c.mem.prefetch.table_entries = 4096
+    });
     println!(
         "SP cache-based, 4096-entry prefetch table: {:+.2}% time (collisions removed)",
         (sp_huge.cycles as f64 / sp_cache.cycles as f64 - 1.0) * 100.0

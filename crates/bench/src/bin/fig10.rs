@@ -33,7 +33,10 @@ fn main() {
         ]);
     }
     t.sep();
-    println!("average saving: {:.1}% (paper: 27%)", (1.0 - sum / rows.len() as f64) * 100.0);
+    println!(
+        "average saving: {:.1}% (paper: 27%)",
+        (1.0 - sum / rows.len() as f64) * 100.0
+    );
     println!();
     println!("Cache-based component split, for reference:");
     for r in &rows {

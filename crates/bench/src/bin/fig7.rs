@@ -9,7 +9,11 @@ use hsim::prelude::*;
 use hsim_bench::Table;
 
 fn main() {
-    let n = if std::env::args().any(|a| a == "--test-scale") { 8 * 1024 } else { 64 * 1024 };
+    let n = if std::env::args().any(|a| a == "--test-scale") {
+        8 * 1024
+    } else {
+        64 * 1024
+    };
     let pts = fig7(n, 10).expect("simulation failed");
     println!("FIGURE 7: work-phase overhead vs % of guarded references");
     println!("(paper: RD flat at 1.00; WR and RD/WR linear up to ~1.28 at 100%,");
@@ -27,9 +31,19 @@ fn main() {
         ]);
     }
     // Headline claims.
-    let rd_max = pts.iter().filter(|p| p.mode == MicroMode::Rd).map(|p| p.overhead).fold(0.0, f64::max);
-    let wr100 = pts.iter().find(|p| p.mode == MicroMode::Wr && p.pct == 100).unwrap();
+    let rd_max = pts
+        .iter()
+        .filter(|p| p.mode == MicroMode::Rd)
+        .map(|p| p.overhead)
+        .fold(0.0, f64::max);
+    let wr100 = pts
+        .iter()
+        .find(|p| p.mode == MicroMode::Wr && p.pct == 100)
+        .unwrap();
     println!();
     println!("RD max overhead: {:.3} (paper: 1.00)", rd_max);
-    println!("WR @100%: overhead {:.3}, insts {:.3} (paper: 1.28, 1.26)", wr100.overhead, wr100.inst_ratio);
+    println!(
+        "WR @100%: overhead {:.3}, insts {:.3} (paper: 1.28, 1.26)",
+        wr100.overhead, wr100.inst_ratio
+    );
 }

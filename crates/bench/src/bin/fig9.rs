@@ -14,7 +14,12 @@ fn main() {
     println!("FIGURE 9: execution time normalized to the cache-based system");
     println!();
     let t = Table::new(&[4, 10, 8, 8, 8, 8, 10, 12]);
-    t.row(&["", "time", "work", "synch", "control", "other", "speedup", "paper"].map(String::from));
+    t.row(
+        &[
+            "", "time", "work", "synch", "control", "other", "speedup", "paper",
+        ]
+        .map(String::from),
+    );
     t.sep();
     let mut sum = 0.0;
     for r in &rows {
@@ -31,5 +36,8 @@ fn main() {
         ]);
     }
     t.sep();
-    println!("average speedup: {:.2}x (paper: 1.38x)", sum / rows.len() as f64);
+    println!(
+        "average speedup: {:.2}x (paper: 1.38x)",
+        sum / rows.len() as f64
+    );
 }

@@ -14,9 +14,17 @@ fn main() {
     println!("int a[N]; int c;");
     println!("for(i=0; i<N-1; i++) {{ a[i+1] = a[i] + c; }}");
     println!();
-    println!("(one chain shown; the sweep runs {} such chains and guards", hsim_workloads::microbench::CHAINS);
+    println!(
+        "(one chain shown; the sweep runs {} such chains and guards",
+        hsim_workloads::microbench::CHAINS
+    );
     println!("a fraction of them — see `fig7`)");
-    for mode in [MicroMode::Baseline, MicroMode::Rd, MicroMode::Wr, MicroMode::RdWr] {
+    for mode in [
+        MicroMode::Baseline,
+        MicroMode::Rd,
+        MicroMode::Wr,
+        MicroMode::RdWr,
+    ] {
         let k = microbench(&MicrobenchConfig {
             mode,
             guarded_pct: 100,

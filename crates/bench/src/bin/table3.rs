@@ -16,11 +16,13 @@ fn main() {
     println!("TABLE 3: activity in the memory subsystem (counts in thousands)");
     println!();
     let t = Table::new(&[4, 15, 12, 6, 8, 9, 9, 9, 9, 9]);
-    t.row(&[
-        "Name", "Mode", "Guarded", "AMAT", "L1 hit%", "L1 acc", "L2 acc", "L3 acc", "LM acc",
-        "Dir acc",
-    ]
-    .map(String::from));
+    t.row(
+        &[
+            "Name", "Mode", "Guarded", "AMAT", "L1 hit%", "L1 acc", "L2 acc", "L3 acc", "LM acc",
+            "Dir acc",
+        ]
+        .map(String::from),
+    );
     t.sep();
     for r in &rows {
         let g = format!(
@@ -69,7 +71,9 @@ fn main() {
         }
         t.sep();
     }
-    println!("\n'(paper)' rows give the paper's guarded ratio, then hybrid/cache AMAT and L1 hit%.");
+    println!(
+        "\n'(paper)' rows give the paper's guarded ratio, then hybrid/cache AMAT and L1 hit%."
+    );
     println!("Access counts depend on the workload sizes and are not directly comparable;");
     println!("the ratios and orderings are (see EXPERIMENTS.md).");
 }

@@ -189,8 +189,13 @@ impl Directory {
         if sm_src & self.offset_mask != 0 {
             return Err(DirError::BadSmAddress(sm_src));
         }
-        let idx = self.buf_index(lm_dst).ok_or(DirError::BadLmAddress(lm_dst))?;
-        if lm_dst.wrapping_sub(self.cfg.lm_base) % self.buf_size != 0 {
+        let idx = self
+            .buf_index(lm_dst)
+            .ok_or(DirError::BadLmAddress(lm_dst))?;
+        if !lm_dst
+            .wrapping_sub(self.cfg.lm_base)
+            .is_multiple_of(self.buf_size)
+        {
             return Err(DirError::BadLmAddress(lm_dst));
         }
         if idx >= self.entries.len() {

@@ -55,7 +55,11 @@ pub struct TransitionError {
 
 impl std::fmt::Display for TransitionError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "illegal transition: {:?} in state {:?}", self.event, self.state)
+        write!(
+            f,
+            "illegal transition: {:?} in state {:?}",
+            self.event, self.state
+        )
     }
 }
 
@@ -124,12 +128,7 @@ mod tests {
     fn figure6_happy_paths() {
         // MM -> LM -> LM-CM (double store) -> LM (evict) -> MM (unmap).
         let mut s = MM;
-        for (e, want) in [
-            (LmMap, LM),
-            (CmAccess, LmCm),
-            (CmEvict, LM),
-            (LmUnmap, MM),
-        ] {
+        for (e, want) in [(LmMap, LM), (CmAccess, LmCm), (CmEvict, LM), (LmUnmap, MM)] {
             s = s.step(e).unwrap();
             assert_eq!(s, want);
         }

@@ -184,7 +184,11 @@ impl Tracker {
         match identical {
             Some(true) => {}
             Some(false) => {
-                let what = if is_write { "store diverged the copies" } else { "load observed a stale copy" };
+                let what = if is_write {
+                    "store diverged the copies"
+                } else {
+                    "load observed a stale copy"
+                };
                 let msg = format!(
                     "SM {} at {addr:#x}: chunk {chunk:#x} is LM-mapped and the copies differ ({what})",
                     if is_write { "write" } else { "read" },

@@ -76,12 +76,7 @@ impl LoopPlan {
 /// classifies every strided reference as `RegularUnmapped` and suppresses
 /// potential incoherence entirely (there is no LM to be incoherent
 /// with).
-pub fn classify_loop(
-    kernel: &Kernel,
-    l: &LoopNest,
-    lm_size: u64,
-    max_buffers: usize,
-) -> LoopPlan {
+pub fn classify_loop(kernel: &Kernel, l: &LoopNest, lm_size: u64, max_buffers: usize) -> LoopPlan {
     let alias: &AliasOracle = &kernel.alias;
     // Pass A: strided arrays in textual order of first appearance.
     // Forced-incoherent references still witness a strided pattern (the

@@ -80,6 +80,7 @@ impl CodegenMode {
 
 /// A compiled kernel: the program plus everything the machine and the
 /// experiment harness need to load and account for it.
+#[derive(Clone)]
 pub struct CompiledKernel {
     /// The generated program.
     pub program: Program,
@@ -189,7 +190,11 @@ struct LoopEmitter<'a> {
 pub fn compile(kernel: &Kernel, mode: CodegenMode) -> CompiledKernel {
     kernel.validate().expect("invalid kernel");
     let layout = Layout::new(kernel);
-    let (lm_size, max_bufs) = if mode.uses_lm() { (LM_SIZE, 32) } else { (0, 0) };
+    let (lm_size, max_bufs) = if mode.uses_lm() {
+        (LM_SIZE, 32)
+    } else {
+        (0, 0)
+    };
     let plans: Vec<LoopPlan> = kernel
         .loops
         .iter()
@@ -520,7 +525,8 @@ impl<'a> LoopEmitter<'a> {
                 && self.plan.double_stores.contains(&target)
                 && self.mode.double_store()
             {
-                self.b.store_x_opt(v, base, index, disp, Width::D, Route::Plain);
+                self.b
+                    .store_x_opt(v, base, index, disp, Width::D, Route::Plain);
             }
             self.free_int_temp();
         }
@@ -714,7 +720,15 @@ impl BuilderExt for ProgramBuilder {
         }
     }
 
-    fn store_x_opt(&mut self, rs: Reg, base: Reg, index: Option<Reg>, off: i64, w: Width, r: Route) {
+    fn store_x_opt(
+        &mut self,
+        rs: Reg,
+        base: Reg,
+        index: Option<Reg>,
+        off: i64,
+        w: Width,
+        r: Route,
+    ) {
         match index {
             Some(ix) => self.store_x(rs, base, ix, off, w, r),
             None => self.store(rs, base, off, w, r),
@@ -774,8 +788,22 @@ mod tests {
         let mut found = false;
         for w in p.insts.windows(2) {
             if let (
-                Inst::Store { rs: r1, base: b1, index: i1, offset: o1, route: Route::Guarded, .. },
-                Inst::Store { rs: r2, base: b2, index: i2, offset: o2, route: Route::Plain, .. },
+                Inst::Store {
+                    rs: r1,
+                    base: b1,
+                    index: i1,
+                    offset: o1,
+                    route: Route::Guarded,
+                    ..
+                },
+                Inst::Store {
+                    rs: r2,
+                    base: b2,
+                    index: i2,
+                    offset: o2,
+                    route: Route::Plain,
+                    ..
+                },
             ) = (&w[0], &w[1])
             {
                 if r1 == r2 && b1 == b2 && i1 == i2 && o1 == o2 {
@@ -783,7 +811,11 @@ mod tests {
                 }
             }
         }
-        assert!(found, "double store pattern missing:\n{}", hsim_isa::asm::disassemble(p));
+        assert!(
+            found,
+            "double store pattern missing:\n{}",
+            hsim_isa::asm::disassemble(p)
+        );
     }
 
     #[test]
@@ -796,8 +828,20 @@ mod tests {
         // oracle stores with same operands.
         for w in p.insts.windows(2) {
             if let (
-                Inst::Store { route: Route::Oracle, base: b1, index: i1, offset: o1, .. },
-                Inst::Store { route: Route::Plain, base: b2, index: i2, offset: o2, .. },
+                Inst::Store {
+                    route: Route::Oracle,
+                    base: b1,
+                    index: i1,
+                    offset: o1,
+                    ..
+                },
+                Inst::Store {
+                    route: Route::Plain,
+                    base: b2,
+                    index: i2,
+                    offset: o2,
+                    ..
+                },
             ) = (&w[0], &w[1])
             {
                 assert!(
@@ -859,7 +903,10 @@ mod tests {
         let k = kb.build().unwrap();
         let ck = compile(&k, CodegenMode::HybridCoherent);
         assert!(ck.plans[0].tail_span == 1);
-        assert!(ck.program.count_route(Route::Guarded) > 0, "tail uses guards");
+        assert!(
+            ck.program.count_route(Route::Guarded) > 0,
+            "tail uses guards"
+        );
     }
 
     #[test]

@@ -167,6 +167,7 @@ fn binop(a: Val, b: Val, fi: impl Fn(i64, i64) -> i64, ff: impl Fn(f64, f64) -> 
 }
 
 #[cfg(test)]
+#[allow(clippy::needless_range_loop)] // index math doubles as the expected value
 mod tests {
     use super::*;
     use crate::ir::KernelBuilder;
@@ -228,7 +229,7 @@ mod tests {
         let k = kb.build().unwrap();
         let out = interpret(&k).unwrap();
         for i in 0..32usize {
-            let target = ((i * 7) % 32) as usize;
+            let target = (i * 7) % 32;
             assert_eq!(out[c][target], i as u64);
         }
     }

@@ -99,16 +99,19 @@ pub enum Expr {
 
 impl Expr {
     /// Convenience constructor: `a + b`.
+    #[allow(clippy::should_implement_trait)] // builder sugar, not arithmetic on Expr values
     pub fn add(a: Expr, b: Expr) -> Expr {
         Expr::Add(Box::new(a), Box::new(b))
     }
 
     /// Convenience constructor: `a - b`.
+    #[allow(clippy::should_implement_trait)] // builder sugar, not arithmetic on Expr values
     pub fn sub(a: Expr, b: Expr) -> Expr {
         Expr::Sub(Box::new(a), Box::new(b))
     }
 
     /// Convenience constructor: `a * b`.
+    #[allow(clippy::should_implement_trait)] // builder sugar, not arithmetic on Expr values
     pub fn mul(a: Expr, b: Expr) -> Expr {
         Expr::Mul(Box::new(a), Box::new(b))
     }
@@ -221,7 +224,9 @@ impl std::fmt::Display for IrError {
         match self {
             IrError::BadArray(r) => write!(f, "ref {r} names a missing array"),
             IrError::BadRef(s) => write!(f, "statement/index {s} uses a missing ref"),
-            IrError::BadIndirect(r) => write!(f, "ref {r}: indirect index must be an affine i64 ref"),
+            IrError::BadIndirect(r) => {
+                write!(f, "ref {r}: indirect index must be an affine i64 ref")
+            }
             IrError::BadScale(r) => write!(f, "ref {r}: affine scale must be 0 or 1"),
             IrError::OutOfBounds(r) => write!(f, "ref {r} can step outside its array"),
             IrError::TypeMismatch(s) => write!(f, "statement {s}: type mismatch"),
@@ -309,6 +314,157 @@ impl Kernel {
                 Elem::F64
             }
         })
+    }
+}
+
+/// Why a kernel cannot be sharded across cores.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ShardError {
+    /// The kernel has no loops to split.
+    NoLoops,
+    /// The loops have different trip counts, so one iteration split does
+    /// not apply to all of them.
+    UnevenLoops,
+    /// More shards requested than loop iterations available.
+    TooManyShards {
+        /// Iterations available.
+        iterations: u64,
+        /// Shards requested.
+        shards: usize,
+    },
+    /// An array is indexed both by the loop variable (so its elements
+    /// belong to iteration slices) and in an iteration-independent way
+    /// (scalar access or as an indirection target), so no slicing can
+    /// keep both views consistent.
+    MixedIndexing {
+        /// The offending array.
+        array: ArrayId,
+    },
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardError::NoLoops => write!(f, "kernel has no loops to shard"),
+            ShardError::UnevenLoops => {
+                write!(
+                    f,
+                    "loops have different trip counts; cannot shard uniformly"
+                )
+            }
+            ShardError::TooManyShards { iterations, shards } => {
+                write!(
+                    f,
+                    "cannot split {iterations} iterations into {shards} shards"
+                )
+            }
+            ShardError::MixedIndexing { array } => {
+                write!(
+                    f,
+                    "array {array} is indexed both by the loop variable and \
+                     iteration-independently; no consistent slicing exists"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+impl Kernel {
+    /// Splits the kernel into `n` disjoint iteration slices — the
+    /// paper's multicore evaluation model, where each core runs the same
+    /// loop nest over its private share of the data (§3: the protocol
+    /// hardware is per-core and LMs hold private data only).
+    ///
+    /// Arrays indexed by the loop variable (`a[i + d]`, any `d`) are
+    /// *sliced*: shard `s` receives the elements its iterations touch,
+    /// plus a `max(d)`-element halo so offset reads stay in bounds —
+    /// the shards' written working sets are disjoint. Arrays accessed
+    /// only iteration-independently — scalars and indirection targets —
+    /// are replicated whole into each shard (private per-core copies;
+    /// gathered tables must stay fully indexable). An array accessed
+    /// *both* ways admits no consistent slicing and makes the kernel
+    /// unshardable ([`ShardError::MixedIndexing`]); silently replicating
+    /// it would desynchronize its indices from the sliced arrays'.
+    ///
+    /// Every produced shard is a self-contained, validated [`Kernel`]:
+    /// running shard `s` on its own machine computes exactly the
+    /// original kernel's iterations `[start_s, start_s + n_s)` (for
+    /// loop-carried halo reads, against the original initial data, as
+    /// in any ghost-cell decomposition).
+    pub fn shard(&self, n: usize) -> Result<Vec<Kernel>, ShardError> {
+        assert!(n >= 1, "shard count must be positive");
+        let Some(first) = self.loops.first() else {
+            return Err(ShardError::NoLoops);
+        };
+        let iterations = first.n;
+        if self.loops.iter().any(|l| l.n != iterations) {
+            return Err(ShardError::UnevenLoops);
+        }
+        if (n as u64) > iterations {
+            return Err(ShardError::TooManyShards {
+                iterations,
+                shards: n,
+            });
+        }
+
+        // Classify every array: iteration-indexed (sliced, tracking the
+        // widest offset as its halo) and/or iteration-independent
+        // (replicated whole). Both at once is unshardable.
+        let mut iter_halo: Vec<Option<u64>> = vec![None; self.arrays.len()];
+        let mut fixed = vec![false; self.arrays.len()];
+        for l in &self.loops {
+            for r in &l.refs {
+                match r.index {
+                    Index::Affine { scale: 1, offset } => {
+                        // `validate()` guarantees offset >= 0 here.
+                        let halo = iter_halo[r.array].get_or_insert(0);
+                        *halo = (*halo).max(offset as u64);
+                    }
+                    Index::Affine { .. } => fixed[r.array] = true,
+                    Index::Indirect { .. } => fixed[r.array] = true,
+                }
+            }
+            // Indirection *index* streams are the referencing side; the
+            // target array was already marked `fixed` above.
+        }
+        for (array, halo) in iter_halo.iter().enumerate() {
+            if halo.is_some() && fixed[array] {
+                return Err(ShardError::MixedIndexing { array });
+            }
+        }
+
+        let base = iterations / n as u64;
+        let extra = iterations % n as u64;
+        let mut start = 0u64;
+        let mut shards = Vec::with_capacity(n);
+        for s in 0..n as u64 {
+            let len = base + u64::from(s < extra);
+            let end = start + len;
+            let mut k = self.clone();
+            k.name = format!("{}#{}/{}", self.name, s, n);
+            for l in &mut k.loops {
+                l.n = len;
+            }
+            for (id, decl) in k.arrays.iter_mut().enumerate() {
+                let Some(halo) = iter_halo[id] else {
+                    continue; // replicated whole
+                };
+                // Slice the declaration and its (possibly zero-extended)
+                // initial data to this shard's iteration window plus the
+                // halo its widest offset reference reaches into.
+                decl.len = len + halo;
+                let src = &self.init[id];
+                k.init[id] = (start..end + halo)
+                    .map(|i| src.get(i as usize).copied().unwrap_or(0))
+                    .collect();
+            }
+            debug_assert!(k.validate().is_ok(), "shard must stay well-formed");
+            shards.push(k);
+            start = end;
+        }
+        Ok(shards)
     }
 }
 
@@ -578,5 +734,141 @@ mod tests {
         kb.stmt(ra, Expr::ConstI(0));
         kb.end_loop();
         assert_eq!(kb.build().unwrap_err(), IrError::BadScale(0));
+    }
+
+    #[test]
+    fn shard_slices_streamed_arrays_and_keeps_tables_whole() {
+        let mut kb = KernelBuilder::new("K");
+        let a = kb.array_i64_init("a", &(0..10).collect::<Vec<i64>>());
+        let idx = kb.array_i64_init("idx", &[0, 1, 2, 0, 1, 2, 0, 1, 2, 0]);
+        let table = kb.array_i64_init("table", &[7, 8, 9]);
+        kb.begin_loop(10);
+        let ra = kb.ref_affine(a, 1, 0);
+        let ridx = kb.ref_affine(idx, 1, 0);
+        let rt = kb.ref_indirect(table, ridx, 0);
+        kb.stmt(ra, Expr::add(Expr::Ref(ra), Expr::Ref(rt)));
+        kb.end_loop();
+        let k = kb.build().unwrap();
+
+        let shards = k.shard(3).unwrap();
+        assert_eq!(shards.len(), 3);
+        // 10 = 4 + 3 + 3.
+        assert_eq!(
+            shards.iter().map(|s| s.loops[0].n).collect::<Vec<_>>(),
+            [4, 3, 3]
+        );
+        // Streamed arrays are sliced disjointly...
+        assert_eq!(shards[0].init[a], vec![0, 1, 2, 3]);
+        assert_eq!(shards[1].init[a], vec![4, 5, 6]);
+        assert_eq!(shards[2].init[a], vec![7, 8, 9]);
+        assert_eq!(shards[1].arrays[a].len, 3);
+        // ...including the index stream...
+        assert_eq!(shards[2].init[idx], vec![1, 2, 0]);
+        // ...while the gathered table stays whole in every shard.
+        for s in &shards {
+            assert_eq!(s.arrays[table].len, 3);
+            assert_eq!(s.init[table], vec![7, 8, 9]);
+            assert!(s.validate().is_ok());
+        }
+        assert_eq!(shards[0].name, "K#0/3");
+    }
+
+    #[test]
+    fn shard_slices_offset_arrays_with_a_halo() {
+        let mut kb = KernelBuilder::new("K");
+        let a = kb.array_i64_init("a", &(0..12).collect::<Vec<i64>>());
+        let s = kb.array_i64_init("s", &[5]);
+        kb.begin_loop(10);
+        let r0 = kb.ref_affine(a, 1, 0);
+        let r1 = kb.ref_affine(a, 1, 2); // widest offset -> 2-element halo
+        let rs = kb.ref_affine(s, 0, 0);
+        kb.stmt(r0, Expr::add(Expr::Ref(r1), Expr::Ref(rs)));
+        kb.end_loop();
+        let k = kb.build().unwrap();
+        let shards = k.shard(2).unwrap();
+        for sh in &shards {
+            assert_eq!(sh.arrays[a].len, 7, "5-iteration slice + 2-element halo");
+            assert_eq!(sh.arrays[s].len, 1, "scalar array replicated whole");
+            assert_eq!(sh.loops[0].n, 5);
+            assert!(sh.validate().is_ok());
+        }
+        // The halo keeps offset reads index-consistent: shard 1 starts at
+        // original element 5.
+        assert_eq!(shards[1].init[a], vec![5, 6, 7, 8, 9, 10, 11]);
+    }
+
+    #[test]
+    fn shard_decomposition_is_faithful_with_offsets() {
+        // a[i] = b[i+2] + s: running the shards standalone and
+        // concatenating their `a` slices must reproduce the full run —
+        // the index-shift class of bug (sliced `a` against whole `b`)
+        // would break this.
+        let mut kb = KernelBuilder::new("K");
+        let a = kb.array_i64("a", 10);
+        let b = kb.array_i64_init("b", &(100..112).collect::<Vec<i64>>());
+        let s = kb.array_i64_init("s", &[7]);
+        kb.begin_loop(10);
+        let ra = kb.ref_affine(a, 1, 0);
+        let rb = kb.ref_affine(b, 1, 2);
+        let rs = kb.ref_affine(s, 0, 0);
+        kb.stmt(ra, Expr::add(Expr::Ref(rb), Expr::Ref(rs)));
+        kb.end_loop();
+        let k = kb.build().unwrap();
+
+        let full = crate::interp::interpret(&k).unwrap();
+        let mut stitched = Vec::new();
+        for sh in k.shard(3).unwrap() {
+            let out = crate::interp::interpret(&sh).unwrap();
+            let slice_len = sh.loops[0].n as usize;
+            stitched.extend_from_slice(&out[a][..slice_len]);
+        }
+        assert_eq!(stitched, full[a], "sharded run diverged from the full run");
+    }
+
+    #[test]
+    fn shard_rejects_mixed_iteration_and_fixed_indexing() {
+        // arrays[0] is streamed (a[i]) *and* scattered into through an
+        // index array: slicing it breaks the indirect view, replicating
+        // it whole breaks the streamed view — must refuse.
+        let mut kb = KernelBuilder::new("K");
+        let a = kb.array_i64_init("a", &(0..8).collect::<Vec<i64>>());
+        let idx = kb.array_i64_init("idx", &[0, 1, 2, 3, 4, 5, 6, 7]);
+        kb.begin_loop(8);
+        let ra = kb.ref_affine(a, 1, 0);
+        let ridx = kb.ref_affine(idx, 1, 0);
+        let rg = kb.ref_indirect(a, ridx, 0);
+        kb.stmt(ra, Expr::add(Expr::Ref(ra), Expr::Ref(rg)));
+        kb.end_loop();
+        let k = kb.build().unwrap();
+        assert_eq!(
+            k.shard(2).unwrap_err(),
+            ShardError::MixedIndexing { array: a }
+        );
+        assert!(
+            k.shard(1).is_err(),
+            "even one shard needs consistent indexing"
+        );
+    }
+
+    #[test]
+    fn shard_error_cases() {
+        let empty = Kernel::default();
+        assert_eq!(empty.shard(2).unwrap_err(), ShardError::NoLoops);
+
+        let mut kb = KernelBuilder::new("tiny");
+        let a = kb.array_i64("a", 2);
+        kb.begin_loop(2);
+        let ra = kb.ref_affine(a, 1, 0);
+        kb.stmt(ra, Expr::Ivar);
+        kb.end_loop();
+        let k = kb.build().unwrap();
+        assert_eq!(
+            k.shard(5).unwrap_err(),
+            ShardError::TooManyShards {
+                iterations: 2,
+                shards: 5
+            }
+        );
+        assert_eq!(k.shard(1).unwrap().len(), 1);
     }
 }

@@ -41,11 +41,17 @@ impl Layout {
         let mut arrays = Vec::with_capacity(kernel.arrays.len());
         for a in &kernel.arrays {
             let bytes = a.len * 8;
-            arrays.push(ArrayLayout { base: cursor, bytes });
+            arrays.push(ArrayLayout {
+                base: cursor,
+                bytes,
+            });
             // Payload + one max-window guard, window-aligned.
             cursor = round_up(cursor + bytes + align, align);
         }
-        Layout { arrays, end: cursor }
+        Layout {
+            arrays,
+            end: cursor,
+        }
     }
 
     /// SM address of element `idx` of `array`.

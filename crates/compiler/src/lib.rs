@@ -43,6 +43,7 @@ pub use classify::{classify_loop, LoopPlan, RefClass};
 pub use codegen::{compile, CodegenMode, CompiledKernel};
 pub use interp::interpret;
 pub use ir::{
-    ArrayDecl, ArrayId, Elem, Expr, Index, Kernel, KernelBuilder, LoopNest, MemRef, RefId, Stmt,
+    ArrayDecl, ArrayId, Elem, Expr, Index, Kernel, KernelBuilder, LoopNest, MemRef, RefId,
+    ShardError, Stmt,
 };
 pub use layout::{ArrayLayout, Layout};

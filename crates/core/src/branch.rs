@@ -54,7 +54,12 @@ pub struct BranchPredictor {
 
 impl BranchPredictor {
     /// Builds the predictor.
-    pub fn new(gshare_entries: usize, bimodal_entries: usize, selector_entries: usize, ghist_bits: u32) -> Self {
+    pub fn new(
+        gshare_entries: usize,
+        bimodal_entries: usize,
+        selector_entries: usize,
+        ghist_bits: u32,
+    ) -> Self {
         BranchPredictor {
             gshare: Counters::new(gshare_entries, 1),
             bimodal: Counters::new(bimodal_entries, 1),
@@ -76,7 +81,10 @@ impl BranchPredictor {
     /// speculative history, and shifts the prediction into that history.
     pub fn predict(&mut self, pc: u64) -> bool {
         self.lookups += 1;
-        let g = self.gshare.get(self.gshare_idx(pc, self.spec_ghist & self.ghist_mask)) >= 2;
+        let g = self
+            .gshare
+            .get(self.gshare_idx(pc, self.spec_ghist & self.ghist_mask))
+            >= 2;
         let b = self.bimodal.get(pc as usize) >= 2;
         let use_gshare = self.selector.get(pc as usize) >= 2;
         let taken = if use_gshare { g } else { b };
@@ -150,7 +158,10 @@ impl Btb {
         }
         self.misses += 1;
         // Allocate the LRU way.
-        let victim = (0..self.ways).map(|w| base + w).min_by_key(|&i| self.lru[i]).unwrap();
+        let victim = (0..self.ways)
+            .map(|w| base + w)
+            .min_by_key(|&i| self.lru[i])
+            .unwrap();
         self.tags[victim] = pc;
         self.lru[victim] = self.clock;
         false
@@ -288,7 +299,7 @@ mod tests {
     #[test]
     fn btb_capacity_eviction() {
         let mut b = Btb::new(8, 2); // 4 sets x 2 ways
-        // Three PCs mapping to set 0: 0, 4, 8 (set = pc & 3).
+                                    // Three PCs mapping to set 0: 0, 4, 8 (set = pc & 3).
         b.lookup_allocate(0);
         b.lookup_allocate(4);
         b.lookup_allocate(8); // evicts pc 0

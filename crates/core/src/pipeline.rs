@@ -456,7 +456,9 @@ impl Core {
                 self.stats.rob_full_stalls += 1;
                 break;
             }
-            let Some(f) = self.fetch_queue.front() else { break };
+            let Some(f) = self.fetch_queue.front() else {
+                break;
+            };
             let pc = f.pc;
             if pc >= self.program.len() {
                 return Err(SimError::RanOffProgram);
@@ -597,7 +599,14 @@ impl Core {
                 entry.latency = 3;
                 self.write_int(rd, self.fp_regs[fs.index()] as i64, entry);
             }
-            Load { rd, base, index, offset, width, route } => {
+            Load {
+                rd,
+                base,
+                index,
+                offset,
+                width,
+                route,
+            } => {
                 entry.srcs[0] = self.last_writer_int[base.index()];
                 entry.srcs[1] = index.and_then(|x| self.last_writer_int[x.index()]);
                 entry.fu = FuClass::Mem;
@@ -606,7 +615,14 @@ impl Core {
                 entry.mem = Some(MemOp { info, width, route });
                 self.write_int(rd, bits as i64, entry);
             }
-            Store { rs, base, index, offset, width, route } => {
+            Store {
+                rs,
+                base,
+                index,
+                offset,
+                width,
+                route,
+            } => {
                 entry.srcs[0] = self.last_writer_int[rs.index()];
                 entry.srcs[1] = self.last_writer_int[base.index()];
                 entry.srcs[2] = index.and_then(|x| self.last_writer_int[x.index()]);
@@ -616,16 +632,32 @@ impl Core {
                 let (_, info) = port.exec_mem(self.pc_addr(pc), addr, width, route, Some(bits));
                 entry.mem = Some(MemOp { info, width, route });
             }
-            FLoad { fd, base, index, offset, route } => {
+            FLoad {
+                fd,
+                base,
+                index,
+                offset,
+                route,
+            } => {
                 entry.srcs[0] = self.last_writer_int[base.index()];
                 entry.srcs[1] = index.and_then(|x| self.last_writer_int[x.index()]);
                 entry.fu = FuClass::Mem;
                 let addr = self.effective_addr(base, index, offset);
                 let (bits, info) = port.exec_mem(self.pc_addr(pc), addr, Width::D, route, None);
-                entry.mem = Some(MemOp { info, width: Width::D, route });
+                entry.mem = Some(MemOp {
+                    info,
+                    width: Width::D,
+                    route,
+                });
                 self.write_fp(fd, f64::from_bits(bits), entry);
             }
-            FStore { fs, base, index, offset, route } => {
+            FStore {
+                fs,
+                base,
+                index,
+                offset,
+                route,
+            } => {
                 entry.srcs[0] = self.last_writer_fp[fs.index()];
                 entry.srcs[1] = self.last_writer_int[base.index()];
                 entry.srcs[2] = index.and_then(|x| self.last_writer_int[x.index()]);
@@ -633,9 +665,18 @@ impl Core {
                 let addr = self.effective_addr(base, index, offset);
                 let bits = self.fp_regs[fs.index()].to_bits();
                 let (_, info) = port.exec_mem(self.pc_addr(pc), addr, Width::D, route, Some(bits));
-                entry.mem = Some(MemOp { info, width: Width::D, route });
+                entry.mem = Some(MemOp {
+                    info,
+                    width: Width::D,
+                    route,
+                });
             }
-            Branch { cond, rs1, rs2, target } => {
+            Branch {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => {
                 entry.srcs[0] = self.last_writer_int[rs1.index()];
                 entry.srcs[1] = self.last_writer_int[rs2.index()];
                 let taken = cond.eval(self.int_regs[rs1.index()], self.int_regs[rs2.index()]);
@@ -880,8 +921,18 @@ mod tests {
             _route: Route,
             store: Option<u64>,
         ) -> (u64, RouteInfo) {
-            let side = if self.mmap.is_lm(addr) { MemSide::Lm } else { MemSide::Sm };
-            let info = RouteInfo { side, addr, dir_lookup: false, dir_hit: false, ready_at: 0 };
+            let side = if self.mmap.is_lm(addr) {
+                MemSide::Lm
+            } else {
+                MemSide::Sm
+            };
+            let info = RouteInfo {
+                side,
+                addr,
+                dir_lookup: false,
+                dir_hit: false,
+                ready_at: 0,
+            };
             self.accesses.push((addr, store.is_some()));
             match store {
                 Some(bits) => {
@@ -909,7 +960,13 @@ mod tests {
             }
         }
 
-        fn timing_access(&mut self, _now: u64, _pc: u64, info: &RouteInfo, write: bool) -> (u64, ServedLevel) {
+        fn timing_access(
+            &mut self,
+            _now: u64,
+            _pc: u64,
+            info: &RouteInfo,
+            write: bool,
+        ) -> (u64, ServedLevel) {
             self.timed.push((info.addr, write));
             match info.side {
                 MemSide::Lm => (2, ServedLevel::Lm),
@@ -917,7 +974,15 @@ mod tests {
             }
         }
 
-        fn exec_dma(&mut self, now: u64, _k: DmaKind, _lm: u64, _sm: u64, bytes: u64, _tag: u8) -> u64 {
+        fn exec_dma(
+            &mut self,
+            now: u64,
+            _k: DmaKind,
+            _lm: u64,
+            _sm: u64,
+            bytes: u64,
+            _tag: u8,
+        ) -> u64 {
             now + 10 + bytes / 16
         }
 
@@ -973,7 +1038,11 @@ mod tests {
         assert_eq!(core.stats.committed, 2 + 2 * n as u64 + 1);
         assert!(core.stats.branches == n as u64);
         // The loop branch should mispredict only a handful of times.
-        assert!(core.stats.mispredicts <= 4, "mispredicts={}", core.stats.mispredicts);
+        assert!(
+            core.stats.mispredicts <= 4,
+            "mispredicts={}",
+            core.stats.mispredicts
+        );
     }
 
     #[test]
@@ -1173,17 +1242,38 @@ mod tests {
         // A port that reports the LM mapping ready only at cycle 500.
         struct StallPort(MockPort);
         impl MemoryPort for StallPort {
-            fn exec_mem(&mut self, pc: u64, addr: u64, width: Width, route: Route, store: Option<u64>) -> (u64, RouteInfo) {
+            fn exec_mem(
+                &mut self,
+                pc: u64,
+                addr: u64,
+                width: Width,
+                route: Route,
+                store: Option<u64>,
+            ) -> (u64, RouteInfo) {
                 let (v, mut info) = self.0.exec_mem(pc, addr, width, route, store);
                 if route == Route::Guarded {
                     info.ready_at = 500;
                 }
                 (v, info)
             }
-            fn timing_access(&mut self, now: u64, pc: u64, info: &RouteInfo, write: bool) -> (u64, ServedLevel) {
+            fn timing_access(
+                &mut self,
+                now: u64,
+                pc: u64,
+                info: &RouteInfo,
+                write: bool,
+            ) -> (u64, ServedLevel) {
                 self.0.timing_access(now, pc, info, write)
             }
-            fn exec_dma(&mut self, now: u64, k: DmaKind, lm: u64, sm: u64, bytes: u64, tag: u8) -> u64 {
+            fn exec_dma(
+                &mut self,
+                now: u64,
+                k: DmaKind,
+                lm: u64,
+                sm: u64,
+                bytes: u64,
+                tag: u8,
+            ) -> u64 {
                 self.0.exec_dma(now, k, lm, sm, bytes, tag)
             }
             fn dma_synch(&mut self, now: u64, tag: u8) -> u64 {
@@ -1204,7 +1294,10 @@ mod tests {
         let mut core = Core::new(CoreConfig::default(), p, MemoryMap::default());
         let mut port = StallPort(MockPort::new());
         core.run(&mut port).unwrap();
-        assert!(core.stats.cycles >= 500, "guarded load must wait for the presence bit");
+        assert!(
+            core.stats.cycles >= 500,
+            "guarded load must wait for the presence bit"
+        );
         assert_eq!(core.stats.presence_stalls, 1);
     }
 }

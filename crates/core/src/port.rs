@@ -72,7 +72,13 @@ pub trait MemoryPort {
     /// Timing of the memory access previously routed as `info`:
     /// loads call this at issue, stores at commit. Returns the latency
     /// and the serving level.
-    fn timing_access(&mut self, now: u64, pc: u64, info: &RouteInfo, write: bool) -> (u64, ServedLevel);
+    fn timing_access(
+        &mut self,
+        now: u64,
+        pc: u64,
+        info: &RouteInfo,
+        write: bool,
+    ) -> (u64, ServedLevel);
 
     /// Executes a DMA command functionally (copy + directory update +
     /// cache snoops/invalidations) and returns its completion cycle.

@@ -117,8 +117,8 @@ impl EnergyModel {
         } else {
             0.0
         };
-        let directory = a.dir_lookups as f64 * p.dir_per_lookup
-            + a.dir_updates as f64 * p.dir_per_update;
+        let directory =
+            a.dir_lookups as f64 * p.dir_per_lookup + a.dir_updates as f64 * p.dir_per_update;
         let others = a.tlb_lookups as f64 * p.tlb_per_lookup
             + a.prefetch_obs as f64 * p.prefetch_per_obs
             + a.dma_blocks as f64 * p.dma_per_block

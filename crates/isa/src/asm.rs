@@ -104,7 +104,10 @@ fn parse_inst(line: &str, ln: usize, labels: &HashMap<String, usize>) -> Result<
         if ops.len() == n {
             Ok(())
         } else {
-            Err(err(ln, format!("{mn}: expected {n} operands, got {}", ops.len())))
+            Err(err(
+                ln,
+                format!("{mn}: expected {n} operands, got {}", ops.len()),
+            ))
         }
     };
 
@@ -153,7 +156,12 @@ fn parse_inst(line: &str, ln: usize, labels: &HashMap<String, usize>) -> Result<
                 nops(2)?;
                 let fd = parse_freg(ops[0], ln)?;
                 let fs1 = parse_freg(ops[1], ln)?;
-                return Ok(Inst::Fpu { op, fd, fs1, fs2: fs1 });
+                return Ok(Inst::Fpu {
+                    op,
+                    fd,
+                    fs1,
+                    fs2: fs1,
+                });
             }
             nops(3)?;
             return Ok(Inst::Fpu {
@@ -528,14 +536,22 @@ pub fn format_inst(inst: &Inst, label_names: &HashMap<usize, String>) -> String 
             index,
             offset,
             route,
-        } => format!("{}fld {fd}, {offset}({})", route.prefix(), fmt_base(base, index)),
+        } => format!(
+            "{}fld {fd}, {offset}({})",
+            route.prefix(),
+            fmt_base(base, index)
+        ),
         Inst::FStore {
             fs,
             base,
             index,
             offset,
             route,
-        } => format!("{}fst {fs}, {offset}({})", route.prefix(), fmt_base(base, index)),
+        } => format!(
+            "{}fst {fs}, {offset}({})",
+            route.prefix(),
+            fmt_base(base, index)
+        ),
         Inst::Branch {
             cond,
             rs1,
@@ -594,7 +610,11 @@ mod tests {
         .unwrap();
         assert_eq!(p.len(), 5);
         match p.insts[3] {
-            Inst::Branch { cond: Cond::Lt, target, .. } => assert_eq!(target, 2),
+            Inst::Branch {
+                cond: Cond::Lt,
+                target,
+                ..
+            } => assert_eq!(target, 2),
             ref other => panic!("unexpected {other:?}"),
         }
     }
@@ -634,7 +654,15 @@ mod tests {
         )
         .unwrap();
         assert_eq!(p.len(), 8);
-        assert_eq!(p.insts[1], Inst::DmaGet { lm: Reg(1), sm: Reg(2), bytes: Reg(3), tag: 1 });
+        assert_eq!(
+            p.insts[1],
+            Inst::DmaGet {
+                lm: Reg(1),
+                sm: Reg(2),
+                bytes: Reg(3),
+                tag: 1
+            }
+        );
         assert_eq!(p.insts[4], Inst::PhaseMark { phase: Phase::Work });
     }
 
@@ -643,17 +671,38 @@ mod tests {
         let p = assemble("addi r1, r2, -8\nadd r1, r2, 16\nadd r1, r2, r3\nli r1, 0x1f\n").unwrap();
         assert_eq!(
             p.insts[0],
-            Inst::Alu { op: AluOp::Add, rd: Reg(1), rs1: Reg(2), src2: Operand::Imm(-8) }
+            Inst::Alu {
+                op: AluOp::Add,
+                rd: Reg(1),
+                rs1: Reg(2),
+                src2: Operand::Imm(-8)
+            }
         );
         assert_eq!(
             p.insts[1],
-            Inst::Alu { op: AluOp::Add, rd: Reg(1), rs1: Reg(2), src2: Operand::Imm(16) }
+            Inst::Alu {
+                op: AluOp::Add,
+                rd: Reg(1),
+                rs1: Reg(2),
+                src2: Operand::Imm(16)
+            }
         );
         assert_eq!(
             p.insts[2],
-            Inst::Alu { op: AluOp::Add, rd: Reg(1), rs1: Reg(2), src2: Operand::Reg(Reg(3)) }
+            Inst::Alu {
+                op: AluOp::Add,
+                rd: Reg(1),
+                rs1: Reg(2),
+                src2: Operand::Reg(Reg(3))
+            }
         );
-        assert_eq!(p.insts[3], Inst::Li { rd: Reg(1), imm: 31 });
+        assert_eq!(
+            p.insts[3],
+            Inst::Li {
+                rd: Reg(1),
+                imm: 31
+            }
+        );
     }
 
     #[test]

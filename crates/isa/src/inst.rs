@@ -672,13 +672,7 @@ mod tests {
 
     #[test]
     fn latencies_are_positive() {
-        for op in [
-            AluOp::Add,
-            AluOp::Mul,
-            AluOp::Div,
-            AluOp::Sll,
-            AluOp::Slt,
-        ] {
+        for op in [AluOp::Add, AluOp::Mul, AluOp::Div, AluOp::Sll, AluOp::Slt] {
             assert!(op.latency() >= 1);
         }
         for op in [FpuOp::FAdd, FpuOp::FMul, FpuOp::FDiv, FpuOp::FSqrt] {

@@ -168,7 +168,15 @@ impl ProgramBuilder {
     }
 
     /// Integer load with base+index addressing.
-    pub fn load_x(&mut self, rd: Reg, base: Reg, index: Reg, offset: i64, width: Width, route: Route) {
+    pub fn load_x(
+        &mut self,
+        rd: Reg,
+        base: Reg,
+        index: Reg,
+        offset: i64,
+        width: Width,
+        route: Route,
+    ) {
         self.push(Inst::Load {
             rd,
             base,
@@ -192,7 +200,15 @@ impl ProgramBuilder {
     }
 
     /// Integer store with base+index addressing.
-    pub fn store_x(&mut self, rs: Reg, base: Reg, index: Reg, offset: i64, width: Width, route: Route) {
+    pub fn store_x(
+        &mut self,
+        rs: Reg,
+        base: Reg,
+        index: Reg,
+        offset: i64,
+        width: Width,
+        route: Route,
+    ) {
         self.push(Inst::Store {
             rs,
             base,

@@ -59,7 +59,9 @@ impl PagedMem {
     }
 
     fn page_mut(&mut self, pn: u64) -> &mut [u8; PAGE_SIZE] {
-        self.pages.entry(pn).or_insert_with(|| Box::new([0; PAGE_SIZE]))
+        self.pages
+            .entry(pn)
+            .or_insert_with(|| Box::new([0; PAGE_SIZE]))
     }
 
     /// Reads `N` little-endian bytes starting at `addr`.

@@ -39,7 +39,11 @@ impl CacheConfig {
     /// Number of sets implied by the geometry.
     pub fn num_sets(&self) -> usize {
         let sets = self.size_bytes / (self.ways as u64 * self.line_bytes);
-        assert!(sets.is_power_of_two(), "{}: set count must be a power of two", self.name);
+        assert!(
+            sets.is_power_of_two(),
+            "{}: set count must be a power of two",
+            self.name
+        );
         sets as usize
     }
 }
@@ -227,8 +231,7 @@ impl Cache {
                 }
                 if kind == AccessKind::Write {
                     debug_assert!(
-                        self.cfg.write_policy == WritePolicy::WriteBack
-                            || !self.sets[i].dirty,
+                        self.cfg.write_policy == WritePolicy::WriteBack || !self.sets[i].dirty,
                         "write-through lines must stay clean"
                     );
                     if self.cfg.write_policy == WritePolicy::WriteBack {

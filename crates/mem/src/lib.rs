@@ -37,7 +37,10 @@ pub mod tlb;
 pub use backing::PagedMem;
 pub use cache::{AccessKind, Cache, CacheConfig, CacheStats, WritePolicy};
 pub use dma::{DmaConfig, DmaOp, DmaStats, Dmac};
-pub use hierarchy::{AccessResponse, Level, MemConfig, MemSystem};
+pub use hierarchy::{
+    AccessResponse, BacksideCoreStats, CacheEvent, DramConfig, DramStats, Level, MemConfig,
+    MemSystem, SharedBackside,
+};
 pub use lm::{LmConfig, LocalMem};
 pub use mshr::MshrFile;
 pub use prefetch::{PrefetchConfig, StreamPrefetcher};

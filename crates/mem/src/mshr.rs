@@ -102,7 +102,9 @@ impl MshrFile {
         for e in &self.entries {
             if e.valid && e.line_addr == line_addr && e.ready_at > now {
                 self.stats.merges += 1;
-                return MshrOutcome::Merged { ready_at: e.ready_at };
+                return MshrOutcome::Merged {
+                    ready_at: e.ready_at,
+                };
             }
         }
         // Find a free (invalid or completed) entry, else wait for the

@@ -61,7 +61,7 @@ impl Tlb {
     /// Builds an empty TLB.
     pub fn new(cfg: TlbConfig) -> Self {
         assert!(cfg.page_bytes.is_power_of_two());
-        assert!(cfg.entries % cfg.ways == 0);
+        assert!(cfg.entries.is_multiple_of(cfg.ways));
         let sets = (cfg.entries / cfg.ways).next_power_of_two();
         Tlb {
             set_mask: sets as u64 - 1,
@@ -91,7 +91,13 @@ impl Tlb {
         // Fill LRU way.
         let victim = (0..self.cfg.ways)
             .map(|w| base + w)
-            .min_by_key(|&i| if self.sets[i].valid { self.sets[i].lru } else { 0 })
+            .min_by_key(|&i| {
+                if self.sets[i].valid {
+                    self.sets[i].lru
+                } else {
+                    0
+                }
+            })
             .unwrap();
         self.sets[victim] = TlbEntry {
             vpn,

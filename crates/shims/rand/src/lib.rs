@@ -1,0 +1,136 @@
+//! Offline stand-in for the `rand` crate (API subset).
+//!
+//! Provides exactly what this repository uses: [`rngs::StdRng`],
+//! [`SeedableRng::seed_from_u64`] and [`Rng::gen_range`] over half-open
+//! ranges of `i64`/`u64`/`usize`/`i32`/`f64`. The generator is
+//! SplitMix64 — deterministic, well distributed, and *not* the real
+//! crate's stream (nothing here depends on specific values).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// Core interface of a random generator (subset of `rand::RngCore`).
+pub trait RngCore {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seeding interface (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from a half-open range.
+pub trait SampleUniform: PartialOrd + Copy {
+    /// Draws a uniform value in `[range.start, range.end)`.
+    fn sample(rng: &mut dyn RngCore, range: Range<Self>) -> Self;
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample(rng: &mut dyn RngCore, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "gen_range: empty range");
+                let span = (range.end as i128 - range.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (range.start as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl SampleUniform for f64 {
+    fn sample(rng: &mut dyn RngCore, range: Range<Self>) -> Self {
+        assert!(range.start < range.end, "gen_range: empty range");
+        // 53 uniform mantissa bits in [0, 1).
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        range.start + (range.end - range.start) * unit
+    }
+}
+
+/// User-facing sampling interface (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Draws a uniform value from a half-open range.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self, range)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic SplitMix64 generator standing in for `rand`'s
+    /// `StdRng`.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele et al.): passes BigCrush, one u64 state.
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0i64..1000), b.gen_range(0i64..1000));
+        }
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = r.gen_range(-5i64..5);
+            assert!((-5..5).contains(&v));
+            let f = r.gen_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&f));
+            let u = r.gen_range(0u64..3);
+            assert!(u < 3);
+        }
+    }
+
+    #[test]
+    fn roughly_uniform() {
+        let mut r = StdRng::seed_from_u64(1);
+        let mut buckets = [0u32; 10];
+        for _ in 0..10_000 {
+            buckets[r.gen_range(0usize..10)] += 1;
+        }
+        for b in buckets {
+            assert!((700..1300).contains(&b), "bucket count {b} out of range");
+        }
+    }
+}

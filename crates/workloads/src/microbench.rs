@@ -73,8 +73,10 @@ pub const CHAINS: usize = 10;
 
 /// Builds the microbenchmark kernel.
 pub fn microbench(cfg: &MicrobenchConfig) -> Kernel {
-    assert!(cfg.guarded_pct <= 100 && cfg.guarded_pct % 10 == 0,
-            "guarded_pct must be a multiple of 10");
+    assert!(
+        cfg.guarded_pct <= 100 && cfg.guarded_pct.is_multiple_of(10),
+        "guarded_pct must be a multiple of 10"
+    );
     let guarded_chains = (cfg.guarded_pct as usize * CHAINS) / 100;
     let mut kb = KernelBuilder::new("microbench");
     let arrays: Vec<_> = (0..CHAINS)
@@ -113,6 +115,7 @@ pub fn expected(k: usize, i: u64) -> i64 {
 }
 
 #[cfg(test)]
+#[allow(clippy::needless_range_loop)] // index math doubles as the expected value
 mod tests {
     use super::*;
     use hsim_compiler::{classify_loop, interpret, RefClass};
@@ -127,7 +130,11 @@ mod tests {
         let out = interpret(&k).unwrap();
         for c in 0..CHAINS {
             for i in 0..=257u64 {
-                assert_eq!(out[c][i as usize] as i64, expected(c, i), "chain {c} elem {i}");
+                assert_eq!(
+                    out[c][i as usize] as i64,
+                    expected(c, i),
+                    "chain {c} elem {i}"
+                );
             }
         }
     }

@@ -102,8 +102,11 @@ pub fn cg(scale: Scale) -> Kernel {
     let rq = kb.ref_affine(q, 1, 0); // strided, written
     let rz = kb.ref_affine(z, 1, 0); // strided, written
     let rrr = kb.ref_affine(rr, 1, 0); // strided
-    // p[i] += a[i] * x[col[i]]; q[i] += p[i]; z[i] -= r[i]
-    kb.stmt(rp, Expr::add(Expr::Ref(rp), Expr::mul(Expr::Ref(ra), Expr::Ref(rx))));
+                                       // p[i] += a[i] * x[col[i]]; q[i] += p[i]; z[i] -= r[i]
+    kb.stmt(
+        rp,
+        Expr::add(Expr::Ref(rp), Expr::mul(Expr::Ref(ra), Expr::Ref(rx))),
+    );
     kb.stmt(rq, Expr::add(Expr::Ref(rq), Expr::Ref(rp)));
     kb.stmt(rz, Expr::sub(Expr::Ref(rz), Expr::Ref(rrr)));
     kb.alias_mut().may_alias(x, p);
@@ -188,7 +191,7 @@ pub fn ft(scale: Scale) -> Kernel {
     let rtw2 = kb.ref_indirect(tw2, ridx2, 0); // pot. incoherent read
     let rout1 = kb.ref_indirect(out1, ridx1, 0); // pot. incoherent write
     let rout2 = kb.ref_indirect(out2, ridx2, 0); // pot. incoherent write
-    // Butterfly-flavored updates: s_k[i] = s_k[i+1]*tw + s_{k+1}[i].
+                                                 // Butterfly-flavored updates: s_k[i] = s_k[i+1]*tw + s_{k+1}[i].
     for k in 0..7 {
         kb.stmt(
             rs[k],
@@ -344,7 +347,14 @@ pub fn sp(scale: Scale) -> Kernel {
 
 /// All six kernels, in the paper's order.
 pub fn all_nas(scale: Scale) -> Vec<Kernel> {
-    vec![cg(scale), ep(scale), ft(scale), is(scale), mg(scale), sp(scale)]
+    vec![
+        cg(scale),
+        ep(scale),
+        ft(scale),
+        is(scale),
+        mg(scale),
+        sp(scale),
+    ]
 }
 
 #[cfg(test)]
@@ -386,7 +396,11 @@ mod tests {
     fn ep_has_16_locals_and_3_plus_1_strided() {
         let k = ep(Scale::Test);
         let plan = classify_loop(&k, &k.loops[0], LM_SIZE, 32);
-        let locals = plan.classes.iter().filter(|c| **c == RefClass::Local).count();
+        let locals = plan
+            .classes
+            .iter()
+            .filter(|c| **c == RefClass::Local)
+            .count();
         assert_eq!(locals, 16);
         let strided = plan
             .classes
@@ -409,7 +423,7 @@ mod tests {
         // gidx[i] = i & !63: for any window size that is a multiple of 64
         // elements, the gather lands in the same window as i.
         let plan = classify_loop(&k, &k.loops[0], LM_SIZE, 32);
-        assert!(plan.chunk_elems % 64 == 0);
+        assert!(plan.chunk_elems.is_multiple_of(64));
         assert!(plan.guarded_refs() == 1);
     }
 

@@ -35,7 +35,11 @@ fn main() {
     let mut m = Machine::new(MachineConfig::for_mode(SysMode::HybridCoherent), program);
     m.run().expect("halts");
     let sum = m.world.backing.read_u64(DATA_BASE);
-    println!("sum(0..100) = {sum} in {} cycles, IPC {:.2}", m.core.stats.cycles, m.core.stats.ipc());
+    println!(
+        "sum(0..100) = {sum} in {} cycles, IPC {:.2}",
+        m.core.stats.cycles,
+        m.core.stats.ipc()
+    );
     assert_eq!(sum, 4950);
 
     // Now the compiler's view of an equivalent kernel, with a guarded
@@ -56,5 +60,9 @@ fn main() {
     for line in text.lines().take(40) {
         println!("{line}");
     }
-    println!("... ({} instructions total, {} guarded)", ck.program.len(), ck.program.count_route(Route::Guarded));
+    println!(
+        "... ({} instructions total, {} guarded)",
+        ck.program.len(),
+        ck.program.count_route(Route::Guarded)
+    );
 }

@@ -54,13 +54,22 @@ fn main() {
     m.world.backing.write_u64(data + 8, 0x1234);
     m.run().expect("halts");
 
-    println!("guarded load of the in-flight window returned {:#x}", m.core.int_reg(hsim_isa::Reg(6)));
-    println!("guarded load of the present window returned   {:#x}", m.core.int_reg(hsim_isa::Reg(8)));
+    println!(
+        "guarded load of the in-flight window returned {:#x}",
+        m.core.int_reg(hsim_isa::Reg(6))
+    );
+    println!(
+        "guarded load of the present window returned   {:#x}",
+        m.core.int_reg(hsim_isa::Reg(8))
+    );
     println!(
         "presence-bit stalls observed by the core: {}",
         m.core.stats.presence_stalls
     );
-    println!("total cycles: {} (the stall covers the second dma-get's completion)", m.core.stats.cycles);
+    println!(
+        "total cycles: {} (the stall covers the second dma-get's completion)",
+        m.core.stats.cycles
+    );
     assert_eq!(m.core.int_reg(hsim_isa::Reg(6)), 0xABCD);
     assert_eq!(m.core.int_reg(hsim_isa::Reg(8)), 0x1234);
     assert!(m.core.stats.presence_stalls >= 1);

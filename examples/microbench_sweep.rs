@@ -22,7 +22,13 @@ fn main() {
                 if p.overhead >= lo && p.overhead < hi {
                     ch = match p.mode {
                         MicroMode::Rd => 'x',
-                        MicroMode::Wr => if ch == '*' { '*' } else { 'o' },
+                        MicroMode::Wr => {
+                            if ch == '*' {
+                                '*'
+                            } else {
+                                'o'
+                            }
+                        }
                         MicroMode::RdWr => '*',
                         MicroMode::Baseline => ch,
                     };

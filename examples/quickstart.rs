@@ -17,7 +17,12 @@ fn main() {
     let a = kb.array_i64("a", n);
     let b = kb.array_i64_init("b", &(0..n as i64).collect::<Vec<_>>());
     let c = kb.array_i64("c", n / 2);
-    let idx = kb.array_i64_init("idx", &(0..n as i64).map(|i| (i * 7) % (n as i64 / 2)).collect::<Vec<_>>());
+    let idx = kb.array_i64_init(
+        "idx",
+        &(0..n as i64)
+            .map(|i| (i * 7) % (n as i64 / 2))
+            .collect::<Vec<_>>(),
+    );
     let ptr_target = kb.array_i64("ptr_target", n);
     kb.begin_loop(n);
     let ra = kb.ref_affine(a, 1, 0);
@@ -40,7 +45,11 @@ fn main() {
         ck.guarded_refs()
     );
 
-    for mode in [SysMode::HybridCoherent, SysMode::HybridOracle, SysMode::CacheBased] {
+    for mode in [
+        SysMode::HybridCoherent,
+        SysMode::HybridOracle,
+        SysMode::CacheBased,
+    ] {
         let (r, mismatches) = run_kernel_verified(&kernel, mode, true).expect("run");
         println!(
             "{:16}: {:>9} cycles, IPC {:.2}, AMAT {:.2}, directory accesses {:>6}, \

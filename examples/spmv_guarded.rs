@@ -32,7 +32,10 @@ fn main() {
     let rcol = kb.ref_affine(col, 1, 0);
     let rx = kb.ref_indirect(x, rcol, 0);
     let ry = kb.ref_affine(y, 1, 0);
-    kb.stmt(ry, Expr::add(Expr::Ref(ry), Expr::mul(Expr::Ref(ra), Expr::Ref(rx))));
+    kb.stmt(
+        ry,
+        Expr::add(Expr::Ref(ry), Expr::mul(Expr::Ref(ra), Expr::Ref(rx))),
+    );
     // The compiler cannot prove x != y: the gather is guarded.
     kb.alias_mut().may_alias(x, y);
     kb.end_loop();
@@ -49,5 +52,8 @@ fn main() {
         "  cache-based     : {:>9} cycles (AMAT {:.2})",
         cache.cycles, cache.amat
     );
-    println!("  speedup         : {:.2}x", cache.cycles as f64 / hybrid.cycles as f64);
+    println!(
+        "  speedup         : {:.2}x",
+        cache.cycles as f64 / hybrid.cycles as f64
+    );
 }

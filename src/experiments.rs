@@ -4,12 +4,75 @@
 //! paper's format; the integration tests assert the qualitative shapes
 //! at small scale. Each driver compiles the workload for the modes it
 //! compares, runs the machine(s), and returns structured rows.
+//!
+//! Two execution back ends exist for every sweep:
+//!
+//! * the original sequential drivers ([`fig7`], [`fig8`],
+//!   [`compare_systems`]), and
+//! * `_parallel` variants that fan the independent simulations across
+//!   host threads with [`parallel_map`] — same results (each simulation
+//!   is deterministic and self-contained), a fraction of the wall-clock
+//!   on multi-core hosts.
+//!
+//! [`run_kernel_multi`] is the multicore entry point: it shards one
+//! kernel across `n` simulated cores and runs them lock-step on a shared
+//! L3/DRAM backside (one *simulated* machine — unrelated to the host
+//! threading above).
 
-use crate::machine::{Machine, MachineConfig, SysMode};
-use crate::metrics::RunReport;
-use hsim_compiler::{compile, interpret, Kernel};
+use crate::machine::{Machine, MachineConfig, MultiMachine, SysMode};
+use crate::metrics::{MultiRunReport, RunReport};
+use hsim_compiler::{compile, interpret, Kernel, ShardError};
 use hsim_core::pipeline::SimError;
 use hsim_workloads::{microbench, MicroMode, MicrobenchConfig};
+
+/// Runs `f` over `items` on a pool of host threads (scoped; no
+/// dependencies beyond `std`) and returns the outputs in input order.
+///
+/// The worker count is `min(available_parallelism, items)`; on a
+/// single-CPU host this degenerates to the sequential loop. Ordering and
+/// results are independent of the schedule because every job is
+/// self-contained.
+pub fn parallel_map<I, O, F>(items: Vec<I>, f: F) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+    F: Fn(I) -> O + Sync,
+{
+    let n = items.len();
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n.max(1));
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    let jobs: Vec<std::sync::Mutex<Option<I>>> = items
+        .into_iter()
+        .map(|i| std::sync::Mutex::new(Some(i)))
+        .collect();
+    let slots: Vec<std::sync::Mutex<Option<O>>> =
+        (0..n).map(|_| std::sync::Mutex::new(None)).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let job = jobs[i].lock().unwrap().take().expect("job claimed once");
+                *slots[i].lock().unwrap() = Some(f(job));
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().unwrap().expect("worker filled every slot"))
+        .collect()
+}
 
 /// Compiles `kernel` for `mode`, runs it, and reports.
 pub fn run_kernel(kernel: &Kernel, mode: SysMode, track: bool) -> Result<RunReport, SimError> {
@@ -39,13 +102,65 @@ pub fn run_kernel_verified(
     let mut mismatches = 0;
     for (id, expect) in want.iter().enumerate() {
         let got = m.read_array(&ck, kernel, id);
-        mismatches += got
-            .iter()
-            .zip(expect)
-            .filter(|(g, w)| g != w)
-            .count();
+        mismatches += got.iter().zip(expect).filter(|(g, w)| g != w).count();
     }
     Ok((report, mismatches))
+}
+
+/// Shards `kernel` across `n_cores` simulated cores and runs them as one
+/// lock-step machine on a shared L3/DRAM backside (see
+/// [`MultiMachine`]). Each core gets its disjoint iteration slice
+/// compiled for `mode`; the coherence hardware stays per core.
+pub fn run_kernel_multi(
+    kernel: &Kernel,
+    n_cores: usize,
+    mode: SysMode,
+    track: bool,
+) -> Result<MultiRunReport, MultiRunError> {
+    let shards = kernel.shard(n_cores)?;
+    let compiled: Vec<_> = shards
+        .iter()
+        .map(|s| (compile(s, mode.codegen()), s.clone()))
+        .collect();
+    let mut cfg = MachineConfig::for_mode(mode);
+    cfg.track_coherence = track;
+    let mut m = MultiMachine::for_kernels(cfg, &compiled);
+    m.run()?;
+    let cks: Vec<_> = compiled.into_iter().map(|(ck, _)| ck).collect();
+    Ok(MultiRunReport::collect(&m, &cks))
+}
+
+/// What can go wrong in a sharded multicore run: the split itself, or
+/// the simulation of one of the cores.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MultiRunError {
+    /// The kernel could not be sharded.
+    Shard(ShardError),
+    /// A core's simulation failed.
+    Sim(SimError),
+}
+
+impl std::fmt::Display for MultiRunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MultiRunError::Shard(e) => write!(f, "shard: {e}"),
+            MultiRunError::Sim(e) => write!(f, "simulation: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MultiRunError {}
+
+impl From<ShardError> for MultiRunError {
+    fn from(e: ShardError) -> Self {
+        MultiRunError::Shard(e)
+    }
+}
+
+impl From<SimError> for MultiRunError {
+    fn from(e: SimError) -> Self {
+        MultiRunError::Sim(e)
+    }
 }
 
 /// One point of Figure 7.
@@ -67,37 +182,68 @@ pub struct Fig7Point {
     pub inst_ratio: f64,
 }
 
-/// Figure 7: microbenchmark overhead as the share of guarded references
-/// grows, for the RD / WR / RD+WR modes. `n` is the iteration count;
-/// `step` the sweep step in percent (multiple of 10).
-pub fn fig7(n: u64, step: u32) -> Result<Vec<Fig7Point>, SimError> {
+/// The (mode, pct) grid of the Figure 7 sweep.
+fn fig7_points(step: u32) -> Vec<(MicroMode, u32)> {
+    let mut points = Vec::new();
+    for mode in [MicroMode::Rd, MicroMode::Wr, MicroMode::RdWr] {
+        let mut pct = 0;
+        while pct <= 100 {
+            points.push((mode, pct));
+            pct += step.max(10);
+        }
+    }
+    points
+}
+
+/// Runs one Figure 7 sweep point against the baseline run.
+fn fig7_point(n: u64, mode: MicroMode, pct: u32, base: &RunReport) -> Result<Fig7Point, SimError> {
+    let k = microbench(&MicrobenchConfig {
+        mode,
+        guarded_pct: pct,
+        n,
+    });
+    let r = run_kernel(&k, SysMode::HybridCoherent, false)?;
+    let base_work = base.phase(hsim_isa::Phase::Work).max(1) as f64;
+    Ok(Fig7Point {
+        mode,
+        pct,
+        overhead: r.phase(hsim_isa::Phase::Work) as f64 / base_work,
+        inst_ratio: r.committed as f64 / base.committed as f64,
+    })
+}
+
+/// The Baseline-mode run every Figure 7 point normalizes against.
+fn fig7_baseline(n: u64) -> Result<RunReport, SimError> {
     let base_kernel = microbench(&MicrobenchConfig {
         mode: MicroMode::Baseline,
         guarded_pct: 0,
         n,
     });
-    let base = run_kernel(&base_kernel, SysMode::HybridCoherent, false)?;
-    let base_work = base.phase(hsim_isa::Phase::Work).max(1) as f64;
-    let mut out = Vec::new();
-    for mode in [MicroMode::Rd, MicroMode::Wr, MicroMode::RdWr] {
-        let mut pct = 0;
-        while pct <= 100 {
-            let k = microbench(&MicrobenchConfig {
-                mode,
-                guarded_pct: pct,
-                n,
-            });
-            let r = run_kernel(&k, SysMode::HybridCoherent, false)?;
-            out.push(Fig7Point {
-                mode,
-                pct,
-                overhead: r.phase(hsim_isa::Phase::Work) as f64 / base_work,
-                inst_ratio: r.committed as f64 / base.committed as f64,
-            });
-            pct += step.max(10);
-        }
-    }
-    Ok(out)
+    run_kernel(&base_kernel, SysMode::HybridCoherent, false)
+}
+
+/// Figure 7: microbenchmark overhead as the share of guarded references
+/// grows, for the RD / WR / RD+WR modes. `n` is the iteration count;
+/// `step` the sweep step in percent (multiple of 10).
+pub fn fig7(n: u64, step: u32) -> Result<Vec<Fig7Point>, SimError> {
+    let base = fig7_baseline(n)?;
+    fig7_points(step)
+        .into_iter()
+        .map(|(mode, pct)| fig7_point(n, mode, pct, &base))
+        .collect()
+}
+
+/// [`fig7`] with the sweep points fanned across host threads. The
+/// baseline runs first (every point normalizes against it), then every
+/// (mode, pct) point is an independent job. Results are identical to the
+/// sequential driver.
+pub fn fig7_parallel(n: u64, step: u32) -> Result<Vec<Fig7Point>, SimError> {
+    let base = fig7_baseline(n)?;
+    parallel_map(fig7_points(step), |(mode, pct)| {
+        fig7_point(n, mode, pct, &base)
+    })
+    .into_iter()
+    .collect()
 }
 
 /// One row of Figure 8: coherence-protocol overhead on a real benchmark.
@@ -116,21 +262,29 @@ pub struct Fig8Row {
     pub oracle: RunReport,
 }
 
+/// Runs one benchmark on the coherent and oracle machines.
+fn fig8_row(k: &Kernel) -> Result<Fig8Row, SimError> {
+    let coherent = run_kernel(k, SysMode::HybridCoherent, false)?;
+    let oracle = run_kernel(k, SysMode::HybridOracle, false)?;
+    Ok(Fig8Row {
+        name: k.name.clone(),
+        time_ratio: coherent.cycles as f64 / oracle.cycles as f64,
+        energy_ratio: coherent.energy_total() / oracle.energy_total(),
+        coherent,
+        oracle,
+    })
+}
+
 /// Figure 8: hybrid-coherent vs hybrid-oracle on the given kernels.
 pub fn fig8(kernels: &[Kernel]) -> Result<Vec<Fig8Row>, SimError> {
-    kernels
-        .iter()
-        .map(|k| {
-            let coherent = run_kernel(k, SysMode::HybridCoherent, false)?;
-            let oracle = run_kernel(k, SysMode::HybridOracle, false)?;
-            Ok(Fig8Row {
-                name: k.name.clone(),
-                time_ratio: coherent.cycles as f64 / oracle.cycles as f64,
-                energy_ratio: coherent.energy_total() / oracle.energy_total(),
-                coherent,
-                oracle,
-            })
-        })
+    kernels.iter().map(fig8_row).collect()
+}
+
+/// [`fig8`] with one host job per benchmark (each runs its coherent and
+/// oracle machines). Results are identical to the sequential driver.
+pub fn fig8_parallel(kernels: &[Kernel]) -> Result<Vec<Fig8Row>, SimError> {
+    parallel_map(kernels.iter().collect(), fig8_row)
+        .into_iter()
         .collect()
 }
 
@@ -155,29 +309,37 @@ pub struct ComparisonRow {
     pub cache: RunReport,
 }
 
+/// Runs one benchmark on the hybrid-coherent and cache-based machines.
+fn comparison_row(k: &Kernel) -> Result<ComparisonRow, SimError> {
+    let hybrid = run_kernel(k, SysMode::HybridCoherent, false)?;
+    let cache = run_kernel(k, SysMode::CacheBased, false)?;
+    let denom = cache.cycles.max(1) as f64;
+    Ok(ComparisonRow {
+        name: k.name.clone(),
+        speedup: cache.cycles as f64 / hybrid.cycles.max(1) as f64,
+        time_norm: hybrid.cycles as f64 / denom,
+        phases_norm: [
+            hybrid.phase_cycles[0] as f64 / denom,
+            hybrid.phase_cycles[1] as f64 / denom,
+            hybrid.phase_cycles[2] as f64 / denom,
+            hybrid.phase_cycles[3] as f64 / denom,
+        ],
+        energy_norm: hybrid.energy_total() / cache.energy_total(),
+        hybrid,
+        cache,
+    })
+}
+
 /// Figures 9/10 + Table 3: runs both systems on each kernel.
 pub fn compare_systems(kernels: &[Kernel]) -> Result<Vec<ComparisonRow>, SimError> {
-    kernels
-        .iter()
-        .map(|k| {
-            let hybrid = run_kernel(k, SysMode::HybridCoherent, false)?;
-            let cache = run_kernel(k, SysMode::CacheBased, false)?;
-            let denom = cache.cycles.max(1) as f64;
-            Ok(ComparisonRow {
-                name: k.name.clone(),
-                speedup: cache.cycles as f64 / hybrid.cycles.max(1) as f64,
-                time_norm: hybrid.cycles as f64 / denom,
-                phases_norm: [
-                    hybrid.phase_cycles[0] as f64 / denom,
-                    hybrid.phase_cycles[1] as f64 / denom,
-                    hybrid.phase_cycles[2] as f64 / denom,
-                    hybrid.phase_cycles[3] as f64 / denom,
-                ],
-                energy_norm: hybrid.energy_total() / cache.energy_total(),
-                hybrid,
-                cache,
-            })
-        })
+    kernels.iter().map(comparison_row).collect()
+}
+
+/// [`compare_systems`] with one host job per benchmark. Results are
+/// identical to the sequential driver.
+pub fn compare_systems_parallel(kernels: &[Kernel]) -> Result<Vec<ComparisonRow>, SimError> {
+    parallel_map(kernels.iter().collect(), comparison_row)
+        .into_iter()
         .collect()
 }
 

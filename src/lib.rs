@@ -26,6 +26,14 @@
 //! // Compile for the coherent hybrid memory system and simulate.
 //! let report = run_kernel(&kernel, SysMode::HybridCoherent, false).unwrap();
 //! assert!(report.cycles > 0);
+//!
+//! // The same kernel sharded across the cores of one 2-core machine:
+//! // per-core tiles (pipeline, L1/L2, LM, directory) in front of a
+//! // shared L3 + DRAM backside, ticked in lock step. The protocol is
+//! // strictly per core (§3); only timing couples the cores.
+//! let multi = run_kernel_multi(&kernel, 2, SysMode::HybridCoherent, false).unwrap();
+//! assert_eq!(multi.n_cores(), 2);
+//! assert!(multi.makespan < report.cycles, "half the iterations per core");
 //! ```
 //!
 //! ## Crate map
@@ -33,14 +41,27 @@
 //! | crate | contents |
 //! |---|---|
 //! | [`isa`] | the simulated ISA: guarded/oracle memory ops, DMA, assembler |
-//! | [`mem`] | caches, MSHRs, prefetcher, TLB, LM, DMAC, DRAM |
+//! | [`mem`] | caches, MSHRs, prefetcher, TLB, LM, DMAC, and the shared L3 + DRAM backside (`SharedBackside`) |
 //! | [`coherence`] | the directory (Figure 4), Figure 6 state machine, runtime checker |
 //! | [`core`] | 4-wide out-of-order core (Table 1) |
 //! | [`energy`] | Wattch-style activity-based energy model |
-//! | [`compiler`] | loop IR, classification, tiling, guarded codegen, double store |
+//! | [`compiler`] | loop IR, classification, tiling, guarded codegen, double store, kernel sharding (`Kernel::shard`) |
 //! | [`workloads`] | Table 2 microbenchmark + six NAS-signature kernels |
-//! | [`machine`] | the assembled systems: hybrid coherent / hybrid oracle / cache-based |
-//! | [`experiments`] | drivers regenerating every table and figure |
+//! | [`machine`] | the assembled systems — hybrid coherent / hybrid oracle / cache-based — as single-core [`Machine`]s or N-core [`MultiMachine`]s sharing one backside |
+//! | [`experiments`] | drivers regenerating every table and figure, sequential and host-parallel (`*_parallel`, [`run_kernel_multi`]) |
+//!
+//! ## Multicore model
+//!
+//! [`Machine::new_multi`] (or [`MultiMachine::for_kernels`]) builds an
+//! N-core machine: everything the paper adds — local memory, coherence
+//! directory, guarded AGU path, DMAC — is replicated per core and never
+//! interacts across cores, exactly the §3 integration argument. The
+//! cores share a single L3 and DRAM channel with round-robin bus
+//! arbitration; per-core contention (bus-wait cycles, DRAM lines) is
+//! reported in each core's [`RunReport`] and aggregated in
+//! [`MultiRunReport`]. [`compiler::Kernel::shard`] splits one kernel
+//! into the disjoint per-core slices the paper's evaluation model
+//! assumes.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -57,15 +78,21 @@ pub use hsim_isa as isa;
 pub use hsim_mem as mem;
 pub use hsim_workloads as workloads;
 
-pub use experiments::{compare_systems, fig7, fig8, geomean, run_kernel, run_kernel_verified};
-pub use machine::{Machine, MachineConfig, SysMode, World};
-pub use metrics::{activity, RunReport};
+pub use experiments::{
+    compare_systems, compare_systems_parallel, fig7, fig7_parallel, fig8, fig8_parallel, geomean,
+    parallel_map, run_kernel, run_kernel_multi, run_kernel_verified,
+};
+pub use machine::{Machine, MachineConfig, MultiMachine, SysMode, World};
+pub use metrics::{activity, MultiRunReport, RunReport};
 
 /// The most common imports for building and running kernels.
 pub mod prelude {
-    pub use crate::experiments::{compare_systems, fig7, fig8, run_kernel, run_kernel_verified};
-    pub use crate::machine::{Machine, MachineConfig, SysMode};
-    pub use crate::metrics::RunReport;
+    pub use crate::experiments::{
+        compare_systems, compare_systems_parallel, fig7, fig7_parallel, fig8, fig8_parallel,
+        run_kernel, run_kernel_multi, run_kernel_verified,
+    };
+    pub use crate::machine::{Machine, MachineConfig, MultiMachine, SysMode};
+    pub use crate::metrics::{MultiRunReport, RunReport};
     pub use hsim_compiler::{compile, interpret, CodegenMode, Expr, Kernel, KernelBuilder};
     pub use hsim_isa::{Phase, Program, ProgramBuilder, Route};
     pub use hsim_workloads::{microbench, MicroMode, MicrobenchConfig, Scale};

@@ -26,7 +26,9 @@ use hsim_core::pipeline::SimError;
 use hsim_core::{Core, CoreConfig, DmaKind, MemSide, MemoryPort, RouteInfo};
 use hsim_isa::memmap::{MemoryMap, Region};
 use hsim_isa::{Program, Route, Width};
-use hsim_mem::{Level, MemConfig, MemSystem, PagedMem};
+use hsim_mem::{Level, MemConfig, MemSystem, PagedMem, SharedBackside};
+use std::cell::RefCell;
+use std::rc::Rc;
 
 /// Which of the evaluation's three systems to simulate.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -59,7 +61,11 @@ impl SysMode {
     }
 
     /// All three modes.
-    pub const ALL: [SysMode; 3] = [SysMode::HybridCoherent, SysMode::HybridOracle, SysMode::CacheBased];
+    pub const ALL: [SysMode; 3] = [
+        SysMode::HybridCoherent,
+        SysMode::HybridOracle,
+        SysMode::CacheBased,
+    ];
 }
 
 /// Full machine configuration.
@@ -128,19 +134,32 @@ pub struct Machine {
 }
 
 impl Machine {
-    /// Builds a machine executing `program`.
+    /// Builds a single-core machine executing `program` (private L3 +
+    /// DRAM backside).
     pub fn new(cfg: MachineConfig, program: Program) -> Self {
+        let backside = Rc::new(RefCell::new(SharedBackside::new(&cfg.mem, 1)));
+        Machine::with_backside(cfg, program, backside, 0)
+    }
+
+    /// Builds one core (tile) of a machine whose L3/DRAM backside is
+    /// shared with other cores. The coherence hardware — LM, directory,
+    /// tracker — stays strictly per core (§3).
+    pub fn with_backside(
+        cfg: MachineConfig,
+        program: Program,
+        backside: Rc<RefCell<SharedBackside>>,
+        core_id: usize,
+    ) -> Self {
         let mmap = MemoryMap::default();
-        let mut mem = MemSystem::new(cfg.mem.clone());
+        let mut mem = MemSystem::with_backside(cfg.mem.clone(), backside, core_id);
         let has_lm = cfg.mem.lm.is_some();
         let dir = has_lm.then(|| Directory::new(DirConfig::default()));
         let track = cfg.track_coherence && has_lm;
         if track {
             mem.enable_events();
         }
-        let tracker = track.then(|| {
-            Tracker::new(dir.as_ref().map(|d| d.buf_size()).unwrap_or(1024))
-        });
+        let tracker =
+            track.then(|| Tracker::new(dir.as_ref().map(|d| d.buf_size()).unwrap_or(1024)));
         Machine {
             core: Core::new(cfg.core.clone(), program, mmap.clone()),
             world: World {
@@ -195,7 +214,139 @@ impl Machine {
 
     /// Coherence violations recorded by the tracker (0 when disabled).
     pub fn violations(&self) -> usize {
-        self.world.tracker.as_ref().map(|t| t.violations.len()).unwrap_or(0)
+        self.world
+            .tracker
+            .as_ref()
+            .map(|t| t.violations.len())
+            .unwrap_or(0)
+    }
+
+    /// Builds an `n`-core machine: per-core tiles (pipeline, L1/L2, TLB,
+    /// prefetcher, LM, DMAC and coherence directory) in front of one
+    /// shared L3 + DRAM backside, one program per core. See
+    /// [`MultiMachine`] for the lock-step execution model.
+    ///
+    /// If the configuration's `l3_port_gap` is 0 (the single-core
+    /// default, an ideally-ported L3), it is raised to
+    /// [`MultiMachine::DEFAULT_L3_PORT_GAP`] so the shared port is a real
+    /// contended resource; set it explicitly to model anything else.
+    pub fn new_multi(n: usize, mut cfg: MachineConfig, programs: Vec<Program>) -> MultiMachine {
+        assert!(n >= 1, "a machine needs at least one core");
+        assert_eq!(programs.len(), n, "one program per core");
+        if cfg.mem.l3_port_gap == 0 {
+            cfg.mem.l3_port_gap = MultiMachine::DEFAULT_L3_PORT_GAP;
+        }
+        let backside = Rc::new(RefCell::new(SharedBackside::new(&cfg.mem, n)));
+        let tiles = programs
+            .into_iter()
+            .enumerate()
+            .map(|(core_id, p)| {
+                Machine::with_backside(cfg.clone(), p, Rc::clone(&backside), core_id)
+            })
+            .collect();
+        MultiMachine {
+            tiles,
+            backside,
+            rr_start: 0,
+        }
+    }
+}
+
+/// An `n`-core machine: per-core [`Machine`] tiles sharing one L3 + DRAM
+/// backside.
+///
+/// The execution model is lock-step: every machine cycle, each non-halted
+/// core ticks once, and the order rotates each cycle so backside port
+/// conflicts resolve round-robin rather than always favoring core 0.
+/// Everything the paper's protocol adds — LM, directory, guarded AGU
+/// path, DMAC — is private per tile and never interacts across cores
+/// (§3: the protocol "does not interact with the inter-core cache
+/// coherence protocol"); the only cross-core coupling is timing through
+/// the shared backside.
+pub struct MultiMachine {
+    /// The per-core tiles, indexed by core id.
+    pub tiles: Vec<Machine>,
+    backside: Rc<RefCell<SharedBackside>>,
+    rr_start: usize,
+}
+
+impl MultiMachine {
+    /// Shared-L3 port occupancy (cycles per request) used when the
+    /// caller's configuration left the single-core ideal port in place.
+    pub const DEFAULT_L3_PORT_GAP: u64 = 4;
+
+    /// Builds an `n`-core machine from compiled kernels: tile `i` runs
+    /// `shards[i]`'s program with its data loaded. Use
+    /// [`hsim_compiler::Kernel::shard`] to slice one kernel across cores.
+    pub fn for_kernels(cfg: MachineConfig, shards: &[(CompiledKernel, Kernel)]) -> MultiMachine {
+        let programs = shards
+            .iter()
+            .map(|(ck, _)| {
+                assert_eq!(
+                    cfg.mode.codegen(),
+                    ck.mode,
+                    "machine mode must match the kernel's codegen mode"
+                );
+                ck.program.clone()
+            })
+            .collect();
+        let mut m = Machine::new_multi(shards.len(), cfg, programs);
+        for (tile, (ck, kernel)) in m.tiles.iter_mut().zip(shards) {
+            tile.load_data(ck, kernel);
+        }
+        m
+    }
+
+    /// Number of cores.
+    pub fn n_cores(&self) -> usize {
+        self.tiles.len()
+    }
+
+    /// The shared backside (contention statistics, aggregate L3/DRAM).
+    pub fn backside(&self) -> Rc<RefCell<SharedBackside>> {
+        Rc::clone(&self.backside)
+    }
+
+    /// Whether every core has halted.
+    pub fn all_halted(&self) -> bool {
+        self.tiles.iter().all(|t| t.core.halted())
+    }
+
+    /// Advances every non-halted core by one cycle, in rotating
+    /// (round-robin) order.
+    pub fn tick_all(&mut self) -> Result<(), SimError> {
+        let n = self.tiles.len();
+        for k in 0..n {
+            let i = (self.rr_start + k) % n;
+            let tile = &mut self.tiles[i];
+            if !tile.core.halted() {
+                tile.core.tick(&mut tile.world)?;
+            }
+        }
+        self.rr_start = (self.rr_start + 1) % n;
+        Ok(())
+    }
+
+    /// Runs the whole machine to completion (every core halted).
+    pub fn run(&mut self) -> Result<(), SimError> {
+        while !self.all_halted() {
+            self.tick_all()?;
+        }
+        Ok(())
+    }
+
+    /// Parallel makespan: the cycle count of the slowest core.
+    pub fn makespan(&self) -> u64 {
+        self.tiles
+            .iter()
+            .map(|t| t.core.stats.cycles)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total coherence violations over all tiles (tracking runs only).
+    pub fn violations(&self) -> usize {
+        self.tiles.iter().map(|t| t.violations()).sum()
     }
 }
 
@@ -347,18 +498,15 @@ impl MemoryPort for World {
             match info.side {
                 MemSide::Lm => {
                     let chunk = self.lm_mapping_of(info.addr);
-                    self.tracker
-                        .as_mut()
-                        .unwrap()
-                        .check_lm_access(info.addr, chunk);
+                    if let Some(t) = &mut self.tracker {
+                        t.check_lm_access(info.addr, chunk);
+                    }
                 }
                 MemSide::Sm => {
                     let identical = self.copies_identical(info.addr, width);
-                    self.tracker.as_mut().unwrap().check_sm_access(
-                        info.addr,
-                        store.is_some(),
-                        identical,
-                    );
+                    if let Some(t) = &mut self.tracker {
+                        t.check_sm_access(info.addr, store.is_some(), identical);
+                    }
                 }
             }
         }

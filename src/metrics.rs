@@ -1,19 +1,22 @@
 //! Run reports: the measurements every experiment consumes.
 
-use crate::machine::{Machine, SysMode};
+use crate::machine::{Machine, MultiMachine, SysMode};
 use hsim_compiler::CompiledKernel;
 use hsim_core::CoreStats;
 use hsim_energy::{Activity, EnergyBreakdown, EnergyModel};
 use hsim_isa::Phase;
 
 /// Everything measured in one run — the union of what Table 3 and
-/// Figures 7–10 need.
+/// Figures 7–10 need, per core.
 #[derive(Clone, Debug)]
 pub struct RunReport {
     /// Workload name.
     pub name: String,
     /// System mode.
     pub mode: SysMode,
+    /// Which core of its machine produced this report (0 on a
+    /// single-core machine).
+    pub core_id: usize,
     /// Total cycles.
     pub cycles: u64,
     /// Committed instructions.
@@ -28,12 +31,21 @@ pub struct RunReport {
     pub l1_accesses: u64,
     /// Total L2 accesses.
     pub l2_accesses: u64,
-    /// Total L3 accesses.
+    /// This core's share of shared-L3 accesses.
     pub l3_accesses: u64,
     /// Total LM accesses (CPU + DMA blocks).
     pub lm_accesses: u64,
     /// Directory accesses (lookups + updates; coherent mode only).
     pub dir_accesses: u64,
+    /// Arbitrated backside (shared L3/DRAM) requests issued by this core.
+    pub bus_requests: u64,
+    /// Cycles this core's backside requests spent waiting on the shared
+    /// L3 port — the multi-core contention signal (0 when uncontended).
+    pub bus_wait_cycles: u64,
+    /// DRAM lines read on behalf of this core.
+    pub dram_reads: u64,
+    /// DRAM lines written on behalf of this core.
+    pub dram_writes: u64,
     /// Static guarded/total reference counts of the compiled kernel.
     pub guarded_refs: usize,
     /// Static total reference count.
@@ -57,9 +69,11 @@ impl RunReport {
             _ => 0,
         };
         let energy = EnergyModel::new().evaluate(&activity(m));
+        let backside = w.mem.backside_stats();
         RunReport {
             name: ck.name.clone(),
             mode: m.cfg.mode,
+            core_id: w.mem.core_id(),
             cycles: core.cycles,
             committed: core.committed,
             phase_cycles: core.phase_cycles,
@@ -67,9 +81,13 @@ impl RunReport {
             l1d_hit_ratio: w.mem.l1d.stats.hit_ratio(),
             l1_accesses: w.mem.l1d.stats.total_accesses(),
             l2_accesses: w.mem.l2.stats.total_accesses(),
-            l3_accesses: w.mem.l3.stats.total_accesses(),
+            l3_accesses: backside.l3.total_accesses(),
             lm_accesses: w.mem.lm_total_accesses(),
             dir_accesses,
+            bus_requests: backside.bus_requests,
+            bus_wait_cycles: backside.bus_wait_cycles,
+            dram_reads: backside.dram.reads,
+            dram_writes: backside.dram.writes,
             guarded_refs: ck.guarded_refs(),
             total_refs: ck.total_refs(),
             energy,
@@ -94,8 +112,63 @@ impl RunReport {
     }
 }
 
+/// The measurements of one N-core machine run: one [`RunReport`] per
+/// core plus machine-level aggregates.
+#[derive(Clone, Debug)]
+pub struct MultiRunReport {
+    /// Per-core reports, indexed by core id.
+    pub per_core: Vec<RunReport>,
+    /// Parallel makespan: the cycle the last core halted.
+    pub makespan: u64,
+}
+
+impl MultiRunReport {
+    /// Collects per-core reports from a finished multi-core machine.
+    /// `cks[i]` must be the kernel core `i` executed.
+    pub fn collect(m: &MultiMachine, cks: &[CompiledKernel]) -> MultiRunReport {
+        assert_eq!(m.tiles.len(), cks.len(), "one compiled kernel per core");
+        let per_core: Vec<RunReport> = m
+            .tiles
+            .iter()
+            .zip(cks)
+            .map(|(tile, ck)| RunReport::collect(tile, ck))
+            .collect();
+        let makespan = per_core.iter().map(|r| r.cycles).max().unwrap_or(0);
+        MultiRunReport { per_core, makespan }
+    }
+
+    /// Number of cores.
+    pub fn n_cores(&self) -> usize {
+        self.per_core.len()
+    }
+
+    /// Total backside-port wait cycles over all cores — the headline
+    /// shared-L3/DRAM contention figure.
+    pub fn total_bus_wait_cycles(&self) -> u64 {
+        self.per_core.iter().map(|r| r.bus_wait_cycles).sum()
+    }
+
+    /// Total committed instructions over all cores.
+    pub fn total_committed(&self) -> u64 {
+        self.per_core.iter().map(|r| r.committed).sum()
+    }
+
+    /// Total coherence violations over all cores.
+    pub fn total_violations(&self) -> usize {
+        self.per_core.iter().map(|r| r.violations).sum()
+    }
+
+    /// Aggregate instructions per cycle of the machine (total committed
+    /// over the makespan).
+    pub fn aggregate_ipc(&self) -> f64 {
+        self.total_committed() as f64 / self.makespan.max(1) as f64
+    }
+}
+
 /// Converts a finished machine's counters into the energy model's
-/// activity vector.
+/// activity vector. Shared-L3 and DRAM activity is this core's share of
+/// the backside, so per-core energies of a multi-core machine partition
+/// the chip total.
 pub fn activity(m: &Machine) -> Activity {
     let c = &m.core.stats;
     let w = &m.world;
@@ -108,13 +181,14 @@ pub fn activity(m: &Machine) -> Activity {
     let line = mem.cfg.l1d.line_bytes;
     let lm = mem.lm.as_ref();
     let dma = &mem.dmac.stats;
+    let backside = mem.backside_stats();
     let bus_lines = mem.l1d.stats.fills
         + mem.l1i.stats.fills
         + mem.l2.stats.fills
-        + mem.l3.stats.fills
+        + backside.l3.fills
         + mem.l1d.stats.writebacks_out
         + mem.l2.stats.writebacks_out
-        + mem.l3.stats.writebacks_out;
+        + backside.l3.writebacks_out;
     Activity {
         cycles: c.cycles,
         fetched: c.fetched,
@@ -128,7 +202,7 @@ pub fn activity(m: &Machine) -> Activity {
         btb_lookups: m.core.btb.lookups,
         l1_accesses: mem.l1d.stats.total_accesses() + mem.l1i.stats.total_accesses(),
         l2_accesses: mem.l2.stats.total_accesses(),
-        l3_accesses: mem.l3.stats.total_accesses(),
+        l3_accesses: backside.l3.total_accesses(),
         bus_lines,
         lm_accesses: lm.map(|l| l.stats.cpu_accesses()).unwrap_or(0),
         lm_dma_blocks: lm
@@ -139,7 +213,7 @@ pub fn activity(m: &Machine) -> Activity {
         dir_lookups,
         dir_updates,
         dma_blocks: (dma.bytes_get + dma.bytes_put).div_ceil(line),
-        dram_lines: mem.dram_stats().reads + mem.dram_stats().writes,
+        dram_lines: backside.dram.reads + backside.dram.writes,
         has_lm: lm.is_some(),
     }
 }

@@ -11,11 +11,23 @@ use hsim::prelude::*;
 use hsim_workloads::nas;
 
 fn check_all_modes(k: &hsim_compiler::Kernel) {
-    for mode in [SysMode::HybridCoherent, SysMode::HybridOracle, SysMode::CacheBased] {
+    for mode in [
+        SysMode::HybridCoherent,
+        SysMode::HybridOracle,
+        SysMode::CacheBased,
+    ] {
         let (r, mismatches) = run_kernel_verified(k, mode, true)
             .unwrap_or_else(|e| panic!("{} {mode:?}: {e}", k.name));
-        assert_eq!(mismatches, 0, "{} {:?}: memory image diverged", k.name, mode);
-        assert_eq!(r.violations, 0, "{} {:?}: coherence violations", k.name, mode);
+        assert_eq!(
+            mismatches, 0,
+            "{} {:?}: memory image diverged",
+            k.name, mode
+        );
+        assert_eq!(
+            r.violations, 0,
+            "{} {:?}: coherence violations",
+            k.name, mode
+        );
         assert!(r.cycles > 0 && r.committed > 0);
     }
 }
@@ -52,7 +64,12 @@ fn sp_functional_equivalence() {
 
 #[test]
 fn microbench_all_modes_functional_equivalence() {
-    for mode in [MicroMode::Baseline, MicroMode::Rd, MicroMode::Wr, MicroMode::RdWr] {
+    for mode in [
+        MicroMode::Baseline,
+        MicroMode::Rd,
+        MicroMode::Wr,
+        MicroMode::RdWr,
+    ] {
         for pct in [0, 50, 100] {
             let k = microbench(&MicrobenchConfig {
                 mode,
@@ -109,8 +126,14 @@ fn oracle_mode_uses_no_directory() {
     let k = nas::is(Scale::Test);
     let coherent = run_kernel(&k, SysMode::HybridCoherent, false).unwrap();
     let oracle = run_kernel(&k, SysMode::HybridOracle, false).unwrap();
-    assert!(coherent.dir_accesses > 0, "guards must access the directory");
-    assert_eq!(oracle.dir_accesses, 0, "the oracle has no directory hardware");
+    assert!(
+        coherent.dir_accesses > 0,
+        "guards must access the directory"
+    );
+    assert_eq!(
+        oracle.dir_accesses, 0,
+        "the oracle has no directory hardware"
+    );
     assert_eq!(oracle.energy.directory, 0.0);
     // The coherent machine executes the double stores: more instructions.
     assert!(coherent.committed > oracle.committed);

@@ -21,8 +21,14 @@ fn fig7_rd_is_free_and_wr_grows_linearly() {
     // WR: monotonically growing with the guarded share, driven by the
     // double store's extra instructions.
     let wr: Vec<_> = pts.iter().filter(|p| p.mode == MicroMode::Wr).collect();
-    assert!(wr.last().unwrap().overhead > 1.15, "WR @100% must cost >15%");
-    assert!(wr.last().unwrap().overhead < 1.6, "WR @100% must stay bounded");
+    assert!(
+        wr.last().unwrap().overhead > 1.15,
+        "WR @100% must cost >15%"
+    );
+    assert!(
+        wr.last().unwrap().overhead < 1.6,
+        "WR @100% must stay bounded"
+    );
     for w in wr.windows(2) {
         assert!(
             w[1].overhead >= w[0].overhead - 0.02,
@@ -71,7 +77,11 @@ fn fig8_overheads_are_small_and_double_store_driven() {
             _ => unreachable!(),
         }
         // Energy overhead present but bounded.
-        assert!(r.energy_ratio >= 0.999 && r.energy_ratio < 1.15, "{}", r.name);
+        assert!(
+            r.energy_ratio >= 0.999 && r.energy_ratio < 1.15,
+            "{}",
+            r.name
+        );
     }
 }
 
@@ -80,7 +90,11 @@ fn fig9_memory_bound_kernels_favor_the_hybrid() {
     // At test scale the footprints are small, so only the strongest
     // effects are asserted: MG and FT (many streams, heavy reuse) must
     // favor the hybrid; EP (compute-bound) must be close to parity.
-    let kernels = vec![nas::ep(Scale::Test), nas::ft(Scale::Test), nas::mg(Scale::Test)];
+    let kernels = vec![
+        nas::ep(Scale::Test),
+        nas::ft(Scale::Test),
+        nas::mg(Scale::Test),
+    ];
     let rows = compare_systems(&kernels).unwrap();
     let get = |n: &str| rows.iter().find(|r| r.name == n).unwrap();
     assert!(get("MG").speedup > 1.2, "MG: {:.2}", get("MG").speedup);
@@ -127,4 +141,74 @@ fn geomean_helper() {
     let g = hsim::geomean([2.0, 8.0].into_iter());
     assert!((g - 4.0).abs() < 1e-12);
     assert_eq!(hsim::geomean(std::iter::empty()), 1.0);
+}
+
+#[test]
+fn parallel_drivers_match_sequential_results() {
+    // Every simulation is deterministic and self-contained, so the
+    // thread-pool drivers must reproduce the sequential results exactly.
+    let kernels = vec![nas::ep(Scale::Test), nas::is(Scale::Test)];
+    let seq = fig8(&kernels).unwrap();
+    let par = fig8_parallel(&kernels).unwrap();
+    assert_eq!(seq.len(), par.len());
+    for (s, p) in seq.iter().zip(&par) {
+        assert_eq!(s.name, p.name);
+        assert_eq!(s.coherent.cycles, p.coherent.cycles);
+        assert_eq!(s.oracle.cycles, p.oracle.cycles);
+        assert_eq!(s.coherent.committed, p.coherent.committed);
+    }
+
+    let seq7 = fig7(512, 50).unwrap();
+    let par7 = fig7_parallel(512, 50).unwrap();
+    assert_eq!(seq7.len(), par7.len());
+    for (s, p) in seq7.iter().zip(&par7) {
+        assert_eq!((s.mode, s.pct), (p.mode, p.pct));
+        assert!((s.overhead - p.overhead).abs() < 1e-12);
+    }
+
+    let seqc = compare_systems(&kernels).unwrap();
+    let parc = compare_systems_parallel(&kernels).unwrap();
+    for (s, p) in seqc.iter().zip(&parc) {
+        assert_eq!(s.hybrid.cycles, p.hybrid.cycles);
+        assert_eq!(s.cache.cycles, p.cache.cycles);
+    }
+}
+
+#[test]
+fn multicore_sharding_scales_the_makespan_down() {
+    // One CG kernel sharded over 1/2/4 cores of one machine: more cores
+    // means a shorter makespan (the slices shrink), while the shared
+    // backside keeps the scaling sublinear and the contention visible.
+    let kernel = nas::cg(Scale::Test);
+    let solo = run_kernel(&kernel, SysMode::HybridCoherent, false).unwrap();
+    let m1 = run_kernel_multi(&kernel, 1, SysMode::HybridCoherent, false).unwrap();
+    let m2 = run_kernel_multi(&kernel, 2, SysMode::HybridCoherent, false).unwrap();
+    let m4 = run_kernel_multi(&kernel, 4, SysMode::HybridCoherent, false).unwrap();
+    assert_eq!(m1.n_cores(), 1);
+    assert_eq!(m4.n_cores(), 4);
+    assert!(
+        m2.makespan < m1.makespan && m4.makespan < m2.makespan,
+        "makespan must shrink with cores: {} / {} / {}",
+        m1.makespan,
+        m2.makespan,
+        m4.makespan
+    );
+    // The whole kernel's work happens: the per-core committed counts sum
+    // close to the unsharded run (per-shard control overhead aside).
+    let total = m4.total_committed() as f64;
+    assert!(
+        total > 0.8 * solo.committed as f64,
+        "sharded work went missing: {} vs {}",
+        total,
+        solo.committed
+    );
+    // Sharing the backside must add waits beyond the one-core floor (a
+    // lone core can still queue behind its own outstanding misses).
+    assert!(
+        m4.total_bus_wait_cycles() > m1.total_bus_wait_cycles(),
+        "four cores must contend: {} vs {}",
+        m4.total_bus_wait_cycles(),
+        m1.total_bus_wait_cycles()
+    );
+    assert_eq!(m4.total_violations(), 0);
 }

@@ -16,11 +16,11 @@ use proptest::prelude::*;
 /// references.
 fn arb_kernel() -> impl Strategy<Value = Kernel> {
     (
-        2u64..600,                       // n
-        1usize..4,                       // value arrays
+        2u64..600,                           // n
+        1usize..4,                           // value arrays
         prop::collection::vec(0u8..5, 1..5), // statement shapes
-        any::<u64>(),                    // data seed
-        prop::bool::ANY,                 // force an incoherent ref?
+        any::<u64>(),                        // data seed
+        prop::bool::ANY,                     // force an incoherent ref?
     )
         .prop_map(|(n, n_arrays, shapes, seed, force)| {
             let mut kb = KernelBuilder::new("prop");

@@ -3,9 +3,11 @@
 //! directly with assembly on the coherent machine.
 
 use hsim::isa::asm::assemble;
-use hsim::machine::{Machine, MachineConfig, SysMode};
+use hsim::machine::{Machine, MachineConfig, MultiMachine, SysMode};
+use hsim_compiler::compile;
 use hsim_isa::memmap::{DATA_BASE, LM_BASE};
 use hsim_isa::Reg;
+use hsim_workloads::{nas, Scale};
 
 fn machine(src: &str) -> Machine {
     let program = assemble(src).expect("assembles");
@@ -52,7 +54,12 @@ fn double_store_survives_readonly_unmap() {
     let mut m = machine(&src);
     m.run().expect("halts");
     assert_eq!(m.core.int_reg(Reg(7)), 777, "update lost at unmap");
-    assert_eq!(m.violations(), 0, "{:?}", m.world.tracker.as_ref().unwrap().violations);
+    assert_eq!(
+        m.violations(),
+        0,
+        "{:?}",
+        m.world.tracker.as_ref().unwrap().violations
+    );
 }
 
 /// Figure 5 step 4: a guarded load hits the directory and reads the LM
@@ -89,8 +96,16 @@ fn guarded_load_reads_valid_lm_copy() {
     let mut m = machine(&src);
     m.world.backing.write_u64(w0 + 0x100000, 9001);
     m.run().expect("halts");
-    assert_eq!(m.core.int_reg(Reg(8)), 42, "guarded load must divert to the LM");
-    assert_eq!(m.core.int_reg(Reg(10)), 9001, "guarded miss must read the SM");
+    assert_eq!(
+        m.core.int_reg(Reg(8)),
+        42,
+        "guarded load must divert to the LM"
+    );
+    assert_eq!(
+        m.core.int_reg(Reg(10)),
+        9001,
+        "guarded miss must read the SM"
+    );
     let dir = m.world.dir.as_ref().unwrap();
     assert_eq!(dir.stats.hits, 1);
     assert_eq!(dir.stats.lookups, 2);
@@ -198,8 +213,15 @@ fn dma_get_snoops_dirty_cache_data() {
     );
     let mut m = machine(&src);
     m.run().expect("halts");
-    assert_eq!(m.core.int_reg(Reg(8)), 31337, "dma-get must see the cached write");
-    assert!(m.world.mem.l1d.stats.snoops > 0, "get must snoop the caches");
+    assert_eq!(
+        m.core.int_reg(Reg(8)),
+        31337,
+        "dma-get must see the cached write"
+    );
+    assert!(
+        m.world.mem.l1d.stats.snoops > 0,
+        "get must snoop the caches"
+    );
     assert_eq!(m.violations(), 0);
 }
 
@@ -237,4 +259,148 @@ fn tracker_flags_injected_incoherence() {
         m.violations() > 0,
         "the checker must flag the unguarded diverging SM store"
     );
+}
+
+// ----------------------------------------------------------------- multicore
+
+/// Builds the `n`-core coherent machine running the CG shards, plus the
+/// compiled shard kernels, with one shared configuration.
+fn cg_shard_machine(
+    n: usize,
+    cfg: &MachineConfig,
+) -> (
+    MultiMachine,
+    Vec<(hsim_compiler::CompiledKernel, hsim_compiler::Kernel)>,
+) {
+    let kernel = nas::cg(Scale::Test);
+    let shards = kernel.shard(n).expect("CG shards cleanly");
+    let compiled: Vec<_> = shards
+        .into_iter()
+        .map(|s| (compile(&s, cfg.mode.codegen()), s))
+        .collect();
+    (MultiMachine::for_kernels(cfg.clone(), &compiled), compiled)
+}
+
+/// §3: the directory is replicated per core and never sees another
+/// core's traffic. Running the same program on every tile of a 4-core
+/// machine must leave each tile's directory statistics *identical* to a
+/// solo single-core run — any cross-core directory traffic would show up
+/// as extra lookups or updates.
+#[test]
+fn multicore_directories_are_isolated() {
+    let w0 = DATA_BASE;
+    let src = format!(
+        "
+        li r1, 1024
+        dir.cfg r1
+        li r2, {lm}
+        li r3, {w0}
+        li r4, 1024
+        dma.get r2, r3, r4, 0
+        dma.synch 0
+        li r7, {w0}
+        gld.d r8, 8(r7)     ; directory hit, diverted to the LM
+        li r9, {far}
+        gld.d r10, 0(r9)    ; directory miss, served by the SM
+        halt
+        ",
+        lm = LM_BASE,
+        w0 = w0,
+        far = w0 + 0x100000,
+    );
+    let program = assemble(&src).expect("assembles");
+
+    let mut solo = machine(&src);
+    solo.run().expect("solo halts");
+    let solo_dir = solo.world.dir.as_ref().unwrap().stats;
+
+    let mut cfg = MachineConfig::for_mode(SysMode::HybridCoherent);
+    cfg.track_coherence = true;
+    let mut multi = Machine::new_multi(4, cfg, vec![program; 4]);
+    multi.run().expect("all cores halt");
+
+    for tile in &multi.tiles {
+        let dir = tile.world.dir.as_ref().unwrap();
+        assert_eq!(
+            dir.stats.lookups, solo_dir.lookups,
+            "extra directory lookups"
+        );
+        assert_eq!(
+            dir.stats.hits, solo_dir.hits,
+            "directory hit count diverged"
+        );
+        assert_eq!(
+            dir.stats.updates, solo_dir.updates,
+            "extra directory updates"
+        );
+        assert_eq!(tile.violations(), 0);
+    }
+    assert_eq!(multi.violations(), 0);
+}
+
+/// Disjoint-slice equivalence: a 4-core machine on CG's shards computes,
+/// per core, bit-for-bit what four independent single-core machines
+/// compute on the same shards. The shared backside only couples timing,
+/// never function.
+#[test]
+fn disjoint_shards_match_single_core_runs() {
+    let mut cfg = MachineConfig::for_mode(SysMode::HybridCoherent);
+    cfg.track_coherence = true;
+    let (mut multi, compiled) = cg_shard_machine(4, &cfg);
+    multi.run().expect("all cores halt");
+    assert_eq!(multi.violations(), 0);
+
+    for (tile, (ck, shard)) in multi.tiles.iter().zip(&compiled) {
+        let mut solo = Machine::for_kernel(cfg.clone(), ck, shard);
+        solo.run().expect("solo shard halts");
+        assert_eq!(
+            tile.core.stats.committed, solo.core.stats.committed,
+            "{}: committed instructions diverged",
+            shard.name
+        );
+        for id in 0..shard.arrays.len() {
+            assert_eq!(
+                tile.read_array(ck, shard, id),
+                solo.read_array(ck, shard, id),
+                "{}: array {} diverged between multi-core and solo runs",
+                shard.name,
+                shard.arrays[id].name
+            );
+        }
+        assert_eq!(solo.violations(), 0);
+    }
+}
+
+/// Shared-L3/DRAM contention is visible per core: with four cores
+/// hammering one backside, every core's cycle count strictly exceeds its
+/// own uncontended (solo, same configuration) run, and the arbiter
+/// records bus waits for every core.
+#[test]
+fn shared_backside_contention_slows_every_core() {
+    let mut cfg = MachineConfig::for_mode(SysMode::HybridCoherent);
+    cfg.mem.l3_port_gap = 16;
+    let (mut multi, compiled) = cg_shard_machine(4, &cfg);
+    multi.run().expect("all cores halt");
+
+    for (tile, (ck, shard)) in multi.tiles.iter().zip(&compiled) {
+        let mut solo = Machine::for_kernel(cfg.clone(), ck, shard);
+        solo.run().expect("solo shard halts");
+        let contended = tile.core.stats.cycles;
+        let uncontended = solo.core.stats.cycles;
+        assert!(
+            contended > uncontended,
+            "{}: contended run must be strictly slower ({contended} vs {uncontended})",
+            shard.name
+        );
+        // A solo core can queue behind its own outstanding misses (the
+        // port bounds memory-level parallelism); cross-core contention
+        // must add waits beyond that self-induced floor.
+        let waits = tile.world.mem.backside_stats().bus_wait_cycles;
+        let solo_waits = solo.world.mem.backside_stats().bus_wait_cycles;
+        assert!(
+            waits > solo_waits,
+            "{}: sharing the backside must add bus waits ({waits} vs solo {solo_waits})",
+            shard.name
+        );
+    }
 }
