@@ -15,11 +15,13 @@ fn bench_core_count_sweep(c: &mut Criterion) {
     for cores in [1usize, 2, 4, 8] {
         let report = run_kernel_multi(&kernel, cores, SysMode::HybridCoherent, false).unwrap();
         let cycles: Vec<u64> = report.per_core.iter().map(|r| r.cycles).collect();
+        let total_cycles: u64 = cycles.iter().sum();
         println!(
-            "cg x{cores}: makespan {} cycles, per-core {:?}, bus waits {}",
+            "cg x{cores}: makespan {} cycles, per-core {:?}, bus waits {}, {:.1}% skipped",
             report.makespan,
             cycles,
-            report.total_bus_wait_cycles()
+            report.total_bus_wait_cycles(),
+            100.0 * report.total_skipped_cycles() as f64 / total_cycles.max(1) as f64
         );
         c.bench_function(format!("cg_shard_{cores}core_machine"), |b| {
             b.iter(|| {

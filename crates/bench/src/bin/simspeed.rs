@@ -1,0 +1,194 @@
+//! Host-speed benchmark of the event-horizon cycle skipper.
+//!
+//! For every NAS kernel and core count, runs the hybrid-coherent
+//! machine twice — cycle skipping (the default) and the `lockstep:
+//! true` escape hatch — and reports simulated cycles per host second,
+//! the skipped-cycle fraction, and the wall-clock speedup. Results are
+//! printed as a table and written to `BENCH_simspeed.json`, the
+//! perf-trajectory artifact for this repo.
+//!
+//! ```text
+//! cargo run --release -p hsim-bench --bin simspeed [--test-scale]
+//! ```
+
+use hsim::prelude::*;
+use hsim_bench::{kernels, scale_from_args, Table};
+use std::time::Instant;
+
+struct Row {
+    kernel: String,
+    cores: usize,
+    /// Total simulated cycles over all cores (the naive loop's work).
+    sim_cycles: u64,
+    skipped_cycles: u64,
+    host_secs_skip: f64,
+    host_secs_lockstep: f64,
+}
+
+impl Row {
+    fn skipped_fraction(&self) -> f64 {
+        self.skipped_cycles as f64 / self.sim_cycles.max(1) as f64
+    }
+
+    fn rate(&self, secs: f64) -> f64 {
+        self.sim_cycles as f64 / secs.max(1e-9)
+    }
+
+    fn speedup(&self) -> f64 {
+        self.host_secs_lockstep / self.host_secs_skip.max(1e-9)
+    }
+}
+
+/// Repetitions per configuration; the minimum wall-clock is reported
+/// (the runs are deterministic, so the minimum is the cleanest
+/// estimate of the host cost).
+const REPS: usize = 5;
+
+/// Runs `kernel` on `cores` simulated cores `REPS` times and returns
+/// (total sim cycles, total skipped cycles, best host seconds), or
+/// `None` when the kernel cannot be sharded to that core count
+/// (indirect indexing).
+fn run_best(
+    kernel: &hsim_compiler::Kernel,
+    cores: usize,
+    lockstep: bool,
+) -> Option<(u64, u64, f64)> {
+    let mut best: Option<(u64, u64, f64)> = None;
+    for _ in 0..REPS {
+        let mut cfg = MachineConfig::for_mode(SysMode::HybridCoherent);
+        if lockstep {
+            cfg = cfg.with_lockstep();
+        }
+        let start = Instant::now();
+        let (cycles, skipped) = if cores == 1 {
+            let r = run_kernel_with(kernel, cfg).expect("simulation failed");
+            (r.cycles, r.skipped_cycles)
+        } else {
+            match run_kernel_multi_with(kernel, cores, cfg) {
+                Ok(r) => (
+                    r.per_core.iter().map(|c| c.cycles).sum(),
+                    r.total_skipped_cycles(),
+                ),
+                Err(hsim::experiments::MultiRunError::Shard(_)) => return None,
+                Err(e) => panic!("simulation failed: {e}"),
+            }
+        };
+        let secs = start.elapsed().as_secs_f64();
+        best = match best {
+            Some(b) if b.2 <= secs => Some(b),
+            _ => Some((cycles, skipped, secs)),
+        };
+    }
+    best
+}
+
+fn main() {
+    let scale = scale_from_args();
+    let core_counts = [1usize, 2, 4];
+    let mut rows = Vec::new();
+    for kernel in kernels(scale) {
+        for &cores in &core_counts {
+            let Some((sim_cycles, skipped_cycles, host_secs_skip)) =
+                run_best(&kernel, cores, false)
+            else {
+                println!(
+                    "note: {} does not shard to {} cores; skipped",
+                    kernel.name, cores
+                );
+                continue;
+            };
+            let (lock_cycles, _, host_secs_lockstep) =
+                run_best(&kernel, cores, true).expect("shardability cannot depend on lockstep");
+            assert_eq!(
+                sim_cycles, lock_cycles,
+                "{}: skipping changed the simulated timing",
+                kernel.name
+            );
+            rows.push(Row {
+                kernel: kernel.name.clone(),
+                cores,
+                sim_cycles,
+                skipped_cycles,
+                host_secs_skip,
+                host_secs_lockstep,
+            });
+        }
+    }
+
+    println!("SIMSPEED: event-horizon cycle skipping vs lockstep ({scale:?} scale)");
+    println!("(rates are simulated cycles per host second, hybrid-coherent machine)");
+    println!();
+    let t = Table::new(&[6, 5, 12, 8, 12, 12, 8]);
+    t.row(
+        &[
+            "kernel",
+            "cores",
+            "cycles",
+            "skip%",
+            "rate(skip)",
+            "rate(lock)",
+            "speedup",
+        ]
+        .map(String::from),
+    );
+    t.sep();
+    for r in &rows {
+        t.row(&[
+            r.kernel.clone(),
+            format!("{}", r.cores),
+            format!("{}", r.sim_cycles),
+            format!("{:.1}", 100.0 * r.skipped_fraction()),
+            format!("{:.3e}", r.rate(r.host_secs_skip)),
+            format!("{:.3e}", r.rate(r.host_secs_lockstep)),
+            format!("{:.2}x", r.speedup()),
+        ]);
+    }
+    let best = rows
+        .iter()
+        .max_by(|a, b| a.speedup().total_cmp(&b.speedup()))
+        .expect("at least one row");
+    println!();
+    println!(
+        "best speedup: {:.2}x on {} x{} ({:.1}% of cycles skipped)",
+        best.speedup(),
+        best.kernel,
+        best.cores,
+        100.0 * best.skipped_fraction()
+    );
+
+    let json = render_json(scale, &rows);
+    std::fs::write("BENCH_simspeed.json", &json).expect("write BENCH_simspeed.json");
+    println!("wrote BENCH_simspeed.json ({} rows)", rows.len());
+}
+
+/// Hand-rendered JSON (no serde in the offline tree).
+fn render_json(scale: Scale, rows: &[Row]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"scale\": \"{scale:?}\",\n"));
+    out.push_str("  \"mode\": \"HybridCoherent\",\n");
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"kernel\": \"{}\", \"cores\": {}, \"sim_cycles\": {}, \
+             \"skipped_cycles\": {}, \"skipped_fraction\": {:.4}, \
+             \"host_seconds_skip\": {:.4}, \"host_seconds_lockstep\": {:.4}, \
+             \"sim_cycles_per_host_second_skip\": {:.1}, \
+             \"sim_cycles_per_host_second_lockstep\": {:.1}, \
+             \"wallclock_speedup\": {:.3}}}{}\n",
+            r.kernel,
+            r.cores,
+            r.sim_cycles,
+            r.skipped_cycles,
+            r.skipped_fraction(),
+            r.host_secs_skip,
+            r.host_secs_lockstep,
+            r.rate(r.host_secs_skip),
+            r.rate(r.host_secs_lockstep),
+            r.speedup(),
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

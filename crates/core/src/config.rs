@@ -52,6 +52,12 @@ pub struct CoreConfig {
     pub replay_per_miss: u64,
     /// Hard cycle limit: `run` aborts beyond this (deadlock guard).
     pub max_cycles: u64,
+    /// Disables the event-horizon cycle skipper: `run` walks every cycle
+    /// through the per-stage `tick` loop. Timing and statistics are
+    /// identical either way — skipping only fast-forwards provably idle
+    /// cycles — and the equivalence tests pin that claim against this
+    /// escape hatch.
+    pub lockstep: bool,
 }
 
 impl Default for CoreConfig {
@@ -81,6 +87,7 @@ impl Default for CoreConfig {
             ras_entries: 32,
             replay_per_miss: 2,
             max_cycles: u64::MAX,
+            lockstep: false,
         }
     }
 }

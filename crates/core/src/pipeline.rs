@@ -16,6 +16,12 @@ use hsim_isa::reg::{FReg, Reg};
 use hsim_isa::{Program, Route, Width};
 use std::collections::VecDeque;
 
+/// Cycles without a commit before the watchdog declares
+/// [`SimError::Deadlock`]. The cycle skipper clamps its jumps to
+/// `last_commit + DEADLOCK_WINDOW` so the watchdog fires at the same
+/// cycle number as the naive per-cycle loop.
+pub const DEADLOCK_WINDOW: u64 = 200_000;
+
 /// Simulation errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SimError {
@@ -209,11 +215,159 @@ impl Core {
     }
 
     /// Runs to completion (or error).
+    ///
+    /// By default the loop is tick → skip-to-horizon → tick: after every
+    /// executed cycle the core computes the earliest cycle at which
+    /// anything can change ([`Core::next_event_at`], clamped by
+    /// [`Core::skip_target`]) and bulk-advances over the provably idle
+    /// cycles in between ([`Core::advance_to`]). The result — every
+    /// statistic, every port interaction, every error — is bit-identical
+    /// to walking each cycle, which `CoreConfig::lockstep` still does.
     pub fn run(&mut self, port: &mut impl MemoryPort) -> Result<(), SimError> {
+        if self.cfg.lockstep {
+            while !self.halted {
+                self.tick(port)?;
+            }
+            return Ok(());
+        }
         while !self.halted {
+            let before = self.progress_fingerprint();
             self.tick(port)?;
+            if self.halted {
+                break;
+            }
+            if self.progress_fingerprint() != before {
+                // The pipeline moved something this cycle; assume it
+                // stays busy and skip the horizon scan entirely — idle
+                // periods reveal themselves with one no-op tick.
+                continue;
+            }
+            let target = self.skip_target(port.next_mem_event_at(self.now));
+            if target > self.now {
+                self.advance_to(target);
+            }
         }
         Ok(())
+    }
+
+    /// A monotone counter that advances whenever a tick moves anything
+    /// through the pipeline (fetch, dispatch, issue or commit). The
+    /// run loops consult it to spend horizon scans only on cycles that
+    /// did nothing — the cheap busy/idle discriminator of the
+    /// cycle-skipping scheduler.
+    pub fn progress_fingerprint(&self) -> u64 {
+        self.stats.fetched + self.stats.dispatched + self.stats.issued + self.stats.committed
+    }
+
+    /// The earliest cycle at or after `now` at which *anything* in the
+    /// pipeline can change: the ROB head completing (commit), a waiting
+    /// instruction's operands becoming ready (issue), or the front end
+    /// leaving an I-miss/redirect stall (fetch). Returns `now` itself
+    /// whenever any stage may make progress this cycle — the
+    /// conservative "don't skip" answer. Cycles strictly before the
+    /// returned horizon are provable no-ops: no port traffic and no
+    /// state change beyond the per-cycle stall accounting that
+    /// [`Core::advance_to`] replicates in bulk.
+    pub fn next_event_at(&self) -> u64 {
+        let now = self.now;
+        // Dispatch can drain the fetch queue whenever the ROB has room
+        // (rename/LSQ limits may still block it; conservatively assume
+        // progress).
+        if !self.fetch_queue.is_empty() && self.rob.len() < self.cfg.rob_size {
+            return now;
+        }
+        let mut horizon = u64::MAX;
+        // Fetch wakes when the front end leaves its stall — if it has
+        // instructions left and somewhere to put them.
+        if !self.fetch_off
+            && self.pending_redirect.is_none()
+            && self.fetch_pc < self.program.len()
+            && self.fetch_queue.len() < self.cfg.fetch_queue
+        {
+            let t = self.fetch_resume_at.max(now);
+            if t == now {
+                return now;
+            }
+            horizon = horizon.min(t);
+        }
+        for (i, e) in self.rob.iter().enumerate() {
+            match e.state {
+                EState::Issued => {
+                    // Completion matters at the head (commit); elsewhere
+                    // it is observed through dependents' readiness below.
+                    if i == 0 {
+                        horizon = horizon.min(e.done_at.max(now));
+                    }
+                }
+                EState::Waiting => {
+                    // Earliest cycle the operands can be ready. Entries
+                    // whose producers have not issued wake through those
+                    // producers' own horizons instead.
+                    let Some(ready_at) = self.operand_ready_at(i) else {
+                        continue;
+                    };
+                    let ready_at = ready_at.max(now);
+                    // A ready load can still be blocked by memory
+                    // disambiguation; it unblocks only when the older
+                    // store issues or commits — both events of their
+                    // own, so the blocked load adds no horizon.
+                    if ready_at <= now
+                        && e.is_load
+                        && matches!(self.load_disambiguate(i), LoadPath::Blocked)
+                    {
+                        continue;
+                    }
+                    horizon = horizon.min(ready_at);
+                }
+            }
+        }
+        horizon
+    }
+
+    /// The cycle-skipping target for the current state:
+    /// [`Core::next_event_at`] clamped so the jump never crosses a
+    /// pending memory-side event (`mem_event`, from
+    /// [`MemoryPort::next_mem_event_at`]), the deadlock watchdog, or the
+    /// cycle budget. The watchdog fires on the tick *at*
+    /// `last_commit + DEADLOCK_WINDOW` and the budget on the tick at
+    /// `max_cycles - 1`; ticking exactly there keeps error cycle numbers
+    /// identical to the naive loop.
+    pub fn skip_target(&self, mem_event: Option<u64>) -> u64 {
+        let mut target = self.next_event_at();
+        if let Some(m) = mem_event {
+            target = target.min(m.max(self.now));
+        }
+        target = target.min(self.last_commit_cycle + DEADLOCK_WINDOW);
+        target = target.min(self.cfg.max_cycles.saturating_sub(1));
+        target.max(self.now)
+    }
+
+    /// Bulk-advances the clock to `target`, accounting the skipped
+    /// cycles exactly as the equivalent run of no-op [`Core::tick`]s
+    /// would: per-cycle phase attribution, ROB-full and fetch-stall
+    /// counters, no port traffic. Callers must only pass targets at or
+    /// below [`Core::skip_target`] for the current state.
+    pub fn advance_to(&mut self, target: u64) {
+        if target <= self.now {
+            return;
+        }
+        let delta = target - self.now;
+        self.stats.phase_cycles[phase_index(self.cur_phase)] += delta;
+        if self.rob.len() >= self.cfg.rob_size {
+            self.stats.rob_full_stalls += delta;
+        }
+        if self.fetch_off || self.pending_redirect.is_some() {
+            self.stats.fetch_stall_cycles += delta;
+        } else {
+            // Cycles below `fetch_resume_at` charge a front-end stall;
+            // at or above it fetch idles silently (full queue or program
+            // end — otherwise the horizon would have stopped the skip).
+            self.stats.fetch_stall_cycles +=
+                self.fetch_resume_at.clamp(self.now, target) - self.now;
+        }
+        self.stats.skipped_cycles += delta;
+        self.now = target;
+        self.stats.cycles = self.now;
     }
 
     /// Advances the machine one cycle.
@@ -227,7 +381,7 @@ impl Core {
         self.dispatch(port)?;
         self.fetch(port);
         self.end_cycle();
-        if self.now - self.last_commit_cycle > 200_000 {
+        if self.now - self.last_commit_cycle > DEADLOCK_WINDOW {
             return Err(SimError::Deadlock { cycle: self.now });
         }
         if self.now >= self.cfg.max_cycles {
@@ -313,7 +467,6 @@ impl Core {
         let mut fp_free = self.cfg.fp_alus;
         let mut mem_free = self.cfg.ls_units;
         let mut slots = self.cfg.issue_width;
-        let head = self.head_seq;
         let now = self.now;
 
         // Oldest-first selection.
@@ -325,21 +478,9 @@ impl Core {
                 continue;
             }
             // Operand readiness.
-            let mut ready_at = 0u64;
-            let mut ready = true;
-            for s in self.rob[i].srcs.iter().flatten() {
-                if *s < head {
-                    continue; // producer committed
-                }
-                let p = &self.rob[(*s - head) as usize];
-                if p.state != EState::Issued {
-                    ready = false;
-                    break;
-                }
-                ready_at = ready_at.max(p.done_at);
-            }
-            if !ready || ready_at > now {
-                continue;
+            match self.operand_ready_at(i) {
+                Some(ready_at) if ready_at <= now => {}
+                _ => continue,
             }
             // FU availability.
             let fu_free = match self.rob[i].fu {
@@ -418,6 +559,28 @@ impl Core {
                 self.last_fetch_line = u64::MAX;
             }
         }
+    }
+
+    /// Earliest cycle ROB entry `i`'s operands can all be ready:
+    /// `None` while a producer has not issued (its completion time is
+    /// unknown), otherwise the latest `done_at` over its in-flight
+    /// producers (0 when every producer committed). Shared between
+    /// [`Core::issue`]'s selection and [`Core::next_event_at`]'s horizon
+    /// so the two can never disagree on readiness.
+    fn operand_ready_at(&self, i: usize) -> Option<u64> {
+        let head = self.head_seq;
+        let mut ready_at = 0u64;
+        for s in self.rob[i].srcs.iter().flatten() {
+            if *s < head {
+                continue; // producer committed
+            }
+            let p = &self.rob[(*s - head) as usize];
+            if p.state != EState::Issued {
+                return None;
+            }
+            ready_at = ready_at.max(p.done_at);
+        }
+        Some(ready_at)
     }
 
     fn load_disambiguate(&self, i: usize) -> LoadPath {
@@ -1235,6 +1398,161 @@ mod tests {
         assert_eq!(a.stats.cycles, b2.stats.cycles);
         assert_eq!(a.stats.committed, b2.stats.committed);
         assert_eq!(a.stats.mispredicts, b2.stats.mispredicts);
+    }
+
+    /// Runs the same program in lockstep and skipping configurations and
+    /// asserts the statistics are identical (minus the skip counter).
+    fn assert_skip_equivalent(build: impl Fn(&mut ProgramBuilder) + Copy) -> (CoreStats, u64) {
+        let run = |lockstep: bool| {
+            let mut b = ProgramBuilder::new();
+            build(&mut b);
+            let p = b.build();
+            let cfg = CoreConfig {
+                lockstep,
+                ..Default::default()
+            };
+            let mut core = Core::new(cfg, p, MemoryMap::default());
+            let mut port = MockPort::new();
+            core.run(&mut port).expect("program must halt");
+            (core, port)
+        };
+        let (skip, skip_port) = run(false);
+        let (lock, lock_port) = run(true);
+        assert_eq!(lock.stats.skipped_cycles, 0);
+        let skipped = skip.stats.skipped_cycles;
+        let mut norm = skip.stats.clone();
+        norm.skipped_cycles = 0;
+        assert_eq!(norm, lock.stats, "stats must be bit-identical");
+        assert_eq!(skip_port.accesses, lock_port.accesses);
+        assert_eq!(skip_port.timed, lock_port.timed);
+        (lock.stats, skipped)
+    }
+
+    #[test]
+    fn skipping_matches_lockstep_on_mixed_program() {
+        let (stats, skipped) = assert_skip_equivalent(|b| {
+            let top = b.new_label();
+            b.li(Reg(1), 0);
+            b.li(Reg(2), 40);
+            b.li(Reg(7), 0x1000_0000);
+            b.bind(top);
+            b.st(Reg(1), Reg(7), 0);
+            b.ld(Reg(3), Reg(7), 8);
+            b.addi(Reg(1), Reg(1), 1);
+            b.branch(Cond::Lt, Reg(1), Reg(2), top);
+            b.li(Reg(4), 0x7fff_0000_0000u64 as i64);
+            b.li(Reg(5), 0x1000_0000);
+            b.li(Reg(6), 4096);
+            b.dma_get(Reg(4), Reg(5), Reg(6), 2);
+            b.dma_synch(2);
+            b.halt();
+        });
+        assert!(stats.cycles > 0);
+        assert!(skipped > 0, "the dma-synch wait must be skipped");
+    }
+
+    #[test]
+    fn deadlock_watchdog_fires_at_the_same_cycle_with_skipping() {
+        // A dma-synch completing far beyond the watchdog window starves
+        // commit; the skipper's horizon must clamp to
+        // `last_commit + DEADLOCK_WINDOW` so the watchdog fires at the
+        // same cycle number as the naive loop.
+        struct FarSynch(MockPort);
+        impl MemoryPort for FarSynch {
+            fn exec_mem(
+                &mut self,
+                pc: u64,
+                addr: u64,
+                width: Width,
+                route: Route,
+                store: Option<u64>,
+            ) -> (u64, RouteInfo) {
+                self.0.exec_mem(pc, addr, width, route, store)
+            }
+            fn timing_access(
+                &mut self,
+                now: u64,
+                pc: u64,
+                info: &RouteInfo,
+                write: bool,
+            ) -> (u64, ServedLevel) {
+                self.0.timing_access(now, pc, info, write)
+            }
+            fn exec_dma(
+                &mut self,
+                now: u64,
+                k: DmaKind,
+                lm: u64,
+                sm: u64,
+                bytes: u64,
+                tag: u8,
+            ) -> u64 {
+                self.0.exec_dma(now, k, lm, sm, bytes, tag)
+            }
+            fn dma_synch(&mut self, _now: u64, _tag: u8) -> u64 {
+                1_000_000
+            }
+            fn dir_configure(&mut self, b: u64) {
+                self.0.dir_configure(b)
+            }
+            fn fetch_latency(&mut self, now: u64, addr: u64) -> u64 {
+                self.0.fetch_latency(now, addr)
+            }
+        }
+        let run = |lockstep: bool| {
+            let mut b = ProgramBuilder::new();
+            b.li(Reg(1), 1);
+            b.dma_synch(0);
+            b.halt();
+            let p = b.build();
+            let cfg = CoreConfig {
+                lockstep,
+                ..Default::default()
+            };
+            let mut core = Core::new(cfg, p, MemoryMap::default());
+            let mut port = FarSynch(MockPort::new());
+            let err = core.run(&mut port).expect_err("must deadlock");
+            (err, core.stats.cycles, core.stats.skipped_cycles)
+        };
+        let (skip_err, skip_cycles, skipped) = run(false);
+        let (lock_err, lock_cycles, lock_skipped) = run(true);
+        assert!(matches!(skip_err, SimError::Deadlock { .. }));
+        assert_eq!(skip_err, lock_err, "same error at the same cycle");
+        assert_eq!(skip_cycles, lock_cycles);
+        assert_eq!(lock_skipped, 0);
+        assert!(
+            skipped > DEADLOCK_WINDOW / 2,
+            "the dead window must be jumped, not walked ({skipped})"
+        );
+    }
+
+    #[test]
+    fn cycle_limit_fires_at_the_same_cycle_with_skipping() {
+        // An infinite loop exhausts `max_cycles`; the horizon clamps to
+        // `max_cycles - 1` so both runs report the limit at the same
+        // simulated cycle.
+        let run = |lockstep: bool| {
+            let mut b = ProgramBuilder::new();
+            let top = b.new_label();
+            b.bind(top);
+            b.addi(Reg(1), Reg(1), 1);
+            b.jump(top);
+            let p = b.build();
+            let cfg = CoreConfig {
+                max_cycles: 20_000,
+                lockstep,
+                ..Default::default()
+            };
+            let mut core = Core::new(cfg, p, MemoryMap::default());
+            let mut port = MockPort::new();
+            let err = core.run(&mut port).expect_err("must hit the limit");
+            (err, core.stats.cycles)
+        };
+        let (skip_err, skip_cycles) = run(false);
+        let (lock_err, lock_cycles) = run(true);
+        assert_eq!(skip_err, SimError::CycleLimit);
+        assert_eq!(skip_err, lock_err);
+        assert_eq!(skip_cycles, lock_cycles);
     }
 
     #[test]

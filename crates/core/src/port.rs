@@ -92,4 +92,17 @@ pub trait MemoryPort {
 
     /// Instruction-fetch latency for the line containing `pc_addr`.
     fn fetch_latency(&mut self, now: u64, pc_addr: u64) -> u64;
+
+    /// The earliest cycle strictly after `now` at which pending
+    /// memory-side work completes — an outstanding MSHR fill, an
+    /// in-flight DMA transfer, a busy backside port — or `None` when
+    /// nothing is pending. Cycle-skipping cores clamp their jump to this
+    /// so they never skip past a backside event that could change
+    /// arbitration; the wake-up is a provable no-op, so reporting a
+    /// conservative (early) cycle is always safe. Timing-only mocks can
+    /// rely on this default.
+    fn next_mem_event_at(&self, now: u64) -> Option<u64> {
+        let _ = now;
+        None
+    }
 }

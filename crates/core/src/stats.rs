@@ -5,10 +5,13 @@ use hsim_mem::Level;
 
 /// Per-run statistics of the core pipeline. Everything the energy model
 /// and the experiment harness need is counted here.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct CoreStats {
     /// Total simulated cycles.
     pub cycles: u64,
+    /// Idle cycles fast-forwarded in bulk by the event-horizon scheduler
+    /// (included in `cycles`; 0 when `CoreConfig::lockstep` is set).
+    pub skipped_cycles: u64,
     /// Instructions fetched into the fetch queue.
     pub fetched: u64,
     /// Instructions dispatched (renamed + functionally executed).

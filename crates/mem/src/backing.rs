@@ -10,18 +10,42 @@
 //! Pages are 4 KiB and allocated on first touch. A one-entry translation
 //! cache makes the common sequential-access pattern cheap.
 
+use std::cell::Cell;
 use std::collections::HashMap;
 
 const PAGE_SHIFT: u32 = 12;
 const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
 const OFFSET_MASK: u64 = (PAGE_SIZE - 1) as u64;
 
+/// The memo's empty sentinel: page numbers are `addr >> 12`, so a real
+/// page can never equal it.
+const NO_PAGE: u64 = u64::MAX;
+
 /// Sparse paged memory. Reads of untouched memory return zero.
-#[derive(Default)]
+///
+/// Frames live in a dense `Vec`; a `HashMap` translates page numbers to
+/// frame slots, and a one-entry `(page, slot)` memo short-circuits the
+/// map on the sequential access patterns that dominate kernel traffic
+/// (both reads and writes).
 pub struct PagedMem {
-    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
-    /// One-entry lookup cache: (page number, raw pointer-free index).
-    last_page: Option<u64>,
+    /// Page frames, indexed by the slots stored in `index`.
+    pages: Vec<Box<[u8; PAGE_SIZE]>>,
+    /// Page number → frame slot in `pages`.
+    index: HashMap<u64, usize>,
+    /// One-entry translation memo: the last resident page touched, as
+    /// `(page number, frame slot)`. A `Cell` so the read path (`&self`)
+    /// can refresh it too.
+    last: Cell<(u64, usize)>,
+}
+
+impl Default for PagedMem {
+    fn default() -> Self {
+        PagedMem {
+            pages: Vec::new(),
+            index: HashMap::new(),
+            last: Cell::new((NO_PAGE, 0)),
+        }
+    }
 }
 
 impl PagedMem {
@@ -40,11 +64,44 @@ impl PagedMem {
         (addr >> PAGE_SHIFT, (addr & OFFSET_MASK) as usize)
     }
 
+    /// Resolves a page number to its frame slot, through the memo.
+    #[inline]
+    fn slot_of(&self, pn: u64) -> Option<usize> {
+        let (last_pn, last_slot) = self.last.get();
+        if last_pn == pn {
+            return Some(last_slot);
+        }
+        let slot = *self.index.get(&pn)?;
+        self.last.set((pn, slot));
+        Some(slot)
+    }
+
+    /// The resident frame for `pn`, if any.
+    #[inline]
+    fn page(&self, pn: u64) -> Option<&[u8; PAGE_SIZE]> {
+        self.slot_of(pn).map(|s| &*self.pages[s])
+    }
+
+    /// The frame for `pn`, allocating (and memoizing) on first touch.
+    fn page_mut(&mut self, pn: u64) -> &mut [u8; PAGE_SIZE] {
+        let slot = match self.slot_of(pn) {
+            Some(s) => s,
+            None => {
+                let s = self.pages.len();
+                self.pages.push(Box::new([0; PAGE_SIZE]));
+                self.index.insert(pn, s);
+                self.last.set((pn, s));
+                s
+            }
+        };
+        &mut self.pages[slot]
+    }
+
     /// Reads one byte.
     #[inline]
     pub fn read_u8(&self, addr: u64) -> u8 {
         let (pn, off) = Self::page_of(addr);
-        match self.pages.get(&pn) {
+        match self.page(pn) {
             Some(p) => p[off],
             None => 0,
         }
@@ -54,14 +111,7 @@ impl PagedMem {
     #[inline]
     pub fn write_u8(&mut self, addr: u64, val: u8) {
         let (pn, off) = Self::page_of(addr);
-        self.last_page = Some(pn);
         self.page_mut(pn)[off] = val;
-    }
-
-    fn page_mut(&mut self, pn: u64) -> &mut [u8; PAGE_SIZE] {
-        self.pages
-            .entry(pn)
-            .or_insert_with(|| Box::new([0; PAGE_SIZE]))
     }
 
     /// Reads `N` little-endian bytes starting at `addr`.
@@ -69,7 +119,7 @@ impl PagedMem {
     fn read_bytes<const N: usize>(&self, addr: u64) -> [u8; N] {
         let (pn, off) = Self::page_of(addr);
         if off + N <= PAGE_SIZE {
-            if let Some(p) = self.pages.get(&pn) {
+            if let Some(p) = self.page(pn) {
                 let mut out = [0u8; N];
                 out.copy_from_slice(&p[off..off + N]);
                 return out;
@@ -214,6 +264,35 @@ mod tests {
         m.write_u64(addr, 0x1122_3344_5566_7788);
         assert_eq!(m.read_u64(addr), 0x1122_3344_5566_7788);
         assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn memo_survives_page_crossing_and_alternation() {
+        // Exercise the one-entry translation memo: sequential same-page
+        // traffic, strict page alternation (every access evicts the
+        // memo), and straddling accesses whose byte path walks both
+        // pages through the memo — all must read back exactly.
+        let mut m = PagedMem::new();
+        let page = 1u64 << PAGE_SHIFT;
+        for i in 0..64u64 {
+            m.write_u8(3 * page + i, i as u8);
+            m.write_u8(7 * page + i, !i as u8);
+        }
+        for i in 0..64u64 {
+            assert_eq!(m.read_u8(3 * page + i), i as u8);
+            assert_eq!(m.read_u8(7 * page + i), !i as u8);
+        }
+        // Writes through a stale memo must not land in the wrong frame.
+        let boundary = 4 * page - 4;
+        m.write_u64(boundary, 0xa1b2_c3d4_e5f6_0718);
+        assert_eq!(m.read_u64(boundary), 0xa1b2_c3d4_e5f6_0718);
+        assert_eq!(m.read_u32(boundary), 0xe5f6_0718);
+        assert_eq!(m.read_u32(boundary + 4), 0xa1b2_c3d4);
+        // The crossing allocated page 4; pages 3 and 7 already existed.
+        assert_eq!(m.resident_pages(), 3);
+        // Reads of absent pages still return zero and allocate nothing.
+        assert_eq!(m.read_u64(100 * page), 0);
+        assert_eq!(m.resident_pages(), 3);
     }
 
     #[test]

@@ -134,6 +134,17 @@ impl Dmac {
     pub fn idle_at(&self, now: u64) -> bool {
         self.engine_free_at <= now
     }
+
+    /// The earliest DMA event strictly after `now` — the engine freeing
+    /// up or a tagged transfer landing — if any: the DMAC contribution to
+    /// the memory-side event horizon the cycle skipper must not jump
+    /// past.
+    pub fn next_event_after(&self, now: u64) -> Option<u64> {
+        std::iter::once(self.engine_free_at)
+            .chain(self.tag_done_at.iter().copied())
+            .filter(|&t| t > now)
+            .min()
+    }
 }
 
 #[cfg(test)]

@@ -93,7 +93,7 @@ impl Default for DramConfig {
 }
 
 /// DRAM statistics.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct DramStats {
     /// Line reads.
     pub reads: u64,
@@ -214,7 +214,7 @@ impl MemConfig {
 
 /// Per-core share of the shared backside's activity: what this core's
 /// requests did to the L3, the DRAM channel and the arbitrated bus.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct BacksideCoreStats {
     /// This core's L3 activity (same accounting as a private L3 would
     /// report; summing over cores reproduces the shared array's totals).
@@ -462,6 +462,18 @@ impl SharedBackside {
     /// shared L3 on behalf of `core`.
     pub fn probe(&self, core: usize, line_addr: u64) -> bool {
         self.l3.probe(Self::tag(core, line_addr))
+    }
+
+    /// The earliest backside resource release strictly after `now` — the
+    /// shared L3 port or the DRAM channel freeing up — if any. Part of
+    /// the memory-side event horizon: cycle-skipping cores never jump
+    /// past it, so arbitration-relevant backside state is observed at the
+    /// cycle it changes.
+    pub fn next_event_after(&self, now: u64) -> Option<u64> {
+        [self.l3_busy_until, self.dram.busy_until]
+            .into_iter()
+            .filter(|&t| t > now)
+            .min()
     }
 }
 
@@ -803,6 +815,24 @@ impl MemSystem {
     /// `dma-synch`: the cycle at which the wait for `tag` ends.
     pub fn dma_synch(&mut self, now: u64, tag: u8) -> u64 {
         self.dmac.synch(tag, now)
+    }
+
+    /// The pending-work horizon of this tile's memory side: the earliest
+    /// cycle strictly after `now` at which an outstanding MSHR fill
+    /// completes, the DMA engine frees up or lands a transfer, or a
+    /// shared backside resource (L3 port, DRAM channel) becomes free —
+    /// `None` when nothing is pending. The machine forwards this through
+    /// `MemoryPort::next_mem_event_at` so a cycle-skipping core never
+    /// jumps past a backside event that could change arbitration.
+    pub fn next_event_at(&self, now: u64) -> Option<u64> {
+        [
+            self.mshr.next_ready_after(now),
+            self.dmac.next_event_after(now),
+            self.backside.borrow().next_event_after(now),
+        ]
+        .into_iter()
+        .flatten()
+        .min()
     }
 
     /// Total LM activity for the Table 3 "LM Accesses" column: CPU

@@ -142,6 +142,17 @@ impl MshrFile {
         MshrOutcome::Allocated { idx, start_at }
     }
 
+    /// The earliest in-flight fill completion strictly after `now`, if
+    /// any — the MSHR contribution to the memory-side event horizon the
+    /// cycle skipper must not jump past.
+    pub fn next_ready_after(&self, now: u64) -> Option<u64> {
+        self.entries
+            .iter()
+            .filter(|e| e.valid && e.ready_at != u64::MAX && e.ready_at > now)
+            .map(|e| e.ready_at)
+            .min()
+    }
+
     /// Records the completion cycle of an allocated fetch.
     pub fn set_ready(&mut self, idx: usize, ready_at: u64) {
         debug_assert!(self.entries[idx].valid);

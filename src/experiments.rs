@@ -76,9 +76,17 @@ where
 
 /// Compiles `kernel` for `mode`, runs it, and reports.
 pub fn run_kernel(kernel: &Kernel, mode: SysMode, track: bool) -> Result<RunReport, SimError> {
-    let ck = compile(kernel, mode.codegen());
     let mut cfg = MachineConfig::for_mode(mode);
     cfg.track_coherence = track;
+    run_kernel_with(kernel, cfg)
+}
+
+/// The configurable sibling of [`run_kernel`]: compiles `kernel` for
+/// `cfg.mode` and runs it on a machine built from `cfg`. Used by the
+/// cycle-skip equivalence tests (`cfg.with_lockstep()`) and the
+/// `simspeed` bench.
+pub fn run_kernel_with(kernel: &Kernel, cfg: MachineConfig) -> Result<RunReport, SimError> {
+    let ck = compile(kernel, cfg.mode.codegen());
     let mut m = Machine::for_kernel(cfg, &ck, kernel);
     m.run()?;
     Ok(RunReport::collect(&m, &ck))
@@ -117,13 +125,23 @@ pub fn run_kernel_multi(
     mode: SysMode,
     track: bool,
 ) -> Result<MultiRunReport, MultiRunError> {
+    let mut cfg = MachineConfig::for_mode(mode);
+    cfg.track_coherence = track;
+    run_kernel_multi_with(kernel, n_cores, cfg)
+}
+
+/// The configurable sibling of [`run_kernel_multi`]: shards `kernel`
+/// across `n_cores` tiles built from `cfg` (compiling for `cfg.mode`).
+pub fn run_kernel_multi_with(
+    kernel: &Kernel,
+    n_cores: usize,
+    cfg: MachineConfig,
+) -> Result<MultiRunReport, MultiRunError> {
     let shards = kernel.shard(n_cores)?;
     let compiled: Vec<_> = shards
         .iter()
-        .map(|s| (compile(s, mode.codegen()), s.clone()))
+        .map(|s| (compile(s, cfg.mode.codegen()), s.clone()))
         .collect();
-    let mut cfg = MachineConfig::for_mode(mode);
-    cfg.track_coherence = track;
     let mut m = MultiMachine::for_kernels(cfg, &compiled);
     m.run()?;
     let cks: Vec<_> = compiled.into_iter().map(|(ck, _)| ck).collect();

@@ -43,7 +43,7 @@
 //! | [`isa`] | the simulated ISA: guarded/oracle memory ops, DMA, assembler |
 //! | [`mem`] | caches, MSHRs, prefetcher, TLB, LM, DMAC, and the shared L3 + DRAM backside (`SharedBackside`) |
 //! | [`coherence`] | the directory (Figure 4), Figure 6 state machine, runtime checker |
-//! | [`core`] | 4-wide out-of-order core (Table 1) |
+//! | [`core`] | 4-wide out-of-order core (Table 1) with the event-horizon cycle skipper |
 //! | [`energy`] | Wattch-style activity-based energy model |
 //! | [`compiler`] | loop IR, classification, tiling, guarded codegen, double store, kernel sharding (`Kernel::shard`) |
 //! | [`workloads`] | Table 2 microbenchmark + six NAS-signature kernels |
@@ -62,6 +62,28 @@
 //! [`MultiRunReport`]. [`compiler::Kernel::shard`] splits one kernel
 //! into the disjoint per-core slices the paper's evaluation model
 //! assumes.
+//!
+//! ## Cycle-skipping scheduler
+//!
+//! Long runs are dominated by *dead time*: the ROB head waiting on a
+//! DRAM-latency completion, fetch stalled behind an I-miss, a DMA
+//! transfer in flight. The simulator fast-forwards those stretches
+//! instead of walking them cycle by cycle. Each core reports its **event
+//! horizon** — the earliest cycle at which anything can change
+//! (`Core::next_event_at`: ROB-head completion, producer readiness,
+//! fetch resume), clamped by the memory side's pending work
+//! (`mem::MemSystem::next_event_at`: outstanding MSHR fills, in-flight
+//! DMA, busy L3/DRAM ports) and by the watchdog/cycle-budget deadlines —
+//! and `Core::advance_to` jumps over the provably idle cycles in one
+//! step. [`MultiMachine::run`] coordinates the jump across tiles with a
+//! per-tile horizon min-heap, rotating the round-robin arbitration
+//! origin by the skipped distance, so every statistic stays
+//! **bit-identical** to the naive lock-step loop (asserted by the
+//! `skip_equivalence` tests against the `lockstep: true` escape hatch,
+//! [`MachineConfig::with_lockstep`]). `CoreStats::skipped_cycles` and
+//! `RunReport::skipped_cycles` report how much dead time each workload
+//! had; the `simspeed` bench binary turns that into a
+//! simulated-cycles-per-host-second trajectory (`BENCH_simspeed.json`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -80,7 +102,8 @@ pub use hsim_workloads as workloads;
 
 pub use experiments::{
     compare_systems, compare_systems_parallel, fig7, fig7_parallel, fig8, fig8_parallel, geomean,
-    parallel_map, run_kernel, run_kernel_multi, run_kernel_verified,
+    parallel_map, run_kernel, run_kernel_multi, run_kernel_multi_with, run_kernel_verified,
+    run_kernel_with,
 };
 pub use machine::{Machine, MachineConfig, MultiMachine, SysMode, World};
 pub use metrics::{activity, MultiRunReport, RunReport};
@@ -89,7 +112,7 @@ pub use metrics::{activity, MultiRunReport, RunReport};
 pub mod prelude {
     pub use crate::experiments::{
         compare_systems, compare_systems_parallel, fig7, fig7_parallel, fig8, fig8_parallel,
-        run_kernel, run_kernel_multi, run_kernel_verified,
+        run_kernel, run_kernel_multi, run_kernel_multi_with, run_kernel_verified, run_kernel_with,
     };
     pub use crate::machine::{Machine, MachineConfig, MultiMachine, SysMode};
     pub use crate::metrics::{MultiRunReport, RunReport};

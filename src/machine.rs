@@ -105,6 +105,15 @@ impl MachineConfig {
         self.track_coherence = true;
         self
     }
+
+    /// Disables event-horizon cycle skipping (the `lockstep: true`
+    /// escape hatch): `run` walks every cycle through the per-stage tick
+    /// loop. Reports are bit-identical either way; the equivalence tests
+    /// pin that claim against this mode.
+    pub fn with_lockstep(mut self) -> Self {
+        self.core.lockstep = true;
+        self
+    }
 }
 
 /// Everything the core's [`MemoryPort`] needs (split from the core for
@@ -258,6 +267,9 @@ impl Machine {
 /// The execution model is lock-step: every machine cycle, each non-halted
 /// core ticks once, and the order rotates each cycle so backside port
 /// conflicts resolve round-robin rather than always favoring core 0.
+/// [`MultiMachine::run`] drives that model event-style — idle stretches
+/// where no tile can make progress are jumped in one step — with results
+/// bit-identical to ticking every cycle (see its docs).
 /// Everything the paper's protocol adds — LM, directory, guarded AGU
 /// path, DMAC — is private per tile and never interacts across cores
 /// (§3: the protocol "does not interact with the inter-core cache
@@ -328,11 +340,146 @@ impl MultiMachine {
     }
 
     /// Runs the whole machine to completion (every core halted).
+    ///
+    /// Execution is event-driven: a min-heap of per-tile event horizons
+    /// ([`hsim_core::Core::skip_target`], clamped by each tile's
+    /// memory-side pending work) finds the earliest cycle at which any
+    /// core can make progress. When that lies beyond the current cycle,
+    /// every live tile bulk-advances to it in one step and the rotating
+    /// round-robin origin moves by the same amount, so backside
+    /// arbitration order — and with it every statistic — stays
+    /// bit-identical to the naive lock-step loop. Tiles whose horizon is
+    /// still in the future at an executed cycle have a provable no-op
+    /// cycle and are advanced instead of ticked. Building the machine
+    /// with `lockstep: true` in the core configuration falls back to the
+    /// naive loop (the equivalence tests compare the two).
     pub fn run(&mut self) -> Result<(), SimError> {
-        while !self.all_halted() {
-            self.tick_all()?;
+        if self.tiles.iter().any(|t| t.cfg.core.lockstep) {
+            while !self.all_halted() {
+                self.tick_all()?;
+            }
+            return Ok(());
+        }
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        let n = self.tiles.len();
+        let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::with_capacity(n);
+        // All live tiles share the same cycle (the lock-step invariant);
+        // `mcycle` tracks it so the loop never rescans the tiles for it.
+        let mut live = 0usize;
+        let mut mcycle = 0u64;
+        for (i, tile) in self.tiles.iter().enumerate() {
+            if !tile.core.halted() {
+                live += 1;
+                mcycle = mcycle.max(tile.core.now());
+                heap.push(Reverse((Self::tile_target(tile), i)));
+            }
+        }
+        let mut busy: Vec<usize> = Vec::with_capacity(n);
+        let mut is_due: Vec<bool> = vec![false; n];
+        while let Some(&Reverse((event, _))) = heap.peek() {
+            // Fast-forward the machine to the earliest pending event.
+            if event > mcycle {
+                let skipped = event - mcycle;
+                self.rr_start = (self.rr_start + (skipped % n as u64) as usize) % n;
+                for tile in &mut self.tiles {
+                    if !tile.core.halted() {
+                        tile.core.advance_to(event);
+                    }
+                }
+            }
+            // Pop every tile due at this cycle.
+            let mut due_count = 0usize;
+            while let Some(&Reverse((t, i))) = heap.peek() {
+                if t > event {
+                    break;
+                }
+                heap.pop();
+                is_due[i] = true;
+                due_count += 1;
+            }
+            // Walk all live tiles in the rotating round-robin order the
+            // naive loop would use: due tiles tick; every other live
+            // tile's cycle is a provable no-op (its horizon lies further
+            // out, and no-op cycles generate no port traffic), accounted
+            // by a one-cycle advance in its round-robin slot — so even a
+            // mid-cycle error leaves every tile exactly where the naive
+            // loop would have.
+            let rr = self.rr_start;
+            self.rr_start = (self.rr_start + 1) % n;
+            let all_due = due_count == live;
+            busy.clear();
+            for k in 0..n {
+                let i = (rr + k) % n;
+                let tile = &mut self.tiles[i];
+                if tile.core.halted() {
+                    continue;
+                }
+                if !is_due[i] {
+                    tile.core.advance_to(event + 1);
+                    continue;
+                }
+                is_due[i] = false;
+                let before = tile.core.progress_fingerprint();
+                tile.core.tick(&mut tile.world)?;
+                if tile.core.halted() {
+                    live -= 1;
+                } else if tile.core.progress_fingerprint() != before {
+                    // A tile that moved something stays due next cycle;
+                    // only quiesced tiles pay for a horizon scan.
+                    busy.push(i);
+                } else {
+                    heap.push(Reverse((Self::tile_target(tile), i)));
+                }
+            }
+            mcycle = event + 1;
+            if all_due && live > 0 && busy.len() == due_count {
+                // Every live tile is busy: stay in a plain lock-step
+                // stretch (no heap traffic) until one of them quiesces
+                // or halts, then rebuild the horizons.
+                debug_assert!(heap.is_empty());
+                loop {
+                    let mut stretch_over = false;
+                    for k in 0..n {
+                        let i = (self.rr_start + k) % n;
+                        let tile = &mut self.tiles[i];
+                        if tile.core.halted() {
+                            continue;
+                        }
+                        let before = tile.core.progress_fingerprint();
+                        tile.core.tick(&mut tile.world)?;
+                        if tile.core.halted() {
+                            live -= 1;
+                            stretch_over = true;
+                        } else if tile.core.progress_fingerprint() == before {
+                            stretch_over = true;
+                        }
+                    }
+                    self.rr_start = (self.rr_start + 1) % n;
+                    mcycle += 1;
+                    if stretch_over || live == 0 {
+                        break;
+                    }
+                }
+                for (i, tile) in self.tiles.iter().enumerate() {
+                    if !tile.core.halted() {
+                        heap.push(Reverse((Self::tile_target(tile), i)));
+                    }
+                }
+            } else {
+                for &i in &busy {
+                    heap.push(Reverse((mcycle, i)));
+                }
+            }
         }
         Ok(())
+    }
+
+    /// One tile's next-event cycle: the core's clamped horizon, further
+    /// clamped by its memory side's pending work.
+    fn tile_target(tile: &Machine) -> u64 {
+        let mem_event = tile.world.next_mem_event_at(tile.core.now());
+        tile.core.skip_target(mem_event)
     }
 
     /// Parallel makespan: the cycle count of the slowest core.
@@ -577,5 +724,9 @@ impl MemoryPort for World {
 
     fn fetch_latency(&mut self, now: u64, pc_addr: u64) -> u64 {
         self.mem.inst_fetch(now, pc_addr)
+    }
+
+    fn next_mem_event_at(&self, now: u64) -> Option<u64> {
+        self.mem.next_event_at(now)
     }
 }

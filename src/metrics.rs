@@ -19,6 +19,11 @@ pub struct RunReport {
     pub core_id: usize,
     /// Total cycles.
     pub cycles: u64,
+    /// Idle cycles the event-horizon scheduler fast-forwarded in bulk
+    /// (included in `cycles`; 0 on lockstep runs). The simulated timing
+    /// is identical either way — this measures how much dead time the
+    /// workload had, and how much host work skipping saved.
+    pub skipped_cycles: u64,
     /// Committed instructions.
     pub committed: u64,
     /// Cycles per phase `[other, control, synch, work]`.
@@ -75,6 +80,7 @@ impl RunReport {
             mode: m.cfg.mode,
             core_id: w.mem.core_id(),
             cycles: core.cycles,
+            skipped_cycles: core.skipped_cycles,
             committed: core.committed,
             phase_cycles: core.phase_cycles,
             amat: core.amat(),
@@ -99,6 +105,12 @@ impl RunReport {
     /// Instructions per cycle.
     pub fn ipc(&self) -> f64 {
         self.committed as f64 / self.cycles.max(1) as f64
+    }
+
+    /// Fraction of simulated cycles the scheduler skipped (0.0 on
+    /// lockstep runs; close to 1.0 for DMA- or DRAM-bound workloads).
+    pub fn skipped_fraction(&self) -> f64 {
+        self.skipped_cycles as f64 / self.cycles.max(1) as f64
     }
 
     /// Cycles in a phase.
@@ -146,6 +158,12 @@ impl MultiRunReport {
     /// shared-L3/DRAM contention figure.
     pub fn total_bus_wait_cycles(&self) -> u64 {
         self.per_core.iter().map(|r| r.bus_wait_cycles).sum()
+    }
+
+    /// Total cycles the event-horizon scheduler skipped over all cores
+    /// (0 on lockstep runs).
+    pub fn total_skipped_cycles(&self) -> u64 {
+        self.per_core.iter().map(|r| r.skipped_cycles).sum()
     }
 
     /// Total committed instructions over all cores.

@@ -108,6 +108,24 @@ proptest! {
         prop_assert_eq!(a.cycles, b.cycles);
         prop_assert_eq!(a.committed, b.committed);
     }
+
+    /// Cycle skipping is timing-invisible for arbitrary kernels: the
+    /// event-horizon scheduler and the naive per-cycle loop agree on
+    /// every pipeline statistic.
+    #[test]
+    fn cycle_skipping_is_timing_invisible(kernel in arb_kernel()) {
+        let cfg = MachineConfig::for_mode(SysMode::HybridCoherent);
+        let skip = run_kernel_with(&kernel, cfg.clone()).unwrap();
+        let lock = run_kernel_with(&kernel, cfg.with_lockstep()).unwrap();
+        prop_assert_eq!(lock.skipped_cycles, 0);
+        let mut core = skip.core.clone();
+        core.skipped_cycles = 0;
+        prop_assert_eq!(core, lock.core, "core stats diverged");
+        prop_assert_eq!(skip.bus_wait_cycles, lock.bus_wait_cycles);
+        prop_assert_eq!(skip.dram_reads, lock.dram_reads);
+        prop_assert_eq!(skip.dram_writes, lock.dram_writes);
+        prop_assert_eq!(skip.l3_accesses, lock.l3_accesses);
+    }
 }
 
 mod directory_props {

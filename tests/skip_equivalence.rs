@@ -1,0 +1,178 @@
+//! Cycle-skipping equivalence: the event-horizon scheduler must be a
+//! pure host-speed optimization. Every run here executes twice — once
+//! with skipping (the default) and once with the `lockstep: true`
+//! escape hatch — and every observable of the simulation must be
+//! bit-identical: cycle counts, per-level hit counts, phase split,
+//! backside bus waits, DRAM lines, energy, and the final memory image.
+//!
+//! The grids mirror the paper's row builders: the Figure 7
+//! microbenchmark sweep, Figure 8's coherent-vs-oracle kernel runs, and
+//! the Figure 9/10 hybrid-vs-cache comparison, on single-core and
+//! 4-core machines in all three `SysMode`s.
+
+use hsim::compiler::compile;
+use hsim::prelude::*;
+use hsim_workloads::nas;
+
+/// Asserts that a skipping run and a lockstep run produced identical
+/// reports (everything except the skip accounting itself).
+fn assert_reports_equal(skip: &RunReport, lock: &RunReport, what: &str) {
+    assert_eq!(lock.skipped_cycles, 0, "{what}: lockstep must not skip");
+    assert_eq!(skip.cycles, lock.cycles, "{what}: cycles");
+    assert_eq!(skip.committed, lock.committed, "{what}: committed");
+    assert_eq!(skip.phase_cycles, lock.phase_cycles, "{what}: phases");
+    assert_eq!(
+        skip.amat.to_bits(),
+        lock.amat.to_bits(),
+        "{what}: AMAT ({} vs {})",
+        skip.amat,
+        lock.amat
+    );
+    assert_eq!(
+        skip.l1d_hit_ratio.to_bits(),
+        lock.l1d_hit_ratio.to_bits(),
+        "{what}: L1D hit ratio"
+    );
+    assert_eq!(skip.l1_accesses, lock.l1_accesses, "{what}: L1 accesses");
+    assert_eq!(skip.l2_accesses, lock.l2_accesses, "{what}: L2 accesses");
+    assert_eq!(skip.l3_accesses, lock.l3_accesses, "{what}: L3 accesses");
+    assert_eq!(skip.lm_accesses, lock.lm_accesses, "{what}: LM accesses");
+    assert_eq!(skip.dir_accesses, lock.dir_accesses, "{what}: dir accesses");
+    assert_eq!(skip.bus_requests, lock.bus_requests, "{what}: bus requests");
+    assert_eq!(
+        skip.bus_wait_cycles, lock.bus_wait_cycles,
+        "{what}: bus waits"
+    );
+    assert_eq!(skip.dram_reads, lock.dram_reads, "{what}: DRAM reads");
+    assert_eq!(skip.dram_writes, lock.dram_writes, "{what}: DRAM writes");
+    assert_eq!(
+        skip.energy_total().to_bits(),
+        lock.energy_total().to_bits(),
+        "{what}: energy"
+    );
+    // The full pipeline statistics, with the skip counter normalized
+    // away (the only field allowed to differ).
+    let mut core = skip.core.clone();
+    core.skipped_cycles = 0;
+    assert_eq!(core, lock.core, "{what}: core stats");
+}
+
+/// Runs `kernel` in `mode` both ways and checks the reports match.
+/// Returns the skipping report for further assertions.
+fn check_single(kernel: &hsim_compiler::Kernel, mode: SysMode) -> RunReport {
+    let skip = run_kernel_with(kernel, MachineConfig::for_mode(mode)).expect("skip run");
+    let lock =
+        run_kernel_with(kernel, MachineConfig::for_mode(mode).with_lockstep()).expect("lockstep");
+    assert_reports_equal(&skip, &lock, &format!("{} {:?}", kernel.name, mode));
+    skip
+}
+
+#[test]
+fn fig7_microbench_grid_is_identical() {
+    // The Figure 7 row builder's inputs: every microbenchmark mode at a
+    // few guard percentages, on the coherent machine.
+    let mut any_skipped = false;
+    for mode in [
+        MicroMode::Baseline,
+        MicroMode::Rd,
+        MicroMode::Wr,
+        MicroMode::RdWr,
+    ] {
+        for pct in [0, 50, 100] {
+            let k = microbench(&MicrobenchConfig {
+                mode,
+                guarded_pct: pct,
+                n: 2048,
+            });
+            let r = check_single(&k, SysMode::HybridCoherent);
+            any_skipped |= r.skipped_cycles > 0;
+        }
+    }
+    assert!(any_skipped, "the grid must actually exercise skipping");
+}
+
+#[test]
+fn fig8_rows_are_identical_for_coherent_and_oracle() {
+    for k in [nas::is(Scale::Test), nas::cg(Scale::Test)] {
+        let coherent = check_single(&k, SysMode::HybridCoherent);
+        check_single(&k, SysMode::HybridOracle);
+        assert!(
+            coherent.skipped_cycles > 0,
+            "{}: DMA-phased kernels must have skippable dead time",
+            k.name
+        );
+    }
+}
+
+#[test]
+fn cache_based_rows_are_identical() {
+    check_single(&nas::is(Scale::Test), SysMode::CacheBased);
+}
+
+#[test]
+fn final_memory_images_match_lockstep() {
+    let kernel = nas::is(Scale::Test);
+    for mode in SysMode::ALL {
+        let ck = compile(&kernel, mode.codegen());
+        let mut skip = Machine::for_kernel(MachineConfig::for_mode(mode), &ck, &kernel);
+        skip.run().expect("skip run");
+        let mut lock =
+            Machine::for_kernel(MachineConfig::for_mode(mode).with_lockstep(), &ck, &kernel);
+        lock.run().expect("lockstep run");
+        for id in 0..kernel.arrays.len() {
+            assert_eq!(
+                skip.read_array(&ck, &kernel, id),
+                lock.read_array(&ck, &kernel, id),
+                "{:?}: array {id} image diverged",
+                mode
+            );
+        }
+    }
+}
+
+#[test]
+fn four_core_machines_are_identical_in_all_modes() {
+    let kernel = nas::cg(Scale::Test);
+    for mode in SysMode::ALL {
+        let skip = run_kernel_multi_with(&kernel, 4, MachineConfig::for_mode(mode))
+            .expect("4-core skip run");
+        let lock = run_kernel_multi_with(&kernel, 4, MachineConfig::for_mode(mode).with_lockstep())
+            .expect("4-core lockstep run");
+        assert_eq!(skip.makespan, lock.makespan, "{mode:?}: makespan");
+        assert_eq!(skip.n_cores(), lock.n_cores());
+        assert_eq!(lock.total_skipped_cycles(), 0);
+        for (s, l) in skip.per_core.iter().zip(&lock.per_core) {
+            assert_reports_equal(s, l, &format!("cg x4 {:?} core {}", mode, s.core_id));
+        }
+        // Contention statistics must survive the jumped round-robin
+        // rotation: both runs see the same arbitration order.
+        assert_eq!(
+            skip.total_bus_wait_cycles(),
+            lock.total_bus_wait_cycles(),
+            "{mode:?}: total bus waits"
+        );
+    }
+}
+
+#[test]
+fn cycle_limit_fires_at_the_same_cycle() {
+    // A machine that cannot finish within the budget must report the
+    // limit after the same number of simulated cycles either way.
+    let kernel = nas::cg(Scale::Test);
+    let ck = compile(&kernel, SysMode::HybridCoherent.codegen());
+    let run = |lockstep: bool| {
+        let mut cfg = MachineConfig::for_mode(SysMode::HybridCoherent);
+        cfg.core.max_cycles = 5_000;
+        if lockstep {
+            cfg = cfg.with_lockstep();
+        }
+        let mut m = Machine::for_kernel(cfg, &ck, &kernel);
+        let err = m.run().expect_err("5k cycles cannot finish CG");
+        (err, m.core.stats.cycles)
+    };
+    let (skip_err, skip_cycles) = run(false);
+    let (lock_err, lock_cycles) = run(true);
+    assert_eq!(skip_err, hsim::core::pipeline::SimError::CycleLimit);
+    assert_eq!(skip_err, lock_err);
+    assert_eq!(skip_cycles, lock_cycles, "limit must fire at one cycle");
+}
