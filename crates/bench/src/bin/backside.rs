@@ -1,0 +1,114 @@
+//! Backside-sensitivity sweep: DRAM row-buffer locality and L3 bank
+//! contention per NAS kernel and core count.
+//!
+//! Runs the hybrid-coherent machine with the default (banked, row-aware)
+//! backside and reports, for every kernel × core-count point, the DRAM
+//! row-hit rate, the row hit/miss/conflict split, L3 bank-port conflicts
+//! and wait cycles, and write-queue stalls — the contention structure
+//! the paper's §3 multicore argument attributes to the shared last-level
+//! cache and memory channel. Results are printed as a table and written
+//! to `BENCH_backside.json`.
+//!
+//! ```text
+//! cargo run --release -p hsim-bench --bin backside [--test-scale|--smoke]
+//! ```
+//!
+//! `--smoke` runs a minimal grid (test scale, two kernels, 1–2 cores):
+//! the CI guard that keeps this driver from rotting.
+
+use hsim::prelude::*;
+use hsim_bench::{kernels, scale_from_args, Table};
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let scale = if smoke {
+        Scale::Test
+    } else {
+        scale_from_args()
+    };
+    let mut kernels = kernels(scale);
+    let core_counts: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4, 8] };
+    if smoke {
+        kernels.truncate(2);
+    }
+
+    let rows = backside_sweep_parallel(&kernels, core_counts, SysMode::HybridCoherent)
+        .expect("backside sweep failed");
+
+    println!("BACKSIDE: row-buffer locality and L3 bank contention ({scale:?} scale)");
+    println!("(hybrid-coherent machine, default banked L3 + row-aware DRAM controller)");
+    println!();
+    let t = Table::new(&[6, 5, 10, 8, 9, 9, 9, 9, 10, 8]);
+    t.row(
+        &[
+            "kernel", "cores", "makespan", "rowhit%", "rhits", "rmisses", "rconfl", "bankcfl",
+            "buswait", "qstall",
+        ]
+        .map(String::from),
+    );
+    t.sep();
+    for r in &rows {
+        t.row(&[
+            r.kernel.clone(),
+            format!("{}", r.cores),
+            format!("{}", r.makespan),
+            format!("{:.1}", r.dram_row_hit_rate),
+            format!("{}", r.dram_row_hits),
+            format!("{}", r.dram_row_misses),
+            format!("{}", r.dram_row_conflicts),
+            format!("{}", r.bank_conflicts),
+            format!("{}", r.bus_wait_cycles),
+            format!("{}", r.dram_queue_stalls),
+        ]);
+    }
+    println!();
+
+    // Sanity the sweep is expected to show: locality and contention must
+    // actually vary across the grid, or the model has gone flat.
+    let rates: Vec<f64> = rows.iter().map(|r| r.dram_row_hit_rate).collect();
+    let varies = rates.iter().any(|&r| r != rates[0]);
+    println!(
+        "row-hit rate {} across the grid; total bank conflicts {}",
+        if varies { "varies" } else { "is constant" },
+        rows.iter().map(|r| r.bank_conflicts).sum::<u64>(),
+    );
+    assert!(
+        varies || rows.len() < 2,
+        "row-hit rate must vary across kernels/core counts"
+    );
+
+    let json = render_json(scale, &rows);
+    std::fs::write("BENCH_backside.json", &json).expect("write BENCH_backside.json");
+    println!("wrote BENCH_backside.json ({} rows)", rows.len());
+}
+
+/// Hand-rendered JSON (no serde in the offline tree).
+fn render_json(scale: Scale, rows: &[hsim::BacksideSweepRow]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"scale\": \"{scale:?}\",\n"));
+    out.push_str("  \"mode\": \"HybridCoherent\",\n");
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"kernel\": \"{}\", \"cores\": {}, \"makespan\": {}, \
+             \"dram_row_hits\": {}, \"dram_row_misses\": {}, \
+             \"dram_row_conflicts\": {}, \"dram_row_hit_rate\": {:.2}, \
+             \"bank_conflicts\": {}, \"bus_wait_cycles\": {}, \
+             \"dram_queue_stalls\": {}}}{}\n",
+            r.kernel,
+            r.cores,
+            r.makespan,
+            r.dram_row_hits,
+            r.dram_row_misses,
+            r.dram_row_conflicts,
+            r.dram_row_hit_rate,
+            r.bank_conflicts,
+            r.bus_wait_cycles,
+            r.dram_queue_stalls,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

@@ -12,6 +12,8 @@
 //! | `fig9`   | Figure 9 — execution-time reduction vs cache-based |
 //! | `fig10`  | Figure 10 — energy reduction vs cache-based |
 //! | `ablate` | design-choice ablations (store collapsing, directory latency, prefetcher table, DMA pipelining) |
+//! | `simspeed` | host-speed benchmark of the event-horizon cycle skipper (`BENCH_simspeed.json`) |
+//! | `backside` | DRAM row-hit rate and L3 bank contention per kernel × core count (`BENCH_backside.json`; `--smoke` runs the CI guard grid) |
 //!
 //! Every binary accepts `--test-scale` to run the small workloads (CI),
 //! and prints the paper-reported values next to the measured ones.

@@ -335,10 +335,19 @@ pub enum ShardError {
     /// An array is indexed both by the loop variable (so its elements
     /// belong to iteration slices) and in an iteration-independent way
     /// (scalar access or as an indirection target), so no slicing can
-    /// keep both views consistent.
+    /// keep both views consistent. Carries the offending array's name
+    /// and one rendered example of each conflicting index expression so
+    /// the message points at the exact references to fix.
     MixedIndexing {
         /// The offending array.
         array: ArrayId,
+        /// Its name.
+        name: String,
+        /// An iteration-indexed reference to it, e.g. `a[i + 2]`.
+        iter_ref: String,
+        /// An iteration-independent reference to it, e.g. `a[idx[i]]`
+        /// or `a[3]`.
+        fixed_ref: String,
     },
 }
 
@@ -358,11 +367,18 @@ impl std::fmt::Display for ShardError {
                     "cannot split {iterations} iterations into {shards} shards"
                 )
             }
-            ShardError::MixedIndexing { array } => {
+            ShardError::MixedIndexing {
+                name,
+                iter_ref,
+                fixed_ref,
+                ..
+            } => {
                 write!(
                     f,
-                    "array {array} is indexed both by the loop variable and \
-                     iteration-independently; no consistent slicing exists"
+                    "array \"{name}\" cannot be sharded: it is indexed by the \
+                     loop variable as {iter_ref} but also \
+                     iteration-independently as {fixed_ref}; slicing it breaks \
+                     the second view and replicating it whole breaks the first"
                 )
             }
         }
@@ -372,6 +388,28 @@ impl std::fmt::Display for ShardError {
 impl std::error::Error for ShardError {}
 
 impl Kernel {
+    /// Renders a reference as source-like text (`a[i + 2]`, `a[3]`,
+    /// `a[idx[i]]`) for error messages. `l` is the loop holding the
+    /// reference; only indirect indexes consult it (to resolve the
+    /// index-producing reference).
+    fn render_ref(&self, r: &MemRef, l: &LoopNest) -> String {
+        let name = &self.arrays[r.array].name;
+        match r.index {
+            Index::Affine { scale: 0, offset } => format!("{name}[{offset}]"),
+            Index::Affine { offset: 0, .. } => format!("{name}[i]"),
+            Index::Affine { offset, .. } if offset < 0 => format!("{name}[i - {}]", -offset),
+            Index::Affine { offset, .. } => format!("{name}[i + {offset}]"),
+            Index::Indirect { idx_ref, offset } => {
+                let inner = self.render_ref(&l.refs[idx_ref], l);
+                match offset {
+                    0 => format!("{name}[{inner}]"),
+                    o if o < 0 => format!("{name}[{inner} - {}]", -o),
+                    o => format!("{name}[{inner} + {o}]"),
+                }
+            }
+        }
+    }
+
     /// Splits the kernel into `n` disjoint iteration slices — the
     /// paper's multicore evaluation model, where each core runs the same
     /// loop nest over its private share of the data (§3: the protocol
@@ -411,27 +449,40 @@ impl Kernel {
 
         // Classify every array: iteration-indexed (sliced, tracking the
         // widest offset as its halo) and/or iteration-independent
-        // (replicated whole). Both at once is unshardable.
+        // (replicated whole). Both at once is unshardable; one example
+        // reference per view is remembered so the rejection can name
+        // the exact expressions in conflict.
         let mut iter_halo: Vec<Option<u64>> = vec![None; self.arrays.len()];
-        let mut fixed = vec![false; self.arrays.len()];
-        for l in &self.loops {
+        let mut iter_site: Vec<Option<MemRef>> = vec![None; self.arrays.len()];
+        let mut fixed_site: Vec<Option<(usize, MemRef)>> = vec![None; self.arrays.len()];
+        for (li, l) in self.loops.iter().enumerate() {
             for r in &l.refs {
                 match r.index {
                     Index::Affine { scale: 1, offset } => {
                         // `validate()` guarantees offset >= 0 here.
                         let halo = iter_halo[r.array].get_or_insert(0);
                         *halo = (*halo).max(offset as u64);
+                        iter_site[r.array].get_or_insert(*r);
                     }
-                    Index::Affine { .. } => fixed[r.array] = true,
-                    Index::Indirect { .. } => fixed[r.array] = true,
+                    Index::Affine { .. } | Index::Indirect { .. } => {
+                        fixed_site[r.array].get_or_insert((li, *r));
+                    }
                 }
             }
             // Indirection *index* streams are the referencing side; the
-            // target array was already marked `fixed` above.
+            // target array was already marked fixed above.
         }
         for (array, halo) in iter_halo.iter().enumerate() {
-            if halo.is_some() && fixed[array] {
-                return Err(ShardError::MixedIndexing { array });
+            if halo.is_some() {
+                if let Some((li, fixed)) = &fixed_site[array] {
+                    let iter = iter_site[array].expect("halo implies an iteration-indexed ref");
+                    return Err(ShardError::MixedIndexing {
+                        array,
+                        name: self.arrays[array].name.clone(),
+                        iter_ref: self.render_ref(&iter, &self.loops[*li]),
+                        fixed_ref: self.render_ref(fixed, &self.loops[*li]),
+                    });
+                }
             }
         }
 
@@ -840,14 +891,53 @@ mod tests {
         kb.stmt(ra, Expr::add(Expr::Ref(ra), Expr::Ref(rg)));
         kb.end_loop();
         let k = kb.build().unwrap();
-        assert_eq!(
-            k.shard(2).unwrap_err(),
-            ShardError::MixedIndexing { array: a }
-        );
+        let err = k.shard(2).unwrap_err();
+        match &err {
+            ShardError::MixedIndexing { array, .. } => assert_eq!(*array, a),
+            other => panic!("wrong error: {other:?}"),
+        }
         assert!(
             k.shard(1).is_err(),
             "even one shard needs consistent indexing"
         );
+    }
+
+    #[test]
+    fn mixed_indexing_message_names_array_and_both_expressions() {
+        // A stream `vals[i + 1]` gathered into through `vals[idx[i]]`:
+        // the rejection must spell out the array name and both index
+        // expressions, not just "unshardable".
+        let mut kb = KernelBuilder::new("K");
+        let vals = kb.array_i64_init("vals", &(0..9).collect::<Vec<i64>>());
+        let idx = kb.array_i64_init("idx", &[0, 1, 2, 3, 4, 5, 6, 7]);
+        kb.begin_loop(8);
+        let rv = kb.ref_affine(vals, 1, 1);
+        let ridx = kb.ref_affine(idx, 1, 0);
+        let rg = kb.ref_indirect(vals, ridx, 0);
+        kb.stmt(rv, Expr::add(Expr::Ref(rv), Expr::Ref(rg)));
+        kb.end_loop();
+        let k = kb.build().unwrap();
+        let err = k.shard(2).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("\"vals\""), "must name the array: {msg}");
+        assert!(
+            msg.contains("vals[i + 1]"),
+            "must show the iteration-indexed expression: {msg}"
+        );
+        assert!(
+            msg.contains("vals[idx[i]]"),
+            "must show the iteration-independent expression: {msg}"
+        );
+        // Scalar (fixed-offset) conflicts render as plain subscripts.
+        let mut kb = KernelBuilder::new("K2");
+        let s = kb.array_i64_init("s", &[1, 2, 3, 4]);
+        kb.begin_loop(4);
+        let r0 = kb.ref_affine(s, 1, 0);
+        let rs = kb.ref_affine(s, 0, 3);
+        kb.stmt(r0, Expr::add(Expr::Ref(r0), Expr::Ref(rs)));
+        kb.end_loop();
+        let msg = kb.build().unwrap().shard(2).unwrap_err().to_string();
+        assert!(msg.contains("s[i]") && msg.contains("s[3]"), "{msg}");
     }
 
     #[test]

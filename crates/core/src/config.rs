@@ -1,4 +1,14 @@
 //! Core configuration (Table 1 of the paper).
+//!
+//! The uncore knobs a machine configuration combines with [`CoreConfig`]
+//! are re-exported here for discoverability: [`L3Geometry`] (banking of
+//! the shared last-level cache) and [`DramTiming`] (row-buffer timing of
+//! the memory channel). Their defaults decompose the historical flat
+//! DRAM latency, so a cold access costs the same either way; the
+//! `flat_dram` escape hatch in `hsim_mem::DramConfig` restores the
+//! pre-banking backside bit for bit.
+
+pub use hsim_mem::{DramTiming, L3Geometry};
 
 /// Configuration of the out-of-order core.
 #[derive(Clone, Debug)]

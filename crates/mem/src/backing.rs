@@ -1,17 +1,42 @@
-//! Functional backing store: a sparse, paged 64-bit address space.
+//! Everything behind the last-level cache: the functional backing store
+//! and the DRAM channel's timing model.
 //!
-//! Every byte of architectural state (data segment, local-memory window,
-//! DMA buffers) lives here. The cache hierarchy and local memory are pure
-//! *timing* models layered on top, so functional correctness is independent
-//! of timing bugs — which in turn lets the test suite check the coherence
-//! protocol end to end by comparing final memory images across machine
-//! configurations.
+//! Two independent concerns live here, deliberately side by side:
 //!
-//! Pages are 4 KiB and allocated on first touch. A one-entry translation
-//! cache makes the common sequential-access pattern cheap.
+//! * [`PagedMem`] — the **functional** sparse, paged 64-bit address
+//!   space. Every byte of architectural state (data segment, local-memory
+//!   window, DMA buffers) lives here. The cache hierarchy and local
+//!   memory are pure *timing* models layered on top, so functional
+//!   correctness is independent of timing bugs — which in turn lets the
+//!   test suite check the coherence protocol end to end by comparing
+//!   final memory images across machine configurations. Pages are 4 KiB
+//!   and allocated on first touch; a one-entry translation cache makes
+//!   the common sequential-access pattern cheap.
+//! * [`DramController`] — the **timing** model of the memory channel the
+//!   shared backside reads and writes through: per-DRAM-bank row buffers
+//!   with an open-row policy (row hit / row miss / row conflict
+//!   latencies), a bounded posted-write queue drained hit-first
+//!   (FR-FCFS-style), and a flat-latency escape hatch
+//!   ([`DramConfig::flat_dram`]) that reproduces the pre-banking model
+//!   bit for bit.
+//!
+//! ## Invariants
+//!
+//! * **Stat partitioning** — [`DramController`] increments each
+//!   [`DramStats`] counter exactly once per event and reports the
+//!   affected requester to its caller ([`RowOutcome`], the drained-write
+//!   owner), so the shared backside can mirror every increment into
+//!   exactly one per-core share; summing per-core shares always
+//!   reproduces the channel totals.
+//! * **Horizon monotonicity** — [`DramController::next_event_after`]
+//!   returns the earliest cycle strictly after `now` at which channel or
+//!   bank occupancy changes. All controller state changes happen
+//!   synchronously inside `read`/`write_posted` calls, so between calls
+//!   the horizon can only move forward: the event-horizon cycle skipper
+//!   may sleep until it without missing a state change.
 
 use std::cell::Cell;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 const PAGE_SHIFT: u32 = 12;
 const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
@@ -222,6 +247,339 @@ impl PagedMem {
     }
 }
 
+// --------------------------------------------------------------------
+// DRAM channel timing
+// --------------------------------------------------------------------
+
+/// Row-buffer timing of the DRAM devices behind one channel.
+///
+/// The defaults decompose the historical flat 200-cycle access
+/// (`t_rcd + t_cas = 200`), so a cold access to a closed row costs
+/// exactly what the flat model charged — the seed figures shift only
+/// where row locality or bank conflicts actually occur.
+#[derive(Clone, Debug)]
+pub struct DramTiming {
+    /// Activate (row open) latency: RAS-to-CAS delay in cycles.
+    pub t_rcd: u64,
+    /// Precharge (row close) latency in cycles.
+    pub t_rp: u64,
+    /// Column access latency in cycles — the cost of a row-buffer hit.
+    pub t_cas: u64,
+    /// Row-buffer size in bytes. Consecutive lines within one row hit
+    /// the open row.
+    pub row_bytes: u64,
+    /// Number of DRAM banks on the channel (power of two). Rows
+    /// interleave across banks, so streaming accesses rotate banks at
+    /// row boundaries.
+    pub banks: usize,
+    /// Posted-write queue depth. A write posted to a full queue forces
+    /// the controller to drain one queued write first (hit-first, then
+    /// oldest), occupying the channel.
+    pub queue_depth: usize,
+}
+
+impl Default for DramTiming {
+    fn default() -> Self {
+        DramTiming {
+            t_rcd: 120,
+            t_rp: 60,
+            t_cas: 80,
+            row_bytes: 2048,
+            banks: 16,
+            queue_depth: 8,
+        }
+    }
+}
+
+/// DRAM channel configuration.
+#[derive(Clone, Debug)]
+pub struct DramConfig {
+    /// Flat access latency in cycles, used only when `flat_dram` is set.
+    pub latency: u64,
+    /// Minimum gap between line transfers on the channel (bandwidth).
+    pub gap: u64,
+    /// Escape hatch: model the channel as a fixed-latency pipe with no
+    /// row or bank state, reproducing the pre-banking backside bit for
+    /// bit (`MachineConfig::with_flat_backside` sets this together with
+    /// a single L3 bank).
+    pub flat_dram: bool,
+    /// Row-buffer timing (ignored when `flat_dram` is set).
+    pub timing: DramTiming,
+}
+
+impl Default for DramConfig {
+    fn default() -> Self {
+        DramConfig {
+            latency: 200,
+            gap: 12,
+            flat_dram: false,
+            timing: DramTiming::default(),
+        }
+    }
+}
+
+/// DRAM channel statistics. Per-core shares of these live in the shared
+/// backside's `BacksideCoreStats` and partition the channel totals
+/// exactly.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DramStats {
+    /// Line reads.
+    pub reads: u64,
+    /// Line writes (posted).
+    pub writes: u64,
+    /// Accesses that hit the open row of their bank (`t_cas`).
+    pub row_hits: u64,
+    /// Accesses to a bank with no open row (`t_rcd + t_cas`).
+    pub row_misses: u64,
+    /// Accesses that closed another open row first
+    /// (`t_rp + t_rcd + t_cas`).
+    pub row_conflicts: u64,
+    /// Write posts that found the queue full and forced a drain.
+    pub queue_stalls: u64,
+}
+
+impl DramStats {
+    /// Row-classified accesses (reads plus drained writes).
+    pub fn row_accesses(&self) -> u64 {
+        self.row_hits + self.row_misses + self.row_conflicts
+    }
+
+    /// Row-buffer hit rate in percent over classified accesses (100.0
+    /// when there were none, e.g. under `flat_dram`).
+    pub fn row_hit_rate(&self) -> f64 {
+        let n = self.row_accesses();
+        if n == 0 {
+            return 100.0;
+        }
+        100.0 * self.row_hits as f64 / n as f64
+    }
+}
+
+/// How an access met its bank's row buffer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RowOutcome {
+    /// The target row was open: column access only.
+    Hit,
+    /// No row was open: activate, then column access.
+    Miss,
+    /// A different row was open: precharge, activate, column access.
+    Conflict,
+}
+
+/// One write sitting in the posted-write queue.
+#[derive(Clone, Copy, Debug)]
+struct QueuedWrite {
+    bank: usize,
+    row: u64,
+    /// Core that posted the write (stat attribution at drain time).
+    core: usize,
+}
+
+/// The DRAM memory controller of one channel.
+///
+/// **Timing model.** Line addresses map to (bank, row) by interleaving
+/// consecutive rows across banks. Each bank keeps an open row; an access
+/// pays `t_cas` (row hit), `t_rcd + t_cas` (row closed) or
+/// `t_rp + t_rcd + t_cas` (row conflict), starts no earlier than both
+/// the channel (`gap`-spaced bursts) and its bank are free, and leaves
+/// its row open (open-row policy). Reads return their full latency to
+/// the caller at issue; posted writes park in a bounded queue and touch
+/// the channel only when a full queue forces a drain — the drain picks a
+/// queued write hitting an open row first, else the oldest
+/// (FR-FCFS-style hit-first scheduling over the reorderable traffic;
+/// read latencies are returned synchronously at issue, so reads
+/// themselves serve in arrival order with priority over queued writes).
+///
+/// With [`DramConfig::flat_dram`] set, the controller is a fixed-latency
+/// `gap`-spaced pipe with no row, bank or queue state — bit-identical to
+/// the pre-banking model.
+pub struct DramController {
+    cfg: DramConfig,
+    /// Finite-queue horizon: the furthest beyond `now` a request can be
+    /// made to wait (`queue_depth` worst-case services). A real
+    /// controller's bounded queue back-pressures producers; a
+    /// synchronous call-return model cannot delay its callers'
+    /// *issuing*, so sustained overload saturates each request's
+    /// visible wait at one full queue drain instead of compounding
+    /// without bound (the slow responses then stall the requesting
+    /// core's ROB, which is the real feedback loop).
+    backlog_window: u64,
+    /// When the channel can start the next burst.
+    busy_until: u64,
+    /// Per-bank completion time of the last access.
+    bank_busy: Vec<u64>,
+    /// Per-bank open row.
+    open_rows: Vec<Option<u64>>,
+    /// Posted writes not yet drained.
+    queue: VecDeque<QueuedWrite>,
+    /// Channel totals (per-core shares are kept by the caller).
+    pub stats: DramStats,
+}
+
+impl DramController {
+    /// Builds an idle controller.
+    pub fn new(cfg: DramConfig) -> Self {
+        assert!(
+            cfg.timing.banks.is_power_of_two(),
+            "DRAM bank count must be a power of two"
+        );
+        assert!(cfg.timing.row_bytes > 0, "row size must be positive");
+        assert!(cfg.timing.queue_depth > 0, "write queue needs a slot");
+        let banks = cfg.timing.banks;
+        let t = &cfg.timing;
+        let worst_service = cfg.gap + t.t_rp + t.t_rcd + t.t_cas;
+        DramController {
+            backlog_window: t.queue_depth as u64 * worst_service,
+            busy_until: 0,
+            bank_busy: vec![0; banks],
+            open_rows: vec![None; banks],
+            queue: VecDeque::with_capacity(cfg.timing.queue_depth),
+            stats: DramStats::default(),
+            cfg,
+        }
+    }
+
+    /// Maps a line address to its (bank, row) pair.
+    ///
+    /// The bank index is a multiplicative (Fibonacci) hash of the row
+    /// id rather than its low bits: plain modulo interleaving sends
+    /// equally-aligned arrays — and every core's identically-laid-out
+    /// shard — to the *same* bank, where two active rows ping-pong at
+    /// the row-conflict latency. Hashing permutes rows across banks the
+    /// way real controllers' permutation-based interleaving (and
+    /// scattered physical frame allocation) does, so independent
+    /// streams keep their row locality instead of serializing on one
+    /// bank. The row identity is the full row id, so distinct rows
+    /// never alias within a bank.
+    #[inline]
+    fn map(&self, line_addr: u64) -> (usize, u64) {
+        let row_id = line_addr / self.cfg.timing.row_bytes;
+        let bank_bits = self.cfg.timing.banks.trailing_zeros();
+        let bank = if bank_bits == 0 {
+            0
+        } else {
+            (row_id.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> (64 - bank_bits)) as usize
+        };
+        (bank, row_id)
+    }
+
+    /// Classifies an access against its bank's row buffer and returns
+    /// the access latency beyond the start cycle.
+    #[inline]
+    fn classify(&self, bank: usize, row: u64) -> (RowOutcome, u64) {
+        let t = &self.cfg.timing;
+        match self.open_rows[bank] {
+            Some(open) if open == row => (RowOutcome::Hit, t.t_cas),
+            Some(_) => (RowOutcome::Conflict, t.t_rp + t.t_rcd + t.t_cas),
+            None => (RowOutcome::Miss, t.t_rcd + t.t_cas),
+        }
+    }
+
+    /// Occupies the channel and the bank for one access starting no
+    /// earlier than `now`; returns (start cycle, row outcome, latency).
+    /// Waits behind the channel and the bank are capped at the
+    /// finite-queue horizon (see `backlog_window`).
+    fn schedule(&mut self, now: u64, bank: usize, row: u64) -> (u64, RowOutcome, u64) {
+        let horizon = now + self.backlog_window;
+        let start = now
+            .max(self.busy_until.min(horizon))
+            .max(self.bank_busy[bank].min(horizon));
+        let (outcome, lat) = self.classify(bank, row);
+        match outcome {
+            RowOutcome::Hit => self.stats.row_hits += 1,
+            RowOutcome::Miss => self.stats.row_misses += 1,
+            RowOutcome::Conflict => self.stats.row_conflicts += 1,
+        }
+        self.open_rows[bank] = Some(row);
+        self.busy_until = start + self.cfg.gap;
+        // The bank is occupied by its *commands* (precharge/activate);
+        // the column access overlaps the data burst, which occupies the
+        // channel instead — so back-to-back hits to one open row stream
+        // at channel rate, while the requester still sees the full
+        // access latency.
+        self.bank_busy[bank] = start + (lat - self.cfg.timing.t_cas).max(self.cfg.gap);
+        (start, outcome, lat)
+    }
+
+    /// A line read issued at cycle `now`. Returns the latency beyond
+    /// `now` (wait plus access) and, in row mode, how the access met the
+    /// row buffer — the caller mirrors that into the requesting core's
+    /// stat share.
+    pub fn read(&mut self, now: u64, line_addr: u64) -> (u64, Option<RowOutcome>) {
+        self.stats.reads += 1;
+        if self.cfg.flat_dram {
+            let start = now.max(self.busy_until);
+            self.busy_until = start + self.cfg.gap;
+            return ((start - now) + self.cfg.latency, None);
+        }
+        let (bank, row) = self.map(line_addr);
+        let (start, outcome, lat) = self.schedule(now, bank, row);
+        ((start - now) + lat, Some(outcome))
+    }
+
+    /// Posts a line write at cycle `now`. The write is counted
+    /// immediately; in row mode it parks in the bounded queue, and when
+    /// the queue is full one queued write is drained first — hit-first
+    /// over the open rows, else the oldest. Returns the drained write's
+    /// (posting core, row outcome) when a drain happened, so the caller
+    /// can mirror the stall to `core` and the row outcome to the drained
+    /// write's owner.
+    pub fn write_posted(
+        &mut self,
+        now: u64,
+        line_addr: u64,
+        core: usize,
+    ) -> Option<(usize, RowOutcome)> {
+        self.stats.writes += 1;
+        if self.cfg.flat_dram {
+            let start = now.max(self.busy_until);
+            self.busy_until = start + self.cfg.gap;
+            return None;
+        }
+        let (bank, row) = self.map(line_addr);
+        let drained = if self.queue.len() >= self.cfg.timing.queue_depth {
+            self.stats.queue_stalls += 1;
+            // FR-FCFS hit-first: drain a write whose row is open, else
+            // the oldest.
+            let pick = self
+                .queue
+                .iter()
+                .position(|w| self.open_rows[w.bank] == Some(w.row))
+                .unwrap_or(0);
+            let w = self.queue.remove(pick).expect("queue is non-empty");
+            let (_, outcome, _) = self.schedule(now, w.bank, w.row);
+            Some((w.core, outcome))
+        } else {
+            None
+        };
+        self.queue.push_back(QueuedWrite { bank, row, core });
+        drained
+    }
+
+    /// Writes parked in the posted-write queue (drained lazily; they
+    /// never block program completion).
+    pub fn queued_writes(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The earliest cycle strictly after `now` at which the channel or a
+    /// bank frees up, if any — the controller's contribution to the
+    /// memory-side event horizon. Queued writes generate no autonomous
+    /// events (they drain inside `write_posted` calls), so this is the
+    /// complete set of future state-change times.
+    pub fn next_event_after(&self, now: u64) -> Option<u64> {
+        let banks = if self.cfg.flat_dram {
+            &[]
+        } else {
+            self.bank_busy.as_slice()
+        };
+        std::iter::once(self.busy_until)
+            .chain(banks.iter().copied())
+            .filter(|&t| t > now)
+            .min()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -338,5 +696,121 @@ mod tests {
         assert_eq!(a.checksum(0x100, 64), b.checksum(0x100, 64));
         b.write_u8(0x120, 9);
         assert_ne!(a.checksum(0x100, 64), b.checksum(0x100, 64));
+    }
+
+    // ------------------------------------------------- DRAM controller
+
+    fn dram() -> DramController {
+        DramController::new(DramConfig::default())
+    }
+
+    #[test]
+    fn first_access_to_a_closed_row_costs_the_flat_latency() {
+        // The defaults decompose the historical flat 200 cycles:
+        // t_rcd + t_cas = 200.
+        let mut d = dram();
+        let (lat, outcome) = d.read(0, 0);
+        assert_eq!(lat, 200);
+        assert_eq!(outcome, Some(RowOutcome::Miss));
+    }
+
+    #[test]
+    fn same_row_second_access_pays_the_row_hit_latency() {
+        let mut d = dram();
+        let (first, _) = d.read(0, 0);
+        // Next line in the same 2 KiB row, issued after the bank freed.
+        let (second, outcome) = d.read(first, 64);
+        assert_eq!(outcome, Some(RowOutcome::Hit));
+        assert_eq!(second, 80, "row hit must cost t_cas only");
+        assert_eq!(d.stats.row_hits, 1);
+        assert_eq!(d.stats.row_misses, 1);
+    }
+
+    /// First row id whose bank relation to row 0 matches `same`.
+    fn row_with_bank(d: &DramController, same: bool) -> u64 {
+        let t = &d.cfg.timing;
+        let bank0 = d.map(0).0;
+        (1..1024)
+            .find(|&r| (d.map(r * t.row_bytes).0 == bank0) == same)
+            .expect("hashed interleave must produce both cases")
+    }
+
+    #[test]
+    fn same_bank_different_row_conflicts_and_serializes() {
+        let mut d = dram();
+        d.read(0, 0); // opens row 0 of its bank; bank busy until 200
+        let t = DramTiming::default();
+        let other = row_with_bank(&d, true) * t.row_bytes;
+        let (lat, outcome) = d.read(0, other);
+        assert_eq!(outcome, Some(RowOutcome::Conflict));
+        // Serializes behind the first access's bank commands (its
+        // activate: t_rcd) then pays precharge + activate + column.
+        assert_eq!(lat, t.t_rcd + t.t_rp + t.t_rcd + t.t_cas);
+        assert_eq!(d.stats.row_conflicts, 1);
+    }
+
+    #[test]
+    fn different_banks_overlap_on_the_channel() {
+        let mut d = dram();
+        d.read(0, 0);
+        let t = DramTiming::default();
+        let other = row_with_bank(&d, false) * t.row_bytes;
+        let (lat, outcome) = d.read(0, other);
+        assert_eq!(outcome, Some(RowOutcome::Miss));
+        // Only the channel gap separates them, not the full access.
+        assert_eq!(lat, d.cfg.gap + t.t_rcd + t.t_cas);
+    }
+
+    #[test]
+    fn full_write_queue_drains_hit_first() {
+        let mut d = dram();
+        let t = DramTiming::default();
+        // Open row 0 of its bank.
+        d.read(0, 0);
+        // Fill the queue: depth-1 writes to a different row first, then
+        // one write to the open row LAST — FCFS alone would never pick
+        // it.
+        let other = row_with_bank(&d, true) * t.row_bytes;
+        for _ in 1..t.queue_depth {
+            assert_eq!(d.write_posted(300, other, 1), None);
+        }
+        assert_eq!(d.write_posted(300, 0, 0), None);
+        assert_eq!(d.queued_writes(), t.queue_depth);
+        // The next post forces a drain: FR-FCFS must pick the
+        // row-hitting write (owner core 0) from the back of the queue.
+        let drained = d.write_posted(400, 8 * t.row_bytes, 1);
+        let (owner, outcome) = drained.expect("full queue must drain");
+        assert_eq!(owner, 0, "hit-first must pick the open-row write");
+        assert_eq!(outcome, RowOutcome::Hit);
+        assert_eq!(d.stats.queue_stalls, 1);
+        assert_eq!(d.queued_writes(), t.queue_depth);
+    }
+
+    #[test]
+    fn flat_dram_has_no_row_state() {
+        let mut d = DramController::new(DramConfig {
+            flat_dram: true,
+            ..DramConfig::default()
+        });
+        let (a, oa) = d.read(0, 0);
+        assert_eq!((a, oa), (200, None));
+        // Same row again: still the flat latency plus the channel gap.
+        let (b, ob) = d.read(0, 64);
+        assert_eq!((b, ob), (12 + 200, None));
+        assert_eq!(d.write_posted(0, 0, 0), None);
+        assert_eq!(d.stats.row_accesses(), 0);
+        assert_eq!(d.stats.row_hit_rate(), 100.0);
+    }
+
+    #[test]
+    fn dram_horizon_reports_channel_and_bank_frees() {
+        let mut d = dram();
+        let t = DramTiming::default();
+        assert_eq!(d.next_event_after(0), None);
+        // Channel busy for the gap; the bank for its activate (t_rcd).
+        d.read(0, 0);
+        assert_eq!(d.next_event_after(0), Some(12));
+        assert_eq!(d.next_event_after(12), Some(t.t_rcd));
+        assert_eq!(d.next_event_after(t.t_rcd), None);
     }
 }

@@ -15,6 +15,22 @@
 //! command as soon as the previous one finishes streaming, so the
 //! first-data latencies of back-to-back transfers overlap — the behavior
 //! of a command-queue DMA engine like the Cell's MFC.
+//!
+//! ## Invariants
+//!
+//! * **Horizon monotonicity** — [`Dmac::next_event_after`] reports the
+//!   earliest engine-free or tag-landing event strictly after `now`.
+//!   All engine state changes happen synchronously inside
+//!   `issue`/`synch` calls, so between calls the horizon only moves
+//!   forward; the event-horizon cycle skipper sleeps until it (a
+//!   `dma-synch` wake-up is exactly such an event).
+//! * **Channel accounting stays with the backside** — the DMAC times
+//!   its own streaming; the DRAM *line counts* its transfers move are
+//!   attributed per core by the shared backside (`note_dram_read` /
+//!   `note_dram_write`), so DMA traffic partitions the channel totals
+//!   like demand traffic does. DMA lines are deliberately not
+//!   row-classified: block transfers stream whole rows, and their
+//!   bandwidth cost is already modeled here.
 
 /// DMA transfer direction.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

@@ -19,13 +19,35 @@
 //! more per-core [`MemSystem`] tiles share (the paper's §3 multicore
 //! integration: everything above the L3 — and the whole LM/directory
 //! apparatus — is strictly per core, while the last-level cache and
-//! memory channel are chip-wide resources). The backside arbitrates a
-//! single L3 port, attributes every access to the requesting core, and
-//! keeps per-core contention statistics (bus waits, DRAM traffic).
-//! Single-core systems embed a private one-core backside, preserving the
-//! original behavior.
+//! memory channel are chip-wide resources). The backside is **banked**:
+//! the shared L3 is a vector of address-interleaved banks, each with its
+//! own arbitrated port, in front of one [`DramController`] with
+//! per-DRAM-bank row buffers and a posted-write queue. Requests to different L3 banks
+//! proceed in parallel; requests to one bank serialize on its port in
+//! the rotating round-robin order the machine ticks cores in. The
+//! single-port, flat-DRAM model of earlier revisions is preserved bit
+//! for bit by `L3Geometry { banks: 1 }` + [`DramConfig::flat_dram`]
+//! (`MachineConfig::with_flat_backside`). Single-core systems embed a
+//! private one-core backside.
+//!
+//! ## Invariants
+//!
+//! * **Exact stat partitioning** — every counter the backside increments
+//!   (L3 bank activity, DRAM lines and row outcomes, bus waits, bank
+//!   conflicts, queue stalls) is attributed to exactly one core's
+//!   [`BacksideCoreStats`]; summing per-core shares always reproduces
+//!   the aggregate `l3_total_stats()` / `dram_total_stats()`. Tests pin
+//!   this for every counter.
+//! * **Horizon monotonicity** — [`SharedBackside::next_event_after`]
+//!   covers *every* backside resource that can free up in the future
+//!   (all L3 bank ports, the DRAM channel, every DRAM bank). Backside
+//!   state changes only inside access calls made by ticking cores, so
+//!   between calls the horizon only moves forward and the event-horizon
+//!   scheduler can bulk-advance to it without missing an
+//!   arbitration-relevant event.
 
-use crate::cache::{AccessKind, Cache, CacheConfig, CacheStats, WritePolicy};
+use crate::backing::{DramConfig, DramController, DramStats, RowOutcome};
+use crate::cache::{AccessKind, Cache, CacheConfig, CacheStats, Evicted, WritePolicy};
 use crate::dma::{DmaConfig, DmaOp, Dmac};
 use crate::lm::{LmConfig, LocalMem};
 use crate::mshr::{MshrFile, MshrOutcome};
@@ -74,51 +96,20 @@ pub struct AccessResponse {
     pub tlb_penalty: u64,
 }
 
-/// DRAM timing configuration.
+/// Geometry of the banked shared L3: the array is split into
+/// address-interleaved banks (consecutive line addresses rotate through
+/// them), each with its own arbitrated port of `l3_port_gap` occupancy.
 #[derive(Clone, Debug)]
-pub struct DramConfig {
-    /// Access latency in cycles.
-    pub latency: u64,
-    /// Minimum gap between line transfers on the channel (bandwidth).
-    pub gap: u64,
+pub struct L3Geometry {
+    /// Number of banks (power of two, dividing the set count). 1
+    /// reproduces the single-ported monolithic L3 of earlier revisions
+    /// exactly.
+    pub banks: usize,
 }
 
-impl Default for DramConfig {
+impl Default for L3Geometry {
     fn default() -> Self {
-        DramConfig {
-            latency: 200,
-            gap: 12,
-        }
-    }
-}
-
-/// DRAM statistics.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct DramStats {
-    /// Line reads.
-    pub reads: u64,
-    /// Line writes (posted).
-    pub writes: u64,
-}
-
-struct Dram {
-    cfg: DramConfig,
-    busy_until: u64,
-    stats: DramStats,
-}
-
-impl Dram {
-    fn read(&mut self, now: u64) -> u64 {
-        self.stats.reads += 1;
-        let start = now.max(self.busy_until);
-        self.busy_until = start + self.cfg.gap;
-        (start - now) + self.cfg.latency
-    }
-
-    fn write_posted(&mut self, now: u64) {
-        self.stats.writes += 1;
-        let start = now.max(self.busy_until);
-        self.busy_until = start + self.cfg.gap;
+        L3Geometry { banks: 8 }
     }
 }
 
@@ -133,6 +124,8 @@ pub struct MemConfig {
     pub l2: CacheConfig,
     /// Unified L3 (shared across cores in a multi-core machine).
     pub l3: CacheConfig,
+    /// Banking of the shared L3.
+    pub l3_geometry: L3Geometry,
     /// Number of L1D MSHR entries.
     pub mshr_entries: usize,
     /// Prefetcher configuration.
@@ -191,6 +184,7 @@ impl MemConfig {
                 latency: 40,
                 write_policy: WritePolicy::WriteBack,
             },
+            l3_geometry: L3Geometry::default(),
             mshr_entries: 48,
             prefetch: PrefetchConfig::default(),
             tlb: TlbConfig::default(),
@@ -223,9 +217,13 @@ pub struct BacksideCoreStats {
     pub dram: DramStats,
     /// Arbitrated backside requests issued by this core.
     pub bus_requests: u64,
-    /// Cycles this core's requests spent waiting for the L3 port
+    /// Cycles this core's requests spent waiting for their L3 bank port
     /// (0 whenever the machine is uncontended or `l3_port_gap` is 0).
     pub bus_wait_cycles: u64,
+    /// Requests that found their L3 bank's port busy — the bank-level
+    /// contention signal (a strict subset of `bus_requests`, and 0 when
+    /// `l3_port_gap` is 0).
+    pub bank_conflicts: u64,
 }
 
 /// Core-id tag position inside backside line addresses. SM addresses are
@@ -234,21 +232,37 @@ pub struct BacksideCoreStats {
 /// real machine gets from physical allocation.
 const CORE_TAG_SHIFT: u32 = 48;
 
-/// The chip-wide memory backside: one shared L3 and one DRAM channel,
-/// arbitrated among `n` per-core [`MemSystem`] tiles.
+/// One bank of the shared L3: its slice of the array plus its own
+/// arbitrated port.
+struct L3Bank {
+    cache: Cache,
+    /// When this bank's port frees up (`l3_port_gap` occupancy per
+    /// request; never advances when the gap is 0).
+    busy_until: u64,
+}
+
+/// The chip-wide memory backside: a banked shared L3 in front of one
+/// DRAM channel with row-buffer state, arbitrated among `n` per-core
+/// [`MemSystem`] tiles.
 ///
 /// All per-core tiles of one machine hold an `Rc<RefCell<...>>` to the
 /// same backside; the lock-step multi-core driver ticks cores in a
-/// rotating (round-robin) order, so port conflicts resolve fairly.
-/// Every method takes the requesting core's id and attributes activity
-/// to its [`BacksideCoreStats`].
+/// rotating (round-robin) order, so same-cycle requests to one bank's
+/// port resolve round-robin-fairly while requests to different banks
+/// proceed in parallel. Every method takes the requesting core's id and
+/// attributes activity to its [`BacksideCoreStats`] (see the module
+/// docs for the exact-partitioning invariant).
 pub struct SharedBackside {
-    /// The shared last-level cache (aggregate statistics; per-core shares
-    /// live in [`BacksideCoreStats`]).
-    pub l3: Cache,
-    dram: Dram,
+    /// Address-interleaved L3 banks.
+    banks: Vec<L3Bank>,
+    dram: DramController,
     l3_port_gap: u64,
-    l3_busy_until: u64,
+    l3_latency: u64,
+    /// Line-offset bits (`log2(line_bytes)`).
+    line_shift: u32,
+    /// Bank-index bits (`log2(banks)`), taken from the line number's
+    /// low end so consecutive lines rotate through the banks.
+    bank_bits: u32,
     per_core: Vec<BacksideCoreStats>,
     /// Per-core residency-event queues (coherence tracking); `None`
     /// entries collect nothing.
@@ -260,15 +274,32 @@ impl SharedBackside {
     /// memory configuration.
     pub fn new(cfg: &MemConfig, n_cores: usize) -> Self {
         assert!(n_cores >= 1, "backside needs at least one core");
+        let n_banks = cfg.l3_geometry.banks;
+        assert!(
+            n_banks.is_power_of_two(),
+            "L3 bank count must be a power of two"
+        );
+        assert!(
+            n_banks <= cfg.l3.num_sets(),
+            "more L3 banks than sets ({n_banks} banks, {} sets)",
+            cfg.l3.num_sets()
+        );
+        let bank_cfg = CacheConfig {
+            size_bytes: cfg.l3.size_bytes / n_banks as u64,
+            ..cfg.l3.clone()
+        };
         SharedBackside {
-            l3: Cache::new(cfg.l3.clone()),
-            dram: Dram {
-                cfg: cfg.dram.clone(),
-                busy_until: 0,
-                stats: DramStats::default(),
-            },
+            banks: (0..n_banks)
+                .map(|_| L3Bank {
+                    cache: Cache::new(bank_cfg.clone()),
+                    busy_until: 0,
+                })
+                .collect(),
+            dram: DramController::new(cfg.dram.clone()),
             l3_port_gap: cfg.l3_port_gap,
-            l3_busy_until: 0,
+            l3_latency: cfg.l3.latency,
+            line_shift: cfg.l3.line_bytes.trailing_zeros(),
+            bank_bits: n_banks.trailing_zeros(),
             per_core: vec![BacksideCoreStats::default(); n_cores],
             events: (0..n_cores).map(|_| None).collect(),
         }
@@ -279,14 +310,50 @@ impl SharedBackside {
         self.per_core.len()
     }
 
+    /// Number of L3 banks.
+    pub fn n_banks(&self) -> usize {
+        self.banks.len()
+    }
+
     /// This core's share of the backside activity.
     pub fn core_stats(&self, core: usize) -> BacksideCoreStats {
         self.per_core[core]
     }
 
+    /// Aggregate L3 statistics summed over all banks. The per-core
+    /// shares in [`BacksideCoreStats`] partition this exactly.
+    pub fn l3_total_stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for b in &self.banks {
+            total.merge(&b.cache.stats);
+        }
+        total
+    }
+
     /// Aggregate DRAM statistics (all cores).
     pub fn dram_total_stats(&self) -> DramStats {
         self.dram.stats
+    }
+
+    /// The bank serving `line_addr` (low line-number bits).
+    #[inline]
+    fn bank_of(&self, line_addr: u64) -> usize {
+        ((line_addr >> self.line_shift) & (self.banks.len() as u64 - 1)) as usize
+    }
+
+    /// Strips the bank bits out of a line address, yielding the
+    /// bank-local address looked up in that bank's array (so each bank
+    /// uses all of its sets).
+    #[inline]
+    fn local_addr(&self, line_addr: u64) -> u64 {
+        (line_addr >> self.line_shift >> self.bank_bits) << self.line_shift
+    }
+
+    /// Inverse of [`Self::local_addr`]: reconstructs the original line
+    /// address of a bank-local one.
+    #[inline]
+    fn global_addr(&self, local: u64, bank: usize) -> u64 {
+        (((local >> self.line_shift) << self.bank_bits) | bank as u64) << self.line_shift
     }
 
     #[inline]
@@ -309,9 +376,40 @@ impl SharedBackside {
         }
     }
 
-    fn push_victim_event(&mut self, tagged: u64) {
-        let (owner, line) = Self::untag(tagged);
-        self.push_event(owner, line, false);
+    /// Mirrors one row outcome into a per-core DRAM stat share.
+    fn bump_row(d: &mut DramStats, outcome: RowOutcome) {
+        match outcome {
+            RowOutcome::Hit => d.row_hits += 1,
+            RowOutcome::Miss => d.row_misses += 1,
+            RowOutcome::Conflict => d.row_conflicts += 1,
+        }
+    }
+
+    /// Posts one line write to the DRAM controller and mirrors the
+    /// channel totals into per-core shares: the write itself and any
+    /// queue-full stall are charged to `core` (the requester that
+    /// caused the post), while the row outcome of a drained write
+    /// belongs to the core that originally posted it.
+    fn post_dram_write(&mut self, now: u64, tagged_line: u64, core: usize) {
+        self.per_core[core].dram.writes += 1;
+        if let Some((owner, outcome)) = self.dram.write_posted(now, tagged_line, core) {
+            self.per_core[core].dram.queue_stalls += 1;
+            Self::bump_row(&mut self.per_core[owner].dram, outcome);
+        }
+    }
+
+    /// Handles an L3 bank's evicted line: a residency event goes to the
+    /// victim's owner; dirty victims post to DRAM, charged to the
+    /// requesting core whose fill caused the eviction (matching the
+    /// pre-banking attribution).
+    fn victim(&mut self, bank: usize, ev: Evicted, now: u64, core: usize) {
+        let (owner, local) = Self::untag(ev.addr);
+        let global = self.global_addr(local, bank);
+        self.push_event(owner, global, false);
+        if ev.dirty {
+            self.post_dram_write(now, Self::tag(owner, global), core);
+            self.per_core[core].l3.writebacks_out += 1;
+        }
     }
 
     /// Enables residency-event collection for one core.
@@ -327,23 +425,29 @@ impl SharedBackside {
         }
     }
 
-    /// Arbitrates the shared L3 port: the request starts once the port is
-    /// free, and the wait is charged to the requesting core.
-    fn arbitrate(&mut self, core: usize, now: u64) -> u64 {
+    /// Arbitrates one L3 bank's port: the request starts once the port
+    /// is free, and the wait (plus a bank-conflict count when it was
+    /// non-zero) is charged to the requesting core.
+    fn arbitrate(&mut self, core: usize, now: u64, bank: usize) -> u64 {
         self.per_core[core].bus_requests += 1;
         if self.l3_port_gap == 0 {
-            return now; // ideally-ported L3: no occupancy, no waits
+            return now; // ideally-ported banks: no occupancy, no waits
         }
-        let start = now.max(self.l3_busy_until);
-        self.l3_busy_until = start + self.l3_port_gap;
-        self.per_core[core].bus_wait_cycles += start - now;
+        let b = &mut self.banks[bank];
+        let start = now.max(b.busy_until);
+        b.busy_until = start + self.l3_port_gap;
+        let s = &mut self.per_core[core];
+        if start > now {
+            s.bank_conflicts += 1;
+        }
+        s.bus_wait_cycles += start - now;
         start
     }
 
-    /// An L3 lookup (and, on miss, the DRAM walk) for `line_addr` on
-    /// behalf of `core`. `now` is the cycle the request reaches the L3
-    /// (after the L2 latency). Returns the latency beyond the L2 and the
-    /// serving level.
+    /// An L3 bank lookup (and, on miss, the DRAM walk) for `line_addr`
+    /// on behalf of `core`. `now` is the cycle the request reaches the
+    /// L3 (after the L2 latency). Returns the latency beyond the L2 and
+    /// the serving level.
     pub fn access(
         &mut self,
         core: usize,
@@ -351,11 +455,12 @@ impl SharedBackside {
         line_addr: u64,
         kind: AccessKind,
     ) -> (u64, Level) {
-        let a = Self::tag(core, line_addr);
-        let start = self.arbitrate(core, now);
+        let bank = self.bank_of(line_addr);
+        let a = Self::tag(core, self.local_addr(line_addr));
+        let start = self.arbitrate(core, now, bank);
         let wait = start - now;
-        let l3_latency = self.l3.cfg.latency;
-        let hit = self.l3.access(a, kind);
+        let l3_latency = self.l3_latency;
+        let hit = self.banks[bank].cache.access(a, kind);
         {
             let s = &mut self.per_core[core].l3;
             match (kind, hit) {
@@ -370,17 +475,22 @@ impl SharedBackside {
         if hit {
             return (wait + l3_latency, Level::L3);
         }
-        let dram_latency = self.dram.read(start + l3_latency);
-        self.per_core[core].dram.reads += 1;
-        let prefetched = kind == AccessKind::Prefetch;
-        if let Some(ev) = self.l3.fill(a, false, prefetched) {
-            self.push_victim_event(ev.addr);
-            if ev.dirty {
-                self.dram.write_posted(start);
-                let s = &mut self.per_core[core];
-                s.dram.writes += 1;
-                s.l3.writebacks_out += 1;
+        // The DRAM row mapping sees the core-tagged full line address:
+        // distinct cores' private lines are distinct physical lines, so
+        // they occupy distinct rows (and interfere in the row buffers).
+        let (dram_latency, outcome) = self
+            .dram
+            .read(start + l3_latency, Self::tag(core, line_addr));
+        {
+            let s = &mut self.per_core[core].dram;
+            s.reads += 1;
+            if let Some(o) = outcome {
+                Self::bump_row(s, o);
             }
+        }
+        let prefetched = kind == AccessKind::Prefetch;
+        if let Some(ev) = self.banks[bank].cache.fill(a, false, prefetched) {
+            self.victim(bank, ev, start, core);
         }
         {
             let s = &mut self.per_core[core].l3;
@@ -396,21 +506,16 @@ impl SharedBackside {
     /// Accepts a dirty line written back by a core's L2 (eviction
     /// cascade); dirty L3 victims continue to DRAM.
     pub fn accept_writeback(&mut self, core: usize, now: u64, line_addr: u64) {
-        let a = Self::tag(core, line_addr);
-        let had = self.l3.probe(a);
-        if let Some(ev) = self.l3.writeback_fill(a) {
-            self.push_victim_event(ev.addr);
-            if ev.dirty {
-                self.dram.write_posted(now);
-                let s = &mut self.per_core[core];
-                s.dram.writes += 1;
-                s.l3.writebacks_out += 1;
-            }
+        let bank = self.bank_of(line_addr);
+        let a = Self::tag(core, self.local_addr(line_addr));
+        let had = self.banks[bank].cache.probe(a);
+        if let Some(ev) = self.banks[bank].cache.writeback_fill(a) {
+            self.victim(bank, ev, now, core);
         }
         let s = &mut self.per_core[core].l3;
         s.writebacks_in += 1;
         if !had {
-            // The write-back allocated a line (the shared array counts
+            // The write-back allocated a line (the bank's array counts
             // this as a fill inside `writeback_fill`).
             s.fills += 1;
             self.push_event(core, line_addr, true);
@@ -420,25 +525,29 @@ impl SharedBackside {
     /// A write-through store that missed the core's L2: updates the L3
     /// copy when resident, otherwise posts the write to DRAM.
     pub fn writethrough(&mut self, core: usize, now: u64, line_addr: u64) {
-        let a = Self::tag(core, line_addr);
+        let bank = self.bank_of(line_addr);
+        let a = Self::tag(core, self.local_addr(line_addr));
         self.per_core[core].l3.writethrough_writes += 1;
-        if !self.l3.writethrough_from_above(a) {
-            self.dram.write_posted(now);
-            self.per_core[core].dram.writes += 1;
+        if !self.banks[bank].cache.writethrough_from_above(a) {
+            self.post_dram_write(now, Self::tag(core, line_addr), core);
         }
     }
 
     /// A `dma-get` bus-request snoop that missed the core's L1/L2.
     pub fn snoop(&mut self, core: usize, line_addr: u64) -> bool {
+        let bank = self.bank_of(line_addr);
         self.per_core[core].l3.snoops += 1;
-        self.l3.snoop(Self::tag(core, line_addr))
+        let a = Self::tag(core, self.local_addr(line_addr));
+        self.banks[bank].cache.snoop(a)
     }
 
     /// A `dma-put` bus-request invalidation. Returns whether the line was
     /// resident.
     pub fn invalidate(&mut self, core: usize, line_addr: u64) -> bool {
+        let bank = self.bank_of(line_addr);
         self.per_core[core].l3.invalidations += 1;
-        let present = self.l3.invalidate(Self::tag(core, line_addr)).is_some();
+        let a = Self::tag(core, self.local_addr(line_addr));
+        let present = self.banks[bank].cache.invalidate(a).is_some();
         if present {
             self.push_event(core, line_addr, false);
         }
@@ -461,18 +570,23 @@ impl SharedBackside {
     /// Whether `line_addr` (a core-local address) is resident in the
     /// shared L3 on behalf of `core`.
     pub fn probe(&self, core: usize, line_addr: u64) -> bool {
-        self.l3.probe(Self::tag(core, line_addr))
+        let bank = self.bank_of(line_addr);
+        self.banks[bank]
+            .cache
+            .probe(Self::tag(core, self.local_addr(line_addr)))
     }
 
-    /// The earliest backside resource release strictly after `now` — the
-    /// shared L3 port or the DRAM channel freeing up — if any. Part of
-    /// the memory-side event horizon: cycle-skipping cores never jump
-    /// past it, so arbitration-relevant backside state is observed at the
-    /// cycle it changes.
+    /// The earliest backside resource release strictly after `now` — any
+    /// L3 bank port, the DRAM channel, or a DRAM bank freeing up — if
+    /// any. Part of the memory-side event horizon: cycle-skipping cores
+    /// never jump past it, so arbitration-relevant backside state is
+    /// observed at the cycle it changes (see the module docs).
     pub fn next_event_after(&self, now: u64) -> Option<u64> {
-        [self.l3_busy_until, self.dram.busy_until]
-            .into_iter()
+        self.banks
+            .iter()
+            .map(|b| b.busy_until)
             .filter(|&t| t > now)
+            .chain(self.dram.next_event_after(now))
             .min()
     }
 }
@@ -1091,22 +1205,30 @@ mod tests {
             "the write pattern must actually cascade write-backs into the L3"
         );
         let backside = a.shared_backside();
-        let total = backside.borrow().l3.stats;
+        let total = backside.borrow().l3_total_stats();
         let mut sum = a.l3_stats();
         sum.merge(&b.l3_stats());
         assert_eq!(sum, total, "per-core shares must partition the totals");
         let dram_total = backside.borrow().dram_total_stats();
+        let (da, db) = (a.dram_stats(), b.dram_stats());
+        assert_eq!(da.reads + db.reads, dram_total.reads);
+        assert_eq!(da.writes + db.writes, dram_total.writes);
+        assert_eq!(da.row_hits + db.row_hits, dram_total.row_hits);
+        assert_eq!(da.row_misses + db.row_misses, dram_total.row_misses);
         assert_eq!(
-            a.dram_stats().reads + b.dram_stats().reads,
-            dram_total.reads
+            da.row_conflicts + db.row_conflicts,
+            dram_total.row_conflicts
         );
+        assert_eq!(da.queue_stalls + db.queue_stalls, dram_total.queue_stalls);
     }
 
     #[test]
     fn shared_dram_channel_queues_across_cores() {
         let (mut a, mut b) = shared_pair(0);
         // Same-cycle DRAM misses share the channel: the second transfer
-        // queues behind the first (gap = 12 by default).
+        // queues at least one burst gap behind the first (and possibly a
+        // whole bank occupancy, if the hashed interleave put the two
+        // cores' tagged rows in one bank).
         let ra = a.data_access(0, 0x40, 0x1000_0000, false);
         let rb = b.data_access(0, 0x40, 0x1000_0000, false);
         assert_eq!(ra.served, Level::Dram);
@@ -1117,6 +1239,64 @@ mod tests {
             rb.latency,
             ra.latency
         );
+        assert_eq!(a.dram_stats().row_misses, 1, "first opens its row");
+        assert_eq!(
+            b.dram_stats().row_accesses(),
+            1,
+            "second is row-classified too (tagged rows are distinct)"
+        );
+        assert_eq!(b.dram_stats().row_hits, 0, "distinct rows cannot hit");
+    }
+
+    #[test]
+    fn different_l3_banks_do_not_conflict_on_the_port() {
+        let (mut a, mut b) = shared_pair(8);
+        // Adjacent lines interleave across L3 banks: same-cycle requests
+        // to different banks both start immediately.
+        a.data_access(0, 0x40, 0x1000_0000, false);
+        b.data_access(0, 0x40, 0x1000_0040, false);
+        assert_eq!(a.backside_stats().bank_conflicts, 0);
+        assert_eq!(b.backside_stats().bank_conflicts, 0);
+        assert_eq!(b.backside_stats().bus_wait_cycles, 0);
+    }
+
+    #[test]
+    fn same_l3_bank_conflicts_and_counts() {
+        let (mut a, mut b) = shared_pair(8);
+        let backside = a.shared_backside();
+        let n_banks = backside.borrow().n_banks() as u64;
+        // Two same-cycle requests one bank-stride apart collide on one
+        // bank's port; the second is charged the wait and the conflict.
+        a.data_access(0, 0x40, 0x1000_0000, false);
+        b.data_access(0, 0x44, 0x1000_0000 + n_banks * 64, false);
+        assert_eq!(a.backside_stats().bank_conflicts, 0);
+        assert_eq!(b.backside_stats().bank_conflicts, 1);
+        assert!(b.backside_stats().bus_wait_cycles >= 8);
+    }
+
+    #[test]
+    fn single_bank_backside_keeps_the_monolithic_geometry() {
+        let mut cfg = MemConfig::hybrid();
+        cfg.l3_geometry.banks = 1;
+        let bs = SharedBackside::new(&cfg, 1);
+        assert_eq!(bs.n_banks(), 1);
+        assert_eq!(bs.banks[0].cache.cfg.num_sets(), cfg.l3.num_sets());
+        // Bank-local addresses are the identity under one bank.
+        assert_eq!(bs.local_addr(0x1234_5640), 0x1234_5640);
+        assert_eq!(bs.global_addr(0x1234_5640, 0), 0x1234_5640);
+    }
+
+    #[test]
+    fn bank_address_mapping_round_trips() {
+        let cfg = MemConfig::hybrid();
+        let bs = SharedBackside::new(&cfg, 1);
+        for line in [0u64, 0x40, 0x1000_0000, 0x1000_0040, 0x3fff_ffc0] {
+            let bank = bs.bank_of(line);
+            assert!(bank < bs.n_banks());
+            assert_eq!(bs.global_addr(bs.local_addr(line), bank), line);
+        }
+        // Adjacent lines rotate through the banks.
+        assert_ne!(bs.bank_of(0x1000_0000), bs.bank_of(0x1000_0040));
     }
 
     #[test]

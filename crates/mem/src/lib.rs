@@ -3,9 +3,12 @@
 //! Implements every storage component of the paper's architecture
 //! (Figure 1 / Table 1):
 //!
-//! * [`backing`] — the functional 64-bit address space (sparse paged
-//!   memory). Caches are *timing* models; data always lives here, which is
-//!   what makes the end-to-end coherence checks possible.
+//! * [`backing`] — everything behind the last-level cache: the functional
+//!   64-bit address space (sparse paged memory — caches are *timing*
+//!   models; data always lives here, which is what makes the end-to-end
+//!   coherence checks possible) and the [`DramController`] timing model
+//!   (per-bank row buffers, open-row policy, bounded posted-write queue
+//!   with FR-FCFS-style hit-first draining, flat-latency escape hatch).
 //! * [`cache`] — set-associative cache arrays with LRU replacement,
 //!   write-through and write-back policies, and the Table 3 access
 //!   accounting (demand, prefetch, fill, write-back, snoop, invalidate).
@@ -19,8 +22,12 @@
 //! * [`lm`] — the local memory (scratchpad) timing model.
 //! * [`dma`] — the DMA controller: `dma-get` / `dma-put` / `dma-synch`,
 //!   coherent with the cache hierarchy (snoops on get, invalidates on put).
-//! * [`hierarchy`] — the L1/L2/L3 + DRAM walk that ties the above together
-//!   and produces per-level access counts and latencies.
+//! * [`hierarchy`] — the L1/L2/L3 + DRAM walk that ties the above
+//!   together and produces per-level access counts and latencies; the
+//!   shared backside ([`SharedBackside`]) lives here as a vector of
+//!   address-interleaved L3 banks with per-bank arbitrated ports in
+//!   front of the DRAM controller, with per-core statistics that
+//!   partition the chip totals exactly.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,12 +41,12 @@ pub mod mshr;
 pub mod prefetch;
 pub mod tlb;
 
-pub use backing::PagedMem;
+pub use backing::{DramConfig, DramController, DramStats, DramTiming, PagedMem, RowOutcome};
 pub use cache::{AccessKind, Cache, CacheConfig, CacheStats, WritePolicy};
 pub use dma::{DmaConfig, DmaOp, DmaStats, Dmac};
 pub use hierarchy::{
-    AccessResponse, BacksideCoreStats, CacheEvent, DramConfig, DramStats, Level, MemConfig,
-    MemSystem, SharedBackside,
+    AccessResponse, BacksideCoreStats, CacheEvent, L3Geometry, Level, MemConfig, MemSystem,
+    SharedBackside,
 };
 pub use lm::{LmConfig, LocalMem};
 pub use mshr::MshrFile;

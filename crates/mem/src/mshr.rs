@@ -5,6 +5,22 @@
 //! already being fetched completes when the primary miss does, without
 //! re-walking the lower levels of the hierarchy (and without re-counting
 //! accesses there).
+//!
+//! ## Invariants
+//!
+//! * **Horizon monotonicity** — [`MshrFile::next_ready_after`] is the
+//!   MSHR contribution to the memory-side event horizon: the earliest
+//!   in-flight fill completion strictly after `now`. Entries change
+//!   only inside `lookup_or_allocate`/`set_ready` calls made by a
+//!   ticking core, so between calls the horizon can only move forward
+//!   and the event-horizon cycle skipper may sleep until it.
+//!   Provisional entries (allocated, completion not yet known) are
+//!   excluded — their fill time is computed and recorded within the
+//!   same access call, before any skip decision can observe the file.
+//! * **Throttling** — an allocation against a full file starts only
+//!   when the earliest in-flight entry retires (`full_stall_cycles`),
+//!   so the stream of fetches the file injects into the shared
+//!   backside is paced by backside completions, never ahead of them.
 
 /// One in-flight miss.
 #[derive(Clone, Copy, Debug)]

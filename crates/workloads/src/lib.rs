@@ -1,6 +1,6 @@
 //! # hsim-workloads — the evaluation workloads (§4)
 //!
-//! * [`microbench`] — the Table 2 microbenchmark: a load/add/store loop
+//! * [`mod@microbench`] — the Table 2 microbenchmark: a load/add/store loop
 //!   in four modes (Baseline / RD / WR / RD+WR) with an adjustable
 //!   percentage of potentially incoherent references.
 //! * [`nas`] — six kernels reproducing the *memory-reference signatures*

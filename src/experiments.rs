@@ -361,6 +361,122 @@ pub fn compare_systems_parallel(kernels: &[Kernel]) -> Result<Vec<ComparisonRow>
         .collect()
 }
 
+/// One row of the backside-sensitivity sweep: how one kernel at one
+/// core count exercises the banked L3 and the DRAM row buffers.
+/// Counters are machine totals (summed over the per-core shares, which
+/// partition them exactly).
+#[derive(Clone, Debug)]
+pub struct BacksideSweepRow {
+    /// Kernel name.
+    pub kernel: String,
+    /// Simulated core count.
+    pub cores: usize,
+    /// Parallel makespan in cycles.
+    pub makespan: u64,
+    /// DRAM accesses that hit an open row.
+    pub dram_row_hits: u64,
+    /// DRAM accesses to a bank with no open row.
+    pub dram_row_misses: u64,
+    /// DRAM accesses that closed another row first.
+    pub dram_row_conflicts: u64,
+    /// Row-buffer hit rate in percent (100.0 with no row activity).
+    pub dram_row_hit_rate: f64,
+    /// Requests that found their L3 bank's port busy.
+    pub bank_conflicts: u64,
+    /// Cycles spent waiting on L3 bank ports.
+    pub bus_wait_cycles: u64,
+    /// Posted DRAM writes that found the write queue full.
+    pub dram_queue_stalls: u64,
+}
+
+/// Runs one sweep point; `None` when the kernel does not shard to
+/// `cores` (indirect indexing), which the sweep skips like the scaling
+/// bench does.
+fn backside_point(
+    kernel: &Kernel,
+    cores: usize,
+    mode: SysMode,
+) -> Result<Option<BacksideSweepRow>, SimError> {
+    let cfg = MachineConfig::for_mode(mode);
+    let (per_core, makespan) = if cores == 1 {
+        let r = run_kernel_with(kernel, cfg)?;
+        let makespan = r.cycles;
+        (vec![r], makespan)
+    } else {
+        match run_kernel_multi_with(kernel, cores, cfg) {
+            Ok(m) => {
+                let makespan = m.makespan;
+                (m.per_core, makespan)
+            }
+            Err(MultiRunError::Shard(_)) => return Ok(None),
+            Err(MultiRunError::Sim(e)) => return Err(e),
+        }
+    };
+    let sum = |f: fn(&RunReport) -> u64| per_core.iter().map(f).sum::<u64>();
+    // Route the hit-rate computation through `DramStats` so the sweep
+    // shares one definition (including the empty-denominator
+    // convention) with the report accessors.
+    let rows = hsim_mem::DramStats {
+        row_hits: sum(|r| r.dram_row_hits),
+        row_misses: sum(|r| r.dram_row_misses),
+        row_conflicts: sum(|r| r.dram_row_conflicts),
+        ..Default::default()
+    };
+    Ok(Some(BacksideSweepRow {
+        kernel: kernel.name.clone(),
+        cores,
+        makespan,
+        dram_row_hits: rows.row_hits,
+        dram_row_misses: rows.row_misses,
+        dram_row_conflicts: rows.row_conflicts,
+        dram_row_hit_rate: rows.row_hit_rate(),
+        bank_conflicts: sum(|r| r.l3_bank_conflicts),
+        bus_wait_cycles: sum(|r| r.bus_wait_cycles),
+        dram_queue_stalls: sum(|r| r.dram_queue_stalls),
+    }))
+}
+
+/// Backside-sensitivity sweep: row-buffer locality and L3 bank
+/// contention for every kernel × core-count point, on the default
+/// (banked, row-aware) backside. Points a kernel cannot shard to are
+/// skipped.
+pub fn backside_sweep(
+    kernels: &[Kernel],
+    core_counts: &[usize],
+    mode: SysMode,
+) -> Result<Vec<BacksideSweepRow>, SimError> {
+    let mut rows = Vec::new();
+    for k in kernels {
+        for &cores in core_counts {
+            if let Some(row) = backside_point(k, cores, mode)? {
+                rows.push(row);
+            }
+        }
+    }
+    Ok(rows)
+}
+
+/// [`backside_sweep`] with one host job per (kernel, core-count) point.
+/// Results are identical to the sequential driver.
+pub fn backside_sweep_parallel(
+    kernels: &[Kernel],
+    core_counts: &[usize],
+    mode: SysMode,
+) -> Result<Vec<BacksideSweepRow>, SimError> {
+    let points: Vec<(&Kernel, usize)> = kernels
+        .iter()
+        .flat_map(|k| core_counts.iter().map(move |&c| (k, c)))
+        .collect();
+    let results = parallel_map(points, |(k, cores)| backside_point(k, cores, mode));
+    let mut rows = Vec::new();
+    for r in results {
+        if let Some(row) = r? {
+            rows.push(row);
+        }
+    }
+    Ok(rows)
+}
+
 /// Geometric-mean helper used when averaging ratios across benchmarks.
 pub fn geomean(xs: impl Iterator<Item = f64>) -> f64 {
     let (sum, n) = xs.fold((0.0, 0), |(s, n), x| (s + x.ln(), n + 1));

@@ -6,6 +6,11 @@
 //! **and** a scratchpad local memory, kept coherent by a per-core
 //! hardware directory plus compiler-emitted guarded memory instructions.
 //!
+//! **Start with `ARCHITECTURE.md` in the repository root**: the crate
+//! map, the tile/backside block diagram, the lifetime of a load (LM hit
+//! / cache hit / L3 bank / DRAM row), and how the event-horizon
+//! scheduler coexists with the banked backside bit-identically.
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -41,7 +46,7 @@
 //! | crate | contents |
 //! |---|---|
 //! | [`isa`] | the simulated ISA: guarded/oracle memory ops, DMA, assembler |
-//! | [`mem`] | caches, MSHRs, prefetcher, TLB, LM, DMAC, and the shared L3 + DRAM backside (`SharedBackside`) |
+//! | [`mem`] | caches, MSHRs, prefetcher, TLB, LM, DMAC, and the shared backside: banked L3 + row-buffer DRAM controller (`SharedBackside`, `DramController`) |
 //! | [`coherence`] | the directory (Figure 4), Figure 6 state machine, runtime checker |
 //! | [`core`] | 4-wide out-of-order core (Table 1) with the event-horizon cycle skipper |
 //! | [`energy`] | Wattch-style activity-based energy model |
@@ -56,12 +61,16 @@
 //! N-core machine: everything the paper adds — local memory, coherence
 //! directory, guarded AGU path, DMAC — is replicated per core and never
 //! interacts across cores, exactly the §3 integration argument. The
-//! cores share a single L3 and DRAM channel with round-robin bus
-//! arbitration; per-core contention (bus-wait cycles, DRAM lines) is
+//! cores share a banked L3 (per-bank round-robin port arbitration) and
+//! one DRAM channel with per-bank row buffers; per-core contention
+//! (bus-wait cycles, bank conflicts, DRAM lines and row outcomes) is
 //! reported in each core's [`RunReport`] and aggregated in
-//! [`MultiRunReport`]. [`compiler::Kernel::shard`] splits one kernel
-//! into the disjoint per-core slices the paper's evaluation model
-//! assumes.
+//! [`MultiRunReport`], partitioning the chip totals exactly.
+//! [`compiler::Kernel::shard`] splits one kernel into the disjoint
+//! per-core slices the paper's evaluation model assumes, and
+//! [`experiments::backside_sweep`] measures row-buffer locality and
+//! bank contention across kernels and core counts
+//! (`cargo run -p hsim-bench --bin backside`).
 //!
 //! ## Cycle-skipping scheduler
 //!
@@ -73,7 +82,8 @@
 //! (`Core::next_event_at`: ROB-head completion, producer readiness,
 //! fetch resume), clamped by the memory side's pending work
 //! (`mem::MemSystem::next_event_at`: outstanding MSHR fills, in-flight
-//! DMA, busy L3/DRAM ports) and by the watchdog/cycle-budget deadlines —
+//! DMA, every busy L3 bank port, the DRAM channel and every DRAM bank)
+//! and by the watchdog/cycle-budget deadlines —
 //! and `Core::advance_to` jumps over the provably idle cycles in one
 //! step. [`MultiMachine::run`] coordinates the jump across tiles with a
 //! per-tile horizon min-heap, rotating the round-robin arbitration
@@ -101,9 +111,9 @@ pub use hsim_mem as mem;
 pub use hsim_workloads as workloads;
 
 pub use experiments::{
-    compare_systems, compare_systems_parallel, fig7, fig7_parallel, fig8, fig8_parallel, geomean,
-    parallel_map, run_kernel, run_kernel_multi, run_kernel_multi_with, run_kernel_verified,
-    run_kernel_with,
+    backside_sweep, backside_sweep_parallel, compare_systems, compare_systems_parallel, fig7,
+    fig7_parallel, fig8, fig8_parallel, geomean, parallel_map, run_kernel, run_kernel_multi,
+    run_kernel_multi_with, run_kernel_verified, run_kernel_with, BacksideSweepRow,
 };
 pub use machine::{Machine, MachineConfig, MultiMachine, SysMode, World};
 pub use metrics::{activity, MultiRunReport, RunReport};
@@ -111,8 +121,9 @@ pub use metrics::{activity, MultiRunReport, RunReport};
 /// The most common imports for building and running kernels.
 pub mod prelude {
     pub use crate::experiments::{
-        compare_systems, compare_systems_parallel, fig7, fig7_parallel, fig8, fig8_parallel,
-        run_kernel, run_kernel_multi, run_kernel_multi_with, run_kernel_verified, run_kernel_with,
+        backside_sweep, backside_sweep_parallel, compare_systems, compare_systems_parallel, fig7,
+        fig7_parallel, fig8, fig8_parallel, run_kernel, run_kernel_multi, run_kernel_multi_with,
+        run_kernel_verified, run_kernel_with, BacksideSweepRow,
     };
     pub use crate::machine::{Machine, MachineConfig, MultiMachine, SysMode};
     pub use crate::metrics::{MultiRunReport, RunReport};

@@ -114,6 +114,18 @@ impl MachineConfig {
         self.core.lockstep = true;
         self
     }
+
+    /// Restores the pre-banking backside (the `flat_dram: true` escape
+    /// hatch): a single monolithic single-ported L3 bank and a
+    /// fixed-latency DRAM channel with no row-buffer or write-queue
+    /// state. Runs under this configuration are bit-identical to the
+    /// revisions before the banked backside landed; the identity tests
+    /// pin that against recorded cycle counts.
+    pub fn with_flat_backside(mut self) -> Self {
+        self.mem.l3_geometry.banks = 1;
+        self.mem.dram.flat_dram = true;
+        self
+    }
 }
 
 /// Everything the core's [`MemoryPort`] needs (split from the core for

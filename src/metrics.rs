@@ -44,13 +44,26 @@ pub struct RunReport {
     pub dir_accesses: u64,
     /// Arbitrated backside (shared L3/DRAM) requests issued by this core.
     pub bus_requests: u64,
-    /// Cycles this core's backside requests spent waiting on the shared
-    /// L3 port — the multi-core contention signal (0 when uncontended).
+    /// Cycles this core's backside requests spent waiting on their L3
+    /// bank port — the multi-core contention signal (0 when
+    /// uncontended).
     pub bus_wait_cycles: u64,
+    /// Backside requests of this core that found their L3 bank's port
+    /// busy (0 when the port is ideal or uncontended).
+    pub l3_bank_conflicts: u64,
     /// DRAM lines read on behalf of this core.
     pub dram_reads: u64,
     /// DRAM lines written on behalf of this core.
     pub dram_writes: u64,
+    /// This core's DRAM accesses that hit an open row (`flat_dram` runs
+    /// report 0 row activity).
+    pub dram_row_hits: u64,
+    /// This core's DRAM accesses to a bank with no open row.
+    pub dram_row_misses: u64,
+    /// This core's DRAM accesses that closed another row first.
+    pub dram_row_conflicts: u64,
+    /// This core's posted DRAM writes that found the write queue full.
+    pub dram_queue_stalls: u64,
     /// Static guarded/total reference counts of the compiled kernel.
     pub guarded_refs: usize,
     /// Static total reference count.
@@ -92,8 +105,13 @@ impl RunReport {
             dir_accesses,
             bus_requests: backside.bus_requests,
             bus_wait_cycles: backside.bus_wait_cycles,
+            l3_bank_conflicts: backside.bank_conflicts,
             dram_reads: backside.dram.reads,
             dram_writes: backside.dram.writes,
+            dram_row_hits: backside.dram.row_hits,
+            dram_row_misses: backside.dram.row_misses,
+            dram_row_conflicts: backside.dram.row_conflicts,
+            dram_queue_stalls: backside.dram.queue_stalls,
             guarded_refs: ck.guarded_refs(),
             total_refs: ck.total_refs(),
             energy,
@@ -111,6 +129,17 @@ impl RunReport {
     /// lockstep runs; close to 1.0 for DMA- or DRAM-bound workloads).
     pub fn skipped_fraction(&self) -> f64 {
         self.skipped_cycles as f64 / self.cycles.max(1) as f64
+    }
+
+    /// This core's DRAM row-buffer hit rate in percent over its
+    /// row-classified accesses (100.0 when there were none, e.g. under
+    /// `flat_dram`).
+    pub fn dram_row_hit_rate(&self) -> f64 {
+        let n = self.dram_row_hits + self.dram_row_misses + self.dram_row_conflicts;
+        if n == 0 {
+            return 100.0;
+        }
+        100.0 * self.dram_row_hits as f64 / n as f64
     }
 
     /// Cycles in a phase.
@@ -164,6 +193,27 @@ impl MultiRunReport {
     /// (0 on lockstep runs).
     pub fn total_skipped_cycles(&self) -> u64 {
         self.per_core.iter().map(|r| r.skipped_cycles).sum()
+    }
+
+    /// Total L3 bank-port conflicts over all cores — the banked-backside
+    /// contention headline next to [`Self::total_bus_wait_cycles`].
+    pub fn total_bank_conflicts(&self) -> u64 {
+        self.per_core.iter().map(|r| r.l3_bank_conflicts).sum()
+    }
+
+    /// Machine-wide DRAM row-buffer hit rate in percent over all cores'
+    /// row-classified accesses (100.0 when there were none).
+    pub fn dram_row_hit_rate(&self) -> f64 {
+        let hits: u64 = self.per_core.iter().map(|r| r.dram_row_hits).sum();
+        let total: u64 = self
+            .per_core
+            .iter()
+            .map(|r| r.dram_row_hits + r.dram_row_misses + r.dram_row_conflicts)
+            .sum();
+        if total == 0 {
+            return 100.0;
+        }
+        100.0 * hits as f64 / total as f64
     }
 
     /// Total committed instructions over all cores.

@@ -154,6 +154,143 @@ fn four_core_machines_are_identical_in_all_modes() {
     }
 }
 
+// --------------------------------------------------------- flat backside
+//
+// `MachineConfig::with_flat_backside` (one L3 bank, `flat_dram: true`)
+// must reproduce the pre-banking backside bit for bit. The constants
+// below are cycle counts recorded from the PR-2 tree (flat DRAM, single
+// monolithic L3) immediately before the banked backside landed; these
+// tests freeze the escape hatch against them.
+
+/// PR-2 cycle counts for the Figure 7 grid (HybridCoherent, n = 2048).
+const PR2_FIG7_CYCLES: &[(MicroMode, u32, u64)] = &[
+    (MicroMode::Baseline, 0, 39703),
+    (MicroMode::Baseline, 50, 39703),
+    (MicroMode::Baseline, 100, 39703),
+    (MicroMode::Rd, 0, 39703),
+    (MicroMode::Rd, 50, 39703),
+    (MicroMode::Rd, 100, 39709),
+    (MicroMode::Wr, 0, 39703),
+    (MicroMode::Wr, 50, 40096),
+    (MicroMode::Wr, 100, 41579),
+    (MicroMode::RdWr, 0, 39703),
+    (MicroMode::RdWr, 50, 40096),
+    (MicroMode::RdWr, 100, 41589),
+];
+
+#[test]
+fn flat_backside_reproduces_pr2_fig7_grid_bit_identically() {
+    for &(mode, pct, want) in PR2_FIG7_CYCLES {
+        let k = microbench(&MicrobenchConfig {
+            mode,
+            guarded_pct: pct,
+            n: 2048,
+        });
+        let cfg = MachineConfig::for_mode(SysMode::HybridCoherent).with_flat_backside();
+        let r = run_kernel_with(&k, cfg.clone()).expect("flat run");
+        assert_eq!(
+            r.cycles, want,
+            "({mode:?}, {pct}%): flat backside must reproduce PR-2 cycles"
+        );
+        // No row or bank activity may exist under the escape hatch.
+        assert_eq!(
+            r.dram_row_hits + r.dram_row_misses + r.dram_row_conflicts,
+            0
+        );
+        assert_eq!(r.l3_bank_conflicts, 0);
+        assert_eq!(r.dram_queue_stalls, 0);
+        // And the escape hatch composes with the other one: lockstep
+        // over the flat backside is the full PR-2 configuration.
+        let lock = run_kernel_with(&k, cfg.with_lockstep()).expect("flat lockstep");
+        assert_reports_equal(&r, &lock, &format!("flat {mode:?} {pct}%"));
+    }
+}
+
+#[test]
+fn flat_backside_reproduces_pr2_fig8_kernels_bit_identically() {
+    // (kernel index, mode, PR-2 cycles) for the Figure 8 row builders.
+    let want: &[(usize, SysMode, u64)] = &[
+        (0, SysMode::HybridCoherent, 227183),
+        (0, SysMode::HybridOracle, 210390),
+        (1, SysMode::HybridCoherent, 168105),
+        (1, SysMode::HybridOracle, 168105),
+    ];
+    let kernels = [nas::is(Scale::Test), nas::cg(Scale::Test)];
+    for &(ki, mode, cycles) in want {
+        let cfg = MachineConfig::for_mode(mode).with_flat_backside();
+        let r = run_kernel_with(&kernels[ki], cfg).expect("flat run");
+        assert_eq!(
+            r.cycles, cycles,
+            "{} {mode:?}: flat backside must reproduce PR-2 cycles",
+            kernels[ki].name
+        );
+    }
+}
+
+#[test]
+fn flat_backside_reproduces_pr2_four_core_runs_bit_identically() {
+    // PR-2 4-core CG runs: (mode, makespan, per-core cycles, total bus
+    // waits).
+    let want: &[(SysMode, u64, [u64; 4], u64)] = &[
+        (
+            SysMode::HybridCoherent,
+            51303,
+            [50933, 51274, 50921, 51303],
+            2448,
+        ),
+        (
+            SysMode::HybridOracle,
+            51303,
+            [50933, 51274, 50921, 51303],
+            2448,
+        ),
+        (
+            SysMode::CacheBased,
+            86354,
+            [85205, 85715, 86139, 86354],
+            140600,
+        ),
+    ];
+    let kernel = nas::cg(Scale::Test);
+    for &(mode, makespan, per_core, bus_waits) in want {
+        let cfg = MachineConfig::for_mode(mode).with_flat_backside();
+        let r = run_kernel_multi_with(&kernel, 4, cfg.clone()).expect("flat 4-core run");
+        assert_eq!(r.makespan, makespan, "{mode:?}: makespan");
+        let got: Vec<u64> = r.per_core.iter().map(|c| c.cycles).collect();
+        assert_eq!(got, per_core, "{mode:?}: per-core cycles");
+        assert_eq!(r.total_bus_wait_cycles(), bus_waits, "{mode:?}: bus waits");
+        // The skipper must stay bit-identical over the flat backside
+        // too (the PR-2 equivalence claim, re-proven post-banking).
+        let lock = run_kernel_multi_with(&kernel, 4, cfg.with_lockstep()).expect("flat lockstep");
+        for (s, l) in r.per_core.iter().zip(&lock.per_core) {
+            assert_reports_equal(s, l, &format!("flat cg x4 {:?} core {}", mode, s.core_id));
+        }
+    }
+}
+
+#[test]
+fn banked_backside_runs_differ_from_flat_but_partition_stats() {
+    // Sanity that the default (banked, row-aware) backside is actually
+    // live: it must produce row-classified DRAM traffic, and per-core
+    // shares must still partition the shared totals exactly.
+    let kernel = nas::cg(Scale::Test);
+    let r = run_kernel_multi_with(&kernel, 4, MachineConfig::for_mode(SysMode::HybridCoherent))
+        .expect("banked 4-core run");
+    let classified: u64 = r
+        .per_core
+        .iter()
+        .map(|c| c.dram_row_hits + c.dram_row_misses + c.dram_row_conflicts)
+        .sum();
+    assert!(classified > 0, "banked backside must classify rows");
+    let timed_reads: u64 = r.per_core.iter().map(|c| c.dram_reads).sum();
+    let drains: u64 = r.per_core.iter().map(|c| c.dram_queue_stalls).sum();
+    assert!(
+        classified <= timed_reads + drains,
+        "row classification covers timed reads and drained writes only \
+         (DMA lines are not classified)"
+    );
+}
+
 #[test]
 fn cycle_limit_fires_at_the_same_cycle() {
     // A machine that cannot finish within the budget must report the
