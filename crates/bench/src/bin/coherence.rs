@@ -1,0 +1,133 @@
+//! Coherence-mode comparison: `Replicate` vs `Mesi` on the same sharded
+//! kernels, per kernel × core count.
+//!
+//! `Replicate` keeps per-core private replicas of every cacheable line
+//! (the historical backside); `Mesi` serves the sharder's
+//! replicated-whole tables from shared, directory-tracked lines at the
+//! L3 banks. The headline is DRAM read traffic: under `Mesi`, a shared
+//! table is fetched once per chip instead of once per core. Results are
+//! printed as a table and written to `BENCH_coherence.json`.
+//!
+//! ```text
+//! cargo run --release -p hsim-bench --bin coherence [--test-scale|--smoke]
+//! ```
+//!
+//! `--smoke` runs a minimal grid (test scale, two kernels, 1/2/4
+//! cores): the CI guard. The grid always includes CG at 4 cores, whose
+//! gathered `x` table is the acceptance case for directory sharing.
+
+use hsim::prelude::*;
+use hsim_bench::{kernels, scale_from_args, Table};
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let scale = if smoke {
+        Scale::Test
+    } else {
+        scale_from_args()
+    };
+    let mut kernels = kernels(scale);
+    let core_counts: &[usize] = if smoke { &[1, 2, 4] } else { &[1, 2, 4, 8] };
+    if smoke {
+        // CG (the gathered-table acceptance case) plus one double-store
+        // kernel.
+        kernels.retain(|k| k.name == "CG" || k.name == "IS");
+    }
+
+    let rows = coherence_sweep_parallel(&kernels, core_counts, SysMode::HybridCoherent)
+        .expect("coherence sweep failed");
+
+    println!("COHERENCE: Replicate vs Mesi on the shared backside ({scale:?} scale)");
+    println!("(hybrid-coherent machine; dramR = total DRAM line reads)");
+    println!();
+    let t = Table::new(&[6, 5, 10, 10, 9, 9, 9, 8, 8]);
+    t.row(
+        &[
+            "kernel",
+            "cores",
+            "mk.rep",
+            "mk.mesi",
+            "dramR.rep",
+            "dramR.mesi",
+            "shrhits",
+            "invals",
+            "intervs",
+        ]
+        .map(String::from),
+    );
+    t.sep();
+    for r in &rows {
+        t.row(&[
+            r.kernel.clone(),
+            format!("{}", r.cores),
+            format!("{}", r.makespan_replicate),
+            format!("{}", r.makespan_mesi),
+            format!("{}", r.dram_reads_replicate),
+            format!("{}", r.dram_reads_mesi),
+            format!("{}", r.shared_hits),
+            format!("{}", r.invalidations),
+            format!("{}", r.interventions),
+        ]);
+    }
+    println!();
+
+    // The acceptance shape: sharded CG at 4 cores must read less DRAM
+    // under Mesi than under Replicate (the gathered x table is fetched
+    // once per chip, not once per core).
+    if let Some(cg4) = rows.iter().find(|r| r.kernel == "CG" && r.cores == 4) {
+        println!(
+            "CG x4 DRAM reads: {} (Replicate) vs {} (Mesi), {} shared hits",
+            cg4.dram_reads_replicate, cg4.dram_reads_mesi, cg4.shared_hits
+        );
+        assert!(
+            cg4.dram_reads_mesi < cg4.dram_reads_replicate,
+            "CG x4 must read less DRAM under Mesi ({} vs {})",
+            cg4.dram_reads_mesi,
+            cg4.dram_reads_replicate
+        );
+        assert!(cg4.shared_hits > 0, "CG x4 must score shared hits");
+    }
+    // Single-core points must be mode-invariant (nothing is shared).
+    for r in rows.iter().filter(|r| r.cores == 1) {
+        assert_eq!(
+            r.makespan_replicate, r.makespan_mesi,
+            "{}: a lone core has nothing to share",
+            r.kernel
+        );
+    }
+
+    let json = render_json(scale, &rows);
+    std::fs::write("BENCH_coherence.json", &json).expect("write BENCH_coherence.json");
+    println!("wrote BENCH_coherence.json ({} rows)", rows.len());
+}
+
+/// Hand-rendered JSON (no serde in the offline tree).
+fn render_json(scale: Scale, rows: &[hsim::CoherenceSweepRow]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"scale\": \"{scale:?}\",\n"));
+    out.push_str("  \"mode\": \"HybridCoherent\",\n");
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"kernel\": \"{}\", \"cores\": {}, \
+             \"makespan_replicate\": {}, \"makespan_mesi\": {}, \
+             \"dram_reads_replicate\": {}, \"dram_reads_mesi\": {}, \
+             \"shared_hits\": {}, \"invalidations\": {}, \
+             \"interventions\": {}, \"committed\": {}}}{}\n",
+            r.kernel,
+            r.cores,
+            r.makespan_replicate,
+            r.makespan_mesi,
+            r.dram_reads_replicate,
+            r.dram_reads_mesi,
+            r.shared_hits,
+            r.invalidations,
+            r.interventions,
+            r.committed,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

@@ -1,0 +1,157 @@
+//! Figure-shapes guard: asserts the monotonicity and ordering
+//! invariants of the paper's figures (7, 8, 9) and of the scaling
+//! curves on a small grid, then exits. CI runs this as its own job
+//! (`--smoke`); a violated shape is a failed build, not a silently
+//! drifting figure.
+//!
+//! ```text
+//! cargo run --release -p hsim-bench --bin figshapes -- --smoke
+//! ```
+//!
+//! The single-core figures are coherence-mode-invariant (an unsharded
+//! kernel registers no shared ranges); the scaling curves are asserted
+//! at shape level so the guard holds under both `HSIM_COHERENCE`
+//! matrix legs.
+
+use hsim::prelude::*;
+use hsim_workloads::nas;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let n: u64 = if smoke { 2 * 1024 } else { 4 * 1024 };
+    let mut checked = 0usize;
+
+    // ---------------------------------------------------------- fig 7
+    // RD guards are free (the CAM lookup fits the AGU cycle); WR
+    // overhead grows monotonically with the guarded share, driven by
+    // the double store's extra instructions.
+    let pts = fig7_parallel(n, 50).expect("fig7");
+    for p in pts.iter().filter(|p| p.mode == MicroMode::Rd) {
+        assert!(
+            (p.overhead - 1.0).abs() < 0.05,
+            "fig7 RD@{}%: overhead must be ~1.0, got {:.3}",
+            p.pct,
+            p.overhead
+        );
+        checked += 1;
+    }
+    let wr: Vec<_> = pts.iter().filter(|p| p.mode == MicroMode::Wr).collect();
+    for w in wr.windows(2) {
+        assert!(
+            w[1].overhead >= w[0].overhead - 0.02,
+            "fig7 WR: overhead must be monotone in the guarded share \
+             ({:.3}@{}% -> {:.3}@{}%)",
+            w[0].overhead,
+            w[0].pct,
+            w[1].overhead,
+            w[1].pct
+        );
+        checked += 1;
+    }
+    assert!(
+        wr.last().expect("WR points").overhead > wr[0].overhead + 0.05,
+        "fig7 WR: the curve must actually rise"
+    );
+    assert!(
+        wr.last().unwrap().inst_ratio > 1.10,
+        "fig7 WR@100%: the double store must add instructions"
+    );
+    checked += 2;
+    println!("fig7 shapes OK (RD flat, WR monotone rising)");
+
+    // ---------------------------------------------------------- fig 8
+    // Protocol overhead vs the oracle: never a speedup beyond noise,
+    // and the double-store kernels (IS) sit above the read-only ones
+    // (CG).
+    let f8 = fig8_parallel(&[nas::is(Scale::Test), nas::cg(Scale::Test)]).expect("fig8");
+    let ratio = |name: &str| f8.iter().find(|r| r.name == name).unwrap().time_ratio;
+    for r in &f8 {
+        assert!(
+            r.time_ratio > 0.999,
+            "fig8 {}: the coherent machine cannot beat the oracle ({:.4})",
+            r.name,
+            r.time_ratio
+        );
+        checked += 1;
+    }
+    assert!(
+        ratio("IS") >= ratio("CG"),
+        "fig8: double-store IS ({:.4}) must pay at least read-only CG ({:.4})",
+        ratio("IS"),
+        ratio("CG")
+    );
+    checked += 1;
+    println!("fig8 shapes OK (no oracle beating, IS >= CG overhead)");
+
+    // ---------------------------------------------------------- fig 9
+    // Hybrid vs cache-based: the stream/reuse kernels (MG, FT) must
+    // favor the hybrid, compute-bound EP sits near parity below them.
+    let f9 = compare_systems_parallel(&[
+        nas::ep(Scale::Test),
+        nas::ft(Scale::Test),
+        nas::mg(Scale::Test),
+    ])
+    .expect("fig9");
+    let speedup = |name: &str| f9.iter().find(|r| r.name == name).unwrap().speedup;
+    assert!(speedup("MG") > 1.1, "fig9 MG: {:.2}", speedup("MG"));
+    assert!(speedup("FT") > 1.05, "fig9 FT: {:.2}", speedup("FT"));
+    assert!(
+        speedup("MG") > speedup("EP") && speedup("FT") > speedup("EP"),
+        "fig9 ordering: memory-bound kernels ({:.2}, {:.2}) must beat EP ({:.2})",
+        speedup("MG"),
+        speedup("FT"),
+        speedup("EP")
+    );
+    assert!(
+        (0.75..1.3).contains(&speedup("EP")),
+        "fig9 EP must sit near parity: {:.2}",
+        speedup("EP")
+    );
+    checked += 4;
+    println!("fig9 shapes OK (MG/FT favor hybrid, EP near parity)");
+
+    // -------------------------------------------------------- scaling
+    // Sharding a kernel over more cores must shrink the makespan
+    // monotonically and keep the speedup curve rising; the shared
+    // backside keeps it sublinear (speedup < cores).
+    let cfg = MachineConfig::for_mode(SysMode::HybridCoherent);
+    let curves =
+        scaling_sweep_parallel(&[nas::cg(Scale::Test)], &[1, 2, 4], &cfg).expect("scaling");
+    assert_eq!(curves.len(), 3, "CG must shard to every point");
+    for w in curves.windows(2) {
+        assert!(
+            w[1].makespan < w[0].makespan,
+            "scaling: makespan must shrink with cores ({}@x{} -> {}@x{})",
+            w[0].makespan,
+            w[0].cores,
+            w[1].makespan,
+            w[1].cores
+        );
+        assert!(
+            w[1].speedup > w[0].speedup,
+            "scaling: speedup must rise with cores"
+        );
+        checked += 2;
+    }
+    for r in &curves {
+        assert!(
+            r.speedup <= r.cores as f64 + 1e-9,
+            "scaling x{}: speedup {:.2} cannot be superlinear here",
+            r.cores,
+            r.speedup
+        );
+        checked += 1;
+    }
+    let four = curves.last().unwrap();
+    assert!(
+        four.bus_wait_cycles >= curves[0].bus_wait_cycles,
+        "scaling: contention must not shrink with more cores"
+    );
+    checked += 1;
+    println!(
+        "scaling shapes OK (CG x1/2/4 speedups {:.2}/{:.2}/{:.2}, {:?} coherence)",
+        curves[0].speedup, curves[1].speedup, curves[2].speedup, cfg.mem.coherence.mode
+    );
+
+    println!("all figure shapes hold ({checked} assertions)");
+}

@@ -1,0 +1,119 @@
+//! The scaling experiment: speedup-vs-cores curves per NAS kernel with
+//! bus-wait breakdowns (the ROADMAP "scaling sweeps as figures" item,
+//! promoted from the Criterion `scaling` bench into a first-class
+//! experiment).
+//!
+//! For every kernel × core-count point the driver shards the kernel,
+//! runs one simulated machine, and reports the makespan, the speedup
+//! against the kernel's own 1-core run, and where the lost scaling went
+//! (L3 bank-port waits, bank conflicts, DRAM row locality). Results are
+//! printed as a table and written to `BENCH_scaling.json`.
+//!
+//! ```text
+//! cargo run --release -p hsim-bench --bin scaling [--test-scale|--smoke]
+//! ```
+//!
+//! `--smoke` runs a minimal grid (test scale, two kernels, 1/2/4
+//! cores): the CI guard. The coherence mode follows `HSIM_COHERENCE`
+//! (the CI matrix runs both).
+
+use hsim::prelude::*;
+use hsim_bench::{kernels, scale_from_args, Table};
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let scale = if smoke {
+        Scale::Test
+    } else {
+        scale_from_args()
+    };
+    let mut kernels = kernels(scale);
+    let core_counts: &[usize] = if smoke { &[1, 2, 4] } else { &[1, 2, 4, 8] };
+    if smoke {
+        kernels.retain(|k| k.name == "CG" || k.name == "EP");
+    }
+
+    let cfg = MachineConfig::for_mode(SysMode::HybridCoherent);
+    let rows = scaling_sweep_parallel(&kernels, core_counts, &cfg).expect("scaling sweep failed");
+
+    println!(
+        "SCALING: speedup vs cores per kernel ({scale:?} scale, {:?} coherence)",
+        cfg.mem.coherence.mode
+    );
+    println!();
+    let t = Table::new(&[6, 5, 10, 7, 8, 9, 9, 8, 9]);
+    t.row(
+        &[
+            "kernel", "cores", "makespan", "speedup", "ipc", "buswait", "bankcfl", "rowhit%",
+            "dramR",
+        ]
+        .map(String::from),
+    );
+    t.sep();
+    for r in &rows {
+        t.row(&[
+            r.kernel.clone(),
+            format!("{}", r.cores),
+            format!("{}", r.makespan),
+            format!("{:.2}", r.speedup),
+            format!("{:.2}", r.aggregate_ipc),
+            format!("{}", r.bus_wait_cycles),
+            format!("{}", r.bank_conflicts),
+            format!("{:.1}", r.dram_row_hit_rate),
+            format!("{}", r.dram_reads),
+        ]);
+    }
+    println!();
+
+    // Basic sanity: the 1-core point of every curve is exactly 1.0 by
+    // construction, and the grid actually varies. Strict monotonicity
+    // only holds below the memory-bandwidth knee (DRAM-bound kernels
+    // like CG and IS degrade at high core counts on the single
+    // channel); the `figshapes` guard asserts the rising-curve shape on
+    // the grid where it must hold.
+    for r in rows.iter().filter(|r| r.cores == 1) {
+        assert!(
+            (r.speedup - 1.0).abs() < 1e-12,
+            "{}: 1-core speedup must be 1.0",
+            r.kernel
+        );
+    }
+    assert!(
+        rows.iter().any(|r| r.speedup > 1.2),
+        "someone must actually scale"
+    );
+
+    let json = render_json(scale, &rows);
+    std::fs::write("BENCH_scaling.json", &json).expect("write BENCH_scaling.json");
+    println!("wrote BENCH_scaling.json ({} rows)", rows.len());
+}
+
+/// Hand-rendered JSON (no serde in the offline tree).
+fn render_json(scale: Scale, rows: &[hsim::ScalingRow]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"scale\": \"{scale:?}\",\n"));
+    out.push_str("  \"mode\": \"HybridCoherent\",\n");
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"kernel\": \"{}\", \"cores\": {}, \"makespan\": {}, \
+             \"speedup\": {:.3}, \"committed\": {}, \"aggregate_ipc\": {:.3}, \
+             \"bus_wait_cycles\": {}, \"bank_conflicts\": {}, \
+             \"dram_row_hit_rate\": {:.2}, \"dram_reads\": {}}}{}\n",
+            r.kernel,
+            r.cores,
+            r.makespan,
+            r.speedup,
+            r.committed,
+            r.aggregate_ipc,
+            r.bus_wait_cycles,
+            r.bank_conflicts,
+            r.dram_row_hit_rate,
+            r.dram_reads,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

@@ -17,6 +17,11 @@
 //!   §3.4 invariants: replicated copies are either identical or the LM
 //!   copy is the newest, and every access is served by a memory holding a
 //!   valid copy.
+//! * [`mesi`] — the **inter-core** MESI line states a directory slice at
+//!   a shared-L3 bank tracks. Deliberately type-disjoint from the
+//!   intra-tile machinery above: the paper's §3 claim that the hybrid
+//!   protocol "does not interact with the inter-core cache coherence
+//!   protocol" is pinned by the `protocols_do_not_interact` test.
 //!
 //! The directory is deliberately independent of the pipeline model so it
 //! can be exhaustively unit- and property-tested in isolation.
@@ -25,9 +30,11 @@
 #![warn(missing_docs)]
 
 pub mod directory;
+pub mod mesi;
 pub mod state;
 pub mod tracker;
 
 pub use directory::{DirConfig, DirError, DirHit, DirStats, Directory};
+pub use mesi::{MesiAction, MesiEvent, MesiState};
 pub use state::{DataEvent, DataState, TransitionError};
 pub use tracker::{AccessSide, CoherenceViolation, Tracker};

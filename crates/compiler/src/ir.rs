@@ -41,6 +41,16 @@ pub struct ArrayDecl {
     pub elem: Elem,
     /// Length in elements.
     pub len: u64,
+    /// Set by [`Kernel::shard`] on **read-only** arrays it replicates
+    /// whole into every shard (gathered tables): each core's copy holds
+    /// the same values at the same addresses, so a machine running the
+    /// shards may serve the array from shared cache lines instead of
+    /// per-core replicas (`CoherenceMode::Mesi`). Written
+    /// replicated-whole arrays (scalar accumulators, scattered
+    /// histograms) stay private — they are per-core state a
+    /// parallelizing compiler would privatize. Always `false` on
+    /// unsharded kernels and on sliced arrays.
+    pub shared: bool,
 }
 
 /// How a reference indexes its array.
@@ -486,6 +496,18 @@ impl Kernel {
             }
         }
 
+        // Arrays any statement writes: never marked shared. A written
+        // replicated-whole array (scalar accumulator, scattered
+        // histogram) is per-core state a parallelizing compiler would
+        // privatize; sharing its one line across shards would ping-pong
+        // under an invalidation protocol on every iteration.
+        let mut written = vec![false; self.arrays.len()];
+        for l in &self.loops {
+            for r in l.written_refs() {
+                written[l.refs[r].array] = true;
+            }
+        }
+
         let base = iterations / n as u64;
         let extra = iterations % n as u64;
         let mut start = 0u64;
@@ -500,7 +522,14 @@ impl Kernel {
             }
             for (id, decl) in k.arrays.iter_mut().enumerate() {
                 let Some(halo) = iter_halo[id] else {
-                    continue; // replicated whole
+                    // Replicated whole: every shard gets the same values
+                    // at (layout permitting) the same addresses. When it
+                    // is also read-only and there is more than one
+                    // shard, mark it so the machine can serve it from
+                    // shared lines under `CoherenceMode::Mesi` instead
+                    // of per-core replicas.
+                    decl.shared = n > 1 && !written[id];
+                    continue;
                 };
                 // Slice the declaration and its (possibly zero-extended)
                 // initial data to this shard's iteration window plus the
@@ -580,6 +609,7 @@ impl KernelBuilder {
             name: name.to_string(),
             elem,
             len,
+            shared: false,
         });
         self.kernel.init.push(init);
         self.kernel.arrays.len() - 1
@@ -815,13 +845,47 @@ mod tests {
         assert_eq!(shards[1].arrays[a].len, 3);
         // ...including the index stream...
         assert_eq!(shards[2].init[idx], vec![1, 2, 0]);
-        // ...while the gathered table stays whole in every shard.
+        // ...while the gathered table stays whole in every shard, and —
+        // being read-only — is marked cross-core shared; the sliced and
+        // written arrays are not.
         for s in &shards {
             assert_eq!(s.arrays[table].len, 3);
             assert_eq!(s.init[table], vec![7, 8, 9]);
+            assert!(s.arrays[table].shared, "read-only table is shared");
+            assert!(!s.arrays[a].shared, "sliced arrays stay private");
+            assert!(!s.arrays[idx].shared, "sliced arrays stay private");
             assert!(s.validate().is_ok());
         }
         assert_eq!(shards[0].name, "K#0/3");
+        // Unsharded kernels mark nothing.
+        assert!(k.arrays.iter().all(|d| !d.shared));
+        assert!(k.shard(1).unwrap()[0].arrays.iter().all(|d| !d.shared));
+    }
+
+    #[test]
+    fn shard_keeps_written_replicated_arrays_private() {
+        // A scalar accumulator is replicated whole into every shard but
+        // *written* — it must not be marked shared (per-core state a
+        // parallelizing compiler privatizes; sharing its line would
+        // ping-pong under an invalidation protocol).
+        let mut kb = KernelBuilder::new("K");
+        let a = kb.array_i64_init("a", &(0..8).collect::<Vec<i64>>());
+        let acc = kb.array_i64_init("acc", &[0]);
+        let table = kb.array_i64_init("t", &[3, 4]);
+        let idx = kb.array_i64_init("idx", &[0, 1, 0, 1, 0, 1, 0, 1]);
+        kb.begin_loop(8);
+        let ra = kb.ref_affine(a, 1, 0);
+        let racc = kb.ref_affine(acc, 0, 0);
+        let ridx = kb.ref_affine(idx, 1, 0);
+        let rt = kb.ref_indirect(table, ridx, 0);
+        kb.stmt(racc, Expr::add(Expr::Ref(racc), Expr::Ref(ra)));
+        kb.stmt(ra, Expr::add(Expr::Ref(ra), Expr::Ref(rt)));
+        kb.end_loop();
+        let shards = kb.build().unwrap().shard(2).unwrap();
+        for s in &shards {
+            assert!(!s.arrays[acc].shared, "written accumulator is private");
+            assert!(s.arrays[table].shared, "read-only gather target shared");
+        }
     }
 
     #[test]

@@ -2,13 +2,17 @@
 //!
 //! The uncore knobs a machine configuration combines with [`CoreConfig`]
 //! are re-exported here for discoverability: [`L3Geometry`] (banking of
-//! the shared last-level cache) and [`DramTiming`] (row-buffer timing of
-//! the memory channel). Their defaults decompose the historical flat
-//! DRAM latency, so a cold access costs the same either way; the
-//! `flat_dram` escape hatch in `hsim_mem::DramConfig` restores the
-//! pre-banking backside bit for bit.
+//! the shared last-level cache), [`DramTiming`] (row-buffer timing of
+//! the memory channel), and [`CoherenceMode`]/[`CoherenceConfig`] (the
+//! inter-core coherence model of the shared backside —
+//! [`CoherenceMode::Replicate`] keeps per-core private replicas bit-for-
+//! bit as before; [`CoherenceMode::Mesi`] adds a directory slice per L3
+//! bank serving registered shared ranges from one copy). The DRAM
+//! defaults decompose the historical flat DRAM latency, so a cold access
+//! costs the same either way; the `flat_dram` escape hatch in
+//! `hsim_mem::DramConfig` restores the pre-banking backside bit for bit.
 
-pub use hsim_mem::{DramTiming, L3Geometry};
+pub use hsim_mem::{CoherenceConfig, CoherenceMode, DramTiming, L3Geometry};
 
 /// Configuration of the out-of-order core.
 #[derive(Clone, Debug)]

@@ -34,7 +34,7 @@ pub mod port;
 pub mod stats;
 
 pub use branch::{BranchPredictor, Btb, Ras};
-pub use config::{CoreConfig, DramTiming, L3Geometry};
+pub use config::{CoherenceConfig, CoherenceMode, CoreConfig, DramTiming, L3Geometry};
 pub use pipeline::Core;
 pub use port::{DmaKind, MemSide, MemoryPort, RouteInfo};
 pub use stats::CoreStats;

@@ -27,7 +27,14 @@
 //!   affected requester to its caller ([`RowOutcome`], the drained-write
 //!   owner), so the shared backside can mirror every increment into
 //!   exactly one per-core share; summing per-core shares always
-//!   reproduces the channel totals.
+//!   reproduces the channel totals. The `core` recorded with a posted
+//!   write is whoever the backside charges the write to — for write
+//!   throughs and dirty victims the requester, for MESI M-state
+//!   interventions the *owner* whose dirty line is recalled — and the
+//!   drain-time row outcome is attributed to that same core, so
+//!   intervention-triggered writes partition exactly like every other
+//!   counter (pinned by the hierarchy partitioning tests in both
+//!   coherence modes).
 //! * **Horizon monotonicity** — [`DramController::next_event_after`]
 //!   returns the earliest cycle strictly after `now` at which channel or
 //!   bank occupancy changes. All controller state changes happen

@@ -30,14 +30,49 @@
 //! (`MachineConfig::with_flat_backside`). Single-core systems embed a
 //! private one-core backside.
 //!
+//! ## Inter-core coherence modes
+//!
+//! How the shared arrays treat the *same* system-memory address on two
+//! cores is governed by [`CoherenceMode`]:
+//!
+//! * [`CoherenceMode::Replicate`] (the default, and the only model of
+//!   earlier revisions): every cacheable line is tagged with its core id
+//!   in the shared arrays, so cores keep fully private replicas — no
+//!   read sharing, no invalidation traffic. Bit-identical to the
+//!   pre-directory backside.
+//! * [`CoherenceMode::Mesi`]: address ranges registered as cross-core
+//!   shared ([`SharedBackside::mark_shared_range`], fed from the kernel
+//!   sharder's read-only replicated-whole arrays) drop the core tag.
+//!   Each L3 bank owns a **directory slice** tracking, per resident
+//!   shared line, the MESI upper-copy state
+//!   ([`hsim_coherence::mesi::MesiState`]), a sharer bitset and the
+//!   M-owner. Reads are served to multiple cores from one line
+//!   (`shared_hits`); a write recalls other sharers' copies with
+//!   invalidation messages; a read of another core's Modified line pays
+//!   an intervention that writes the owner's data back; evicting a
+//!   shared line (capacity or DMA) back-invalidates every upper copy.
+//!   Message latencies are charged on the home bank's port, so the
+//!   event horizon already covers them. Everything outside the
+//!   registered ranges keeps the `Replicate` path.
+//!
+//! The per-tile hybrid LM protocol never enters this machinery: LM
+//! accesses bypass the backside entirely, and DMA bus requests hit the
+//! directory exactly like any other bus agent (paper §3: the protocols
+//! do not interact).
+//!
 //! ## Invariants
 //!
 //! * **Exact stat partitioning** — every counter the backside increments
 //!   (L3 bank activity, DRAM lines and row outcomes, bus waits, bank
-//!   conflicts, queue stalls) is attributed to exactly one core's
-//!   [`BacksideCoreStats`]; summing per-core shares always reproduces
-//!   the aggregate `l3_total_stats()` / `dram_total_stats()`. Tests pin
-//!   this for every counter.
+//!   conflicts, queue stalls, coherence messages) is attributed to
+//!   exactly one core's [`BacksideCoreStats`]; summing per-core shares
+//!   always reproduces the aggregate `l3_total_stats()` /
+//!   `dram_total_stats()` / `coherence_total_stats()`. This includes
+//!   writes the directory posts on M-state interventions and dirty
+//!   shared-victim evictions: the DRAM write and its eventual drain-time
+//!   row outcome are charged to the *owner* whose dirty data is written
+//!   back (interventions) or to the evicting requester (clean-path
+//!   victims), never double-counted. Tests pin this for every counter.
 //! * **Horizon monotonicity** — [`SharedBackside::next_event_after`]
 //!   covers *every* backside resource that can free up in the future
 //!   (all L3 bank ports, the DRAM channel, every DRAM bank). Backside
@@ -53,7 +88,9 @@ use crate::lm::{LmConfig, LocalMem};
 use crate::mshr::{MshrFile, MshrOutcome};
 use crate::prefetch::{PrefetchConfig, StreamPrefetcher};
 use crate::tlb::{Tlb, TlbConfig};
+use hsim_coherence::mesi::{MesiAction, MesiEvent, MesiState};
 use std::cell::RefCell;
+use std::collections::HashMap;
 use std::rc::Rc;
 
 /// Which component served an access (for AMAT and replay accounting).
@@ -113,6 +150,104 @@ impl Default for L3Geometry {
     }
 }
 
+/// Inter-core coherence model of the shared backside (see the module
+/// docs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CoherenceMode {
+    /// Per-core address tagging: cores keep private replicas of every
+    /// cacheable line (the historical model; bit-identical to the
+    /// pre-directory backside).
+    Replicate,
+    /// A MESI directory slice at each L3 bank serves registered shared
+    /// ranges from one copy, with invalidation and intervention
+    /// messages.
+    Mesi,
+}
+
+impl CoherenceMode {
+    /// Reads the mode from the `HSIM_COHERENCE` environment variable
+    /// (`mesi` selects [`CoherenceMode::Mesi`]; anything else, or the
+    /// variable being unset, selects [`CoherenceMode::Replicate`]).
+    /// This is the CI matrix knob: the same test and bench-smoke suite
+    /// runs once per mode. Tests that pin recorded cycle counts set the
+    /// mode explicitly instead of inheriting it from here.
+    pub fn from_env() -> Self {
+        match std::env::var("HSIM_COHERENCE").as_deref() {
+            Ok(v) if v.eq_ignore_ascii_case("mesi") => CoherenceMode::Mesi,
+            _ => CoherenceMode::Replicate,
+        }
+    }
+}
+
+/// Coherence-mode configuration: the model plus the message timings the
+/// directory charges on the home bank's port.
+#[derive(Clone, Debug)]
+pub struct CoherenceConfig {
+    /// The inter-core model.
+    pub mode: CoherenceMode,
+    /// Cycles an M-state intervention adds to the requesting access
+    /// (recalling the owner's dirty line: probe + transfer).
+    pub intervention_latency: u64,
+    /// Cycles an invalidation round adds to a writing access that must
+    /// recall other sharers' copies (the messages travel in parallel;
+    /// one round covers all sharers).
+    pub inval_latency: u64,
+}
+
+impl Default for CoherenceConfig {
+    fn default() -> Self {
+        CoherenceConfig {
+            mode: CoherenceMode::Replicate,
+            // An intervention is an L2-probe round trip into another
+            // tile plus the line transfer: on the order of an L2 visit
+            // both ways.
+            intervention_latency: 30,
+            // An invalidation round is a one-way multicast plus the
+            // combined acknowledgement.
+            inval_latency: 12,
+        }
+    }
+}
+
+impl CoherenceConfig {
+    /// The default timings with the mode taken from `HSIM_COHERENCE`
+    /// (see [`CoherenceMode::from_env`]).
+    pub fn from_env() -> Self {
+        CoherenceConfig {
+            mode: CoherenceMode::from_env(),
+            ..Default::default()
+        }
+    }
+}
+
+/// Per-core inter-core coherence activity (all zero under
+/// [`CoherenceMode::Replicate`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CoherenceStats {
+    /// L3 hits this core scored on a shared line brought in or also held
+    /// by another core — the replication traffic the directory saved.
+    pub shared_hits: u64,
+    /// Invalidation messages this core's writes (and the evictions and
+    /// DMA puts it caused) sent to other cores' upper levels.
+    pub invalidations_sent: u64,
+    /// M-state interventions this core's requests triggered (another
+    /// core's dirty line was recalled to serve them).
+    pub interventions: u64,
+    /// Invalidation messages applied to this core's own L1/L2 (the
+    /// receive side of `invalidations_sent`).
+    pub upper_invals_applied: u64,
+}
+
+impl CoherenceStats {
+    /// Merges another stats block into this one.
+    pub fn merge(&mut self, other: &CoherenceStats) {
+        self.shared_hits += other.shared_hits;
+        self.invalidations_sent += other.invalidations_sent;
+        self.interventions += other.interventions;
+        self.upper_invals_applied += other.upper_invals_applied;
+    }
+}
+
 /// Full memory-system configuration.
 #[derive(Clone, Debug)]
 pub struct MemConfig {
@@ -142,6 +277,8 @@ pub struct MemConfig {
     pub lm: Option<LmConfig>,
     /// DMA controller configuration.
     pub dma: DmaConfig,
+    /// Inter-core coherence model of the shared backside.
+    pub coherence: CoherenceConfig,
 }
 
 impl MemConfig {
@@ -192,6 +329,7 @@ impl MemConfig {
             l3_port_gap: 0,
             lm: Some(LmConfig::default()),
             dma: DmaConfig::default(),
+            coherence: CoherenceConfig::from_env(),
         }
     }
 
@@ -224,6 +362,9 @@ pub struct BacksideCoreStats {
     /// contention signal (a strict subset of `bus_requests`, and 0 when
     /// `l3_port_gap` is 0).
     pub bank_conflicts: u64,
+    /// Inter-core coherence activity (all zero under
+    /// [`CoherenceMode::Replicate`]).
+    pub coh: CoherenceStats,
 }
 
 /// Core-id tag position inside backside line addresses. SM addresses are
@@ -232,13 +373,79 @@ pub struct BacksideCoreStats {
 /// real machine gets from physical allocation.
 const CORE_TAG_SHIFT: u32 = 48;
 
-/// One bank of the shared L3: its slice of the array plus its own
-/// arbitrated port.
+/// The pseudo-core id tagging cross-core **shared** lines in the shared
+/// arrays under [`CoherenceMode::Mesi`]. Real core ids are small, so the
+/// tag can never collide with a private line's.
+const SHARED_CORE: usize = (1 << 16) - 1;
+
+/// One resident shared line's directory record: the MESI state of the
+/// copies *above* the shared L3, the sharer bitset, and the owner
+/// (meaningful in `Exclusive`/`Modified`). `MesiState::Invalid` means
+/// the line is L3-resident with no upper copies (e.g. after the last
+/// holder wrote it back).
+#[derive(Clone, Copy, Debug)]
+struct DirEntry {
+    state: MesiState,
+    sharers: u64,
+    owner: usize,
+}
+
+impl DirEntry {
+    /// Whether `core` is recorded as holding a copy of this line above
+    /// the shared L3.
+    fn holds(&self, core: usize) -> bool {
+        match self.state {
+            MesiState::Invalid => false,
+            MesiState::Shared => self.sharers & (1 << core) != 0,
+            MesiState::Exclusive | MesiState::Modified => self.owner == core,
+        }
+    }
+
+    /// The protocol event a request by `core` presents to this line's
+    /// home slice — the bridge from cache traffic to the
+    /// [`MesiState::step`] transition table in `hsim-coherence`.
+    fn event_for(&self, core: usize, kind: AccessKind) -> MesiEvent {
+        let local = self.holds(core);
+        match kind {
+            AccessKind::Read | AccessKind::Prefetch => {
+                if local {
+                    MesiEvent::LocalRead
+                } else {
+                    MesiEvent::RemoteRead
+                }
+            }
+            AccessKind::Write => {
+                if local {
+                    MesiEvent::LocalWrite
+                } else {
+                    MesiEvent::RemoteWrite
+                }
+            }
+        }
+    }
+}
+
+/// The per-bank slice of the MESI directory: one record per resident
+/// shared line of this bank (entry existence tracks L3 residency;
+/// capacity therefore never exceeds the bank's line count). Empty and
+/// untouched under [`CoherenceMode::Replicate`].
+#[derive(Default)]
+struct DirectorySlice {
+    /// Bank-local line address → record.
+    entries: HashMap<u64, DirEntry>,
+}
+
+/// One bank of the shared L3: its slice of the array, its own arbitrated
+/// port, and its slice of the MESI directory.
 struct L3Bank {
     cache: Cache,
     /// When this bank's port frees up (`l3_port_gap` occupancy per
-    /// request; never advances when the gap is 0).
+    /// request; never advances when the gap is 0). Coherence messages
+    /// the directory sends occupy the port too, so the event horizon
+    /// covers them through this field.
     busy_until: u64,
+    /// This bank's directory slice (shared lines homed here).
+    dir: DirectorySlice,
 }
 
 /// The chip-wide memory backside: a banked shared L3 in front of one
@@ -267,6 +474,15 @@ pub struct SharedBackside {
     /// Per-core residency-event queues (coherence tracking); `None`
     /// entries collect nothing.
     events: Vec<Option<Vec<CacheEvent>>>,
+    /// Inter-core coherence model and message timings.
+    coherence: CoherenceConfig,
+    /// Byte ranges registered as cross-core shared (`[start, end)`);
+    /// consulted only under [`CoherenceMode::Mesi`].
+    shared_ranges: Vec<(u64, u64)>,
+    /// Per-core queues of back-invalidation messages (global line
+    /// addresses) the directory sent; each tile drains its queue into
+    /// its L1/L2 at its next memory operation.
+    pending_upper_inval: Vec<Vec<u64>>,
 }
 
 impl SharedBackside {
@@ -288,11 +504,16 @@ impl SharedBackside {
             size_bytes: cfg.l3.size_bytes / n_banks as u64,
             ..cfg.l3.clone()
         };
+        assert!(
+            n_cores < SHARED_CORE,
+            "core count collides with the shared-line tag"
+        );
         SharedBackside {
             banks: (0..n_banks)
                 .map(|_| L3Bank {
                     cache: Cache::new(bank_cfg.clone()),
                     busy_until: 0,
+                    dir: DirectorySlice::default(),
                 })
                 .collect(),
             dram: DramController::new(cfg.dram.clone()),
@@ -302,6 +523,9 @@ impl SharedBackside {
             bank_bits: n_banks.trailing_zeros(),
             per_core: vec![BacksideCoreStats::default(); n_cores],
             events: (0..n_cores).map(|_| None).collect(),
+            coherence: cfg.coherence.clone(),
+            shared_ranges: Vec::new(),
+            pending_upper_inval: (0..n_cores).map(|_| Vec::new()).collect(),
         }
     }
 
@@ -333,6 +557,88 @@ impl SharedBackside {
     /// Aggregate DRAM statistics (all cores).
     pub fn dram_total_stats(&self) -> DramStats {
         self.dram.stats
+    }
+
+    /// Aggregate inter-core coherence statistics summed over the
+    /// per-core shares (which partition them exactly, like every other
+    /// backside counter).
+    pub fn coherence_total_stats(&self) -> CoherenceStats {
+        let mut total = CoherenceStats::default();
+        for s in &self.per_core {
+            total.merge(&s.coh);
+        }
+        total
+    }
+
+    /// The inter-core coherence model this backside runs.
+    pub fn coherence_mode(&self) -> CoherenceMode {
+        self.coherence.mode
+    }
+
+    /// Registers `[start, start + bytes)` as cross-core shared data:
+    /// under [`CoherenceMode::Mesi`] its lines drop the per-core tag and
+    /// are tracked by the per-bank directory slices. Under
+    /// [`CoherenceMode::Replicate`] the registration is recorded but
+    /// never consulted. Duplicate registrations (every tile registers
+    /// the same shard layout) are idempotent.
+    pub fn mark_shared_range(&mut self, start: u64, bytes: u64) {
+        if bytes == 0 || self.shared_ranges.contains(&(start, start + bytes)) {
+            return;
+        }
+        self.shared_ranges.push((start, start + bytes));
+    }
+
+    /// Whether `line_addr` belongs to a registered shared range under
+    /// the MESI mode (always `false` under `Replicate`).
+    #[inline]
+    fn is_shared_line(&self, line_addr: u64) -> bool {
+        self.coherence.mode == CoherenceMode::Mesi
+            && self
+                .shared_ranges
+                .iter()
+                .any(|&(s, e)| line_addr >= s && line_addr < e)
+    }
+
+    /// Drains the back-invalidation messages addressed to `core`'s upper
+    /// levels, counting their application. Always empty under
+    /// `Replicate`.
+    pub fn take_upper_invals(&mut self, core: usize) -> Vec<u64> {
+        let lines = std::mem::take(&mut self.pending_upper_inval[core]);
+        self.per_core[core].coh.upper_invals_applied += lines.len() as u64;
+        lines
+    }
+
+    /// Whether any back-invalidation is pending for `core` (lets tiles
+    /// skip the drain borrow on the hot path).
+    pub fn has_upper_invals(&self, core: usize) -> bool {
+        !self.pending_upper_inval[core].is_empty()
+    }
+
+    /// Sends one back-invalidation for the global line `line` to every
+    /// core in the `sharers` bitset (the caller excludes any core that
+    /// keeps its copy), charging the messages to `from` and raising
+    /// eviction residency events for the recipients.
+    fn recall_sharers(&mut self, sharers: u64, from: usize, line: u64) {
+        let mut rest = sharers;
+        while rest != 0 {
+            let s = rest.trailing_zeros() as usize;
+            rest &= rest - 1;
+            self.pending_upper_inval[s].push(line);
+            self.per_core[from].coh.invalidations_sent += 1;
+            self.push_event(s, line, false);
+        }
+    }
+
+    /// Occupies `bank`'s port for `cycles` starting no earlier than
+    /// `start` — the channel cost of coherence messages the directory
+    /// sends. Ideally-ported configurations (`l3_port_gap == 0`) have an
+    /// ideal coherence channel too, mirroring the request-port model.
+    fn occupy_bank(&mut self, bank: usize, start: u64, cycles: u64) {
+        if self.l3_port_gap == 0 || cycles == 0 {
+            return;
+        }
+        let b = &mut self.banks[bank];
+        b.busy_until = b.busy_until.max(start) + cycles;
     }
 
     /// The bank serving `line_addr` (low line-number bits).
@@ -398,13 +704,58 @@ impl SharedBackside {
         }
     }
 
-    /// Handles an L3 bank's evicted line: a residency event goes to the
+    /// Handles an L3 bank's evicted line.
+    ///
+    /// Private (core-tagged) victims: a residency event goes to the
     /// victim's owner; dirty victims post to DRAM, charged to the
     /// requesting core whose fill caused the eviction (matching the
     /// pre-banking attribution).
+    ///
+    /// Shared victims ([`CoherenceMode::Mesi`]): the directory entry is
+    /// retired and every upper copy recalled (back-invalidation messages
+    /// charged to the evicting requester — the sharer-eviction race the
+    /// protocol must close). The write-back of an M-state victim is
+    /// charged to its *owner*, whose dirty data it is; a merely
+    /// L3-dirty victim is charged to the requester like a private one.
     fn victim(&mut self, bank: usize, ev: Evicted, now: u64, core: usize) {
         let (owner, local) = Self::untag(ev.addr);
         let global = self.global_addr(local, bank);
+        if owner == SHARED_CORE {
+            let entry = self.banks[bank].dir.entries.remove(&local);
+            let e = entry.unwrap_or(DirEntry {
+                state: MesiState::Invalid,
+                sharers: 0,
+                owner: core,
+            });
+            // Evicting the home copy: the transition table decides what
+            // the recall owes (`Evict` from M additionally writes the
+            // owner's dirty data back).
+            let (next, action) = e.state.step(MesiEvent::Evict);
+            debug_assert_eq!(next, MesiState::Invalid);
+            self.recall_sharers(e.sharers, core, global);
+            if e.sharers != 0 {
+                self.occupy_bank(bank, now, self.coherence.inval_latency);
+            }
+            if matches!(
+                action,
+                MesiAction::Writeback | MesiAction::WritebackAndInvalidate
+            ) {
+                // The L3 copy is stale against the owner's: recall and
+                // write back the owner's data, charged to the owner. The
+                // bank array only counted a write-back if its own copy
+                // was dirty; mirror the recall into the aggregate so the
+                // per-core shares keep partitioning it exactly.
+                self.post_dram_write(now, Self::tag(SHARED_CORE, global), e.owner);
+                self.per_core[e.owner].l3.writebacks_out += 1;
+                if !ev.dirty {
+                    self.banks[bank].cache.stats.writebacks_out += 1;
+                }
+            } else if ev.dirty {
+                self.post_dram_write(now, Self::tag(SHARED_CORE, global), core);
+                self.per_core[core].l3.writebacks_out += 1;
+            }
+            return;
+        }
         self.push_event(owner, global, false);
         if ev.dirty {
             self.post_dram_write(now, Self::tag(owner, global), core);
@@ -446,17 +797,23 @@ impl SharedBackside {
 
     /// An L3 bank lookup (and, on miss, the DRAM walk) for `line_addr`
     /// on behalf of `core`. `now` is the cycle the request reaches the
-    /// L3 (after the L2 latency). Returns the latency beyond the L2 and
-    /// the serving level.
+    /// L3 (after the L2 latency). Returns the latency beyond the L2, the
+    /// serving level, and whether the access paid an M-state
+    /// intervention (always `false` under [`CoherenceMode::Replicate`];
+    /// the tile flags the MSHR entry with it so merge stalls can be
+    /// attributed to cross-core sharing).
     pub fn access(
         &mut self,
         core: usize,
         now: u64,
         line_addr: u64,
         kind: AccessKind,
-    ) -> (u64, Level) {
+    ) -> (u64, Level, bool) {
+        let shared = self.is_shared_line(line_addr);
+        let tag_core = if shared { SHARED_CORE } else { core };
         let bank = self.bank_of(line_addr);
-        let a = Self::tag(core, self.local_addr(line_addr));
+        let local = self.local_addr(line_addr);
+        let a = Self::tag(tag_core, local);
         let start = self.arbitrate(core, now, bank);
         let wait = start - now;
         let l3_latency = self.l3_latency;
@@ -473,14 +830,21 @@ impl SharedBackside {
             }
         }
         if hit {
-            return (wait + l3_latency, Level::L3);
+            let (coh_extra, intervention) = if shared {
+                self.dir_on_hit(bank, core, line_addr, kind, start + l3_latency)
+            } else {
+                (0, false)
+            };
+            return (wait + l3_latency + coh_extra, Level::L3, intervention);
         }
-        // The DRAM row mapping sees the core-tagged full line address:
-        // distinct cores' private lines are distinct physical lines, so
-        // they occupy distinct rows (and interfere in the row buffers).
+        // The DRAM row mapping sees the tagged full line address: in
+        // `Replicate` mode distinct cores' private lines are distinct
+        // physical lines, so they occupy distinct rows (and interfere in
+        // the row buffers); a shared line is one physical line for every
+        // core.
         let (dram_latency, outcome) = self
             .dram
-            .read(start + l3_latency, Self::tag(core, line_addr));
+            .read(start + l3_latency, Self::tag(tag_core, line_addr));
         {
             let s = &mut self.per_core[core].dram;
             s.reads += 1;
@@ -499,18 +863,133 @@ impl SharedBackside {
                 s.prefetch_fills += 1;
             }
         }
+        if shared {
+            // A freshly resident shared line: the requester is its sole
+            // upper holder (Exclusive on reads, Modified on a
+            // write-allocate RFO).
+            let state = if kind == AccessKind::Write {
+                MesiState::Modified
+            } else {
+                MesiState::Exclusive
+            };
+            self.banks[bank].dir.entries.insert(
+                local,
+                DirEntry {
+                    state,
+                    sharers: 1 << core,
+                    owner: core,
+                },
+            );
+        }
         self.push_event(core, line_addr, true);
-        (wait + l3_latency + dram_latency, Level::Dram)
+        (wait + l3_latency + dram_latency, Level::Dram, false)
+    }
+
+    /// The directory transition for an L3 hit on a shared line: serves
+    /// read sharing, recalls other sharers on a write, and performs the
+    /// M-state intervention when another core owns the line dirty.
+    /// Returns the message latency charged to the requesting access and
+    /// whether an intervention happened. `msg_start` is the cycle the
+    /// messages leave the home slice (after the L3 lookup).
+    fn dir_on_hit(
+        &mut self,
+        bank: usize,
+        core: usize,
+        line_addr: u64,
+        kind: AccessKind,
+        msg_start: u64,
+    ) -> (u64, bool) {
+        let local = self.local_addr(line_addr);
+        let me = 1u64 << core;
+        let iv_lat = self.coherence.intervention_latency;
+        let inv_lat = self.coherence.inval_latency;
+        let mut e = *self.banks[bank]
+            .dir
+            .entries
+            .get(&local)
+            .expect("resident shared line must have a directory entry");
+        let was = e.state;
+        let old_owner = e.owner;
+        let others = e.sharers & !me;
+        // The hsim-coherence transition table decides the successor
+        // state and the protocol work owed; the slice carries what the
+        // line-state enum cannot — the sharer bitset and the owner.
+        let (next, action) = e.state.step(e.event_for(core, kind));
+        e.state = next;
+        let mut extra = 0u64;
+        let intervention = matches!(
+            action,
+            MesiAction::Writeback | MesiAction::WritebackAndInvalidate
+        );
+        if intervention {
+            // M-state intervention: recall and write back the owner's
+            // dirty data (charged to the owner).
+            extra += iv_lat;
+            self.per_core[core].coh.interventions += 1;
+            self.post_dram_write(msg_start, Self::tag(SHARED_CORE, line_addr), old_owner);
+            self.occupy_bank(bank, msg_start, iv_lat);
+        }
+        match kind {
+            AccessKind::Read | AccessKind::Prefetch => {
+                if !intervention && others != 0 {
+                    self.per_core[core].coh.shared_hits += 1;
+                }
+                if was == MesiState::Invalid {
+                    // First holder after a quiet spell: the Exclusive
+                    // owner `step` promoted the line to.
+                    e.owner = core;
+                }
+                e.sharers |= me;
+            }
+            AccessKind::Write => {
+                if others != 0 {
+                    // One invalidation round covers every other sharer.
+                    extra += inv_lat;
+                    self.recall_sharers(others, core, line_addr);
+                    self.occupy_bank(bank, msg_start, inv_lat);
+                }
+                e.owner = core;
+                e.sharers = me;
+            }
+        }
+        self.banks[bank].dir.entries.insert(local, e);
+        (extra, intervention)
     }
 
     /// Accepts a dirty line written back by a core's L2 (eviction
-    /// cascade); dirty L3 victims continue to DRAM.
+    /// cascade); dirty L3 victims continue to DRAM. For a shared line
+    /// the write-back also means the core evicted its upper copy: its
+    /// sharer bit is cleared, and an M-owner's write-back demotes the
+    /// entry (`Shared` if others still hold it, else no upper copies).
     pub fn accept_writeback(&mut self, core: usize, now: u64, line_addr: u64) {
+        let shared = self.is_shared_line(line_addr);
+        let tag_core = if shared { SHARED_CORE } else { core };
         let bank = self.bank_of(line_addr);
-        let a = Self::tag(core, self.local_addr(line_addr));
+        let local = self.local_addr(line_addr);
+        let a = Self::tag(tag_core, local);
         let had = self.banks[bank].cache.probe(a);
         if let Some(ev) = self.banks[bank].cache.writeback_fill(a) {
             self.victim(bank, ev, now, core);
+        }
+        if shared {
+            let me = 1u64 << core;
+            let e = self.banks[bank]
+                .dir
+                .entries
+                .entry(local)
+                .or_insert(DirEntry {
+                    state: MesiState::Invalid,
+                    sharers: 0,
+                    owner: core,
+                });
+            e.sharers &= !me;
+            if e.state.is_exclusive() && e.owner == core {
+                e.state = if e.sharers == 0 {
+                    MesiState::Invalid
+                } else {
+                    MesiState::Shared
+                };
+            }
         }
         let s = &mut self.per_core[core].l3;
         s.writebacks_in += 1;
@@ -523,31 +1002,125 @@ impl SharedBackside {
     }
 
     /// A write-through store that missed the core's L2: updates the L3
-    /// copy when resident, otherwise posts the write to DRAM.
+    /// copy when resident, otherwise posts the write to DRAM. Writing a
+    /// resident shared line claims M ownership and recalls other
+    /// sharers' copies.
     pub fn writethrough(&mut self, core: usize, now: u64, line_addr: u64) {
+        let shared = self.is_shared_line(line_addr);
+        let tag_core = if shared { SHARED_CORE } else { core };
         let bank = self.bank_of(line_addr);
-        let a = Self::tag(core, self.local_addr(line_addr));
+        let local = self.local_addr(line_addr);
+        let a = Self::tag(tag_core, local);
         self.per_core[core].l3.writethrough_writes += 1;
-        if !self.banks[bank].cache.writethrough_from_above(a) {
-            self.post_dram_write(now, Self::tag(core, line_addr), core);
+        if self.banks[bank].cache.writethrough_from_above(a) {
+            if shared {
+                self.claim_ownership(bank, core, local, line_addr, now);
+            }
+        } else {
+            self.post_dram_write(now, Self::tag(tag_core, line_addr), core);
         }
     }
 
-    /// A `dma-get` bus-request snoop that missed the core's L1/L2.
-    pub fn snoop(&mut self, core: usize, line_addr: u64) -> bool {
+    /// Notes a store by `core` that *hit* its private L2 on `line_addr`
+    /// without descending here. Private lines need nothing; for a
+    /// resident shared line the directory still has to learn about the
+    /// write — ownership moves to the writer and other sharers are
+    /// recalled. No latency is charged to the store (write-through posts
+    /// are fire-and-forget); the recall messages occupy the home bank's
+    /// port. Cheap no-op under `Replicate` (the tile does not even call
+    /// in).
+    pub fn note_shared_store(&mut self, core: usize, now: u64, line_addr: u64) {
+        if !self.is_shared_line(line_addr) {
+            return;
+        }
         let bank = self.bank_of(line_addr);
+        let local = self.local_addr(line_addr);
+        if self.banks[bank].dir.entries.contains_key(&local) {
+            self.claim_ownership(bank, core, local, line_addr, now);
+        }
+    }
+
+    /// Moves a resident shared line to `Modified` owned by `core`,
+    /// recalling every other sharer's upper copy.
+    fn claim_ownership(&mut self, bank: usize, core: usize, local: u64, line_addr: u64, now: u64) {
+        let me = 1u64 << core;
+        let Some(mut e) = self.banks[bank].dir.entries.get(&local).copied() else {
+            return;
+        };
+        let old_owner = e.owner;
+        let others = e.sharers & !me;
+        let (next, action) = e.state.step(e.event_for(core, AccessKind::Write));
+        e.state = next;
+        if others != 0 {
+            self.recall_sharers(others, core, line_addr);
+            self.occupy_bank(bank, now, self.coherence.inval_latency);
+        }
+        if matches!(
+            action,
+            MesiAction::Writeback | MesiAction::WritebackAndInvalidate
+        ) {
+            // The previous owner's dirty data is recalled and written
+            // back before the new owner's write supersedes it.
+            self.per_core[core].coh.interventions += 1;
+            self.post_dram_write(now, Self::tag(SHARED_CORE, line_addr), old_owner);
+            self.occupy_bank(bank, now, self.coherence.intervention_latency);
+        }
+        e.owner = core;
+        e.sharers = me;
+        self.banks[bank].dir.entries.insert(local, e);
+    }
+
+    /// A `dma-get` bus-request snoop that missed the core's L1/L2. A hit
+    /// on a shared line Modified by *another* core is the in-flight-DMA
+    /// intervention: the owner's dirty data is recalled and written back
+    /// (so the transfer reads current data), and the line downgrades to
+    /// `Shared`.
+    pub fn snoop(&mut self, core: usize, now: u64, line_addr: u64) -> bool {
+        let shared = self.is_shared_line(line_addr);
+        let tag_core = if shared { SHARED_CORE } else { core };
+        let bank = self.bank_of(line_addr);
+        let local = self.local_addr(line_addr);
         self.per_core[core].l3.snoops += 1;
-        let a = Self::tag(core, self.local_addr(line_addr));
-        self.banks[bank].cache.snoop(a)
+        let a = Self::tag(tag_core, local);
+        let present = self.banks[bank].cache.snoop(a);
+        if shared && present {
+            if let Some(mut e) = self.banks[bank].dir.entries.get(&local).copied() {
+                if e.state == MesiState::Modified && e.owner != core {
+                    // A DMA engine is not a caching reader, so only the
+                    // M-recall transition of the protocol table applies
+                    // (RemoteRead on Modified): the sharer set is left
+                    // alone and the DMA never joins it.
+                    let (next, action) = e.state.step(MesiEvent::RemoteRead);
+                    debug_assert_eq!(action, MesiAction::Writeback);
+                    self.per_core[core].coh.interventions += 1;
+                    self.post_dram_write(now, Self::tag(SHARED_CORE, line_addr), e.owner);
+                    self.occupy_bank(bank, now, self.coherence.intervention_latency);
+                    e.state = next;
+                    self.banks[bank].dir.entries.insert(local, e);
+                }
+            }
+        }
+        present
     }
 
     /// A `dma-put` bus-request invalidation. Returns whether the line was
-    /// resident.
+    /// resident. Invalidating a shared line retires its directory entry
+    /// and recalls every *other* core's upper copy (the requester
+    /// invalidates its own L1/L2 as part of the `dma-put` walk); no
+    /// write-back — the DMA data supersedes any cached copy (§2.1).
     pub fn invalidate(&mut self, core: usize, line_addr: u64) -> bool {
+        let shared = self.is_shared_line(line_addr);
+        let tag_core = if shared { SHARED_CORE } else { core };
         let bank = self.bank_of(line_addr);
+        let local = self.local_addr(line_addr);
         self.per_core[core].l3.invalidations += 1;
-        let a = Self::tag(core, self.local_addr(line_addr));
+        let a = Self::tag(tag_core, local);
         let present = self.banks[bank].cache.invalidate(a).is_some();
+        if shared {
+            if let Some(e) = self.banks[bank].dir.entries.remove(&local) {
+                self.recall_sharers(e.sharers & !(1 << core), core, line_addr);
+            }
+        }
         if present {
             self.push_event(core, line_addr, false);
         }
@@ -568,12 +1141,32 @@ impl SharedBackside {
     }
 
     /// Whether `line_addr` (a core-local address) is resident in the
-    /// shared L3 on behalf of `core`.
+    /// shared L3 on behalf of `core` (for a shared line: on behalf of
+    /// every core).
     pub fn probe(&self, core: usize, line_addr: u64) -> bool {
+        let tag_core = if self.is_shared_line(line_addr) {
+            SHARED_CORE
+        } else {
+            core
+        };
         let bank = self.bank_of(line_addr);
         self.banks[bank]
             .cache
-            .probe(Self::tag(core, self.local_addr(line_addr)))
+            .probe(Self::tag(tag_core, self.local_addr(line_addr)))
+    }
+
+    /// The MESI sharer count of a resident shared line (tests and
+    /// reports; `None` when the line is not directory-tracked).
+    pub fn sharer_count(&self, line_addr: u64) -> Option<u32> {
+        if !self.is_shared_line(line_addr) {
+            return None;
+        }
+        let bank = self.bank_of(line_addr);
+        self.banks[bank]
+            .dir
+            .entries
+            .get(&self.local_addr(line_addr))
+            .map(|e| e.sharers.count_ones())
     }
 
     /// The earliest backside resource release strictly after `now` — any
@@ -729,8 +1322,31 @@ impl MemSystem {
         }
     }
 
+    /// Applies any back-invalidation messages the directory addressed to
+    /// this tile's L1/L2 (recalls of shared lines another core wrote or
+    /// evicted). A cheap no-op under `Replicate` — the backside is not
+    /// even consulted.
+    fn apply_upper_invals(&mut self) {
+        if self.cfg.coherence.mode != CoherenceMode::Mesi {
+            return;
+        }
+        if !self.backside.borrow().has_upper_invals(self.core_id) {
+            return;
+        }
+        let lines = self.backside.borrow_mut().take_upper_invals(self.core_id);
+        for a in lines {
+            if self.l1d.invalidate(a).is_some() {
+                self.ev(a, false);
+            }
+            if self.l2.invalidate(a).is_some() {
+                self.ev(a, false);
+            }
+        }
+    }
+
     /// A demand access to system memory from instruction at `pc`.
     pub fn data_access(&mut self, now: u64, pc: u64, addr: u64, write: bool) -> AccessResponse {
+        self.apply_upper_invals();
         let tlb_penalty = self.tlb.access(addr);
         let now = now + tlb_penalty;
 
@@ -774,9 +1390,12 @@ impl MemSystem {
                 ((ready_at - now).max(self.cfg.l1d.latency), Level::L1)
             }
             MshrOutcome::Allocated { idx, start_at } => {
-                let (below, served) = self.walk_l2(start_at, line_addr, kind);
+                let (below, served, intervention) = self.walk_l2(start_at, line_addr, kind);
                 let total = (start_at - now) + self.cfg.l1d.latency + below;
                 self.mshr.set_ready(idx, now + total);
+                if intervention {
+                    self.mshr.note_intervention(idx);
+                }
                 // Place the line in L1 (write-through L1 victims are
                 // always clean).
                 if let Some(ev) = self.l1d.fill(line_addr, false, false) {
@@ -801,24 +1420,34 @@ impl MemSystem {
     /// Propagates a write-through store below L1. The walk above
     /// guarantees L2 normally holds the line; when it does not, the write
     /// keeps descending into the shared backside (and is posted to DRAM
-    /// at the bottom).
+    /// at the bottom). Under `Mesi`, a store absorbed by the L2 still
+    /// notifies the directory when the line is shared, so ownership
+    /// tracking stays sound.
     fn writethrough_below(&mut self, now: u64, addr: u64) {
         let a2 = self.l2.line_addr(addr);
         if self.l2.writethrough_from_above(a2) {
+            if self.cfg.coherence.mode == CoherenceMode::Mesi {
+                self.backside
+                    .borrow_mut()
+                    .note_shared_store(self.core_id, now, a2);
+                self.pull_backside_events();
+            }
             return;
         }
         self.backside
             .borrow_mut()
             .writethrough(self.core_id, now, a2);
+        self.pull_backside_events();
     }
 
     /// Walks L2 and then the shared L3 → DRAM backside for a missing L1
-    /// line. Returns the latency beyond L1 and the serving level.
-    fn walk_l2(&mut self, now: u64, line_addr: u64, kind: AccessKind) -> (u64, Level) {
+    /// line. Returns the latency beyond L1, the serving level, and
+    /// whether the backside walk paid an M-state intervention.
+    fn walk_l2(&mut self, now: u64, line_addr: u64, kind: AccessKind) -> (u64, Level, bool) {
         if self.l2.access(line_addr, kind) {
-            return (self.cfg.l2.latency, Level::L2);
+            return (self.cfg.l2.latency, Level::L2, false);
         }
-        let (below, served) = self.backside.borrow_mut().access(
+        let (below, served, intervention) = self.backside.borrow_mut().access(
             self.core_id,
             now + self.cfg.l2.latency,
             line_addr,
@@ -836,7 +1465,7 @@ impl MemSystem {
             }
         }
         self.ev(line_addr, true);
-        (self.cfg.l2.latency + below, served)
+        (self.cfg.l2.latency + below, served, intervention)
     }
 
     /// Issues one prefetch to `line` (fills L1, L2 and L3 as in Table 1).
@@ -851,7 +1480,7 @@ impl MemSystem {
         }
         // Bring the line in below (counts L2/L3 activity), then fill
         // upward flagged as prefetched.
-        let (latency, _) = self.walk_l2(now, line, AccessKind::Prefetch);
+        let (latency, _, intervention) = self.walk_l2(now, line, AccessKind::Prefetch);
         if let Some(ev) = self.l1d.fill(line, false, true) {
             self.ev(ev.addr, false);
         }
@@ -862,6 +1491,9 @@ impl MemSystem {
             self.mshr.lookup_or_allocate(line, now)
         {
             self.mshr.set_ready(idx, start_at + latency);
+            if intervention {
+                self.mshr.note_intervention(idx);
+            }
         }
     }
 
@@ -871,7 +1503,7 @@ impl MemSystem {
             return self.cfg.l1i.latency;
         }
         let line = self.l1i.line_addr(addr);
-        let (below, _) = self.walk_l2(now, line, AccessKind::Read);
+        let (below, _, _) = self.walk_l2(now, line, AccessKind::Read);
         self.l1i.fill(line, false, false);
         self.cfg.l1i.latency + below
     }
@@ -881,13 +1513,14 @@ impl MemSystem {
     /// requests generated by a dma-get look for the data in the caches")
     /// and returns the command completion cycle.
     pub fn dma_get(&mut self, now: u64, sm_addr: u64, bytes: u64, tag: u8) -> u64 {
+        self.apply_upper_invals();
         let line = self.cfg.l1d.line_bytes;
         let mut a = sm_addr & !(line - 1);
         while a < sm_addr + bytes {
             // Snoop top-down; stop at the first level holding the line.
             if !self.l1d.snoop(a) && !self.l2.snoop(a) {
                 let mut bs = self.backside.borrow_mut();
-                if !bs.snoop(self.core_id, a) {
+                if !bs.snoop(self.core_id, now, a) {
                     bs.note_dram_read(self.core_id);
                 }
             }
@@ -903,6 +1536,7 @@ impl MemSystem {
     /// invalidates every matching cache line in the whole hierarchy
     /// (paper §2.1). Returns the command completion cycle.
     pub fn dma_put(&mut self, now: u64, sm_addr: u64, bytes: u64, tag: u8) -> u64 {
+        self.apply_upper_invals();
         let line = self.cfg.l1d.line_bytes;
         let mut a = sm_addr & !(line - 1);
         while a < sm_addr + bytes {
@@ -1297,6 +1931,194 @@ mod tests {
         }
         // Adjacent lines rotate through the banks.
         assert_ne!(bs.bank_of(0x1000_0000), bs.bank_of(0x1000_0040));
+    }
+
+    // ------------------------------------------------- MESI directory
+
+    /// Two tiles in Mesi mode with `[0x1000_0000, +8 MiB)` registered as
+    /// cross-core shared.
+    fn mesi_pair(l3_port_gap: u64) -> (MemSystem, MemSystem) {
+        let mut cfg = MemConfig::hybrid();
+        cfg.prefetch.enabled = false;
+        cfg.l3_port_gap = l3_port_gap;
+        cfg.coherence.mode = CoherenceMode::Mesi;
+        let backside = Rc::new(RefCell::new(SharedBackside::new(&cfg, 2)));
+        backside
+            .borrow_mut()
+            .mark_shared_range(0x1000_0000, 8 << 20);
+        let a = MemSystem::with_backside(cfg.clone(), Rc::clone(&backside), 0);
+        let b = MemSystem::with_backside(cfg, backside, 1);
+        (a, b)
+    }
+
+    #[test]
+    fn shared_read_is_served_without_replication() {
+        let (mut a, mut b) = mesi_pair(0);
+        a.data_access(0, 0x40, 0x1000_0000, false);
+        // The second core hits the line the first brought in: one DRAM
+        // read total, and the directory records two sharers.
+        let r = b.data_access(10_000, 0x40, 0x1000_0000, false);
+        assert_eq!(r.served, Level::L3, "read sharing must hit the L3");
+        assert_eq!(a.dram_stats().reads, 1);
+        assert_eq!(b.dram_stats().reads, 0, "no replicated DRAM read");
+        assert_eq!(b.backside_stats().coh.shared_hits, 1);
+        let bs = a.shared_backside();
+        assert_eq!(bs.borrow().sharer_count(0x1000_0000), Some(2));
+    }
+
+    #[test]
+    fn outside_registered_ranges_mesi_keeps_private_replicas() {
+        let (mut a, mut b) = mesi_pair(0);
+        a.data_access(0, 0x40, 0x5000_0000, false);
+        let r = b.data_access(10_000, 0x40, 0x5000_0000, false);
+        assert_eq!(r.served, Level::Dram, "private data stays core-tagged");
+        assert_eq!(b.dram_stats().reads, 1);
+        assert_eq!(b.backside_stats().coh.shared_hits, 0);
+    }
+
+    #[test]
+    fn write_recalls_sharers_and_read_back_pays_intervention() {
+        let (mut a, mut b) = mesi_pair(0);
+        a.data_access(0, 0x40, 0x1000_0000, false);
+        b.data_access(10_000, 0x44, 0x1000_0000, false);
+        assert!(b.l1d.probe(0x1000_0000), "B holds an upper copy");
+        // A stores to the shared line: its L2 absorbs the write-through,
+        // and the directory recalls B's copy.
+        a.data_access(20_000, 0x48, 0x1000_0004, true);
+        assert_eq!(a.backside_stats().coh.invalidations_sent, 1);
+        // B's next access first applies the recall (losing its L1/L2
+        // copies), then re-misses into the L3, where A's M state forces
+        // an intervention: A's dirty data is written back, charged to A.
+        let writes_before = a.dram_stats().writes;
+        let r = b.data_access(30_000, 0x4c, 0x1000_0000, false);
+        assert_eq!(b.backside_stats().coh.upper_invals_applied, 1);
+        assert!(!b.l1d.probe(0x1000_0010) || r.served == Level::L3);
+        assert_eq!(r.served, Level::L3, "L3 still holds the line");
+        assert_eq!(b.backside_stats().coh.interventions, 1);
+        assert_eq!(
+            a.dram_stats().writes,
+            writes_before + 1,
+            "the intervention write-back is charged to the owner"
+        );
+        let bs = a.shared_backside();
+        assert_eq!(bs.borrow().sharer_count(0x1000_0000), Some(2));
+    }
+
+    #[test]
+    fn dma_get_snoop_intervenes_on_remote_modified_line() {
+        let (mut a, mut b) = mesi_pair(0);
+        // A write-allocates the shared line: Modified, owned by A.
+        a.data_access(0, 0x40, 0x1000_0000, true);
+        let writes_before = a.dram_stats().writes;
+        // B's dma-get over the same line snoops the hierarchy while the
+        // line is M elsewhere: the owner's data must be recalled so the
+        // transfer reads current data.
+        b.dma_get(1000, 0x1000_0000, 64, 0);
+        assert_eq!(b.backside_stats().coh.interventions, 1);
+        assert_eq!(a.dram_stats().writes, writes_before + 1);
+    }
+
+    #[test]
+    fn shared_line_eviction_back_invalidates_sharers() {
+        let (mut a, mut b) = mesi_pair(0);
+        // Both cores share line 0x1000_0000.
+        a.data_access(0, 0x40, 0x1000_0000, false);
+        b.data_access(1_000, 0x44, 0x1000_0000, false);
+        assert!(b.l1d.probe(0x1000_0000));
+        // A floods the victim's L3 bank set with other shared lines
+        // until 0x1000_0000 is evicted. Bank-local set stride: banks *
+        // sets_per_bank * line bytes.
+        let bs = a.shared_backside();
+        let (banks, ways, sets) = {
+            let bs = bs.borrow();
+            let ways = bs.banks[0].cache.cfg.ways as u64;
+            (
+                bs.n_banks() as u64,
+                ways,
+                bs.banks[0].cache.cfg.num_sets() as u64,
+            )
+        };
+        let stride = banks * sets * 64;
+        let mut i = 1u64;
+        while bs.borrow().probe(0, 0x1000_0000) {
+            a.data_access(10_000 + i * 700, 0x48, 0x1000_0000 + i * stride, false);
+            assert!(i <= 2 * ways, "eviction must happen within the set");
+            i += 1;
+        }
+        // The eviction recalled every sharer's copy (the sharer-eviction
+        // race): B's next access applies it and re-misses to DRAM.
+        assert!(a.backside_stats().coh.invalidations_sent >= 2);
+        let r = b.data_access(900_000, 0x4c, 0x1000_0000, false);
+        assert!(b.backside_stats().coh.upper_invals_applied >= 1);
+        assert_eq!(r.served, Level::Dram, "the shared copy is gone");
+    }
+
+    #[test]
+    fn mesi_stats_still_partition_chip_totals_exactly() {
+        // The satellite invariant: with interventions, recalls and
+        // owner-attributed write-backs in play, per-core shares must
+        // still sum to the aggregate backside totals for every counter.
+        let (mut a, mut b) = mesi_pair(4);
+        for i in 0..64u64 {
+            a.data_access(i * 500, 0x40, 0x1000_0000 + i * 64, i % 5 == 0);
+            b.data_access(i * 500 + 3, 0x44, 0x1000_0000 + i * 64, i % 7 == 0);
+            b.data_access(i * 500 + 9, 0x48, 0x5000_0000 + i * 128, false);
+        }
+        // Force evictions of shared lines with set-conflicting traffic.
+        let bs = a.shared_backside();
+        let stride = {
+            let bs = bs.borrow();
+            bs.n_banks() as u64 * bs.banks[0].cache.cfg.num_sets() as u64 * 64
+        };
+        for i in 0..40u64 {
+            a.data_access(100_000 + i * 800, 0x4c, 0x1000_0000 + i * stride, true);
+        }
+        let total_l3 = bs.borrow().l3_total_stats();
+        let total_dram = bs.borrow().dram_total_stats();
+        let total_coh = bs.borrow().coherence_total_stats();
+        let (sa, sb) = (a.backside_stats(), b.backside_stats());
+        let mut l3 = sa.l3;
+        l3.merge(&sb.l3);
+        assert_eq!(l3, total_l3, "L3 shares must partition the totals");
+        assert_eq!(sa.dram.reads + sb.dram.reads, total_dram.reads);
+        assert_eq!(sa.dram.writes + sb.dram.writes, total_dram.writes);
+        assert_eq!(sa.dram.row_hits + sb.dram.row_hits, total_dram.row_hits);
+        assert_eq!(
+            sa.dram.row_misses + sb.dram.row_misses,
+            total_dram.row_misses
+        );
+        assert_eq!(
+            sa.dram.row_conflicts + sb.dram.row_conflicts,
+            total_dram.row_conflicts
+        );
+        assert_eq!(
+            sa.dram.queue_stalls + sb.dram.queue_stalls,
+            total_dram.queue_stalls
+        );
+        let mut coh = sa.coh;
+        coh.merge(&sb.coh);
+        assert_eq!(coh, total_coh, "coherence shares must partition");
+        assert!(
+            total_coh.shared_hits > 0 && total_coh.invalidations_sent > 0,
+            "the workload must actually exercise the directory"
+        );
+    }
+
+    #[test]
+    fn replicate_mode_has_inert_directory_state() {
+        let (mut a, mut b) = shared_pair(4);
+        for i in 0..32u64 {
+            a.data_access(i * 500, 0x40, 0x1000_0000 + i * 64, i % 3 == 0);
+            b.data_access(i * 500 + 3, 0x44, 0x1000_0000 + i * 64, false);
+        }
+        let bs = a.shared_backside();
+        assert_eq!(
+            bs.borrow().coherence_total_stats(),
+            CoherenceStats::default()
+        );
+        assert_eq!(bs.borrow().sharer_count(0x1000_0000), None);
+        assert!(!bs.borrow().has_upper_invals(0));
+        assert!(!bs.borrow().has_upper_invals(1));
     }
 
     #[test]

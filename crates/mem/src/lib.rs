@@ -45,8 +45,8 @@ pub use backing::{DramConfig, DramController, DramStats, DramTiming, PagedMem, R
 pub use cache::{AccessKind, Cache, CacheConfig, CacheStats, WritePolicy};
 pub use dma::{DmaConfig, DmaOp, DmaStats, Dmac};
 pub use hierarchy::{
-    AccessResponse, BacksideCoreStats, CacheEvent, L3Geometry, Level, MemConfig, MemSystem,
-    SharedBackside,
+    AccessResponse, BacksideCoreStats, CacheEvent, CoherenceConfig, CoherenceMode, CoherenceStats,
+    L3Geometry, Level, MemConfig, MemSystem, SharedBackside,
 };
 pub use lm::{LmConfig, LocalMem};
 pub use mshr::MshrFile;

@@ -28,6 +28,10 @@ struct Entry {
     line_addr: u64,
     ready_at: u64,
     valid: bool,
+    /// The fill's backside walk included an inter-core coherence
+    /// intervention (M-state recall), lengthening it; merges against
+    /// this entry are stalled by another core's dirty data.
+    intervention: bool,
 }
 
 /// Statistics of the MSHR file.
@@ -39,6 +43,10 @@ pub struct MshrStats {
     pub merges: u64,
     /// Cycles lost waiting for a free entry.
     pub full_stall_cycles: u64,
+    /// Of the merges, those that waited on a fill lengthened by an
+    /// inter-core M-state intervention (`CoherenceMode::Mesi` only): the
+    /// per-core cost of sharing a line another core is writing.
+    pub intervention_stalls: u64,
 }
 
 /// A file of miss-status holding registers.
@@ -77,7 +85,8 @@ impl MshrFile {
                 Entry {
                     line_addr: 0,
                     ready_at: 0,
-                    valid: false
+                    valid: false,
+                    intervention: false,
                 };
                 n
             ],
@@ -106,6 +115,9 @@ impl MshrFile {
         for e in &self.entries {
             if e.valid && e.line_addr == line_addr && e.ready_at != u64::MAX && e.ready_at > now {
                 self.stats.merges += 1;
+                if e.intervention {
+                    self.stats.intervention_stalls += 1;
+                }
                 return Some(e.ready_at);
             }
         }
@@ -118,6 +130,9 @@ impl MshrFile {
         for e in &self.entries {
             if e.valid && e.line_addr == line_addr && e.ready_at > now {
                 self.stats.merges += 1;
+                if e.intervention {
+                    self.stats.intervention_stalls += 1;
+                }
                 return MshrOutcome::Merged {
                     ready_at: e.ready_at,
                 };
@@ -154,6 +169,7 @@ impl MshrFile {
             line_addr,
             ready_at: u64::MAX, // provisional until set_ready
             valid: true,
+            intervention: false,
         };
         MshrOutcome::Allocated { idx, start_at }
     }
@@ -173,6 +189,14 @@ impl MshrFile {
     pub fn set_ready(&mut self, idx: usize, ready_at: u64) {
         debug_assert!(self.entries[idx].valid);
         self.entries[idx].ready_at = ready_at;
+    }
+
+    /// Flags an allocated entry's fill as lengthened by an inter-core
+    /// M-state intervention; later merges against it count as
+    /// [`MshrStats::intervention_stalls`].
+    pub fn note_intervention(&mut self, idx: usize) {
+        debug_assert!(self.entries[idx].valid);
+        self.entries[idx].intervention = true;
     }
 
     /// Clears all entries (statistics are kept).
@@ -250,6 +274,31 @@ mod tests {
         }
         assert_eq!(m.in_flight(10), 1);
         assert_eq!(m.in_flight(100), 0);
+    }
+
+    #[test]
+    fn merges_on_intervention_fills_count_as_intervention_stalls() {
+        let mut m = MshrFile::new(4);
+        let idx = match m.lookup_or_allocate(0x1000, 0) {
+            MshrOutcome::Allocated { idx, .. } => idx,
+            other => panic!("{other:?}"),
+        };
+        m.set_ready(idx, 300);
+        m.note_intervention(idx);
+        assert_eq!(
+            m.lookup_or_allocate(0x1000, 10),
+            MshrOutcome::Merged { ready_at: 300 }
+        );
+        assert_eq!(m.pending_ready(0x1000, 20), Some(300));
+        assert_eq!(m.stats.merges, 2);
+        assert_eq!(m.stats.intervention_stalls, 2);
+        // Re-allocation clears the flag.
+        match m.lookup_or_allocate(0x1000, 400) {
+            MshrOutcome::Allocated { idx, .. } => m.set_ready(idx, 500),
+            other => panic!("{other:?}"),
+        }
+        m.pending_ready(0x1000, 450);
+        assert_eq!(m.stats.intervention_stalls, 2, "clean fill must not count");
     }
 
     #[test]

@@ -477,6 +477,224 @@ pub fn backside_sweep_parallel(
     Ok(rows)
 }
 
+/// One point of the scaling experiment: one kernel sharded over one
+/// core count, with the speedup against its own 1-core run and the
+/// bus-wait breakdown of where the scaling went.
+#[derive(Clone, Debug)]
+pub struct ScalingRow {
+    /// Kernel name.
+    pub kernel: String,
+    /// Simulated core count.
+    pub cores: usize,
+    /// Parallel makespan in cycles.
+    pub makespan: u64,
+    /// Speedup against the same kernel's 1-core makespan.
+    pub speedup: f64,
+    /// Total committed instructions over all cores.
+    pub committed: u64,
+    /// Aggregate IPC (total committed over the makespan).
+    pub aggregate_ipc: f64,
+    /// Total cycles cores spent waiting on L3 bank ports — the
+    /// contention share of the lost scaling.
+    pub bus_wait_cycles: u64,
+    /// Requests that found their L3 bank's port busy.
+    pub bank_conflicts: u64,
+    /// Machine-wide DRAM row-buffer hit rate in percent.
+    pub dram_row_hit_rate: f64,
+    /// Total DRAM line reads (replication traffic shows up here).
+    pub dram_reads: u64,
+}
+
+/// Runs the scaling sweep for one kernel: its 1-core run (the speedup
+/// denominator) followed by every requested core count. Core counts a
+/// kernel cannot shard to are skipped, like the backside sweep does.
+fn scaling_rows_for(
+    kernel: &Kernel,
+    core_counts: &[usize],
+    cfg: &MachineConfig,
+) -> Result<Vec<ScalingRow>, SimError> {
+    let run = |cores: usize| -> Result<Option<MultiRunReport>, SimError> {
+        match run_kernel_multi_with(kernel, cores, cfg.clone()) {
+            Ok(m) => Ok(Some(m)),
+            Err(MultiRunError::Shard(_)) => Ok(None),
+            Err(MultiRunError::Sim(e)) => Err(e),
+        }
+    };
+    let Some(base) = run(1)? else {
+        return Ok(Vec::new());
+    };
+    let mut rows = Vec::new();
+    for &cores in core_counts {
+        let m = if cores == 1 {
+            base.clone()
+        } else {
+            match run(cores)? {
+                Some(m) => m,
+                None => continue,
+            }
+        };
+        rows.push(ScalingRow {
+            kernel: kernel.name.clone(),
+            cores,
+            makespan: m.makespan,
+            speedup: base.makespan as f64 / m.makespan.max(1) as f64,
+            committed: m.total_committed(),
+            aggregate_ipc: m.aggregate_ipc(),
+            bus_wait_cycles: m.total_bus_wait_cycles(),
+            bank_conflicts: m.total_bank_conflicts(),
+            dram_row_hit_rate: m.dram_row_hit_rate(),
+            dram_reads: m.total_dram_reads(),
+        });
+    }
+    Ok(rows)
+}
+
+/// The scaling experiment (promoted from the `scaling` bench):
+/// speedup-vs-cores curves per kernel with bus-wait breakdowns, on
+/// machines built from `cfg`. Rows are grouped by kernel, core counts
+/// ascending within a group when `core_counts` is ascending.
+pub fn scaling_sweep(
+    kernels: &[Kernel],
+    core_counts: &[usize],
+    cfg: &MachineConfig,
+) -> Result<Vec<ScalingRow>, SimError> {
+    let mut rows = Vec::new();
+    for k in kernels {
+        rows.extend(scaling_rows_for(k, core_counts, cfg)?);
+    }
+    Ok(rows)
+}
+
+/// [`scaling_sweep`] with one host job per kernel (each job runs that
+/// kernel's whole curve, since every point normalizes against the
+/// kernel's own 1-core run). Results are identical to the sequential
+/// driver.
+pub fn scaling_sweep_parallel(
+    kernels: &[Kernel],
+    core_counts: &[usize],
+    cfg: &MachineConfig,
+) -> Result<Vec<ScalingRow>, SimError> {
+    let per_kernel = parallel_map(kernels.iter().collect(), |k| {
+        scaling_rows_for(k, core_counts, cfg)
+    });
+    let mut rows = Vec::new();
+    for r in per_kernel {
+        rows.extend(r?);
+    }
+    Ok(rows)
+}
+
+/// One point of the coherence-mode comparison: the same sharded kernel
+/// at the same core count under `Replicate` and under `Mesi`, side by
+/// side.
+#[derive(Clone, Debug)]
+pub struct CoherenceSweepRow {
+    /// Kernel name.
+    pub kernel: String,
+    /// Simulated core count.
+    pub cores: usize,
+    /// Makespan under `CoherenceMode::Replicate`.
+    pub makespan_replicate: u64,
+    /// Makespan under `CoherenceMode::Mesi`.
+    pub makespan_mesi: u64,
+    /// Total DRAM line reads under `Replicate` (shared tables are
+    /// fetched once per core).
+    pub dram_reads_replicate: u64,
+    /// Total DRAM line reads under `Mesi` (shared tables are fetched
+    /// once per chip, directory permitting).
+    pub dram_reads_mesi: u64,
+    /// Shared-line L3 hits the directory served (Mesi run).
+    pub shared_hits: u64,
+    /// Invalidation messages sent (Mesi run).
+    pub invalidations: u64,
+    /// M-state interventions (Mesi run).
+    pub interventions: u64,
+    /// Total committed instructions (identical in both runs — the modes
+    /// may only change timing, never architectural work).
+    pub committed: u64,
+}
+
+/// Runs one coherence-comparison point; `None` when the kernel does not
+/// shard to `cores`.
+fn coherence_point(
+    kernel: &Kernel,
+    cores: usize,
+    mode: SysMode,
+) -> Result<Option<CoherenceSweepRow>, MultiRunError> {
+    use hsim_core::config::CoherenceMode;
+    let run = |cm: CoherenceMode| {
+        run_kernel_multi_with(
+            kernel,
+            cores,
+            MachineConfig::for_mode(mode).with_coherence(cm),
+        )
+    };
+    let rep = match run(CoherenceMode::Replicate) {
+        Ok(m) => m,
+        Err(MultiRunError::Shard(_)) => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    let mesi = run(CoherenceMode::Mesi)?;
+    assert_eq!(
+        rep.total_committed(),
+        mesi.total_committed(),
+        "{} x{cores}: coherence modes must not change committed work",
+        kernel.name
+    );
+    Ok(Some(CoherenceSweepRow {
+        kernel: kernel.name.clone(),
+        cores,
+        makespan_replicate: rep.makespan,
+        makespan_mesi: mesi.makespan,
+        dram_reads_replicate: rep.total_dram_reads(),
+        dram_reads_mesi: mesi.total_dram_reads(),
+        shared_hits: mesi.total_shared_hits(),
+        invalidations: mesi.total_invalidations(),
+        interventions: mesi.total_interventions(),
+        committed: rep.total_committed(),
+    }))
+}
+
+/// The coherence-mode comparison: every kernel × core-count point run
+/// under `Replicate` and `Mesi` on otherwise identical machines. Points
+/// a kernel cannot shard to are skipped.
+pub fn coherence_sweep(
+    kernels: &[Kernel],
+    core_counts: &[usize],
+    mode: SysMode,
+) -> Result<Vec<CoherenceSweepRow>, MultiRunError> {
+    let mut rows = Vec::new();
+    for k in kernels {
+        for &cores in core_counts {
+            if let Some(row) = coherence_point(k, cores, mode)? {
+                rows.push(row);
+            }
+        }
+    }
+    Ok(rows)
+}
+
+/// [`coherence_sweep`] with one host job per (kernel, core-count)
+/// point. Results are identical to the sequential driver.
+pub fn coherence_sweep_parallel(
+    kernels: &[Kernel],
+    core_counts: &[usize],
+    mode: SysMode,
+) -> Result<Vec<CoherenceSweepRow>, MultiRunError> {
+    let points: Vec<(&Kernel, usize)> = kernels
+        .iter()
+        .flat_map(|k| core_counts.iter().map(move |&c| (k, c)))
+        .collect();
+    let results = parallel_map(points, |(k, cores)| coherence_point(k, cores, mode));
+    let mut rows = Vec::new();
+    for r in results {
+        if let Some(row) = r? {
+            rows.push(row);
+        }
+    }
+    Ok(rows)
+}
+
 /// Geometric-mean helper used when averaging ratios across benchmarks.
 pub fn geomean(xs: impl Iterator<Item = f64>) -> f64 {
     let (sum, n) = xs.fold((0.0, 0), |(s, n), x| (s + x.ln(), n + 1));

@@ -111,9 +111,11 @@ pub use hsim_mem as mem;
 pub use hsim_workloads as workloads;
 
 pub use experiments::{
-    backside_sweep, backside_sweep_parallel, compare_systems, compare_systems_parallel, fig7,
-    fig7_parallel, fig8, fig8_parallel, geomean, parallel_map, run_kernel, run_kernel_multi,
-    run_kernel_multi_with, run_kernel_verified, run_kernel_with, BacksideSweepRow,
+    backside_sweep, backside_sweep_parallel, coherence_sweep, coherence_sweep_parallel,
+    compare_systems, compare_systems_parallel, fig7, fig7_parallel, fig8, fig8_parallel, geomean,
+    parallel_map, run_kernel, run_kernel_multi, run_kernel_multi_with, run_kernel_verified,
+    run_kernel_with, scaling_sweep, scaling_sweep_parallel, BacksideSweepRow, CoherenceSweepRow,
+    ScalingRow,
 };
 pub use machine::{Machine, MachineConfig, MultiMachine, SysMode, World};
 pub use metrics::{activity, MultiRunReport, RunReport};
@@ -121,13 +123,15 @@ pub use metrics::{activity, MultiRunReport, RunReport};
 /// The most common imports for building and running kernels.
 pub mod prelude {
     pub use crate::experiments::{
-        backside_sweep, backside_sweep_parallel, compare_systems, compare_systems_parallel, fig7,
-        fig7_parallel, fig8, fig8_parallel, run_kernel, run_kernel_multi, run_kernel_multi_with,
-        run_kernel_verified, run_kernel_with, BacksideSweepRow,
+        backside_sweep, backside_sweep_parallel, coherence_sweep, coherence_sweep_parallel,
+        compare_systems, compare_systems_parallel, fig7, fig7_parallel, fig8, fig8_parallel,
+        run_kernel, run_kernel_multi, run_kernel_multi_with, run_kernel_verified, run_kernel_with,
+        scaling_sweep, scaling_sweep_parallel, BacksideSweepRow, CoherenceSweepRow, ScalingRow,
     };
     pub use crate::machine::{Machine, MachineConfig, MultiMachine, SysMode};
     pub use crate::metrics::{MultiRunReport, RunReport};
     pub use hsim_compiler::{compile, interpret, CodegenMode, Expr, Kernel, KernelBuilder};
+    pub use hsim_core::config::{CoherenceConfig, CoherenceMode};
     pub use hsim_isa::{Phase, Program, ProgramBuilder, Route};
     pub use hsim_workloads::{microbench, MicroMode, MicrobenchConfig, Scale};
 }

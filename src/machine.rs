@@ -118,12 +118,27 @@ impl MachineConfig {
     /// Restores the pre-banking backside (the `flat_dram: true` escape
     /// hatch): a single monolithic single-ported L3 bank and a
     /// fixed-latency DRAM channel with no row-buffer or write-queue
-    /// state. Runs under this configuration are bit-identical to the
-    /// revisions before the banked backside landed; the identity tests
-    /// pin that against recorded cycle counts.
+    /// state, with the inter-core coherence mode pinned to `Replicate`
+    /// (the flat backside predates the MESI directory). Runs under this
+    /// configuration are bit-identical to the revisions before the
+    /// banked backside landed; the identity tests pin that against
+    /// recorded cycle counts.
     pub fn with_flat_backside(mut self) -> Self {
         self.mem.l3_geometry.banks = 1;
         self.mem.dram.flat_dram = true;
+        self.mem.coherence.mode = hsim_core::config::CoherenceMode::Replicate;
+        self
+    }
+
+    /// Selects the inter-core coherence model of the shared backside
+    /// (overriding the `HSIM_COHERENCE` environment default):
+    /// `Replicate` keeps per-core private replicas of every cacheable
+    /// line; `Mesi` serves the sharder's replicated-whole arrays from
+    /// shared, directory-tracked lines. Committed architectural state is
+    /// identical either way — each tile's functional backing store is
+    /// private — only timing and traffic differ.
+    pub fn with_coherence(mut self, mode: hsim_core::config::CoherenceMode) -> Self {
+        self.mem.coherence.mode = mode;
         self
     }
 }
@@ -285,8 +300,14 @@ impl Machine {
 /// Everything the paper's protocol adds — LM, directory, guarded AGU
 /// path, DMAC — is private per tile and never interacts across cores
 /// (§3: the protocol "does not interact with the inter-core cache
-/// coherence protocol"); the only cross-core coupling is timing through
-/// the shared backside.
+/// coherence protocol"). Under `CoherenceMode::Replicate` the only
+/// cross-core coupling is timing through the shared backside; under
+/// `CoherenceMode::Mesi` a *real* inter-core protocol runs below the
+/// tiles — per-L3-bank directory slices serving the sharder's
+/// replicated-whole arrays from shared lines — and the §3 claim is
+/// demonstrated against it: the per-tile hybrid machinery is untouched
+/// by the mode, and the coherence-tracker invariants hold identically
+/// in both (pinned by the `mesi_directory` integration tests).
 pub struct MultiMachine {
     /// The per-core tiles, indexed by core id.
     pub tiles: Vec<Machine>,
@@ -318,7 +339,43 @@ impl MultiMachine {
         for (tile, (ck, kernel)) in m.tiles.iter_mut().zip(shards) {
             tile.load_data(ck, kernel);
         }
+        m.register_shared_ranges(shards);
         m
+    }
+
+    /// Registers the sharder's read-only replicated-whole arrays
+    /// (`ArrayDecl::shared`) as cross-core shared address ranges with
+    /// the backside, so `CoherenceMode::Mesi` can serve them from
+    /// shared directory-tracked lines instead of per-core replicas.
+    /// (Under `Replicate` the registration is recorded but never
+    /// consulted.)
+    ///
+    /// An array is only registered when **every** shard's layout places
+    /// it at the same base with the same size. Shards with uneven
+    /// slice lengths can lay out later arrays at diverging addresses
+    /// (the per-array LM-size alignment absorbs most, but not all,
+    /// length differences); a range that diverges across shards would
+    /// alias one core's table lines with another core's unrelated
+    /// private data, so such arrays silently fall back to per-core
+    /// replication instead.
+    fn register_shared_ranges(&mut self, shards: &[(CompiledKernel, Kernel)]) {
+        let Some((ck0, k0)) = shards.first() else {
+            return;
+        };
+        let backside = self.backside();
+        for (id, decl) in k0.arrays.iter().enumerate() {
+            if !decl.shared {
+                continue;
+            }
+            let slot = (ck0.layout.arrays[id].base, ck0.layout.arrays[id].bytes);
+            let agree = shards.iter().all(|(ck, k)| {
+                k.arrays[id].shared
+                    && (ck.layout.arrays[id].base, ck.layout.arrays[id].bytes) == slot
+            });
+            if agree {
+                backside.borrow_mut().mark_shared_range(slot.0, slot.1);
+            }
+        }
     }
 
     /// Number of cores.

@@ -64,6 +64,18 @@ pub struct RunReport {
     pub dram_row_conflicts: u64,
     /// This core's posted DRAM writes that found the write queue full.
     pub dram_queue_stalls: u64,
+    /// L3 hits this core scored on shared, directory-tracked lines also
+    /// held or brought in by another core (`CoherenceMode::Mesi` only;
+    /// 0 under `Replicate`).
+    pub coh_shared_hits: u64,
+    /// Invalidation messages this core's writes/evictions sent to other
+    /// cores' upper levels (Mesi only).
+    pub coh_invalidations: u64,
+    /// M-state interventions this core's requests triggered (Mesi only).
+    pub coh_interventions: u64,
+    /// MSHR merges that stalled on a fill lengthened by an intervention
+    /// (Mesi only).
+    pub coh_intervention_stalls: u64,
     /// Static guarded/total reference counts of the compiled kernel.
     pub guarded_refs: usize,
     /// Static total reference count.
@@ -112,6 +124,10 @@ impl RunReport {
             dram_row_misses: backside.dram.row_misses,
             dram_row_conflicts: backside.dram.row_conflicts,
             dram_queue_stalls: backside.dram.queue_stalls,
+            coh_shared_hits: backside.coh.shared_hits,
+            coh_invalidations: backside.coh.invalidations_sent,
+            coh_interventions: backside.coh.interventions,
+            coh_intervention_stalls: w.mem.mshr.stats.intervention_stalls,
             guarded_refs: ck.guarded_refs(),
             total_refs: ck.total_refs(),
             energy,
@@ -199,6 +215,27 @@ impl MultiRunReport {
     /// contention headline next to [`Self::total_bus_wait_cycles`].
     pub fn total_bank_conflicts(&self) -> u64 {
         self.per_core.iter().map(|r| r.l3_bank_conflicts).sum()
+    }
+
+    /// Total DRAM line reads over all cores (the replication-traffic
+    /// headline the MESI directory reduces on shared tables).
+    pub fn total_dram_reads(&self) -> u64 {
+        self.per_core.iter().map(|r| r.dram_reads).sum()
+    }
+
+    /// Total shared-line L3 hits over all cores (0 under `Replicate`).
+    pub fn total_shared_hits(&self) -> u64 {
+        self.per_core.iter().map(|r| r.coh_shared_hits).sum()
+    }
+
+    /// Total invalidation messages over all cores (0 under `Replicate`).
+    pub fn total_invalidations(&self) -> u64 {
+        self.per_core.iter().map(|r| r.coh_invalidations).sum()
+    }
+
+    /// Total M-state interventions over all cores (0 under `Replicate`).
+    pub fn total_interventions(&self) -> u64 {
+        self.per_core.iter().map(|r| r.coh_interventions).sum()
     }
 
     /// Machine-wide DRAM row-buffer hit rate in percent over all cores'

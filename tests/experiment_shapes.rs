@@ -175,6 +175,40 @@ fn parallel_drivers_match_sequential_results() {
 }
 
 #[test]
+fn scaling_sweep_produces_rising_sublinear_curves() {
+    // The promoted scaling experiment: per kernel, speedup rises with
+    // cores but stays sublinear (shared backside), and the 1-core point
+    // is exactly 1.0 by construction.
+    let cfg = MachineConfig::for_mode(SysMode::HybridCoherent);
+    let rows = scaling_sweep(&[nas::cg(Scale::Test)], &[1, 2, 4], &cfg).unwrap();
+    assert_eq!(rows.len(), 3);
+    assert!((rows[0].speedup - 1.0).abs() < 1e-12, "1-core speedup is 1");
+    for w in rows.windows(2) {
+        assert!(
+            w[1].speedup > w[0].speedup,
+            "speedup must rise: {:.2} -> {:.2}",
+            w[0].speedup,
+            w[1].speedup
+        );
+    }
+    for r in &rows {
+        assert!(
+            r.speedup <= r.cores as f64,
+            "x{}: sublinear expected, got {:.2}",
+            r.cores,
+            r.speedup
+        );
+    }
+    // The parallel driver reproduces the sequential rows exactly.
+    let par = scaling_sweep_parallel(&[nas::cg(Scale::Test)], &[1, 2, 4], &cfg).unwrap();
+    assert_eq!(par.len(), rows.len());
+    for (s, p) in rows.iter().zip(&par) {
+        assert_eq!(s.makespan, p.makespan);
+        assert_eq!(s.bus_wait_cycles, p.bus_wait_cycles);
+    }
+}
+
+#[test]
 fn multicore_sharding_scales_the_makespan_down() {
     // One CG kernel sharded over 1/2/4 cores of one machine: more cores
     // means a shorter makespan (the slices shrink), while the shared

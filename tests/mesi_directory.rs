@@ -1,0 +1,228 @@
+//! Integration tests of the per-L3-bank MESI directory
+//! (`CoherenceMode::Mesi`) against the `Replicate` baseline:
+//!
+//! * timing-only: committed architectural state (final memory images,
+//!   per-core committed counts) is identical in both modes;
+//! * sharing works: sharded CG reads less DRAM under `Mesi` because the
+//!   gathered table is fetched once per chip;
+//! * the §3 non-interaction claim: the hybrid protocol's runtime
+//!   tracker finds exactly zero violations under the real inter-core
+//!   protocol, same as under replication.
+
+use hsim::compiler::compile;
+use hsim::prelude::*;
+use hsim_workloads::nas;
+
+/// Shards `kernel`, runs it on an `n`-core machine built from `cfg`,
+/// and returns the report plus every shard's final array images.
+fn run_sharded(
+    kernel: &hsim_compiler::Kernel,
+    n: usize,
+    cfg: MachineConfig,
+) -> (MultiRunReport, Vec<Vec<Vec<u64>>>) {
+    let shards = kernel.shard(n).expect("kernel must shard");
+    let compiled: Vec<_> = shards
+        .iter()
+        .map(|s| (compile(s, cfg.mode.codegen()), s.clone()))
+        .collect();
+    let mut m = MultiMachine::for_kernels(cfg, &compiled);
+    m.run().expect("run");
+    let images: Vec<Vec<Vec<u64>>> = m
+        .tiles
+        .iter()
+        .zip(&compiled)
+        .map(|(tile, (ck, shard))| {
+            (0..shard.arrays.len())
+                .map(|id| tile.read_array(ck, shard, id))
+                .collect()
+        })
+        .collect();
+    let cks: Vec<_> = compiled.into_iter().map(|(ck, _)| ck).collect();
+    (MultiRunReport::collect(&m, &cks), images)
+}
+
+fn cfg_with(mode: SysMode, cm: CoherenceMode) -> MachineConfig {
+    MachineConfig::for_mode(mode).with_coherence(cm)
+}
+
+#[test]
+fn modes_only_change_timing_never_architectural_state() {
+    let kernel = nas::cg(Scale::Test);
+    for mode in SysMode::ALL {
+        let (rep, rep_img) = run_sharded(&kernel, 4, cfg_with(mode, CoherenceMode::Replicate));
+        let (mesi, mesi_img) = run_sharded(&kernel, 4, cfg_with(mode, CoherenceMode::Mesi));
+        assert_eq!(rep_img, mesi_img, "{mode:?}: memory images diverged");
+        for (r, m) in rep.per_core.iter().zip(&mesi.per_core) {
+            assert_eq!(
+                r.committed, m.committed,
+                "{mode:?} core {}: committed work diverged",
+                r.core_id
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_cg_reads_less_dram_under_mesi() {
+    // The acceptance shape: CG's gathered x table (replicated whole by
+    // the sharder) is fetched once per core under Replicate and once
+    // per chip under Mesi.
+    let kernel = nas::cg(Scale::Test);
+    let (rep, _) = run_sharded(
+        &kernel,
+        4,
+        cfg_with(SysMode::HybridCoherent, CoherenceMode::Replicate),
+    );
+    let (mesi, _) = run_sharded(
+        &kernel,
+        4,
+        cfg_with(SysMode::HybridCoherent, CoherenceMode::Mesi),
+    );
+    assert!(
+        mesi.total_dram_reads() < rep.total_dram_reads(),
+        "Mesi must read less DRAM: {} vs {}",
+        mesi.total_dram_reads(),
+        rep.total_dram_reads()
+    );
+    assert!(
+        mesi.total_shared_hits() > 0,
+        "the directory must serve shared hits"
+    );
+    assert_eq!(
+        rep.total_shared_hits(),
+        0,
+        "Replicate has no sharing machinery"
+    );
+}
+
+#[test]
+fn replicate_mode_matches_the_default_machine_bit_for_bit() {
+    // `with_coherence(Replicate)` must be the PR-3 machine exactly —
+    // same makespan, same per-core cycle counts — whatever the
+    // HSIM_COHERENCE environment says.
+    let kernel = nas::cg(Scale::Test);
+    let (a, _) = run_sharded(
+        &kernel,
+        4,
+        cfg_with(SysMode::HybridCoherent, CoherenceMode::Replicate),
+    );
+    let (b, _) = run_sharded(
+        &kernel,
+        4,
+        cfg_with(SysMode::HybridCoherent, CoherenceMode::Replicate),
+    );
+    assert_eq!(a.makespan, b.makespan);
+    for (x, y) in a.per_core.iter().zip(&b.per_core) {
+        assert_eq!(x.cycles, y.cycles);
+        assert_eq!(x.bus_wait_cycles, y.bus_wait_cycles);
+    }
+}
+
+#[test]
+fn hybrid_tracker_stays_clean_under_the_inter_core_protocol() {
+    // The §3 non-interaction claim, end to end: with the runtime
+    // checker replaying every LM map/writeback and cache residency
+    // event, turning the MESI directory on must not create (or mask) a
+    // single hybrid-protocol violation.
+    let kernel = nas::is(Scale::Test);
+    for cm in [CoherenceMode::Replicate, CoherenceMode::Mesi] {
+        let mut cfg = cfg_with(SysMode::HybridCoherent, cm);
+        cfg.track_coherence = true;
+        let shards = kernel.shard(2).expect("shards");
+        let compiled: Vec<_> = shards
+            .iter()
+            .map(|s| (compile(s, cfg.mode.codegen()), s.clone()))
+            .collect();
+        let mut m = MultiMachine::for_kernels(cfg, &compiled);
+        m.run().expect("run");
+        assert_eq!(m.violations(), 0, "{cm:?}: hybrid invariants violated");
+    }
+}
+
+#[test]
+fn mesi_coherence_counters_reach_the_reports() {
+    let kernel = nas::cg(Scale::Test);
+    let (mesi, _) = run_sharded(
+        &kernel,
+        4,
+        cfg_with(SysMode::HybridCoherent, CoherenceMode::Mesi),
+    );
+    // Sharing happened and was attributed to cores (partitioned, so the
+    // totals are sums of per-core shares by construction).
+    let per_core_hits: Vec<u64> = mesi.per_core.iter().map(|r| r.coh_shared_hits).collect();
+    assert_eq!(per_core_hits.iter().sum::<u64>(), mesi.total_shared_hits());
+    assert!(
+        per_core_hits.iter().filter(|&&h| h > 0).count() >= 2,
+        "several cores must benefit from sharing: {per_core_hits:?}"
+    );
+}
+
+#[test]
+fn diverged_shard_layouts_fall_back_to_replication() {
+    // Uneven shards can lay the shared table out at different addresses
+    // per shard (a sliced array whose per-shard size straddles an
+    // LM-size alignment boundary shifts everything after it). Sharing a
+    // range that is not the same slot in every layout would alias one
+    // core's table with another core's unrelated private data, so such
+    // arrays must silently stay replicated: zero sharing traffic, and
+    // Mesi bit-identical to Replicate.
+    let n = 8193u64; // 2 shards: 4097 vs 4096 elements -> 32776 vs 32768 bytes
+    let mut kb = KernelBuilder::new("uneven");
+    let a = kb.array_i64_init("a", &vec![1i64; n as usize]);
+    let idx = kb.array_i64_init("idx", &(0..n).map(|i| (i % 4) as i64).collect::<Vec<_>>());
+    let table = kb.array_i64_init("t", &[10, 20, 30, 40]);
+    kb.begin_loop(n);
+    let ra = kb.ref_affine(a, 1, 0);
+    let ridx = kb.ref_affine(idx, 1, 0);
+    let rt = kb.ref_indirect(table, ridx, 0);
+    kb.stmt(ra, Expr::add(Expr::Ref(ra), Expr::Ref(rt)));
+    kb.end_loop();
+    let kernel = kb.build().unwrap();
+
+    // Preconditions of the scenario: the table is marked shared, but
+    // the two shards lay it out at different bases.
+    let shards = kernel.shard(2).unwrap();
+    assert!(shards.iter().all(|s| s.arrays[table].shared));
+    let bases: Vec<u64> = shards
+        .iter()
+        .map(|s| compile(s, SysMode::HybridCoherent.codegen()).layout.arrays[table].base)
+        .collect();
+    assert_ne!(bases[0], bases[1], "the layouts must actually diverge");
+    let _ = (a, idx);
+
+    let (rep, rep_img) = run_sharded(
+        &kernel,
+        2,
+        cfg_with(SysMode::HybridCoherent, CoherenceMode::Replicate),
+    );
+    let (mesi, mesi_img) = run_sharded(
+        &kernel,
+        2,
+        cfg_with(SysMode::HybridCoherent, CoherenceMode::Mesi),
+    );
+    assert_eq!(mesi.total_shared_hits(), 0, "diverged table must not share");
+    assert_eq!(mesi.total_invalidations(), 0);
+    assert_eq!(
+        rep.makespan, mesi.makespan,
+        "with nothing registered, Mesi is the Replicate machine"
+    );
+    assert_eq!(rep_img, mesi_img);
+}
+
+#[test]
+fn coherence_sweep_driver_reports_the_cg_win() {
+    let rows =
+        coherence_sweep(&[nas::cg(Scale::Test)], &[1, 4], SysMode::HybridCoherent).expect("sweep");
+    assert_eq!(rows.len(), 2);
+    let one = &rows[0];
+    assert_eq!(one.cores, 1);
+    assert_eq!(
+        one.makespan_replicate, one.makespan_mesi,
+        "a lone core has nothing to share"
+    );
+    assert_eq!(one.dram_reads_replicate, one.dram_reads_mesi);
+    let four = &rows[1];
+    assert_eq!(four.cores, 4);
+    assert!(four.dram_reads_mesi < four.dram_reads_replicate);
+    assert!(four.shared_hits > 0);
+}

@@ -128,6 +128,59 @@ proptest! {
     }
 }
 
+mod coherence_mode_props {
+    use super::*;
+    use hsim::compiler::compile;
+    use hsim::machine::MultiMachine;
+
+    /// Final array images, indexed `[shard][array][element]`.
+    type Images = Vec<Vec<Vec<u64>>>;
+
+    /// Shards a kernel over `n` cores under one coherence mode and
+    /// returns (final array images per shard, committed per core);
+    /// `None` when the kernel does not shard.
+    fn run_mode(kernel: &Kernel, n: usize, cm: CoherenceMode) -> Option<(Images, Vec<u64>)> {
+        let shards = kernel.shard(n).ok()?;
+        let cfg = MachineConfig::for_mode(SysMode::HybridCoherent).with_coherence(cm);
+        let compiled: Vec<_> = shards
+            .iter()
+            .map(|s| (compile(s, cfg.mode.codegen()), s.clone()))
+            .collect();
+        let mut m = MultiMachine::for_kernels(cfg, &compiled);
+        m.run().expect("run");
+        let images = m
+            .tiles
+            .iter()
+            .zip(&compiled)
+            .map(|(tile, (ck, shard))| {
+                (0..shard.arrays.len())
+                    .map(|id| tile.read_array(ck, shard, id))
+                    .collect()
+            })
+            .collect();
+        let committed = m.tiles.iter().map(|t| t.core.stats.committed).collect();
+        Some((images, committed))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// The coherence mode is a pure timing model: for any shardable
+        /// kernel, `Replicate` and `Mesi` commit identical architectural
+        /// state (final memory images, committed instruction counts) —
+        /// the directory may only move cycles around.
+        #[test]
+        fn coherence_mode_never_changes_architectural_state(kernel in arb_kernel()) {
+            let Some((rep_img, rep_committed)) =
+                run_mode(&kernel, 2, CoherenceMode::Replicate) else { return Ok(()); };
+            let (mesi_img, mesi_committed) =
+                run_mode(&kernel, 2, CoherenceMode::Mesi).expect("shards both ways");
+            prop_assert_eq!(rep_img, mesi_img, "memory images diverged");
+            prop_assert_eq!(rep_committed, mesi_committed, "committed work diverged");
+        }
+    }
+}
+
 mod directory_props {
     use super::*;
     use hsim::coherence::{DirConfig, Directory};

@@ -46,6 +46,22 @@ fn assert_reports_equal(skip: &RunReport, lock: &RunReport, what: &str) {
     assert_eq!(skip.dram_reads, lock.dram_reads, "{what}: DRAM reads");
     assert_eq!(skip.dram_writes, lock.dram_writes, "{what}: DRAM writes");
     assert_eq!(
+        skip.coh_shared_hits, lock.coh_shared_hits,
+        "{what}: shared hits"
+    );
+    assert_eq!(
+        skip.coh_invalidations, lock.coh_invalidations,
+        "{what}: invalidations"
+    );
+    assert_eq!(
+        skip.coh_interventions, lock.coh_interventions,
+        "{what}: interventions"
+    );
+    assert_eq!(
+        skip.coh_intervention_stalls, lock.coh_intervention_stalls,
+        "{what}: intervention stalls"
+    );
+    assert_eq!(
         skip.energy_total().to_bits(),
         lock.energy_total().to_bits(),
         "{what}: energy"
@@ -152,6 +168,31 @@ fn four_core_machines_are_identical_in_all_modes() {
             "{mode:?}: total bus waits"
         );
     }
+}
+
+#[test]
+fn four_core_mesi_machines_skip_bit_identically() {
+    // The directory's message charges, back-invalidation queues and
+    // owner-attributed write-backs all live inside access calls, so the
+    // event-horizon scheduler must stay bit-identical under
+    // `CoherenceMode::Mesi` too — whatever the HSIM_COHERENCE
+    // environment leg this suite runs in.
+    let kernel = nas::cg(Scale::Test);
+    let cfg = MachineConfig::for_mode(SysMode::HybridCoherent).with_coherence(CoherenceMode::Mesi);
+    let skip = run_kernel_multi_with(&kernel, 4, cfg.clone()).expect("mesi skip run");
+    let lock = run_kernel_multi_with(&kernel, 4, cfg.with_lockstep()).expect("mesi lockstep run");
+    assert_eq!(skip.makespan, lock.makespan, "mesi: makespan");
+    for (s, l) in skip.per_core.iter().zip(&lock.per_core) {
+        assert_reports_equal(s, l, &format!("mesi cg x4 core {}", s.core_id));
+    }
+    assert!(
+        skip.total_shared_hits() > 0,
+        "the grid must actually exercise the directory"
+    );
+    assert!(
+        skip.total_skipped_cycles() > 0,
+        "the mesi run must still skip idle cycles"
+    );
 }
 
 // --------------------------------------------------------- flat backside
