@@ -40,7 +40,7 @@ fn main() {
     println!("COHERENCE: Replicate vs Mesi on the shared backside ({scale:?} scale)");
     println!("(hybrid-coherent machine; dramR = total DRAM line reads)");
     println!();
-    let t = Table::new(&[6, 5, 10, 10, 9, 9, 9, 8, 8]);
+    let t = Table::new(&[6, 5, 10, 10, 9, 9, 9, 8, 8, 8]);
     t.row(
         &[
             "kernel",
@@ -52,6 +52,7 @@ fn main() {
             "shrhits",
             "invals",
             "intervs",
+            "replfall",
         ]
         .map(String::from),
     );
@@ -67,9 +68,19 @@ fn main() {
             format!("{}", r.shared_hits),
             format!("{}", r.invalidations),
             format!("{}", r.interventions),
+            format!("{}", r.replication_fallbacks),
         ]);
     }
     println!();
+    let fallbacks: u64 = rows.iter().map(|r| r.replication_fallbacks).sum();
+    if fallbacks > 0 {
+        println!(
+            "note: {fallbacks} shared-marked array(s) fell back to per-core \
+             replication (diverged shard layouts) and were not served from \
+             shared lines under Mesi."
+        );
+        println!();
+    }
 
     // The acceptance shape: sharded CG at 4 cores must read less DRAM
     // under Mesi than under Replicate (the gathered x table is fetched
@@ -114,7 +125,8 @@ fn render_json(scale: Scale, rows: &[hsim::CoherenceSweepRow]) -> String {
              \"makespan_replicate\": {}, \"makespan_mesi\": {}, \
              \"dram_reads_replicate\": {}, \"dram_reads_mesi\": {}, \
              \"shared_hits\": {}, \"invalidations\": {}, \
-             \"interventions\": {}, \"committed\": {}}}{}\n",
+             \"interventions\": {}, \"committed\": {}, \
+             \"replication_fallbacks\": {}}}{}\n",
             r.kernel,
             r.cores,
             r.makespan_replicate,
@@ -125,6 +137,7 @@ fn render_json(scale: Scale, rows: &[hsim::CoherenceSweepRow]) -> String {
             r.invalidations,
             r.interventions,
             r.committed,
+            r.replication_fallbacks,
             if i + 1 == rows.len() { "" } else { "," }
         ));
     }

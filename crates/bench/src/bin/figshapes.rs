@@ -153,5 +153,51 @@ fn main() {
         curves[0].speedup, curves[1].speedup, curves[2].speedup, cfg.mem.coherence.mode
     );
 
+    // --------------------------------------------------------- hetero
+    // Mixed hybrid/cache chips: the all-hybrid hetero machine is the
+    // homogeneous machine exactly, and mixing in cache-based tiles
+    // moves the makespan monotonically toward (and between) the
+    // all-cache endpoint — the coexistence claim, as a curve.
+    let cg = nas::cg(Scale::Test);
+    let cores = 4;
+    let chip = |hybrid_tiles: usize| -> u64 {
+        let cfgs: Vec<MachineConfig> = (0..cores)
+            .map(|i| {
+                MachineConfig::for_mode(if i < hybrid_tiles {
+                    SysMode::HybridCoherent
+                } else {
+                    SysMode::CacheBased
+                })
+            })
+            .collect();
+        run_kernel_multi_hetero(&cg, &cfgs, &vec![1; cores])
+            .expect("hetero run")
+            .makespan
+    };
+    let all_hybrid = chip(4);
+    let mixed = chip(2);
+    let all_cache = chip(0);
+    let homo = run_kernel_multi(&cg, cores, SysMode::HybridCoherent, false)
+        .expect("homogeneous run")
+        .makespan;
+    assert_eq!(
+        all_hybrid, homo,
+        "hetero: the all-hybrid chip must equal the homogeneous machine"
+    );
+    let (lo, hi) = (all_hybrid.min(all_cache), all_hybrid.max(all_cache));
+    assert!(
+        mixed as f64 >= lo as f64 * 0.95 && mixed as f64 <= hi as f64 * 1.05,
+        "hetero: the 2H+2C chip ({mixed}) must interpolate the endpoints [{lo}, {hi}]"
+    );
+    assert!(
+        all_hybrid < all_cache,
+        "hetero: CG must favor the hybrid endpoint ({all_hybrid} vs {all_cache})"
+    );
+    checked += 3;
+    println!(
+        "hetero shapes OK (CG 4H/2H+2C/0H makespans {all_hybrid}/{mixed}/{all_cache}, \
+         all-hybrid == homogeneous)"
+    );
+
     println!("all figure shapes hold ({checked} assertions)");
 }

@@ -1,0 +1,174 @@
+//! Heterogeneous-chip sweep: mixed hybrid/cache-based tile ratios,
+//! LM-size asymmetry and weighted shards on the NAS kernels.
+//!
+//! Each kernel runs on every machine shape of
+//! [`hsim::experiments::hetero_sweep`]: all hybrid:cache tile ratios at
+//! one core count (even shards), an all-hybrid chip with half the
+//! tiles at a quarter LM budget, and a weighted mixed chip whose
+//! hybrid tiles take double iteration shares. Results are printed as a
+//! table and written to `BENCH_hetero.json`.
+//!
+//! ```text
+//! cargo run --release -p hsim-bench --bin hetero [--test-scale|--smoke]
+//! ```
+//!
+//! `--smoke` runs a minimal grid (test scale, CG + IS): the CI guard.
+//! Asserted shapes: the all-hybrid row equals the homogeneous machine
+//! exactly (the hetero path is a pure generalization), mixed ratios
+//! sit between the all-hybrid and all-cache endpoints, and weighting
+//! shards toward the hybrid tiles beats the even split on the mixed
+//! chip.
+
+use hsim::prelude::*;
+use hsim_bench::{kernels, scale_from_args, Table};
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let scale = if smoke {
+        Scale::Test
+    } else {
+        scale_from_args()
+    };
+    let mut kernels = kernels(scale);
+    if smoke {
+        kernels.retain(|k| k.name == "CG" || k.name == "IS");
+    }
+    let cores = 4;
+
+    let rows = hetero_sweep_parallel(&kernels, cores).expect("hetero sweep failed");
+
+    println!("HETERO: mixed hybrid/cache chips, LM asymmetry, weighted shards ({scale:?} scale)");
+    println!("(shape xH+yC = x hybrid + y cache-based tiles; lm/4xN = N tiles at a quarter LM)");
+    println!();
+    let t = Table::new(&[6, 12, 10, 10, 10, 9, 8, 9]);
+    t.row(
+        &[
+            "kernel",
+            "shape",
+            "makespan",
+            "committed",
+            "dramR",
+            "buswait",
+            "shrhits",
+            "replfall",
+        ]
+        .map(String::from),
+    );
+    t.sep();
+    for r in &rows {
+        t.row(&[
+            r.kernel.clone(),
+            r.label.clone(),
+            format!("{}", r.makespan),
+            format!("{}", r.committed),
+            format!("{}", r.dram_reads),
+            format!("{}", r.bus_wait_cycles),
+            format!("{}", r.shared_hits),
+            format!("{}", r.replication_fallbacks),
+        ]);
+    }
+    println!();
+
+    // Shape assertions per kernel (the CI guard):
+    for k in &kernels {
+        let row = |label: &str| rows.iter().find(|r| r.kernel == k.name && r.label == label);
+        let (Some(all_h), Some(all_c)) =
+            (row(&format!("{cores}H+0C")), row(&format!("0H+{cores}C")))
+        else {
+            continue; // kernel does not shard to this core count
+        };
+
+        // 1. The all-hybrid shape is the homogeneous machine, exactly.
+        let homo =
+            run_kernel_multi(k, cores, SysMode::HybridCoherent, false).expect("homogeneous run");
+        assert_eq!(
+            all_h.makespan, homo.makespan,
+            "{}: the all-hybrid hetero chip must reproduce the homogeneous \
+             machine bit for bit",
+            k.name
+        );
+        assert_eq!(all_h.committed, homo.total_committed(), "{}", k.name);
+
+        // 2. Mixed ratios interpolate: every xH+yC point sits between
+        //    the endpoints (inclusive, with a small contention
+        //    tolerance).
+        let (lo, hi) = (
+            all_h.makespan.min(all_c.makespan),
+            all_h.makespan.max(all_c.makespan),
+        );
+        for h in 1..cores {
+            if let Some(mix) = row(&format!("{h}H+{}C", cores - h)) {
+                assert!(
+                    mix.makespan as f64 >= lo as f64 * 0.95
+                        && mix.makespan as f64 <= hi as f64 * 1.05,
+                    "{} {}: mixed makespan {} must interpolate the endpoints \
+                     [{lo}, {hi}]",
+                    k.name,
+                    mix.label,
+                    mix.makespan
+                );
+            }
+        }
+
+        // 3. Weighted shards beat the even split on the mixed chip —
+        //    but only where the weights actually match tile strength:
+        //    the gate is the even split itself sitting well above the
+        //    all-hybrid endpoint (the cache tiles are the long pole).
+        //    On kernels where the even mixed chip already runs near
+        //    the hybrid endpoint (compute-bound EP: per-tile speeds
+        //    converge on the shared backside), a 2:1 split is the
+        //    *wrong* weighting and legitimately loses.
+        let h = cores - cores / 2;
+        if let (Some(even), Some(weighted)) = (
+            row(&format!("{h}H+{}C", cores - h)),
+            row(&format!("{h}H+{}C w2:1", cores / 2)),
+        ) {
+            if even.makespan as f64 > all_h.makespan as f64 * 1.3 {
+                assert!(
+                    weighted.makespan < even.makespan,
+                    "{}: 2:1 weights ({}) must beat the even split ({})",
+                    k.name,
+                    weighted.makespan,
+                    even.makespan
+                );
+            }
+        }
+    }
+    println!("hetero shapes OK (all-hybrid == homogeneous, mixed interpolates, weights help)");
+
+    let json = render_json(scale, cores, &rows);
+    std::fs::write("BENCH_hetero.json", &json).expect("write BENCH_hetero.json");
+    println!("wrote BENCH_hetero.json ({} rows)", rows.len());
+}
+
+/// Hand-rendered JSON (no serde in the offline tree).
+fn render_json(scale: Scale, cores: usize, rows: &[hsim::HeteroSweepRow]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"scale\": \"{scale:?}\",\n"));
+    out.push_str(&format!("  \"cores\": {cores},\n"));
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let weights: Vec<String> = r.weights.iter().map(|w| w.to_string()).collect();
+        out.push_str(&format!(
+            "    {{\"kernel\": \"{}\", \"shape\": \"{}\", \"hybrid_tiles\": {}, \
+             \"small_lm_tiles\": {}, \"weights\": [{}], \"makespan\": {}, \
+             \"committed\": {}, \"dram_reads\": {}, \"bus_wait_cycles\": {}, \
+             \"shared_hits\": {}, \"replication_fallbacks\": {}}}{}\n",
+            r.kernel,
+            r.label,
+            r.hybrid_tiles,
+            r.small_lm_tiles,
+            weights.join(", "),
+            r.makespan,
+            r.committed,
+            r.dram_reads,
+            r.bus_wait_cycles,
+            r.shared_hits,
+            r.replication_fallbacks,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

@@ -15,8 +15,9 @@
 //! | `simspeed` | host-speed benchmark of the event-horizon cycle skipper (`BENCH_simspeed.json`) |
 //! | `backside` | DRAM row-hit rate and L3 bank contention per kernel × core count (`BENCH_backside.json`; `--smoke` runs the CI guard grid) |
 //! | `scaling` | speedup-vs-cores curves per kernel with bus-wait breakdowns (`BENCH_scaling.json`; `--smoke` for CI) |
-//! | `coherence` | `Replicate` vs `Mesi` coherence modes side by side — DRAM traffic, shared hits, invalidations, interventions (`BENCH_coherence.json`; `--smoke` for CI) |
-//! | `figshapes` | no output files — asserts the monotonicity/ordering invariants of figures 7/8/9 and the scaling curves (the CI figure-shapes job) |
+//! | `coherence` | `Replicate` vs `Mesi` coherence modes side by side — DRAM traffic, shared hits, invalidations, interventions, replication fallbacks (`BENCH_coherence.json`; `--smoke` for CI) |
+//! | `hetero` | mixed hybrid/cache-based chips: tile ratios, LM-size asymmetry and weighted shards, with interpolation/identity assertions (`BENCH_hetero.json`; `--smoke` for CI) |
+//! | `figshapes` | no output files — asserts the monotonicity/ordering invariants of figures 7/8/9, the scaling curves and the mixed-chip interpolation (the CI figure-shapes job) |
 //!
 //! Every binary accepts `--test-scale` to run the small workloads (CI),
 //! and prints the paper-reported values next to the measured ones.

@@ -186,12 +186,30 @@ struct LoopEmitter<'a> {
     fp_temp: u8,
 }
 
-/// Compiles a kernel for the given mode.
+/// Compiles a kernel for the given mode, tiling against the full
+/// [`LM_SIZE`] local memory.
 pub fn compile(kernel: &Kernel, mode: CodegenMode) -> CompiledKernel {
+    compile_with_lm(kernel, mode, LM_SIZE)
+}
+
+/// Compiles a kernel for the given mode against an explicit local-memory
+/// budget of `lm_bytes` (≤ [`LM_SIZE`], the architectural LM window).
+///
+/// This is how heterogeneous machines compile per-tile code: a tile
+/// with a smaller scratchpad gets smaller DMA buffers (more round trips
+/// per array), while the emitted addresses stay inside the shared LM
+/// window, so shards compiled at different budgets coexist on one chip.
+/// `compile(k, m)` is exactly `compile_with_lm(k, m, LM_SIZE)`. The
+/// budget is ignored by modes without an LM (`CodegenMode::uses_lm`).
+pub fn compile_with_lm(kernel: &Kernel, mode: CodegenMode, lm_bytes: u64) -> CompiledKernel {
     kernel.validate().expect("invalid kernel");
     let layout = Layout::new(kernel);
     let (lm_size, max_bufs) = if mode.uses_lm() {
-        (LM_SIZE, 32)
+        assert!(
+            (64..=LM_SIZE).contains(&lm_bytes),
+            "LM budget must be in [64, {LM_SIZE}], got {lm_bytes}"
+        );
+        (lm_bytes, 32)
     } else {
         (0, 0)
     };

@@ -443,19 +443,81 @@ impl Kernel {
     /// in any ghost-cell decomposition).
     pub fn shard(&self, n: usize) -> Result<Vec<Kernel>, ShardError> {
         assert!(n >= 1, "shard count must be positive");
+        self.shard_weighted(&vec![1u64; n])
+    }
+
+    /// [`Kernel::shard`] with per-shard weights: shard `s` receives a
+    /// share of the iterations proportional to `weights[s]`, so
+    /// iteration counts can be matched to tile strength on a
+    /// heterogeneous machine (a 2:1 weight gives one core twice the
+    /// iterations of another). The split uses the largest-remainder
+    /// method with ties broken toward lower shard indices, so uniform
+    /// weights (`[1, 1, .., 1]`) reproduce [`Kernel::shard`] exactly —
+    /// shard by shard, byte for byte (pinned by a proptest).
+    ///
+    /// Every shard must end up with at least one iteration; a weight
+    /// small enough (or zero) to starve its shard is rejected as
+    /// [`ShardError::TooManyShards`]. Note that *uneven* shards slice
+    /// streamed arrays to different lengths, which can place later
+    /// arrays at diverging addresses across the shards' layouts; a
+    /// machine sharing read-only tables across cores then falls back to
+    /// per-core replication for the diverged arrays (see
+    /// `MultiMachine::replication_fallbacks`).
+    pub fn shard_weighted(&self, weights: &[u64]) -> Result<Vec<Kernel>, ShardError> {
+        assert!(!weights.is_empty(), "need at least one shard weight");
+        let n = weights.len();
         let Some(first) = self.loops.first() else {
             return Err(ShardError::NoLoops);
         };
         let iterations = first.n;
+        // Uneven loops are unshardable no matter the weights: report
+        // that before any starvation diagnosis (same precedence the
+        // unweighted `shard` always had).
         if self.loops.iter().any(|l| l.n != iterations) {
             return Err(ShardError::UnevenLoops);
         }
-        if (n as u64) > iterations {
+        // 128-bit intermediates: `iterations * weight` must not wrap
+        // for any u64 weights (the sum is widened for the same reason).
+        let total: u128 = weights.iter().map(|&w| w as u128).sum();
+        if total == 0 {
             return Err(ShardError::TooManyShards {
                 iterations,
                 shards: n,
             });
         }
+        // Largest-remainder apportionment: floor shares first, then one
+        // extra iteration each to the shards with the largest remainder
+        // (ties toward lower indices — exactly `shard`'s "first `extra`
+        // shards get one more" rule under uniform weights).
+        let share = |w: u64| iterations as u128 * w as u128;
+        let mut lens: Vec<u64> = weights.iter().map(|&w| (share(w) / total) as u64).collect();
+        let assigned: u64 = lens.iter().sum();
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|&i| (std::cmp::Reverse(share(weights[i]) % total), i));
+        for &i in order.iter().take((iterations - assigned) as usize) {
+            lens[i] += 1;
+        }
+        if lens.contains(&0) {
+            return Err(ShardError::TooManyShards {
+                iterations,
+                shards: n,
+            });
+        }
+        self.shard_slices(&lens)
+    }
+
+    /// Splits the kernel into the given iteration slices (`lens[s]`
+    /// iterations for shard `s`, in order). The shared back end of
+    /// [`Kernel::shard`] and [`Kernel::shard_weighted`].
+    fn shard_slices(&self, lens: &[u64]) -> Result<Vec<Kernel>, ShardError> {
+        let n = lens.len();
+        // The caller (`shard_weighted`) has already rejected empty and
+        // uneven loop nests and computed a covering split.
+        debug_assert_eq!(
+            lens.iter().sum::<u64>(),
+            self.loops.first().map_or(0, |l| l.n),
+            "caller must validate the split"
+        );
 
         // Classify every array: iteration-indexed (sliced, tracking the
         // widest offset as its halo) and/or iteration-independent
@@ -508,12 +570,9 @@ impl Kernel {
             }
         }
 
-        let base = iterations / n as u64;
-        let extra = iterations % n as u64;
         let mut start = 0u64;
         let mut shards = Vec::with_capacity(n);
-        for s in 0..n as u64 {
-            let len = base + u64::from(s < extra);
+        for (s, &len) in lens.iter().enumerate() {
             let end = start + len;
             let mut k = self.clone();
             k.name = format!("{}#{}/{}", self.name, s, n);
@@ -1002,6 +1061,151 @@ mod tests {
         kb.end_loop();
         let msg = kb.build().unwrap().shard(2).unwrap_err().to_string();
         assert!(msg.contains("s[i]") && msg.contains("s[3]"), "{msg}");
+    }
+
+    /// `a[i] += t[idx[i]]` over `n` iterations: shardable, with a
+    /// gathered (replicated-whole, read-only) table.
+    fn gather_kernel(n: u64) -> Kernel {
+        let mut kb = KernelBuilder::new("G");
+        let a = kb.array_i64_init("a", &(0..n as i64).collect::<Vec<i64>>());
+        let idx = kb.array_i64_init("idx", &(0..n as i64).map(|i| i % 3).collect::<Vec<i64>>());
+        let table = kb.array_i64_init("t", &[7, 8, 9]);
+        kb.begin_loop(n);
+        let ra = kb.ref_affine(a, 1, 0);
+        let ridx = kb.ref_affine(idx, 1, 0);
+        let rt = kb.ref_indirect(table, ridx, 0);
+        kb.stmt(ra, Expr::add(Expr::Ref(ra), Expr::Ref(rt)));
+        kb.end_loop();
+        kb.build().unwrap()
+    }
+
+    #[test]
+    fn weighted_shards_split_proportionally() {
+        let k = gather_kernel(12);
+        let shards = k.shard_weighted(&[2, 1, 1]).unwrap();
+        assert_eq!(
+            shards.iter().map(|s| s.loops[0].n).collect::<Vec<_>>(),
+            [6, 3, 3]
+        );
+        // Slices stay disjoint and in order.
+        assert_eq!(shards[0].init[0], (0..6).collect::<Vec<u64>>());
+        assert_eq!(shards[1].init[0], (6..9).collect::<Vec<u64>>());
+        assert_eq!(shards[2].init[0], (9..12).collect::<Vec<u64>>());
+        // The gathered table stays whole and shared in every shard.
+        for s in &shards {
+            assert!(s.arrays[2].shared);
+            assert!(s.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn weighted_remainders_go_to_the_largest_fractions() {
+        // 10 iterations at weights [3, 1]: ideal shares 7.5 / 2.5; the
+        // single remainder iteration goes to the larger fraction — both
+        // are 0.5, so the tie breaks toward the lower index.
+        let k = gather_kernel(10);
+        let lens: Vec<u64> = k
+            .shard_weighted(&[3, 1])
+            .unwrap()
+            .iter()
+            .map(|s| s.loops[0].n)
+            .collect();
+        assert_eq!(lens, [8, 2]);
+        // Unequal fractions: 10 @ [5, 2]: ideal 50/7 ≈ 7.14, 20/7 ≈
+        // 2.86 — the remainder iteration belongs to shard 1.
+        let lens: Vec<u64> = k
+            .shard_weighted(&[5, 2])
+            .unwrap()
+            .iter()
+            .map(|s| s.loops[0].n)
+            .collect();
+        assert_eq!(lens, [7, 3]);
+    }
+
+    #[test]
+    fn uniform_weights_reproduce_plain_shard() {
+        for n in [1usize, 2, 3, 5] {
+            let k = gather_kernel(11);
+            let plain = k.shard(n).unwrap();
+            let weighted = k.shard_weighted(&vec![1; n]).unwrap();
+            assert_eq!(plain.len(), weighted.len());
+            for (p, w) in plain.iter().zip(&weighted) {
+                assert_eq!(p.name, w.name);
+                assert_eq!(p.loops[0].n, w.loops[0].n);
+                assert_eq!(p.init, w.init);
+            }
+        }
+    }
+
+    #[test]
+    fn starved_weighted_shards_are_rejected() {
+        let k = gather_kernel(8);
+        // A zero weight starves its shard outright.
+        assert_eq!(
+            k.shard_weighted(&[1, 0]).unwrap_err(),
+            ShardError::TooManyShards {
+                iterations: 8,
+                shards: 2
+            }
+        );
+        // So does a weight too small for its proportional share to
+        // round up to one iteration.
+        assert_eq!(
+            k.shard_weighted(&[100, 1, 1]).unwrap_err(),
+            ShardError::TooManyShards {
+                iterations: 8,
+                shards: 3
+            }
+        );
+        // All-zero weights have no proportions at all.
+        assert!(k.shard_weighted(&[0, 0]).is_err());
+    }
+
+    #[test]
+    fn uneven_loops_outrank_starvation_in_weighted_errors() {
+        // Two loops with different trip counts: unshardable however
+        // the weights fall — even when the weights would also starve a
+        // shard, the structural error wins (the precedence `shard`
+        // always had).
+        let mut kb = KernelBuilder::new("uneven");
+        let a = kb.array_i64("a", 8);
+        kb.begin_loop(4);
+        let ra = kb.ref_affine(a, 1, 0);
+        kb.stmt(ra, Expr::Ivar);
+        kb.end_loop();
+        kb.begin_loop(8);
+        let ra = kb.ref_affine(a, 1, 0);
+        kb.stmt(ra, Expr::Ivar);
+        kb.end_loop();
+        let k = kb.build().unwrap();
+        assert_eq!(k.shard(5).unwrap_err(), ShardError::UnevenLoops);
+        assert_eq!(
+            k.shard_weighted(&[100, 1, 1]).unwrap_err(),
+            ShardError::UnevenLoops
+        );
+    }
+
+    #[test]
+    fn extreme_weights_do_not_overflow() {
+        // u64::MAX weights must not wrap the apportionment arithmetic:
+        // the starved shard is reported as an error, never a panic or a
+        // silently wrong split.
+        let k = gather_kernel(12);
+        assert_eq!(
+            k.shard_weighted(&[u64::MAX, 1]).unwrap_err(),
+            ShardError::TooManyShards {
+                iterations: 12,
+                shards: 2
+            }
+        );
+        // Equal extreme weights still split evenly.
+        let lens: Vec<u64> = k
+            .shard_weighted(&[u64::MAX, u64::MAX])
+            .unwrap()
+            .iter()
+            .map(|s| s.loops[0].n)
+            .collect();
+        assert_eq!(lens, [6, 6]);
     }
 
     #[test]

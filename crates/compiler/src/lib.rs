@@ -40,7 +40,7 @@ pub mod layout;
 
 pub use alias::{AliasAnswer, AliasOracle};
 pub use classify::{classify_loop, LoopPlan, RefClass};
-pub use codegen::{compile, CodegenMode, CompiledKernel};
+pub use codegen::{compile, compile_with_lm, CodegenMode, CompiledKernel};
 pub use interp::interpret;
 pub use ir::{
     ArrayDecl, ArrayId, Elem, Expr, Index, Kernel, KernelBuilder, LoopNest, MemRef, RefId,

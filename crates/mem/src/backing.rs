@@ -264,7 +264,7 @@ impl PagedMem {
 /// (`t_rcd + t_cas = 200`), so a cold access to a closed row costs
 /// exactly what the flat model charged — the seed figures shift only
 /// where row locality or bank conflicts actually occur.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct DramTiming {
     /// Activate (row open) latency: RAS-to-CAS delay in cycles.
     pub t_rcd: u64,
@@ -299,7 +299,7 @@ impl Default for DramTiming {
 }
 
 /// DRAM channel configuration.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct DramConfig {
     /// Flat access latency in cycles, used only when `flat_dram` is set.
     pub latency: u64,
@@ -343,9 +343,36 @@ pub struct DramStats {
     pub row_conflicts: u64,
     /// Write posts that found the queue full and forced a drain.
     pub queue_stalls: u64,
+    /// The subset of `queue_stalls` whose drained victim was a MESI
+    /// M-intervention write-back: the drain serviced another core's
+    /// recalled dirty data, so the stall is attributed to that owner,
+    /// not to whoever happened to post the triggering write.
+    pub intervention_drain_stalls: u64,
 }
 
 impl DramStats {
+    /// Merges another stats block into this one, field by field — the
+    /// partitioning tests sum per-core shares through this, so a newly
+    /// added counter is covered the moment it exists.
+    pub fn merge(&mut self, other: &DramStats) {
+        let DramStats {
+            reads,
+            writes,
+            row_hits,
+            row_misses,
+            row_conflicts,
+            queue_stalls,
+            intervention_drain_stalls,
+        } = other;
+        self.reads += reads;
+        self.writes += writes;
+        self.row_hits += row_hits;
+        self.row_misses += row_misses;
+        self.row_conflicts += row_conflicts;
+        self.queue_stalls += queue_stalls;
+        self.intervention_drain_stalls += intervention_drain_stalls;
+    }
+
     /// Row-classified accesses (reads plus drained writes).
     pub fn row_accesses(&self) -> u64 {
         self.row_hits + self.row_misses + self.row_conflicts
@@ -380,6 +407,10 @@ struct QueuedWrite {
     row: u64,
     /// Core that posted the write (stat attribution at drain time).
     core: usize,
+    /// Whether this write is a MESI M-intervention write-back (another
+    /// core's recalled dirty data, charged to that owner). Drains
+    /// forced by such a victim attribute their stall to the owner too.
+    intervention: bool,
 }
 
 /// The DRAM memory controller of one channel.
@@ -527,16 +558,20 @@ impl DramController {
     /// Posts a line write at cycle `now`. The write is counted
     /// immediately; in row mode it parks in the bounded queue, and when
     /// the queue is full one queued write is drained first — hit-first
-    /// over the open rows, else the oldest. Returns the drained write's
-    /// (posting core, row outcome) when a drain happened, so the caller
-    /// can mirror the stall to `core` and the row outcome to the drained
-    /// write's owner.
+    /// over the open rows, else the oldest. `intervention` marks a MESI
+    /// M-intervention write-back (the caller charges those to the
+    /// recalled owner). Returns the drained write's (posting core, row
+    /// outcome, was-intervention) when a drain happened, so the caller
+    /// can mirror the row outcome to the drained write's owner and the
+    /// stall to either `core` or — when the victim was an intervention
+    /// write-back — to that owner (see [`DramStats`]).
     pub fn write_posted(
         &mut self,
         now: u64,
         line_addr: u64,
         core: usize,
-    ) -> Option<(usize, RowOutcome)> {
+        intervention: bool,
+    ) -> Option<(usize, RowOutcome, bool)> {
         self.stats.writes += 1;
         if self.cfg.flat_dram {
             let start = now.max(self.busy_until);
@@ -555,11 +590,19 @@ impl DramController {
                 .unwrap_or(0);
             let w = self.queue.remove(pick).expect("queue is non-empty");
             let (_, outcome, _) = self.schedule(now, w.bank, w.row);
-            Some((w.core, outcome))
+            if w.intervention {
+                self.stats.intervention_drain_stalls += 1;
+            }
+            Some((w.core, outcome, w.intervention))
         } else {
             None
         };
-        self.queue.push_back(QueuedWrite { bank, row, core });
+        self.queue.push_back(QueuedWrite {
+            bank,
+            row,
+            core,
+            intervention,
+        });
         drained
     }
 
@@ -779,18 +822,39 @@ mod tests {
         // it.
         let other = row_with_bank(&d, true) * t.row_bytes;
         for _ in 1..t.queue_depth {
-            assert_eq!(d.write_posted(300, other, 1), None);
+            assert_eq!(d.write_posted(300, other, 1, false), None);
         }
-        assert_eq!(d.write_posted(300, 0, 0), None);
+        assert_eq!(d.write_posted(300, 0, 0, false), None);
         assert_eq!(d.queued_writes(), t.queue_depth);
         // The next post forces a drain: FR-FCFS must pick the
         // row-hitting write (owner core 0) from the back of the queue.
-        let drained = d.write_posted(400, 8 * t.row_bytes, 1);
-        let (owner, outcome) = drained.expect("full queue must drain");
+        let drained = d.write_posted(400, 8 * t.row_bytes, 1, false);
+        let (owner, outcome, iv) = drained.expect("full queue must drain");
         assert_eq!(owner, 0, "hit-first must pick the open-row write");
         assert_eq!(outcome, RowOutcome::Hit);
+        assert!(!iv, "no intervention writes were queued");
         assert_eq!(d.stats.queue_stalls, 1);
+        assert_eq!(d.stats.intervention_drain_stalls, 0);
         assert_eq!(d.queued_writes(), t.queue_depth);
+    }
+
+    #[test]
+    fn drained_intervention_writebacks_are_flagged_to_the_caller() {
+        let mut d = dram();
+        let t = DramTiming::default();
+        // Fill the queue with M-intervention write-backs owned by core
+        // 2, then trigger a drain with core 5's plain write: the victim
+        // must come back flagged so the backside can land the stall on
+        // the owner, not the poster.
+        for i in 0..t.queue_depth as u64 {
+            assert_eq!(d.write_posted(0, i * t.row_bytes, 2, true), None);
+        }
+        let drained = d.write_posted(100, 100 * t.row_bytes, 5, false);
+        let (owner, _, iv) = drained.expect("full queue must drain");
+        assert_eq!(owner, 2, "the victim belongs to the intervention owner");
+        assert!(iv, "the drained victim is an intervention write-back");
+        assert_eq!(d.stats.queue_stalls, 1);
+        assert_eq!(d.stats.intervention_drain_stalls, 1);
     }
 
     #[test]
@@ -804,7 +868,7 @@ mod tests {
         // Same row again: still the flat latency plus the channel gap.
         let (b, ob) = d.read(0, 64);
         assert_eq!((b, ob), (12 + 200, None));
-        assert_eq!(d.write_posted(0, 0, 0), None);
+        assert_eq!(d.write_posted(0, 0, 0, false), None);
         assert_eq!(d.stats.row_accesses(), 0);
         assert_eq!(d.stats.row_hit_rate(), 100.0);
     }

@@ -19,7 +19,7 @@ pub enum WritePolicy {
 }
 
 /// Geometry and policy of one cache.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CacheConfig {
     /// Human-readable name used in reports ("L1D", "L2", …).
     pub name: &'static str,

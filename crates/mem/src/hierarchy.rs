@@ -136,7 +136,7 @@ pub struct AccessResponse {
 /// Geometry of the banked shared L3: the array is split into
 /// address-interleaved banks (consecutive line addresses rotate through
 /// them), each with its own arbitrated port of `l3_port_gap` occupancy.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct L3Geometry {
     /// Number of banks (power of two, dividing the set count). 1
     /// reproduces the single-ported monolithic L3 of earlier revisions
@@ -181,7 +181,7 @@ impl CoherenceMode {
 
 /// Coherence-mode configuration: the model plus the message timings the
 /// directory charges on the home bank's port.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CoherenceConfig {
     /// The inter-core model.
     pub mode: CoherenceMode,
@@ -192,6 +192,12 @@ pub struct CoherenceConfig {
     /// recall other sharers' copies (the messages travel in parallel;
     /// one round covers all sharers).
     pub inval_latency: u64,
+    /// Cycles a back-invalidation costs the *receiving* tile per dirty
+    /// L1/L2 line it recalls: the recalled line's transfer occupies the
+    /// tile's cache port, so recall storms couple into the victim
+    /// core's timing instead of only dropping its copies for free.
+    /// Charged at the memory operation that drains the recall queue.
+    pub dirty_recall_latency: u64,
 }
 
 impl Default for CoherenceConfig {
@@ -205,6 +211,9 @@ impl Default for CoherenceConfig {
             // An invalidation round is a one-way multicast plus the
             // combined acknowledgement.
             inval_latency: 12,
+            // Recalling a dirty upper line reads it out of the L2 — one
+            // L2 visit's worth of port occupancy on the victim tile.
+            dirty_recall_latency: 15,
         }
     }
 }
@@ -236,6 +245,11 @@ pub struct CoherenceStats {
     /// Invalidation messages applied to this core's own L1/L2 (the
     /// receive side of `invalidations_sent`).
     pub upper_invals_applied: u64,
+    /// Recalled upper lines that were *dirty* in this core's L1/L2 —
+    /// each one charged [`CoherenceConfig::dirty_recall_latency`]
+    /// cycles of tile-side port occupancy to the memory operation that
+    /// drained the recall.
+    pub dirty_recalls: u64,
 }
 
 impl CoherenceStats {
@@ -245,6 +259,7 @@ impl CoherenceStats {
         self.invalidations_sent += other.invalidations_sent;
         self.interventions += other.interventions;
         self.upper_invals_applied += other.upper_invals_applied;
+        self.dirty_recalls += other.dirty_recalls;
     }
 }
 
@@ -341,6 +356,36 @@ impl MemConfig {
         cfg.l1d.size_bytes = 64 * 1024;
         cfg.lm = None;
         cfg
+    }
+
+    /// Whether every cache level of this configuration uses the L3's
+    /// line size. The shared backside (and its directory slices) track
+    /// residency at L3-line granularity; a tile whose L1/L2 lines were
+    /// coarser or finer would fill and evict at mismatched alignments
+    /// and leave stale directory state behind.
+    pub fn line_sizes_uniform(&self) -> bool {
+        let line = self.l3.line_bytes;
+        self.l1i.line_bytes == line && self.l1d.line_bytes == line && self.l2.line_bytes == line
+    }
+
+    /// Whether two per-tile configurations agree on everything the
+    /// *shared* backside is built from: the L3 array and its banking,
+    /// the DRAM controller, the L3 port occupancy and the inter-core
+    /// coherence model — and both keep a uniform line size through
+    /// their own hierarchy ([`MemConfig::line_sizes_uniform`]), since
+    /// the backside tracks residency at L3-line granularity. Tiles of
+    /// one heterogeneous machine may differ in anything else above the
+    /// L3 (core width, L1/L2 capacity and associativity, LM size or
+    /// absence, prefetcher, MSHRs, TLB, DMA engine) — there is only
+    /// one L3 and one memory channel per chip.
+    pub fn backside_compatible(&self, other: &MemConfig) -> bool {
+        self.line_sizes_uniform()
+            && other.line_sizes_uniform()
+            && self.l3 == other.l3
+            && self.l3_geometry == other.l3_geometry
+            && self.dram == other.dram
+            && self.l3_port_gap == other.l3_port_gap
+            && self.coherence == other.coherence
     }
 }
 
@@ -614,6 +659,20 @@ impl SharedBackside {
         !self.pending_upper_inval[core].is_empty()
     }
 
+    /// Records that `n` of the back-invalidations `core` just applied
+    /// recalled *dirty* L1/L2 lines (the tile charges itself
+    /// `dirty_recall_latency` port-occupancy cycles per line; the count
+    /// lands in the victim core's coherence share).
+    pub fn note_dirty_recalls(&mut self, core: usize, n: u64) {
+        self.per_core[core].coh.dirty_recalls += n;
+    }
+
+    /// The per-dirty-line recall occupancy tiles charge themselves when
+    /// a back-invalidation drops a dirty L1/L2 copy.
+    pub fn dirty_recall_latency(&self) -> u64 {
+        self.coherence.dirty_recall_latency
+    }
+
     /// Sends one back-invalidation for the global line `line` to every
     /// core in the `sharers` bitset (the caller excludes any core that
     /// keeps its copy), charging the messages to `from` and raising
@@ -692,14 +751,26 @@ impl SharedBackside {
     }
 
     /// Posts one line write to the DRAM controller and mirrors the
-    /// channel totals into per-core shares: the write itself and any
-    /// queue-full stall are charged to `core` (the requester that
-    /// caused the post), while the row outcome of a drained write
-    /// belongs to the core that originally posted it.
-    fn post_dram_write(&mut self, now: u64, tagged_line: u64, core: usize) {
+    /// channel totals into per-core shares: the write itself is charged
+    /// to `core` (whoever the backside attributes the post to — the
+    /// requester, or the recalled owner for an M-intervention
+    /// write-back, flagged by `intervention`), and the row outcome of a
+    /// drained write belongs to the core that originally posted it. A
+    /// queue-full stall is charged to `core` — unless the *drained*
+    /// victim was an M-intervention write-back, in which case the drain
+    /// serviced the recalled owner's dirty data and both the stall and
+    /// the `intervention_drain_stalls` split land on that owner instead
+    /// of the innocent poster (directory-aware DRAM attribution).
+    fn post_dram_write(&mut self, now: u64, tagged_line: u64, core: usize, intervention: bool) {
         self.per_core[core].dram.writes += 1;
-        if let Some((owner, outcome)) = self.dram.write_posted(now, tagged_line, core) {
-            self.per_core[core].dram.queue_stalls += 1;
+        if let Some((owner, outcome, victim_iv)) =
+            self.dram.write_posted(now, tagged_line, core, intervention)
+        {
+            let stall_core = if victim_iv { owner } else { core };
+            self.per_core[stall_core].dram.queue_stalls += 1;
+            if victim_iv {
+                self.per_core[owner].dram.intervention_drain_stalls += 1;
+            }
             Self::bump_row(&mut self.per_core[owner].dram, outcome);
         }
     }
@@ -745,20 +816,20 @@ impl SharedBackside {
                 // bank array only counted a write-back if its own copy
                 // was dirty; mirror the recall into the aggregate so the
                 // per-core shares keep partitioning it exactly.
-                self.post_dram_write(now, Self::tag(SHARED_CORE, global), e.owner);
+                self.post_dram_write(now, Self::tag(SHARED_CORE, global), e.owner, true);
                 self.per_core[e.owner].l3.writebacks_out += 1;
                 if !ev.dirty {
                     self.banks[bank].cache.stats.writebacks_out += 1;
                 }
             } else if ev.dirty {
-                self.post_dram_write(now, Self::tag(SHARED_CORE, global), core);
+                self.post_dram_write(now, Self::tag(SHARED_CORE, global), core, false);
                 self.per_core[core].l3.writebacks_out += 1;
             }
             return;
         }
         self.push_event(owner, global, false);
         if ev.dirty {
-            self.post_dram_write(now, Self::tag(owner, global), core);
+            self.post_dram_write(now, Self::tag(owner, global), core, false);
             self.per_core[core].l3.writebacks_out += 1;
         }
     }
@@ -926,7 +997,12 @@ impl SharedBackside {
             // dirty data (charged to the owner).
             extra += iv_lat;
             self.per_core[core].coh.interventions += 1;
-            self.post_dram_write(msg_start, Self::tag(SHARED_CORE, line_addr), old_owner);
+            self.post_dram_write(
+                msg_start,
+                Self::tag(SHARED_CORE, line_addr),
+                old_owner,
+                true,
+            );
             self.occupy_bank(bank, msg_start, iv_lat);
         }
         match kind {
@@ -1017,7 +1093,7 @@ impl SharedBackside {
                 self.claim_ownership(bank, core, local, line_addr, now);
             }
         } else {
-            self.post_dram_write(now, Self::tag(tag_core, line_addr), core);
+            self.post_dram_write(now, Self::tag(tag_core, line_addr), core, false);
         }
     }
 
@@ -1062,7 +1138,7 @@ impl SharedBackside {
             // The previous owner's dirty data is recalled and written
             // back before the new owner's write supersedes it.
             self.per_core[core].coh.interventions += 1;
-            self.post_dram_write(now, Self::tag(SHARED_CORE, line_addr), old_owner);
+            self.post_dram_write(now, Self::tag(SHARED_CORE, line_addr), old_owner, true);
             self.occupy_bank(bank, now, self.coherence.intervention_latency);
         }
         e.owner = core;
@@ -1093,7 +1169,7 @@ impl SharedBackside {
                     let (next, action) = e.state.step(MesiEvent::RemoteRead);
                     debug_assert_eq!(action, MesiAction::Writeback);
                     self.per_core[core].coh.interventions += 1;
-                    self.post_dram_write(now, Self::tag(SHARED_CORE, line_addr), e.owner);
+                    self.post_dram_write(now, Self::tag(SHARED_CORE, line_addr), e.owner, true);
                     self.occupy_bank(bank, now, self.coherence.intervention_latency);
                     e.state = next;
                     self.banks[bank].dir.entries.insert(local, e);
@@ -1324,31 +1400,47 @@ impl MemSystem {
 
     /// Applies any back-invalidation messages the directory addressed to
     /// this tile's L1/L2 (recalls of shared lines another core wrote or
-    /// evicted). A cheap no-op under `Replicate` — the backside is not
-    /// even consulted.
-    fn apply_upper_invals(&mut self) {
+    /// evicted), returning the tile-side port occupancy the recalls
+    /// cost: each *dirty* line recalled out of the L1/L2 charges
+    /// [`CoherenceConfig::dirty_recall_latency`] cycles to the memory
+    /// operation draining the queue, so recall storms couple into the
+    /// victim core's timing. A cheap no-op under `Replicate` — the
+    /// backside is not even consulted.
+    fn apply_upper_invals(&mut self) -> u64 {
         if self.cfg.coherence.mode != CoherenceMode::Mesi {
-            return;
+            return 0;
         }
         if !self.backside.borrow().has_upper_invals(self.core_id) {
-            return;
+            return 0;
         }
         let lines = self.backside.borrow_mut().take_upper_invals(self.core_id);
+        let mut dirty = 0u64;
         for a in lines {
-            if self.l1d.invalidate(a).is_some() {
+            // Either level can owe a transfer for a dirty copy. (The
+            // shipped Table 1 L1D is write-through and never dirty, but
+            // hetero tiles are free to configure a write-back L1D.)
+            if let Some(was_dirty) = self.l1d.invalidate(a) {
                 self.ev(a, false);
+                dirty += u64::from(was_dirty);
             }
-            if self.l2.invalidate(a).is_some() {
+            if let Some(was_dirty) = self.l2.invalidate(a) {
                 self.ev(a, false);
+                dirty += u64::from(was_dirty);
             }
         }
+        if dirty == 0 {
+            return 0;
+        }
+        let mut bs = self.backside.borrow_mut();
+        bs.note_dirty_recalls(self.core_id, dirty);
+        dirty * bs.dirty_recall_latency()
     }
 
     /// A demand access to system memory from instruction at `pc`.
     pub fn data_access(&mut self, now: u64, pc: u64, addr: u64, write: bool) -> AccessResponse {
-        self.apply_upper_invals();
+        let recall_penalty = self.apply_upper_invals();
         let tlb_penalty = self.tlb.access(addr);
-        let now = now + tlb_penalty;
+        let now = now + tlb_penalty + recall_penalty;
 
         // Train the prefetcher and issue its fills before the demand
         // access so a just-prefetched line does not count as a demand hit
@@ -1377,7 +1469,7 @@ impl MemSystem {
                 None => self.cfg.l1d.latency,
             };
             return AccessResponse {
-                latency: latency + tlb_penalty,
+                latency: latency + tlb_penalty + recall_penalty,
                 served: Level::L1,
                 tlb_penalty,
             };
@@ -1411,7 +1503,7 @@ impl MemSystem {
             self.writethrough_below(now, addr);
         }
         AccessResponse {
-            latency: latency + tlb_penalty,
+            latency: latency + tlb_penalty + recall_penalty,
             served,
             tlb_penalty,
         }
@@ -1513,7 +1605,9 @@ impl MemSystem {
     /// requests generated by a dma-get look for the data in the caches")
     /// and returns the command completion cycle.
     pub fn dma_get(&mut self, now: u64, sm_addr: u64, bytes: u64, tag: u8) -> u64 {
-        self.apply_upper_invals();
+        // Draining pending recalls first delays the command issue by the
+        // dirty-recall port occupancy, like any other memory operation.
+        let now = now + self.apply_upper_invals();
         let line = self.cfg.l1d.line_bytes;
         let mut a = sm_addr & !(line - 1);
         while a < sm_addr + bytes {
@@ -1536,7 +1630,7 @@ impl MemSystem {
     /// invalidates every matching cache line in the whole hierarchy
     /// (paper §2.1). Returns the command completion cycle.
     pub fn dma_put(&mut self, now: u64, sm_addr: u64, bytes: u64, tag: u8) -> u64 {
-        self.apply_upper_invals();
+        let now = now + self.apply_upper_invals();
         let line = self.cfg.l1d.line_bytes;
         let mut a = sm_addr & !(line - 1);
         while a < sm_addr + bytes {
@@ -2054,6 +2148,40 @@ mod tests {
     }
 
     #[test]
+    fn dirty_recall_charges_the_victim_tile_port() {
+        let (mut a, mut b) = mesi_pair(0);
+        // B write-allocates the shared line: its L2 absorbs the
+        // write-through and holds the line dirty; B owns it Modified.
+        b.data_access(0, 0x40, 0x1000_0000, true);
+        assert!(b.l2.probe(0x1000_0000));
+        // Warm a private line into B's L1 (and its TLB page) so the
+        // post-recall access below is a pure L1 hit.
+        b.data_access(1_000, 0x48, 0x5000_0000, false);
+        b.data_access(2_000, 0x48, 0x5000_0000, false);
+        // A writes the shared line: ownership moves, B's dirty copy is
+        // recalled via a queued back-invalidation.
+        a.data_access(10_000, 0x44, 0x1000_0000, true);
+        assert_eq!(a.backside_stats().coh.invalidations_sent, 1);
+        // B's next memory operation drains the recall: the dirty line's
+        // transfer occupies B's tile port, so even an unrelated L1 hit
+        // pays the recall latency on top of its own.
+        let lat = b.shared_backside().borrow().dirty_recall_latency();
+        assert!(lat > 0, "default config must charge dirty recalls");
+        let r = b.data_access(20_000, 0x4c, 0x5000_0000, false);
+        assert_eq!(r.served, Level::L1);
+        assert_eq!(r.latency, 2 + lat, "L1 hit + one dirty-recall charge");
+        assert_eq!(b.backside_stats().coh.dirty_recalls, 1);
+        assert_eq!(b.backside_stats().coh.upper_invals_applied, 1);
+        // A clean recall costs nothing: B re-reads the line (Shared),
+        // A writes again, and B's next hit pays no occupancy.
+        b.data_access(30_000, 0x50, 0x1000_0000, false);
+        a.data_access(40_000, 0x54, 0x1000_0004, true);
+        let r = b.data_access(50_000, 0x58, 0x5000_0000, false);
+        assert_eq!(r.latency, 2, "clean recalls charge no port occupancy");
+        assert_eq!(b.backside_stats().coh.dirty_recalls, 1);
+    }
+
+    #[test]
     fn mesi_stats_still_partition_chip_totals_exactly() {
         // The satellite invariant: with interventions, recalls and
         // owner-attributed write-backs in play, per-core shares must
@@ -2095,6 +2223,13 @@ mod tests {
             sa.dram.queue_stalls + sb.dram.queue_stalls,
             total_dram.queue_stalls
         );
+        // The directory-aware drain split partitions too: a stall whose
+        // drained victim was an intervention write-back lands on the
+        // owner, every other stall on the poster — one core either way.
+        assert_eq!(
+            sa.dram.intervention_drain_stalls + sb.dram.intervention_drain_stalls,
+            total_dram.intervention_drain_stalls
+        );
         let mut coh = sa.coh;
         coh.merge(&sb.coh);
         assert_eq!(coh, total_coh, "coherence shares must partition");
@@ -2119,6 +2254,27 @@ mod tests {
         assert_eq!(bs.borrow().sharer_count(0x1000_0000), None);
         assert!(!bs.borrow().has_upper_invals(0));
         assert!(!bs.borrow().has_upper_invals(1));
+    }
+
+    #[test]
+    fn backside_compatibility_checks_the_shared_slice_and_line_sizes() {
+        let a = MemConfig::hybrid();
+        // The cache-based system differs only above the L3: compatible.
+        assert!(a.backside_compatible(&MemConfig::cache_based()));
+        // Disagreeing on the shared slice is not.
+        let mut b = MemConfig::hybrid();
+        b.l3_geometry.banks = 1;
+        assert!(!a.backside_compatible(&b));
+        let mut b = MemConfig::hybrid();
+        b.dram.gap += 1;
+        assert!(!a.backside_compatible(&b));
+        // A tile whose L2 line size diverges from the L3 granularity
+        // would leave stale directory state behind: rejected even
+        // though the L3 configurations match.
+        let mut b = MemConfig::hybrid();
+        b.l2.line_bytes = 128;
+        assert!(!b.line_sizes_uniform());
+        assert!(!a.backside_compatible(&b));
     }
 
     #[test]

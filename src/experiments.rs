@@ -21,7 +21,7 @@
 
 use crate::machine::{Machine, MachineConfig, MultiMachine, SysMode};
 use crate::metrics::{MultiRunReport, RunReport};
-use hsim_compiler::{compile, interpret, Kernel, ShardError};
+use hsim_compiler::{compile, compile_with_lm, interpret, CompiledKernel, Kernel, ShardError};
 use hsim_core::pipeline::SimError;
 use hsim_workloads::{microbench, MicroMode, MicrobenchConfig};
 
@@ -146,6 +146,49 @@ pub fn run_kernel_multi_with(
     m.run()?;
     let cks: Vec<_> = compiled.into_iter().map(|(ck, _)| ck).collect();
     Ok(MultiRunReport::collect(&m, &cks))
+}
+
+/// The heterogeneous sibling of [`run_kernel_multi_with`]: shards
+/// `kernel` across `cfgs.len()` tiles, tile `i` built from `cfgs[i]`
+/// with a share of the iterations proportional to `weights[i]`
+/// ([`hsim_compiler::Kernel::shard_weighted`]). Each shard is compiled
+/// for its own tile's `SysMode` and LM budget
+/// ([`hsim_compiler::compile_with_lm`]), so one chip can mix hybrid and
+/// cache-based tiles, or hybrid tiles with different scratchpad sizes,
+/// with iteration counts matched to tile strength. Uniform configs and
+/// weights reproduce [`run_kernel_multi_with`] bit for bit.
+pub fn run_kernel_multi_hetero(
+    kernel: &Kernel,
+    cfgs: &[MachineConfig],
+    weights: &[u64],
+) -> Result<MultiRunReport, MultiRunError> {
+    assert_eq!(cfgs.len(), weights.len(), "one weight per tile");
+    let shards = kernel.shard_weighted(weights)?;
+    let compiled: Vec<(CompiledKernel, Kernel)> = shards
+        .into_iter()
+        .zip(cfgs)
+        .map(|(s, cfg)| {
+            let ck = compile_for_tile(&s, cfg);
+            (ck, s)
+        })
+        .collect();
+    let mut m = MultiMachine::for_kernels_hetero(cfgs.to_vec(), &compiled);
+    m.run()?;
+    let cks: Vec<_> = compiled.into_iter().map(|(ck, _)| ck).collect();
+    Ok(MultiRunReport::collect(&m, &cks))
+}
+
+/// Compiles one shard for one tile of a heterogeneous machine: for the
+/// tile's `SysMode`, against the tile's own LM budget when it has a
+/// local memory (`compile_with_lm`), plainly otherwise. The single
+/// compile policy shared by [`run_kernel_multi_hetero`], the hetero
+/// integration tests and the examples — change it here and every
+/// hetero machine follows.
+pub fn compile_for_tile(shard: &Kernel, cfg: &MachineConfig) -> CompiledKernel {
+    match cfg.mem.lm.as_ref() {
+        Some(lm) => compile_with_lm(shard, cfg.mode.codegen(), lm.size_bytes),
+        None => compile(shard, cfg.mode.codegen()),
+    }
 }
 
 /// What can go wrong in a sharded multicore run: the split itself, or
@@ -612,6 +655,10 @@ pub struct CoherenceSweepRow {
     /// Total committed instructions (identical in both runs — the modes
     /// may only change timing, never architectural work).
     pub committed: u64,
+    /// Shared-marked arrays that fell back to per-core replication
+    /// because the shards' layouts diverged: under `Mesi` those arrays
+    /// were *not* served from shared lines (0 on even shards).
+    pub replication_fallbacks: u64,
 }
 
 /// Runs one coherence-comparison point; `None` when the kernel does not
@@ -652,6 +699,7 @@ fn coherence_point(
         invalidations: mesi.total_invalidations(),
         interventions: mesi.total_interventions(),
         committed: rep.total_committed(),
+        replication_fallbacks: mesi.replication_fallbacks,
     }))
 }
 
@@ -686,6 +734,168 @@ pub fn coherence_sweep_parallel(
         .flat_map(|k| core_counts.iter().map(move |&c| (k, c)))
         .collect();
     let results = parallel_map(points, |(k, cores)| coherence_point(k, cores, mode));
+    let mut rows = Vec::new();
+    for r in results {
+        if let Some(row) = r? {
+            rows.push(row);
+        }
+    }
+    Ok(rows)
+}
+
+/// One point of the heterogeneous-chip sweep: one kernel on one mixed
+/// machine shape — a hybrid:cache tile ratio, an LM-size asymmetry, or
+/// a weighted-shard split — with the chip-level aggregates the
+/// homogeneous sweeps report.
+#[derive(Clone, Debug)]
+pub struct HeteroSweepRow {
+    /// Kernel name.
+    pub kernel: String,
+    /// Human-readable machine shape, e.g. `"3H+1C"` (3 hybrid + 1
+    /// cache-based tile), `"4H lm/4x2"` (all hybrid, two tiles at a
+    /// quarter LM budget) or `"2H+2C w2:1"` (weighted shards).
+    pub label: String,
+    /// Simulated core count.
+    pub cores: usize,
+    /// Tiles running a hybrid (LM + directory) memory system.
+    pub hybrid_tiles: usize,
+    /// Hybrid tiles configured below the default LM budget.
+    pub small_lm_tiles: usize,
+    /// Per-tile shard weights (all 1 for even splits).
+    pub weights: Vec<u64>,
+    /// Parallel makespan in cycles.
+    pub makespan: u64,
+    /// Total committed instructions over all cores.
+    pub committed: u64,
+    /// Total DRAM line reads.
+    pub dram_reads: u64,
+    /// Total cycles cores spent waiting on L3 bank ports.
+    pub bus_wait_cycles: u64,
+    /// Shared-line L3 hits the directory served (0 under `Replicate`).
+    pub shared_hits: u64,
+    /// Shared-marked arrays that fell back to per-core replication
+    /// because the weighted shards' layouts diverged.
+    pub replication_fallbacks: u64,
+}
+
+/// One machine shape of the hetero sweep: a display label, the
+/// per-tile configurations, and the per-tile shard weights.
+type HeteroShape = (String, Vec<MachineConfig>, Vec<u64>);
+
+/// The machine shapes [`hetero_sweep`] visits at one core count: every
+/// hybrid:cache ratio with even shards, an all-hybrid chip with half
+/// the tiles at a quarter LM budget, and a weighted mixed chip whose
+/// hybrid tiles take double iteration shares. Default-configured tiles
+/// inherit the `HSIM_COHERENCE` environment mode like every other
+/// sweep.
+fn hetero_shapes(cores: usize) -> Vec<HeteroShape> {
+    let hybrid = || MachineConfig::for_mode(SysMode::HybridCoherent);
+    let cache = || MachineConfig::for_mode(SysMode::CacheBased);
+    let mixed = |h: usize| -> Vec<MachineConfig> {
+        (0..cores)
+            .map(|i| if i < h { hybrid() } else { cache() })
+            .collect()
+    };
+    let mut shapes = Vec::new();
+    for h in (0..=cores).rev() {
+        shapes.push((format!("{h}H+{}C", cores - h), mixed(h), vec![1; cores]));
+    }
+    if cores >= 2 {
+        // LM-size asymmetry: big/little hybrid tiles. The little tiles
+        // compile their shards against the smaller budget, so they pay
+        // more DMA round trips per array.
+        let small = cores / 2;
+        let cfgs: Vec<MachineConfig> = (0..cores)
+            .map(|i| {
+                let mut c = hybrid();
+                if i >= cores - small {
+                    let lm = c.mem.lm.as_mut().expect("hybrid tiles have an LM");
+                    lm.size_bytes /= 4;
+                }
+                c
+            })
+            .collect();
+        shapes.push((format!("{cores}H lm/4x{small}"), cfgs, vec![1; cores]));
+        // Weighted shards on a mixed chip: hybrid tiles are faster, so
+        // they take double shares; the uneven slices can diverge the
+        // shard layouts, exercising the replication-fallback
+        // accounting.
+        let h = cores - small;
+        let weights: Vec<u64> = (0..cores).map(|i| u64::from(i < h) + 1).collect();
+        shapes.push((format!("{h}H+{small}C w2:1"), mixed(h), weights));
+    }
+    shapes
+}
+
+/// Runs one hetero point; `None` when the kernel does not shard to the
+/// shape (indirect indexing, or a weight starving a shard).
+fn hetero_point(
+    kernel: &Kernel,
+    label: &str,
+    cfgs: &[MachineConfig],
+    weights: &[u64],
+) -> Result<Option<HeteroSweepRow>, SimError> {
+    let m = match run_kernel_multi_hetero(kernel, cfgs, weights) {
+        Ok(m) => m,
+        Err(MultiRunError::Shard(_)) => return Ok(None),
+        Err(MultiRunError::Sim(e)) => return Err(e),
+    };
+    let default_lm = hsim_mem::LmConfig::default().size_bytes;
+    Ok(Some(HeteroSweepRow {
+        kernel: kernel.name.clone(),
+        label: label.to_string(),
+        cores: cfgs.len(),
+        hybrid_tiles: cfgs
+            .iter()
+            .filter(|c| !matches!(c.mode, SysMode::CacheBased))
+            .count(),
+        small_lm_tiles: cfgs
+            .iter()
+            .filter(|c| c.mem.lm.as_ref().is_some_and(|l| l.size_bytes < default_lm))
+            .count(),
+        weights: weights.to_vec(),
+        makespan: m.makespan,
+        committed: m.total_committed(),
+        dram_reads: m.total_dram_reads(),
+        bus_wait_cycles: m.total_bus_wait_cycles(),
+        shared_hits: m.total_shared_hits(),
+        replication_fallbacks: m.replication_fallbacks,
+    }))
+}
+
+/// The heterogeneous-chip sweep: every kernel × machine shape (see
+/// `hetero_shapes`) at one core count. The all-hybrid shape (`"4H+0C"`)
+/// is built from default configurations, so it reproduces the
+/// homogeneous [`run_kernel_multi_with`] machine bit for bit — the
+/// anchor the mixed shapes are compared against. Shapes a kernel
+/// cannot shard to are skipped.
+pub fn hetero_sweep(kernels: &[Kernel], cores: usize) -> Result<Vec<HeteroSweepRow>, SimError> {
+    let shapes = hetero_shapes(cores);
+    let mut rows = Vec::new();
+    for k in kernels {
+        for (label, cfgs, weights) in &shapes {
+            if let Some(row) = hetero_point(k, label, cfgs, weights)? {
+                rows.push(row);
+            }
+        }
+    }
+    Ok(rows)
+}
+
+/// [`hetero_sweep`] with one host job per (kernel, shape) point.
+/// Results are identical to the sequential driver.
+pub fn hetero_sweep_parallel(
+    kernels: &[Kernel],
+    cores: usize,
+) -> Result<Vec<HeteroSweepRow>, SimError> {
+    let shapes = hetero_shapes(cores);
+    let points: Vec<(&Kernel, &HeteroShape)> = kernels
+        .iter()
+        .flat_map(|k| shapes.iter().map(move |s| (k, s)))
+        .collect();
+    let results = parallel_map(points, |(k, (label, cfgs, weights))| {
+        hetero_point(k, label, cfgs, weights)
+    });
     let mut rows = Vec::new();
     for r in results {
         if let Some(row) = r? {

@@ -50,9 +50,9 @@
 //! | [`coherence`] | the directory (Figure 4), Figure 6 state machine, runtime checker |
 //! | [`core`] | 4-wide out-of-order core (Table 1) with the event-horizon cycle skipper |
 //! | [`energy`] | Wattch-style activity-based energy model |
-//! | [`compiler`] | loop IR, classification, tiling, guarded codegen, double store, kernel sharding (`Kernel::shard`) |
+//! | [`compiler`] | loop IR, classification, tiling, guarded codegen, double store, kernel sharding (`Kernel::shard`, `Kernel::shard_weighted`, per-tile LM budgets via `compile_with_lm`) |
 //! | [`workloads`] | Table 2 microbenchmark + six NAS-signature kernels |
-//! | [`machine`] | the assembled systems — hybrid coherent / hybrid oracle / cache-based — as single-core [`Machine`]s or N-core [`MultiMachine`]s sharing one backside |
+//! | [`machine`] | the assembled systems — hybrid coherent / hybrid oracle / cache-based — as single-core [`Machine`]s or N-core [`MultiMachine`]s sharing one backside, homogeneous or with per-tile configurations |
 //! | [`experiments`] | drivers regenerating every table and figure, sequential and host-parallel (`*_parallel`, [`run_kernel_multi`]) |
 //!
 //! ## Multicore model
@@ -71,6 +71,16 @@
 //! [`experiments::backside_sweep`] measures row-buffer locality and
 //! bank contention across kernels and core counts
 //! (`cargo run -p hsim-bench --bin backside`).
+//!
+//! Machines are built **per tile**: [`Machine::new_multi_hetero`] /
+//! [`machine::MultiMachine::for_kernels_hetero`] take one
+//! `MachineConfig` per core, so hybrid and cache-based tiles — or
+//! hybrid tiles with different LM budgets — coexist on one chip under
+//! one inter-core protocol (the paper's §3/§6 coexistence claim,
+//! simulated). [`compiler::Kernel::shard_weighted`] matches iteration
+//! counts to tile strength, and [`experiments::hetero_sweep`] sweeps
+//! hybrid:cache ratios and LM asymmetry
+//! (`cargo run -p hsim-bench --bin hetero`).
 //!
 //! ## Cycle-skipping scheduler
 //!
@@ -112,10 +122,11 @@ pub use hsim_workloads as workloads;
 
 pub use experiments::{
     backside_sweep, backside_sweep_parallel, coherence_sweep, coherence_sweep_parallel,
-    compare_systems, compare_systems_parallel, fig7, fig7_parallel, fig8, fig8_parallel, geomean,
-    parallel_map, run_kernel, run_kernel_multi, run_kernel_multi_with, run_kernel_verified,
+    compare_systems, compare_systems_parallel, compile_for_tile, fig7, fig7_parallel, fig8,
+    fig8_parallel, geomean, hetero_sweep, hetero_sweep_parallel, parallel_map, run_kernel,
+    run_kernel_multi, run_kernel_multi_hetero, run_kernel_multi_with, run_kernel_verified,
     run_kernel_with, scaling_sweep, scaling_sweep_parallel, BacksideSweepRow, CoherenceSweepRow,
-    ScalingRow,
+    HeteroSweepRow, ScalingRow,
 };
 pub use machine::{Machine, MachineConfig, MultiMachine, SysMode, World};
 pub use metrics::{activity, MultiRunReport, RunReport};
@@ -124,13 +135,17 @@ pub use metrics::{activity, MultiRunReport, RunReport};
 pub mod prelude {
     pub use crate::experiments::{
         backside_sweep, backside_sweep_parallel, coherence_sweep, coherence_sweep_parallel,
-        compare_systems, compare_systems_parallel, fig7, fig7_parallel, fig8, fig8_parallel,
-        run_kernel, run_kernel_multi, run_kernel_multi_with, run_kernel_verified, run_kernel_with,
-        scaling_sweep, scaling_sweep_parallel, BacksideSweepRow, CoherenceSweepRow, ScalingRow,
+        compare_systems, compare_systems_parallel, compile_for_tile, fig7, fig7_parallel, fig8,
+        fig8_parallel, hetero_sweep, hetero_sweep_parallel, run_kernel, run_kernel_multi,
+        run_kernel_multi_hetero, run_kernel_multi_with, run_kernel_verified, run_kernel_with,
+        scaling_sweep, scaling_sweep_parallel, BacksideSweepRow, CoherenceSweepRow, HeteroSweepRow,
+        ScalingRow,
     };
     pub use crate::machine::{Machine, MachineConfig, MultiMachine, SysMode};
     pub use crate::metrics::{MultiRunReport, RunReport};
-    pub use hsim_compiler::{compile, interpret, CodegenMode, Expr, Kernel, KernelBuilder};
+    pub use hsim_compiler::{
+        compile, compile_with_lm, interpret, CodegenMode, Expr, Kernel, KernelBuilder,
+    };
     pub use hsim_core::config::{CoherenceConfig, CoherenceMode};
     pub use hsim_isa::{Phase, Program, ProgramBuilder, Route};
     pub use hsim_workloads::{microbench, MicroMode, MicrobenchConfig, Scale};

@@ -266,24 +266,61 @@ impl Machine {
     /// default, an ideally-ported L3), it is raised to
     /// [`MultiMachine::DEFAULT_L3_PORT_GAP`] so the shared port is a real
     /// contended resource; set it explicitly to model anything else.
-    pub fn new_multi(n: usize, mut cfg: MachineConfig, programs: Vec<Program>) -> MultiMachine {
+    ///
+    /// This is the homogeneous wrapper around
+    /// [`Machine::new_multi_hetero`]: every tile gets a clone of `cfg`.
+    pub fn new_multi(n: usize, cfg: MachineConfig, programs: Vec<Program>) -> MultiMachine {
+        Machine::new_multi_hetero(vec![cfg; n], programs)
+    }
+
+    /// Builds a **heterogeneous** machine: tile `i` is configured by
+    /// `cfgs[i]` and runs `programs[i]`. Tiles may differ in anything
+    /// private to a tile — core parameters, `SysMode` (hybrid and
+    /// cache-based tiles coexist on one chip), L1/L2 geometry, LM size
+    /// or absence, prefetcher, MSHRs, DMA engine — but must agree on
+    /// the *shared* backside slice (L3 array and banking, DRAM
+    /// controller, port occupancy, inter-core coherence model), because
+    /// there is only one L3 and one memory channel per chip
+    /// ([`hsim_mem::MemConfig::backside_compatible`]; violations
+    /// panic). Per-core stat partitioning and the event horizons are
+    /// geometry-independent, so everything the homogeneous machine
+    /// guarantees — exact per-core shares, bit-identical cycle skipping
+    /// — holds for mixed chips too.
+    ///
+    /// Any tile whose `l3_port_gap` is 0 is raised to
+    /// [`MultiMachine::DEFAULT_L3_PORT_GAP`], mirroring
+    /// [`Machine::new_multi`].
+    pub fn new_multi_hetero(mut cfgs: Vec<MachineConfig>, programs: Vec<Program>) -> MultiMachine {
+        let n = cfgs.len();
         assert!(n >= 1, "a machine needs at least one core");
         assert_eq!(programs.len(), n, "one program per core");
-        if cfg.mem.l3_port_gap == 0 {
-            cfg.mem.l3_port_gap = MultiMachine::DEFAULT_L3_PORT_GAP;
+        for cfg in &mut cfgs {
+            if cfg.mem.l3_port_gap == 0 {
+                cfg.mem.l3_port_gap = MultiMachine::DEFAULT_L3_PORT_GAP;
+            }
         }
-        let backside = Rc::new(RefCell::new(SharedBackside::new(&cfg.mem, n)));
-        let tiles = programs
+        for (i, cfg) in cfgs.iter().enumerate().skip(1) {
+            assert!(
+                cfgs[0].mem.backside_compatible(&cfg.mem),
+                "tile {i}'s configuration disagrees with tile 0 on the shared \
+                 backside slice (L3 geometry/banking, DRAM, port gap, coherence); \
+                 heterogeneous tiles may only differ above the L3"
+            );
+        }
+        let backside = Rc::new(RefCell::new(SharedBackside::new(&cfgs[0].mem, n)));
+        let tiles = cfgs
             .into_iter()
+            .zip(programs)
             .enumerate()
-            .map(|(core_id, p)| {
-                Machine::with_backside(cfg.clone(), p, Rc::clone(&backside), core_id)
+            .map(|(core_id, (cfg, p))| {
+                Machine::with_backside(cfg, p, Rc::clone(&backside), core_id)
             })
             .collect();
         MultiMachine {
             tiles,
             backside,
             rr_start: 0,
+            replication_fallbacks: 0,
         }
     }
 }
@@ -313,6 +350,10 @@ pub struct MultiMachine {
     pub tiles: Vec<Machine>,
     backside: Rc<RefCell<SharedBackside>>,
     rr_start: usize,
+    /// Shared-marked arrays whose shard layouts diverged, silently
+    /// served from per-core replicas instead (see
+    /// [`MultiMachine::replication_fallbacks`]).
+    replication_fallbacks: u64,
 }
 
 impl MultiMachine {
@@ -324,18 +365,40 @@ impl MultiMachine {
     /// `shards[i]`'s program with its data loaded. Use
     /// [`hsim_compiler::Kernel::shard`] to slice one kernel across cores.
     pub fn for_kernels(cfg: MachineConfig, shards: &[(CompiledKernel, Kernel)]) -> MultiMachine {
-        let programs = shards
+        MultiMachine::for_kernels_hetero(vec![cfg; shards.len()], shards)
+    }
+
+    /// The heterogeneous sibling of [`MultiMachine::for_kernels`]: tile
+    /// `i` is built from `cfgs[i]` and runs `shards[i]`, whose codegen
+    /// mode must match that tile's `SysMode` (compile each shard for
+    /// its tile — hybrid tiles with [`hsim_compiler::compile`] or a
+    /// per-tile LM budget via [`hsim_compiler::compile_with_lm`],
+    /// cache-based tiles with their own codegen). Use
+    /// [`hsim_compiler::Kernel::shard_weighted`] to match iteration
+    /// counts to tile strength. Shared-range registration works across
+    /// mixed modes: the data layout is mode-independent, so a
+    /// cache-based tile and a hybrid tile can serve one read-only array
+    /// from the same directory-tracked lines under
+    /// `CoherenceMode::Mesi`.
+    pub fn for_kernels_hetero(
+        cfgs: Vec<MachineConfig>,
+        shards: &[(CompiledKernel, Kernel)],
+    ) -> MultiMachine {
+        assert_eq!(cfgs.len(), shards.len(), "one configuration per shard");
+        let programs = cfgs
             .iter()
-            .map(|(ck, _)| {
+            .zip(shards)
+            .enumerate()
+            .map(|(i, (cfg, (ck, _)))| {
                 assert_eq!(
                     cfg.mode.codegen(),
                     ck.mode,
-                    "machine mode must match the kernel's codegen mode"
+                    "tile {i}: machine mode must match the kernel's codegen mode"
                 );
                 ck.program.clone()
             })
             .collect();
-        let mut m = Machine::new_multi(shards.len(), cfg, programs);
+        let mut m = Machine::new_multi_hetero(cfgs, programs);
         for (tile, (ck, kernel)) in m.tiles.iter_mut().zip(shards) {
             tile.load_data(ck, kernel);
         }
@@ -352,12 +415,14 @@ impl MultiMachine {
     ///
     /// An array is only registered when **every** shard's layout places
     /// it at the same base with the same size. Shards with uneven
-    /// slice lengths can lay out later arrays at diverging addresses
-    /// (the per-array LM-size alignment absorbs most, but not all,
-    /// length differences); a range that diverges across shards would
-    /// alias one core's table lines with another core's unrelated
-    /// private data, so such arrays silently fall back to per-core
-    /// replication instead.
+    /// slice lengths (e.g. from [`hsim_compiler::Kernel::shard_weighted`])
+    /// can lay out later arrays at diverging addresses (the per-array
+    /// LM-size alignment absorbs most, but not all, length
+    /// differences); a range that diverges across shards would alias
+    /// one core's table lines with another core's unrelated private
+    /// data, so such arrays fall back to per-core replication instead —
+    /// counted in [`MultiMachine::replication_fallbacks`] so the
+    /// fallback is visible in reports rather than silent.
     fn register_shared_ranges(&mut self, shards: &[(CompiledKernel, Kernel)]) {
         let Some((ck0, k0)) = shards.first() else {
             return;
@@ -374,8 +439,21 @@ impl MultiMachine {
             });
             if agree {
                 backside.borrow_mut().mark_shared_range(slot.0, slot.1);
+            } else {
+                self.replication_fallbacks += 1;
             }
         }
+    }
+
+    /// How many shared-marked arrays could **not** be registered as
+    /// cross-core shared ranges because the shards' layouts diverged
+    /// (uneven slices moving later arrays): those arrays are served
+    /// from per-core replicas even under `CoherenceMode::Mesi`. 0 on
+    /// evenly-sharded and single-core machines. Surfaced through
+    /// `MultiRunReport::replication_fallbacks` and the `coherence` /
+    /// `hetero` bench outputs.
+    pub fn replication_fallbacks(&self) -> u64 {
+        self.replication_fallbacks
     }
 
     /// Number of cores.

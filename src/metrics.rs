@@ -63,7 +63,14 @@ pub struct RunReport {
     /// This core's DRAM accesses that closed another row first.
     pub dram_row_conflicts: u64,
     /// This core's posted DRAM writes that found the write queue full.
+    /// Directory-aware attribution: a stall whose drained victim was an
+    /// M-intervention write-back is charged to the recalled owner, not
+    /// the posting core (see `dram_intervention_drain_stalls`).
     pub dram_queue_stalls: u64,
+    /// The subset of this core's `dram_queue_stalls` whose drained
+    /// victim was an M-intervention write-back of *this core's* dirty
+    /// data (`CoherenceMode::Mesi` only; 0 under `Replicate`).
+    pub dram_intervention_drain_stalls: u64,
     /// L3 hits this core scored on shared, directory-tracked lines also
     /// held or brought in by another core (`CoherenceMode::Mesi` only;
     /// 0 under `Replicate`).
@@ -76,6 +83,10 @@ pub struct RunReport {
     /// MSHR merges that stalled on a fill lengthened by an intervention
     /// (Mesi only).
     pub coh_intervention_stalls: u64,
+    /// Back-invalidations that recalled a *dirty* line out of this
+    /// core's L1/L2, each charging the tile-side recall port occupancy
+    /// (Mesi only).
+    pub coh_dirty_recalls: u64,
     /// Static guarded/total reference counts of the compiled kernel.
     pub guarded_refs: usize,
     /// Static total reference count.
@@ -124,10 +135,12 @@ impl RunReport {
             dram_row_misses: backside.dram.row_misses,
             dram_row_conflicts: backside.dram.row_conflicts,
             dram_queue_stalls: backside.dram.queue_stalls,
+            dram_intervention_drain_stalls: backside.dram.intervention_drain_stalls,
             coh_shared_hits: backside.coh.shared_hits,
             coh_invalidations: backside.coh.invalidations_sent,
             coh_interventions: backside.coh.interventions,
             coh_intervention_stalls: w.mem.mshr.stats.intervention_stalls,
+            coh_dirty_recalls: backside.coh.dirty_recalls,
             guarded_refs: ck.guarded_refs(),
             total_refs: ck.total_refs(),
             energy,
@@ -177,6 +190,11 @@ pub struct MultiRunReport {
     pub per_core: Vec<RunReport>,
     /// Parallel makespan: the cycle the last core halted.
     pub makespan: u64,
+    /// Shared-marked arrays that fell back to per-core replication
+    /// because the shards' layouts diverged (uneven weighted shards):
+    /// under `CoherenceMode::Mesi` those arrays are *not* served from
+    /// shared lines. 0 on evenly-sharded machines.
+    pub replication_fallbacks: u64,
 }
 
 impl MultiRunReport {
@@ -191,7 +209,37 @@ impl MultiRunReport {
             .map(|(tile, ck)| RunReport::collect(tile, ck))
             .collect();
         let makespan = per_core.iter().map(|r| r.cycles).max().unwrap_or(0);
-        MultiRunReport { per_core, makespan }
+        MultiRunReport {
+            per_core,
+            makespan,
+            replication_fallbacks: m.replication_fallbacks(),
+        }
+    }
+
+    /// The per-tile system modes, indexed by core id — equal on a
+    /// homogeneous machine, mixed on a heterogeneous one.
+    pub fn tile_modes(&self) -> Vec<SysMode> {
+        self.per_core.iter().map(|r| r.mode).collect()
+    }
+
+    /// Whether the tiles run more than one `SysMode` (a mixed
+    /// hybrid/cache-based chip).
+    pub fn is_mixed_chip(&self) -> bool {
+        self.per_core
+            .iter()
+            .any(|r| r.mode != self.per_core[0].mode)
+    }
+
+    /// A compact per-mode tile census, e.g. `"2xHybrid coherent + 2xCache-based"`.
+    pub fn mode_summary(&self) -> String {
+        let mut parts: Vec<String> = Vec::new();
+        for mode in SysMode::ALL {
+            let n = self.per_core.iter().filter(|r| r.mode == mode).count();
+            if n > 0 {
+                parts.push(format!("{}x{}", n, mode.name()));
+            }
+        }
+        parts.join(" + ")
     }
 
     /// Number of cores.
@@ -236,6 +284,21 @@ impl MultiRunReport {
     /// Total M-state interventions over all cores (0 under `Replicate`).
     pub fn total_interventions(&self) -> u64 {
         self.per_core.iter().map(|r| r.coh_interventions).sum()
+    }
+
+    /// Total dirty upper-level recalls over all cores (0 under
+    /// `Replicate`).
+    pub fn total_dirty_recalls(&self) -> u64 {
+        self.per_core.iter().map(|r| r.coh_dirty_recalls).sum()
+    }
+
+    /// Total queued-drain stalls serviced for intervention write-backs
+    /// over all cores (0 under `Replicate`).
+    pub fn total_intervention_drain_stalls(&self) -> u64 {
+        self.per_core
+            .iter()
+            .map(|r| r.dram_intervention_drain_stalls)
+            .sum()
     }
 
     /// Machine-wide DRAM row-buffer hit rate in percent over all cores'

@@ -209,6 +209,43 @@ fn scaling_sweep_produces_rising_sublinear_curves() {
 }
 
 #[test]
+fn hetero_sweep_covers_the_shapes_and_matches_parallel() {
+    // The heterogeneous sweep on a 2-core chip: every hybrid:cache
+    // ratio plus the LM-asymmetry and weighted shapes, with the
+    // all-hybrid anchor equal to the homogeneous machine and the
+    // parallel driver bit-identical to the sequential one.
+    let kernels = [nas::cg(Scale::Test)];
+    let rows = hetero_sweep(&kernels, 2).unwrap();
+    let labels: Vec<&str> = rows.iter().map(|r| r.label.as_str()).collect();
+    assert_eq!(
+        labels,
+        ["2H+0C", "1H+1C", "0H+2C", "2H lm/4x1", "1H+1C w2:1"],
+        "CG must shard to every 2-core shape"
+    );
+    let by = |l: &str| rows.iter().find(|r| r.label == l).unwrap();
+    assert_eq!(by("2H+0C").hybrid_tiles, 2);
+    assert_eq!(by("0H+2C").hybrid_tiles, 0);
+    assert_eq!(by("2H lm/4x1").small_lm_tiles, 1);
+    assert_eq!(by("1H+1C w2:1").weights, vec![2, 1]);
+
+    // The all-hybrid shape anchors to the homogeneous machine exactly.
+    let homo = run_kernel_multi(&kernels[0], 2, SysMode::HybridCoherent, false).unwrap();
+    assert_eq!(by("2H+0C").makespan, homo.makespan);
+    assert_eq!(by("2H+0C").committed, homo.total_committed());
+    // Mixing in the cache tile costs cycles on CG.
+    assert!(by("1H+1C").makespan > by("2H+0C").makespan);
+
+    let par = hetero_sweep_parallel(&kernels, 2).unwrap();
+    assert_eq!(par.len(), rows.len());
+    for (s, p) in rows.iter().zip(&par) {
+        assert_eq!(s.label, p.label);
+        assert_eq!(s.makespan, p.makespan);
+        assert_eq!(s.dram_reads, p.dram_reads);
+        assert_eq!(s.bus_wait_cycles, p.bus_wait_cycles);
+    }
+}
+
+#[test]
 fn multicore_sharding_scales_the_makespan_down() {
     // One CG kernel sharded over 1/2/4 cores of one machine: more cores
     // means a shorter makespan (the slices shrink), while the shared

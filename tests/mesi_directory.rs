@@ -207,6 +207,38 @@ fn diverged_shard_layouts_fall_back_to_replication() {
         "with nothing registered, Mesi is the Replicate machine"
     );
     assert_eq!(rep_img, mesi_img);
+    // The fallback is no longer silent: the report counts the one
+    // shared-marked array whose layouts diverged — in both modes (the
+    // registration runs regardless; only Mesi would have consulted it).
+    assert_eq!(mesi.replication_fallbacks, 1, "fallback must be surfaced");
+    assert_eq!(rep.replication_fallbacks, 1);
+
+    // An evenly-splitting sibling (8192 iterations -> two 4096-element
+    // slices, identical layouts) registers cleanly and reports zero.
+    let even = {
+        let n = 8192u64;
+        let mut kb = KernelBuilder::new("even");
+        let a = kb.array_i64_init("a", &vec![1i64; n as usize]);
+        let idx = kb.array_i64_init("idx", &(0..n).map(|i| (i % 4) as i64).collect::<Vec<_>>());
+        let table = kb.array_i64_init("t", &[10, 20, 30, 40]);
+        kb.begin_loop(n);
+        let ra = kb.ref_affine(a, 1, 0);
+        let ridx = kb.ref_affine(idx, 1, 0);
+        let rt = kb.ref_indirect(table, ridx, 0);
+        kb.stmt(ra, Expr::add(Expr::Ref(ra), Expr::Ref(rt)));
+        kb.end_loop();
+        kb.build().unwrap()
+    };
+    let (even_rep, _) = run_sharded(
+        &even,
+        2,
+        cfg_with(SysMode::HybridCoherent, CoherenceMode::Mesi),
+    );
+    assert_eq!(even_rep.replication_fallbacks, 0);
+    assert!(
+        even_rep.total_shared_hits() > 0,
+        "even shards share cleanly"
+    );
 }
 
 #[test]

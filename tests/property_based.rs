@@ -128,6 +128,68 @@ proptest! {
     }
 }
 
+mod shard_props {
+    use super::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Uniform weights are the identity: for any kernel and shard
+        /// count, `shard_weighted(&[1; n])` must reproduce `shard(n)`
+        /// shard by shard — same names, trip counts, array declarations
+        /// and initial data (or fail with the same error).
+        #[test]
+        fn uniform_weighted_shards_equal_plain_shard(
+            kernel in arb_kernel(),
+            n in 1usize..6,
+        ) {
+            let weights = vec![1u64; n];
+            match (kernel.shard(n), kernel.shard_weighted(&weights)) {
+                (Ok(plain), Ok(weighted)) => {
+                    prop_assert_eq!(plain.len(), weighted.len());
+                    for (p, w) in plain.iter().zip(&weighted) {
+                        prop_assert_eq!(&p.name, &w.name);
+                        prop_assert_eq!(p.loops.len(), w.loops.len());
+                        for (pl, wl) in p.loops.iter().zip(&w.loops) {
+                            prop_assert_eq!(pl.n, wl.n);
+                        }
+                        prop_assert_eq!(p.arrays.len(), w.arrays.len());
+                        for (pa, wa) in p.arrays.iter().zip(&w.arrays) {
+                            prop_assert_eq!(pa.len, wa.len);
+                            prop_assert_eq!(pa.shared, wa.shared);
+                        }
+                        prop_assert_eq!(&p.init, &w.init);
+                    }
+                }
+                (Err(a), Err(b)) => prop_assert_eq!(a, b),
+                (p, w) => prop_assert!(
+                    false,
+                    "plain and uniform-weighted sharding disagree: {:?} vs {:?}",
+                    p.map(|s| s.len()),
+                    w.map(|s| s.len())
+                ),
+            }
+        }
+
+        /// Weighted shards always cover the iteration space exactly:
+        /// trip counts sum to the original for any positive weights.
+        #[test]
+        fn weighted_shards_cover_all_iterations(
+            kernel in arb_kernel(),
+            weights in prop::collection::vec(1u64..8, 1..6),
+        ) {
+            if let Ok(shards) = kernel.shard_weighted(&weights) {
+                let total: u64 = shards.iter().map(|s| s.loops[0].n).sum();
+                prop_assert_eq!(total, kernel.loops[0].n);
+                for s in &shards {
+                    prop_assert!(s.loops[0].n >= 1);
+                    prop_assert!(s.validate().is_ok());
+                }
+            }
+        }
+    }
+}
+
 mod coherence_mode_props {
     use super::*;
     use hsim::compiler::compile;

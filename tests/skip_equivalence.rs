@@ -18,6 +18,13 @@ use hsim_workloads::nas;
 /// reports (everything except the skip accounting itself).
 fn assert_reports_equal(skip: &RunReport, lock: &RunReport, what: &str) {
     assert_eq!(lock.skipped_cycles, 0, "{what}: lockstep must not skip");
+    assert_observables_equal(skip, lock, what);
+}
+
+/// The shared comparator: every observable of two runs — cycle counts,
+/// per-level hits, phases, backside shares, energy — must match bit
+/// for bit, with only the skip accounting itself left to the caller.
+fn assert_observables_equal(skip: &RunReport, lock: &RunReport, what: &str) {
     assert_eq!(skip.cycles, lock.cycles, "{what}: cycles");
     assert_eq!(skip.committed, lock.committed, "{what}: committed");
     assert_eq!(skip.phase_cycles, lock.phase_cycles, "{what}: phases");
@@ -62,15 +69,26 @@ fn assert_reports_equal(skip: &RunReport, lock: &RunReport, what: &str) {
         "{what}: intervention stalls"
     );
     assert_eq!(
+        skip.coh_dirty_recalls, lock.coh_dirty_recalls,
+        "{what}: dirty recalls"
+    );
+    assert_eq!(
+        skip.dram_intervention_drain_stalls, lock.dram_intervention_drain_stalls,
+        "{what}: intervention drain stalls"
+    );
+    assert_eq!(
         skip.energy_total().to_bits(),
         lock.energy_total().to_bits(),
         "{what}: energy"
     );
-    // The full pipeline statistics, with the skip counter normalized
-    // away (the only field allowed to differ).
-    let mut core = skip.core.clone();
-    core.skipped_cycles = 0;
-    assert_eq!(core, lock.core, "{what}: core stats");
+    // The full pipeline statistics, with the skip counters normalized
+    // away on both sides (the only field allowed to differ; callers
+    // that require it equal too assert that separately).
+    let mut a = skip.core.clone();
+    a.skipped_cycles = 0;
+    let mut b = lock.core.clone();
+    b.skipped_cycles = 0;
+    assert_eq!(a, b, "{what}: core stats");
 }
 
 /// Runs `kernel` in `mode` both ways and checks the reports match.
@@ -193,6 +211,85 @@ fn four_core_mesi_machines_skip_bit_identically() {
         skip.total_skipped_cycles() > 0,
         "the mesi run must still skip idle cycles"
     );
+}
+
+// ---------------------------------------------------- heterogeneous tiles
+//
+// The hetero constructors must be pure generalizations: N identical
+// configurations produce the homogeneous machine bit for bit, and mixed
+// chips stay bit-identical under cycle skipping.
+
+#[test]
+fn identical_config_hetero_machine_is_bit_identical_to_homogeneous() {
+    let kernel = nas::cg(Scale::Test);
+    for mode in SysMode::ALL {
+        let homo = run_kernel_multi_with(&kernel, 4, MachineConfig::for_mode(mode))
+            .expect("homogeneous run");
+        let cfgs = vec![MachineConfig::for_mode(mode); 4];
+        let hetero =
+            hsim::run_kernel_multi_hetero(&kernel, &cfgs, &[1, 1, 1, 1]).expect("hetero run");
+        assert_eq!(homo.makespan, hetero.makespan, "{mode:?}: makespan");
+        assert_eq!(hetero.replication_fallbacks, 0);
+        for (h, e) in homo.per_core.iter().zip(&hetero.per_core) {
+            // The strictest comparator in the suite: every observable
+            // of every tile must match bit for bit — including the
+            // skip accounting, since both runs use the same scheduler.
+            assert_observables_equal(
+                e,
+                h,
+                &format!("hetero-identity {:?} core {}", mode, h.core_id),
+            );
+            assert_eq!(h.skipped_cycles, e.skipped_cycles, "{mode:?}: skips");
+            assert_eq!(h.core, e.core, "{mode:?}: full core stats");
+        }
+    }
+}
+
+#[test]
+fn mixed_hybrid_cache_chip_skips_bit_identically() {
+    // A 2-hybrid/2-cache-based chip: per-tile horizons differ wildly
+    // (DMA-phased hybrid tiles skip; cache tiles grind), so this is the
+    // sharpest test of the per-tile horizon heap under heterogeneity —
+    // in both coherence modes.
+    let kernel = nas::cg(Scale::Test);
+    for cm in [CoherenceMode::Replicate, CoherenceMode::Mesi] {
+        let cfgs = |lockstep: bool| -> Vec<MachineConfig> {
+            [
+                SysMode::HybridCoherent,
+                SysMode::HybridCoherent,
+                SysMode::CacheBased,
+                SysMode::CacheBased,
+            ]
+            .iter()
+            .map(|&m| {
+                let c = MachineConfig::for_mode(m).with_coherence(cm);
+                if lockstep {
+                    c.with_lockstep()
+                } else {
+                    c
+                }
+            })
+            .collect()
+        };
+        let w = [1u64, 1, 1, 1];
+        let skip = hsim::run_kernel_multi_hetero(&kernel, &cfgs(false), &w).expect("skip");
+        let lock = hsim::run_kernel_multi_hetero(&kernel, &cfgs(true), &w).expect("lockstep");
+        assert_eq!(skip.makespan, lock.makespan, "{cm:?}: makespan");
+        assert_eq!(lock.total_skipped_cycles(), 0);
+        assert!(
+            skip.total_skipped_cycles() > 0,
+            "{cm:?}: the hybrid tiles must still skip idle cycles"
+        );
+        for (s, l) in skip.per_core.iter().zip(&lock.per_core) {
+            assert_reports_equal(s, l, &format!("mixed chip {:?} core {}", cm, s.core_id));
+        }
+        assert!(skip.is_mixed_chip());
+        assert_eq!(
+            skip.mode_summary(),
+            "2xHybrid coherent + 2xCache-based",
+            "{cm:?}: mode census"
+        );
+    }
 }
 
 // --------------------------------------------------------- flat backside
