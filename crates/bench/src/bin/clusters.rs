@@ -1,0 +1,270 @@
+//! Hierarchical-cluster sweep: channels × clusters × cores per cluster.
+//!
+//! For every NAS kernel and each (clusters, cores_per_cluster,
+//! dram_channels) point, runs the epoch-synchronized cluster machine
+//! twice — serially (the lock-step oracle, `ClusterConfig::serial`) and
+//! with one host thread per cluster — asserts the two runs are
+//! **bit-identical** (makespan, committed work, skipped cycles, DRAM
+//! traffic, epoch count), and reports both wall-clocks. The simulated
+//! side of the sweep shows where extra DRAM channels un-saturate the
+//! bandwidth-bound kernels (CG, FT); the host side shows the threading
+//! speedup, which tracks `host_parallelism` (on a single-CPU host the
+//! threaded run degenerates to ~1x — the sweep records the host's
+//! parallelism so the artifact is interpretable either way).
+//!
+//! Cross-cluster shared arrays fall back to per-cluster replication in
+//! v1; the `clufall` column counts them — cross-cluster sharing is
+//! never silently free. Results go to `BENCH_clusters.json`.
+//!
+//! ```text
+//! cargo run --release -p hsim-bench --bin clusters [--test-scale|--smoke]
+//! ```
+//!
+//! `--smoke` runs a minimal grid (test scale, CG + FT, 1x2/2x1/2x2
+//! topologies, 1/2 channels): the CI guard.
+
+use hsim::cluster::{ClusterConfig, ClusterTopology};
+use hsim::prelude::*;
+use hsim_bench::{kernels, scale_from_args, Table};
+use std::time::Instant;
+
+struct Row {
+    kernel: String,
+    clusters: usize,
+    cores_per_cluster: usize,
+    channels: usize,
+    makespan: u64,
+    epochs: u64,
+    committed: u64,
+    skipped_cycles: u64,
+    dram_reads: u64,
+    cluster_fallbacks: u64,
+    host_secs_serial: f64,
+    host_secs_threaded: f64,
+}
+
+impl Row {
+    fn thread_speedup(&self) -> f64 {
+        self.host_secs_serial / self.host_secs_threaded.max(1e-9)
+    }
+}
+
+/// Repetitions per configuration; the minimum wall-clock is reported
+/// (deterministic runs, so the minimum is the cleanest host-cost
+/// estimate).
+const REPS: usize = 3;
+
+fn config_for(channels: usize) -> MachineConfig {
+    let mut cfg = MachineConfig::for_mode(SysMode::HybridCoherent);
+    cfg.mem.dram_channels = channels;
+    cfg
+}
+
+/// Runs one point `REPS` times in the given threading mode and returns
+/// (report of the last run, best host seconds), or `None` when the
+/// kernel does not shard to this topology.
+fn run_point(
+    kernel: &hsim_compiler::Kernel,
+    topo: ClusterTopology,
+    channels: usize,
+    serial: bool,
+) -> Option<(hsim::ClusterRunReport, f64)> {
+    let mut cluster = ClusterConfig::new(topo);
+    if serial {
+        cluster = cluster.serial();
+    }
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        let report = match run_kernel_clustered(kernel, &cluster, config_for(channels)) {
+            Ok(r) => r,
+            Err(hsim::experiments::MultiRunError::Shard(_)) => return None,
+            Err(e) => panic!("simulation failed: {e}"),
+        };
+        best = best.min(start.elapsed().as_secs_f64());
+        last = Some(report);
+    }
+    Some((last.expect("REPS >= 1"), best))
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let scale = if smoke {
+        Scale::Test
+    } else {
+        scale_from_args()
+    };
+    let mut kernels = kernels(scale);
+    let topologies: &[(usize, usize)] = if smoke {
+        &[(1, 2), (2, 1), (2, 2)]
+    } else {
+        &[(1, 4), (2, 2), (2, 4), (4, 2), (4, 4)]
+    };
+    let channel_counts: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4] };
+    if smoke {
+        // The two bandwidth-bound kernels (the channel-scaling cases).
+        kernels.retain(|k| k.name == "CG" || k.name == "FT");
+    }
+    let host_parallelism = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+
+    let mut rows = Vec::new();
+    for kernel in &kernels {
+        for &(clusters, per) in topologies {
+            let topo = ClusterTopology::new(clusters, per);
+            for &channels in channel_counts {
+                let Some((serial_report, host_secs_serial)) =
+                    run_point(kernel, topo, channels, true)
+                else {
+                    println!(
+                        "note: {} does not shard to {}x{}; skipped",
+                        kernel.name, clusters, per
+                    );
+                    continue;
+                };
+                let (threaded, host_secs_threaded) = run_point(kernel, topo, channels, false)
+                    .expect("shardability cannot depend on threading");
+
+                // The acceptance invariant: the threaded run is
+                // bit-identical to the serial oracle, skip counters
+                // included.
+                assert_eq!(
+                    serial_report.makespan, threaded.makespan,
+                    "{} {}x{} ch{}: threading changed the makespan",
+                    kernel.name, clusters, per, channels
+                );
+                assert_eq!(serial_report.epochs, threaded.epochs);
+                assert_eq!(serial_report.total_committed(), threaded.total_committed());
+                assert_eq!(
+                    serial_report.total_skipped_cycles(),
+                    threaded.total_skipped_cycles()
+                );
+                assert_eq!(
+                    serial_report.total_dram_reads(),
+                    threaded.total_dram_reads()
+                );
+
+                rows.push(Row {
+                    kernel: kernel.name.clone(),
+                    clusters,
+                    cores_per_cluster: per,
+                    channels,
+                    makespan: threaded.makespan,
+                    epochs: threaded.epochs,
+                    committed: threaded.total_committed(),
+                    skipped_cycles: threaded.total_skipped_cycles(),
+                    dram_reads: threaded.total_dram_reads(),
+                    cluster_fallbacks: threaded.cross_cluster_fallbacks,
+                    host_secs_serial,
+                    host_secs_threaded,
+                });
+            }
+        }
+    }
+
+    println!("CLUSTERS: channels x clusters x cores sweep ({scale:?} scale)");
+    println!(
+        "(threaded runs asserted bit-identical to the serial oracle; \
+         host parallelism = {host_parallelism})"
+    );
+    println!();
+    let t = Table::new(&[6, 5, 5, 3, 10, 7, 9, 8, 9, 9, 8]);
+    t.row(
+        &[
+            "kernel", "clus", "cores", "ch", "makespan", "epochs", "dramR", "clufall", "ser(s)",
+            "thr(s)", "speedup",
+        ]
+        .map(String::from),
+    );
+    t.sep();
+    for r in &rows {
+        t.row(&[
+            r.kernel.clone(),
+            format!("{}", r.clusters),
+            format!("{}", r.cores_per_cluster),
+            format!("{}", r.channels),
+            format!("{}", r.makespan),
+            format!("{}", r.epochs),
+            format!("{}", r.dram_reads),
+            format!("{}", r.cluster_fallbacks),
+            format!("{:.3}", r.host_secs_serial),
+            format!("{:.3}", r.host_secs_threaded),
+            format!("{:.2}x", r.thread_speedup()),
+        ]);
+    }
+    println!();
+    let cluster_fallbacks: u64 = rows.iter().map(|r| r.cluster_fallbacks).sum();
+    if cluster_fallbacks > 0 {
+        println!(
+            "note: clufall counts shared-marked array(s) replicated per \
+             cluster because their sharers span clusters (v1 fallback) — \
+             cross-cluster sharing is counted, never silently free."
+        );
+        println!();
+    }
+
+    // Channel scaling: for the bandwidth-bound kernels, report where the
+    // second channel stops helping (the un-saturation point).
+    for name in ["CG", "FT"] {
+        let points: Vec<&Row> = rows
+            .iter()
+            .filter(|r| r.kernel == name && r.clusters * r.cores_per_cluster >= 4)
+            .collect();
+        for w in points.windows(2) {
+            if w[0].kernel == w[1].kernel
+                && w[0].clusters == w[1].clusters
+                && w[0].cores_per_cluster == w[1].cores_per_cluster
+                && w[1].channels > w[0].channels
+            {
+                let gain = w[0].makespan as f64 / w[1].makespan.max(1) as f64;
+                println!(
+                    "{} {}x{}: {} -> {} channels shrinks makespan {:.3}x",
+                    name, w[0].clusters, w[0].cores_per_cluster, w[0].channels, w[1].channels, gain
+                );
+            }
+        }
+    }
+
+    let json = render_json(scale, host_parallelism, &rows);
+    std::fs::write("BENCH_clusters.json", &json).expect("write BENCH_clusters.json");
+    println!("wrote BENCH_clusters.json ({} rows)", rows.len());
+}
+
+/// Hand-rendered JSON (no serde in the offline tree).
+fn render_json(scale: Scale, host_parallelism: usize, rows: &[Row]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"scale\": \"{scale:?}\",\n"));
+    out.push_str("  \"mode\": \"HybridCoherent\",\n");
+    out.push_str(&format!("  \"host_parallelism\": {host_parallelism},\n"));
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"kernel\": \"{}\", \"clusters\": {}, \
+             \"cores_per_cluster\": {}, \"dram_channels\": {}, \
+             \"makespan\": {}, \"epochs\": {}, \"committed\": {}, \
+             \"skipped_cycles\": {}, \"dram_reads\": {}, \
+             \"cross_cluster_fallbacks\": {}, \
+             \"host_seconds_serial\": {:.4}, \"host_seconds_threaded\": {:.4}, \
+             \"thread_speedup\": {:.3}}}{}\n",
+            r.kernel,
+            r.clusters,
+            r.cores_per_cluster,
+            r.channels,
+            r.makespan,
+            r.epochs,
+            r.committed,
+            r.skipped_cycles,
+            r.dram_reads,
+            r.cluster_fallbacks,
+            r.host_secs_serial,
+            r.host_secs_threaded,
+            r.thread_speedup(),
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

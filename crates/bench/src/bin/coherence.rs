@@ -40,7 +40,7 @@ fn main() {
     println!("COHERENCE: Replicate vs Mesi on the shared backside ({scale:?} scale)");
     println!("(hybrid-coherent machine; dramR = total DRAM line reads)");
     println!();
-    let t = Table::new(&[6, 5, 10, 10, 9, 9, 9, 8, 8, 8]);
+    let t = Table::new(&[6, 5, 10, 10, 9, 9, 9, 8, 8, 8, 8]);
     t.row(
         &[
             "kernel",
@@ -53,6 +53,7 @@ fn main() {
             "invals",
             "intervs",
             "replfall",
+            "clufall",
         ]
         .map(String::from),
     );
@@ -69,6 +70,7 @@ fn main() {
             format!("{}", r.invalidations),
             format!("{}", r.interventions),
             format!("{}", r.replication_fallbacks),
+            format!("{}", r.cluster_fallbacks),
         ]);
     }
     println!();
@@ -78,6 +80,16 @@ fn main() {
             "note: {fallbacks} shared-marked array(s) fell back to per-core \
              replication (diverged shard layouts) and were not served from \
              shared lines under Mesi."
+        );
+        println!();
+    }
+    let cluster_fallbacks: u64 = rows.iter().map(|r| r.cluster_fallbacks).sum();
+    if cluster_fallbacks > 0 {
+        println!(
+            "note: clufall counts shared-marked array(s) that a 2-cluster \
+             split of the same kernel would replicate per cluster (directory \
+             slices do not span clusters in v1) — cross-cluster sharing is \
+             counted, never silently free."
         );
         println!();
     }
@@ -126,7 +138,7 @@ fn render_json(scale: Scale, rows: &[hsim::CoherenceSweepRow]) -> String {
              \"dram_reads_replicate\": {}, \"dram_reads_mesi\": {}, \
              \"shared_hits\": {}, \"invalidations\": {}, \
              \"interventions\": {}, \"committed\": {}, \
-             \"replication_fallbacks\": {}}}{}\n",
+             \"replication_fallbacks\": {}, \"cluster_fallbacks\": {}}}{}\n",
             r.kernel,
             r.cores,
             r.makespan_replicate,
@@ -138,6 +150,7 @@ fn render_json(scale: Scale, rows: &[hsim::CoherenceSweepRow]) -> String {
             r.interventions,
             r.committed,
             r.replication_fallbacks,
+            r.cluster_fallbacks,
             if i + 1 == rows.len() { "" } else { "," }
         ));
     }

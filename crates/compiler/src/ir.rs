@@ -506,6 +506,28 @@ impl Kernel {
         self.shard_slices(&lens)
     }
 
+    /// Two-level sharding for a clustered machine: splits the kernel
+    /// into `clusters` superslices, then each superslice into `per`
+    /// per-core shards, returning one `Vec<Kernel>` per cluster. Every
+    /// superslice is itself a valid kernel, so halos nest correctly:
+    /// cluster `c`'s cores jointly compute exactly the iterations of
+    /// superslice `c`, and concatenating all clusters reproduces the
+    /// flat `shard(clusters * per)` coverage of the original iteration
+    /// space (slice boundaries differ — the two-level split rounds at
+    /// cluster granularity first).
+    pub fn shard_clustered(
+        &self,
+        clusters: usize,
+        per: usize,
+    ) -> Result<Vec<Vec<Kernel>>, ShardError> {
+        assert!(clusters >= 1, "cluster count must be positive");
+        assert!(per >= 1, "cores per cluster must be positive");
+        self.shard(clusters)?
+            .iter()
+            .map(|superslice| superslice.shard(per))
+            .collect()
+    }
+
     /// Splits the kernel into the given iteration slices (`lens[s]`
     /// iterations for shard `s`, in order). The shared back end of
     /// [`Kernel::shard`] and [`Kernel::shard_weighted`].

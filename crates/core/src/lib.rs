@@ -35,6 +35,6 @@ pub mod stats;
 
 pub use branch::{BranchPredictor, Btb, Ras};
 pub use config::{CoherenceConfig, CoherenceMode, CoreConfig, DramTiming, L3Geometry};
-pub use pipeline::Core;
+pub use pipeline::{Core, HostProfile};
 pub use port::{DmaKind, MemSide, MemoryPort, RouteInfo};
 pub use stats::CoreStats;

@@ -54,6 +54,41 @@ impl std::fmt::Display for SimError {
 
 impl std::error::Error for SimError {}
 
+/// Host wall-clock attribution for one simulated run, filled by
+/// [`Core::run_profiled`]: where the *simulator* spends its time —
+/// executing ticks, bulk-advancing over skipped stretches, or scanning
+/// for the next event horizon. `simspeed --profile` reports this per
+/// kernel so scheduler regressions are diagnosed with data.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct HostProfile {
+    /// Host seconds spent inside [`Core::tick`].
+    pub tick_secs: f64,
+    /// Ticks executed.
+    pub ticks: u64,
+    /// Host seconds spent inside [`Core::advance_to`] (bulk skips).
+    pub advance_secs: f64,
+    /// Bulk advances performed.
+    pub advances: u64,
+    /// Host seconds spent computing skip targets (the horizon scan:
+    /// [`Core::next_event_at`] plus the memory-side horizon query).
+    pub horizon_secs: f64,
+    /// Horizon scans performed.
+    pub horizon_scans: u64,
+}
+
+impl HostProfile {
+    /// Merges another profile into this one (summing across cores or
+    /// repetitions).
+    pub fn merge(&mut self, other: &HostProfile) {
+        self.tick_secs += other.tick_secs;
+        self.ticks += other.ticks;
+        self.advance_secs += other.advance_secs;
+        self.advances += other.advances;
+        self.horizon_secs += other.horizon_secs;
+        self.horizon_scans += other.horizon_scans;
+    }
+}
+
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum EState {
     Waiting,
@@ -231,6 +266,12 @@ impl Core {
             return Ok(());
         }
         while !self.halted {
+            if self.progress_certain() {
+                // A commit or dispatch is guaranteed this cycle, so the
+                // fingerprint must change — skip both probes.
+                self.tick(port)?;
+                continue;
+            }
             let before = self.progress_fingerprint();
             self.tick(port)?;
             if self.halted {
@@ -248,6 +289,85 @@ impl Core {
             }
         }
         Ok(())
+    }
+
+    /// Runs to completion like [`Core::run`], attributing host wall-clock
+    /// time to the scheduler's phases in `prof` (the `simspeed --profile`
+    /// instrumentation). The simulated outcome is identical to `run`;
+    /// only host-side timing is added.
+    pub fn run_profiled(
+        &mut self,
+        port: &mut impl MemoryPort,
+        prof: &mut HostProfile,
+    ) -> Result<(), SimError> {
+        if self.cfg.lockstep {
+            while !self.halted {
+                let t0 = std::time::Instant::now();
+                self.tick(port)?;
+                prof.tick_secs += t0.elapsed().as_secs_f64();
+                prof.ticks += 1;
+            }
+            return Ok(());
+        }
+        while !self.halted {
+            if self.progress_certain() {
+                let t0 = std::time::Instant::now();
+                self.tick(port)?;
+                prof.tick_secs += t0.elapsed().as_secs_f64();
+                prof.ticks += 1;
+                continue;
+            }
+            let before = self.progress_fingerprint();
+            let t0 = std::time::Instant::now();
+            self.tick(port)?;
+            prof.tick_secs += t0.elapsed().as_secs_f64();
+            prof.ticks += 1;
+            if self.halted {
+                break;
+            }
+            if self.progress_fingerprint() != before {
+                continue;
+            }
+            let t1 = std::time::Instant::now();
+            let target = self.skip_target(port.next_mem_event_at(self.now));
+            prof.horizon_secs += t1.elapsed().as_secs_f64();
+            prof.horizon_scans += 1;
+            if target > self.now {
+                let t2 = std::time::Instant::now();
+                self.advance_to(target);
+                prof.advance_secs += t2.elapsed().as_secs_f64();
+                prof.advances += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether the ROB head commits on the next tick: it has issued and
+    /// its completion time has arrived. Such a tick provably changes the
+    /// progress fingerprint, so the run loops skip both fingerprint
+    /// probes around it — the dominant case in busy stretches.
+    #[inline]
+    pub fn commit_ready(&self) -> bool {
+        self.rob
+            .front()
+            .is_some_and(|e| e.state == EState::Issued && e.done_at <= self.now)
+    }
+
+    /// Whether the next tick provably changes the progress fingerprint,
+    /// so the run loops can skip both probes around it. True when the
+    /// ROB head commits ([`Core::commit_ready`]) or the fetch-queue head
+    /// clears every dispatch gate: within one tick the gates only loosen
+    /// (commit alone shrinks the ROB and the inflight counters), and the
+    /// one commit that could flush the fetch queue — a taken
+    /// misprediction — bumps `committed` itself, so either way the
+    /// fingerprint moves. An off-program head also counts: its tick
+    /// raises `RanOffProgram` exactly as the probed path would.
+    #[inline]
+    pub fn progress_certain(&self) -> bool {
+        self.commit_ready()
+            || (!self.fetch_queue.is_empty()
+                && self.rob.len() < self.cfg.rob_size
+                && !self.dispatch_blocked())
     }
 
     /// A monotone counter that advances whenever a tick moves anything
@@ -271,9 +391,14 @@ impl Core {
     pub fn next_event_at(&self) -> u64 {
         let now = self.now;
         // Dispatch can drain the fetch queue whenever the ROB has room
-        // (rename/LSQ limits may still block it; conservatively assume
-        // progress).
-        if !self.fetch_queue.is_empty() && self.rob.len() < self.cfg.rob_size {
+        // and the head instruction clears the rename/LSQ gates. A head
+        // blocked on those gates unblocks only when an inflight counter
+        // drops — which happens at commit, already covered by the
+        // ROB-head horizon below.
+        if !self.fetch_queue.is_empty()
+            && self.rob.len() < self.cfg.rob_size
+            && !self.dispatch_blocked()
+        {
             return now;
         }
         let mut horizon = u64::MAX;
@@ -611,6 +736,26 @@ impl Core {
     }
 
     // ------------------------------------------------------------- dispatch
+
+    /// Whether the fetch-queue head provably cannot dispatch this cycle:
+    /// the exact rename/LSQ gates [`Core::dispatch`] applies to it. An
+    /// off-program pc counts as *not* blocked — the impending
+    /// `RanOffProgram` error must surface on a real tick, never be
+    /// skipped over.
+    fn dispatch_blocked(&self) -> bool {
+        let Some(f) = self.fetch_queue.front() else {
+            return true;
+        };
+        let pc = f.pc;
+        if pc >= self.program.len() {
+            return false;
+        }
+        let inst = self.program.insts[pc];
+        (writes_int(&inst) && self.int_inflight >= self.cfg.int_rename_budget())
+            || (writes_fp(&inst) && self.fp_inflight >= self.cfg.fp_rename_budget())
+            || (inst.is_load() && self.loads_inflight >= self.cfg.lsq_loads)
+            || (inst.is_store() && self.stores_inflight >= self.cfg.lsq_stores)
+    }
 
     fn dispatch(&mut self, port: &mut impl MemoryPort) -> Result<(), SimError> {
         let mut budget = self.cfg.fetch_width;

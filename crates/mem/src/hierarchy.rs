@@ -89,9 +89,18 @@ use crate::mshr::{MshrFile, MshrOutcome};
 use crate::prefetch::{PrefetchConfig, StreamPrefetcher};
 use crate::tlb::{Tlb, TlbConfig};
 use hsim_coherence::mesi::{MesiAction, MesiEvent, MesiState};
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
+
+/// Sentinel for a stale horizon cache: some mutation happened since the
+/// last scan, so the next query must recompute. Cycle 0 can never be a
+/// real horizon value — events are strictly after the querying `now`,
+/// and `now` is unsigned.
+const HORIZON_DIRTY: u64 = 0;
+/// Sentinel for a *clean* horizon cache with no pending event: the
+/// component is provably idle until the next mutation dirties it again.
+const HORIZON_NONE: u64 = u64::MAX;
 
 /// Which component served an access (for AMAT and replay accounting).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -284,6 +293,12 @@ pub struct MemConfig {
     pub tlb: TlbConfig,
     /// DRAM configuration.
     pub dram: DramConfig,
+    /// Number of independent DRAM channels behind the L3. Lines are
+    /// interleaved across channels by the line-address bits directly
+    /// above the L3 bank-select bits, so consecutive lines stripe over
+    /// banks first and channels second. Must be a power of two; 1 (the
+    /// default) reproduces the single-channel backside bit for bit.
+    pub dram_channels: usize,
     /// Occupancy of the shared L3 port per request, in cycles. 0 models
     /// an ideally-ported L3 (the single-core configuration); multi-core
     /// machines raise it to model backside bus contention.
@@ -341,6 +356,7 @@ impl MemConfig {
             prefetch: PrefetchConfig::default(),
             tlb: TlbConfig::default(),
             dram: DramConfig::default(),
+            dram_channels: 1,
             l3_port_gap: 0,
             lm: Some(LmConfig::default()),
             dma: DmaConfig::default(),
@@ -384,6 +400,7 @@ impl MemConfig {
             && self.l3 == other.l3
             && self.l3_geometry == other.l3_geometry
             && self.dram == other.dram
+            && self.dram_channels == other.dram_channels
             && self.l3_port_gap == other.l3_port_gap
             && self.coherence == other.coherence
     }
@@ -507,7 +524,9 @@ struct L3Bank {
 pub struct SharedBackside {
     /// Address-interleaved L3 banks.
     banks: Vec<L3Bank>,
-    dram: DramController,
+    /// Line-interleaved DRAM channels (length is a power of two; 1
+    /// reproduces the single-channel backside bit for bit).
+    channels: Vec<DramController>,
     l3_port_gap: u64,
     l3_latency: u64,
     /// Line-offset bits (`log2(line_bytes)`).
@@ -515,6 +534,10 @@ pub struct SharedBackside {
     /// Bank-index bits (`log2(banks)`), taken from the line number's
     /// low end so consecutive lines rotate through the banks.
     bank_bits: u32,
+    /// Cached [`SharedBackside::next_event_after`] result:
+    /// `HORIZON_DIRTY` after any mutation, `HORIZON_NONE` when the
+    /// backside is provably idle, otherwise the next event cycle.
+    horizon_cache: Cell<u64>,
     per_core: Vec<BacksideCoreStats>,
     /// Per-core residency-event queues (coherence tracking); `None`
     /// entries collect nothing.
@@ -553,6 +576,10 @@ impl SharedBackside {
             n_cores < SHARED_CORE,
             "core count collides with the shared-line tag"
         );
+        assert!(
+            cfg.dram_channels.is_power_of_two(),
+            "DRAM channel count must be a power of two"
+        );
         SharedBackside {
             banks: (0..n_banks)
                 .map(|_| L3Bank {
@@ -561,11 +588,14 @@ impl SharedBackside {
                     dir: DirectorySlice::default(),
                 })
                 .collect(),
-            dram: DramController::new(cfg.dram.clone()),
+            channels: (0..cfg.dram_channels)
+                .map(|_| DramController::new(cfg.dram.clone()))
+                .collect(),
             l3_port_gap: cfg.l3_port_gap,
             l3_latency: cfg.l3.latency,
             line_shift: cfg.l3.line_bytes.trailing_zeros(),
             bank_bits: n_banks.trailing_zeros(),
+            horizon_cache: Cell::new(HORIZON_DIRTY),
             per_core: vec![BacksideCoreStats::default(); n_cores],
             events: (0..n_cores).map(|_| None).collect(),
             coherence: cfg.coherence.clone(),
@@ -599,9 +629,36 @@ impl SharedBackside {
         total
     }
 
-    /// Aggregate DRAM statistics (all cores).
+    /// Aggregate DRAM statistics summed over all channels (all cores).
     pub fn dram_total_stats(&self) -> DramStats {
-        self.dram.stats
+        let mut total = DramStats::default();
+        for ch in &self.channels {
+            total.merge(&ch.stats);
+        }
+        total
+    }
+
+    /// Number of DRAM channels.
+    pub fn n_channels(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Which DRAM channel serves `line_addr`: the line-number bits
+    /// directly above the bank-select bits, so lines stripe over L3
+    /// banks first and channels second. Core tags (bit 48 and up under
+    /// [`CoherenceMode::Replicate`]) never reach these bits.
+    #[inline]
+    fn channel_of(&self, line_addr: u64) -> usize {
+        (((line_addr >> self.line_shift) >> self.bank_bits) & (self.channels.len() as u64 - 1))
+            as usize
+    }
+
+    /// Marks every cached horizon stale. Called at the top of each
+    /// public `&mut self` method: any mutation may create or consume a
+    /// future backside event.
+    #[inline]
+    fn touch(&mut self) {
+        self.horizon_cache.set(HORIZON_DIRTY);
     }
 
     /// Aggregate inter-core coherence statistics summed over the
@@ -627,6 +684,7 @@ impl SharedBackside {
     /// never consulted. Duplicate registrations (every tile registers
     /// the same shard layout) are idempotent.
     pub fn mark_shared_range(&mut self, start: u64, bytes: u64) {
+        self.touch();
         if bytes == 0 || self.shared_ranges.contains(&(start, start + bytes)) {
             return;
         }
@@ -648,6 +706,7 @@ impl SharedBackside {
     /// levels, counting their application. Always empty under
     /// `Replicate`.
     pub fn take_upper_invals(&mut self, core: usize) -> Vec<u64> {
+        self.touch();
         let lines = std::mem::take(&mut self.pending_upper_inval[core]);
         self.per_core[core].coh.upper_invals_applied += lines.len() as u64;
         lines
@@ -664,6 +723,7 @@ impl SharedBackside {
     /// `dirty_recall_latency` port-occupancy cycles per line; the count
     /// lands in the victim core's coherence share).
     pub fn note_dirty_recalls(&mut self, core: usize, n: u64) {
+        self.touch();
         self.per_core[core].coh.dirty_recalls += n;
     }
 
@@ -763,8 +823,9 @@ impl SharedBackside {
     /// of the innocent poster (directory-aware DRAM attribution).
     fn post_dram_write(&mut self, now: u64, tagged_line: u64, core: usize, intervention: bool) {
         self.per_core[core].dram.writes += 1;
+        let ch = self.channel_of(tagged_line);
         if let Some((owner, outcome, victim_iv)) =
-            self.dram.write_posted(now, tagged_line, core, intervention)
+            self.channels[ch].write_posted(now, tagged_line, core, intervention)
         {
             let stall_core = if victim_iv { owner } else { core };
             self.per_core[stall_core].dram.queue_stalls += 1;
@@ -836,11 +897,13 @@ impl SharedBackside {
 
     /// Enables residency-event collection for one core.
     pub fn enable_events(&mut self, core: usize) {
+        self.touch();
         self.events[core] = Some(Vec::new());
     }
 
     /// Drains the events queued for one core.
     pub fn take_events(&mut self, core: usize) -> Vec<CacheEvent> {
+        self.touch();
         match &mut self.events[core] {
             Some(q) => std::mem::take(q),
             None => Vec::new(),
@@ -880,6 +943,7 @@ impl SharedBackside {
         line_addr: u64,
         kind: AccessKind,
     ) -> (u64, Level, bool) {
+        self.touch();
         let shared = self.is_shared_line(line_addr);
         let tag_core = if shared { SHARED_CORE } else { core };
         let bank = self.bank_of(line_addr);
@@ -913,9 +977,9 @@ impl SharedBackside {
         // physical lines, so they occupy distinct rows (and interfere in
         // the row buffers); a shared line is one physical line for every
         // core.
-        let (dram_latency, outcome) = self
-            .dram
-            .read(start + l3_latency, Self::tag(tag_core, line_addr));
+        let tagged = Self::tag(tag_core, line_addr);
+        let ch = self.channel_of(tagged);
+        let (dram_latency, outcome) = self.channels[ch].read(start + l3_latency, tagged);
         {
             let s = &mut self.per_core[core].dram;
             s.reads += 1;
@@ -1038,6 +1102,7 @@ impl SharedBackside {
     /// sharer bit is cleared, and an M-owner's write-back demotes the
     /// entry (`Shared` if others still hold it, else no upper copies).
     pub fn accept_writeback(&mut self, core: usize, now: u64, line_addr: u64) {
+        self.touch();
         let shared = self.is_shared_line(line_addr);
         let tag_core = if shared { SHARED_CORE } else { core };
         let bank = self.bank_of(line_addr);
@@ -1082,6 +1147,7 @@ impl SharedBackside {
     /// resident shared line claims M ownership and recalls other
     /// sharers' copies.
     pub fn writethrough(&mut self, core: usize, now: u64, line_addr: u64) {
+        self.touch();
         let shared = self.is_shared_line(line_addr);
         let tag_core = if shared { SHARED_CORE } else { core };
         let bank = self.bank_of(line_addr);
@@ -1106,6 +1172,7 @@ impl SharedBackside {
     /// port. Cheap no-op under `Replicate` (the tile does not even call
     /// in).
     pub fn note_shared_store(&mut self, core: usize, now: u64, line_addr: u64) {
+        self.touch();
         if !self.is_shared_line(line_addr) {
             return;
         }
@@ -1152,6 +1219,7 @@ impl SharedBackside {
     /// (so the transfer reads current data), and the line downgrades to
     /// `Shared`.
     pub fn snoop(&mut self, core: usize, now: u64, line_addr: u64) -> bool {
+        self.touch();
         let shared = self.is_shared_line(line_addr);
         let tag_core = if shared { SHARED_CORE } else { core };
         let bank = self.bank_of(line_addr);
@@ -1185,6 +1253,7 @@ impl SharedBackside {
     /// invalidates its own L1/L2 as part of the `dma-put` walk); no
     /// write-back — the DMA data supersedes any cached copy (§2.1).
     pub fn invalidate(&mut self, core: usize, line_addr: u64) -> bool {
+        self.touch();
         let shared = self.is_shared_line(line_addr);
         let tag_core = if shared { SHARED_CORE } else { core };
         let bank = self.bank_of(line_addr);
@@ -1204,15 +1273,20 @@ impl SharedBackside {
     }
 
     /// Counts a DRAM line read with no timing (DMA transfers are timed by
-    /// the DMAC; the channel accounting still belongs here).
-    pub fn note_dram_read(&mut self, core: usize) {
-        self.dram.stats.reads += 1;
+    /// the DMAC; the channel accounting still belongs here). `line_addr`
+    /// selects the channel the line is charged to.
+    pub fn note_dram_read(&mut self, core: usize, line_addr: u64) {
+        self.touch();
+        let ch = self.channel_of(line_addr);
+        self.channels[ch].stats.reads += 1;
         self.per_core[core].dram.reads += 1;
     }
 
     /// Counts a DRAM line write with no timing (DMA write-back traffic).
-    pub fn note_dram_write(&mut self, core: usize) {
-        self.dram.stats.writes += 1;
+    pub fn note_dram_write(&mut self, core: usize, line_addr: u64) {
+        self.touch();
+        let ch = self.channel_of(line_addr);
+        self.channels[ch].stats.writes += 1;
         self.per_core[core].dram.writes += 1;
     }
 
@@ -1251,12 +1325,26 @@ impl SharedBackside {
     /// never jump past it, so arbitration-relevant backside state is
     /// observed at the cycle it changes (see the module docs).
     pub fn next_event_after(&self, now: u64) -> Option<u64> {
-        self.banks
+        let cached = self.horizon_cache.get();
+        if cached == HORIZON_NONE {
+            return None;
+        }
+        if cached != HORIZON_DIRTY && cached > now {
+            return Some(cached);
+        }
+        let next = self
+            .banks
             .iter()
             .map(|b| b.busy_until)
             .filter(|&t| t > now)
-            .chain(self.dram.next_event_after(now))
-            .min()
+            .chain(
+                self.channels
+                    .iter()
+                    .filter_map(|ch| ch.next_event_after(now)),
+            )
+            .min();
+        self.horizon_cache.set(next.unwrap_or(HORIZON_NONE));
+        next
     }
 }
 
@@ -1285,6 +1373,10 @@ pub struct MemSystem {
     pub events: Option<Vec<CacheEvent>>,
     backside: Rc<RefCell<SharedBackside>>,
     core_id: usize,
+    /// Cached tile-local horizon (`min` of the MSHR fills and in-flight
+    /// DMA): `HORIZON_DIRTY` after any access that can move either,
+    /// `HORIZON_NONE` when both are provably idle.
+    tile_horizon: Cell<u64>,
 }
 
 impl MemSystem {
@@ -1318,6 +1410,7 @@ impl MemSystem {
             events: None,
             backside,
             core_id,
+            tile_horizon: Cell::new(HORIZON_DIRTY),
             cfg,
         }
     }
@@ -1438,6 +1531,7 @@ impl MemSystem {
 
     /// A demand access to system memory from instruction at `pc`.
     pub fn data_access(&mut self, now: u64, pc: u64, addr: u64, write: bool) -> AccessResponse {
+        self.tile_horizon.set(HORIZON_DIRTY);
         let recall_penalty = self.apply_upper_invals();
         let tlb_penalty = self.tlb.access(addr);
         let now = now + tlb_penalty + recall_penalty;
@@ -1605,6 +1699,7 @@ impl MemSystem {
     /// requests generated by a dma-get look for the data in the caches")
     /// and returns the command completion cycle.
     pub fn dma_get(&mut self, now: u64, sm_addr: u64, bytes: u64, tag: u8) -> u64 {
+        self.tile_horizon.set(HORIZON_DIRTY);
         // Draining pending recalls first delays the command issue by the
         // dirty-recall port occupancy, like any other memory operation.
         let now = now + self.apply_upper_invals();
@@ -1615,7 +1710,7 @@ impl MemSystem {
             if !self.l1d.snoop(a) && !self.l2.snoop(a) {
                 let mut bs = self.backside.borrow_mut();
                 if !bs.snoop(self.core_id, now, a) {
-                    bs.note_dram_read(self.core_id);
+                    bs.note_dram_read(self.core_id, a);
                 }
             }
             a += line;
@@ -1630,6 +1725,7 @@ impl MemSystem {
     /// invalidates every matching cache line in the whole hierarchy
     /// (paper §2.1). Returns the command completion cycle.
     pub fn dma_put(&mut self, now: u64, sm_addr: u64, bytes: u64, tag: u8) -> u64 {
+        self.tile_horizon.set(HORIZON_DIRTY);
         let now = now + self.apply_upper_invals();
         let line = self.cfg.l1d.line_bytes;
         let mut a = sm_addr & !(line - 1);
@@ -1643,7 +1739,7 @@ impl MemSystem {
             {
                 let mut bs = self.backside.borrow_mut();
                 bs.invalidate(self.core_id, a);
-                bs.note_dram_write(self.core_id);
+                bs.note_dram_write(self.core_id, a);
             }
             a += line;
         }
@@ -1656,6 +1752,7 @@ impl MemSystem {
 
     /// `dma-synch`: the cycle at which the wait for `tag` ends.
     pub fn dma_synch(&mut self, now: u64, tag: u8) -> u64 {
+        self.tile_horizon.set(HORIZON_DIRTY);
         self.dmac.synch(tag, now)
     }
 
@@ -1667,14 +1764,26 @@ impl MemSystem {
     /// `MemoryPort::next_mem_event_at` so a cycle-skipping core never
     /// jumps past a backside event that could change arbitration.
     pub fn next_event_at(&self, now: u64) -> Option<u64> {
-        [
-            self.mshr.next_ready_after(now),
-            self.dmac.next_event_after(now),
-            self.backside.borrow().next_event_after(now),
-        ]
-        .into_iter()
-        .flatten()
-        .min()
+        let cached = self.tile_horizon.get();
+        let local = if cached == HORIZON_NONE {
+            None
+        } else if cached != HORIZON_DIRTY && cached > now {
+            Some(cached)
+        } else {
+            let v = [
+                self.mshr.next_ready_after(now),
+                self.dmac.next_event_after(now),
+            ]
+            .into_iter()
+            .flatten()
+            .min();
+            self.tile_horizon.set(v.unwrap_or(HORIZON_NONE));
+            v
+        };
+        match (local, self.backside.borrow().next_event_after(now)) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
     }
 
     /// Total LM activity for the Table 3 "LM Accesses" column: CPU

@@ -1,0 +1,400 @@
+//! Hierarchical clusters: groups of tiles, each group in front of its
+//! **own** backside slice, advanced in epoch-synchronized host threads.
+//!
+//! A [`ClusterTopology`] splits the machine's cores into `clusters`
+//! groups of `cores_per_cluster` tiles. Each cluster is a full
+//! [`MultiMachine`] — per-core tiles sharing one banked L3 + DRAM
+//! backside — and the clusters' backsides are *disjoint*: the
+//! CC-NUMA design point where each coherence island owns its last-level
+//! cache and memory channel(s), joined only by an explicit inter-island
+//! link.
+//!
+//! ## Cross-cluster shared data (v1: counted replication)
+//!
+//! Within a cluster, read-only shared arrays are served as usual
+//! (directory-tracked shared lines under `CoherenceMode::Mesi`,
+//! per-core replicas under `Replicate`). *Across* clusters, v1 does not
+//! model a home-directory hop: a shared range whose sharers span
+//! clusters falls back to one replica per cluster. That fallback is
+//! never silent — [`cross_cluster_fallbacks`] counts the extra replicas
+//! at plan-build time and the count travels through
+//! [`ClusterRunReport::cross_cluster_fallbacks`] into the `coherence`
+//! and `clusters` bench outputs, mirroring how intra-cluster layout
+//! divergence is surfaced via `MultiMachine::replication_fallbacks`.
+//!
+//! ## Epoch-synchronized host parallelism
+//!
+//! Because the clusters' simulated state is disjoint, each can advance
+//! on its own host thread. The drivers advance every cluster with the
+//! same call sequence — `run_until(e)`, `run_until(2e)`, … with
+//! `e = max(inter_cluster_latency, 1)` — and barrier between epochs
+//! (the earliest cycle a cross-cluster message could matter is one
+//! inter-cluster latency away, so an epoch never outruns it). The
+//! scheduler state [`MultiMachine::run_until`] persists between calls
+//! makes the chunked run *bit-identical* to one monolithic
+//! [`MultiMachine::run`] per cluster, so:
+//!
+//! * threaded vs [`ClusterConfig::serial_clusters`] is bit-identical
+//!   (every statistic, skip counters included), and
+//! * both are bit-identical to running each cluster's `MultiMachine`
+//!   standalone — which the equivalence tests pin against the
+//!   `lockstep` oracle as well.
+//!
+//! The thread protocol uses a double barrier per epoch: each thread
+//! runs its epoch, publishes its done flag, waits; every thread then
+//! reads *all* flags (no thread mutates between the barriers, so they
+//! agree), waits again, and either exits or starts the next epoch. A
+//! cluster that halts or errors early keeps joining the barriers —
+//! without simulating — until every cluster is done, so no thread ever
+//! waits on an absent peer.
+
+use crate::machine::{MachineConfig, MultiMachine};
+use crate::metrics::MultiRunReport;
+use hsim_compiler::{CompiledKernel, Kernel};
+use hsim_core::pipeline::SimError;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Barrier;
+
+/// How a machine's cores are grouped into clusters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ClusterTopology {
+    /// Number of clusters (each with its own backside slice).
+    pub clusters: usize,
+    /// Tiles per cluster (sharing that cluster's backside).
+    pub cores_per_cluster: usize,
+}
+
+impl ClusterTopology {
+    /// A `clusters × cores_per_cluster` topology (both must be ≥ 1).
+    pub fn new(clusters: usize, cores_per_cluster: usize) -> Self {
+        assert!(clusters >= 1, "need at least one cluster");
+        assert!(cores_per_cluster >= 1, "need at least one core per cluster");
+        ClusterTopology {
+            clusters,
+            cores_per_cluster,
+        }
+    }
+
+    /// Total cores across all clusters.
+    pub fn total_cores(&self) -> usize {
+        self.clusters * self.cores_per_cluster
+    }
+}
+
+/// Configuration of a clustered run.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// The cluster shape.
+    pub topology: ClusterTopology,
+    /// Cycles an inter-cluster hop would cost. v1 models no such hops
+    /// (cross-cluster sharing falls back to counted replication), but
+    /// the value still sets the epoch length: clusters synchronize at
+    /// least this often, so a future home-directory hop can never be
+    /// outrun by a cluster that advanced too far.
+    pub inter_cluster_latency: u64,
+    /// Escape hatch: advance the clusters round-robin on the calling
+    /// thread instead of one thread each. Bit-identical to the threaded
+    /// path (the determinism tests pin this); useful for debugging and
+    /// single-CPU hosts.
+    pub serial_clusters: bool,
+}
+
+impl ClusterConfig {
+    /// Default inter-cluster hop latency (cycles) — also the epoch
+    /// length. Roughly two DRAM round trips: far enough to amortize
+    /// barrier overhead, close enough that a future inter-cluster
+    /// protocol stays conservative.
+    pub const DEFAULT_INTER_CLUSTER_LATENCY: u64 = 500;
+
+    /// A threaded configuration with the default inter-cluster latency.
+    pub fn new(topology: ClusterTopology) -> Self {
+        ClusterConfig {
+            topology,
+            inter_cluster_latency: Self::DEFAULT_INTER_CLUSTER_LATENCY,
+            serial_clusters: false,
+        }
+    }
+
+    /// Switches to the serial (single-thread) cluster driver.
+    pub fn serial(mut self) -> Self {
+        self.serial_clusters = true;
+        self
+    }
+
+    /// The epoch length in cycles (at least 1).
+    pub fn epoch_len(&self) -> u64 {
+        self.inter_cluster_latency.max(1)
+    }
+}
+
+/// Aggregated results of a clustered run.
+#[derive(Clone, Debug)]
+pub struct ClusterRunReport {
+    /// Per-cluster reports, indexed by cluster id (each covering that
+    /// cluster's cores).
+    pub per_cluster: Vec<MultiRunReport>,
+    /// Machine makespan: the cycle the last core of any cluster halted.
+    pub makespan: u64,
+    /// Epoch-barrier rounds the run took.
+    pub epochs: u64,
+    /// Cycles per epoch (`ClusterConfig::epoch_len`).
+    pub epoch_cycles: u64,
+    /// Extra per-cluster replicas of shared arrays whose sharers span
+    /// clusters (see [`cross_cluster_fallbacks`]) — cross-cluster
+    /// traffic that v1 replicates instead of modeling, surfaced so it
+    /// is never silently free.
+    pub cross_cluster_fallbacks: u64,
+}
+
+impl ClusterRunReport {
+    /// Number of clusters.
+    pub fn n_clusters(&self) -> usize {
+        self.per_cluster.len()
+    }
+
+    /// Total cores across all clusters.
+    pub fn n_cores(&self) -> usize {
+        self.per_cluster.iter().map(|r| r.n_cores()).sum()
+    }
+
+    /// Total committed instructions across all clusters.
+    pub fn total_committed(&self) -> u64 {
+        self.per_cluster.iter().map(|r| r.total_committed()).sum()
+    }
+
+    /// Total scheduler-skipped cycles across all clusters.
+    pub fn total_skipped_cycles(&self) -> u64 {
+        self.per_cluster
+            .iter()
+            .map(|r| r.total_skipped_cycles())
+            .sum()
+    }
+
+    /// Intra-cluster replication fallbacks (diverged shard layouts),
+    /// summed over clusters — distinct from the cross-cluster count.
+    pub fn total_replication_fallbacks(&self) -> u64 {
+        self.per_cluster
+            .iter()
+            .map(|r| r.replication_fallbacks)
+            .sum()
+    }
+
+    /// Total DRAM line reads across all clusters and channels.
+    pub fn total_dram_reads(&self) -> u64 {
+        self.per_cluster.iter().map(|r| r.total_dram_reads()).sum()
+    }
+}
+
+/// Extra replicas a clustered run creates for shared arrays whose
+/// sharers span clusters: each of the kernel's shared-marked arrays is
+/// replicated once per cluster instead of being served through an
+/// inter-cluster home directory, so `spanning_arrays × (clusters − 1)`
+/// replicas exist beyond the single-cluster machine's. 0 for one
+/// cluster. Counted at plan-build time and reported through
+/// [`ClusterRunReport::cross_cluster_fallbacks`].
+pub fn cross_cluster_fallbacks(kernel: &Kernel, clusters: usize) -> u64 {
+    if clusters <= 1 {
+        return 0;
+    }
+    // The sharder marks replicated-whole read-only arrays `shared` on
+    // the shards (never on the source kernel), so ask it directly: the
+    // arrays shared across cluster-level superslices are exactly the
+    // ones whose sharers would span clusters. A kernel that cannot
+    // shard across clusters has no clustered run to pay for.
+    match kernel.shard(clusters) {
+        Ok(superslices) => {
+            let spanning = superslices[0].arrays.iter().filter(|a| a.shared).count() as u64;
+            spanning * (clusters as u64 - 1)
+        }
+        Err(_) => 0,
+    }
+}
+
+/// Per-cluster machine state for the serial driver.
+struct ClusterLane {
+    m: MultiMachine,
+    cks: Vec<CompiledKernel>,
+    err: Option<SimError>,
+    done: bool,
+}
+
+fn build_cluster(
+    cfg: &MachineConfig,
+    shards: &[(CompiledKernel, Kernel)],
+) -> (MultiMachine, Vec<CompiledKernel>) {
+    let m = MultiMachine::for_kernels(cfg.clone(), shards);
+    let cks = shards.iter().map(|(ck, _)| ck.clone()).collect();
+    (m, cks)
+}
+
+/// Runs a clustered machine: cluster `c` is a [`MultiMachine`] over
+/// `shards[c]` (one `(CompiledKernel, Kernel)` per core) built from
+/// `cfg`, with its own backside. Dispatches to the epoch-synchronized
+/// threaded driver, or the bit-identical serial one when
+/// [`ClusterConfig::serial_clusters`] is set (a single cluster always
+/// runs serially — there is nothing to overlap). `fallbacks` is the
+/// plan's [`cross_cluster_fallbacks`] count, carried into the report.
+///
+/// On error (deadlock, cycle limit, …) every cluster still runs its
+/// course, then the lowest-indexed cluster's error is returned — the
+/// same answer regardless of host thread timing.
+pub fn run_clusters(
+    cfg: &MachineConfig,
+    cluster: &ClusterConfig,
+    shards: &[Vec<(CompiledKernel, Kernel)>],
+    fallbacks: u64,
+) -> Result<ClusterRunReport, SimError> {
+    let topo = cluster.topology;
+    assert_eq!(shards.len(), topo.clusters, "one shard list per cluster");
+    for (c, s) in shards.iter().enumerate() {
+        assert_eq!(
+            s.len(),
+            topo.cores_per_cluster,
+            "cluster {c}: one shard per core"
+        );
+    }
+    let epoch_len = cluster.epoch_len();
+    let results = if cluster.serial_clusters || topo.clusters == 1 {
+        run_serial(cfg, shards, epoch_len)
+    } else {
+        run_threaded(cfg, shards, epoch_len)
+    };
+    let mut per_cluster = Vec::with_capacity(topo.clusters);
+    let mut epochs = 0u64;
+    for r in results {
+        let (report, e) = r?;
+        epochs = epochs.max(e);
+        per_cluster.push(report);
+    }
+    let makespan = per_cluster.iter().map(|r| r.makespan).max().unwrap_or(0);
+    Ok(ClusterRunReport {
+        per_cluster,
+        makespan,
+        epochs,
+        epoch_cycles: epoch_len,
+        cross_cluster_fallbacks: fallbacks,
+    })
+}
+
+/// The serial oracle: all clusters on the calling thread, advanced
+/// round-robin one epoch at a time — the exact `run_until` call
+/// sequence per cluster that each thread of [`run_threaded`] performs.
+fn run_serial(
+    cfg: &MachineConfig,
+    shards: &[Vec<(CompiledKernel, Kernel)>],
+    epoch_len: u64,
+) -> Vec<Result<(MultiRunReport, u64), SimError>> {
+    let mut lanes: Vec<ClusterLane> = shards
+        .iter()
+        .map(|s| {
+            let (m, cks) = build_cluster(cfg, s);
+            ClusterLane {
+                m,
+                cks,
+                err: None,
+                done: false,
+            }
+        })
+        .collect();
+    let mut epoch_end = epoch_len;
+    let mut epochs = 0u64;
+    loop {
+        for lane in &mut lanes {
+            if lane.done {
+                continue;
+            }
+            match lane.m.run_until(epoch_end) {
+                Err(e) => {
+                    lane.err = Some(e);
+                    lane.done = true;
+                }
+                Ok(()) => {
+                    if lane.m.all_halted() {
+                        lane.done = true;
+                    }
+                }
+            }
+        }
+        epochs += 1;
+        if lanes.iter().all(|l| l.done) {
+            break;
+        }
+        epoch_end += epoch_len;
+    }
+    lanes
+        .into_iter()
+        .map(|lane| match lane.err {
+            Some(e) => Err(e),
+            None => Ok((MultiRunReport::collect(&lane.m, &lane.cks), epochs)),
+        })
+        .collect()
+}
+
+/// The threaded driver: one scoped `std::thread` per cluster, epochs
+/// synchronized with a double barrier (see the module docs for why two
+/// waits make the done decision consistent without a race).
+fn run_threaded(
+    cfg: &MachineConfig,
+    shards: &[Vec<(CompiledKernel, Kernel)>],
+    epoch_len: u64,
+) -> Vec<Result<(MultiRunReport, u64), SimError>> {
+    let n = shards.len();
+    let barrier = Barrier::new(n);
+    let done: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = shards
+            .iter()
+            .enumerate()
+            .map(|(c, cluster_shards)| {
+                let barrier = &barrier;
+                let done = &done;
+                s.spawn(move || -> Result<(MultiRunReport, u64), SimError> {
+                    // Machines hold `Rc` backside handles, so each is
+                    // built — and its report collected — inside its own
+                    // thread; only plain data crosses the boundary.
+                    let (mut m, cks) = build_cluster(cfg, cluster_shards);
+                    let mut err: Option<SimError> = None;
+                    let mut finished = false;
+                    let mut epoch_end = epoch_len;
+                    let mut epochs = 0u64;
+                    loop {
+                        if !finished {
+                            match m.run_until(epoch_end) {
+                                Err(e) => {
+                                    err = Some(e);
+                                    finished = true;
+                                }
+                                Ok(()) => {
+                                    if m.all_halted() {
+                                        finished = true;
+                                    }
+                                }
+                            }
+                            if finished {
+                                done[c].store(true, Ordering::SeqCst);
+                            }
+                        }
+                        epochs += 1;
+                        barrier.wait();
+                        // No thread stores a flag between the barriers,
+                        // so every thread computes the same answer.
+                        let all_done = done.iter().all(|d| d.load(Ordering::SeqCst));
+                        barrier.wait();
+                        if all_done {
+                            break;
+                        }
+                        epoch_end += epoch_len;
+                    }
+                    match err {
+                        Some(e) => Err(e),
+                        None => Ok((MultiRunReport::collect(&m, &cks), epochs)),
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("cluster thread panicked"))
+            .collect()
+    })
+}

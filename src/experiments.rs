@@ -19,6 +19,7 @@
 //! L3/DRAM backside (one *simulated* machine — unrelated to the host
 //! threading above).
 
+use crate::cluster::{cross_cluster_fallbacks, run_clusters, ClusterConfig, ClusterRunReport};
 use crate::machine::{Machine, MachineConfig, MultiMachine, SysMode};
 use crate::metrics::{MultiRunReport, RunReport};
 use hsim_compiler::{compile, compile_with_lm, interpret, CompiledKernel, Kernel, ShardError};
@@ -146,6 +147,74 @@ pub fn run_kernel_multi_with(
     m.run()?;
     let cks: Vec<_> = compiled.into_iter().map(|(ck, _)| ck).collect();
     Ok(MultiRunReport::collect(&m, &cks))
+}
+
+/// [`run_kernel_with`] with host-time attribution: runs the same
+/// simulation under [`Machine::run_profiled`], charging every host
+/// second to a scheduler phase (tick / horizon scan / bulk advance) in
+/// the returned [`hsim_core::HostProfile`]. The simulated results are
+/// bit-identical to the unprofiled run — profiling only adds host-side
+/// clocks around phases the scheduler already executes.
+pub fn run_kernel_profiled(
+    kernel: &Kernel,
+    cfg: MachineConfig,
+) -> Result<(RunReport, hsim_core::HostProfile), SimError> {
+    let ck = compile(kernel, cfg.mode.codegen());
+    let mut m = Machine::for_kernel(cfg, &ck, kernel);
+    let mut prof = hsim_core::HostProfile::default();
+    m.run_profiled(&mut prof)?;
+    Ok((RunReport::collect(&m, &ck), prof))
+}
+
+/// [`run_kernel_multi_with`] with host-time attribution (see
+/// [`run_kernel_profiled`]); phases are accumulated across all tiles of
+/// the multicore scheduler.
+pub fn run_kernel_multi_profiled(
+    kernel: &Kernel,
+    n_cores: usize,
+    cfg: MachineConfig,
+) -> Result<(MultiRunReport, hsim_core::HostProfile), MultiRunError> {
+    let shards = kernel.shard(n_cores)?;
+    let compiled: Vec<_> = shards
+        .iter()
+        .map(|s| (compile(s, cfg.mode.codegen()), s.clone()))
+        .collect();
+    let mut m = MultiMachine::for_kernels(cfg, &compiled);
+    let mut prof = hsim_core::HostProfile::default();
+    m.run_profiled(&mut prof)?;
+    let cks: Vec<_> = compiled.into_iter().map(|(ck, _)| ck).collect();
+    Ok((MultiRunReport::collect(&m, &cks), prof))
+}
+
+/// Shards `kernel` two-level across a clustered machine
+/// ([`hsim_compiler::Kernel::shard_clustered`]) and runs it with the
+/// epoch-synchronized cluster driver ([`crate::cluster::run_clusters`]):
+/// cluster `c` is a [`MultiMachine`] over its superslice's per-core
+/// shards with its **own** L3 + DRAM backside, advanced on its own host
+/// thread (or serially under [`ClusterConfig::serial_clusters`], bit-
+/// identically). Shards are compiled exactly as
+/// [`run_kernel_multi_with`] compiles them, so a 1-cluster run
+/// reproduces the flat multicore machine bit for bit. Cross-cluster
+/// shared arrays fall back to per-cluster replication, counted in the
+/// report's `cross_cluster_fallbacks` — never silently free.
+pub fn run_kernel_clustered(
+    kernel: &Kernel,
+    cluster: &ClusterConfig,
+    cfg: MachineConfig,
+) -> Result<ClusterRunReport, MultiRunError> {
+    let topo = cluster.topology;
+    let sliced = kernel.shard_clustered(topo.clusters, topo.cores_per_cluster)?;
+    let shards: Vec<Vec<(CompiledKernel, Kernel)>> = sliced
+        .into_iter()
+        .map(|superslice| {
+            superslice
+                .into_iter()
+                .map(|s| (compile(&s, cfg.mode.codegen()), s))
+                .collect()
+        })
+        .collect();
+    let fallbacks = cross_cluster_fallbacks(kernel, topo.clusters);
+    Ok(run_clusters(&cfg, cluster, &shards, fallbacks)?)
 }
 
 /// The heterogeneous sibling of [`run_kernel_multi_with`]: shards
@@ -659,6 +728,12 @@ pub struct CoherenceSweepRow {
     /// because the shards' layouts diverged: under `Mesi` those arrays
     /// were *not* served from shared lines (0 on even shards).
     pub replication_fallbacks: u64,
+    /// Shared-marked arrays that would fall back to per-cluster
+    /// replication if this kernel were split across a 2-cluster
+    /// machine ([`cross_cluster_fallbacks`]): cross-cluster sharing is
+    /// never silently free, so the sweep surfaces the cost a clustered
+    /// run of the same kernel would pay.
+    pub cluster_fallbacks: u64,
 }
 
 /// Runs one coherence-comparison point; `None` when the kernel does not
@@ -700,6 +775,7 @@ fn coherence_point(
         interventions: mesi.total_interventions(),
         committed: rep.total_committed(),
         replication_fallbacks: mesi.replication_fallbacks,
+        cluster_fallbacks: cross_cluster_fallbacks(kernel, 2),
     }))
 }
 

@@ -53,7 +53,8 @@
 //! | [`compiler`] | loop IR, classification, tiling, guarded codegen, double store, kernel sharding (`Kernel::shard`, `Kernel::shard_weighted`, per-tile LM budgets via `compile_with_lm`) |
 //! | [`workloads`] | Table 2 microbenchmark + six NAS-signature kernels |
 //! | [`machine`] | the assembled systems — hybrid coherent / hybrid oracle / cache-based — as single-core [`Machine`]s or N-core [`MultiMachine`]s sharing one backside, homogeneous or with per-tile configurations |
-//! | [`experiments`] | drivers regenerating every table and figure, sequential and host-parallel (`*_parallel`, [`run_kernel_multi`]) |
+//! | [`cluster`] | hierarchical clusters: per-cluster backside slices (own L3 + DRAM channel), epoch-synchronized host threads, serial oracle ([`run_clusters`], [`ClusterTopology`]) |
+//! | [`experiments`] | drivers regenerating every table and figure, sequential and host-parallel (`*_parallel`, [`run_kernel_multi`], [`run_kernel_clustered`]) |
 //!
 //! ## Multicore model
 //!
@@ -108,6 +109,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cluster;
 pub mod experiments;
 pub mod machine;
 pub mod metrics;
@@ -120,24 +122,30 @@ pub use hsim_isa as isa;
 pub use hsim_mem as mem;
 pub use hsim_workloads as workloads;
 
+pub use cluster::{
+    cross_cluster_fallbacks, run_clusters, ClusterConfig, ClusterRunReport, ClusterTopology,
+};
 pub use experiments::{
     backside_sweep, backside_sweep_parallel, coherence_sweep, coherence_sweep_parallel,
     compare_systems, compare_systems_parallel, compile_for_tile, fig7, fig7_parallel, fig8,
     fig8_parallel, geomean, hetero_sweep, hetero_sweep_parallel, parallel_map, run_kernel,
-    run_kernel_multi, run_kernel_multi_hetero, run_kernel_multi_with, run_kernel_verified,
-    run_kernel_with, scaling_sweep, scaling_sweep_parallel, BacksideSweepRow, CoherenceSweepRow,
-    HeteroSweepRow, ScalingRow,
+    run_kernel_clustered, run_kernel_multi, run_kernel_multi_hetero, run_kernel_multi_profiled,
+    run_kernel_multi_with, run_kernel_profiled, run_kernel_verified, run_kernel_with,
+    scaling_sweep, scaling_sweep_parallel, BacksideSweepRow, CoherenceSweepRow, HeteroSweepRow,
+    ScalingRow,
 };
 pub use machine::{Machine, MachineConfig, MultiMachine, SysMode, World};
 pub use metrics::{activity, MultiRunReport, RunReport};
 
 /// The most common imports for building and running kernels.
 pub mod prelude {
+    pub use crate::cluster::{ClusterConfig, ClusterRunReport, ClusterTopology};
     pub use crate::experiments::{
         backside_sweep, backside_sweep_parallel, coherence_sweep, coherence_sweep_parallel,
         compare_systems, compare_systems_parallel, compile_for_tile, fig7, fig7_parallel, fig8,
-        fig8_parallel, hetero_sweep, hetero_sweep_parallel, run_kernel, run_kernel_multi,
-        run_kernel_multi_hetero, run_kernel_multi_with, run_kernel_verified, run_kernel_with,
+        fig8_parallel, hetero_sweep, hetero_sweep_parallel, run_kernel, run_kernel_clustered,
+        run_kernel_multi, run_kernel_multi_hetero, run_kernel_multi_profiled,
+        run_kernel_multi_with, run_kernel_profiled, run_kernel_verified, run_kernel_with,
         scaling_sweep, scaling_sweep_parallel, BacksideSweepRow, CoherenceSweepRow, HeteroSweepRow,
         ScalingRow,
     };

@@ -126,6 +126,7 @@ impl MachineConfig {
     pub fn with_flat_backside(mut self) -> Self {
         self.mem.l3_geometry.banks = 1;
         self.mem.dram.flat_dram = true;
+        self.mem.dram_channels = 1;
         self.mem.coherence.mode = hsim_core::config::CoherenceMode::Replicate;
         self
     }
@@ -240,6 +241,12 @@ impl Machine {
         self.core.run(&mut self.world)
     }
 
+    /// Runs to completion, attributing host time to scheduler phases
+    /// (see [`hsim_core::HostProfile`]).
+    pub fn run_profiled(&mut self, prof: &mut hsim_core::HostProfile) -> Result<(), SimError> {
+        self.core.run_profiled(&mut self.world, prof)
+    }
+
     /// Reads back an array's contents (raw element bits).
     pub fn read_array(&self, ck: &CompiledKernel, kernel: &Kernel, id: usize) -> Vec<u64> {
         let base = ck.layout.arrays[id].base;
@@ -321,7 +328,38 @@ impl Machine {
             backside,
             rr_start: 0,
             replication_fallbacks: 0,
+            sched: None,
         }
+    }
+}
+
+/// Persistent event-horizon scheduler state between [`MultiMachine::run_until`]
+/// calls. Carrying the heap, live count, machine cycle and stretch flag
+/// across calls makes a chunked run (`run_until(e1)`, `run_until(e2)`, …)
+/// execute the *exact* operation sequence of one monolithic
+/// [`MultiMachine::run`] — including each tile's `skipped_cycles` —
+/// rather than merely an equivalent one.
+struct SchedState {
+    heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, usize)>>,
+    live: usize,
+    mcycle: u64,
+    /// The machine was mid lock-step stretch (every live tile busy) when
+    /// the previous `run_until` hit its limit.
+    in_stretch: bool,
+}
+
+/// Runs `f`, charging its wall-clock time to `secs`/`count` when `on`.
+/// Monomorphized away entirely when the caller passes a const `false`.
+#[inline(always)]
+fn timed<T>(on: bool, secs: &mut f64, count: &mut u64, f: impl FnOnce() -> T) -> T {
+    if on {
+        let t0 = std::time::Instant::now();
+        let r = f();
+        *secs += t0.elapsed().as_secs_f64();
+        *count += 1;
+        r
+    } else {
+        f()
     }
 }
 
@@ -354,6 +392,9 @@ pub struct MultiMachine {
     /// served from per-core replicas instead (see
     /// [`MultiMachine::replication_fallbacks`]).
     replication_fallbacks: u64,
+    /// Scheduler state carried across [`MultiMachine::run_until`] calls
+    /// (`None` before the first call and after completion).
+    sched: Option<SchedState>,
 }
 
 impl MultiMachine {
@@ -501,47 +542,180 @@ impl MultiMachine {
     /// with `lockstep: true` in the core configuration falls back to the
     /// naive loop (the equivalence tests compare the two).
     pub fn run(&mut self) -> Result<(), SimError> {
+        let mut prof = hsim_core::HostProfile::default();
+        self.run_until_gen::<false>(u64::MAX, &mut prof)
+    }
+
+    /// Runs to completion like [`MultiMachine::run`], attributing host
+    /// wall-clock time to the scheduler's tick / advance / horizon-scan
+    /// phases in `prof` (the `simspeed --profile` instrumentation). The
+    /// simulated outcome is identical; only host timing is added.
+    pub fn run_profiled(&mut self, prof: &mut hsim_core::HostProfile) -> Result<(), SimError> {
+        self.run_until_gen::<true>(u64::MAX, prof)
+    }
+
+    /// Runs the machine until every core halts **or** the machine cycle
+    /// reaches `limit`: no tick executes at a cycle ≥ `limit`, and no
+    /// event at or past it is processed. Scheduler state persists on the
+    /// machine between calls, so a chunked run — `run_until(e)` for an
+    /// increasing sequence of epoch boundaries — performs the *exact*
+    /// operation sequence of one monolithic `run`, leaving every
+    /// statistic (skip counters included) bit-identical. This is what
+    /// the epoch-synchronized cluster driver calls once per epoch.
+    pub fn run_until(&mut self, limit: u64) -> Result<(), SimError> {
+        let mut prof = hsim_core::HostProfile::default();
+        self.run_until_gen::<false>(limit, &mut prof)
+    }
+
+    fn run_until_gen<const PROF: bool>(
+        &mut self,
+        limit: u64,
+        prof: &mut hsim_core::HostProfile,
+    ) -> Result<(), SimError> {
         if self.tiles.iter().any(|t| t.cfg.core.lockstep) {
             while !self.all_halted() {
-                self.tick_all()?;
+                let now = self
+                    .tiles
+                    .iter()
+                    .filter(|t| !t.core.halted())
+                    .map(|t| t.core.now())
+                    .max()
+                    .unwrap_or(0);
+                if now >= limit {
+                    return Ok(());
+                }
+                timed(PROF, &mut prof.tick_secs, &mut prof.ticks, || {
+                    self.tick_all()
+                })?;
             }
             return Ok(());
         }
         use std::cmp::Reverse;
         use std::collections::BinaryHeap;
         let n = self.tiles.len();
-        let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::with_capacity(n);
+        // Resume the previous call's scheduler state, or build it fresh.
         // All live tiles share the same cycle (the lock-step invariant);
         // `mcycle` tracks it so the loop never rescans the tiles for it.
-        let mut live = 0usize;
-        let mut mcycle = 0u64;
-        for (i, tile) in self.tiles.iter().enumerate() {
-            if !tile.core.halted() {
-                live += 1;
-                mcycle = mcycle.max(tile.core.now());
-                heap.push(Reverse((Self::tile_target(tile), i)));
+        let mut st = match self.sched.take() {
+            Some(st) => st,
+            None => {
+                let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::with_capacity(n);
+                let mut live = 0usize;
+                let mut mcycle = 0u64;
+                for (i, tile) in self.tiles.iter().enumerate() {
+                    if !tile.core.halted() {
+                        live += 1;
+                        mcycle = mcycle.max(tile.core.now());
+                        heap.push(Reverse((
+                            timed(
+                                PROF,
+                                &mut prof.horizon_secs,
+                                &mut prof.horizon_scans,
+                                || Self::tile_target(tile),
+                            ),
+                            i,
+                        )));
+                    }
+                }
+                SchedState {
+                    heap,
+                    live,
+                    mcycle,
+                    in_stretch: false,
+                }
             }
-        }
+        };
         let mut busy: Vec<usize> = Vec::with_capacity(n);
         let mut is_due: Vec<bool> = vec![false; n];
-        while let Some(&Reverse((event, _))) = heap.peek() {
+        loop {
+            if st.in_stretch {
+                // Every live tile is busy: stay in a plain lock-step
+                // stretch (no heap traffic) until one of them quiesces
+                // or halts, then rebuild the horizons.
+                debug_assert!(st.heap.is_empty());
+                loop {
+                    if st.mcycle >= limit {
+                        self.sched = Some(st);
+                        return Ok(());
+                    }
+                    let mut stretch_over = false;
+                    for k in 0..n {
+                        let i = (self.rr_start + k) % n;
+                        let tile = &mut self.tiles[i];
+                        if tile.core.halted() {
+                            continue;
+                        }
+                        if tile.core.progress_certain() {
+                            // A commit or dispatch is guaranteed this
+                            // tick: the fingerprint provably changes,
+                            // skip both probes.
+                            timed(PROF, &mut prof.tick_secs, &mut prof.ticks, || {
+                                tile.core.tick(&mut tile.world)
+                            })?;
+                            if tile.core.halted() {
+                                st.live -= 1;
+                                stretch_over = true;
+                            }
+                            continue;
+                        }
+                        let before = tile.core.progress_fingerprint();
+                        timed(PROF, &mut prof.tick_secs, &mut prof.ticks, || {
+                            tile.core.tick(&mut tile.world)
+                        })?;
+                        if tile.core.halted() {
+                            st.live -= 1;
+                            stretch_over = true;
+                        } else if tile.core.progress_fingerprint() == before {
+                            stretch_over = true;
+                        }
+                    }
+                    self.rr_start = (self.rr_start + 1) % n;
+                    st.mcycle += 1;
+                    if stretch_over || st.live == 0 {
+                        break;
+                    }
+                }
+                st.in_stretch = false;
+                for (i, tile) in self.tiles.iter().enumerate() {
+                    if !tile.core.halted() {
+                        st.heap.push(Reverse((
+                            timed(
+                                PROF,
+                                &mut prof.horizon_secs,
+                                &mut prof.horizon_scans,
+                                || Self::tile_target(tile),
+                            ),
+                            i,
+                        )));
+                    }
+                }
+            }
+            let Some(&Reverse((event, _))) = st.heap.peek() else {
+                break;
+            };
+            if event >= limit {
+                self.sched = Some(st);
+                return Ok(());
+            }
             // Fast-forward the machine to the earliest pending event.
-            if event > mcycle {
-                let skipped = event - mcycle;
+            if event > st.mcycle {
+                let skipped = event - st.mcycle;
                 self.rr_start = (self.rr_start + (skipped % n as u64) as usize) % n;
                 for tile in &mut self.tiles {
                     if !tile.core.halted() {
-                        tile.core.advance_to(event);
+                        timed(PROF, &mut prof.advance_secs, &mut prof.advances, || {
+                            tile.core.advance_to(event)
+                        });
                     }
                 }
             }
             // Pop every tile due at this cycle.
             let mut due_count = 0usize;
-            while let Some(&Reverse((t, i))) = heap.peek() {
+            while let Some(&Reverse((t, i))) = st.heap.peek() {
                 if t > event {
                     break;
                 }
-                heap.pop();
+                st.heap.pop();
                 is_due[i] = true;
                 due_count += 1;
             }
@@ -554,7 +728,7 @@ impl MultiMachine {
             // loop would have.
             let rr = self.rr_start;
             self.rr_start = (self.rr_start + 1) % n;
-            let all_due = due_count == live;
+            let all_due = due_count == st.live;
             busy.clear();
             for k in 0..n {
                 let i = (rr + k) % n;
@@ -563,59 +737,54 @@ impl MultiMachine {
                     continue;
                 }
                 if !is_due[i] {
-                    tile.core.advance_to(event + 1);
+                    timed(PROF, &mut prof.advance_secs, &mut prof.advances, || {
+                        tile.core.advance_to(event + 1)
+                    });
                     continue;
                 }
                 is_due[i] = false;
+                if tile.core.progress_certain() {
+                    // Provably commits or dispatches — the fingerprint
+                    // would change, so the tile stays busy without
+                    // either probe.
+                    timed(PROF, &mut prof.tick_secs, &mut prof.ticks, || {
+                        tile.core.tick(&mut tile.world)
+                    })?;
+                    if tile.core.halted() {
+                        st.live -= 1;
+                    } else {
+                        busy.push(i);
+                    }
+                    continue;
+                }
                 let before = tile.core.progress_fingerprint();
-                tile.core.tick(&mut tile.world)?;
+                timed(PROF, &mut prof.tick_secs, &mut prof.ticks, || {
+                    tile.core.tick(&mut tile.world)
+                })?;
                 if tile.core.halted() {
-                    live -= 1;
+                    st.live -= 1;
                 } else if tile.core.progress_fingerprint() != before {
                     // A tile that moved something stays due next cycle;
                     // only quiesced tiles pay for a horizon scan.
                     busy.push(i);
                 } else {
-                    heap.push(Reverse((Self::tile_target(tile), i)));
+                    st.heap.push(Reverse((
+                        timed(
+                            PROF,
+                            &mut prof.horizon_secs,
+                            &mut prof.horizon_scans,
+                            || Self::tile_target(tile),
+                        ),
+                        i,
+                    )));
                 }
             }
-            mcycle = event + 1;
-            if all_due && live > 0 && busy.len() == due_count {
-                // Every live tile is busy: stay in a plain lock-step
-                // stretch (no heap traffic) until one of them quiesces
-                // or halts, then rebuild the horizons.
-                debug_assert!(heap.is_empty());
-                loop {
-                    let mut stretch_over = false;
-                    for k in 0..n {
-                        let i = (self.rr_start + k) % n;
-                        let tile = &mut self.tiles[i];
-                        if tile.core.halted() {
-                            continue;
-                        }
-                        let before = tile.core.progress_fingerprint();
-                        tile.core.tick(&mut tile.world)?;
-                        if tile.core.halted() {
-                            live -= 1;
-                            stretch_over = true;
-                        } else if tile.core.progress_fingerprint() == before {
-                            stretch_over = true;
-                        }
-                    }
-                    self.rr_start = (self.rr_start + 1) % n;
-                    mcycle += 1;
-                    if stretch_over || live == 0 {
-                        break;
-                    }
-                }
-                for (i, tile) in self.tiles.iter().enumerate() {
-                    if !tile.core.halted() {
-                        heap.push(Reverse((Self::tile_target(tile), i)));
-                    }
-                }
+            st.mcycle = event + 1;
+            if all_due && st.live > 0 && busy.len() == due_count {
+                st.in_stretch = true;
             } else {
                 for &i in &busy {
-                    heap.push(Reverse((mcycle, i)));
+                    st.heap.push(Reverse((st.mcycle, i)));
                 }
             }
         }

@@ -243,6 +243,79 @@ mod coherence_mode_props {
     }
 }
 
+mod cluster_props {
+    use super::*;
+    use hsim::cluster::{ClusterConfig, ClusterTopology};
+    use hsim::experiments::MultiRunError;
+
+    /// Runs a random kernel on a clustered machine; `None` when the
+    /// kernel does not shard to the topology.
+    fn run(
+        kernel: &Kernel,
+        topo: ClusterTopology,
+        cm: CoherenceMode,
+        channels: usize,
+        serial: bool,
+    ) -> Option<hsim::ClusterRunReport> {
+        let mut cluster = ClusterConfig::new(topo);
+        if serial {
+            cluster = cluster.serial();
+        }
+        let mut cfg = MachineConfig::for_mode(SysMode::HybridCoherent).with_coherence(cm);
+        cfg.mem.dram_channels = channels;
+        match run_kernel_clustered(kernel, &cluster, cfg) {
+            Ok(r) => Some(r),
+            Err(MultiRunError::Shard(_)) => None,
+            Err(e) => panic!("simulation failed: {e}"),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// Host-parallel epoch execution is invisible: for any kernel,
+        /// cluster topology, coherence mode and channel count, one host
+        /// thread per cluster produces bit-identical results to the
+        /// serial round-robin oracle — every per-core statistic
+        /// including the cycle-skip counters, every makespan, the epoch
+        /// count and the fallback accounting.
+        #[test]
+        fn threaded_clusters_match_serial_for_any_topology(
+            kernel in arb_kernel(),
+            clusters in 1usize..4,
+            per in 1usize..3,
+            mesi in prop::bool::ANY,
+            two_channels in prop::bool::ANY,
+        ) {
+            let topo = ClusterTopology::new(clusters, per);
+            let cm = if mesi { CoherenceMode::Mesi } else { CoherenceMode::Replicate };
+            let channels = if two_channels { 2 } else { 1 };
+            let Some(serial) = run(&kernel, topo, cm, channels, true) else { return Ok(()); };
+            let threaded = run(&kernel, topo, cm, channels, false)
+                .expect("shardability cannot depend on threading");
+            prop_assert_eq!(serial.makespan, threaded.makespan, "makespan");
+            prop_assert_eq!(serial.epochs, threaded.epochs, "epochs");
+            prop_assert_eq!(
+                serial.cross_cluster_fallbacks,
+                threaded.cross_cluster_fallbacks
+            );
+            prop_assert_eq!(serial.per_cluster.len(), threaded.per_cluster.len());
+            for (ca, cb) in serial.per_cluster.iter().zip(&threaded.per_cluster) {
+                prop_assert_eq!(ca.makespan, cb.makespan, "cluster makespan");
+                prop_assert_eq!(ca.replication_fallbacks, cb.replication_fallbacks);
+                for (ra, rb) in ca.per_core.iter().zip(&cb.per_core) {
+                    prop_assert_eq!(&ra.core, &rb.core, "core stats (incl. skips)");
+                    prop_assert_eq!(ra.bus_wait_cycles, rb.bus_wait_cycles);
+                    prop_assert_eq!(ra.dram_reads, rb.dram_reads);
+                    prop_assert_eq!(ra.dram_writes, rb.dram_writes);
+                    prop_assert_eq!(ra.dram_row_hits, rb.dram_row_hits);
+                    prop_assert_eq!(ra.l3_accesses, rb.l3_accesses);
+                }
+            }
+        }
+    }
+}
+
 mod directory_props {
     use super::*;
     use hsim::coherence::{DirConfig, Directory};
