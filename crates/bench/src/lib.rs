@@ -18,6 +18,7 @@
 //! | `coherence` | `Replicate` vs `Mesi` coherence modes side by side — DRAM traffic, shared hits, invalidations, interventions, replication fallbacks (`BENCH_coherence.json`; `--smoke` for CI) |
 //! | `hetero` | mixed hybrid/cache-based chips: tile ratios, LM-size asymmetry and weighted shards, with interpolation/identity assertions (`BENCH_hetero.json`; `--smoke` for CI) |
 //! | `clusters` | hierarchical clusters: channels × clusters × cores sweep, threaded runs asserted bit-identical to the serial oracle, cross-cluster replication fallbacks counted (`BENCH_clusters.json`; `--smoke` for CI) |
+//! | `faults` | fault-injection sweep: fault rate × kernel makespan-degradation curves with recovery counters, every point replayed same-seed and asserted bit-identical, committed totals asserted fault-invariant (`BENCH_faults.json`; `--smoke` for CI) |
 //! | `figshapes` | no output files — asserts the monotonicity/ordering invariants of figures 7/8/9, the scaling curves and the mixed-chip interpolation (the CI figure-shapes job) |
 //!
 //! Every binary accepts `--test-scale` to run the small workloads (CI),

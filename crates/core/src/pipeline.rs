@@ -22,6 +22,44 @@ use std::collections::VecDeque;
 /// cycle number as the naive per-cycle loop.
 pub const DEADLOCK_WINDOW: u64 = 200_000;
 
+/// What the stalled machine looked like when the deadlock watchdog
+/// fired: the stalled core, the instruction wedged at the ROB head, and
+/// the memory-side work still in flight ([`MemoryPort::stall_diagnostics`]).
+/// Derived purely from architectural + timing state at the firing
+/// cycle, so the lockstep and cycle-skipping loops produce *equal*
+/// reports — the skip-equivalence suites compare them with `==`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeadlockReport {
+    /// Tile/core id of the stalled core.
+    pub core: usize,
+    /// PC of the ROB-head instruction, `None` if the ROB was empty
+    /// (front-end wedge).
+    pub rob_head_pc: Option<usize>,
+    /// Rendered opcode of the ROB-head instruction.
+    pub rob_head_op: String,
+    /// Outstanding MSHR entries at the firing cycle.
+    pub mshr_in_flight: usize,
+    /// Bitmask of DMA tags still in flight at the firing cycle.
+    pub dma_tags: u8,
+}
+
+impl std::fmt::Display for DeadlockReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "core {} stalled at ", self.core)?;
+        match self.rob_head_pc {
+            Some(pc) => write!(f, "ROB head pc {} `{}`", pc, self.rob_head_op)?,
+            None => write!(f, "an empty ROB (front-end wedge)")?,
+        }
+        write!(
+            f,
+            "; {} MSHR entr{} outstanding; DMA tags in flight {:#010b}",
+            self.mshr_in_flight,
+            if self.mshr_in_flight == 1 { "y" } else { "ies" },
+            self.dma_tags
+        )
+    }
+}
+
 /// Simulation errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SimError {
@@ -29,6 +67,9 @@ pub enum SimError {
     Deadlock {
         /// Cycle at which the watchdog fired.
         cycle: u64,
+        /// Snapshot of the stall (boxed to keep the error small on the
+        /// per-tick `Result` path).
+        report: Box<DeadlockReport>,
     },
     /// The cycle budget (`CoreConfig::max_cycles`) was exhausted.
     CycleLimit,
@@ -44,7 +85,9 @@ pub enum SimError {
 impl std::fmt::Display for SimError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SimError::Deadlock { cycle } => write!(f, "pipeline deadlock at cycle {cycle}"),
+            SimError::Deadlock { cycle, report } => {
+                write!(f, "pipeline deadlock at cycle {cycle}: {report}")
+            }
             SimError::CycleLimit => write!(f, "cycle limit exhausted"),
             SimError::RetWithoutCall { pc } => write!(f, "ret with empty call stack at pc {pc}"),
             SimError::RanOffProgram => write!(f, "execution ran off the end of the program"),
@@ -507,12 +550,33 @@ impl Core {
         self.fetch(port);
         self.end_cycle();
         if self.now - self.last_commit_cycle > DEADLOCK_WINDOW {
-            return Err(SimError::Deadlock { cycle: self.now });
+            return Err(SimError::Deadlock {
+                cycle: self.now,
+                report: Box::new(self.deadlock_report(port)),
+            });
         }
         if self.now >= self.cfg.max_cycles {
             return Err(SimError::CycleLimit);
         }
         Ok(())
+    }
+
+    /// Builds the watchdog's stall snapshot from the ROB head and the
+    /// port's in-flight memory state. State-derived only, so lockstep
+    /// and skipping runs that fire at the same cycle report identically.
+    fn deadlock_report(&self, port: &impl MemoryPort) -> DeadlockReport {
+        let diag = port.stall_diagnostics(self.now);
+        let (rob_head_pc, rob_head_op) = match self.rob.front() {
+            Some(e) => (Some(e.pc), format!("{:?}", self.program.insts[e.pc])),
+            None => (None, String::new()),
+        };
+        DeadlockReport {
+            core: diag.core,
+            rob_head_pc,
+            rob_head_op,
+            mshr_in_flight: diag.mshr_in_flight,
+            dma_tags: diag.dma_tags,
+        }
     }
 
     fn end_cycle(&mut self) {
@@ -1661,7 +1725,24 @@ mod tests {
         };
         let (skip_err, skip_cycles, skipped) = run(false);
         let (lock_err, lock_cycles, lock_skipped) = run(true);
-        assert!(matches!(skip_err, SimError::Deadlock { .. }));
+        let SimError::Deadlock { report, .. } = &skip_err else {
+            panic!("must be a deadlock, got {skip_err:?}");
+        };
+        assert_eq!(
+            report.rob_head_pc,
+            Some(1),
+            "dma-synch wedged at the ROB head"
+        );
+        assert!(
+            report.rob_head_op.contains("DmaSynch"),
+            "report names the wedged opcode: {}",
+            report.rob_head_op
+        );
+        let shown = skip_err.to_string();
+        assert!(
+            shown.contains("DmaSynch") && shown.contains("MSHR"),
+            "Display carries the report: {shown}"
+        );
         assert_eq!(skip_err, lock_err, "same error at the same cycle");
         assert_eq!(skip_cycles, lock_cycles);
         assert_eq!(lock_skipped, 0);

@@ -50,6 +50,18 @@ pub enum DmaKind {
 /// `hsim_mem::Level` to keep this crate decoupled from the hierarchy).
 pub type ServedLevel = hsim_mem::Level;
 
+/// Memory-side snapshot attached to a deadlock report: what the tile's
+/// memory machinery still had in flight when the watchdog fired.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PortDiagnostics {
+    /// Tile/core id of the port's owner (0 for single-core mocks).
+    pub core: usize,
+    /// Outstanding MSHR entries at the snapshot cycle.
+    pub mshr_in_flight: usize,
+    /// Bitmask of DMA tags still in flight at the snapshot cycle.
+    pub dma_tags: u8,
+}
+
 /// The machine-side callbacks the core drives.
 pub trait MemoryPort {
     /// Functionally executes a memory access: routes `addr` (range check,
@@ -104,5 +116,17 @@ pub trait MemoryPort {
     fn next_mem_event_at(&self, now: u64) -> Option<u64> {
         let _ = now;
         None
+    }
+
+    /// Snapshot of the port's in-flight memory state at `now`, taken by
+    /// the deadlock watchdog when it fires so [`SimError::Deadlock`]
+    /// can name what the stall was waiting on. Purely observational —
+    /// implementations must not mutate timing state. Timing-only mocks
+    /// can rely on this default.
+    ///
+    /// [`SimError::Deadlock`]: crate::pipeline::SimError::Deadlock
+    fn stall_diagnostics(&self, now: u64) -> PortDiagnostics {
+        let _ = now;
+        PortDiagnostics::default()
     }
 }

@@ -42,6 +42,7 @@
 //!   the horizon can only move forward: the event-horizon cycle skipper
 //!   may sleep until it without missing a state change.
 
+use crate::fault::{FaultConfig, FaultRoller, FaultSite};
 use std::cell::Cell;
 use std::collections::{HashMap, VecDeque};
 
@@ -348,6 +349,11 @@ pub struct DramStats {
     /// recalled dirty data, so the stall is attributed to that owner,
     /// not to whoever happened to post the triggering write.
     pub intervention_drain_stalls: u64,
+    /// ECC retries: transient read errors injected by the fault plan
+    /// that forced the column access to replay (`t_cas` extra latency
+    /// plus one channel gap each). Zero whenever the plan's
+    /// `dram_read_error_rate` is zero.
+    pub ecc_retries: u64,
 }
 
 impl DramStats {
@@ -363,6 +369,7 @@ impl DramStats {
             row_conflicts,
             queue_stalls,
             intervention_drain_stalls,
+            ecc_retries,
         } = other;
         self.reads += reads;
         self.writes += writes;
@@ -371,6 +378,7 @@ impl DramStats {
         self.row_conflicts += row_conflicts;
         self.queue_stalls += queue_stalls;
         self.intervention_drain_stalls += intervention_drain_stalls;
+        self.ecc_retries += ecc_retries;
     }
 
     /// Row-classified accesses (reads plus drained writes).
@@ -450,13 +458,25 @@ pub struct DramController {
     open_rows: Vec<Option<u64>>,
     /// Posted writes not yet drained.
     queue: VecDeque<QueuedWrite>,
+    /// Deterministic transient-read-error roller (disabled by default:
+    /// `new` builds a fault-free channel).
+    faults: FaultRoller,
+    /// Retry budget per faulting read (from the fault plan).
+    ecc_max_retries: u32,
     /// Channel totals (per-core shares are kept by the caller).
     pub stats: DramStats,
 }
 
 impl DramController {
-    /// Builds an idle controller.
+    /// Builds an idle, fault-free controller.
     pub fn new(cfg: DramConfig) -> Self {
+        Self::with_faults(cfg, &FaultConfig::none(), 0)
+    }
+
+    /// Builds an idle controller under a fault plan. `instance` is the
+    /// channel index, so multi-channel backsides draw independent
+    /// fault streams per channel.
+    pub fn with_faults(cfg: DramConfig, fault: &FaultConfig, instance: u64) -> Self {
         assert!(
             cfg.timing.banks.is_power_of_two(),
             "DRAM bank count must be a power of two"
@@ -472,6 +492,8 @@ impl DramController {
             bank_busy: vec![0; banks],
             open_rows: vec![None; banks],
             queue: VecDeque::with_capacity(cfg.timing.queue_depth),
+            faults: FaultRoller::new(fault, FaultSite::DramRead, instance),
+            ecc_max_retries: fault.max_retries,
             stats: DramStats::default(),
             cfg,
         }
@@ -539,20 +561,49 @@ impl DramController {
         (start, outcome, lat)
     }
 
+    /// Rolls the transient-read-error site for one read: each injected
+    /// error replays the column access and holds the channel for one
+    /// more gap, bounded by the plan's retry budget (the last replay is
+    /// assumed clean — recovery never livelocks). Returns the replay
+    /// count; the caller mirrors it into the requesting core's share.
+    /// Deliberately *not* routed through `schedule`: a replay re-reads
+    /// the already-open row, so it must not re-classify the row buffer
+    /// (which would break the exact stat partitioning).
+    fn ecc_replays(&mut self) -> u64 {
+        let mut n = 0u64;
+        while n < self.ecc_max_retries as u64 && self.faults.roll() {
+            n += 1;
+            self.busy_until += self.cfg.gap;
+        }
+        self.stats.ecc_retries += n;
+        n
+    }
+
     /// A line read issued at cycle `now`. Returns the latency beyond
-    /// `now` (wait plus access) and, in row mode, how the access met the
-    /// row buffer — the caller mirrors that into the requesting core's
-    /// stat share.
-    pub fn read(&mut self, now: u64, line_addr: u64) -> (u64, Option<RowOutcome>) {
+    /// `now` (wait plus access), in row mode how the access met the
+    /// row buffer, and the number of injected ECC retries (each one
+    /// `t_cas` extra latency) — the caller mirrors the outcome and the
+    /// retries into the requesting core's stat share.
+    pub fn read(&mut self, now: u64, line_addr: u64) -> (u64, Option<RowOutcome>, u64) {
         self.stats.reads += 1;
         if self.cfg.flat_dram {
             let start = now.max(self.busy_until);
             self.busy_until = start + self.cfg.gap;
-            return ((start - now) + self.cfg.latency, None);
+            let retries = self.ecc_replays();
+            return (
+                (start - now) + self.cfg.latency + retries * self.cfg.timing.t_cas,
+                None,
+                retries,
+            );
         }
         let (bank, row) = self.map(line_addr);
         let (start, outcome, lat) = self.schedule(now, bank, row);
-        ((start - now) + lat, Some(outcome))
+        let retries = self.ecc_replays();
+        (
+            (start - now) + lat + retries * self.cfg.timing.t_cas,
+            Some(outcome),
+            retries,
+        )
     }
 
     /// Posts a line write at cycle `now`. The write is counted
@@ -759,17 +810,18 @@ mod tests {
         // The defaults decompose the historical flat 200 cycles:
         // t_rcd + t_cas = 200.
         let mut d = dram();
-        let (lat, outcome) = d.read(0, 0);
+        let (lat, outcome, retries) = d.read(0, 0);
         assert_eq!(lat, 200);
         assert_eq!(outcome, Some(RowOutcome::Miss));
+        assert_eq!(retries, 0, "fault-free controllers never ECC-retry");
     }
 
     #[test]
     fn same_row_second_access_pays_the_row_hit_latency() {
         let mut d = dram();
-        let (first, _) = d.read(0, 0);
+        let (first, _, _) = d.read(0, 0);
         // Next line in the same 2 KiB row, issued after the bank freed.
-        let (second, outcome) = d.read(first, 64);
+        let (second, outcome, _) = d.read(first, 64);
         assert_eq!(outcome, Some(RowOutcome::Hit));
         assert_eq!(second, 80, "row hit must cost t_cas only");
         assert_eq!(d.stats.row_hits, 1);
@@ -791,7 +843,7 @@ mod tests {
         d.read(0, 0); // opens row 0 of its bank; bank busy until 200
         let t = DramTiming::default();
         let other = row_with_bank(&d, true) * t.row_bytes;
-        let (lat, outcome) = d.read(0, other);
+        let (lat, outcome, _) = d.read(0, other);
         assert_eq!(outcome, Some(RowOutcome::Conflict));
         // Serializes behind the first access's bank commands (its
         // activate: t_rcd) then pays precharge + activate + column.
@@ -805,7 +857,7 @@ mod tests {
         d.read(0, 0);
         let t = DramTiming::default();
         let other = row_with_bank(&d, false) * t.row_bytes;
-        let (lat, outcome) = d.read(0, other);
+        let (lat, outcome, _) = d.read(0, other);
         assert_eq!(outcome, Some(RowOutcome::Miss));
         // Only the channel gap separates them, not the full access.
         assert_eq!(lat, d.cfg.gap + t.t_rcd + t.t_cas);
@@ -863,14 +915,42 @@ mod tests {
             flat_dram: true,
             ..DramConfig::default()
         });
-        let (a, oa) = d.read(0, 0);
+        let (a, oa, _) = d.read(0, 0);
         assert_eq!((a, oa), (200, None));
         // Same row again: still the flat latency plus the channel gap.
-        let (b, ob) = d.read(0, 64);
+        let (b, ob, _) = d.read(0, 64);
         assert_eq!((b, ob), (12 + 200, None));
         assert_eq!(d.write_posted(0, 0, 0, false), None);
         assert_eq!(d.stats.row_accesses(), 0);
         assert_eq!(d.stats.row_hit_rate(), 100.0);
+    }
+
+    #[test]
+    fn ecc_retries_are_deterministic_bounded_and_timing_only() {
+        use crate::fault::FaultConfig;
+        // Rate 1.0: every read replays exactly max_retries times (the
+        // livelock watchdog) and pays t_cas + one channel gap each.
+        let plan = FaultConfig {
+            max_retries: 3,
+            ..FaultConfig::uniform(11, 1.0)
+        };
+        let t = DramTiming::default();
+        let mut d = DramController::with_faults(DramConfig::default(), &plan, 0);
+        let (lat, outcome, retries) = d.read(0, 0);
+        assert_eq!(retries, 3);
+        assert_eq!(outcome, Some(RowOutcome::Miss));
+        assert_eq!(lat, 200 + 3 * t.t_cas);
+        assert_eq!(d.stats.ecc_retries, 3);
+        assert_eq!(d.stats.row_misses, 1, "replays never re-classify rows");
+        // The replays held the channel: 1 gap for the read + 3 more.
+        assert_eq!(d.next_event_after(0), Some(4 * d.cfg.gap));
+        // Same seed, fresh controller: byte-identical replay.
+        let mut e = DramController::with_faults(DramConfig::default(), &plan, 0);
+        assert_eq!(e.read(0, 0), (lat, outcome, retries));
+        // Zero-rate plan: bit-identical to the fault-free controller.
+        let mut z = DramController::with_faults(DramConfig::default(), &FaultConfig::none(), 0);
+        assert_eq!(z.read(0, 0), dram().read(0, 0));
+        assert_eq!(z.stats.ecc_retries, 0);
     }
 
     #[test]

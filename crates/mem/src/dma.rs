@@ -32,6 +32,8 @@
 //!   row-classified: block transfers stream whole rows, and their
 //!   bandwidth cost is already modeled here.
 
+use crate::fault::{backoff_delay, FaultConfig, FaultEscalation, FaultRoller, FaultSite};
+
 /// DMA transfer direction.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum DmaOp {
@@ -80,6 +82,13 @@ pub struct DmaStats {
     pub bytes_put: u64,
     /// Cycles the engine spent transferring.
     pub busy_cycles: u64,
+    /// Transfer timeouts injected by the fault plan and recovered by
+    /// re-streaming after an exponential backoff.
+    pub retries: u64,
+    /// Transfers whose timeouts exhausted the retry budget: counted as
+    /// structured [`FaultEscalation`]s (the transfer still completes —
+    /// escalation is a diagnosis, not a wedge).
+    pub escalations: u64,
 }
 
 /// The DMA controller.
@@ -90,17 +99,38 @@ pub struct Dmac {
     tag_done_at: [u64; NUM_TAGS],
     /// When the single transfer engine becomes free.
     engine_free_at: u64,
+    /// Deterministic transfer-timeout roller (disabled by default:
+    /// `new` builds a fault-free engine).
+    faults: FaultRoller,
+    /// Retry budget per timing-out transfer (from the fault plan).
+    fault_max_retries: u32,
+    /// Base backoff delay between retries (from the fault plan).
+    fault_backoff_base: u64,
+    /// The most recent retry-budget exhaustion, if any (surfaced by
+    /// deadlock diagnostics and reports).
+    last_escalation: Option<FaultEscalation>,
     /// Activity counters.
     pub stats: DmaStats,
 }
 
 impl Dmac {
-    /// Builds an idle DMAC.
+    /// Builds an idle, fault-free DMAC.
     pub fn new(cfg: DmaConfig) -> Self {
+        Self::with_faults(cfg, &FaultConfig::none(), 0)
+    }
+
+    /// Builds an idle DMAC under a fault plan. `instance` is the tile's
+    /// core id, so every tile's engine draws an independent fault
+    /// stream.
+    pub fn with_faults(cfg: DmaConfig, fault: &FaultConfig, instance: u64) -> Self {
         Dmac {
             cfg,
             tag_done_at: [0; NUM_TAGS],
             engine_free_at: 0,
+            faults: FaultRoller::new(fault, FaultSite::DmaTimeout, instance),
+            fault_max_retries: fault.max_retries,
+            fault_backoff_base: fault.backoff_base,
+            last_escalation: None,
             stats: DmaStats::default(),
         }
     }
@@ -114,11 +144,33 @@ impl Dmac {
     pub fn issue(&mut self, op: DmaOp, bytes: u64, tag: u8, now: u64) -> u64 {
         let start = (now + self.cfg.setup_latency).max(self.engine_free_at);
         let stream = bytes.div_ceil(self.cfg.bytes_per_cycle.max(1));
-        let done = start + self.cfg.first_data_latency + stream;
+        let mut done = start + self.cfg.first_data_latency + stream;
         // Pipelined engine: streaming of the next command may overlap the
         // first-data latency of this one.
         self.engine_free_at = start + stream;
         self.stats.busy_cycles += stream;
+        // Fault site: the transfer may time out. Each timeout waits an
+        // exponential backoff and re-streams; past the retry budget the
+        // timeout escalates (structured, counted) and the transfer is
+        // completed as-is — recovery is bounded, never a wedge.
+        let mut attempt: u32 = 0;
+        while self.faults.roll() {
+            if attempt >= self.fault_max_retries {
+                self.stats.escalations += 1;
+                self.last_escalation = Some(FaultEscalation {
+                    site: FaultSite::DmaTimeout,
+                    attempts: attempt,
+                    cycle: done,
+                });
+                break;
+            }
+            let backoff = backoff_delay(self.fault_backoff_base, attempt);
+            attempt += 1;
+            self.stats.retries += 1;
+            done += backoff + stream;
+            self.engine_free_at += stream;
+            self.stats.busy_cycles += stream;
+        }
         let t = &mut self.tag_done_at[tag as usize % NUM_TAGS];
         *t = (*t).max(done);
         match op {
@@ -149,6 +201,21 @@ impl Dmac {
     /// True when every issued transfer has completed by `now`.
     pub fn idle_at(&self, now: u64) -> bool {
         self.engine_free_at <= now
+    }
+
+    /// Bitmask of tags with transfers still in flight at `now` (bit
+    /// *t* set ⇔ tag *t* completes after `now`) — deadlock diagnostics.
+    pub fn in_flight_tags(&self, now: u64) -> u8 {
+        self.tag_done_at
+            .iter()
+            .enumerate()
+            .filter(|&(_, &done)| done > now)
+            .fold(0u8, |m, (t, _)| m | (1 << t))
+    }
+
+    /// The most recent retry-budget exhaustion, if any.
+    pub fn last_escalation(&self) -> Option<FaultEscalation> {
+        self.last_escalation
     }
 
     /// The earliest DMA event strictly after `now` — the engine freeing
@@ -229,5 +296,51 @@ mod tests {
         let mut d = dmac();
         let done = d.issue(DmaOp::Get, 0, 0, 0);
         assert_eq!(done, 10 + 100);
+    }
+
+    #[test]
+    fn in_flight_tags_track_completions() {
+        let mut d = dmac();
+        let a = d.issue(DmaOp::Get, 64, 0, 0);
+        let b = d.issue(DmaOp::Put, 64, 3, 0);
+        assert_eq!(d.in_flight_tags(0), 0b1001);
+        assert_eq!(d.in_flight_tags(a), 0b1000, "tag 0 landed at {a}");
+        assert_eq!(d.in_flight_tags(b), 0, "all transfers landed");
+    }
+
+    #[test]
+    fn timeouts_retry_with_exponential_backoff_then_escalate() {
+        use crate::fault::FaultConfig;
+        // Rate 1.0: the transfer times out on every draw, retries
+        // max_retries times (backoff 8, 16), then escalates and
+        // completes anyway.
+        let plan = FaultConfig {
+            max_retries: 2,
+            backoff_base: 8,
+            ..FaultConfig::uniform(5, 1.0)
+        };
+        let cfg = DmaConfig {
+            setup_latency: 10,
+            first_data_latency: 100,
+            bytes_per_cycle: 16,
+        };
+        let mut d = Dmac::with_faults(cfg.clone(), &plan, 0);
+        let stream = 1024u64 / 16; // 64 cycles
+        let done = d.issue(DmaOp::Get, 1024, 0, 0);
+        assert_eq!(done, 10 + 100 + 64 + (8 + 64) + (16 + 64));
+        assert_eq!(d.stats.retries, 2);
+        assert_eq!(d.stats.escalations, 1);
+        let esc = d.last_escalation().expect("budget exhausted");
+        assert_eq!(esc.attempts, 2);
+        assert_eq!(esc.cycle, done);
+        assert_eq!(d.stats.busy_cycles, 3 * stream, "each retry re-streams");
+        // Same plan, fresh engine: identical replay. Zero-rate plan:
+        // bit-identical to the fault-free engine.
+        let mut e = Dmac::with_faults(cfg.clone(), &plan, 0);
+        assert_eq!(e.issue(DmaOp::Get, 1024, 0, 0), done);
+        let mut z = Dmac::with_faults(cfg, &FaultConfig::none(), 0);
+        assert_eq!(z.issue(DmaOp::Get, 1024, 0, 0), 10 + 100 + 64);
+        assert_eq!(z.stats.retries, 0);
+        assert!(z.last_escalation().is_none());
     }
 }

@@ -84,6 +84,7 @@
 use crate::backing::{DramConfig, DramController, DramStats, RowOutcome};
 use crate::cache::{AccessKind, Cache, CacheConfig, CacheStats, Evicted, WritePolicy};
 use crate::dma::{DmaConfig, DmaOp, Dmac};
+use crate::fault::{backoff_delay, FaultConfig, FaultRoller, FaultSite};
 use crate::lm::{LmConfig, LocalMem};
 use crate::mshr::{MshrFile, MshrOutcome};
 use crate::prefetch::{PrefetchConfig, StreamPrefetcher};
@@ -259,6 +260,11 @@ pub struct CoherenceStats {
     /// cycles of tile-side port occupancy to the memory operation that
     /// drained the recall.
     pub dirty_recalls: u64,
+    /// Directory/bank message NACKs injected by the fault plan on this
+    /// core's contended port arbitrations, each recovered by a bounded
+    /// backoff re-arbitration (counted in both coherence modes — the
+    /// bank port is the message fabric either way).
+    pub dir_nacks: u64,
 }
 
 impl CoherenceStats {
@@ -269,6 +275,7 @@ impl CoherenceStats {
         self.interventions += other.interventions;
         self.upper_invals_applied += other.upper_invals_applied;
         self.dirty_recalls += other.dirty_recalls;
+        self.dir_nacks += other.dir_nacks;
     }
 }
 
@@ -309,6 +316,10 @@ pub struct MemConfig {
     pub dma: DmaConfig,
     /// Inter-core coherence model of the shared backside.
     pub coherence: CoherenceConfig,
+    /// Deterministic fault-injection plan threaded to every site of the
+    /// fabric (DRAM reads, the DMA engine, the bank ports). The default
+    /// [`FaultConfig::none`] is bit-identical to a fault-free machine.
+    pub fault: FaultConfig,
 }
 
 impl MemConfig {
@@ -361,6 +372,7 @@ impl MemConfig {
             lm: Some(LmConfig::default()),
             dma: DmaConfig::default(),
             coherence: CoherenceConfig::from_env(),
+            fault: FaultConfig::none(),
         }
     }
 
@@ -386,8 +398,9 @@ impl MemConfig {
 
     /// Whether two per-tile configurations agree on everything the
     /// *shared* backside is built from: the L3 array and its banking,
-    /// the DRAM controller, the L3 port occupancy and the inter-core
-    /// coherence model — and both keep a uniform line size through
+    /// the DRAM controller, the L3 port occupancy, the inter-core
+    /// coherence model and the fault plan (whose DRAM and NACK sites
+    /// live in the shared slice) — and both keep a uniform line size through
     /// their own hierarchy ([`MemConfig::line_sizes_uniform`]), since
     /// the backside tracks residency at L3-line granularity. Tiles of
     /// one heterogeneous machine may differ in anything else above the
@@ -403,6 +416,7 @@ impl MemConfig {
             && self.dram_channels == other.dram_channels
             && self.l3_port_gap == other.l3_port_gap
             && self.coherence == other.coherence
+            && self.fault == other.fault
     }
 }
 
@@ -551,6 +565,15 @@ pub struct SharedBackside {
     /// addresses) the directory sent; each tile drains its queue into
     /// its L1/L2 at its next memory operation.
     pending_upper_inval: Vec<Vec<u64>>,
+    /// Deterministic directory/bank-NACK roller. Owned by the backside
+    /// (not the tiles): port arbitrations happen in deterministic
+    /// simulated order, so the draw sequence is independent of host
+    /// scheduling.
+    nack_faults: FaultRoller,
+    /// Retry budget per NACKed arbitration — the livelock watchdog.
+    fault_max_retries: u32,
+    /// Base backoff delay between NACK re-arbitrations.
+    fault_backoff_base: u64,
 }
 
 impl SharedBackside {
@@ -589,7 +612,7 @@ impl SharedBackside {
                 })
                 .collect(),
             channels: (0..cfg.dram_channels)
-                .map(|_| DramController::new(cfg.dram.clone()))
+                .map(|ch| DramController::with_faults(cfg.dram.clone(), &cfg.fault, ch as u64))
                 .collect(),
             l3_port_gap: cfg.l3_port_gap,
             l3_latency: cfg.l3.latency,
@@ -601,6 +624,9 @@ impl SharedBackside {
             coherence: cfg.coherence.clone(),
             shared_ranges: Vec::new(),
             pending_upper_inval: (0..n_cores).map(|_| Vec::new()).collect(),
+            nack_faults: FaultRoller::new(&cfg.fault, FaultSite::DirNack, 0),
+            fault_max_retries: cfg.fault.max_retries,
+            fault_backoff_base: cfg.fault.backoff_base,
         }
     }
 
@@ -913,18 +939,34 @@ impl SharedBackside {
     /// Arbitrates one L3 bank's port: the request starts once the port
     /// is free, and the wait (plus a bank-conflict count when it was
     /// non-zero) is charged to the requesting core.
+    ///
+    /// Fault site: a *contended* arbitration (the port was busy — there
+    /// is a message to lose) may be NACKed by the fault plan. Each NACK
+    /// re-arbitrates after an exponential backoff, charged to the
+    /// requester as port wait and counted in
+    /// [`CoherenceStats::dir_nacks`]; the retry budget is the livelock
+    /// watchdog — past it the request is served unconditionally, so
+    /// even rate 1.0 makes forward progress.
     fn arbitrate(&mut self, core: usize, now: u64, bank: usize) -> u64 {
         self.per_core[core].bus_requests += 1;
         if self.l3_port_gap == 0 {
             return now; // ideally-ported banks: no occupancy, no waits
         }
-        let b = &mut self.banks[bank];
-        let start = now.max(b.busy_until);
-        b.busy_until = start + self.l3_port_gap;
+        let mut start = now.max(self.banks[bank].busy_until);
+        let contended = start > now;
+        let mut nacks = 0u32;
+        if contended {
+            while nacks < self.fault_max_retries && self.nack_faults.roll() {
+                start += backoff_delay(self.fault_backoff_base, nacks);
+                nacks += 1;
+            }
+        }
+        self.banks[bank].busy_until = start + self.l3_port_gap;
         let s = &mut self.per_core[core];
-        if start > now {
+        if contended {
             s.bank_conflicts += 1;
         }
+        s.coh.dir_nacks += nacks as u64;
         s.bus_wait_cycles += start - now;
         start
     }
@@ -979,10 +1021,12 @@ impl SharedBackside {
         // core.
         let tagged = Self::tag(tag_core, line_addr);
         let ch = self.channel_of(tagged);
-        let (dram_latency, outcome) = self.channels[ch].read(start + l3_latency, tagged);
+        let (dram_latency, outcome, ecc_retries) =
+            self.channels[ch].read(start + l3_latency, tagged);
         {
             let s = &mut self.per_core[core].dram;
             s.reads += 1;
+            s.ecc_retries += ecc_retries;
             if let Some(o) = outcome {
                 Self::bump_row(s, o);
             }
@@ -1406,7 +1450,7 @@ impl MemSystem {
             prefetcher: StreamPrefetcher::new(cfg.prefetch.clone()),
             tlb: Tlb::new(cfg.tlb.clone()),
             lm: cfg.lm.clone().map(LocalMem::new),
-            dmac: Dmac::new(cfg.dma.clone()),
+            dmac: Dmac::with_faults(cfg.dma.clone(), &cfg.fault, core_id as u64),
             events: None,
             backside,
             core_id,
@@ -2057,6 +2101,43 @@ mod tests {
             dram_total.row_conflicts
         );
         assert_eq!(da.queue_stalls + db.queue_stalls, dram_total.queue_stalls);
+        assert_eq!(da.ecc_retries + db.ecc_retries, dram_total.ecc_retries);
+    }
+
+    #[test]
+    fn fault_counters_partition_chip_totals_exactly() {
+        // The recovery counters obey the same attribution invariant as
+        // every other backside stat: each injected event lands on
+        // exactly one core's share.
+        let mut cfg = MemConfig::hybrid();
+        cfg.prefetch.enabled = false;
+        cfg.l3_port_gap = 8;
+        cfg.fault = FaultConfig::uniform(77, 0.4);
+        let backside = Rc::new(RefCell::new(SharedBackside::new(&cfg, 2)));
+        let mut a = MemSystem::with_backside(cfg.clone(), Rc::clone(&backside), 0);
+        let mut b = MemSystem::with_backside(cfg, backside, 1);
+        for i in 0..64u64 {
+            // Same-cycle pairs so the bank ports actually contend (the
+            // NACK site only rolls on contended arbitrations).
+            a.data_access(i * 300, 0x40, 0x1000_0000 + i * 64, i % 5 == 0);
+            b.data_access(i * 300, 0x44, 0x1000_0000 + i * 64 + 16, false);
+        }
+        let bs = a.shared_backside();
+        let total_dram = bs.borrow().dram_total_stats();
+        let total_coh = bs.borrow().coherence_total_stats();
+        let (sa, sb) = (a.backside_stats(), b.backside_stats());
+        assert!(
+            total_dram.ecc_retries > 0,
+            "rate 0.4 must inject ECC retries"
+        );
+        assert!(total_coh.dir_nacks > 0, "contended ports must see NACKs");
+        assert_eq!(
+            sa.dram.ecc_retries + sb.dram.ecc_retries,
+            total_dram.ecc_retries
+        );
+        let mut coh = sa.coh;
+        coh.merge(&sb.coh);
+        assert_eq!(coh, total_coh, "NACK shares must partition");
     }
 
     #[test]
@@ -2339,6 +2420,10 @@ mod tests {
             sa.dram.intervention_drain_stalls + sb.dram.intervention_drain_stalls,
             total_dram.intervention_drain_stalls
         );
+        assert_eq!(
+            sa.dram.ecc_retries + sb.dram.ecc_retries,
+            total_dram.ecc_retries
+        );
         let mut coh = sa.coh;
         coh.merge(&sb.coh);
         assert_eq!(coh, total_coh, "coherence shares must partition");
@@ -2383,6 +2468,11 @@ mod tests {
         let mut b = MemConfig::hybrid();
         b.l2.line_bytes = 128;
         assert!(!b.line_sizes_uniform());
+        assert!(!a.backside_compatible(&b));
+        // The fault plan's DRAM and NACK sites live in the shared slice:
+        // tiles must agree on it.
+        let mut b = MemConfig::hybrid();
+        b.fault = FaultConfig::uniform(1, 0.1);
         assert!(!a.backside_compatible(&b));
     }
 

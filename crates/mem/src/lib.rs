@@ -22,6 +22,11 @@
 //! * [`lm`] — the local memory (scratchpad) timing model.
 //! * [`dma`] — the DMA controller: `dma-get` / `dma-put` / `dma-synch`,
 //!   coherent with the cache hierarchy (snoops on get, invalidates on put).
+//! * [`fault`] — deterministic fault injection: a seeded, counter-based
+//!   plan ([`FaultConfig`]) driving transient DRAM read errors, DMA
+//!   timeouts and directory NACKs, all recovered by bounded
+//!   retry/backoff — faults perturb timing only, never architectural
+//!   state.
 //! * [`hierarchy`] — the L1/L2/L3 + DRAM walk that ties the above
 //!   together and produces per-level access counts and latencies; the
 //!   shared backside ([`SharedBackside`]) lives here as a vector of
@@ -35,6 +40,7 @@
 pub mod backing;
 pub mod cache;
 pub mod dma;
+pub mod fault;
 pub mod hierarchy;
 pub mod lm;
 pub mod mshr;
@@ -44,6 +50,7 @@ pub mod tlb;
 pub use backing::{DramConfig, DramController, DramStats, DramTiming, PagedMem, RowOutcome};
 pub use cache::{AccessKind, Cache, CacheConfig, CacheStats, WritePolicy};
 pub use dma::{DmaConfig, DmaOp, DmaStats, Dmac};
+pub use fault::{FaultConfig, FaultEscalation, FaultRoller, FaultSite};
 pub use hierarchy::{
     AccessResponse, BacksideCoreStats, CacheEvent, CoherenceConfig, CoherenceMode, CoherenceStats,
     L3Geometry, Level, MemConfig, MemSystem, SharedBackside,

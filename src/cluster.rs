@@ -47,11 +47,31 @@
 //! cluster that halts or errors early keeps joining the barriers —
 //! without simulating — until every cluster is done, so no thread ever
 //! waits on an absent peer.
+//!
+//! ## Host-level degradation
+//!
+//! The barrier protocol makes a *vanished* peer fatal: a cluster thread
+//! that panicked mid-epoch would leave every other thread blocked on
+//! `Barrier::wait` forever. The drivers therefore contain faults
+//! instead of hanging on them:
+//!
+//! * every epoch body (and the machine build, and the report
+//!   collection) runs under `catch_unwind` — a panicking cluster marks
+//!   itself done and **keeps joining the barriers**, so its peers run
+//!   their course;
+//! * an epoch watchdog bounds the barrier loop: a cluster still running
+//!   past [`ClusterConfig::max_epochs`] epochs (derived from the cycle
+//!   budget by default) is failed with [`ClusterFailure::Watchdog`]
+//!   rather than spinning;
+//! * the run then terminates with a structured [`ClusterError`] naming
+//!   every failed cluster and carrying the *completed* clusters'
+//!   reports — partial results instead of a poisoned hang.
 
 use crate::machine::{MachineConfig, MultiMachine};
 use crate::metrics::MultiRunReport;
 use hsim_compiler::{CompiledKernel, Kernel};
 use hsim_core::pipeline::SimError;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Barrier;
 
@@ -97,6 +117,18 @@ pub struct ClusterConfig {
     /// path (the determinism tests pin this); useful for debugging and
     /// single-CPU hosts.
     pub serial_clusters: bool,
+    /// Epoch watchdog bound: a cluster still running after this many
+    /// epochs fails with [`ClusterFailure::Watchdog`] instead of
+    /// looping. `None` (the default) derives the bound from the cycle
+    /// budget — `max_cycles / epoch_len + 2` — which a healthy run can
+    /// never reach (the per-core cycle limit fires first), so the
+    /// watchdog only catches a host-level wedge.
+    pub max_epochs: Option<u64>,
+    /// Robustness test hook: panic the given cluster's host driver at
+    /// its first epoch, exercising the containment path (the panic is
+    /// caught, the peers complete, the run fails with a structured
+    /// [`ClusterError`] instead of hanging on the barrier).
+    pub inject_panic: Option<usize>,
 }
 
 impl ClusterConfig {
@@ -112,6 +144,8 @@ impl ClusterConfig {
             topology,
             inter_cluster_latency: Self::DEFAULT_INTER_CLUSTER_LATENCY,
             serial_clusters: false,
+            max_epochs: None,
+            inject_panic: None,
         }
     }
 
@@ -124,6 +158,100 @@ impl ClusterConfig {
     /// The epoch length in cycles (at least 1).
     pub fn epoch_len(&self) -> u64 {
         self.inter_cluster_latency.max(1)
+    }
+
+    /// The effective epoch watchdog bound under `cfg`:
+    /// [`ClusterConfig::max_epochs`] when set, otherwise derived from
+    /// the cycle budget so a healthy run can never trip it.
+    pub fn effective_max_epochs(&self, cfg: &MachineConfig) -> u64 {
+        self.max_epochs
+            .unwrap_or_else(|| cfg.core.max_cycles.div_ceil(self.epoch_len()) + 2)
+    }
+}
+
+/// Why one cluster of a clustered run failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ClusterFailure {
+    /// The cluster's simulation returned an error (deadlock, cycle
+    /// limit, …).
+    Sim(SimError),
+    /// The cluster's host thread panicked; the payload is rendered to a
+    /// string. The panic was contained — its peers ran their course.
+    Panic(String),
+    /// The epoch watchdog fired: the cluster was still running after
+    /// the configured epoch bound (see [`ClusterConfig::max_epochs`]).
+    Watchdog {
+        /// Epochs the cluster had run when the watchdog fired.
+        epochs: u64,
+    },
+}
+
+impl std::fmt::Display for ClusterFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterFailure::Sim(e) => write!(f, "simulation error: {e}"),
+            ClusterFailure::Panic(msg) => write!(f, "host thread panicked: {msg}"),
+            ClusterFailure::Watchdog { epochs } => {
+                write!(
+                    f,
+                    "epoch watchdog fired after {epochs} epochs without completion"
+                )
+            }
+        }
+    }
+}
+
+/// Structured failure of a clustered run: every failed cluster with its
+/// cause, plus the reports of the clusters that *did* complete —
+/// graceful degradation instead of a hang or an all-or-nothing error.
+///
+/// Equality (`==`, used by the determinism tests to pin threaded
+/// against serial) compares the failure list only: `completed` carries
+/// [`MultiRunReport`]s, which are data payloads, not part of the
+/// error's identity.
+#[derive(Clone, Debug)]
+pub struct ClusterError {
+    /// `(cluster id, cause)` for every failed cluster, ordered by id.
+    pub failures: Vec<(usize, ClusterFailure)>,
+    /// `(cluster id, report)` for every cluster that completed its run,
+    /// ordered by id — partial results of the degraded run.
+    pub completed: Vec<(usize, MultiRunReport)>,
+}
+
+impl PartialEq for ClusterError {
+    fn eq(&self, other: &Self) -> bool {
+        self.failures == other.failures
+    }
+}
+
+impl Eq for ClusterError {}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} cluster(s) failed:", self.failures.len())?;
+        for (c, cause) in &self.failures {
+            write!(f, " [cluster {c}: {cause}]")?;
+        }
+        write!(f, "; {} cluster(s) completed", self.completed.len())
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+impl From<SimError> for ClusterFailure {
+    fn from(e: SimError) -> Self {
+        ClusterFailure::Sim(e)
+    }
+}
+
+/// Renders a caught panic payload for [`ClusterFailure::Panic`].
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -183,6 +311,30 @@ impl ClusterRunReport {
     pub fn total_dram_reads(&self) -> u64 {
         self.per_cluster.iter().map(|r| r.total_dram_reads()).sum()
     }
+
+    /// Total injected-and-recovered DRAM ECC retries across all
+    /// clusters (0 without a fault plan).
+    pub fn total_ecc_retries(&self) -> u64 {
+        self.per_cluster.iter().map(|r| r.total_ecc_retries()).sum()
+    }
+
+    /// Total DMA timeout retries across all clusters (0 without a
+    /// fault plan).
+    pub fn total_dma_retries(&self) -> u64 {
+        self.per_cluster.iter().map(|r| r.total_dma_retries()).sum()
+    }
+
+    /// Total directory/bank NACKs across all clusters (0 without a
+    /// fault plan).
+    pub fn total_dir_nacks(&self) -> u64 {
+        self.per_cluster.iter().map(|r| r.total_dir_nacks()).sum()
+    }
+
+    /// Total retry-budget escalations across all clusters (0 without a
+    /// fault plan).
+    pub fn total_escalations(&self) -> u64 {
+        self.per_cluster.iter().map(|r| r.total_escalations()).sum()
+    }
 }
 
 /// Extra replicas a clustered run creates for shared arrays whose
@@ -210,11 +362,12 @@ pub fn cross_cluster_fallbacks(kernel: &Kernel, clusters: usize) -> u64 {
     }
 }
 
-/// Per-cluster machine state for the serial driver.
+/// Per-cluster machine state for the serial driver. `lane` is `None`
+/// after a contained build- or epoch-panic (the machine may be
+/// mid-mutation; it is never touched again).
 struct ClusterLane {
-    m: MultiMachine,
-    cks: Vec<CompiledKernel>,
-    err: Option<SimError>,
+    lane: Option<(MultiMachine, Vec<CompiledKernel>)>,
+    failure: Option<ClusterFailure>,
     done: bool,
 }
 
@@ -235,15 +388,18 @@ fn build_cluster(
 /// runs serially — there is nothing to overlap). `fallbacks` is the
 /// plan's [`cross_cluster_fallbacks`] count, carried into the report.
 ///
-/// On error (deadlock, cycle limit, …) every cluster still runs its
-/// course, then the lowest-indexed cluster's error is returned — the
-/// same answer regardless of host thread timing.
+/// On failure — a cluster's simulation error, a contained host-thread
+/// panic, or the epoch watchdog — every other cluster still runs its
+/// course, then a structured [`ClusterError`] is returned naming every
+/// failed cluster and carrying the completed clusters' reports. The
+/// same answer regardless of host thread timing (threaded and serial
+/// drivers fail identically; the containment tests pin this).
 pub fn run_clusters(
     cfg: &MachineConfig,
     cluster: &ClusterConfig,
     shards: &[Vec<(CompiledKernel, Kernel)>],
     fallbacks: u64,
-) -> Result<ClusterRunReport, SimError> {
+) -> Result<ClusterRunReport, ClusterError> {
     let topo = cluster.topology;
     assert_eq!(shards.len(), topo.clusters, "one shard list per cluster");
     for (c, s) in shards.iter().enumerate() {
@@ -254,18 +410,32 @@ pub fn run_clusters(
         );
     }
     let epoch_len = cluster.epoch_len();
+    let max_epochs = cluster.effective_max_epochs(cfg);
+    let inject_panic = cluster.inject_panic;
     let results = if cluster.serial_clusters || topo.clusters == 1 {
-        run_serial(cfg, shards, epoch_len)
+        run_serial(cfg, shards, epoch_len, max_epochs, inject_panic)
     } else {
-        run_threaded(cfg, shards, epoch_len)
+        run_threaded(cfg, shards, epoch_len, max_epochs, inject_panic)
     };
-    let mut per_cluster = Vec::with_capacity(topo.clusters);
+    let mut failures = Vec::new();
+    let mut completed = Vec::new();
     let mut epochs = 0u64;
-    for r in results {
-        let (report, e) = r?;
-        epochs = epochs.max(e);
-        per_cluster.push(report);
+    for (c, r) in results.into_iter().enumerate() {
+        match r {
+            Ok((report, e)) => {
+                epochs = epochs.max(e);
+                completed.push((c, report));
+            }
+            Err(f) => failures.push((c, f)),
+        }
     }
+    if !failures.is_empty() {
+        return Err(ClusterError {
+            failures,
+            completed,
+        });
+    }
+    let per_cluster: Vec<MultiRunReport> = completed.into_iter().map(|(_, r)| r).collect();
     let makespan = per_cluster.iter().map(|r| r.makespan).max().unwrap_or(0);
     Ok(ClusterRunReport {
         per_cluster,
@@ -278,44 +448,69 @@ pub fn run_clusters(
 
 /// The serial oracle: all clusters on the calling thread, advanced
 /// round-robin one epoch at a time — the exact `run_until` call
-/// sequence per cluster that each thread of [`run_threaded`] performs.
+/// sequence per cluster that each thread of [`run_threaded`] performs,
+/// with the same panic containment, injection point and watchdog, so
+/// the two drivers fail identically too.
 fn run_serial(
     cfg: &MachineConfig,
     shards: &[Vec<(CompiledKernel, Kernel)>],
     epoch_len: u64,
-) -> Vec<Result<(MultiRunReport, u64), SimError>> {
+    max_epochs: u64,
+    inject_panic: Option<usize>,
+) -> Vec<Result<(MultiRunReport, u64), ClusterFailure>> {
     let mut lanes: Vec<ClusterLane> = shards
         .iter()
         .map(|s| {
-            let (m, cks) = build_cluster(cfg, s);
+            let (lane, failure) = match catch_unwind(AssertUnwindSafe(|| build_cluster(cfg, s))) {
+                Ok(l) => (Some(l), None),
+                Err(p) => (None, Some(ClusterFailure::Panic(panic_message(p)))),
+            };
+            let done = failure.is_some();
             ClusterLane {
-                m,
-                cks,
-                err: None,
-                done: false,
+                lane,
+                failure,
+                done,
             }
         })
         .collect();
     let mut epoch_end = epoch_len;
     let mut epochs = 0u64;
     loop {
-        for lane in &mut lanes {
-            if lane.done {
+        for (c, l) in lanes.iter_mut().enumerate() {
+            if l.done {
                 continue;
             }
-            match lane.m.run_until(epoch_end) {
-                Err(e) => {
-                    lane.err = Some(e);
-                    lane.done = true;
+            let (m, _) = l.lane.as_mut().expect("running lane has a machine");
+            let inject = inject_panic == Some(c) && epochs == 0;
+            match catch_unwind(AssertUnwindSafe(|| {
+                if inject {
+                    panic!("injected cluster-thread panic (cluster {c})");
                 }
-                Ok(()) => {
-                    if lane.m.all_halted() {
-                        lane.done = true;
+                m.run_until(epoch_end)
+            })) {
+                Err(p) => {
+                    l.failure = Some(ClusterFailure::Panic(panic_message(p)));
+                    l.lane = None;
+                    l.done = true;
+                }
+                Ok(Err(e)) => {
+                    l.failure = Some(ClusterFailure::Sim(e));
+                    l.done = true;
+                }
+                Ok(Ok(())) => {
+                    if m.all_halted() {
+                        l.done = true;
                     }
                 }
             }
         }
         epochs += 1;
+        for l in lanes.iter_mut().filter(|l| !l.done) {
+            if epochs >= max_epochs {
+                l.failure = Some(ClusterFailure::Watchdog { epochs });
+                l.done = true;
+            }
+        }
         if lanes.iter().all(|l| l.done) {
             break;
         }
@@ -323,9 +518,14 @@ fn run_serial(
     }
     lanes
         .into_iter()
-        .map(|lane| match lane.err {
-            Some(e) => Err(e),
-            None => Ok((MultiRunReport::collect(&lane.m, &lane.cks), epochs)),
+        .map(|l| match l.failure {
+            Some(f) => Err(f),
+            None => {
+                let (m, cks) = l.lane.as_ref().expect("completed lane has a machine");
+                catch_unwind(AssertUnwindSafe(|| MultiRunReport::collect(m, cks)))
+                    .map(|r| (r, epochs))
+                    .map_err(|p| ClusterFailure::Panic(panic_message(p)))
+            }
         })
         .collect()
 }
@@ -333,11 +533,19 @@ fn run_serial(
 /// The threaded driver: one scoped `std::thread` per cluster, epochs
 /// synchronized with a double barrier (see the module docs for why two
 /// waits make the done decision consistent without a race).
+///
+/// Every fallible step — machine build, each epoch's `run_until`, the
+/// report collection — runs under `catch_unwind`: a panicking cluster
+/// marks itself done and keeps joining the barriers so no peer ever
+/// blocks on a vanished thread, and the epoch watchdog bounds the loop
+/// even if a cluster wedges without erroring.
 fn run_threaded(
     cfg: &MachineConfig,
     shards: &[Vec<(CompiledKernel, Kernel)>],
     epoch_len: u64,
-) -> Vec<Result<(MultiRunReport, u64), SimError>> {
+    max_epochs: u64,
+    inject_panic: Option<usize>,
+) -> Vec<Result<(MultiRunReport, u64), ClusterFailure>> {
     let n = shards.len();
     let barrier = Barrier::new(n);
     let done: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
@@ -348,33 +556,56 @@ fn run_threaded(
             .map(|(c, cluster_shards)| {
                 let barrier = &barrier;
                 let done = &done;
-                s.spawn(move || -> Result<(MultiRunReport, u64), SimError> {
+                s.spawn(move || -> Result<(MultiRunReport, u64), ClusterFailure> {
                     // Machines hold `Rc` backside handles, so each is
                     // built — and its report collected — inside its own
                     // thread; only plain data crosses the boundary.
-                    let (mut m, cks) = build_cluster(cfg, cluster_shards);
-                    let mut err: Option<SimError> = None;
-                    let mut finished = false;
+                    let (mut lane, mut failure) =
+                        match catch_unwind(AssertUnwindSafe(|| build_cluster(cfg, cluster_shards)))
+                        {
+                            Ok(l) => (Some(l), None),
+                            Err(p) => (None, Some(ClusterFailure::Panic(panic_message(p)))),
+                        };
+                    let mut finished = failure.is_some();
+                    if finished {
+                        done[c].store(true, Ordering::SeqCst);
+                    }
                     let mut epoch_end = epoch_len;
                     let mut epochs = 0u64;
                     loop {
                         if !finished {
-                            match m.run_until(epoch_end) {
-                                Err(e) => {
-                                    err = Some(e);
+                            let (m, _) = lane.as_mut().expect("running lane has a machine");
+                            let inject = inject_panic == Some(c) && epochs == 0;
+                            match catch_unwind(AssertUnwindSafe(|| {
+                                if inject {
+                                    panic!("injected cluster-thread panic (cluster {c})");
+                                }
+                                m.run_until(epoch_end)
+                            })) {
+                                Err(p) => {
+                                    failure = Some(ClusterFailure::Panic(panic_message(p)));
+                                    lane = None;
                                     finished = true;
                                 }
-                                Ok(()) => {
+                                Ok(Err(e)) => {
+                                    failure = Some(ClusterFailure::Sim(e));
+                                    finished = true;
+                                }
+                                Ok(Ok(())) => {
                                     if m.all_halted() {
                                         finished = true;
                                     }
                                 }
                             }
-                            if finished {
-                                done[c].store(true, Ordering::SeqCst);
-                            }
                         }
                         epochs += 1;
+                        if !finished && epochs >= max_epochs {
+                            failure = Some(ClusterFailure::Watchdog { epochs });
+                            finished = true;
+                        }
+                        if finished {
+                            done[c].store(true, Ordering::SeqCst);
+                        }
                         barrier.wait();
                         // No thread stores a flag between the barriers,
                         // so every thread computes the same answer.
@@ -385,16 +616,24 @@ fn run_threaded(
                         }
                         epoch_end += epoch_len;
                     }
-                    match err {
-                        Some(e) => Err(e),
-                        None => Ok((MultiRunReport::collect(&m, &cks), epochs)),
+                    match failure {
+                        Some(f) => Err(f),
+                        None => {
+                            let (m, cks) = lane.as_ref().expect("completed lane has a machine");
+                            catch_unwind(AssertUnwindSafe(|| MultiRunReport::collect(m, cks)))
+                                .map(|r| (r, epochs))
+                                .map_err(|p| ClusterFailure::Panic(panic_message(p)))
+                        }
                     }
                 })
             })
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("cluster thread panicked"))
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|p| Err(ClusterFailure::Panic(panic_message(p))))
+            })
             .collect()
     })
 }

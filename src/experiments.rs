@@ -19,7 +19,9 @@
 //! L3/DRAM backside (one *simulated* machine — unrelated to the host
 //! threading above).
 
-use crate::cluster::{cross_cluster_fallbacks, run_clusters, ClusterConfig, ClusterRunReport};
+use crate::cluster::{
+    cross_cluster_fallbacks, run_clusters, ClusterConfig, ClusterError, ClusterRunReport,
+};
 use crate::machine::{Machine, MachineConfig, MultiMachine, SysMode};
 use crate::metrics::{MultiRunReport, RunReport};
 use hsim_compiler::{compile, compile_with_lm, interpret, CompiledKernel, Kernel, ShardError};
@@ -260,14 +262,20 @@ pub fn compile_for_tile(shard: &Kernel, cfg: &MachineConfig) -> CompiledKernel {
     }
 }
 
-/// What can go wrong in a sharded multicore run: the split itself, or
-/// the simulation of one of the cores.
+/// What can go wrong in a sharded multicore run: the split itself, the
+/// simulation of one of the cores, or — for clustered runs — a
+/// host-level cluster failure (contained panic, epoch watchdog, or a
+/// cluster's own simulation error) with the surviving clusters'
+/// partial reports attached.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum MultiRunError {
     /// The kernel could not be sharded.
     Shard(ShardError),
     /// A core's simulation failed.
     Sim(SimError),
+    /// A clustered run degraded: one or more clusters failed (see
+    /// [`ClusterError`] for causes and the completed clusters' reports).
+    Cluster(ClusterError),
 }
 
 impl std::fmt::Display for MultiRunError {
@@ -275,6 +283,7 @@ impl std::fmt::Display for MultiRunError {
         match self {
             MultiRunError::Shard(e) => write!(f, "shard: {e}"),
             MultiRunError::Sim(e) => write!(f, "simulation: {e}"),
+            MultiRunError::Cluster(e) => write!(f, "clusters: {e}"),
         }
     }
 }
@@ -290,6 +299,12 @@ impl From<ShardError> for MultiRunError {
 impl From<SimError> for MultiRunError {
     fn from(e: SimError) -> Self {
         MultiRunError::Sim(e)
+    }
+}
+
+impl From<ClusterError> for MultiRunError {
+    fn from(e: ClusterError) -> Self {
+        MultiRunError::Cluster(e)
     }
 }
 
@@ -522,6 +537,9 @@ fn backside_point(
             }
             Err(MultiRunError::Shard(_)) => return Ok(None),
             Err(MultiRunError::Sim(e)) => return Err(e),
+            Err(MultiRunError::Cluster(_)) => {
+                unreachable!("flat multicore runs produce no cluster errors")
+            }
         }
     };
     let sum = |f: fn(&RunReport) -> u64| per_core.iter().map(f).sum::<u64>();
@@ -630,6 +648,9 @@ fn scaling_rows_for(
             Ok(m) => Ok(Some(m)),
             Err(MultiRunError::Shard(_)) => Ok(None),
             Err(MultiRunError::Sim(e)) => Err(e),
+            Err(MultiRunError::Cluster(_)) => {
+                unreachable!("flat multicore runs produce no cluster errors")
+            }
         }
     };
     let Some(base) = run(1)? else {
@@ -915,6 +936,9 @@ fn hetero_point(
         Ok(m) => m,
         Err(MultiRunError::Shard(_)) => return Ok(None),
         Err(MultiRunError::Sim(e)) => return Err(e),
+        Err(MultiRunError::Cluster(_)) => {
+            unreachable!("flat multicore runs produce no cluster errors")
+        }
     };
     let default_lm = hsim_mem::LmConfig::default().size_bytes;
     Ok(Some(HeteroSweepRow {

@@ -123,7 +123,8 @@ pub use hsim_mem as mem;
 pub use hsim_workloads as workloads;
 
 pub use cluster::{
-    cross_cluster_fallbacks, run_clusters, ClusterConfig, ClusterRunReport, ClusterTopology,
+    cross_cluster_fallbacks, run_clusters, ClusterConfig, ClusterError, ClusterFailure,
+    ClusterRunReport, ClusterTopology,
 };
 pub use experiments::{
     backside_sweep, backside_sweep_parallel, coherence_sweep, coherence_sweep_parallel,
@@ -139,7 +140,9 @@ pub use metrics::{activity, MultiRunReport, RunReport};
 
 /// The most common imports for building and running kernels.
 pub mod prelude {
-    pub use crate::cluster::{ClusterConfig, ClusterRunReport, ClusterTopology};
+    pub use crate::cluster::{
+        ClusterConfig, ClusterError, ClusterFailure, ClusterRunReport, ClusterTopology,
+    };
     pub use crate::experiments::{
         backside_sweep, backside_sweep_parallel, coherence_sweep, coherence_sweep_parallel,
         compare_systems, compare_systems_parallel, compile_for_tile, fig7, fig7_parallel, fig8,
@@ -156,5 +159,6 @@ pub mod prelude {
     };
     pub use hsim_core::config::{CoherenceConfig, CoherenceMode};
     pub use hsim_isa::{Phase, Program, ProgramBuilder, Route};
+    pub use hsim_mem::{FaultConfig, FaultEscalation, FaultSite};
     pub use hsim_workloads::{microbench, MicroMode, MicrobenchConfig, Scale};
 }

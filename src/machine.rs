@@ -23,7 +23,7 @@
 use hsim_coherence::{DirConfig, Directory, Tracker};
 use hsim_compiler::{CodegenMode, CompiledKernel, Kernel};
 use hsim_core::pipeline::SimError;
-use hsim_core::{Core, CoreConfig, DmaKind, MemSide, MemoryPort, RouteInfo};
+use hsim_core::{Core, CoreConfig, DmaKind, MemSide, MemoryPort, PortDiagnostics, RouteInfo};
 use hsim_isa::memmap::{MemoryMap, Region};
 use hsim_isa::{Program, Route, Width};
 use hsim_mem::{Level, MemConfig, MemSystem, PagedMem, SharedBackside};
@@ -140,6 +140,18 @@ impl MachineConfig {
     /// private — only timing and traffic differ.
     pub fn with_coherence(mut self, mode: hsim_core::config::CoherenceMode) -> Self {
         self.mem.coherence.mode = mode;
+        self
+    }
+
+    /// Installs a deterministic fault-injection plan
+    /// ([`hsim_mem::FaultConfig`]): seeded transient DRAM read errors,
+    /// DMA timeouts and directory NACKs, recovered by bounded
+    /// retry/backoff. Faults perturb timing only — architectural
+    /// results are identical at any rate, and `FaultConfig::none()`
+    /// (the default) is bit-identical to a machine with no plan at all;
+    /// the fault-injection proptests pin both claims.
+    pub fn with_faults(mut self, fault: hsim_mem::FaultConfig) -> Self {
+        self.mem.fault = fault;
         self
     }
 }
@@ -1044,5 +1056,13 @@ impl MemoryPort for World {
 
     fn next_mem_event_at(&self, now: u64) -> Option<u64> {
         self.mem.next_event_at(now)
+    }
+
+    fn stall_diagnostics(&self, now: u64) -> PortDiagnostics {
+        PortDiagnostics {
+            core: self.mem.core_id(),
+            mshr_in_flight: self.mem.mshr.in_flight(now),
+            dma_tags: self.mem.dmac.in_flight_tags(now),
+        }
     }
 }

@@ -87,6 +87,19 @@ pub struct RunReport {
     /// core's L1/L2, each charging the tile-side recall port occupancy
     /// (Mesi only).
     pub coh_dirty_recalls: u64,
+    /// Injected transient DRAM read errors recovered by ECC replay on
+    /// behalf of this core (0 without a fault plan; timing-only).
+    pub ecc_retries: u64,
+    /// This core's DMA transfers re-streamed after an injected timeout
+    /// (0 without a fault plan).
+    pub dma_retries: u64,
+    /// Injected directory/bank NACKs this core's contended backside
+    /// arbitrations absorbed (0 without a fault plan).
+    pub dir_nacks: u64,
+    /// This core's fault events that exhausted their retry budget and
+    /// escalated (the operation still completed — see
+    /// `hsim_mem::FaultEscalation`).
+    pub escalations: u64,
     /// Static guarded/total reference counts of the compiled kernel.
     pub guarded_refs: usize,
     /// Static total reference count.
@@ -141,6 +154,10 @@ impl RunReport {
             coh_interventions: backside.coh.interventions,
             coh_intervention_stalls: w.mem.mshr.stats.intervention_stalls,
             coh_dirty_recalls: backside.coh.dirty_recalls,
+            ecc_retries: backside.dram.ecc_retries,
+            dma_retries: w.mem.dmac.stats.retries,
+            dir_nacks: backside.coh.dir_nacks,
+            escalations: w.mem.dmac.stats.escalations,
             guarded_refs: ck.guarded_refs(),
             total_refs: ck.total_refs(),
             energy,
@@ -314,6 +331,30 @@ impl MultiRunReport {
             return 100.0;
         }
         100.0 * hits as f64 / total as f64
+    }
+
+    /// Total injected-and-recovered DRAM ECC retries over all cores (0
+    /// without a fault plan).
+    pub fn total_ecc_retries(&self) -> u64 {
+        self.per_core.iter().map(|r| r.ecc_retries).sum()
+    }
+
+    /// Total DMA timeout retries over all cores (0 without a fault
+    /// plan).
+    pub fn total_dma_retries(&self) -> u64 {
+        self.per_core.iter().map(|r| r.dma_retries).sum()
+    }
+
+    /// Total directory/bank NACKs over all cores (0 without a fault
+    /// plan).
+    pub fn total_dir_nacks(&self) -> u64 {
+        self.per_core.iter().map(|r| r.dir_nacks).sum()
+    }
+
+    /// Total retry-budget escalations over all cores (0 without a fault
+    /// plan).
+    pub fn total_escalations(&self) -> u64 {
+        self.per_core.iter().map(|r| r.escalations).sum()
     }
 
     /// Total committed instructions over all cores.

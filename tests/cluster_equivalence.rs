@@ -57,6 +57,10 @@ fn assert_cores_equal(a: &RunReport, b: &RunReport, what: &str) {
     assert_eq!(a.coh_shared_hits, b.coh_shared_hits, "{what}: shared hits");
     assert_eq!(a.coh_invalidations, b.coh_invalidations, "{what}: invals");
     assert_eq!(a.coh_interventions, b.coh_interventions, "{what}: intervs");
+    assert_eq!(a.ecc_retries, b.ecc_retries, "{what}: ECC retries");
+    assert_eq!(a.dma_retries, b.dma_retries, "{what}: DMA retries");
+    assert_eq!(a.dir_nacks, b.dir_nacks, "{what}: dir NACKs");
+    assert_eq!(a.escalations, b.escalations, "{what}: escalations");
 }
 
 /// Two cluster reports must agree on everything: shape, epochs, per-core

@@ -76,6 +76,10 @@ fn assert_observables_equal(skip: &RunReport, lock: &RunReport, what: &str) {
         skip.dram_intervention_drain_stalls, lock.dram_intervention_drain_stalls,
         "{what}: intervention drain stalls"
     );
+    assert_eq!(skip.ecc_retries, lock.ecc_retries, "{what}: ECC retries");
+    assert_eq!(skip.dma_retries, lock.dma_retries, "{what}: DMA retries");
+    assert_eq!(skip.dir_nacks, lock.dir_nacks, "{what}: dir NACKs");
+    assert_eq!(skip.escalations, lock.escalations, "{what}: escalations");
     assert_eq!(
         skip.energy_total().to_bits(),
         lock.energy_total().to_bits(),
