@@ -1,12 +1,17 @@
-//! Coherence-mode comparison: `Replicate` vs `Mesi` on the same sharded
-//! kernels, per kernel × core count.
+//! Coherence comparison: `Replicate` vs the directory protocol family
+//! (`Msi`/`Mesi`/`Moesi`/`Mesif`) on the same sharded kernels, per
+//! kernel × core count.
 //!
 //! `Replicate` keeps per-core private replicas of every cacheable line
-//! (the historical backside); `Mesi` serves the sharder's
+//! (the historical backside); the directory modes serve the sharder's
 //! replicated-whole tables from shared, directory-tracked lines at the
-//! L3 banks. The headline is DRAM read traffic: under `Mesi`, a shared
-//! table is fetched once per chip instead of once per core. Results are
-//! printed as a table and written to `BENCH_coherence.json`.
+//! L3 banks. The headline is DRAM read traffic: under a directory
+//! protocol, a shared table is fetched once per chip instead of once
+//! per core — and the family members then differ in how dirty lines are
+//! recalled (MSI re-reads memory, MOESI shares the dirty copy, MESIF
+//! pins a designated forwarder). Results are printed as two tables
+//! (the historic Replicate-vs-Mesi pairing, then the protocol axis)
+//! and written to `BENCH_coherence.json`.
 //!
 //! ```text
 //! cargo run --release -p hsim-bench --bin coherence [--test-scale|--smoke]
@@ -119,13 +124,83 @@ fn main() {
         );
     }
 
-    let json = render_json(scale, &rows);
+    // The protocol axis: the same grid, every family member side by
+    // side. Smoke keeps the grid small enough for CI.
+    let proto_rows = protocol_sweep_parallel(&kernels, core_counts, SysMode::HybridCoherent)
+        .expect("protocol sweep failed");
+
+    println!();
+    println!("PROTOCOL FAMILY: protocol x kernel x cores ({scale:?} scale)");
+    println!();
+    let pt = Table::new(&[6, 5, 9, 10, 9, 9, 8, 8]);
+    pt.row(
+        &[
+            "kernel", "cores", "proto", "makespan", "dramR", "shrhits", "invals", "intervs",
+        ]
+        .map(String::from),
+    );
+    pt.sep();
+    for r in &proto_rows {
+        pt.row(&[
+            r.kernel.clone(),
+            format!("{}", r.cores),
+            r.protocol.clone(),
+            format!("{}", r.makespan),
+            format!("{}", r.dram_reads),
+            format!("{}", r.shared_hits),
+            format!("{}", r.invalidations),
+            format!("{}", r.interventions),
+        ]);
+    }
+    println!();
+
+    // Family-ordering sanity on every multi-core point: MSI re-reads
+    // memory on dirty recalls that MESI serves silently, and MOESI's
+    // dirty sharing can only drop further reads — never add them.
+    for r in &proto_rows {
+        let by = |name: &str| {
+            proto_rows
+                .iter()
+                .find(|p| p.kernel == r.kernel && p.cores == r.cores && p.protocol == name)
+                .expect("every point runs every protocol")
+        };
+        if r.protocol == "mesi" && r.cores > 1 {
+            assert!(
+                by("msi").dram_reads >= r.dram_reads,
+                "{} x{}: MSI must not read less DRAM than MESI",
+                r.kernel,
+                r.cores
+            );
+            assert!(
+                r.dram_reads >= by("moesi").dram_reads,
+                "{} x{}: MOESI must not read more DRAM than MESI",
+                r.kernel,
+                r.cores
+            );
+            assert!(
+                by("mesif").shared_hits >= r.shared_hits,
+                "{} x{}: MESIF must not score fewer shared hits than MESI",
+                r.kernel,
+                r.cores
+            );
+        }
+    }
+
+    let json = render_json(scale, &rows, &proto_rows);
     std::fs::write("BENCH_coherence.json", &json).expect("write BENCH_coherence.json");
-    println!("wrote BENCH_coherence.json ({} rows)", rows.len());
+    println!(
+        "wrote BENCH_coherence.json ({} rows, {} protocol rows)",
+        rows.len(),
+        proto_rows.len()
+    );
 }
 
 /// Hand-rendered JSON (no serde in the offline tree).
-fn render_json(scale: Scale, rows: &[hsim::CoherenceSweepRow]) -> String {
+fn render_json(
+    scale: Scale,
+    rows: &[hsim::CoherenceSweepRow],
+    proto_rows: &[hsim::ProtocolSweepRow],
+) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(&format!("  \"scale\": \"{scale:?}\",\n"));
@@ -152,6 +227,25 @@ fn render_json(scale: Scale, rows: &[hsim::CoherenceSweepRow]) -> String {
             r.replication_fallbacks,
             r.cluster_fallbacks,
             if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"protocol_rows\": [\n");
+    for (i, r) in proto_rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"kernel\": \"{}\", \"cores\": {}, \"protocol\": \"{}\", \
+             \"makespan\": {}, \"dram_reads\": {}, \"shared_hits\": {}, \
+             \"invalidations\": {}, \"interventions\": {}, \"committed\": {}}}{}\n",
+            r.kernel,
+            r.cores,
+            r.protocol,
+            r.makespan,
+            r.dram_reads,
+            r.shared_hits,
+            r.invalidations,
+            r.interventions,
+            r.committed,
+            if i + 1 == proto_rows.len() { "" } else { "," }
         ));
     }
     out.push_str("  ]\n}\n");

@@ -199,5 +199,54 @@ fn main() {
          all-hybrid == homogeneous)"
     );
 
+    // ------------------------------------------------- protocol family
+    // CG x4 under every directory protocol: dirty-recall policy orders
+    // the DRAM read counts — MSI re-reads memory on every dirty recall,
+    // MESI serves recalls without a re-read, MOESI's dirty sharing can
+    // only drop further reads. MESIF's designated forwarder never
+    // scores fewer shared hits than MESI. CG's shared table is
+    // read-mostly, so ties are legitimate: the orderings are non-strict.
+    let proto = protocol_sweep_parallel(&[nas::cg(Scale::Test)], &[4], SysMode::HybridCoherent)
+        .expect("protocol sweep");
+    let row = |name: &str| {
+        proto
+            .iter()
+            .find(|r| r.protocol == name)
+            .unwrap_or_else(|| panic!("CG x4 must run under {name}"))
+    };
+    let (msi, mesi, moesi, mesif) = (row("msi"), row("mesi"), row("moesi"), row("mesif"));
+    assert!(
+        msi.dram_reads >= mesi.dram_reads,
+        "protocol ordering: MSI DRAM reads ({}) must be >= MESI ({})",
+        msi.dram_reads,
+        mesi.dram_reads
+    );
+    assert!(
+        mesi.dram_reads >= moesi.dram_reads,
+        "protocol ordering: MESI DRAM reads ({}) must be >= MOESI ({})",
+        mesi.dram_reads,
+        moesi.dram_reads
+    );
+    assert!(
+        mesif.shared_hits >= mesi.shared_hits,
+        "protocol ordering: MESIF shared hits ({}) must be >= MESI ({})",
+        mesif.shared_hits,
+        mesi.shared_hits
+    );
+    let committed = mesi.committed;
+    for r in &proto {
+        assert_eq!(
+            r.committed, committed,
+            "protocol {} changed committed work",
+            r.protocol
+        );
+    }
+    checked += 3 + proto.len();
+    println!(
+        "protocol shapes OK (CG x4 dramR msi/mesi/moesi {}/{}/{}, \
+         shrhits mesif/mesi {}/{})",
+        msi.dram_reads, mesi.dram_reads, moesi.dram_reads, mesif.shared_hits, mesi.shared_hits
+    );
+
     println!("all figure shapes hold ({checked} assertions)");
 }

@@ -17,11 +17,22 @@
 //!   §3.4 invariants: replicated copies are either identical or the LM
 //!   copy is the newest, and every access is served by a memory holding a
 //!   valid copy.
-//! * [`mesi`] — the **inter-core** MESI line states a directory slice at
-//!   a shared-L3 bank tracks. Deliberately type-disjoint from the
-//!   intra-tile machinery above: the paper's §3 claim that the hybrid
-//!   protocol "does not interact with the inter-core cache coherence
-//!   protocol" is pinned by the `protocols_do_not_interact` test.
+//! * [`mesi`] — the hand-written **inter-core** MESI transition set from
+//!   PR 4, kept as the refactor-equivalence *reference* for the
+//!   table-driven family below (and still the event vocabulary both
+//!   speak). Deliberately type-disjoint from the intra-tile machinery
+//!   above: the paper's §3 claim that the hybrid protocol "does not
+//!   interact with the inter-core cache coherence protocol" is pinned by
+//!   the `protocols_do_not_interact` tests — for every family member.
+//! * [`protocol`] — the inter-core protocol family as *data*:
+//!   [`ProtocolTable`]s of guarded-action rows for
+//!   [`CoherenceProtocol`] `{ Msi, Mesi, Moesi, Mesif }`, plus
+//!   [`DirLine`], the sharer/owner bookkeeping the shared-L3 directory
+//!   slices step generically.
+//! * [`protocol_explorer`] — an exhaustive small-model (1 line, 2–4
+//!   cores) enumeration of each table's reachable
+//!   state × sharer-set × owner space, asserting SWMR, data-value and
+//!   stuck-freedom, with shortest-counterexample traces on violation.
 //!
 //! The directory is deliberately independent of the pipeline model so it
 //! can be exhaustively unit- and property-tested in isolation.
@@ -31,10 +42,17 @@
 
 pub mod directory;
 pub mod mesi;
+pub mod protocol;
+pub mod protocol_explorer;
 pub mod state;
 pub mod tracker;
 
 pub use directory::{DirConfig, DirError, DirHit, DirStats, Directory};
 pub use mesi::{MesiAction, MesiEvent, MesiState};
+pub use protocol::{
+    Action, CoherenceProtocol, DirLine, Guard, GuardCtx, LineState, Obligations, ProtocolTable,
+    Rule, StepOutcome,
+};
+pub use protocol_explorer::{explore, replay, Exploration, ModelEvent, Violation};
 pub use state::{DataEvent, DataState, TransitionError};
 pub use tracker::{AccessSide, CoherenceViolation, Tracker};

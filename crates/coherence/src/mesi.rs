@@ -25,6 +25,16 @@
 //! `protocols_do_not_interact` test pins this by stepping both machines
 //! through interleaved traffic and checking each against its own
 //! single-protocol reference run.
+//!
+//! Since the table-driven protocol family landed
+//! ([`protocol`](crate::protocol)), the production directory slices
+//! step [`ProtocolTable`](crate::protocol::ProtocolTable)s instead of
+//! [`MesiState::step`] directly. This hand-written machine survives as
+//! the **refactor-equivalence reference**: the
+//! `refactor_equivalence` proptest drives random event traces through
+//! both and requires lockstep agreement on states and actions, and
+//! [`MesiEvent`] remains the event vocabulary every family member
+//! speaks.
 
 use crate::state::DataEvent;
 #[cfg(test)]

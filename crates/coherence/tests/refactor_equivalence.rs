@@ -1,0 +1,76 @@
+//! Refactor-equivalence pin: random [`MesiEvent`] traces stepped through
+//! the table-driven Mesi [`ProtocolTable`] produce states and actions
+//! identical to the pre-refactor hand-written [`MesiState::step`]
+//! (which survives in `mesi.rs` exactly as the reference for this test).
+//!
+//! The mapping under test:
+//! * states correspond via `line_state_of` (the Mesi table never leaves
+//!   the four-state alphabet);
+//! * `MesiAction::Writeback` ↔ `StepOutcome::writeback`,
+//!   `MesiAction::InvalidateSharers` ↔ `StepOutcome::invalidate`,
+//!   `MesiAction::WritebackAndInvalidate` ↔ both,
+//!   `MesiAction::None` ↔ neither — and no family-extension action
+//!   (cache transfer / memory read / claim forward) ever fires.
+
+use hsim_coherence::protocol::line_state_of;
+use hsim_coherence::{
+    CoherenceProtocol, GuardCtx, MesiAction, MesiEvent, MesiState, ProtocolTable,
+};
+use proptest::prelude::*;
+
+fn event_of(idx: u8) -> MesiEvent {
+    match idx % 5 {
+        0 => MesiEvent::LocalRead,
+        1 => MesiEvent::LocalWrite,
+        2 => MesiEvent::RemoteRead,
+        3 => MesiEvent::RemoteWrite,
+        _ => MesiEvent::Evict,
+    }
+}
+
+proptest! {
+    /// Any event trace, under any guard context at every step (the Mesi
+    /// table must be guard-insensitive, like the hand-written code),
+    /// keeps the two machines in lockstep.
+    #[test]
+    fn mesi_table_tracks_handwritten_step(
+        trace in prop::collection::vec((0u8..5, any::<bool>(), any::<bool>()), 1..64)
+    ) {
+        let table = ProtocolTable::new(CoherenceProtocol::Mesi);
+        let mut reference = MesiState::Invalid;
+        let mut tabled = line_state_of(MesiState::Invalid);
+        for (step, &(idx, other_sharers, requester_is_owner)) in trace.iter().enumerate() {
+            let event = event_of(idx);
+            let (next_ref, action) = reference.step(event);
+            let out = table
+                .step(
+                    tabled,
+                    event,
+                    GuardCtx { other_sharers, requester_is_owner },
+                )
+                .expect("the Mesi table is total");
+            prop_assert_eq!(
+                out.next,
+                line_state_of(next_ref),
+                "state diverged at step {} on {:?}",
+                step,
+                event
+            );
+            let (want_wb, want_inv) = match action {
+                MesiAction::None => (false, false),
+                MesiAction::Writeback => (true, false),
+                MesiAction::InvalidateSharers => (false, true),
+                MesiAction::WritebackAndInvalidate => (true, true),
+            };
+            prop_assert_eq!(out.writeback, want_wb, "writeback diverged at step {}", step);
+            prop_assert_eq!(out.invalidate, want_inv, "invalidate diverged at step {}", step);
+            prop_assert!(
+                !out.cache_transfer && !out.memory_read && !out.claim_forward,
+                "Mesi emitted a family-extension action at step {}",
+                step
+            );
+            reference = next_ref;
+            tabled = out.next;
+        }
+    }
+}

@@ -89,7 +89,7 @@ use crate::lm::{LmConfig, LocalMem};
 use crate::mshr::{MshrFile, MshrOutcome};
 use crate::prefetch::{PrefetchConfig, StreamPrefetcher};
 use crate::tlb::{Tlb, TlbConfig};
-use hsim_coherence::mesi::{MesiAction, MesiEvent, MesiState};
+use hsim_coherence::protocol::{CoherenceProtocol, DirLine, ProtocolTable};
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
@@ -168,23 +168,83 @@ pub enum CoherenceMode {
     /// cacheable line (the historical model; bit-identical to the
     /// pre-directory backside).
     Replicate,
-    /// A MESI directory slice at each L3 bank serves registered shared
-    /// ranges from one copy, with invalidation and intervention
-    /// messages.
+    /// Directory slices at the L3 banks stepping the three-state MSI
+    /// table (no Exclusive state; dirty recalls re-read memory).
+    Msi,
+    /// Directory slices stepping the four-state MESI table (PR 4's
+    /// protocol, now table-driven; bit-identical to the hand-written
+    /// original).
     Mesi,
+    /// Directory slices stepping the MOESI table: an Owned state shares
+    /// dirty lines cache-to-cache, deferring write-backs to eviction.
+    Moesi,
+    /// Directory slices stepping the MESIF table: a designated clean
+    /// Forwarder answers shared reads.
+    Mesif,
 }
 
 impl CoherenceMode {
+    /// Every mode, in the order benches and CI sweep them.
+    pub const ALL: [CoherenceMode; 5] = [
+        CoherenceMode::Replicate,
+        CoherenceMode::Msi,
+        CoherenceMode::Mesi,
+        CoherenceMode::Moesi,
+        CoherenceMode::Mesif,
+    ];
+
+    /// The directory-backed modes (everything but `Replicate`) — the
+    /// protocol axis equivalence suites and sweeps iterate.
+    pub const DIRECTORY: [CoherenceMode; 4] = [
+        CoherenceMode::Msi,
+        CoherenceMode::Mesi,
+        CoherenceMode::Moesi,
+        CoherenceMode::Mesif,
+    ];
+
     /// Reads the mode from the `HSIM_COHERENCE` environment variable
-    /// (`mesi` selects [`CoherenceMode::Mesi`]; anything else, or the
-    /// variable being unset, selects [`CoherenceMode::Replicate`]).
-    /// This is the CI matrix knob: the same test and bench-smoke suite
-    /// runs once per mode. Tests that pin recorded cycle counts set the
-    /// mode explicitly instead of inheriting it from here.
+    /// (`msi`, `mesi`, `moesi` or `mesif` select the corresponding
+    /// directory protocol; anything else, or the variable being unset,
+    /// selects [`CoherenceMode::Replicate`]). This is the CI matrix
+    /// knob: the same test and bench-smoke suite runs once per mode.
+    /// Tests that pin recorded cycle counts set the mode explicitly
+    /// instead of inheriting it from here.
     pub fn from_env() -> Self {
         match std::env::var("HSIM_COHERENCE").as_deref() {
+            Ok(v) if v.eq_ignore_ascii_case("msi") => CoherenceMode::Msi,
             Ok(v) if v.eq_ignore_ascii_case("mesi") => CoherenceMode::Mesi,
+            Ok(v) if v.eq_ignore_ascii_case("moesi") => CoherenceMode::Moesi,
+            Ok(v) if v.eq_ignore_ascii_case("mesif") => CoherenceMode::Mesif,
             _ => CoherenceMode::Replicate,
+        }
+    }
+
+    /// Whether this mode runs directory slices at the L3 banks (every
+    /// mode but `Replicate`).
+    pub fn is_directory(self) -> bool {
+        self.protocol().is_some()
+    }
+
+    /// The protocol table family member this mode steps (`None` under
+    /// `Replicate`).
+    pub fn protocol(self) -> Option<CoherenceProtocol> {
+        match self {
+            CoherenceMode::Replicate => None,
+            CoherenceMode::Msi => Some(CoherenceProtocol::Msi),
+            CoherenceMode::Mesi => Some(CoherenceProtocol::Mesi),
+            CoherenceMode::Moesi => Some(CoherenceProtocol::Moesi),
+            CoherenceMode::Mesif => Some(CoherenceProtocol::Mesif),
+        }
+    }
+
+    /// The lower-case knob / report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CoherenceMode::Replicate => "replicate",
+            CoherenceMode::Msi => "msi",
+            CoherenceMode::Mesi => "mesi",
+            CoherenceMode::Moesi => "moesi",
+            CoherenceMode::Mesif => "mesif",
         }
     }
 }
@@ -450,69 +510,25 @@ pub struct BacksideCoreStats {
 const CORE_TAG_SHIFT: u32 = 48;
 
 /// The pseudo-core id tagging cross-core **shared** lines in the shared
-/// arrays under [`CoherenceMode::Mesi`]. Real core ids are small, so the
+/// arrays under the directory modes. Real core ids are small, so the
 /// tag can never collide with a private line's.
 const SHARED_CORE: usize = (1 << 16) - 1;
 
-/// One resident shared line's directory record: the MESI state of the
-/// copies *above* the shared L3, the sharer bitset, and the owner
-/// (meaningful in `Exclusive`/`Modified`). `MesiState::Invalid` means
-/// the line is L3-resident with no upper copies (e.g. after the last
-/// holder wrote it back).
-#[derive(Clone, Copy, Debug)]
-struct DirEntry {
-    state: MesiState,
-    sharers: u64,
-    owner: usize,
-}
-
-impl DirEntry {
-    /// Whether `core` is recorded as holding a copy of this line above
-    /// the shared L3.
-    fn holds(&self, core: usize) -> bool {
-        match self.state {
-            MesiState::Invalid => false,
-            MesiState::Shared => self.sharers & (1 << core) != 0,
-            MesiState::Exclusive | MesiState::Modified => self.owner == core,
-        }
-    }
-
-    /// The protocol event a request by `core` presents to this line's
-    /// home slice — the bridge from cache traffic to the
-    /// [`MesiState::step`] transition table in `hsim-coherence`.
-    fn event_for(&self, core: usize, kind: AccessKind) -> MesiEvent {
-        let local = self.holds(core);
-        match kind {
-            AccessKind::Read | AccessKind::Prefetch => {
-                if local {
-                    MesiEvent::LocalRead
-                } else {
-                    MesiEvent::RemoteRead
-                }
-            }
-            AccessKind::Write => {
-                if local {
-                    MesiEvent::LocalWrite
-                } else {
-                    MesiEvent::RemoteWrite
-                }
-            }
-        }
-    }
-}
-
-/// The per-bank slice of the MESI directory: one record per resident
-/// shared line of this bank (entry existence tracks L3 residency;
-/// capacity therefore never exceeds the bank's line count). Empty and
-/// untouched under [`CoherenceMode::Replicate`].
+/// The per-bank slice of the inter-core directory: one
+/// [`DirLine`] record per resident shared line of this bank (entry
+/// existence tracks L3 residency; capacity therefore never exceeds the
+/// bank's line count). Empty and untouched under
+/// [`CoherenceMode::Replicate`]. The records are stepped generically
+/// through whichever [`ProtocolTable`] the backside's
+/// [`CoherenceMode`] selects.
 #[derive(Default)]
 struct DirectorySlice {
     /// Bank-local line address → record.
-    entries: HashMap<u64, DirEntry>,
+    entries: HashMap<u64, DirLine>,
 }
 
 /// One bank of the shared L3: its slice of the array, its own arbitrated
-/// port, and its slice of the MESI directory.
+/// port, and its slice of the inter-core directory.
 struct L3Bank {
     cache: Cache,
     /// When this bank's port frees up (`l3_port_gap` occupancy per
@@ -558,8 +574,12 @@ pub struct SharedBackside {
     events: Vec<Option<Vec<CacheEvent>>>,
     /// Inter-core coherence model and message timings.
     coherence: CoherenceConfig,
+    /// The guarded-action rule table the directory slices step (the
+    /// Mesi table under `Replicate` too, where it is never consulted —
+    /// the directory stays empty).
+    table: ProtocolTable,
     /// Byte ranges registered as cross-core shared (`[start, end)`);
-    /// consulted only under [`CoherenceMode::Mesi`].
+    /// consulted only under the directory modes.
     shared_ranges: Vec<(u64, u64)>,
     /// Per-core queues of back-invalidation messages (global line
     /// addresses) the directory sent; each tile drains its queue into
@@ -622,6 +642,12 @@ impl SharedBackside {
             per_core: vec![BacksideCoreStats::default(); n_cores],
             events: (0..n_cores).map(|_| None).collect(),
             coherence: cfg.coherence.clone(),
+            table: ProtocolTable::new(
+                cfg.coherence
+                    .mode
+                    .protocol()
+                    .unwrap_or(CoherenceProtocol::Mesi),
+            ),
             shared_ranges: Vec::new(),
             pending_upper_inval: (0..n_cores).map(|_| Vec::new()).collect(),
             nack_faults: FaultRoller::new(&cfg.fault, FaultSite::DirNack, 0),
@@ -704,7 +730,7 @@ impl SharedBackside {
     }
 
     /// Registers `[start, start + bytes)` as cross-core shared data:
-    /// under [`CoherenceMode::Mesi`] its lines drop the per-core tag and
+    /// under the directory modes its lines drop the per-core tag and
     /// are tracked by the per-bank directory slices. Under
     /// [`CoherenceMode::Replicate`] the registration is recorded but
     /// never consulted. Duplicate registrations (every tile registers
@@ -718,10 +744,10 @@ impl SharedBackside {
     }
 
     /// Whether `line_addr` belongs to a registered shared range under
-    /// the MESI mode (always `false` under `Replicate`).
+    /// a directory mode (always `false` under `Replicate`).
     #[inline]
     fn is_shared_line(&self, line_addr: u64) -> bool {
-        self.coherence.mode == CoherenceMode::Mesi
+        self.coherence.mode.is_directory()
             && self
                 .shared_ranges
                 .iter()
@@ -869,10 +895,10 @@ impl SharedBackside {
     /// requesting core whose fill caused the eviction (matching the
     /// pre-banking attribution).
     ///
-    /// Shared victims ([`CoherenceMode::Mesi`]): the directory entry is
+    /// Shared victims (directory modes): the directory entry is
     /// retired and every upper copy recalled (back-invalidation messages
     /// charged to the evicting requester — the sharer-eviction race the
-    /// protocol must close). The write-back of an M-state victim is
+    /// protocol must close). The write-back of a dirty-state victim is
     /// charged to its *owner*, whose dirty data it is; a merely
     /// L3-dirty victim is charged to the requester like a private one.
     fn victim(&mut self, bank: usize, ev: Evicted, now: u64, core: usize) {
@@ -880,31 +906,23 @@ impl SharedBackside {
         let global = self.global_addr(local, bank);
         if owner == SHARED_CORE {
             let entry = self.banks[bank].dir.entries.remove(&local);
-            let e = entry.unwrap_or(DirEntry {
-                state: MesiState::Invalid,
-                sharers: 0,
-                owner: core,
-            });
-            // Evicting the home copy: the transition table decides what
-            // the recall owes (`Evict` from M additionally writes the
-            // owner's dirty data back).
-            let (next, action) = e.state.step(MesiEvent::Evict);
-            debug_assert_eq!(next, MesiState::Invalid);
-            self.recall_sharers(e.sharers, core, global);
-            if e.sharers != 0 {
+            let mut e = entry.unwrap_or(DirLine::empty());
+            // Evicting the home copy: the table's Evict row decides
+            // what the recall owes (a dirty state additionally writes
+            // the owner's data back).
+            let ob = e.evict(&self.table);
+            self.recall_sharers(ob.invalidate, core, global);
+            if ob.invalidate != 0 {
                 self.occupy_bank(bank, now, self.coherence.inval_latency);
             }
-            if matches!(
-                action,
-                MesiAction::Writeback | MesiAction::WritebackAndInvalidate
-            ) {
+            if ob.writeback {
                 // The L3 copy is stale against the owner's: recall and
                 // write back the owner's data, charged to the owner. The
                 // bank array only counted a write-back if its own copy
                 // was dirty; mirror the recall into the aggregate so the
                 // per-core shares keep partitioning it exactly.
-                self.post_dram_write(now, Self::tag(SHARED_CORE, global), e.owner, true);
-                self.per_core[e.owner].l3.writebacks_out += 1;
+                self.post_dram_write(now, Self::tag(SHARED_CORE, global), ob.old_owner, true);
+                self.per_core[ob.old_owner].l3.writebacks_out += 1;
                 if !ev.dirty {
                     self.banks[bank].cache.stats.writebacks_out += 1;
                 }
@@ -1044,29 +1062,23 @@ impl SharedBackside {
         }
         if shared {
             // A freshly resident shared line: the requester is its sole
-            // upper holder (Exclusive on reads, Modified on a
-            // write-allocate RFO).
-            let state = if kind == AccessKind::Write {
-                MesiState::Modified
-            } else {
-                MesiState::Exclusive
-            };
+            // upper holder, in whatever state the table's Invalid row
+            // fills to (Exclusive on reads for MESI-family tables,
+            // Shared for MSI, Modified on a write-allocate RFO).
             self.banks[bank].dir.entries.insert(
                 local,
-                DirEntry {
-                    state,
-                    sharers: 1 << core,
-                    owner: core,
-                },
+                DirLine::fill(&self.table, core, kind == AccessKind::Write),
             );
         }
         self.push_event(core, line_addr, true);
         (wait + l3_latency + dram_latency, Level::Dram, false)
     }
 
-    /// The directory transition for an L3 hit on a shared line: serves
-    /// read sharing, recalls other sharers on a write, and performs the
-    /// M-state intervention when another core owns the line dirty.
+    /// The directory transition for an L3 hit on a shared line: the
+    /// home slice steps the protocol table through the [`DirLine`]
+    /// bookkeeping and discharges the obligations the transition names —
+    /// read sharing, invalidation rounds on writes, dirty-copy recalls
+    /// (write-back or MOESI cache-to-cache), and MSI's memory re-read.
     /// Returns the message latency charged to the requesting access and
     /// whether an intervention happened. `msg_start` is the cycle the
     /// messages leave the home slice (after the L3 lookup).
@@ -1079,7 +1091,6 @@ impl SharedBackside {
         msg_start: u64,
     ) -> (u64, bool) {
         let local = self.local_addr(line_addr);
-        let me = 1u64 << core;
         let iv_lat = self.coherence.intervention_latency;
         let inv_lat = self.coherence.inval_latency;
         let mut e = *self.banks[bank]
@@ -1087,57 +1098,53 @@ impl SharedBackside {
             .entries
             .get(&local)
             .expect("resident shared line must have a directory entry");
-        let was = e.state;
-        let old_owner = e.owner;
-        let others = e.sharers & !me;
-        // The hsim-coherence transition table decides the successor
-        // state and the protocol work owed; the slice carries what the
-        // line-state enum cannot — the sharer bitset and the owner.
-        let (next, action) = e.state.step(e.event_for(core, kind));
-        e.state = next;
+        // The table decides the successor state and the protocol work
+        // owed; the line record carries what the state enum cannot —
+        // the sharer bitset and the owner.
+        let ob = e.access(&self.table, core, kind == AccessKind::Write);
         let mut extra = 0u64;
-        let intervention = matches!(
-            action,
-            MesiAction::Writeback | MesiAction::WritebackAndInvalidate
-        );
-        if intervention {
-            // M-state intervention: recall and write back the owner's
-            // dirty data (charged to the owner).
+        if ob.intervention {
+            // Another core's dirty copy serves this request: a recall
+            // round trip either way, plus the DRAM write-back unless the
+            // table shares the dirty data cache-to-cache (MOESI).
             extra += iv_lat;
             self.per_core[core].coh.interventions += 1;
-            self.post_dram_write(
-                msg_start,
-                Self::tag(SHARED_CORE, line_addr),
-                old_owner,
-                true,
-            );
+            if ob.writeback {
+                self.post_dram_write(
+                    msg_start,
+                    Self::tag(SHARED_CORE, line_addr),
+                    ob.old_owner,
+                    true,
+                );
+            }
             self.occupy_bank(bank, msg_start, iv_lat);
         }
-        match kind {
-            AccessKind::Read | AccessKind::Prefetch => {
-                if !intervention && others != 0 {
-                    self.per_core[core].coh.shared_hits += 1;
-                }
-                if was == MesiState::Invalid {
-                    // First holder after a quiet spell: the Exclusive
-                    // owner `step` promoted the line to.
-                    e.owner = core;
-                }
-                e.sharers |= me;
+        if ob.shared_hit {
+            self.per_core[core].coh.shared_hits += 1;
+        }
+        if ob.invalidate != 0 {
+            // One invalidation round covers every recalled sharer.
+            extra += inv_lat;
+            self.recall_sharers(ob.invalidate, core, line_addr);
+            self.occupy_bank(bank, msg_start, inv_lat);
+        }
+        if ob.memory_read {
+            // MSI: sharers cannot forward, so the just-written-back
+            // line is re-fetched from memory to serve the request
+            // (timed, charged to the requester).
+            let tagged = Self::tag(SHARED_CORE, line_addr);
+            let ch = self.channel_of(tagged);
+            let (lat, outcome, ecc) = self.channels[ch].read(msg_start, tagged);
+            let s = &mut self.per_core[core].dram;
+            s.reads += 1;
+            s.ecc_retries += ecc;
+            if let Some(o) = outcome {
+                Self::bump_row(s, o);
             }
-            AccessKind::Write => {
-                if others != 0 {
-                    // One invalidation round covers every other sharer.
-                    extra += inv_lat;
-                    self.recall_sharers(others, core, line_addr);
-                    self.occupy_bank(bank, msg_start, inv_lat);
-                }
-                e.owner = core;
-                e.sharers = me;
-            }
+            extra += lat;
         }
         self.banks[bank].dir.entries.insert(local, e);
-        (extra, intervention)
+        (extra, ob.intervention)
     }
 
     /// Accepts a dirty line written back by a core's L2 (eviction
@@ -1157,24 +1164,12 @@ impl SharedBackside {
             self.victim(bank, ev, now, core);
         }
         if shared {
-            let me = 1u64 << core;
-            let e = self.banks[bank]
+            self.banks[bank]
                 .dir
                 .entries
                 .entry(local)
-                .or_insert(DirEntry {
-                    state: MesiState::Invalid,
-                    sharers: 0,
-                    owner: core,
-                });
-            e.sharers &= !me;
-            if e.state.is_exclusive() && e.owner == core {
-                e.state = if e.sharers == 0 {
-                    MesiState::Invalid
-                } else {
-                    MesiState::Shared
-                };
-            }
+                .or_insert(DirLine::empty())
+                .writeback_from(core);
         }
         let s = &mut self.per_core[core].l3;
         s.writebacks_in += 1;
@@ -1227,41 +1222,45 @@ impl SharedBackside {
         }
     }
 
-    /// Moves a resident shared line to `Modified` owned by `core`,
-    /// recalling every other sharer's upper copy.
+    /// Steps a write by `core` through the table for a resident shared
+    /// line (fire-and-forget: stores are write-through posts), recalling
+    /// whatever sharers and dirty data the transition obliges.
     fn claim_ownership(&mut self, bank: usize, core: usize, local: u64, line_addr: u64, now: u64) {
-        let me = 1u64 << core;
         let Some(mut e) = self.banks[bank].dir.entries.get(&local).copied() else {
             return;
         };
-        let old_owner = e.owner;
-        let others = e.sharers & !me;
-        let (next, action) = e.state.step(e.event_for(core, AccessKind::Write));
-        e.state = next;
-        if others != 0 {
-            self.recall_sharers(others, core, line_addr);
+        let ob = e.access(&self.table, core, true);
+        if ob.invalidate != 0 {
+            self.recall_sharers(ob.invalidate, core, line_addr);
             self.occupy_bank(bank, now, self.coherence.inval_latency);
         }
-        if matches!(
-            action,
-            MesiAction::Writeback | MesiAction::WritebackAndInvalidate
-        ) {
-            // The previous owner's dirty data is recalled and written
-            // back before the new owner's write supersedes it.
+        if ob.intervention {
+            // The previous owner's dirty data is recalled (and written
+            // back, unless shared cache-to-cache) before the new owner's
+            // write supersedes it.
             self.per_core[core].coh.interventions += 1;
-            self.post_dram_write(now, Self::tag(SHARED_CORE, line_addr), old_owner, true);
+            if ob.writeback {
+                self.post_dram_write(now, Self::tag(SHARED_CORE, line_addr), ob.old_owner, true);
+            }
             self.occupy_bank(bank, now, self.coherence.intervention_latency);
         }
-        e.owner = core;
-        e.sharers = me;
+        if ob.memory_read {
+            // MSI re-fetch: untimed (the store is fire-and-forget), but
+            // the channel traffic is still accounted.
+            let tagged = Self::tag(SHARED_CORE, line_addr);
+            let ch = self.channel_of(tagged);
+            self.channels[ch].stats.reads += 1;
+            self.per_core[core].dram.reads += 1;
+        }
         self.banks[bank].dir.entries.insert(local, e);
     }
 
     /// A `dma-get` bus-request snoop that missed the core's L1/L2. A hit
-    /// on a shared line Modified by *another* core is the in-flight-DMA
-    /// intervention: the owner's dirty data is recalled and written back
-    /// (so the transfer reads current data), and the line downgrades to
-    /// `Shared`.
+    /// on a shared line held dirty (`Modified`/`Owned`) by *another*
+    /// core is the in-flight-DMA intervention: the owner's dirty data is
+    /// recalled per the protocol table (so the transfer reads current
+    /// data) — written back and downgraded under MESI/MESIF, kept
+    /// dirty-shared under MOESI, re-read from memory under MSI.
     pub fn snoop(&mut self, core: usize, now: u64, line_addr: u64) -> bool {
         self.touch();
         let shared = self.is_shared_line(line_addr);
@@ -1273,17 +1272,30 @@ impl SharedBackside {
         let present = self.banks[bank].cache.snoop(a);
         if shared && present {
             if let Some(mut e) = self.banks[bank].dir.entries.get(&local).copied() {
-                if e.state == MesiState::Modified && e.owner != core {
-                    // A DMA engine is not a caching reader, so only the
-                    // M-recall transition of the protocol table applies
-                    // (RemoteRead on Modified): the sharer set is left
-                    // alone and the DMA never joins it.
-                    let (next, action) = e.state.step(MesiEvent::RemoteRead);
-                    debug_assert_eq!(action, MesiAction::Writeback);
+                // A DMA engine is not a caching reader, so only the
+                // dirty-recall transition of the protocol table applies
+                // (RemoteRead on a dirty state): the sharer set is left
+                // alone and the DMA never joins it.
+                if let Some(ob) = e.snoop_recall(&self.table, core) {
                     self.per_core[core].coh.interventions += 1;
-                    self.post_dram_write(now, Self::tag(SHARED_CORE, line_addr), e.owner, true);
+                    if ob.writeback {
+                        self.post_dram_write(
+                            now,
+                            Self::tag(SHARED_CORE, line_addr),
+                            ob.old_owner,
+                            true,
+                        );
+                    }
+                    if ob.memory_read {
+                        // MSI: the DMA re-reads the written-back line
+                        // from memory (untimed — the DMAC times the
+                        // transfer; the channel accounting lands here).
+                        let tagged = Self::tag(SHARED_CORE, line_addr);
+                        let ch = self.channel_of(tagged);
+                        self.channels[ch].stats.reads += 1;
+                        self.per_core[core].dram.reads += 1;
+                    }
                     self.occupy_bank(bank, now, self.coherence.intervention_latency);
-                    e.state = next;
                     self.banks[bank].dir.entries.insert(local, e);
                 }
             }
@@ -1544,7 +1556,7 @@ impl MemSystem {
     /// victim core's timing. A cheap no-op under `Replicate` — the
     /// backside is not even consulted.
     fn apply_upper_invals(&mut self) -> u64 {
-        if self.cfg.coherence.mode != CoherenceMode::Mesi {
+        if !self.cfg.coherence.mode.is_directory() {
             return 0;
         }
         if !self.backside.borrow().has_upper_invals(self.core_id) {
@@ -1650,13 +1662,13 @@ impl MemSystem {
     /// Propagates a write-through store below L1. The walk above
     /// guarantees L2 normally holds the line; when it does not, the write
     /// keeps descending into the shared backside (and is posted to DRAM
-    /// at the bottom). Under `Mesi`, a store absorbed by the L2 still
-    /// notifies the directory when the line is shared, so ownership
-    /// tracking stays sound.
+    /// at the bottom). Under the directory modes, a store absorbed by
+    /// the L2 still notifies the directory when the line is shared, so
+    /// ownership tracking stays sound.
     fn writethrough_below(&mut self, now: u64, addr: u64) {
         let a2 = self.l2.line_addr(addr);
         if self.l2.writethrough_from_above(a2) {
-            if self.cfg.coherence.mode == CoherenceMode::Mesi {
+            if self.cfg.coherence.mode.is_directory() {
                 self.backside
                     .borrow_mut()
                     .note_shared_store(self.core_id, now, a2);

@@ -840,6 +840,122 @@ pub fn coherence_sweep_parallel(
     Ok(rows)
 }
 
+/// One point of the protocol-family comparison: one kernel at one core
+/// count under one inter-core protocol (or the `Replicate` baseline),
+/// with the directory-side aggregates that separate the family members.
+#[derive(Clone, Debug)]
+pub struct ProtocolSweepRow {
+    /// Kernel name.
+    pub kernel: String,
+    /// Simulated core count.
+    pub cores: usize,
+    /// Coherence-mode name (`"replicate"`, `"msi"`, `"mesi"`, `"moesi"`,
+    /// `"mesif"`).
+    pub protocol: String,
+    /// Makespan of the run.
+    pub makespan: u64,
+    /// Total DRAM line reads: MSI re-reads memory on dirty recalls, so
+    /// it upper-bounds MESI, which upper-bounds MOESI (dirty sharing
+    /// skips the round-trip entirely).
+    pub dram_reads: u64,
+    /// Shared-line L3 hits the directory served (0 under `Replicate`).
+    pub shared_hits: u64,
+    /// Invalidation messages sent (0 under `Replicate`).
+    pub invalidations: u64,
+    /// Dirty-owner interventions (0 under `Replicate`).
+    pub interventions: u64,
+    /// Total committed instructions (identical across modes — protocols
+    /// may only change timing, never architectural work).
+    pub committed: u64,
+}
+
+/// Runs one kernel × core-count point under every [`CoherenceMode`];
+/// `None` when the kernel does not shard to `cores`. Asserts that no
+/// protocol changes the committed-instruction count.
+fn protocol_point(
+    kernel: &Kernel,
+    cores: usize,
+    mode: SysMode,
+) -> Result<Option<Vec<ProtocolSweepRow>>, MultiRunError> {
+    use hsim_core::config::CoherenceMode;
+    let mut rows = Vec::new();
+    let mut committed = None;
+    for cm in CoherenceMode::ALL {
+        let report = match run_kernel_multi_with(
+            kernel,
+            cores,
+            MachineConfig::for_mode(mode).with_coherence(cm),
+        ) {
+            Ok(m) => m,
+            Err(MultiRunError::Shard(_)) => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        match committed {
+            None => committed = Some(report.total_committed()),
+            Some(c) => assert_eq!(
+                c,
+                report.total_committed(),
+                "{} x{cores}: {} changed committed work",
+                kernel.name,
+                cm.name()
+            ),
+        }
+        rows.push(ProtocolSweepRow {
+            kernel: kernel.name.clone(),
+            cores,
+            protocol: cm.name().to_string(),
+            makespan: report.makespan,
+            dram_reads: report.total_dram_reads(),
+            shared_hits: report.total_shared_hits(),
+            invalidations: report.total_invalidations(),
+            interventions: report.total_interventions(),
+            committed: report.total_committed(),
+        });
+    }
+    Ok(Some(rows))
+}
+
+/// The protocol-family comparison: every kernel × core-count point run
+/// under the `Replicate` baseline and all four directory protocols on
+/// otherwise identical machines. Points a kernel cannot shard to are
+/// skipped.
+pub fn protocol_sweep(
+    kernels: &[Kernel],
+    core_counts: &[usize],
+    mode: SysMode,
+) -> Result<Vec<ProtocolSweepRow>, MultiRunError> {
+    let mut rows = Vec::new();
+    for k in kernels {
+        for &cores in core_counts {
+            if let Some(point) = protocol_point(k, cores, mode)? {
+                rows.extend(point);
+            }
+        }
+    }
+    Ok(rows)
+}
+
+/// [`protocol_sweep`] with one host job per (kernel, core-count) point.
+/// Results are identical to the sequential driver.
+pub fn protocol_sweep_parallel(
+    kernels: &[Kernel],
+    core_counts: &[usize],
+    mode: SysMode,
+) -> Result<Vec<ProtocolSweepRow>, MultiRunError> {
+    let points: Vec<(&Kernel, usize)> = kernels
+        .iter()
+        .flat_map(|k| core_counts.iter().map(move |&c| (k, c)))
+        .collect();
+    let results = parallel_map(points, |(k, cores)| protocol_point(k, cores, mode));
+    let mut rows = Vec::new();
+    for r in results {
+        if let Some(point) = r? {
+            rows.extend(point);
+        }
+    }
+    Ok(rows)
+}
+
 /// One point of the heterogeneous-chip sweep: one kernel on one mixed
 /// machine shape — a hybrid:cache tile ratio, an LM-size asymmetry, or
 /// a weighted-shard split — with the chip-level aggregates the

@@ -129,11 +129,11 @@ pub use cluster::{
 pub use experiments::{
     backside_sweep, backside_sweep_parallel, coherence_sweep, coherence_sweep_parallel,
     compare_systems, compare_systems_parallel, compile_for_tile, fig7, fig7_parallel, fig8,
-    fig8_parallel, geomean, hetero_sweep, hetero_sweep_parallel, parallel_map, run_kernel,
-    run_kernel_clustered, run_kernel_multi, run_kernel_multi_hetero, run_kernel_multi_profiled,
-    run_kernel_multi_with, run_kernel_profiled, run_kernel_verified, run_kernel_with,
-    scaling_sweep, scaling_sweep_parallel, BacksideSweepRow, CoherenceSweepRow, HeteroSweepRow,
-    ScalingRow,
+    fig8_parallel, geomean, hetero_sweep, hetero_sweep_parallel, parallel_map, protocol_sweep,
+    protocol_sweep_parallel, run_kernel, run_kernel_clustered, run_kernel_multi,
+    run_kernel_multi_hetero, run_kernel_multi_profiled, run_kernel_multi_with, run_kernel_profiled,
+    run_kernel_verified, run_kernel_with, scaling_sweep, scaling_sweep_parallel, BacksideSweepRow,
+    CoherenceSweepRow, HeteroSweepRow, ProtocolSweepRow, ScalingRow,
 };
 pub use machine::{Machine, MachineConfig, MultiMachine, SysMode, World};
 pub use metrics::{activity, MultiRunReport, RunReport};
@@ -146,11 +146,12 @@ pub mod prelude {
     pub use crate::experiments::{
         backside_sweep, backside_sweep_parallel, coherence_sweep, coherence_sweep_parallel,
         compare_systems, compare_systems_parallel, compile_for_tile, fig7, fig7_parallel, fig8,
-        fig8_parallel, hetero_sweep, hetero_sweep_parallel, run_kernel, run_kernel_clustered,
-        run_kernel_multi, run_kernel_multi_hetero, run_kernel_multi_profiled,
-        run_kernel_multi_with, run_kernel_profiled, run_kernel_verified, run_kernel_with,
-        scaling_sweep, scaling_sweep_parallel, BacksideSweepRow, CoherenceSweepRow, HeteroSweepRow,
-        ScalingRow,
+        fig8_parallel, hetero_sweep, hetero_sweep_parallel, protocol_sweep,
+        protocol_sweep_parallel, run_kernel, run_kernel_clustered, run_kernel_multi,
+        run_kernel_multi_hetero, run_kernel_multi_profiled, run_kernel_multi_with,
+        run_kernel_profiled, run_kernel_verified, run_kernel_with, scaling_sweep,
+        scaling_sweep_parallel, BacksideSweepRow, CoherenceSweepRow, HeteroSweepRow,
+        ProtocolSweepRow, ScalingRow,
     };
     pub use crate::machine::{Machine, MachineConfig, MultiMachine, SysMode};
     pub use crate::metrics::{MultiRunReport, RunReport};

@@ -185,15 +185,16 @@ proptest! {
 
     /// Contract 1: the fault rate never changes architectural state —
     /// final memory images and committed instruction counts match the
-    /// fault-free run at any rate, under both coherence modes.
+    /// fault-free run at any rate, under every coherence mode (the
+    /// `Replicate` baseline and all four directory protocols).
     #[test]
     fn fault_rate_never_changes_architectural_state(
         kernel in arb_kernel(),
         seed in any::<u64>(),
         rate_pct in 1u32..61,
-        mesi in prop::bool::ANY,
+        mode_idx in 0usize..CoherenceMode::ALL.len(),
     ) {
-        let cm = if mesi { CoherenceMode::Mesi } else { CoherenceMode::Replicate };
+        let cm = CoherenceMode::ALL[mode_idx];
         let Some((clean_img, clean)) = run_multi(&kernel, 2, FaultConfig::none(), cm) else {
             return Ok(());
         };

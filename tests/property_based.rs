@@ -228,17 +228,26 @@ mod coherence_mode_props {
         #![proptest_config(ProptestConfig::with_cases(24))]
 
         /// The coherence mode is a pure timing model: for any shardable
-        /// kernel, `Replicate` and `Mesi` commit identical architectural
+        /// kernel, the `Replicate` baseline and every directory protocol
+        /// (`Msi`/`Mesi`/`Moesi`/`Mesif`) commit identical architectural
         /// state (final memory images, committed instruction counts) —
         /// the directory may only move cycles around.
         #[test]
         fn coherence_mode_never_changes_architectural_state(kernel in arb_kernel()) {
             let Some((rep_img, rep_committed)) =
                 run_mode(&kernel, 2, CoherenceMode::Replicate) else { return Ok(()); };
-            let (mesi_img, mesi_committed) =
-                run_mode(&kernel, 2, CoherenceMode::Mesi).expect("shards both ways");
-            prop_assert_eq!(rep_img, mesi_img, "memory images diverged");
-            prop_assert_eq!(rep_committed, mesi_committed, "committed work diverged");
+            for cm in CoherenceMode::DIRECTORY {
+                let (img, committed) =
+                    run_mode(&kernel, 2, cm).expect("shards under every mode");
+                prop_assert_eq!(
+                    &rep_img, &img,
+                    "memory images diverged under {}", cm.name()
+                );
+                prop_assert_eq!(
+                    &rep_committed, &committed,
+                    "committed work diverged under {}", cm.name()
+                );
+            }
         }
     }
 }
@@ -284,11 +293,11 @@ mod cluster_props {
             kernel in arb_kernel(),
             clusters in 1usize..4,
             per in 1usize..3,
-            mesi in prop::bool::ANY,
+            mode_idx in 0usize..CoherenceMode::ALL.len(),
             two_channels in prop::bool::ANY,
         ) {
             let topo = ClusterTopology::new(clusters, per);
-            let cm = if mesi { CoherenceMode::Mesi } else { CoherenceMode::Replicate };
+            let cm = CoherenceMode::ALL[mode_idx];
             let channels = if two_channels { 2 } else { 1 };
             let Some(serial) = run(&kernel, topo, cm, channels, true) else { return Ok(()); };
             let threaded = run(&kernel, topo, cm, channels, false)
