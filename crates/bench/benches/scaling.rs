@@ -13,7 +13,13 @@ use hsim_workloads::nas;
 fn bench_core_count_sweep(c: &mut Criterion) {
     let kernel = nas::cg(Scale::Test);
     for cores in [1usize, 2, 4, 8] {
-        let report = run_kernel_multi(&kernel, cores, SysMode::HybridCoherent, false).unwrap();
+        let report = RunSpec::new(&kernel)
+            .cores(cores)
+            .mode(SysMode::HybridCoherent)
+            .track(false)
+            .run()
+            .map(RunOutcome::into_multi)
+            .unwrap();
         let cycles: Vec<u64> = report.per_core.iter().map(|r| r.cycles).collect();
         let total_cycles: u64 = cycles.iter().sum();
         println!(
@@ -26,7 +32,12 @@ fn bench_core_count_sweep(c: &mut Criterion) {
         c.bench_function(format!("cg_shard_{cores}core_machine"), |b| {
             b.iter(|| {
                 black_box(
-                    run_kernel_multi(&kernel, cores, SysMode::HybridCoherent, false)
+                    RunSpec::new(&kernel)
+                        .cores(cores)
+                        .mode(SysMode::HybridCoherent)
+                        .track(false)
+                        .run()
+                        .map(RunOutcome::into_multi)
                         .unwrap()
                         .makespan,
                 )
@@ -49,10 +60,10 @@ fn bench_batch_driver(c: &mut Criterion) {
         .unwrap_or(1);
     println!("host parallelism: {host} thread(s)");
     c.bench_function("fig8_sweep_sequential", |b| {
-        b.iter(|| black_box(fig8(&kernels).unwrap().len()))
+        b.iter(|| black_box(fig8(&kernels, Parallelism::Serial).unwrap().len()))
     });
     c.bench_function("fig8_sweep_parallel", |b| {
-        b.iter(|| black_box(fig8_parallel(&kernels).unwrap().len()))
+        b.iter(|| black_box(fig8(&kernels, Parallelism::HostThreads).unwrap().len()))
     });
 }
 

@@ -18,7 +18,11 @@ fn bench_fig7_point(c: &mut Criterion) {
     c.bench_function("fig7_wr50_microbench", |b| {
         b.iter(|| {
             black_box(
-                run_kernel(&k, SysMode::HybridCoherent, false)
+                RunSpec::new(&k)
+                    .mode(SysMode::HybridCoherent)
+                    .track(false)
+                    .run()
+                    .map(RunOutcome::into_single)
                     .unwrap()
                     .cycles,
             )
@@ -32,14 +36,28 @@ fn bench_fig8_pair(c: &mut Criterion) {
     c.bench_function("fig8_ft_coherent", |b| {
         b.iter(|| {
             black_box(
-                run_kernel(&k, SysMode::HybridCoherent, false)
+                RunSpec::new(&k)
+                    .mode(SysMode::HybridCoherent)
+                    .track(false)
+                    .run()
+                    .map(RunOutcome::into_single)
                     .unwrap()
                     .cycles,
             )
         })
     });
     c.bench_function("fig8_ft_oracle", |b| {
-        b.iter(|| black_box(run_kernel(&k, SysMode::HybridOracle, false).unwrap().cycles))
+        b.iter(|| {
+            black_box(
+                RunSpec::new(&k)
+                    .mode(SysMode::HybridOracle)
+                    .track(false)
+                    .run()
+                    .map(RunOutcome::into_single)
+                    .unwrap()
+                    .cycles,
+            )
+        })
     });
 }
 
@@ -48,14 +66,28 @@ fn bench_fig9_pair(c: &mut Criterion) {
     c.bench_function("fig9_cg_hybrid", |b| {
         b.iter(|| {
             black_box(
-                run_kernel(&k, SysMode::HybridCoherent, false)
+                RunSpec::new(&k)
+                    .mode(SysMode::HybridCoherent)
+                    .track(false)
+                    .run()
+                    .map(RunOutcome::into_single)
                     .unwrap()
                     .cycles,
             )
         })
     });
     c.bench_function("fig9_cg_cache_based", |b| {
-        b.iter(|| black_box(run_kernel(&k, SysMode::CacheBased, false).unwrap().cycles))
+        b.iter(|| {
+            black_box(
+                RunSpec::new(&k)
+                    .mode(SysMode::CacheBased)
+                    .track(false)
+                    .run()
+                    .map(RunOutcome::into_single)
+                    .unwrap()
+                    .cycles,
+            )
+        })
     });
 }
 
@@ -64,7 +96,11 @@ fn bench_tracking_overhead(c: &mut Criterion) {
     c.bench_function("coherence_tracker_on", |b| {
         b.iter(|| {
             black_box(
-                run_kernel(&k, SysMode::HybridCoherent, true)
+                RunSpec::new(&k)
+                    .mode(SysMode::HybridCoherent)
+                    .track(true)
+                    .run()
+                    .map(RunOutcome::into_single)
                     .unwrap()
                     .cycles,
             )

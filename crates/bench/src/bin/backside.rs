@@ -17,7 +17,7 @@
 //! the CI guard that keeps this driver from rotting.
 
 use hsim::prelude::*;
-use hsim_bench::{kernels, scale_from_args, Table};
+use hsim_bench::{jstr, kernels, scale_from_args, SweepJson, Table};
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
@@ -32,8 +32,13 @@ fn main() {
         kernels.truncate(2);
     }
 
-    let rows = backside_sweep_parallel(&kernels, core_counts, SysMode::HybridCoherent)
-        .expect("backside sweep failed");
+    let rows = backside_sweep(
+        &kernels,
+        core_counts,
+        SysMode::HybridCoherent,
+        Parallelism::HostThreads,
+    )
+    .expect("backside sweep failed");
 
     println!("BACKSIDE: row-buffer locality and L3 bank contention ({scale:?} scale)");
     println!("(hybrid-coherent machine, default banked L3 + row-aware DRAM controller)");
@@ -77,38 +82,21 @@ fn main() {
         "row-hit rate must vary across kernels/core counts"
     );
 
-    let json = render_json(scale, &rows);
-    std::fs::write("BENCH_backside.json", &json).expect("write BENCH_backside.json");
-    println!("wrote BENCH_backside.json ({} rows)", rows.len());
-}
-
-/// Hand-rendered JSON (no serde in the offline tree).
-fn render_json(scale: Scale, rows: &[hsim::BacksideSweepRow]) -> String {
-    let mut out = String::new();
-    out.push_str("{\n");
-    out.push_str(&format!("  \"scale\": \"{scale:?}\",\n"));
-    out.push_str("  \"mode\": \"HybridCoherent\",\n");
-    out.push_str("  \"rows\": [\n");
-    for (i, r) in rows.iter().enumerate() {
-        out.push_str(&format!(
-            "    {{\"kernel\": \"{}\", \"cores\": {}, \"makespan\": {}, \
-             \"dram_row_hits\": {}, \"dram_row_misses\": {}, \
-             \"dram_row_conflicts\": {}, \"dram_row_hit_rate\": {:.2}, \
-             \"bank_conflicts\": {}, \"bus_wait_cycles\": {}, \
-             \"dram_queue_stalls\": {}}}{}\n",
-            r.kernel,
-            r.cores,
-            r.makespan,
-            r.dram_row_hits,
-            r.dram_row_misses,
-            r.dram_row_conflicts,
-            r.dram_row_hit_rate,
-            r.bank_conflicts,
-            r.bus_wait_cycles,
-            r.dram_queue_stalls,
-            if i + 1 == rows.len() { "" } else { "," }
-        ));
+    let mut json = SweepJson::new(scale).meta("mode", jstr("HybridCoherent"));
+    json.begin_rows("rows");
+    for r in &rows {
+        json.row(&[
+            ("kernel", jstr(&r.kernel)),
+            ("cores", format!("{}", r.cores)),
+            ("makespan", format!("{}", r.makespan)),
+            ("dram_row_hits", format!("{}", r.dram_row_hits)),
+            ("dram_row_misses", format!("{}", r.dram_row_misses)),
+            ("dram_row_conflicts", format!("{}", r.dram_row_conflicts)),
+            ("dram_row_hit_rate", format!("{:.2}", r.dram_row_hit_rate)),
+            ("bank_conflicts", format!("{}", r.bank_conflicts)),
+            ("bus_wait_cycles", format!("{}", r.bus_wait_cycles)),
+            ("dram_queue_stalls", format!("{}", r.dram_queue_stalls)),
+        ]);
     }
-    out.push_str("  ]\n}\n");
-    out
+    json.write("BENCH_backside.json");
 }

@@ -25,7 +25,7 @@
 
 use hsim::cluster::{ClusterConfig, ClusterTopology};
 use hsim::prelude::*;
-use hsim_bench::{kernels, scale_from_args, Table};
+use hsim_bench::{jstr, kernels, scale_from_args, SweepJson, Table};
 use std::time::Instant;
 
 struct Row {
@@ -77,9 +77,13 @@ fn run_point(
     let mut last = None;
     for _ in 0..REPS {
         let start = Instant::now();
-        let report = match run_kernel_clustered(kernel, &cluster, config_for(channels)) {
-            Ok(r) => r,
-            Err(hsim::experiments::MultiRunError::Shard(_)) => return None,
+        let report = match RunSpec::new(kernel)
+            .clustered(&cluster)
+            .config(config_for(channels))
+            .run()
+        {
+            Ok(out) => out.into_clusters(),
+            Err(MultiRunError::Shard(_)) => return None,
             Err(e) => panic!("simulation failed: {e}"),
         };
         best = best.min(start.elapsed().as_secs_f64());
@@ -227,44 +231,32 @@ fn main() {
         }
     }
 
-    let json = render_json(scale, host_parallelism, &rows);
-    std::fs::write("BENCH_clusters.json", &json).expect("write BENCH_clusters.json");
-    println!("wrote BENCH_clusters.json ({} rows)", rows.len());
-}
-
-/// Hand-rendered JSON (no serde in the offline tree).
-fn render_json(scale: Scale, host_parallelism: usize, rows: &[Row]) -> String {
-    let mut out = String::new();
-    out.push_str("{\n");
-    out.push_str(&format!("  \"scale\": \"{scale:?}\",\n"));
-    out.push_str("  \"mode\": \"HybridCoherent\",\n");
-    out.push_str(&format!("  \"host_parallelism\": {host_parallelism},\n"));
-    out.push_str("  \"rows\": [\n");
-    for (i, r) in rows.iter().enumerate() {
-        out.push_str(&format!(
-            "    {{\"kernel\": \"{}\", \"clusters\": {}, \
-             \"cores_per_cluster\": {}, \"dram_channels\": {}, \
-             \"makespan\": {}, \"epochs\": {}, \"committed\": {}, \
-             \"skipped_cycles\": {}, \"dram_reads\": {}, \
-             \"cross_cluster_fallbacks\": {}, \
-             \"host_seconds_serial\": {:.4}, \"host_seconds_threaded\": {:.4}, \
-             \"thread_speedup\": {:.3}}}{}\n",
-            r.kernel,
-            r.clusters,
-            r.cores_per_cluster,
-            r.channels,
-            r.makespan,
-            r.epochs,
-            r.committed,
-            r.skipped_cycles,
-            r.dram_reads,
-            r.cluster_fallbacks,
-            r.host_secs_serial,
-            r.host_secs_threaded,
-            r.thread_speedup(),
-            if i + 1 == rows.len() { "" } else { "," }
-        ));
+    let mut json = SweepJson::new(scale)
+        .meta("mode", jstr("HybridCoherent"))
+        .meta("host_parallelism", host_parallelism);
+    json.begin_rows("rows");
+    for r in &rows {
+        json.row(&[
+            ("kernel", jstr(&r.kernel)),
+            ("clusters", format!("{}", r.clusters)),
+            ("cores_per_cluster", format!("{}", r.cores_per_cluster)),
+            ("dram_channels", format!("{}", r.channels)),
+            ("makespan", format!("{}", r.makespan)),
+            ("epochs", format!("{}", r.epochs)),
+            ("committed", format!("{}", r.committed)),
+            ("skipped_cycles", format!("{}", r.skipped_cycles)),
+            ("dram_reads", format!("{}", r.dram_reads)),
+            (
+                "cross_cluster_fallbacks",
+                format!("{}", r.cluster_fallbacks),
+            ),
+            ("host_seconds_serial", format!("{:.4}", r.host_secs_serial)),
+            (
+                "host_seconds_threaded",
+                format!("{:.4}", r.host_secs_threaded),
+            ),
+            ("thread_speedup", format!("{:.3}", r.thread_speedup())),
+        ]);
     }
-    out.push_str("  ]\n}\n");
-    out
+    json.write("BENCH_clusters.json");
 }

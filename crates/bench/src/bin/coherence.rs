@@ -22,7 +22,7 @@
 //! gathered `x` table is the acceptance case for directory sharing.
 
 use hsim::prelude::*;
-use hsim_bench::{kernels, scale_from_args, Table};
+use hsim_bench::{jstr, kernels, scale_from_args, SweepJson, Table};
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
@@ -39,8 +39,13 @@ fn main() {
         kernels.retain(|k| k.name == "CG" || k.name == "IS");
     }
 
-    let rows = coherence_sweep_parallel(&kernels, core_counts, SysMode::HybridCoherent)
-        .expect("coherence sweep failed");
+    let rows = coherence_sweep(
+        &kernels,
+        core_counts,
+        SysMode::HybridCoherent,
+        Parallelism::HostThreads,
+    )
+    .expect("coherence sweep failed");
 
     println!("COHERENCE: Replicate vs Mesi on the shared backside ({scale:?} scale)");
     println!("(hybrid-coherent machine; dramR = total DRAM line reads)");
@@ -126,8 +131,13 @@ fn main() {
 
     // The protocol axis: the same grid, every family member side by
     // side. Smoke keeps the grid small enough for CI.
-    let proto_rows = protocol_sweep_parallel(&kernels, core_counts, SysMode::HybridCoherent)
-        .expect("protocol sweep failed");
+    let proto_rows = protocol_sweep(
+        &kernels,
+        core_counts,
+        SysMode::HybridCoherent,
+        Parallelism::HostThreads,
+    )
+    .expect("protocol sweep failed");
 
     println!();
     println!("PROTOCOL FAMILY: protocol x kernel x cores ({scale:?} scale)");
@@ -186,68 +196,43 @@ fn main() {
         }
     }
 
-    let json = render_json(scale, &rows, &proto_rows);
-    std::fs::write("BENCH_coherence.json", &json).expect("write BENCH_coherence.json");
-    println!(
-        "wrote BENCH_coherence.json ({} rows, {} protocol rows)",
-        rows.len(),
-        proto_rows.len()
-    );
-}
-
-/// Hand-rendered JSON (no serde in the offline tree).
-fn render_json(
-    scale: Scale,
-    rows: &[hsim::CoherenceSweepRow],
-    proto_rows: &[hsim::ProtocolSweepRow],
-) -> String {
-    let mut out = String::new();
-    out.push_str("{\n");
-    out.push_str(&format!("  \"scale\": \"{scale:?}\",\n"));
-    out.push_str("  \"mode\": \"HybridCoherent\",\n");
-    out.push_str("  \"rows\": [\n");
-    for (i, r) in rows.iter().enumerate() {
-        out.push_str(&format!(
-            "    {{\"kernel\": \"{}\", \"cores\": {}, \
-             \"makespan_replicate\": {}, \"makespan_mesi\": {}, \
-             \"dram_reads_replicate\": {}, \"dram_reads_mesi\": {}, \
-             \"shared_hits\": {}, \"invalidations\": {}, \
-             \"interventions\": {}, \"committed\": {}, \
-             \"replication_fallbacks\": {}, \"cluster_fallbacks\": {}}}{}\n",
-            r.kernel,
-            r.cores,
-            r.makespan_replicate,
-            r.makespan_mesi,
-            r.dram_reads_replicate,
-            r.dram_reads_mesi,
-            r.shared_hits,
-            r.invalidations,
-            r.interventions,
-            r.committed,
-            r.replication_fallbacks,
-            r.cluster_fallbacks,
-            if i + 1 == rows.len() { "" } else { "," }
-        ));
+    let mut json = SweepJson::new(scale).meta("mode", jstr("HybridCoherent"));
+    json.begin_rows("rows");
+    for r in &rows {
+        json.row(&[
+            ("kernel", jstr(&r.kernel)),
+            ("cores", format!("{}", r.cores)),
+            ("makespan_replicate", format!("{}", r.makespan_replicate)),
+            ("makespan_mesi", format!("{}", r.makespan_mesi)),
+            (
+                "dram_reads_replicate",
+                format!("{}", r.dram_reads_replicate),
+            ),
+            ("dram_reads_mesi", format!("{}", r.dram_reads_mesi)),
+            ("shared_hits", format!("{}", r.shared_hits)),
+            ("invalidations", format!("{}", r.invalidations)),
+            ("interventions", format!("{}", r.interventions)),
+            ("committed", format!("{}", r.committed)),
+            (
+                "replication_fallbacks",
+                format!("{}", r.replication_fallbacks),
+            ),
+            ("cluster_fallbacks", format!("{}", r.cluster_fallbacks)),
+        ]);
     }
-    out.push_str("  ],\n");
-    out.push_str("  \"protocol_rows\": [\n");
-    for (i, r) in proto_rows.iter().enumerate() {
-        out.push_str(&format!(
-            "    {{\"kernel\": \"{}\", \"cores\": {}, \"protocol\": \"{}\", \
-             \"makespan\": {}, \"dram_reads\": {}, \"shared_hits\": {}, \
-             \"invalidations\": {}, \"interventions\": {}, \"committed\": {}}}{}\n",
-            r.kernel,
-            r.cores,
-            r.protocol,
-            r.makespan,
-            r.dram_reads,
-            r.shared_hits,
-            r.invalidations,
-            r.interventions,
-            r.committed,
-            if i + 1 == proto_rows.len() { "" } else { "," }
-        ));
+    json.begin_rows("protocol_rows");
+    for r in &proto_rows {
+        json.row(&[
+            ("kernel", jstr(&r.kernel)),
+            ("cores", format!("{}", r.cores)),
+            ("protocol", jstr(&r.protocol)),
+            ("makespan", format!("{}", r.makespan)),
+            ("dram_reads", format!("{}", r.dram_reads)),
+            ("shared_hits", format!("{}", r.shared_hits)),
+            ("invalidations", format!("{}", r.invalidations)),
+            ("interventions", format!("{}", r.interventions)),
+            ("committed", format!("{}", r.committed)),
+        ]);
     }
-    out.push_str("  ]\n}\n");
-    out
+    json.write("BENCH_coherence.json");
 }

@@ -1,0 +1,193 @@
+//! Communication & request-serving workloads: the traffic *between*
+//! cores as the measured quantity.
+//!
+//! Two sections:
+//!
+//! 1. **Comm microbenchmarks** ([`hsim::comm_sweep`]): producer-consumer
+//!    flag/data ping-pong, a multi-buffered queue, lock and barrier
+//!    contention — each on hybrid (LM + DMA double-buffering, coherent
+//!    `no_map`'d flags) and cache-based (every line coherent) chips
+//!    under the environment's inter-core protocol, plus the full
+//!    MSI/MESI/MOESI/MESIF family on the cache-based queue hand-off.
+//!    The headline is cycles per hand-off (`rt/rnd`): the hybrid
+//!    round trip must beat the cache-coherent one.
+//! 2. **Request serving** ([`hsim::request_serving_sweep`]): many short
+//!    gather kernels against one shared read-mostly table, replayed
+//!    through a deterministic open-loop arrival process; reports
+//!    p50/p95/p99 sojourn latency and requests/sec at the nominal
+//!    2 GHz clock.
+//!
+//! Results are printed as tables and written to `BENCH_comm.json`.
+//!
+//! ```text
+//! cargo run --release -p hsim-bench --bin comm [--test-scale|--smoke]
+//! ```
+//!
+//! `--smoke` runs the minimal grid (test scale, 2/4 cores): the CI
+//! guard. Asserted shapes: hybrid ping-pong RTT < cache-coherent RTT at
+//! every core count, and MSI reads at least as much DRAM as
+//! MOESI/MESIF on the queue hand-off.
+
+use hsim::prelude::*;
+use hsim_bench::{jstr, scale_from_args, SweepJson, Table};
+
+/// Open-loop offered load as a fraction of measured chip capacity
+/// (permille). 700 keeps the system stable (ρ < 1) while producing a
+/// visible queueing tail.
+const LOAD_PERMILLE: u64 = 700;
+
+/// Arrival-stream seed; any nonzero value works, the report pins
+/// byte-identical output per seed.
+const SEED: u64 = 0xC0_FFEE;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let scale = if smoke {
+        Scale::Test
+    } else {
+        scale_from_args()
+    };
+    let core_counts: &[usize] = if smoke { &[2, 4] } else { &[2, 4, 8] };
+
+    let rows = comm_sweep(scale, core_counts, Parallelism::HostThreads).expect("comm sweep failed");
+
+    println!("COMM: communication microbenchmarks ({scale:?} scale)");
+    println!("(rt/rnd = cycles per hand-off; hybrid = LM+DMA payload, coherent flags)");
+    println!();
+    let t = Table::new(&[9, 5, 7, 9, 10, 8, 8, 8, 8, 8, 8]);
+    t.row(
+        &[
+            "workload", "cores", "system", "proto", "makespan", "rt/rnd", "dramR", "shrhits",
+            "invals", "intervs", "recalls",
+        ]
+        .map(String::from),
+    );
+    t.sep();
+    for r in &rows {
+        t.row(&[
+            r.workload.clone(),
+            format!("{}", r.cores),
+            match r.mode {
+                SysMode::CacheBased => "cache".into(),
+                _ => "hybrid".into(),
+            },
+            r.protocol.clone(),
+            format!("{}", r.makespan),
+            format!("{:.1}", r.round_cycles),
+            format!("{}", r.dram_reads),
+            format!("{}", r.shared_hits),
+            format!("{}", r.invalidations),
+            format!("{}", r.interventions),
+            format!("{}", r.dirty_recalls),
+        ]);
+    }
+    println!();
+
+    // Acceptance shape 1: the hybrid LM+DMA ping-pong round trip beats
+    // cache-coherent flag spinning at every core count.
+    for &cores in core_counts {
+        let pp = |mode: SysMode| {
+            rows.iter()
+                .find(|r| r.workload == "pingpong" && r.cores == cores && r.mode == mode)
+                .expect("ping-pong runs on both systems")
+        };
+        let (hybrid, cache) = (pp(SysMode::HybridCoherent), pp(SysMode::CacheBased));
+        println!(
+            "pingpong x{cores}: hybrid {:.1} vs cache {:.1} cycles/round",
+            hybrid.round_cycles, cache.round_cycles
+        );
+        assert!(
+            hybrid.round_cycles < cache.round_cycles,
+            "pingpong x{cores}: hybrid RTT ({:.1}) must beat cache RTT ({:.1})",
+            hybrid.round_cycles,
+            cache.round_cycles
+        );
+    }
+    // Acceptance shape 2: on the cache-based queue hand-off, MSI's
+    // recall-through-DRAM reads at least as many lines as MOESI's dirty
+    // sharing and MESIF's designated forwarder.
+    for &cores in core_counts {
+        let q = |proto: &str| {
+            rows.iter()
+                .find(|r| {
+                    r.workload == "queue"
+                        && r.cores == cores
+                        && r.mode == SysMode::CacheBased
+                        && r.protocol == proto
+                })
+                .unwrap_or_else(|| panic!("queue x{cores} must run under {proto}"))
+        };
+        assert!(
+            q("msi").dram_reads >= q("moesi").dram_reads,
+            "queue x{cores}: MSI DRAM reads must be >= MOESI"
+        );
+        assert!(
+            q("msi").dram_reads >= q("mesif").dram_reads,
+            "queue x{cores}: MSI DRAM reads must be >= MESIF"
+        );
+    }
+    println!();
+    println!("comm shapes OK (hybrid RTT < cache RTT; MSI >= MOESI/MESIF queue dramR)");
+    println!();
+
+    // -------------------------------------------------- request serving
+    let reports = request_serving_sweep(
+        scale,
+        core_counts,
+        SEED,
+        LOAD_PERMILLE,
+        Parallelism::HostThreads,
+    )
+    .expect("request-serving sweep failed");
+
+    println!(
+        "REQUEST SERVING: open-loop gather service ({scale:?} scale, \
+         load {LOAD_PERMILLE} permille, seed {SEED:#x})"
+    );
+    println!();
+    for rep in &reports {
+        print!("{}", rep.render());
+        println!();
+    }
+
+    let mut json = SweepJson::new(scale)
+        .meta("seed", SEED)
+        .meta("load_permille", LOAD_PERMILLE);
+    json.begin_rows("rows");
+    for r in &rows {
+        json.row(&[
+            ("workload", jstr(&r.workload)),
+            ("cores", format!("{}", r.cores)),
+            ("mode", jstr(format!("{:?}", r.mode))),
+            ("protocol", jstr(&r.protocol)),
+            ("rounds", format!("{}", r.rounds)),
+            ("makespan", format!("{}", r.makespan)),
+            ("round_cycles", format!("{:.2}", r.round_cycles)),
+            ("dram_reads", format!("{}", r.dram_reads)),
+            ("shared_hits", format!("{}", r.shared_hits)),
+            ("invalidations", format!("{}", r.invalidations)),
+            ("interventions", format!("{}", r.interventions)),
+            ("dirty_recalls", format!("{}", r.dirty_recalls)),
+            ("committed", format!("{}", r.committed)),
+        ]);
+    }
+    json.begin_rows("request_serving");
+    for r in &reports {
+        json.row(&[
+            ("cores", format!("{}", r.cores)),
+            ("mode", jstr(format!("{:?}", r.mode))),
+            ("requests", format!("{}", r.requests)),
+            ("service_cycles", format!("{}", r.service_cycles)),
+            ("mean_interarrival", format!("{}", r.mean_interarrival)),
+            ("span_cycles", format!("{}", r.span_cycles)),
+            ("p50", format!("{}", r.latency.p50())),
+            ("p95", format!("{}", r.latency.p95())),
+            ("p99", format!("{}", r.latency.p99())),
+            ("mean", format!("{}", r.latency.mean())),
+            ("max", format!("{}", r.latency.max())),
+            ("requests_per_sec", format!("{}", r.requests_per_sec())),
+            ("load_permille", format!("{}", r.offered_load_permille())),
+        ]);
+    }
+    json.write("BENCH_comm.json");
+}

@@ -27,7 +27,7 @@
 
 use hsim::experiments::MultiRunError;
 use hsim::prelude::*;
-use hsim_bench::{kernels, scale_from_args, Table};
+use hsim_bench::{jstr, kernels, scale_from_args, SweepJson, Table};
 
 /// Seed of every swept fault plan (CI replays the sweep with the same
 /// seed and demands a byte-identical artifact).
@@ -55,8 +55,8 @@ impl Row {
 
 fn run_point(kernel: &hsim_compiler::Kernel, fault: FaultConfig) -> Option<MultiRunReport> {
     let cfg = MachineConfig::for_mode(SysMode::HybridCoherent).with_faults(fault);
-    match run_kernel_multi_with(kernel, CORES, cfg) {
-        Ok(r) => Some(r),
+    match RunSpec::new(kernel).cores(CORES).config(cfg).run() {
+        Ok(out) => Some(out.into_multi()),
         Err(MultiRunError::Shard(_)) => None,
         Err(e) => panic!("simulation failed: {e}"),
     }
@@ -176,38 +176,23 @@ fn main() {
          never in lost work."
     );
 
-    let json = render_json(scale, &rows);
-    std::fs::write("BENCH_faults.json", &json).expect("write BENCH_faults.json");
-    println!("wrote BENCH_faults.json ({} rows)", rows.len());
-}
-
-/// Hand-rendered JSON (no serde in the offline tree).
-fn render_json(scale: Scale, rows: &[Row]) -> String {
-    let mut out = String::new();
-    out.push_str("{\n");
-    out.push_str(&format!("  \"scale\": \"{scale:?}\",\n"));
-    out.push_str("  \"mode\": \"HybridCoherent\",\n");
-    out.push_str(&format!("  \"cores\": {CORES},\n"));
-    out.push_str(&format!("  \"seed\": {SEED},\n"));
-    out.push_str("  \"rows\": [\n");
-    for (i, r) in rows.iter().enumerate() {
-        out.push_str(&format!(
-            "    {{\"kernel\": \"{}\", \"rate\": {}, \"makespan\": {}, \
-             \"committed\": {}, \"skipped_cycles\": {}, \
-             \"ecc_retries\": {}, \"dma_retries\": {}, \
-             \"dir_nacks\": {}, \"escalations\": {}}}{}\n",
-            r.kernel,
-            r.rate,
-            r.makespan,
-            r.committed,
-            r.skipped_cycles,
-            r.ecc_retries,
-            r.dma_retries,
-            r.dir_nacks,
-            r.escalations,
-            if i + 1 == rows.len() { "" } else { "," }
-        ));
+    let mut json = SweepJson::new(scale)
+        .meta("mode", jstr("HybridCoherent"))
+        .meta("cores", CORES)
+        .meta("seed", SEED);
+    json.begin_rows("rows");
+    for r in &rows {
+        json.row(&[
+            ("kernel", jstr(&r.kernel)),
+            ("rate", format!("{}", r.rate)),
+            ("makespan", format!("{}", r.makespan)),
+            ("committed", format!("{}", r.committed)),
+            ("skipped_cycles", format!("{}", r.skipped_cycles)),
+            ("ecc_retries", format!("{}", r.ecc_retries)),
+            ("dma_retries", format!("{}", r.dma_retries)),
+            ("dir_nacks", format!("{}", r.dir_nacks)),
+            ("escalations", format!("{}", r.escalations)),
+        ]);
     }
-    out.push_str("  ]\n}\n");
-    out
+    json.write("BENCH_faults.json");
 }

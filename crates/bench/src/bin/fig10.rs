@@ -10,7 +10,8 @@ use hsim::prelude::*;
 use hsim_bench::{kernels, scale_from_args, Table};
 
 fn main() {
-    let rows = compare_systems(&kernels(scale_from_args())).expect("simulation failed");
+    let rows = compare_systems(&kernels(scale_from_args()), Parallelism::Serial)
+        .expect("simulation failed");
     println!("FIGURE 10: energy normalized to the cache-based system");
     println!("(component split of the hybrid bar; paper reports 12%-41% savings, avg 27%)");
     println!();

@@ -14,7 +14,7 @@ fn main() {
     } else {
         64 * 1024
     };
-    let pts = fig7(n, 10).expect("simulation failed");
+    let pts = fig7(n, 10, Parallelism::Serial).expect("simulation failed");
     println!("FIGURE 7: work-phase overhead vs % of guarded references");
     println!("(paper: RD flat at 1.00; WR and RD/WR linear up to ~1.28 at 100%,");
     println!(" driven by a ~26% instruction increase from the double store)");

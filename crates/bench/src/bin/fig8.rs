@@ -9,7 +9,7 @@ use hsim::prelude::*;
 use hsim_bench::{kernels, paper_energy_overhead, paper_time_overhead, scale_from_args, Table};
 
 fn main() {
-    let rows = fig8(&kernels(scale_from_args())).expect("simulation failed");
+    let rows = fig8(&kernels(scale_from_args()), Parallelism::Serial).expect("simulation failed");
     println!("FIGURE 8: coherence-protocol overhead vs the oracle baseline");
     println!();
     let t = Table::new(&[4, 12, 12, 14, 14]);

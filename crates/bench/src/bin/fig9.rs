@@ -10,7 +10,8 @@ use hsim::prelude::*;
 use hsim_bench::{kernels, paper_speedup, scale_from_args, Table};
 
 fn main() {
-    let rows = compare_systems(&kernels(scale_from_args())).expect("simulation failed");
+    let rows = compare_systems(&kernels(scale_from_args()), Parallelism::Serial)
+        .expect("simulation failed");
     println!("FIGURE 9: execution time normalized to the cache-based system");
     println!();
     let t = Table::new(&[4, 10, 8, 8, 8, 8, 10, 12]);

@@ -20,7 +20,7 @@
 //! chip.
 
 use hsim::prelude::*;
-use hsim_bench::{kernels, scale_from_args, Table};
+use hsim_bench::{jstr, kernels, scale_from_args, SweepJson, Table};
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
@@ -35,7 +35,8 @@ fn main() {
     }
     let cores = 4;
 
-    let rows = hetero_sweep_parallel(&kernels, cores).expect("hetero sweep failed");
+    let rows =
+        hetero_sweep(&kernels, cores, Parallelism::HostThreads).expect("hetero sweep failed");
 
     println!("HETERO: mixed hybrid/cache chips, LM asymmetry, weighted shards ({scale:?} scale)");
     println!("(shape xH+yC = x hybrid + y cache-based tiles; lm/4xN = N tiles at a quarter LM)");
@@ -79,8 +80,11 @@ fn main() {
         };
 
         // 1. The all-hybrid shape is the homogeneous machine, exactly.
-        let homo =
-            run_kernel_multi(k, cores, SysMode::HybridCoherent, false).expect("homogeneous run");
+        let homo = RunSpec::new(k)
+            .cores(cores)
+            .run()
+            .expect("homogeneous run")
+            .into_multi();
         assert_eq!(
             all_h.makespan, homo.makespan,
             "{}: the all-hybrid hetero chip must reproduce the homogeneous \
@@ -136,39 +140,26 @@ fn main() {
     }
     println!("hetero shapes OK (all-hybrid == homogeneous, mixed interpolates, weights help)");
 
-    let json = render_json(scale, cores, &rows);
-    std::fs::write("BENCH_hetero.json", &json).expect("write BENCH_hetero.json");
-    println!("wrote BENCH_hetero.json ({} rows)", rows.len());
-}
-
-/// Hand-rendered JSON (no serde in the offline tree).
-fn render_json(scale: Scale, cores: usize, rows: &[hsim::HeteroSweepRow]) -> String {
-    let mut out = String::new();
-    out.push_str("{\n");
-    out.push_str(&format!("  \"scale\": \"{scale:?}\",\n"));
-    out.push_str(&format!("  \"cores\": {cores},\n"));
-    out.push_str("  \"rows\": [\n");
-    for (i, r) in rows.iter().enumerate() {
+    let mut json = SweepJson::new(scale).meta("cores", cores);
+    json.begin_rows("rows");
+    for r in &rows {
         let weights: Vec<String> = r.weights.iter().map(|w| w.to_string()).collect();
-        out.push_str(&format!(
-            "    {{\"kernel\": \"{}\", \"shape\": \"{}\", \"hybrid_tiles\": {}, \
-             \"small_lm_tiles\": {}, \"weights\": [{}], \"makespan\": {}, \
-             \"committed\": {}, \"dram_reads\": {}, \"bus_wait_cycles\": {}, \
-             \"shared_hits\": {}, \"replication_fallbacks\": {}}}{}\n",
-            r.kernel,
-            r.label,
-            r.hybrid_tiles,
-            r.small_lm_tiles,
-            weights.join(", "),
-            r.makespan,
-            r.committed,
-            r.dram_reads,
-            r.bus_wait_cycles,
-            r.shared_hits,
-            r.replication_fallbacks,
-            if i + 1 == rows.len() { "" } else { "," }
-        ));
+        json.row(&[
+            ("kernel", jstr(&r.kernel)),
+            ("shape", jstr(&r.label)),
+            ("hybrid_tiles", format!("{}", r.hybrid_tiles)),
+            ("small_lm_tiles", format!("{}", r.small_lm_tiles)),
+            ("weights", format!("[{}]", weights.join(", "))),
+            ("makespan", format!("{}", r.makespan)),
+            ("committed", format!("{}", r.committed)),
+            ("dram_reads", format!("{}", r.dram_reads)),
+            ("bus_wait_cycles", format!("{}", r.bus_wait_cycles)),
+            ("shared_hits", format!("{}", r.shared_hits)),
+            (
+                "replication_fallbacks",
+                format!("{}", r.replication_fallbacks),
+            ),
+        ]);
     }
-    out.push_str("  ]\n}\n");
-    out
+    json.write("BENCH_hetero.json");
 }

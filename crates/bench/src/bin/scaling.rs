@@ -18,7 +18,7 @@
 //! (the CI matrix runs both).
 
 use hsim::prelude::*;
-use hsim_bench::{kernels, scale_from_args, Table};
+use hsim_bench::{jstr, kernels, scale_from_args, SweepJson, Table};
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
@@ -34,7 +34,8 @@ fn main() {
     }
 
     let cfg = MachineConfig::for_mode(SysMode::HybridCoherent);
-    let rows = scaling_sweep_parallel(&kernels, core_counts, &cfg).expect("scaling sweep failed");
+    let rows = scaling_sweep(&kernels, core_counts, &cfg, Parallelism::HostThreads)
+        .expect("scaling sweep failed");
 
     println!(
         "SCALING: speedup vs cores per kernel ({scale:?} scale, {:?} coherence)",
@@ -83,37 +84,21 @@ fn main() {
         "someone must actually scale"
     );
 
-    let json = render_json(scale, &rows);
-    std::fs::write("BENCH_scaling.json", &json).expect("write BENCH_scaling.json");
-    println!("wrote BENCH_scaling.json ({} rows)", rows.len());
-}
-
-/// Hand-rendered JSON (no serde in the offline tree).
-fn render_json(scale: Scale, rows: &[hsim::ScalingRow]) -> String {
-    let mut out = String::new();
-    out.push_str("{\n");
-    out.push_str(&format!("  \"scale\": \"{scale:?}\",\n"));
-    out.push_str("  \"mode\": \"HybridCoherent\",\n");
-    out.push_str("  \"rows\": [\n");
-    for (i, r) in rows.iter().enumerate() {
-        out.push_str(&format!(
-            "    {{\"kernel\": \"{}\", \"cores\": {}, \"makespan\": {}, \
-             \"speedup\": {:.3}, \"committed\": {}, \"aggregate_ipc\": {:.3}, \
-             \"bus_wait_cycles\": {}, \"bank_conflicts\": {}, \
-             \"dram_row_hit_rate\": {:.2}, \"dram_reads\": {}}}{}\n",
-            r.kernel,
-            r.cores,
-            r.makespan,
-            r.speedup,
-            r.committed,
-            r.aggregate_ipc,
-            r.bus_wait_cycles,
-            r.bank_conflicts,
-            r.dram_row_hit_rate,
-            r.dram_reads,
-            if i + 1 == rows.len() { "" } else { "," }
-        ));
+    let mut json = SweepJson::new(scale).meta("mode", jstr("HybridCoherent"));
+    json.begin_rows("rows");
+    for r in &rows {
+        json.row(&[
+            ("kernel", jstr(&r.kernel)),
+            ("cores", format!("{}", r.cores)),
+            ("makespan", format!("{}", r.makespan)),
+            ("speedup", format!("{:.3}", r.speedup)),
+            ("committed", format!("{}", r.committed)),
+            ("aggregate_ipc", format!("{:.3}", r.aggregate_ipc)),
+            ("bus_wait_cycles", format!("{}", r.bus_wait_cycles)),
+            ("bank_conflicts", format!("{}", r.bank_conflicts)),
+            ("dram_row_hit_rate", format!("{:.2}", r.dram_row_hit_rate)),
+            ("dram_reads", format!("{}", r.dram_reads)),
+        ]);
     }
-    out.push_str("  ]\n}\n");
-    out
+    json.write("BENCH_scaling.json");
 }

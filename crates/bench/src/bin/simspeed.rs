@@ -9,9 +9,9 @@
 //!
 //! `--profile` additionally attributes the skip-mode host time to the
 //! scheduler's phases — per-cycle `tick`s, bulk `advance_to` skips, and
-//! horizon recomputation scans — via `run_kernel_profiled` /
-//! `run_kernel_multi_profiled`, printing the breakdown per row and
-//! embedding a `"profile"` object in each JSON row.
+//! horizon recomputation scans — via `RunSpec::profiled()`, printing
+//! the breakdown per row and embedding a `"profile"` object in each
+//! JSON row.
 //!
 //! ```text
 //! cargo run --release -p hsim-bench --bin simspeed [--test-scale] [--profile]
@@ -19,7 +19,7 @@
 
 use hsim::core::HostProfile;
 use hsim::prelude::*;
-use hsim_bench::{kernels, scale_from_args, Table};
+use hsim_bench::{jstr, kernels, scale_from_args, SweepJson, Table};
 use std::time::Instant;
 
 struct Row {
@@ -70,15 +70,22 @@ fn run_once(
     }
     let start = Instant::now();
     let (cycles, skipped) = if cores == 1 {
-        let r = run_kernel_with(kernel, cfg).expect("simulation failed");
+        let r = RunSpec::new(kernel)
+            .config(cfg)
+            .run()
+            .expect("simulation failed")
+            .into_single();
         (r.cycles, r.skipped_cycles)
     } else {
-        match run_kernel_multi_with(kernel, cores, cfg) {
-            Ok(r) => (
-                r.per_core.iter().map(|c| c.cycles).sum(),
-                r.total_skipped_cycles(),
-            ),
-            Err(hsim::experiments::MultiRunError::Shard(_)) => return None,
+        match RunSpec::new(kernel).cores(cores).config(cfg).run() {
+            Ok(out) => {
+                let r = out.into_multi();
+                (
+                    r.per_core.iter().map(|c| c.cycles).sum(),
+                    r.total_skipped_cycles(),
+                )
+            }
+            Err(MultiRunError::Shard(_)) => return None,
             Err(e) => panic!("simulation failed: {e}"),
         }
     };
@@ -116,14 +123,14 @@ fn run_pair(kernel: &hsim_compiler::Kernel, cores: usize) -> Option<(u64, u64, f
 /// only the profile is kept.
 fn run_profile(kernel: &hsim_compiler::Kernel, cores: usize) -> HostProfile {
     let cfg = MachineConfig::for_mode(SysMode::HybridCoherent);
-    if cores == 1 {
-        let (_, prof) = run_kernel_profiled(kernel, cfg).expect("simulation failed");
-        prof
-    } else {
-        let (_, prof) =
-            run_kernel_multi_profiled(kernel, cores, cfg).expect("shardability checked above");
-        prof
+    let mut spec = RunSpec::new(kernel).config(cfg).profiled();
+    if cores > 1 {
+        spec = spec.cores(cores);
     }
+    spec.run()
+        .expect("shardability checked above")
+        .profile
+        .expect("profiled run")
 }
 
 fn main() {
@@ -229,49 +236,47 @@ fn main() {
         100.0 * best.skipped_fraction()
     );
 
-    let json = render_json(scale, &rows);
-    std::fs::write("BENCH_simspeed.json", &json).expect("write BENCH_simspeed.json");
-    println!("wrote BENCH_simspeed.json ({} rows)", rows.len());
-}
-
-/// Hand-rendered JSON (no serde in the offline tree).
-fn render_json(scale: Scale, rows: &[Row]) -> String {
-    let mut out = String::new();
-    out.push_str("{\n");
-    out.push_str(&format!("  \"scale\": \"{scale:?}\",\n"));
-    out.push_str("  \"mode\": \"HybridCoherent\",\n");
-    out.push_str("  \"rows\": [\n");
-    for (i, r) in rows.iter().enumerate() {
-        let profile = match &r.profile {
-            Some(p) => format!(
-                ", \"profile\": {{\"tick_secs\": {:.4}, \"ticks\": {}, \
-                 \"advance_secs\": {:.4}, \"advances\": {}, \
-                 \"horizon_secs\": {:.4}, \"horizon_scans\": {}}}",
-                p.tick_secs, p.ticks, p.advance_secs, p.advances, p.horizon_secs, p.horizon_scans
+    let mut json = SweepJson::new(scale).meta("mode", jstr("HybridCoherent"));
+    json.begin_rows("rows");
+    for r in &rows {
+        let mut fields = vec![
+            ("kernel", jstr(&r.kernel)),
+            ("cores", format!("{}", r.cores)),
+            ("sim_cycles", format!("{}", r.sim_cycles)),
+            ("skipped_cycles", format!("{}", r.skipped_cycles)),
+            ("skipped_fraction", format!("{:.4}", r.skipped_fraction())),
+            ("host_seconds_skip", format!("{:.4}", r.host_secs_skip)),
+            (
+                "host_seconds_lockstep",
+                format!("{:.4}", r.host_secs_lockstep),
             ),
-            None => String::new(),
-        };
-        out.push_str(&format!(
-            "    {{\"kernel\": \"{}\", \"cores\": {}, \"sim_cycles\": {}, \
-             \"skipped_cycles\": {}, \"skipped_fraction\": {:.4}, \
-             \"host_seconds_skip\": {:.4}, \"host_seconds_lockstep\": {:.4}, \
-             \"sim_cycles_per_host_second_skip\": {:.1}, \
-             \"sim_cycles_per_host_second_lockstep\": {:.1}, \
-             \"wallclock_speedup\": {:.3}{}}}{}\n",
-            r.kernel,
-            r.cores,
-            r.sim_cycles,
-            r.skipped_cycles,
-            r.skipped_fraction(),
-            r.host_secs_skip,
-            r.host_secs_lockstep,
-            r.rate(r.host_secs_skip),
-            r.rate(r.host_secs_lockstep),
-            r.speedup(),
-            profile,
-            if i + 1 == rows.len() { "" } else { "," }
-        ));
+            (
+                "sim_cycles_per_host_second_skip",
+                format!("{:.1}", r.rate(r.host_secs_skip)),
+            ),
+            (
+                "sim_cycles_per_host_second_lockstep",
+                format!("{:.1}", r.rate(r.host_secs_lockstep)),
+            ),
+            ("wallclock_speedup", format!("{:.3}", r.speedup())),
+        ];
+        if let Some(p) = &r.profile {
+            fields.push((
+                "profile",
+                format!(
+                    "{{\"tick_secs\": {:.4}, \"ticks\": {}, \
+                     \"advance_secs\": {:.4}, \"advances\": {}, \
+                     \"horizon_secs\": {:.4}, \"horizon_scans\": {}}}",
+                    p.tick_secs,
+                    p.ticks,
+                    p.advance_secs,
+                    p.advances,
+                    p.horizon_secs,
+                    p.horizon_scans
+                ),
+            ));
+        }
+        json.row(&fields);
     }
-    out.push_str("  ]\n}\n");
-    out
+    json.write("BENCH_simspeed.json");
 }

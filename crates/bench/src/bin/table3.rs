@@ -11,7 +11,7 @@ use hsim_bench::{k, kernels, paper_table3, scale_from_args, Table};
 
 fn main() {
     let scale = scale_from_args();
-    let rows = compare_systems(&kernels(scale)).expect("simulation failed");
+    let rows = compare_systems(&kernels(scale), Parallelism::Serial).expect("simulation failed");
 
     println!("TABLE 3: activity in the memory subsystem (counts in thousands)");
     println!();

@@ -19,7 +19,8 @@
 //! | `hetero` | mixed hybrid/cache-based chips: tile ratios, LM-size asymmetry and weighted shards, with interpolation/identity assertions (`BENCH_hetero.json`; `--smoke` for CI) |
 //! | `clusters` | hierarchical clusters: channels × clusters × cores sweep, threaded runs asserted bit-identical to the serial oracle, cross-cluster replication fallbacks counted (`BENCH_clusters.json`; `--smoke` for CI) |
 //! | `faults` | fault-injection sweep: fault rate × kernel makespan-degradation curves with recovery counters, every point replayed same-seed and asserted bit-identical, committed totals asserted fault-invariant (`BENCH_faults.json`; `--smoke` for CI) |
-//! | `figshapes` | no output files — asserts the monotonicity/ordering invariants of figures 7/8/9, the scaling curves and the mixed-chip interpolation (the CI figure-shapes job) |
+//! | `comm` | communication workloads (ping-pong, multi-buffered queue, lock, barrier) hybrid vs cache-based plus the protocol family on the queue hand-off, and the open-loop request-serving latency report with p50/p95/p99 and requests/sec (`BENCH_comm.json`; `--smoke` for CI) |
+//! | `figshapes` | no output files — asserts the monotonicity/ordering invariants of figures 7/8/9, the scaling curves, the mixed-chip interpolation and the communication-workload orderings (the CI figure-shapes job) |
 //!
 //! Every binary accepts `--test-scale` to run the small workloads (CI),
 //! and prints the paper-reported values next to the measured ones.
@@ -123,6 +124,90 @@ impl Table {
 /// Formats a count in thousands, Table 3 style.
 pub fn k(x: u64) -> String {
     format!("{}", x / 1000)
+}
+
+/// Quotes a display value as a JSON string.
+pub fn jstr(s: impl std::fmt::Display) -> String {
+    format!("\"{s}\"")
+}
+
+/// The one JSON document shape every bench binary emits (hand-rendered;
+/// no serde in the offline tree): flat metadata fields followed by one
+/// or more named row arrays. Keeping the rendering here means every
+/// `BENCH_*.json` file indents, separates and terminates identically —
+/// the CI artifact parsers rely on that.
+///
+/// Values are pre-rendered JSON fragments: numbers via `format!`,
+/// strings via [`jstr`].
+pub struct SweepJson {
+    meta: Vec<(String, String)>,
+    arrays: Vec<(String, Vec<String>)>,
+}
+
+impl SweepJson {
+    /// Starts a document carrying the workload scale every bench runs
+    /// at.
+    pub fn new(scale: Scale) -> Self {
+        SweepJson {
+            meta: vec![("scale".into(), jstr(format!("{scale:?}")))],
+            arrays: Vec::new(),
+        }
+    }
+
+    /// Adds a metadata field; `value` must already be a JSON fragment
+    /// (use [`jstr`] for strings).
+    pub fn meta(mut self, key: &str, value: impl std::fmt::Display) -> Self {
+        self.meta.push((key.into(), value.to_string()));
+        self
+    }
+
+    /// Opens a row array; subsequent [`SweepJson::row`] calls append to
+    /// it. The first array of most documents is `"rows"`.
+    pub fn begin_rows(&mut self, name: &str) {
+        self.arrays.push((name.into(), Vec::new()));
+    }
+
+    /// Appends one row object to the most recently opened array.
+    /// Values must already be JSON fragments.
+    pub fn row(&mut self, fields: &[(&str, String)]) {
+        let body: Vec<String> = fields
+            .iter()
+            .map(|(k, v)| format!("\"{k}\": {v}"))
+            .collect();
+        self.arrays
+            .last_mut()
+            .expect("begin_rows before row")
+            .1
+            .push(format!("    {{{}}}", body.join(", ")));
+    }
+
+    /// Renders the document.
+    pub fn render(&self) -> String {
+        let mut out = String::from("{\n");
+        for (k, v) in &self.meta {
+            out.push_str(&format!("  \"{k}\": {v},\n"));
+        }
+        for (a, (name, rows)) in self.arrays.iter().enumerate() {
+            out.push_str(&format!("  \"{name}\": [\n"));
+            out.push_str(&rows.join(",\n"));
+            out.push('\n');
+            out.push_str(if a + 1 == self.arrays.len() {
+                "  ]\n"
+            } else {
+                "  ],\n"
+            });
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Writes the document to `path` and prints the standard
+    /// `wrote <path> (<n> rows)` line.
+    pub fn write(&self, path: &str) {
+        std::fs::write(path, self.render()).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        let rows: usize = self.arrays.iter().map(|(_, r)| r.len()).sum();
+        println!("wrote {path} ({rows} rows)");
+    }
 }
 
 #[cfg(test)]

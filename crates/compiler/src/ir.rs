@@ -51,6 +51,18 @@ pub struct ArrayDecl {
     /// parallelizing compiler would privatize. Always `false` on
     /// unsharded kernels and on sliced arrays.
     pub shared: bool,
+    /// Set by [`KernelBuilder::mark_comm`] on **communication** arrays:
+    /// flags, queue slots, locks, barrier words and shared tables that
+    /// several cores' kernels deliberately access at the *same*
+    /// addresses. Unlike [`ArrayDecl::shared`] (derived by the sharder,
+    /// read-only by construction), a comm array may be written — the
+    /// whole point is to drive the inter-core protocol's invalidation
+    /// and intervention paths — so a machine must either serve it from
+    /// directory-tracked shared lines or refuse the run: a comm array
+    /// whose layouts diverge across the participating kernels is a hard
+    /// [`ShardError::CommLayoutDiverged`], never a silent replication
+    /// fallback (a wrong-timing run masquerading as communication).
+    pub comm: bool,
 }
 
 /// How a reference indexes its array.
@@ -359,6 +371,16 @@ pub enum ShardError {
         /// or `a[3]`.
         fixed_ref: String,
     },
+    /// A communication array ([`ArrayDecl::comm`]) is not laid out at
+    /// the same address range by every participating kernel, so the
+    /// cores would not actually be communicating through one set of
+    /// lines. Replicating it per core — the fallback read-only shared
+    /// tables get — would silently turn the communication pattern into
+    /// private traffic, so the run is refused instead.
+    CommLayoutDiverged {
+        /// The offending array's name.
+        name: String,
+    },
 }
 
 impl std::fmt::Display for ShardError {
@@ -389,6 +411,17 @@ impl std::fmt::Display for ShardError {
                      loop variable as {iter_ref} but also \
                      iteration-independently as {fixed_ref}; slicing it breaks \
                      the second view and replicating it whole breaks the first"
+                )
+            }
+            ShardError::CommLayoutDiverged { name } => {
+                write!(
+                    f,
+                    "communication array \"{name}\" is laid out at diverging \
+                     addresses across the per-core kernels; the cores would \
+                     not share one set of lines, and replicating a written \
+                     comm array would silently break the communication \
+                     pattern — declare identical array lists (same order and \
+                     lengths) in every participating kernel"
                 )
             }
         }
@@ -691,6 +724,7 @@ impl KernelBuilder {
             elem,
             len,
             shared: false,
+            comm: false,
         });
         self.kernel.init.push(init);
         self.kernel.arrays.len() - 1
@@ -738,6 +772,19 @@ impl KernelBuilder {
     /// Forbids mapping an array to the LM in the open loop.
     pub fn no_map(&mut self, a: ArrayId) {
         self.cur().unmapped_arrays.insert(a);
+    }
+
+    /// Marks an array as a cross-core **communication** array (see
+    /// [`ArrayDecl::comm`]): flags, queue slots, locks, barrier words
+    /// or shared tables that several cores' kernels deliberately access
+    /// at the *same* addresses. Unlike the sharder-derived
+    /// [`ArrayDecl::shared`] flag, a comm array may be written; a
+    /// machine refuses to run kernels whose comm-array layouts diverge
+    /// ([`ShardError::CommLayoutDiverged`]) instead of silently
+    /// replicating them. Array-level, so it may be called outside a
+    /// loop.
+    pub fn mark_comm(&mut self, a: ArrayId) {
+        self.kernel.arrays[a].comm = true;
     }
 
     /// Adds a statement `target = value`.

@@ -12,13 +12,25 @@
 //!   inside this simulator; DESIGN.md §1 documents why the signature
 //!   approach preserves the evaluated mechanisms.
 //!
+//! * [`comm`] — communication workloads, where the traffic *between*
+//!   cores is the workload: producer-consumer flag/data ping-pong,
+//!   multi-buffered queues, lock/barrier contention, and the
+//!   request-serving kernels behind the open-loop latency driver.
+//!   Per-core kernel sets with identical array layouts whose
+//!   `mark_comm`-flagged arrays become directory-tracked shared lines.
+//!
 //! All kernels are deterministic: data is generated from fixed seeds.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod comm;
 pub mod microbench;
 pub mod nas;
 
+pub use comm::{
+    all_comm, barrier, lock, ping_pong, queue, request_serving, CommWorkload,
+    RequestServingWorkload,
+};
 pub use microbench::{microbench, MicroMode, MicrobenchConfig};
 pub use nas::{all_nas, cg, ep, ft, is, mg, sp, Scale};

@@ -33,7 +33,9 @@ pub enum Scale {
 }
 
 impl Scale {
-    fn pick(self, test: u64, paper: u64) -> u64 {
+    /// Picks the value for this scale (`Test` → `test`, `Paper` →
+    /// `paper`) — the idiom every size-parameterized generator uses.
+    pub fn pick(self, test: u64, paper: u64) -> u64 {
         match self {
             Scale::Test => test,
             Scale::Paper => paper,

@@ -50,7 +50,16 @@ fn main() {
         SysMode::HybridOracle,
         SysMode::CacheBased,
     ] {
-        let (r, mismatches) = run_kernel_verified(&kernel, mode, true).expect("run");
+        let (r, mismatches) = RunSpec::new(&kernel)
+            .mode(mode)
+            .track(true)
+            .verified()
+            .run()
+            .map(|out| {
+                let m = out.verify_mismatches.expect("verified run");
+                (out.into_single(), m)
+            })
+            .expect("run");
         println!(
             "{:16}: {:>9} cycles, IPC {:.2}, AMAT {:.2}, directory accesses {:>6}, \
              violations {}, memory mismatches {}",

@@ -41,8 +41,18 @@ fn main() {
     kb.end_loop();
     let kernel = kb.build().unwrap();
 
-    let hybrid = run_kernel(&kernel, SysMode::HybridCoherent, false).unwrap();
-    let cache = run_kernel(&kernel, SysMode::CacheBased, false).unwrap();
+    let hybrid = RunSpec::new(&kernel)
+        .mode(SysMode::HybridCoherent)
+        .track(false)
+        .run()
+        .map(RunOutcome::into_single)
+        .unwrap();
+    let cache = RunSpec::new(&kernel)
+        .mode(SysMode::CacheBased)
+        .track(false)
+        .run()
+        .map(RunOutcome::into_single)
+        .unwrap();
     println!("SpMV, {} rows, x of {} elements:", rows, x_len);
     println!(
         "  hybrid coherent : {:>9} cycles (AMAT {:.2}, {} guarded gathers via the directory)",

@@ -1,32 +1,38 @@
-//! Experiment drivers: one function per paper table/figure.
+//! Experiment drivers: one function per paper table/figure, plus the
+//! communication-workload and request-serving drivers.
 //!
 //! The bench harness binaries (`hsim-bench`) print these results in the
 //! paper's format; the integration tests assert the qualitative shapes
 //! at small scale. Each driver compiles the workload for the modes it
 //! compares, runs the machine(s), and returns structured rows.
 //!
-//! Two execution back ends exist for every sweep:
+//! **Running kernels.** [`RunSpec`] is the single entry point for
+//! simulating kernels: a builder that covers every machine shape —
+//! single core, sharded homogeneous multicore, heterogeneous tiles with
+//! weighted shards, per-core kernel sets (communication workloads),
+//! clustered machines — plus verification against the reference
+//! interpreter and host-time profiling. The legacy `run_kernel_*`
+//! functions survive as thin `#[deprecated]` wrappers, pinned
+//! bit-identical to the builder by a regression test.
 //!
-//! * the original sequential drivers ([`fig7`], [`fig8`],
-//!   [`compare_systems`]), and
-//! * `_parallel` variants that fan the independent simulations across
-//!   host threads with [`parallel_map`] — same results (each simulation
-//!   is deterministic and self-contained), a fraction of the wall-clock
-//!   on multi-core hosts.
-//!
-//! [`run_kernel_multi`] is the multicore entry point: it shards one
-//! kernel across `n` simulated cores and runs them lock-step on a shared
-//! L3/DRAM backside (one *simulated* machine — unrelated to the host
-//! threading above).
+//! **Sweeps.** Every sweep driver takes a [`Parallelism`] knob:
+//! `Serial` runs the independent simulation points sequentially,
+//! `HostThreads` fans them across host threads with [`parallel_map`] —
+//! same results either way (each point is deterministic and
+//! self-contained), a fraction of the wall-clock on multi-core hosts.
+//! This host threading is unrelated to the *simulated* multicore: one
+//! sweep point may itself be an N-core [`MultiMachine`].
 
 use crate::cluster::{
     cross_cluster_fallbacks, run_clusters, ClusterConfig, ClusterError, ClusterRunReport,
 };
 use crate::machine::{Machine, MachineConfig, MultiMachine, SysMode};
-use crate::metrics::{MultiRunReport, RunReport};
+use crate::metrics::{LatencyHistogram, MultiRunReport, RequestServingReport, RunReport};
 use hsim_compiler::{compile, compile_with_lm, interpret, CompiledKernel, Kernel, ShardError};
+use hsim_core::config::CoherenceMode;
 use hsim_core::pipeline::SimError;
-use hsim_workloads::{microbench, MicroMode, MicrobenchConfig};
+use hsim_workloads::comm as commw;
+use hsim_workloads::{microbench, MicroMode, MicrobenchConfig, Scale};
 
 /// Runs `f` over `items` on a pool of host threads (scoped; no
 /// dependencies beyond `std`) and returns the outputs in input order.
@@ -77,184 +83,564 @@ where
         .collect()
 }
 
+/// How a sweep driver executes its independent simulation points. The
+/// results are identical either way — every point is deterministic and
+/// self-contained — so this is purely a wall-clock knob.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Parallelism {
+    /// Points run sequentially on the calling thread.
+    #[default]
+    Serial,
+    /// Points fan out across host threads via [`parallel_map`]
+    /// (`min(available_parallelism, points)` workers).
+    HostThreads,
+}
+
+impl Parallelism {
+    /// Maps `f` over `items` under this execution policy, preserving
+    /// input order.
+    pub fn map<I, O, F>(self, items: Vec<I>, f: F) -> Vec<O>
+    where
+        I: Send,
+        O: Send,
+        F: Fn(I) -> O + Sync,
+    {
+        match self {
+            Parallelism::Serial => items.into_iter().map(f).collect(),
+            Parallelism::HostThreads => parallel_map(items, f),
+        }
+    }
+}
+
+/// What one [`RunSpec::run`] produced. Exactly one of `single`,
+/// `multi`, `clusters` is populated, matching the machine shape the
+/// spec requested; `profile` and `verify_mismatches` accompany them
+/// when profiling/verification was enabled.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// The report of a single-machine run ([`RunSpec::new`] without
+    /// [`RunSpec::cores`]).
+    pub single: Option<RunReport>,
+    /// The report of a flat multicore run (sharded, heterogeneous or
+    /// per-core kernel sets).
+    pub multi: Option<MultiRunReport>,
+    /// The report of a clustered run ([`RunSpec::clustered`]).
+    pub clusters: Option<ClusterRunReport>,
+    /// Host-time attribution when [`RunSpec::profiled`] was set.
+    pub profile: Option<hsim_core::HostProfile>,
+    /// Mismatching array elements against the reference interpreter
+    /// when [`RunSpec::verified`] was set (0 = clean).
+    pub verify_mismatches: Option<usize>,
+}
+
+impl RunOutcome {
+    /// The single-machine report; panics if the spec built a multicore
+    /// or clustered machine.
+    pub fn into_single(self) -> RunReport {
+        self.single
+            .expect("this RunSpec built a single-core machine")
+    }
+
+    /// The flat-multicore report; panics if the spec built a
+    /// single-core or clustered machine.
+    pub fn into_multi(self) -> MultiRunReport {
+        self.multi
+            .expect("this RunSpec built a flat multicore machine")
+    }
+
+    /// The clustered report; panics unless the spec was clustered.
+    pub fn into_clusters(self) -> ClusterRunReport {
+        self.clusters
+            .expect("this RunSpec built a clustered machine")
+    }
+}
+
+/// The one way to run kernels: a builder covering every machine shape
+/// the simulator supports.
+///
+/// ```
+/// use hsim::prelude::*;
+///
+/// let mut kb = KernelBuilder::new("axpy");
+/// let a = kb.array_f64("a", 1024);
+/// kb.begin_loop(1024);
+/// let ra = kb.ref_affine(a, 1, 0);
+/// kb.stmt(ra, Expr::add(Expr::Ref(ra), Expr::ConstF(1.0)));
+/// kb.end_loop();
+/// let kernel = kb.build().unwrap();
+///
+/// // Single core, default hybrid-coherent machine.
+/// let r = RunSpec::new(&kernel).run().unwrap().into_single();
+/// assert!(r.cycles > 0);
+///
+/// // The same kernel sharded across 2 cores of one machine.
+/// let m = RunSpec::new(&kernel).cores(2).run().unwrap().into_multi();
+/// assert_eq!(m.n_cores(), 2);
+/// ```
+///
+/// Machine shapes, by builder calls:
+///
+/// | calls | machine |
+/// |---|---|
+/// | `new(k)` | one [`Machine`] |
+/// | `new(k).cores(n)` | `k` sharded over an n-core [`MultiMachine`] (note: `cores(1)` still builds the 1-core *multicore* machine — shared-L3 port arbitration included — exactly like the legacy `run_kernel_multi(k, 1, ..)`) |
+/// | `new(k).hetero(cfgs)` | weighted shards on per-tile configurations |
+/// | `many(&kernels)` | one kernel **per core** (communication workloads) |
+/// | `...clustered(topo)` | epoch-synchronized clusters |
+///
+/// Configuration: [`RunSpec::mode`]/[`RunSpec::track`] adjust the
+/// default machine; [`RunSpec::config`] replaces it wholesale
+/// (`track` still applies afterwards). [`RunSpec::profiled`] attributes
+/// host time; [`RunSpec::verified`] checks the final memory image
+/// against the reference interpreter (single-machine shapes only).
+#[derive(Clone)]
+pub struct RunSpec<'a> {
+    single: Option<&'a Kernel>,
+    many: Option<&'a [Kernel]>,
+    cores: Option<usize>,
+    mode: SysMode,
+    track: Option<bool>,
+    cfg: Option<MachineConfig>,
+    hetero: Option<Vec<MachineConfig>>,
+    weights: Option<Vec<u64>>,
+    cluster: Option<ClusterConfig>,
+    profiled: bool,
+    verified: bool,
+}
+
+impl<'a> RunSpec<'a> {
+    /// A spec running `kernel` — on one core until [`RunSpec::cores`] /
+    /// [`RunSpec::hetero`] / [`RunSpec::clustered`] reshape it.
+    pub fn new(kernel: &'a Kernel) -> Self {
+        RunSpec {
+            single: Some(kernel),
+            many: None,
+            cores: None,
+            mode: SysMode::HybridCoherent,
+            track: None,
+            cfg: None,
+            hetero: None,
+            weights: None,
+            cluster: None,
+            profiled: false,
+            verified: false,
+        }
+    }
+
+    /// A spec running one kernel **per core**: `kernels[i]` on tile
+    /// `i`. This is the communication-workload shape — the kernels may
+    /// deliberately overlap on `mark_comm`ed arrays, which are
+    /// registered as directory-tracked shared ranges (diverging comm
+    /// layouts are a hard [`ShardError::CommLayoutDiverged`]).
+    pub fn many(kernels: &'a [Kernel]) -> Self {
+        let mut s = RunSpec::new(&kernels[0]);
+        s.single = None;
+        s.many = Some(kernels);
+        s
+    }
+
+    /// Shards the kernel across `n` cores of one [`MultiMachine`].
+    /// `cores(1)` builds the 1-core multicore machine (shared-L3 port
+    /// arbitration included), *not* the plain single machine — the
+    /// distinction the scaling baselines rely on.
+    pub fn cores(mut self, n: usize) -> Self {
+        self.cores = Some(n);
+        self
+    }
+
+    /// Selects the [`SysMode`] of the default machine configuration
+    /// (ignored after [`RunSpec::config`]).
+    pub fn mode(mut self, mode: SysMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Enables/disables the runtime coherence tracker (applies on top
+    /// of [`RunSpec::config`] too).
+    pub fn track(mut self, track: bool) -> Self {
+        self.track = Some(track);
+        self
+    }
+
+    /// Replaces the machine configuration wholesale (all tiles on
+    /// homogeneous shapes).
+    pub fn config(mut self, cfg: MachineConfig) -> Self {
+        self.cfg = Some(cfg);
+        self
+    }
+
+    /// Per-tile machine configurations: with [`RunSpec::new`] the
+    /// kernel is shard-weighted across `cfgs.len()` tiles (see
+    /// [`RunSpec::weights`]); with [`RunSpec::many`] tile `i` runs
+    /// `kernels[i]` under `cfgs[i]`.
+    pub fn hetero(mut self, cfgs: Vec<MachineConfig>) -> Self {
+        self.hetero = Some(cfgs);
+        self
+    }
+
+    /// Per-tile iteration weights for the heterogeneous sharded shape
+    /// (defaults to even shares). One weight per tile.
+    pub fn weights(mut self, weights: &[u64]) -> Self {
+        self.weights = Some(weights.to_vec());
+        self
+    }
+
+    /// Runs on a clustered machine: the kernel is sharded two-level
+    /// across `cluster.topology` (or, with [`RunSpec::many`], kernel
+    /// `i` runs on core `i % cores_per_cluster` of cluster
+    /// `i / cores_per_cluster`), each cluster owning its backside
+    /// slice, epoch-synchronized ([`crate::cluster::run_clusters`]).
+    pub fn clustered(mut self, cluster: &ClusterConfig) -> Self {
+        self.cluster = Some(cluster.clone());
+        self
+    }
+
+    /// Attributes host time to scheduler phases
+    /// ([`hsim_core::HostProfile`]); simulated results are
+    /// bit-identical to the unprofiled run. Not supported on clustered
+    /// shapes.
+    pub fn profiled(mut self) -> Self {
+        self.profiled = true;
+        self
+    }
+
+    /// Also checks the final memory image against the reference
+    /// interpreter ([`RunOutcome::verify_mismatches`]). Single-machine
+    /// shapes only.
+    pub fn verified(mut self) -> Self {
+        self.verified = true;
+        self
+    }
+
+    fn effective_cfg(&self) -> MachineConfig {
+        let mut cfg = self
+            .cfg
+            .clone()
+            .unwrap_or_else(|| MachineConfig::for_mode(self.mode));
+        if let Some(track) = self.track {
+            cfg.track_coherence = track;
+        }
+        cfg
+    }
+
+    /// Builds the machine the spec describes, runs it, and returns the
+    /// outcome. Sharding failures (including diverging comm-array
+    /// layouts) surface as [`MultiRunError::Shard`].
+    pub fn run(self) -> Result<RunOutcome, MultiRunError> {
+        let cfg = self.effective_cfg();
+        let mut out = RunOutcome {
+            single: None,
+            multi: None,
+            clusters: None,
+            profile: None,
+            verify_mismatches: None,
+        };
+        if self.cluster.is_some() {
+            assert!(
+                !self.profiled && !self.verified,
+                "profiled/verified clustered runs are not supported"
+            );
+            out.clusters = Some(self.run_clustered_shape(&cfg)?);
+            return Ok(out);
+        }
+        if let Some(kernels) = self.many {
+            assert!(
+                self.weights.is_none(),
+                "weights shard a single kernel; RunSpec::many runs one kernel per core"
+            );
+            assert!(!self.verified, "verification covers single-machine shapes");
+            let cfgs = self
+                .hetero
+                .clone()
+                .unwrap_or_else(|| vec![cfg.clone(); kernels.len()]);
+            assert_eq!(cfgs.len(), kernels.len(), "one configuration per kernel");
+            let compiled: Vec<(CompiledKernel, Kernel)> = kernels
+                .iter()
+                .zip(&cfgs)
+                .map(|(k, c)| (compile_for_tile(k, c), k.clone()))
+                .collect();
+            let mut m = MultiMachine::try_for_kernels_hetero(cfgs, &compiled)?;
+            out.profile = run_multi(&mut m, self.profiled)?;
+            let cks: Vec<_> = compiled.into_iter().map(|(ck, _)| ck).collect();
+            out.multi = Some(MultiRunReport::collect(&m, &cks));
+            return Ok(out);
+        }
+        let kernel = self.single.expect("RunSpec always holds kernels");
+        if self.hetero.is_some() || self.weights.is_some() {
+            assert!(!self.verified, "verification covers single-machine shapes");
+            let cfgs = self
+                .hetero
+                .clone()
+                .unwrap_or_else(|| vec![cfg.clone(); self.weights.as_ref().unwrap().len()]);
+            let weights = self.weights.clone().unwrap_or_else(|| vec![1; cfgs.len()]);
+            assert_eq!(cfgs.len(), weights.len(), "one weight per tile");
+            let shards = kernel.shard_weighted(&weights)?;
+            let compiled: Vec<(CompiledKernel, Kernel)> = shards
+                .into_iter()
+                .zip(&cfgs)
+                .map(|(s, c)| {
+                    let ck = compile_for_tile(&s, c);
+                    (ck, s)
+                })
+                .collect();
+            let mut m = MultiMachine::try_for_kernels_hetero(cfgs, &compiled)?;
+            out.profile = run_multi(&mut m, self.profiled)?;
+            let cks: Vec<_> = compiled.into_iter().map(|(ck, _)| ck).collect();
+            out.multi = Some(MultiRunReport::collect(&m, &cks));
+            return Ok(out);
+        }
+        if let Some(n) = self.cores {
+            assert!(!self.verified, "verification covers single-machine shapes");
+            let shards = kernel.shard(n)?;
+            let compiled: Vec<_> = shards
+                .iter()
+                .map(|s| (compile(s, cfg.mode.codegen()), s.clone()))
+                .collect();
+            let mut m = MultiMachine::try_for_kernels_hetero(vec![cfg; n], &compiled)?;
+            out.profile = run_multi(&mut m, self.profiled)?;
+            let cks: Vec<_> = compiled.into_iter().map(|(ck, _)| ck).collect();
+            out.multi = Some(MultiRunReport::collect(&m, &cks));
+            return Ok(out);
+        }
+        // Single machine.
+        let ck = compile(kernel, cfg.mode.codegen());
+        let mut m = Machine::for_kernel(cfg, &ck, kernel);
+        if self.profiled {
+            let mut prof = hsim_core::HostProfile::default();
+            m.run_profiled(&mut prof).map_err(MultiRunError::Sim)?;
+            out.profile = Some(prof);
+        } else {
+            m.run().map_err(MultiRunError::Sim)?;
+        }
+        let report = RunReport::collect(&m, &ck);
+        if self.verified {
+            let want = interpret(kernel).expect("kernel must interpret");
+            let mut mismatches = 0;
+            for (id, expect) in want.iter().enumerate() {
+                let got = m.read_array(&ck, kernel, id);
+                mismatches += got.iter().zip(expect).filter(|(g, w)| g != w).count();
+            }
+            out.verify_mismatches = Some(mismatches);
+        }
+        out.single = Some(report);
+        Ok(out)
+    }
+
+    fn run_clustered_shape(&self, cfg: &MachineConfig) -> Result<ClusterRunReport, MultiRunError> {
+        let cluster = self.cluster.as_ref().expect("clustered shape");
+        let topo = cluster.topology;
+        let (shards, fallbacks): (Vec<Vec<(CompiledKernel, Kernel)>>, u64) = match self.many {
+            None => {
+                let kernel = self.single.expect("RunSpec always holds kernels");
+                let sliced = kernel.shard_clustered(topo.clusters, topo.cores_per_cluster)?;
+                let shards = sliced
+                    .into_iter()
+                    .map(|superslice| {
+                        superslice
+                            .into_iter()
+                            .map(|s| (compile(&s, cfg.mode.codegen()), s))
+                            .collect()
+                    })
+                    .collect();
+                (shards, cross_cluster_fallbacks(kernel, topo.clusters))
+            }
+            Some(kernels) => {
+                // One kernel per core, grouped cluster-major. Comm sets
+                // are built with cluster-local pairs, so there is
+                // nothing to replicate across clusters: another
+                // cluster's comm arrays are declared (layout agreement)
+                // but never touched.
+                assert_eq!(
+                    kernels.len(),
+                    topo.clusters * topo.cores_per_cluster,
+                    "one kernel per core of the clustered machine"
+                );
+                let shards = kernels
+                    .chunks(topo.cores_per_cluster)
+                    .map(|chunk| {
+                        chunk
+                            .iter()
+                            .map(|k| (compile_for_tile(k, cfg), k.clone()))
+                            .collect()
+                    })
+                    .collect();
+                (shards, 0)
+            }
+        };
+        Ok(run_clusters(cfg, cluster, &shards, fallbacks)?)
+    }
+}
+
+/// Advances a built multicore machine to completion, profiled or not.
+fn run_multi(
+    m: &mut MultiMachine,
+    profiled: bool,
+) -> Result<Option<hsim_core::HostProfile>, MultiRunError> {
+    if profiled {
+        let mut prof = hsim_core::HostProfile::default();
+        m.run_profiled(&mut prof).map_err(MultiRunError::Sim)?;
+        Ok(Some(prof))
+    } else {
+        m.run().map_err(MultiRunError::Sim)?;
+        Ok(None)
+    }
+}
+
+/// Unwraps the only error a non-sharded, non-clustered run can hit.
+fn expect_sim(e: MultiRunError) -> SimError {
+    match e {
+        MultiRunError::Sim(e) => e,
+        other => unreachable!("this run can only fail in simulation: {other}"),
+    }
+}
+
 /// Compiles `kernel` for `mode`, runs it, and reports.
+#[deprecated(note = "use RunSpec::new(kernel).mode(mode).track(track).run()")]
 pub fn run_kernel(kernel: &Kernel, mode: SysMode, track: bool) -> Result<RunReport, SimError> {
-    let mut cfg = MachineConfig::for_mode(mode);
-    cfg.track_coherence = track;
-    run_kernel_with(kernel, cfg)
+    RunSpec::new(kernel)
+        .mode(mode)
+        .track(track)
+        .run()
+        .map(RunOutcome::into_single)
+        .map_err(expect_sim)
 }
 
 /// The configurable sibling of [`run_kernel`]: compiles `kernel` for
-/// `cfg.mode` and runs it on a machine built from `cfg`. Used by the
-/// cycle-skip equivalence tests (`cfg.with_lockstep()`) and the
-/// `simspeed` bench.
+/// `cfg.mode` and runs it on a machine built from `cfg`.
+#[deprecated(note = "use RunSpec::new(kernel).config(cfg).run()")]
 pub fn run_kernel_with(kernel: &Kernel, cfg: MachineConfig) -> Result<RunReport, SimError> {
-    let ck = compile(kernel, cfg.mode.codegen());
-    let mut m = Machine::for_kernel(cfg, &ck, kernel);
-    m.run()?;
-    Ok(RunReport::collect(&m, &ck))
+    RunSpec::new(kernel)
+        .config(cfg)
+        .run()
+        .map(RunOutcome::into_single)
+        .map_err(expect_sim)
 }
 
 /// Runs `kernel` in `mode` and also checks the final memory image
 /// against the reference interpreter. Returns the report and the number
 /// of mismatching array elements.
+#[deprecated(note = "use RunSpec::new(kernel).mode(mode).track(track).verified().run()")]
 pub fn run_kernel_verified(
     kernel: &Kernel,
     mode: SysMode,
     track: bool,
 ) -> Result<(RunReport, usize), SimError> {
-    let ck = compile(kernel, mode.codegen());
-    let mut cfg = MachineConfig::for_mode(mode);
-    cfg.track_coherence = track;
-    let mut m = Machine::for_kernel(cfg, &ck, kernel);
-    m.run()?;
-    let report = RunReport::collect(&m, &ck);
-    let want = interpret(kernel).expect("kernel must interpret");
-    let mut mismatches = 0;
-    for (id, expect) in want.iter().enumerate() {
-        let got = m.read_array(&ck, kernel, id);
-        mismatches += got.iter().zip(expect).filter(|(g, w)| g != w).count();
-    }
-    Ok((report, mismatches))
+    let out = RunSpec::new(kernel)
+        .mode(mode)
+        .track(track)
+        .verified()
+        .run()
+        .map_err(expect_sim)?;
+    let mismatches = out.verify_mismatches.expect("verified run");
+    Ok((out.into_single(), mismatches))
 }
 
 /// Shards `kernel` across `n_cores` simulated cores and runs them as one
 /// lock-step machine on a shared L3/DRAM backside (see
-/// [`MultiMachine`]). Each core gets its disjoint iteration slice
-/// compiled for `mode`; the coherence hardware stays per core.
+/// [`MultiMachine`]).
+#[deprecated(note = "use RunSpec::new(kernel).cores(n).mode(mode).track(track).run()")]
 pub fn run_kernel_multi(
     kernel: &Kernel,
     n_cores: usize,
     mode: SysMode,
     track: bool,
 ) -> Result<MultiRunReport, MultiRunError> {
-    let mut cfg = MachineConfig::for_mode(mode);
-    cfg.track_coherence = track;
-    run_kernel_multi_with(kernel, n_cores, cfg)
+    RunSpec::new(kernel)
+        .cores(n_cores)
+        .mode(mode)
+        .track(track)
+        .run()
+        .map(RunOutcome::into_multi)
 }
 
 /// The configurable sibling of [`run_kernel_multi`]: shards `kernel`
 /// across `n_cores` tiles built from `cfg` (compiling for `cfg.mode`).
+#[deprecated(note = "use RunSpec::new(kernel).cores(n).config(cfg).run()")]
 pub fn run_kernel_multi_with(
     kernel: &Kernel,
     n_cores: usize,
     cfg: MachineConfig,
 ) -> Result<MultiRunReport, MultiRunError> {
-    let shards = kernel.shard(n_cores)?;
-    let compiled: Vec<_> = shards
-        .iter()
-        .map(|s| (compile(s, cfg.mode.codegen()), s.clone()))
-        .collect();
-    let mut m = MultiMachine::for_kernels(cfg, &compiled);
-    m.run()?;
-    let cks: Vec<_> = compiled.into_iter().map(|(ck, _)| ck).collect();
-    Ok(MultiRunReport::collect(&m, &cks))
+    RunSpec::new(kernel)
+        .cores(n_cores)
+        .config(cfg)
+        .run()
+        .map(RunOutcome::into_multi)
 }
 
-/// [`run_kernel_with`] with host-time attribution: runs the same
-/// simulation under [`Machine::run_profiled`], charging every host
-/// second to a scheduler phase (tick / horizon scan / bulk advance) in
-/// the returned [`hsim_core::HostProfile`]. The simulated results are
-/// bit-identical to the unprofiled run — profiling only adds host-side
-/// clocks around phases the scheduler already executes.
+/// [`run_kernel_with`] with host-time attribution (see
+/// [`RunSpec::profiled`]). The simulated results are bit-identical to
+/// the unprofiled run.
+#[deprecated(note = "use RunSpec::new(kernel).config(cfg).profiled().run()")]
 pub fn run_kernel_profiled(
     kernel: &Kernel,
     cfg: MachineConfig,
 ) -> Result<(RunReport, hsim_core::HostProfile), SimError> {
-    let ck = compile(kernel, cfg.mode.codegen());
-    let mut m = Machine::for_kernel(cfg, &ck, kernel);
-    let mut prof = hsim_core::HostProfile::default();
-    m.run_profiled(&mut prof)?;
-    Ok((RunReport::collect(&m, &ck), prof))
+    let out = RunSpec::new(kernel)
+        .config(cfg)
+        .profiled()
+        .run()
+        .map_err(expect_sim)?;
+    let prof = out.profile.expect("profiled run");
+    Ok((out.into_single(), prof))
 }
 
-/// [`run_kernel_multi_with`] with host-time attribution (see
-/// [`run_kernel_profiled`]); phases are accumulated across all tiles of
-/// the multicore scheduler.
+/// [`run_kernel_multi_with`] with host-time attribution; phases are
+/// accumulated across all tiles of the multicore scheduler.
+#[deprecated(note = "use RunSpec::new(kernel).cores(n).config(cfg).profiled().run()")]
 pub fn run_kernel_multi_profiled(
     kernel: &Kernel,
     n_cores: usize,
     cfg: MachineConfig,
 ) -> Result<(MultiRunReport, hsim_core::HostProfile), MultiRunError> {
-    let shards = kernel.shard(n_cores)?;
-    let compiled: Vec<_> = shards
-        .iter()
-        .map(|s| (compile(s, cfg.mode.codegen()), s.clone()))
-        .collect();
-    let mut m = MultiMachine::for_kernels(cfg, &compiled);
-    let mut prof = hsim_core::HostProfile::default();
-    m.run_profiled(&mut prof)?;
-    let cks: Vec<_> = compiled.into_iter().map(|(ck, _)| ck).collect();
-    Ok((MultiRunReport::collect(&m, &cks), prof))
+    let out = RunSpec::new(kernel)
+        .cores(n_cores)
+        .config(cfg)
+        .profiled()
+        .run()?;
+    let prof = out.profile.expect("profiled run");
+    Ok((out.into_multi(), prof))
 }
 
-/// Shards `kernel` two-level across a clustered machine
-/// ([`hsim_compiler::Kernel::shard_clustered`]) and runs it with the
-/// epoch-synchronized cluster driver ([`crate::cluster::run_clusters`]):
-/// cluster `c` is a [`MultiMachine`] over its superslice's per-core
-/// shards with its **own** L3 + DRAM backside, advanced on its own host
-/// thread (or serially under [`ClusterConfig::serial_clusters`], bit-
-/// identically). Shards are compiled exactly as
-/// [`run_kernel_multi_with`] compiles them, so a 1-cluster run
-/// reproduces the flat multicore machine bit for bit. Cross-cluster
-/// shared arrays fall back to per-cluster replication, counted in the
-/// report's `cross_cluster_fallbacks` — never silently free.
+/// Shards `kernel` two-level across a clustered machine and runs it
+/// with the epoch-synchronized cluster driver (see
+/// [`RunSpec::clustered`]).
+#[deprecated(note = "use RunSpec::new(kernel).clustered(cluster).config(cfg).run()")]
 pub fn run_kernel_clustered(
     kernel: &Kernel,
     cluster: &ClusterConfig,
     cfg: MachineConfig,
 ) -> Result<ClusterRunReport, MultiRunError> {
-    let topo = cluster.topology;
-    let sliced = kernel.shard_clustered(topo.clusters, topo.cores_per_cluster)?;
-    let shards: Vec<Vec<(CompiledKernel, Kernel)>> = sliced
-        .into_iter()
-        .map(|superslice| {
-            superslice
-                .into_iter()
-                .map(|s| (compile(&s, cfg.mode.codegen()), s))
-                .collect()
-        })
-        .collect();
-    let fallbacks = cross_cluster_fallbacks(kernel, topo.clusters);
-    Ok(run_clusters(&cfg, cluster, &shards, fallbacks)?)
+    RunSpec::new(kernel)
+        .clustered(cluster)
+        .config(cfg)
+        .run()
+        .map(RunOutcome::into_clusters)
 }
 
 /// The heterogeneous sibling of [`run_kernel_multi_with`]: shards
 /// `kernel` across `cfgs.len()` tiles, tile `i` built from `cfgs[i]`
-/// with a share of the iterations proportional to `weights[i]`
-/// ([`hsim_compiler::Kernel::shard_weighted`]). Each shard is compiled
-/// for its own tile's `SysMode` and LM budget
-/// ([`hsim_compiler::compile_with_lm`]), so one chip can mix hybrid and
-/// cache-based tiles, or hybrid tiles with different scratchpad sizes,
-/// with iteration counts matched to tile strength. Uniform configs and
-/// weights reproduce [`run_kernel_multi_with`] bit for bit.
+/// with a share of the iterations proportional to `weights[i]`.
+#[deprecated(note = "use RunSpec::new(kernel).hetero(cfgs).weights(weights).run()")]
 pub fn run_kernel_multi_hetero(
     kernel: &Kernel,
     cfgs: &[MachineConfig],
     weights: &[u64],
 ) -> Result<MultiRunReport, MultiRunError> {
     assert_eq!(cfgs.len(), weights.len(), "one weight per tile");
-    let shards = kernel.shard_weighted(weights)?;
-    let compiled: Vec<(CompiledKernel, Kernel)> = shards
-        .into_iter()
-        .zip(cfgs)
-        .map(|(s, cfg)| {
-            let ck = compile_for_tile(&s, cfg);
-            (ck, s)
-        })
-        .collect();
-    let mut m = MultiMachine::for_kernels_hetero(cfgs.to_vec(), &compiled);
-    m.run()?;
-    let cks: Vec<_> = compiled.into_iter().map(|(ck, _)| ck).collect();
-    Ok(MultiRunReport::collect(&m, &cks))
+    RunSpec::new(kernel)
+        .hetero(cfgs.to_vec())
+        .weights(weights)
+        .run()
+        .map(RunOutcome::into_multi)
 }
 
 /// Compiles one shard for one tile of a heterogeneous machine: for the
 /// tile's `SysMode`, against the tile's own LM budget when it has a
 /// local memory (`compile_with_lm`), plainly otherwise. The single
-/// compile policy shared by [`run_kernel_multi_hetero`], the hetero
-/// integration tests and the examples — change it here and every
-/// hetero machine follows.
+/// compile policy shared by every heterogeneous and per-core-kernel
+/// machine [`RunSpec`] builds — change it here and every such machine
+/// follows.
 pub fn compile_for_tile(shard: &Kernel, cfg: &MachineConfig) -> CompiledKernel {
     match cfg.mem.lm.as_ref() {
         Some(lm) => compile_with_lm(shard, cfg.mode.codegen(), lm.size_bytes),
@@ -269,7 +655,9 @@ pub fn compile_for_tile(shard: &Kernel, cfg: &MachineConfig) -> CompiledKernel {
 /// partial reports attached.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum MultiRunError {
-    /// The kernel could not be sharded.
+    /// The kernel could not be sharded, or a communication array's
+    /// layouts diverged across the per-core kernels
+    /// ([`ShardError::CommLayoutDiverged`]).
     Shard(ShardError),
     /// A core's simulation failed.
     Sim(SimError),
@@ -347,7 +735,10 @@ fn fig7_point(n: u64, mode: MicroMode, pct: u32, base: &RunReport) -> Result<Fig
         guarded_pct: pct,
         n,
     });
-    let r = run_kernel(&k, SysMode::HybridCoherent, false)?;
+    let r = RunSpec::new(&k)
+        .run()
+        .map(RunOutcome::into_single)
+        .map_err(expect_sim)?;
     let base_work = base.phase(hsim_isa::Phase::Work).max(1) as f64;
     Ok(Fig7Point {
         mode,
@@ -364,27 +755,20 @@ fn fig7_baseline(n: u64) -> Result<RunReport, SimError> {
         guarded_pct: 0,
         n,
     });
-    run_kernel(&base_kernel, SysMode::HybridCoherent, false)
+    RunSpec::new(&base_kernel)
+        .run()
+        .map(RunOutcome::into_single)
+        .map_err(expect_sim)
 }
 
 /// Figure 7: microbenchmark overhead as the share of guarded references
 /// grows, for the RD / WR / RD+WR modes. `n` is the iteration count;
-/// `step` the sweep step in percent (multiple of 10).
-pub fn fig7(n: u64, step: u32) -> Result<Vec<Fig7Point>, SimError> {
+/// `step` the sweep step in percent (multiple of 10). The baseline runs
+/// first (every point normalizes against it), then every (mode, pct)
+/// point is an independent job under `par`.
+pub fn fig7(n: u64, step: u32, par: Parallelism) -> Result<Vec<Fig7Point>, SimError> {
     let base = fig7_baseline(n)?;
-    fig7_points(step)
-        .into_iter()
-        .map(|(mode, pct)| fig7_point(n, mode, pct, &base))
-        .collect()
-}
-
-/// [`fig7`] with the sweep points fanned across host threads. The
-/// baseline runs first (every point normalizes against it), then every
-/// (mode, pct) point is an independent job. Results are identical to the
-/// sequential driver.
-pub fn fig7_parallel(n: u64, step: u32) -> Result<Vec<Fig7Point>, SimError> {
-    let base = fig7_baseline(n)?;
-    parallel_map(fig7_points(step), |(mode, pct)| {
+    par.map(fig7_points(step), |(mode, pct)| {
         fig7_point(n, mode, pct, &base)
     })
     .into_iter()
@@ -409,8 +793,15 @@ pub struct Fig8Row {
 
 /// Runs one benchmark on the coherent and oracle machines.
 fn fig8_row(k: &Kernel) -> Result<Fig8Row, SimError> {
-    let coherent = run_kernel(k, SysMode::HybridCoherent, false)?;
-    let oracle = run_kernel(k, SysMode::HybridOracle, false)?;
+    let run = |mode: SysMode| {
+        RunSpec::new(k)
+            .mode(mode)
+            .run()
+            .map(RunOutcome::into_single)
+            .map_err(expect_sim)
+    };
+    let coherent = run(SysMode::HybridCoherent)?;
+    let oracle = run(SysMode::HybridOracle)?;
     Ok(Fig8Row {
         name: k.name.clone(),
         time_ratio: coherent.cycles as f64 / oracle.cycles as f64,
@@ -420,15 +811,10 @@ fn fig8_row(k: &Kernel) -> Result<Fig8Row, SimError> {
     })
 }
 
-/// Figure 8: hybrid-coherent vs hybrid-oracle on the given kernels.
-pub fn fig8(kernels: &[Kernel]) -> Result<Vec<Fig8Row>, SimError> {
-    kernels.iter().map(fig8_row).collect()
-}
-
-/// [`fig8`] with one host job per benchmark (each runs its coherent and
-/// oracle machines). Results are identical to the sequential driver.
-pub fn fig8_parallel(kernels: &[Kernel]) -> Result<Vec<Fig8Row>, SimError> {
-    parallel_map(kernels.iter().collect(), fig8_row)
+/// Figure 8: hybrid-coherent vs hybrid-oracle on the given kernels, one
+/// job per benchmark under `par`.
+pub fn fig8(kernels: &[Kernel], par: Parallelism) -> Result<Vec<Fig8Row>, SimError> {
+    par.map(kernels.iter().collect(), fig8_row)
         .into_iter()
         .collect()
 }
@@ -456,8 +842,15 @@ pub struct ComparisonRow {
 
 /// Runs one benchmark on the hybrid-coherent and cache-based machines.
 fn comparison_row(k: &Kernel) -> Result<ComparisonRow, SimError> {
-    let hybrid = run_kernel(k, SysMode::HybridCoherent, false)?;
-    let cache = run_kernel(k, SysMode::CacheBased, false)?;
+    let run = |mode: SysMode| {
+        RunSpec::new(k)
+            .mode(mode)
+            .run()
+            .map(RunOutcome::into_single)
+            .map_err(expect_sim)
+    };
+    let hybrid = run(SysMode::HybridCoherent)?;
+    let cache = run(SysMode::CacheBased)?;
     let denom = cache.cycles.max(1) as f64;
     Ok(ComparisonRow {
         name: k.name.clone(),
@@ -475,15 +868,13 @@ fn comparison_row(k: &Kernel) -> Result<ComparisonRow, SimError> {
     })
 }
 
-/// Figures 9/10 + Table 3: runs both systems on each kernel.
-pub fn compare_systems(kernels: &[Kernel]) -> Result<Vec<ComparisonRow>, SimError> {
-    kernels.iter().map(comparison_row).collect()
-}
-
-/// [`compare_systems`] with one host job per benchmark. Results are
-/// identical to the sequential driver.
-pub fn compare_systems_parallel(kernels: &[Kernel]) -> Result<Vec<ComparisonRow>, SimError> {
-    parallel_map(kernels.iter().collect(), comparison_row)
+/// Figures 9/10 + Table 3: runs both systems on each kernel, one job
+/// per benchmark under `par`.
+pub fn compare_systems(
+    kernels: &[Kernel],
+    par: Parallelism,
+) -> Result<Vec<ComparisonRow>, SimError> {
+    par.map(kernels.iter().collect(), comparison_row)
         .into_iter()
         .collect()
 }
@@ -526,12 +917,17 @@ fn backside_point(
 ) -> Result<Option<BacksideSweepRow>, SimError> {
     let cfg = MachineConfig::for_mode(mode);
     let (per_core, makespan) = if cores == 1 {
-        let r = run_kernel_with(kernel, cfg)?;
+        let r = RunSpec::new(kernel)
+            .config(cfg)
+            .run()
+            .map(RunOutcome::into_single)
+            .map_err(expect_sim)?;
         let makespan = r.cycles;
         (vec![r], makespan)
     } else {
-        match run_kernel_multi_with(kernel, cores, cfg) {
-            Ok(m) => {
+        match RunSpec::new(kernel).cores(cores).config(cfg).run() {
+            Ok(out) => {
+                let m = out.into_multi();
                 let makespan = m.makespan;
                 (m.per_core, makespan)
             }
@@ -569,35 +965,18 @@ fn backside_point(
 /// Backside-sensitivity sweep: row-buffer locality and L3 bank
 /// contention for every kernel × core-count point, on the default
 /// (banked, row-aware) backside. Points a kernel cannot shard to are
-/// skipped.
+/// skipped; one job per point under `par`.
 pub fn backside_sweep(
     kernels: &[Kernel],
     core_counts: &[usize],
     mode: SysMode,
-) -> Result<Vec<BacksideSweepRow>, SimError> {
-    let mut rows = Vec::new();
-    for k in kernels {
-        for &cores in core_counts {
-            if let Some(row) = backside_point(k, cores, mode)? {
-                rows.push(row);
-            }
-        }
-    }
-    Ok(rows)
-}
-
-/// [`backside_sweep`] with one host job per (kernel, core-count) point.
-/// Results are identical to the sequential driver.
-pub fn backside_sweep_parallel(
-    kernels: &[Kernel],
-    core_counts: &[usize],
-    mode: SysMode,
+    par: Parallelism,
 ) -> Result<Vec<BacksideSweepRow>, SimError> {
     let points: Vec<(&Kernel, usize)> = kernels
         .iter()
         .flat_map(|k| core_counts.iter().map(move |&c| (k, c)))
         .collect();
-    let results = parallel_map(points, |(k, cores)| backside_point(k, cores, mode));
+    let results = par.map(points, |(k, cores)| backside_point(k, cores, mode));
     let mut rows = Vec::new();
     for r in results {
         if let Some(row) = r? {
@@ -644,8 +1023,8 @@ fn scaling_rows_for(
     cfg: &MachineConfig,
 ) -> Result<Vec<ScalingRow>, SimError> {
     let run = |cores: usize| -> Result<Option<MultiRunReport>, SimError> {
-        match run_kernel_multi_with(kernel, cores, cfg.clone()) {
-            Ok(m) => Ok(Some(m)),
+        match RunSpec::new(kernel).cores(cores).config(cfg.clone()).run() {
+            Ok(out) => Ok(Some(out.into_multi())),
             Err(MultiRunError::Shard(_)) => Ok(None),
             Err(MultiRunError::Sim(e)) => Err(e),
             Err(MultiRunError::Cluster(_)) => {
@@ -685,29 +1064,16 @@ fn scaling_rows_for(
 /// The scaling experiment (promoted from the `scaling` bench):
 /// speedup-vs-cores curves per kernel with bus-wait breakdowns, on
 /// machines built from `cfg`. Rows are grouped by kernel, core counts
-/// ascending within a group when `core_counts` is ascending.
+/// ascending within a group when `core_counts` is ascending. One job
+/// per kernel under `par` (each job runs that kernel's whole curve,
+/// since every point normalizes against the kernel's own 1-core run).
 pub fn scaling_sweep(
     kernels: &[Kernel],
     core_counts: &[usize],
     cfg: &MachineConfig,
+    par: Parallelism,
 ) -> Result<Vec<ScalingRow>, SimError> {
-    let mut rows = Vec::new();
-    for k in kernels {
-        rows.extend(scaling_rows_for(k, core_counts, cfg)?);
-    }
-    Ok(rows)
-}
-
-/// [`scaling_sweep`] with one host job per kernel (each job runs that
-/// kernel's whole curve, since every point normalizes against the
-/// kernel's own 1-core run). Results are identical to the sequential
-/// driver.
-pub fn scaling_sweep_parallel(
-    kernels: &[Kernel],
-    core_counts: &[usize],
-    cfg: &MachineConfig,
-) -> Result<Vec<ScalingRow>, SimError> {
-    let per_kernel = parallel_map(kernels.iter().collect(), |k| {
+    let per_kernel = par.map(kernels.iter().collect(), |k| {
         scaling_rows_for(k, core_counts, cfg)
     });
     let mut rows = Vec::new();
@@ -764,13 +1130,12 @@ fn coherence_point(
     cores: usize,
     mode: SysMode,
 ) -> Result<Option<CoherenceSweepRow>, MultiRunError> {
-    use hsim_core::config::CoherenceMode;
     let run = |cm: CoherenceMode| {
-        run_kernel_multi_with(
-            kernel,
-            cores,
-            MachineConfig::for_mode(mode).with_coherence(cm),
-        )
+        RunSpec::new(kernel)
+            .cores(cores)
+            .config(MachineConfig::for_mode(mode).with_coherence(cm))
+            .run()
+            .map(RunOutcome::into_multi)
     };
     let rep = match run(CoherenceMode::Replicate) {
         Ok(m) => m,
@@ -802,35 +1167,18 @@ fn coherence_point(
 
 /// The coherence-mode comparison: every kernel × core-count point run
 /// under `Replicate` and `Mesi` on otherwise identical machines. Points
-/// a kernel cannot shard to are skipped.
+/// a kernel cannot shard to are skipped; one job per point under `par`.
 pub fn coherence_sweep(
     kernels: &[Kernel],
     core_counts: &[usize],
     mode: SysMode,
-) -> Result<Vec<CoherenceSweepRow>, MultiRunError> {
-    let mut rows = Vec::new();
-    for k in kernels {
-        for &cores in core_counts {
-            if let Some(row) = coherence_point(k, cores, mode)? {
-                rows.push(row);
-            }
-        }
-    }
-    Ok(rows)
-}
-
-/// [`coherence_sweep`] with one host job per (kernel, core-count)
-/// point. Results are identical to the sequential driver.
-pub fn coherence_sweep_parallel(
-    kernels: &[Kernel],
-    core_counts: &[usize],
-    mode: SysMode,
+    par: Parallelism,
 ) -> Result<Vec<CoherenceSweepRow>, MultiRunError> {
     let points: Vec<(&Kernel, usize)> = kernels
         .iter()
         .flat_map(|k| core_counts.iter().map(move |&c| (k, c)))
         .collect();
-    let results = parallel_map(points, |(k, cores)| coherence_point(k, cores, mode));
+    let results = par.map(points, |(k, cores)| coherence_point(k, cores, mode));
     let mut rows = Vec::new();
     for r in results {
         if let Some(row) = r? {
@@ -877,15 +1225,15 @@ fn protocol_point(
     cores: usize,
     mode: SysMode,
 ) -> Result<Option<Vec<ProtocolSweepRow>>, MultiRunError> {
-    use hsim_core::config::CoherenceMode;
     let mut rows = Vec::new();
     let mut committed = None;
     for cm in CoherenceMode::ALL {
-        let report = match run_kernel_multi_with(
-            kernel,
-            cores,
-            MachineConfig::for_mode(mode).with_coherence(cm),
-        ) {
+        let report = match RunSpec::new(kernel)
+            .cores(cores)
+            .config(MachineConfig::for_mode(mode).with_coherence(cm))
+            .run()
+            .map(RunOutcome::into_multi)
+        {
             Ok(m) => m,
             Err(MultiRunError::Shard(_)) => return Ok(None),
             Err(e) => return Err(e),
@@ -918,35 +1266,18 @@ fn protocol_point(
 /// The protocol-family comparison: every kernel × core-count point run
 /// under the `Replicate` baseline and all four directory protocols on
 /// otherwise identical machines. Points a kernel cannot shard to are
-/// skipped.
+/// skipped; one job per point under `par`.
 pub fn protocol_sweep(
     kernels: &[Kernel],
     core_counts: &[usize],
     mode: SysMode,
-) -> Result<Vec<ProtocolSweepRow>, MultiRunError> {
-    let mut rows = Vec::new();
-    for k in kernels {
-        for &cores in core_counts {
-            if let Some(point) = protocol_point(k, cores, mode)? {
-                rows.extend(point);
-            }
-        }
-    }
-    Ok(rows)
-}
-
-/// [`protocol_sweep`] with one host job per (kernel, core-count) point.
-/// Results are identical to the sequential driver.
-pub fn protocol_sweep_parallel(
-    kernels: &[Kernel],
-    core_counts: &[usize],
-    mode: SysMode,
+    par: Parallelism,
 ) -> Result<Vec<ProtocolSweepRow>, MultiRunError> {
     let points: Vec<(&Kernel, usize)> = kernels
         .iter()
         .flat_map(|k| core_counts.iter().map(move |&c| (k, c)))
         .collect();
-    let results = parallel_map(points, |(k, cores)| protocol_point(k, cores, mode));
+    let results = par.map(points, |(k, cores)| protocol_point(k, cores, mode));
     let mut rows = Vec::new();
     for r in results {
         if let Some(point) = r? {
@@ -1048,7 +1379,12 @@ fn hetero_point(
     cfgs: &[MachineConfig],
     weights: &[u64],
 ) -> Result<Option<HeteroSweepRow>, SimError> {
-    let m = match run_kernel_multi_hetero(kernel, cfgs, weights) {
+    let m = match RunSpec::new(kernel)
+        .hetero(cfgs.to_vec())
+        .weights(weights)
+        .run()
+        .map(RunOutcome::into_multi)
+    {
         Ok(m) => m,
         Err(MultiRunError::Shard(_)) => return Ok(None),
         Err(MultiRunError::Sim(e)) => return Err(e),
@@ -1082,34 +1418,20 @@ fn hetero_point(
 /// The heterogeneous-chip sweep: every kernel × machine shape (see
 /// `hetero_shapes`) at one core count. The all-hybrid shape (`"4H+0C"`)
 /// is built from default configurations, so it reproduces the
-/// homogeneous [`run_kernel_multi_with`] machine bit for bit — the
-/// anchor the mixed shapes are compared against. Shapes a kernel
-/// cannot shard to are skipped.
-pub fn hetero_sweep(kernels: &[Kernel], cores: usize) -> Result<Vec<HeteroSweepRow>, SimError> {
-    let shapes = hetero_shapes(cores);
-    let mut rows = Vec::new();
-    for k in kernels {
-        for (label, cfgs, weights) in &shapes {
-            if let Some(row) = hetero_point(k, label, cfgs, weights)? {
-                rows.push(row);
-            }
-        }
-    }
-    Ok(rows)
-}
-
-/// [`hetero_sweep`] with one host job per (kernel, shape) point.
-/// Results are identical to the sequential driver.
-pub fn hetero_sweep_parallel(
+/// homogeneous sharded machine bit for bit — the anchor the mixed
+/// shapes are compared against. Shapes a kernel cannot shard to are
+/// skipped; one job per (kernel, shape) point under `par`.
+pub fn hetero_sweep(
     kernels: &[Kernel],
     cores: usize,
+    par: Parallelism,
 ) -> Result<Vec<HeteroSweepRow>, SimError> {
     let shapes = hetero_shapes(cores);
     let points: Vec<(&Kernel, &HeteroShape)> = kernels
         .iter()
         .flat_map(|k| shapes.iter().map(move |s| (k, s)))
         .collect();
-    let results = parallel_map(points, |(k, (label, cfgs, weights))| {
+    let results = par.map(points, |(k, (label, cfgs, weights))| {
         hetero_point(k, label, cfgs, weights)
     });
     let mut rows = Vec::new();
@@ -1119,6 +1441,219 @@ pub fn hetero_sweep_parallel(
         }
     }
     Ok(rows)
+}
+
+/// One row of the communication-workload sweep: one workload family at
+/// one core count on one system × inter-core protocol, with the
+/// per-hand-off cost and the directory traffic that produced it.
+#[derive(Clone, Debug)]
+pub struct CommSweepRow {
+    /// Workload family (`"pingpong"`, `"queue"`, `"lock"`,
+    /// `"barrier"`).
+    pub workload: String,
+    /// Simulated core count (pair workloads use `cores/2` pairs).
+    pub cores: usize,
+    /// System mode of every tile.
+    pub mode: SysMode,
+    /// Inter-core protocol name (`"replicate"`, `"msi"`, ...).
+    pub protocol: String,
+    /// Modeled hand-offs per core (the normalization denominator).
+    pub rounds: u64,
+    /// Parallel makespan in cycles.
+    pub makespan: u64,
+    /// Cycles per hand-off: `makespan / rounds` — the round-trip
+    /// headline the hybrid LM+DMA path should win.
+    pub round_cycles: f64,
+    /// Total DRAM line reads (dirty hand-offs recalled through DRAM
+    /// show up here — the MSI-vs-MOESI/MESIF separator).
+    pub dram_reads: u64,
+    /// Shared-line L3 hits the directory served.
+    pub shared_hits: u64,
+    /// Invalidation messages sent (flag/line ping-pong).
+    pub invalidations: u64,
+    /// Dirty-owner interventions (payload hand-offs).
+    pub interventions: u64,
+    /// Dirty lines recalled out of an owner's upper levels.
+    pub dirty_recalls: u64,
+    /// Total committed instructions (protocol-invariant).
+    pub committed: u64,
+}
+
+/// Builds one comm workload family by name at one core count.
+fn comm_workload(scale: Scale, cores: usize, name: &str) -> commw::CommWorkload {
+    match name {
+        "pingpong" => commw::ping_pong(scale, cores),
+        "queue" => commw::queue(scale, cores, 64),
+        "lock" => commw::lock(scale, cores),
+        "barrier" => commw::barrier(scale, cores),
+        other => unreachable!("unknown comm workload {other}"),
+    }
+}
+
+/// Runs one comm sweep point.
+fn comm_point(
+    scale: Scale,
+    name: &str,
+    cores: usize,
+    mode: SysMode,
+    cm: CoherenceMode,
+) -> Result<CommSweepRow, MultiRunError> {
+    let w = comm_workload(scale, cores, name);
+    let m = RunSpec::many(&w.kernels)
+        .config(MachineConfig::for_mode(mode).with_coherence(cm))
+        .run()
+        .map(RunOutcome::into_multi)?;
+    Ok(CommSweepRow {
+        workload: w.name.clone(),
+        cores,
+        mode,
+        protocol: cm.name().to_string(),
+        rounds: w.rounds,
+        makespan: m.makespan,
+        round_cycles: m.makespan as f64 / w.rounds.max(1) as f64,
+        dram_reads: m.total_dram_reads(),
+        shared_hits: m.total_shared_hits(),
+        invalidations: m.total_invalidations(),
+        interventions: m.total_interventions(),
+        dirty_recalls: m.total_dirty_recalls(),
+        committed: m.total_committed(),
+    })
+}
+
+/// The communication-workload sweep: every family
+/// (ping-pong/queue/lock/barrier) × core count on hybrid-coherent and
+/// cache-based chips under the environment's inter-core protocol, plus
+/// the full protocol family on the cache-based queue (the dirty
+/// hand-off point where MSI/MESI/MOESI/MESIF separate). Core counts
+/// must be even (pair workloads). One job per point under `par`.
+pub fn comm_sweep(
+    scale: Scale,
+    core_counts: &[usize],
+    par: Parallelism,
+) -> Result<Vec<CommSweepRow>, MultiRunError> {
+    let env_cm = MachineConfig::for_mode(SysMode::HybridCoherent)
+        .mem
+        .coherence
+        .mode;
+    let mut points: Vec<(&'static str, usize, SysMode, CoherenceMode)> = Vec::new();
+    for &cores in core_counts {
+        for name in ["pingpong", "queue", "lock", "barrier"] {
+            for mode in [SysMode::HybridCoherent, SysMode::CacheBased] {
+                points.push((name, cores, mode, env_cm));
+            }
+        }
+        for cm in CoherenceMode::ALL {
+            if cm != env_cm {
+                points.push(("queue", cores, SysMode::CacheBased, cm));
+            }
+        }
+    }
+    par.map(points, |(name, cores, mode, cm)| {
+        comm_point(scale, name, cores, mode, cm)
+    })
+    .into_iter()
+    .collect()
+}
+
+fn xorshift64(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// The request-serving macro-workload: `cores` server tiles gather from
+/// one shared read-mostly table ([`hsim_workloads::comm::request_serving`]),
+/// then a **deterministic open-loop arrival process** replays the
+/// measured per-core service times against seeded inter-arrival gaps:
+///
+/// 1. The machine run measures each core's mean service time per
+///    request (`core cycles / requests`, backside contention included).
+/// 2. Arrivals are drawn open-loop (they never wait for completions)
+///    from a seeded xorshift64 stream, uniform in `[1, 2·gap]` where
+///    `gap` is set so the offered load is `load_permille`/1000 of the
+///    measured chip capacity.
+/// 3. Requests dispatch round-robin to per-core FIFOs; completion is
+///    `max(arrival, core free) + service`, and `completion − arrival`
+///    is the recorded sojourn latency.
+///
+/// Everything after the machine run is integer math on a seeded
+/// stream: the same seed gives a byte-identical
+/// [`RequestServingReport::render`] (pinned by proptest).
+pub fn request_serving(
+    scale: Scale,
+    cores: usize,
+    mode: SysMode,
+    seed: u64,
+    load_permille: u64,
+) -> Result<RequestServingReport, MultiRunError> {
+    let w = commw::request_serving(scale, cores);
+    let m = RunSpec::many(&w.kernels)
+        .config(MachineConfig::for_mode(mode))
+        .run()
+        .map(RunOutcome::into_multi)?;
+    let service: Vec<u64> = m
+        .per_core
+        .iter()
+        .map(|r| (r.cycles / w.requests_per_core).max(1))
+        .collect();
+    let avg_service = (service.iter().sum::<u64>() / service.len().max(1) as u64).max(1);
+    let mean_gap = (avg_service * 1000 / (load_permille.max(1) * cores as u64)).max(1);
+    let requests = w.requests_per_core * cores as u64;
+    let mut state = seed ^ 0x9E37_79B9_7F4A_7C15;
+    if state == 0 {
+        state = 1;
+    }
+    let mut latency = LatencyHistogram::new();
+    let mut free = vec![0u64; cores];
+    let mut arrival = 0u64;
+    let mut first_arrival = None;
+    let mut last_completion = 0u64;
+    for i in 0..requests {
+        arrival += 1 + xorshift64(&mut state) % (2 * mean_gap);
+        if first_arrival.is_none() {
+            first_arrival = Some(arrival);
+        }
+        let c = (i % cores as u64) as usize;
+        let start = arrival.max(free[c]);
+        let done = start + service[c];
+        free[c] = done;
+        last_completion = last_completion.max(done);
+        latency.record(done - arrival);
+    }
+    Ok(RequestServingReport {
+        name: "serve".into(),
+        mode,
+        cores,
+        seed,
+        requests,
+        service_cycles: avg_service,
+        mean_interarrival: mean_gap,
+        span_cycles: last_completion - first_arrival.unwrap_or(0),
+        latency,
+    })
+}
+
+/// [`request_serving`] on hybrid-coherent and cache-based chips at
+/// every requested core count, one job per point under `par`.
+pub fn request_serving_sweep(
+    scale: Scale,
+    core_counts: &[usize],
+    seed: u64,
+    load_permille: u64,
+    par: Parallelism,
+) -> Result<Vec<RequestServingReport>, MultiRunError> {
+    let points: Vec<(usize, SysMode)> = core_counts
+        .iter()
+        .flat_map(|&c| [SysMode::HybridCoherent, SysMode::CacheBased].map(|m| (c, m)))
+        .collect();
+    par.map(points, |(cores, mode)| {
+        request_serving(scale, cores, mode, seed, load_permille)
+    })
+    .into_iter()
+    .collect()
 }
 
 /// Geometric-mean helper used when averaging ratios across benchmarks.

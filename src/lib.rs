@@ -29,14 +29,14 @@
 //! let kernel = kb.build().unwrap();
 //!
 //! // Compile for the coherent hybrid memory system and simulate.
-//! let report = run_kernel(&kernel, SysMode::HybridCoherent, false).unwrap();
+//! let report = RunSpec::new(&kernel).run().unwrap().into_single();
 //! assert!(report.cycles > 0);
 //!
 //! // The same kernel sharded across the cores of one 2-core machine:
 //! // per-core tiles (pipeline, L1/L2, LM, directory) in front of a
 //! // shared L3 + DRAM backside, ticked in lock step. The protocol is
 //! // strictly per core (§3); only timing couples the cores.
-//! let multi = run_kernel_multi(&kernel, 2, SysMode::HybridCoherent, false).unwrap();
+//! let multi = RunSpec::new(&kernel).cores(2).run().unwrap().into_multi();
 //! assert_eq!(multi.n_cores(), 2);
 //! assert!(multi.makespan < report.cycles, "half the iterations per core");
 //! ```
@@ -51,10 +51,10 @@
 //! | [`core`] | 4-wide out-of-order core (Table 1) with the event-horizon cycle skipper |
 //! | [`energy`] | Wattch-style activity-based energy model |
 //! | [`compiler`] | loop IR, classification, tiling, guarded codegen, double store, kernel sharding (`Kernel::shard`, `Kernel::shard_weighted`, per-tile LM budgets via `compile_with_lm`) |
-//! | [`workloads`] | Table 2 microbenchmark + six NAS-signature kernels |
+//! | [`workloads`] | Table 2 microbenchmark, six NAS-signature kernels, communication workloads (`workloads::comm`) |
 //! | [`machine`] | the assembled systems — hybrid coherent / hybrid oracle / cache-based — as single-core [`Machine`]s or N-core [`MultiMachine`]s sharing one backside, homogeneous or with per-tile configurations |
 //! | [`cluster`] | hierarchical clusters: per-cluster backside slices (own L3 + DRAM channel), epoch-synchronized host threads, serial oracle ([`run_clusters`], [`ClusterTopology`]) |
-//! | [`experiments`] | drivers regenerating every table and figure, sequential and host-parallel (`*_parallel`, [`run_kernel_multi`], [`run_kernel_clustered`]) |
+//! | [`experiments`] | [`RunSpec`] (the one way to run kernels on any machine shape), sweep drivers regenerating every table and figure (serial or host-parallel via [`Parallelism`]), the communication sweep and the open-loop request-serving driver |
 //!
 //! ## Multicore model
 //!
@@ -127,16 +127,21 @@ pub use cluster::{
     ClusterRunReport, ClusterTopology,
 };
 pub use experiments::{
-    backside_sweep, backside_sweep_parallel, coherence_sweep, coherence_sweep_parallel,
-    compare_systems, compare_systems_parallel, compile_for_tile, fig7, fig7_parallel, fig8,
-    fig8_parallel, geomean, hetero_sweep, hetero_sweep_parallel, parallel_map, protocol_sweep,
-    protocol_sweep_parallel, run_kernel, run_kernel_clustered, run_kernel_multi,
-    run_kernel_multi_hetero, run_kernel_multi_profiled, run_kernel_multi_with, run_kernel_profiled,
-    run_kernel_verified, run_kernel_with, scaling_sweep, scaling_sweep_parallel, BacksideSweepRow,
-    CoherenceSweepRow, HeteroSweepRow, ProtocolSweepRow, ScalingRow,
+    backside_sweep, coherence_sweep, comm_sweep, compare_systems, compile_for_tile, fig7, fig8,
+    geomean, hetero_sweep, parallel_map, protocol_sweep, request_serving, request_serving_sweep,
+    scaling_sweep, BacksideSweepRow, CoherenceSweepRow, CommSweepRow, HeteroSweepRow,
+    MultiRunError, Parallelism, ProtocolSweepRow, RunOutcome, RunSpec, ScalingRow,
+};
+#[allow(deprecated)]
+pub use experiments::{
+    run_kernel, run_kernel_clustered, run_kernel_multi, run_kernel_multi_hetero,
+    run_kernel_multi_profiled, run_kernel_multi_with, run_kernel_profiled, run_kernel_verified,
+    run_kernel_with,
 };
 pub use machine::{Machine, MachineConfig, MultiMachine, SysMode, World};
-pub use metrics::{activity, MultiRunReport, RunReport};
+pub use metrics::{
+    activity, LatencyHistogram, MultiRunReport, RequestServingReport, RunReport, NOMINAL_CLOCK_HZ,
+};
 
 /// The most common imports for building and running kernels.
 pub mod prelude {
@@ -144,17 +149,21 @@ pub mod prelude {
         ClusterConfig, ClusterError, ClusterFailure, ClusterRunReport, ClusterTopology,
     };
     pub use crate::experiments::{
-        backside_sweep, backside_sweep_parallel, coherence_sweep, coherence_sweep_parallel,
-        compare_systems, compare_systems_parallel, compile_for_tile, fig7, fig7_parallel, fig8,
-        fig8_parallel, hetero_sweep, hetero_sweep_parallel, protocol_sweep,
-        protocol_sweep_parallel, run_kernel, run_kernel_clustered, run_kernel_multi,
-        run_kernel_multi_hetero, run_kernel_multi_profiled, run_kernel_multi_with,
-        run_kernel_profiled, run_kernel_verified, run_kernel_with, scaling_sweep,
-        scaling_sweep_parallel, BacksideSweepRow, CoherenceSweepRow, HeteroSweepRow,
-        ProtocolSweepRow, ScalingRow,
+        backside_sweep, coherence_sweep, comm_sweep, compare_systems, compile_for_tile, fig7, fig8,
+        hetero_sweep, protocol_sweep, request_serving, request_serving_sweep, scaling_sweep,
+        BacksideSweepRow, CoherenceSweepRow, CommSweepRow, HeteroSweepRow, MultiRunError,
+        Parallelism, ProtocolSweepRow, RunOutcome, RunSpec, ScalingRow,
+    };
+    #[allow(deprecated)]
+    pub use crate::experiments::{
+        run_kernel, run_kernel_clustered, run_kernel_multi, run_kernel_multi_hetero,
+        run_kernel_multi_profiled, run_kernel_multi_with, run_kernel_profiled, run_kernel_verified,
+        run_kernel_with,
     };
     pub use crate::machine::{Machine, MachineConfig, MultiMachine, SysMode};
-    pub use crate::metrics::{MultiRunReport, RunReport};
+    pub use crate::metrics::{
+        LatencyHistogram, MultiRunReport, RequestServingReport, RunReport, NOMINAL_CLOCK_HZ,
+    };
     pub use hsim_compiler::{
         compile, compile_with_lm, interpret, CodegenMode, Expr, Kernel, KernelBuilder,
     };

@@ -21,7 +21,7 @@
 //! run.
 
 use hsim_coherence::{DirConfig, Directory, Tracker};
-use hsim_compiler::{CodegenMode, CompiledKernel, Kernel};
+use hsim_compiler::{CodegenMode, CompiledKernel, Kernel, ShardError};
 use hsim_core::pipeline::SimError;
 use hsim_core::{Core, CoreConfig, DmaKind, MemSide, MemoryPort, PortDiagnostics, RouteInfo};
 use hsim_isa::memmap::{MemoryMap, Region};
@@ -437,6 +437,25 @@ impl MultiMachine {
         cfgs: Vec<MachineConfig>,
         shards: &[(CompiledKernel, Kernel)],
     ) -> MultiMachine {
+        MultiMachine::try_for_kernels_hetero(cfgs, shards)
+            .expect("communication-array layouts diverge across the kernels")
+    }
+
+    /// Like [`MultiMachine::for_kernels_hetero`], but surfaces the one
+    /// construction failure that must not be papered over: a
+    /// **communication array** ([`hsim_compiler::ArrayDecl::comm`] —
+    /// flags, queue slots, locks, shared request tables) whose layouts
+    /// diverge across the per-core kernels. Read-only sharder-derived
+    /// shared arrays keep the counted per-core replication fallback
+    /// (their values replicate correctly; only sharing timing is lost),
+    /// but replicating a *written* comm array would silently turn the
+    /// communication pattern into private traffic — a wrong-timing run
+    /// masquerading as communication — so it is refused with
+    /// [`ShardError::CommLayoutDiverged`] instead.
+    pub fn try_for_kernels_hetero(
+        cfgs: Vec<MachineConfig>,
+        shards: &[(CompiledKernel, Kernel)],
+    ) -> Result<MultiMachine, ShardError> {
         assert_eq!(cfgs.len(), shards.len(), "one configuration per shard");
         let programs = cfgs
             .iter()
@@ -455,8 +474,8 @@ impl MultiMachine {
         for (tile, (ck, kernel)) in m.tiles.iter_mut().zip(shards) {
             tile.load_data(ck, kernel);
         }
-        m.register_shared_ranges(shards);
-        m
+        m.register_shared_ranges(shards)?;
+        Ok(m)
     }
 
     /// Registers the sharder's read-only replicated-whole arrays
@@ -476,26 +495,40 @@ impl MultiMachine {
     /// data, so such arrays fall back to per-core replication instead —
     /// counted in [`MultiMachine::replication_fallbacks`] so the
     /// fallback is visible in reports rather than silent.
-    fn register_shared_ranges(&mut self, shards: &[(CompiledKernel, Kernel)]) {
+    ///
+    /// **Communication arrays** ([`hsim_compiler::ArrayDecl::comm`]) are
+    /// registered through the same agreement check but get the opposite
+    /// failure mode: they may be written, so the replication fallback
+    /// would produce a wrong-timing run — divergence is a hard
+    /// [`ShardError::CommLayoutDiverged`] instead of a counter bump.
+    fn register_shared_ranges(
+        &mut self,
+        shards: &[(CompiledKernel, Kernel)],
+    ) -> Result<(), ShardError> {
         let Some((ck0, k0)) = shards.first() else {
-            return;
+            return Ok(());
         };
         let backside = self.backside();
         for (id, decl) in k0.arrays.iter().enumerate() {
-            if !decl.shared {
+            if !decl.shared && !decl.comm {
                 continue;
             }
             let slot = (ck0.layout.arrays[id].base, ck0.layout.arrays[id].bytes);
             let agree = shards.iter().all(|(ck, k)| {
-                k.arrays[id].shared
+                (k.arrays[id].shared || k.arrays[id].comm)
                     && (ck.layout.arrays[id].base, ck.layout.arrays[id].bytes) == slot
             });
             if agree {
                 backside.borrow_mut().mark_shared_range(slot.0, slot.1);
+            } else if decl.comm {
+                return Err(ShardError::CommLayoutDiverged {
+                    name: decl.name.clone(),
+                });
             } else {
                 self.replication_fallbacks += 1;
             }
         }
+        Ok(())
     }
 
     /// How many shared-marked arrays could **not** be registered as

@@ -374,6 +374,230 @@ impl MultiRunReport {
     }
 }
 
+/// Nominal tile clock used to convert simulated cycles into wall-clock
+/// service figures (requests/sec) in the request-serving reports. The
+/// simulator itself is clockless — everything is cycles — so this is a
+/// presentation constant, chosen to match the class of chip the paper
+/// evaluates; using one fixed constant keeps every requests/sec figure
+/// comparable across runs and exactly reproducible (integer math only).
+pub const NOMINAL_CLOCK_HZ: u64 = 2_000_000_000;
+
+/// A power-of-two-bucketed latency histogram: cheap to record into
+/// (one shift per sample), mergeable across cores, and with
+/// **integer-only** percentile interpolation so that reports rendered
+/// from equal histograms are byte-identical across hosts and runs —
+/// the property the open-loop determinism proptest pins.
+///
+/// Bucket `b` (1‥63) holds samples in `[2^(b-1), 2^b)`; bucket 0 holds
+/// the value 0. Within a bucket, percentiles interpolate linearly by
+/// rank, clamped to the observed `min`/`max`, so exact small counts
+/// (the common case for per-request latencies) stay tight.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    buckets: [u64; 64],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram {
+            buckets: [0; 64],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn bucket(v: u64) -> usize {
+        (64 - v.leading_zeros()) as usize
+    }
+
+    /// Records one latency sample (cycles).
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Self::bucket(v)] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Folds another histogram into this one (e.g. per-core partials).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (b, n) in self.buckets.iter_mut().zip(other.buckets) {
+            *b += n;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (cycles).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample (0 on an empty histogram).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample (0 on an empty histogram).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample, rounded to the nearest cycle (0 on an empty
+    /// histogram). Integer math — deterministic across hosts.
+    pub fn mean(&self) -> u64 {
+        (self.sum + self.count / 2)
+            .checked_div(self.count)
+            .unwrap_or(0)
+    }
+
+    /// The latency at the given permille rank (`500` → p50, `950` →
+    /// p95, `990` → p99), interpolated within its power-of-two bucket
+    /// by rank and clamped to the observed extremes. Integer-only:
+    /// equal histograms give equal percentiles on every host.
+    pub fn percentile_permille(&self, permille: u64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let need = (permille * self.count).div_ceil(1000).max(1);
+        let mut before = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if before + n >= need {
+                // Sample `need` falls in bucket `b`, spanning
+                // [2^(b-1), 2^b) (or exactly {0} for b == 0).
+                let lo = if b == 0 { 0 } else { 1u64 << (b - 1) };
+                let width = if b == 0 { 1 } else { 1u64 << (b - 1) };
+                let rank_in = need - before - 1;
+                let v = lo + (rank_in * width) / n;
+                return v.clamp(self.min, self.max);
+            }
+            before += n;
+        }
+        self.max
+    }
+
+    /// Median latency (cycles).
+    pub fn p50(&self) -> u64 {
+        self.percentile_permille(500)
+    }
+
+    /// 95th-percentile latency (cycles).
+    pub fn p95(&self) -> u64 {
+        self.percentile_permille(950)
+    }
+
+    /// 99th-percentile latency (cycles).
+    pub fn p99(&self) -> u64 {
+        self.percentile_permille(990)
+    }
+}
+
+/// The outcome of one request-serving run: the open-loop queueing
+/// measurements layered over the underlying machine run. Produced by
+/// `experiments::request_serving`; rendered deterministically (integer
+/// math only) so equal seeds give byte-identical reports.
+#[derive(Clone, Debug)]
+pub struct RequestServingReport {
+    /// Workload name.
+    pub name: String,
+    /// System mode of the serving tiles.
+    pub mode: SysMode,
+    /// Number of serving cores.
+    pub cores: usize,
+    /// Arrival-process seed (drives the open-loop inter-arrival draws).
+    pub seed: u64,
+    /// Requests served.
+    pub requests: u64,
+    /// Per-request service time in cycles, as measured on the simulated
+    /// machine (core busy time per request, contention included).
+    pub service_cycles: u64,
+    /// Mean offered inter-arrival gap in cycles (open loop: arrivals
+    /// don't wait for completions).
+    pub mean_interarrival: u64,
+    /// First arrival to last completion, in cycles.
+    pub span_cycles: u64,
+    /// Sojourn-time histogram (arrival → completion), all requests.
+    pub latency: LatencyHistogram,
+}
+
+impl RequestServingReport {
+    /// Served throughput in requests per second at the
+    /// [`NOMINAL_CLOCK_HZ`] presentation clock (integer math).
+    pub fn requests_per_sec(&self) -> u64 {
+        if self.span_cycles == 0 {
+            return 0;
+        }
+        // requests * hz / span, reordered to avoid overflow for any
+        // realistic span (requests and hz both fit well inside u128).
+        ((self.requests as u128 * NOMINAL_CLOCK_HZ as u128) / self.span_cycles as u128) as u64
+    }
+
+    /// Offered load in percent of capacity: service time over
+    /// inter-arrival gap, per core (integer permille → one decimal).
+    pub fn offered_load_permille(&self) -> u64 {
+        if self.mean_interarrival == 0 || self.cores == 0 {
+            return 0;
+        }
+        self.service_cycles * 1000 / (self.mean_interarrival * self.cores as u64)
+    }
+
+    /// Renders the report as a deterministic multi-line string: only
+    /// integers appear, so equal runs are **byte-identical** (the
+    /// property `tests/comm_workloads.rs` pins across seeds).
+    pub fn render(&self) -> String {
+        format!(
+            "request-serving {name} mode={mode} cores={cores} seed={seed}\n\
+             requests={req} service_cycles={svc} mean_interarrival={gap} span_cycles={span}\n\
+             latency_cycles p50={p50} p95={p95} p99={p99} mean={mean} min={min} max={max}\n\
+             throughput={rps} req/s @{ghz}GHz load={load}permille\n",
+            name = self.name,
+            mode = self.mode.name(),
+            cores = self.cores,
+            seed = self.seed,
+            req = self.requests,
+            svc = self.service_cycles,
+            gap = self.mean_interarrival,
+            span = self.span_cycles,
+            p50 = self.latency.p50(),
+            p95 = self.latency.p95(),
+            p99 = self.latency.p99(),
+            mean = self.latency.mean(),
+            min = self.latency.min(),
+            max = self.latency.max(),
+            rps = self.requests_per_sec(),
+            ghz = NOMINAL_CLOCK_HZ / 1_000_000_000,
+            load = self.offered_load_permille(),
+        )
+    }
+}
+
 /// Converts a finished machine's counters into the energy model's
 /// activity vector. Shared-L3 and DRAM activity is this core's share of
 /// the backside, so per-core energies of a multi-core machine partition
@@ -424,5 +648,55 @@ pub fn activity(m: &Machine) -> Activity {
         dma_blocks: (dma.bytes_get + dma.bytes_put).div_ceil(line),
         dram_lines: backside.dram.reads + backside.dram.writes,
         has_lm: lm.is_some(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::LatencyHistogram;
+
+    #[test]
+    fn histogram_percentiles_are_ordered_and_clamped() {
+        let mut h = LatencyHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 1000);
+        let (p50, p95, p99) = (h.p50(), h.p95(), h.p99());
+        assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+        assert!(p99 <= h.max());
+        assert!(p50 >= h.min());
+        // p50 of 1..=1000 must land in the 512-element bucket
+        // containing the true median.
+        assert!((256..1024).contains(&p50), "{p50}");
+    }
+
+    #[test]
+    fn histogram_merge_equals_combined_recording() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut both = LatencyHistogram::new();
+        for v in [3u64, 17, 100, 255, 256, 4096] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [1u64, 2, 9000, 77] {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, both);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0);
+        assert_eq!(h.p99(), 0);
     }
 }

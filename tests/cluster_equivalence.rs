@@ -11,7 +11,7 @@
 //!    (`MachineConfig::with_lockstep`), so chunking at epoch boundaries
 //!    never perturbs the event-horizon scheduler;
 //! 3. **1 cluster == flat machine**: a 1×n cluster topology with one
-//!    DRAM channel reproduces `run_kernel_multi_with(n)` exactly — the
+//!    DRAM channel reproduces the flat `RunSpec::new(k).cores(n)` run exactly — the
 //!    cluster layer adds nothing when there is nothing to slice.
 //!
 //! Plus the accounting contracts: cross-cluster replication fallbacks
@@ -107,7 +107,12 @@ fn run(
     if lockstep {
         cfg = cfg.with_lockstep();
     }
-    match run_kernel_clustered(kernel, &cluster, cfg) {
+    match RunSpec::new(kernel)
+        .clustered(&cluster)
+        .config(cfg)
+        .run()
+        .map(RunOutcome::into_clusters)
+    {
         Ok(r) => Some(r),
         Err(hsim::experiments::MultiRunError::Shard(_)) => None,
         Err(e) => panic!("simulation failed: {e}"),
@@ -183,9 +188,12 @@ fn one_cluster_matches_flat_multimachine() {
             let Some(clustered) = run(&kernel, topo, false, 1, false) else {
                 continue;
             };
-            let flat =
-                run_kernel_multi_with(&kernel, n, MachineConfig::for_mode(SysMode::HybridCoherent))
-                    .expect("shards as 1xn");
+            let flat = RunSpec::new(&kernel)
+                .cores(n)
+                .config(MachineConfig::for_mode(SysMode::HybridCoherent))
+                .run()
+                .map(RunOutcome::into_multi)
+                .expect("shards as 1xn");
             assert_eq!(clustered.per_cluster.len(), 1);
             assert_eq!(
                 clustered.makespan, flat.makespan,

@@ -1,0 +1,368 @@
+//! Communication-workload equivalence and determinism suite.
+//!
+//! The comm kernel sets (`hsim_workloads::comm`) are where the
+//! inter-core protocol actually works for a living, so they get the
+//! same treatment the NAS shards do:
+//!
+//! - **skip == lockstep**: the event-horizon scheduler must stay a pure
+//!   host-speed optimization under flag ping-pong, dirty queue
+//!   hand-offs and the request-serving gather — across every
+//!   [`CoherenceMode`], on hybrid and cache-based chips.
+//! - **clusters serial == threaded**: comm kernel sets on the
+//!   epoch-synchronized cluster machine are bit-identical whether the
+//!   clusters run on one host thread or one thread each.
+//! - **open-loop determinism** (proptest): the request-serving arrival
+//!   replay is pure integer math on a seeded stream — the same seed
+//!   must render a byte-identical report.
+//! - **diverged comm layouts are hard errors**: a per-core kernel set
+//!   whose comm-marked declarations disagree must fail with
+//!   [`ShardError::CommLayoutDiverged`], never silently fall back to
+//!   replication and report wrong-answer timings.
+//! - **legacy wrappers pin bit-identical**: every deprecated
+//!   `run_kernel*` entry point must return exactly what the equivalent
+//!   [`RunSpec`] does.
+
+use hsim::compiler::ShardError;
+use hsim::prelude::*;
+use hsim_workloads::comm;
+
+/// Bit-compares the observables of two multicore runs (everything
+/// except the skip accounting, which the caller checks).
+fn assert_multi_equal(a: &MultiRunReport, b: &MultiRunReport, what: &str) {
+    assert_eq!(a.makespan, b.makespan, "{what}: makespan");
+    assert_eq!(
+        a.total_committed(),
+        b.total_committed(),
+        "{what}: committed"
+    );
+    assert_eq!(
+        a.total_dram_reads(),
+        b.total_dram_reads(),
+        "{what}: DRAM reads"
+    );
+    assert_eq!(
+        a.total_shared_hits(),
+        b.total_shared_hits(),
+        "{what}: shared hits"
+    );
+    assert_eq!(
+        a.total_invalidations(),
+        b.total_invalidations(),
+        "{what}: invalidations"
+    );
+    assert_eq!(
+        a.total_interventions(),
+        b.total_interventions(),
+        "{what}: interventions"
+    );
+    assert_eq!(
+        a.total_dirty_recalls(),
+        b.total_dirty_recalls(),
+        "{what}: dirty recalls"
+    );
+    assert_eq!(
+        a.total_bus_wait_cycles(),
+        b.total_bus_wait_cycles(),
+        "{what}: bus waits"
+    );
+    assert_eq!(
+        a.replication_fallbacks, b.replication_fallbacks,
+        "{what}: replication fallbacks"
+    );
+    for (i, (ra, rb)) in a.per_core.iter().zip(&b.per_core).enumerate() {
+        assert_eq!(ra.cycles, rb.cycles, "{what}: core {i} cycles");
+        assert_eq!(ra.committed, rb.committed, "{what}: core {i} committed");
+    }
+}
+
+/// Runs one comm kernel set with and without cycle skipping and
+/// demands identical observables.
+fn check_skip_lockstep(w: &comm::CommWorkload, mode: SysMode, cm: CoherenceMode) {
+    let what = format!("{} {mode:?} {}", w.name, cm.name());
+    let cfg = MachineConfig::for_mode(mode).with_coherence(cm);
+    let skip = RunSpec::many(&w.kernels)
+        .config(cfg.clone())
+        .run()
+        .unwrap_or_else(|e| panic!("{what}: {e}"))
+        .into_multi();
+    let lock = RunSpec::many(&w.kernels)
+        .config(cfg.with_lockstep())
+        .run()
+        .unwrap_or_else(|e| panic!("{what} lockstep: {e}"))
+        .into_multi();
+    assert_eq!(
+        lock.total_skipped_cycles(),
+        0,
+        "{what}: lockstep must not skip"
+    );
+    assert_multi_equal(&skip, &lock, &what);
+}
+
+/// Ping-pong and queue hand-offs — the protocol-differentiating
+/// traffic — under every coherence mode on both chip styles.
+#[test]
+fn skip_equals_lockstep_for_handoff_workloads_all_protocols() {
+    for w in [
+        comm::ping_pong(Scale::Test, 4),
+        comm::queue(Scale::Test, 4, 64),
+    ] {
+        for cm in CoherenceMode::ALL {
+            for mode in [SysMode::HybridCoherent, SysMode::CacheBased] {
+                check_skip_lockstep(&w, mode, cm);
+            }
+        }
+    }
+}
+
+/// Lock and barrier contention under every coherence mode (one chip
+/// style each keeps the matrix affordable; the hand-off suite above
+/// covers the mode × system cross).
+#[test]
+fn skip_equals_lockstep_for_contention_workloads() {
+    for cm in CoherenceMode::ALL {
+        check_skip_lockstep(&comm::lock(Scale::Test, 4), SysMode::CacheBased, cm);
+        check_skip_lockstep(&comm::barrier(Scale::Test, 4), SysMode::HybridCoherent, cm);
+    }
+}
+
+/// The request-serving gather set (shared read-mostly table) is
+/// skip-clean too — this is the machine run under the open-loop driver.
+#[test]
+fn skip_equals_lockstep_for_request_serving_set() {
+    let w = comm::request_serving(Scale::Test, 4);
+    let fake = comm::CommWorkload {
+        name: "serve".into(),
+        kernels: w.kernels,
+        rounds: w.requests_per_core,
+    };
+    for cm in CoherenceMode::ALL {
+        for mode in [SysMode::HybridCoherent, SysMode::CacheBased] {
+            check_skip_lockstep(&fake, mode, cm);
+        }
+    }
+}
+
+/// Comm kernel sets on the clustered machine: one host thread per
+/// cluster must be bit-identical to the serial oracle.
+#[test]
+fn clusters_serial_matches_threaded_for_comm_sets() {
+    for w in [
+        comm::ping_pong(Scale::Test, 4),
+        comm::queue(Scale::Test, 4, 64),
+    ] {
+        let topo = ClusterTopology::new(2, 2);
+        let cfg = MachineConfig::for_mode(SysMode::HybridCoherent);
+        let serial = RunSpec::many(&w.kernels)
+            .clustered(&ClusterConfig::new(topo).serial())
+            .config(cfg.clone())
+            .run()
+            .unwrap_or_else(|e| panic!("{} serial: {e}", w.name))
+            .into_clusters();
+        let threaded = RunSpec::many(&w.kernels)
+            .clustered(&ClusterConfig::new(topo))
+            .config(cfg)
+            .run()
+            .unwrap_or_else(|e| panic!("{} threaded: {e}", w.name))
+            .into_clusters();
+        assert_eq!(serial.makespan, threaded.makespan, "{}: makespan", w.name);
+        assert_eq!(serial.epochs, threaded.epochs, "{}: epochs", w.name);
+        assert_eq!(
+            serial.total_committed(),
+            threaded.total_committed(),
+            "{}: committed",
+            w.name
+        );
+        assert_eq!(
+            serial.total_skipped_cycles(),
+            threaded.total_skipped_cycles(),
+            "{}: skipped",
+            w.name
+        );
+        assert_eq!(
+            serial.total_dram_reads(),
+            threaded.total_dram_reads(),
+            "{}: DRAM reads",
+            w.name
+        );
+        assert_eq!(
+            serial.cross_cluster_fallbacks, threaded.cross_cluster_fallbacks,
+            "{}: fallbacks",
+            w.name
+        );
+    }
+}
+
+/// A per-core kernel set whose comm-marked arrays disagree (here: two
+/// queues of different capacities) must be rejected outright — wrong
+/// layouts would silently turn the hand-off into private traffic and
+/// report meaningless timings.
+#[test]
+fn diverged_comm_layout_is_a_hard_error() {
+    fn queue_kernel(slots: u64) -> Kernel {
+        let mut kb = KernelBuilder::new("divergent.queue");
+        let q = kb.array_f64("q", slots);
+        kb.mark_comm(q);
+        kb.begin_loop(64);
+        let rq = kb.ref_affine(q, 1, 0);
+        kb.stmt(rq, Expr::add(Expr::Ref(rq), Expr::ConstF(1.0)));
+        kb.end_loop();
+        kb.build().expect("divergent queue kernel")
+    }
+    let kernels = vec![queue_kernel(1024), queue_kernel(2048)];
+    match RunSpec::many(&kernels).run() {
+        Err(MultiRunError::Shard(ShardError::CommLayoutDiverged { .. })) => {}
+        Err(other) => panic!("expected CommLayoutDiverged, got {other}"),
+        Ok(_) => panic!("diverging comm layouts must not run"),
+    }
+}
+
+/// Different arrival seeds actually change the replay (the proptest
+/// below pins the converse).
+#[test]
+fn different_seeds_change_the_request_serving_report() {
+    let a = hsim::request_serving(Scale::Test, 2, SysMode::HybridCoherent, 1, 700).unwrap();
+    let b = hsim::request_serving(Scale::Test, 2, SysMode::HybridCoherent, 2, 700).unwrap();
+    assert_ne!(a.render(), b.render(), "seed must steer the arrivals");
+    assert_eq!(a.requests, b.requests, "seed must not change the load");
+}
+
+mod open_loop_determinism {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+
+        /// The paper-facing pin: the open-loop replay is a pure
+        /// function of (workload, seed, load) — the same seed renders a
+        /// byte-identical report.
+        #[test]
+        fn same_seed_renders_byte_identical_reports(
+            seed in any::<u64>(),
+            load in 100u64..901,
+        ) {
+            let a = hsim::request_serving(
+                Scale::Test, 2, SysMode::HybridCoherent, seed, load,
+            ).unwrap();
+            let b = hsim::request_serving(
+                Scale::Test, 2, SysMode::HybridCoherent, seed, load,
+            ).unwrap();
+            prop_assert_eq!(a.render(), b.render());
+            prop_assert_eq!(a.latency.p99(), b.latency.p99());
+            prop_assert_eq!(a.span_cycles, b.span_cycles);
+        }
+    }
+}
+
+/// Every deprecated entry point must return exactly what the
+/// equivalent [`RunSpec`] does — the compatibility contract of the
+/// redesign.
+#[allow(deprecated)]
+#[test]
+fn legacy_wrappers_pin_bit_identical_to_runspec() {
+    use hsim_workloads::nas;
+    let k = nas::cg(Scale::Test);
+    let cfg = MachineConfig::for_mode(SysMode::HybridCoherent);
+
+    let assert_single = |a: &RunReport, b: &RunReport, what: &str| {
+        assert_eq!(a.cycles, b.cycles, "{what}: cycles");
+        assert_eq!(a.committed, b.committed, "{what}: committed");
+        assert_eq!(a.dram_reads, b.dram_reads, "{what}: DRAM reads");
+        assert_eq!(a.amat.to_bits(), b.amat.to_bits(), "{what}: AMAT");
+        assert_eq!(a.skipped_cycles, b.skipped_cycles, "{what}: skipped");
+    };
+
+    let legacy = hsim::run_kernel(&k, SysMode::CacheBased, false).unwrap();
+    let spec = RunSpec::new(&k)
+        .mode(SysMode::CacheBased)
+        .run()
+        .unwrap()
+        .into_single();
+    assert_single(&legacy, &spec, "run_kernel");
+
+    let legacy = hsim::run_kernel_with(&k, cfg.clone()).unwrap();
+    let spec = RunSpec::new(&k)
+        .config(cfg.clone())
+        .run()
+        .unwrap()
+        .into_single();
+    assert_single(&legacy, &spec, "run_kernel_with");
+
+    let (legacy, lm) = hsim::run_kernel_verified(&k, SysMode::HybridCoherent, true).unwrap();
+    let out = RunSpec::new(&k)
+        .mode(SysMode::HybridCoherent)
+        .track(true)
+        .verified()
+        .run()
+        .unwrap();
+    assert_eq!(lm, out.verify_mismatches.expect("verified run"));
+    assert_single(&legacy, &out.into_single(), "run_kernel_verified");
+
+    let (legacy, lprof) = hsim::run_kernel_profiled(&k, cfg.clone()).unwrap();
+    let out = RunSpec::new(&k)
+        .config(cfg.clone())
+        .profiled()
+        .run()
+        .unwrap();
+    let sprof = out.profile.expect("profiled run");
+    assert_eq!(lprof.ticks, sprof.ticks, "run_kernel_profiled: ticks");
+    assert_eq!(
+        lprof.advances, sprof.advances,
+        "run_kernel_profiled: advances"
+    );
+    assert_single(&legacy, &out.into_single(), "run_kernel_profiled");
+
+    let legacy = hsim::run_kernel_multi(&k, 4, SysMode::HybridCoherent, false).unwrap();
+    let spec = RunSpec::new(&k)
+        .cores(4)
+        .mode(SysMode::HybridCoherent)
+        .run()
+        .unwrap()
+        .into_multi();
+    assert_multi_equal(&legacy, &spec, "run_kernel_multi");
+
+    let legacy = hsim::run_kernel_multi_with(&k, 4, cfg.clone()).unwrap();
+    let spec = RunSpec::new(&k)
+        .cores(4)
+        .config(cfg.clone())
+        .run()
+        .unwrap()
+        .into_multi();
+    assert_multi_equal(&legacy, &spec, "run_kernel_multi_with");
+
+    let (legacy, _) = hsim::run_kernel_multi_profiled(&k, 4, cfg.clone()).unwrap();
+    let spec = RunSpec::new(&k)
+        .cores(4)
+        .config(cfg.clone())
+        .profiled()
+        .run()
+        .unwrap()
+        .into_multi();
+    assert_multi_equal(&legacy, &spec, "run_kernel_multi_profiled");
+
+    let cfgs = vec![cfg.clone(); 2];
+    let legacy = hsim::run_kernel_multi_hetero(&k, &cfgs, &[1, 3]).unwrap();
+    let spec = RunSpec::new(&k)
+        .hetero(cfgs)
+        .weights(&[1, 3])
+        .run()
+        .unwrap()
+        .into_multi();
+    assert_multi_equal(&legacy, &spec, "run_kernel_multi_hetero");
+
+    let cluster = ClusterConfig::new(ClusterTopology::new(2, 2));
+    let legacy = hsim::run_kernel_clustered(&k, &cluster, cfg.clone()).unwrap();
+    let spec = RunSpec::new(&k)
+        .clustered(&cluster)
+        .config(cfg)
+        .run()
+        .unwrap()
+        .into_clusters();
+    assert_eq!(legacy.makespan, spec.makespan, "run_kernel_clustered");
+    assert_eq!(legacy.epochs, spec.epochs, "run_kernel_clustered: epochs");
+    assert_eq!(
+        legacy.total_committed(),
+        spec.total_committed(),
+        "run_kernel_clustered: committed"
+    );
+}

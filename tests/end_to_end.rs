@@ -16,7 +16,15 @@ fn check_all_modes(k: &hsim_compiler::Kernel) {
         SysMode::HybridOracle,
         SysMode::CacheBased,
     ] {
-        let (r, mismatches) = run_kernel_verified(k, mode, true)
+        let (r, mismatches) = RunSpec::new(k)
+            .mode(mode)
+            .track(true)
+            .verified()
+            .run()
+            .map(|out| {
+                let m = out.verify_mismatches.expect("verified run");
+                (out.into_single(), m)
+            })
             .unwrap_or_else(|e| panic!("{} {mode:?}: {e}", k.name));
         assert_eq!(
             mismatches, 0,
@@ -100,7 +108,12 @@ fn guarded_counts_match_table3_signatures() {
 #[test]
 fn phase_cycles_sum_to_total() {
     let k = nas::cg(Scale::Test);
-    let r = run_kernel(&k, SysMode::HybridCoherent, false).unwrap();
+    let r = RunSpec::new(&k)
+        .mode(SysMode::HybridCoherent)
+        .track(false)
+        .run()
+        .map(RunOutcome::into_single)
+        .unwrap();
     let sum: u64 = r.phase_cycles.iter().sum();
     assert_eq!(sum, r.cycles);
     // Tiled code must actually spend time in all three phases.
@@ -112,8 +125,18 @@ fn phase_cycles_sum_to_total() {
 #[test]
 fn determinism_across_runs() {
     let k = nas::ft(Scale::Test);
-    let a = run_kernel(&k, SysMode::HybridCoherent, false).unwrap();
-    let b = run_kernel(&k, SysMode::HybridCoherent, false).unwrap();
+    let a = RunSpec::new(&k)
+        .mode(SysMode::HybridCoherent)
+        .track(false)
+        .run()
+        .map(RunOutcome::into_single)
+        .unwrap();
+    let b = RunSpec::new(&k)
+        .mode(SysMode::HybridCoherent)
+        .track(false)
+        .run()
+        .map(RunOutcome::into_single)
+        .unwrap();
     assert_eq!(a.cycles, b.cycles);
     assert_eq!(a.committed, b.committed);
     assert_eq!(a.l1_accesses, b.l1_accesses);
@@ -124,8 +147,18 @@ fn determinism_across_runs() {
 #[test]
 fn oracle_mode_uses_no_directory() {
     let k = nas::is(Scale::Test);
-    let coherent = run_kernel(&k, SysMode::HybridCoherent, false).unwrap();
-    let oracle = run_kernel(&k, SysMode::HybridOracle, false).unwrap();
+    let coherent = RunSpec::new(&k)
+        .mode(SysMode::HybridCoherent)
+        .track(false)
+        .run()
+        .map(RunOutcome::into_single)
+        .unwrap();
+    let oracle = RunSpec::new(&k)
+        .mode(SysMode::HybridOracle)
+        .track(false)
+        .run()
+        .map(RunOutcome::into_single)
+        .unwrap();
     assert!(
         coherent.dir_accesses > 0,
         "guards must access the directory"
@@ -181,7 +214,12 @@ fn double_stores_collapse_when_guard_misses() {
     // store falls through to the SM address of its paired plain store and
     // the LSQ collapses them.
     let k = nas::is(Scale::Test);
-    let r = run_kernel(&k, SysMode::HybridCoherent, false).unwrap();
+    let r = RunSpec::new(&k)
+        .mode(SysMode::HybridCoherent)
+        .track(false)
+        .run()
+        .map(RunOutcome::into_single)
+        .unwrap();
     assert!(
         r.core.collapsed_stores > 0,
         "IS double stores must collapse at commit"
@@ -191,7 +229,12 @@ fn double_stores_collapse_when_guard_misses() {
 #[test]
 fn cache_based_machine_has_no_lm_activity() {
     let k = nas::cg(Scale::Test);
-    let r = run_kernel(&k, SysMode::CacheBased, false).unwrap();
+    let r = RunSpec::new(&k)
+        .mode(SysMode::CacheBased)
+        .track(false)
+        .run()
+        .map(RunOutcome::into_single)
+        .unwrap();
     assert_eq!(r.lm_accesses, 0);
     assert_eq!(r.dir_accesses, 0);
     assert_eq!(r.energy.lm, 0.0);

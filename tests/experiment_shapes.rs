@@ -7,7 +7,7 @@ use hsim_workloads::nas;
 
 #[test]
 fn fig7_rd_is_free_and_wr_grows_linearly() {
-    let pts = fig7(4 * 1024, 20).unwrap();
+    let pts = fig7(4 * 1024, 20, Parallelism::Serial).unwrap();
     // RD: flat at 1.0 (guarded loads are free — the lookup fits the AGU
     // cycle).
     for p in pts.iter().filter(|p| p.mode == MicroMode::Rd) {
@@ -52,7 +52,7 @@ fn fig7_rd_is_free_and_wr_grows_linearly() {
 #[test]
 fn fig8_overheads_are_small_and_double_store_driven() {
     let kernels = nas::all_nas(Scale::Test);
-    let rows = fig8(&kernels).unwrap();
+    let rows = fig8(&kernels, Parallelism::Serial).unwrap();
     for r in &rows {
         match r.name.as_str() {
             // No potentially incoherent writes: zero time overhead.
@@ -95,7 +95,7 @@ fn fig9_memory_bound_kernels_favor_the_hybrid() {
         nas::ft(Scale::Test),
         nas::mg(Scale::Test),
     ];
-    let rows = compare_systems(&kernels).unwrap();
+    let rows = compare_systems(&kernels, Parallelism::Serial).unwrap();
     let get = |n: &str| rows.iter().find(|r| r.name == n).unwrap();
     assert!(get("MG").speedup > 1.2, "MG: {:.2}", get("MG").speedup);
     assert!(get("FT").speedup > 1.1, "FT: {:.2}", get("FT").speedup);
@@ -106,7 +106,7 @@ fn fig9_memory_bound_kernels_favor_the_hybrid() {
 #[test]
 fn fig10_hybrid_saves_energy_on_stream_kernels() {
     let kernels = vec![nas::ft(Scale::Test), nas::mg(Scale::Test)];
-    for r in compare_systems(&kernels).unwrap() {
+    for r in compare_systems(&kernels, Parallelism::Serial).unwrap() {
         assert!(
             r.energy_norm < 0.95,
             "{}: hybrid must save energy, got {:.3}",
@@ -123,7 +123,7 @@ fn fig10_hybrid_saves_energy_on_stream_kernels() {
 #[test]
 fn table3_activity_shifts_from_caches_to_lm() {
     let kernels = vec![nas::mg(Scale::Test)];
-    let r = &compare_systems(&kernels).unwrap()[0];
+    let r = &compare_systems(&kernels, Parallelism::Serial).unwrap()[0];
     // The hybrid system must serve most traffic from the LM and touch the
     // caches less than the cache-based system does.
     assert!(r.hybrid.lm_accesses > 0);
@@ -148,8 +148,8 @@ fn parallel_drivers_match_sequential_results() {
     // Every simulation is deterministic and self-contained, so the
     // thread-pool drivers must reproduce the sequential results exactly.
     let kernels = vec![nas::ep(Scale::Test), nas::is(Scale::Test)];
-    let seq = fig8(&kernels).unwrap();
-    let par = fig8_parallel(&kernels).unwrap();
+    let seq = fig8(&kernels, Parallelism::Serial).unwrap();
+    let par = fig8(&kernels, Parallelism::HostThreads).unwrap();
     assert_eq!(seq.len(), par.len());
     for (s, p) in seq.iter().zip(&par) {
         assert_eq!(s.name, p.name);
@@ -158,16 +158,16 @@ fn parallel_drivers_match_sequential_results() {
         assert_eq!(s.coherent.committed, p.coherent.committed);
     }
 
-    let seq7 = fig7(512, 50).unwrap();
-    let par7 = fig7_parallel(512, 50).unwrap();
+    let seq7 = fig7(512, 50, Parallelism::Serial).unwrap();
+    let par7 = fig7(512, 50, Parallelism::HostThreads).unwrap();
     assert_eq!(seq7.len(), par7.len());
     for (s, p) in seq7.iter().zip(&par7) {
         assert_eq!((s.mode, s.pct), (p.mode, p.pct));
         assert!((s.overhead - p.overhead).abs() < 1e-12);
     }
 
-    let seqc = compare_systems(&kernels).unwrap();
-    let parc = compare_systems_parallel(&kernels).unwrap();
+    let seqc = compare_systems(&kernels, Parallelism::Serial).unwrap();
+    let parc = compare_systems(&kernels, Parallelism::HostThreads).unwrap();
     for (s, p) in seqc.iter().zip(&parc) {
         assert_eq!(s.hybrid.cycles, p.hybrid.cycles);
         assert_eq!(s.cache.cycles, p.cache.cycles);
@@ -180,7 +180,13 @@ fn scaling_sweep_produces_rising_sublinear_curves() {
     // cores but stays sublinear (shared backside), and the 1-core point
     // is exactly 1.0 by construction.
     let cfg = MachineConfig::for_mode(SysMode::HybridCoherent);
-    let rows = scaling_sweep(&[nas::cg(Scale::Test)], &[1, 2, 4], &cfg).unwrap();
+    let rows = scaling_sweep(
+        &[nas::cg(Scale::Test)],
+        &[1, 2, 4],
+        &cfg,
+        Parallelism::Serial,
+    )
+    .unwrap();
     assert_eq!(rows.len(), 3);
     assert!((rows[0].speedup - 1.0).abs() < 1e-12, "1-core speedup is 1");
     for w in rows.windows(2) {
@@ -200,7 +206,13 @@ fn scaling_sweep_produces_rising_sublinear_curves() {
         );
     }
     // The parallel driver reproduces the sequential rows exactly.
-    let par = scaling_sweep_parallel(&[nas::cg(Scale::Test)], &[1, 2, 4], &cfg).unwrap();
+    let par = scaling_sweep(
+        &[nas::cg(Scale::Test)],
+        &[1, 2, 4],
+        &cfg,
+        Parallelism::HostThreads,
+    )
+    .unwrap();
     assert_eq!(par.len(), rows.len());
     for (s, p) in rows.iter().zip(&par) {
         assert_eq!(s.makespan, p.makespan);
@@ -215,7 +227,7 @@ fn hetero_sweep_covers_the_shapes_and_matches_parallel() {
     // all-hybrid anchor equal to the homogeneous machine and the
     // parallel driver bit-identical to the sequential one.
     let kernels = [nas::cg(Scale::Test)];
-    let rows = hetero_sweep(&kernels, 2).unwrap();
+    let rows = hetero_sweep(&kernels, 2, Parallelism::Serial).unwrap();
     let labels: Vec<&str> = rows.iter().map(|r| r.label.as_str()).collect();
     assert_eq!(
         labels,
@@ -229,13 +241,19 @@ fn hetero_sweep_covers_the_shapes_and_matches_parallel() {
     assert_eq!(by("1H+1C w2:1").weights, vec![2, 1]);
 
     // The all-hybrid shape anchors to the homogeneous machine exactly.
-    let homo = run_kernel_multi(&kernels[0], 2, SysMode::HybridCoherent, false).unwrap();
+    let homo = RunSpec::new(&kernels[0])
+        .cores(2)
+        .mode(SysMode::HybridCoherent)
+        .track(false)
+        .run()
+        .map(RunOutcome::into_multi)
+        .unwrap();
     assert_eq!(by("2H+0C").makespan, homo.makespan);
     assert_eq!(by("2H+0C").committed, homo.total_committed());
     // Mixing in the cache tile costs cycles on CG.
     assert!(by("1H+1C").makespan > by("2H+0C").makespan);
 
-    let par = hetero_sweep_parallel(&kernels, 2).unwrap();
+    let par = hetero_sweep(&kernels, 2, Parallelism::HostThreads).unwrap();
     assert_eq!(par.len(), rows.len());
     for (s, p) in rows.iter().zip(&par) {
         assert_eq!(s.label, p.label);
@@ -251,10 +269,33 @@ fn multicore_sharding_scales_the_makespan_down() {
     // means a shorter makespan (the slices shrink), while the shared
     // backside keeps the scaling sublinear and the contention visible.
     let kernel = nas::cg(Scale::Test);
-    let solo = run_kernel(&kernel, SysMode::HybridCoherent, false).unwrap();
-    let m1 = run_kernel_multi(&kernel, 1, SysMode::HybridCoherent, false).unwrap();
-    let m2 = run_kernel_multi(&kernel, 2, SysMode::HybridCoherent, false).unwrap();
-    let m4 = run_kernel_multi(&kernel, 4, SysMode::HybridCoherent, false).unwrap();
+    let solo = RunSpec::new(&kernel)
+        .mode(SysMode::HybridCoherent)
+        .track(false)
+        .run()
+        .map(RunOutcome::into_single)
+        .unwrap();
+    let m1 = RunSpec::new(&kernel)
+        .cores(1)
+        .mode(SysMode::HybridCoherent)
+        .track(false)
+        .run()
+        .map(RunOutcome::into_multi)
+        .unwrap();
+    let m2 = RunSpec::new(&kernel)
+        .cores(2)
+        .mode(SysMode::HybridCoherent)
+        .track(false)
+        .run()
+        .map(RunOutcome::into_multi)
+        .unwrap();
+    let m4 = RunSpec::new(&kernel)
+        .cores(4)
+        .mode(SysMode::HybridCoherent)
+        .track(false)
+        .run()
+        .map(RunOutcome::into_multi)
+        .unwrap();
     assert_eq!(m1.n_cores(), 1);
     assert_eq!(m4.n_cores(), 4);
     assert!(

@@ -168,8 +168,8 @@ proptest! {
     ) {
         let fault = FaultConfig::uniform(seed, rate_pct as f64 / 100.0);
         let cfg = MachineConfig::for_mode(SysMode::HybridCoherent).with_faults(fault);
-        let skip = run_kernel_with(&kernel, cfg.clone()).unwrap();
-        let lock = run_kernel_with(&kernel, cfg.with_lockstep()).unwrap();
+        let skip = RunSpec::new(&kernel).config(cfg.clone()).run().map(RunOutcome::into_single).unwrap();
+        let lock = RunSpec::new(&kernel).config(cfg.with_lockstep()).run().map(RunOutcome::into_single).unwrap();
         prop_assert_eq!(lock.skipped_cycles, 0);
         let mut a = skip.core.clone();
         a.skipped_cycles = 0;
@@ -230,7 +230,7 @@ proptest! {
             }
             let cfg = MachineConfig::for_mode(SysMode::HybridCoherent)
                 .with_faults(fault.clone());
-            match run_kernel_clustered(&kernel, &cluster, cfg) {
+            match RunSpec::new(&kernel).clustered(&cluster).config(cfg).run().map(RunOutcome::into_clusters) {
                 Ok(r) => Some(r),
                 Err(MultiRunError::Shard(_)) => None,
                 Err(e) => panic!("fault run failed: {e}"),
@@ -261,12 +261,20 @@ proptest! {
 fn zero_rate_plan_is_bit_identical_to_no_plan() {
     for kernel in nas::all_nas(Scale::Test).iter().take(3) {
         let base = MachineConfig::for_mode(SysMode::HybridCoherent);
-        let plain = run_kernel_with(kernel, base.clone()).expect("plain run");
+        let plain = RunSpec::new(kernel)
+            .config(base.clone())
+            .run()
+            .map(RunOutcome::into_single)
+            .expect("plain run");
         let seeded_zero = base.with_faults(FaultConfig {
             seed: 0xDEAD_BEEF,
             ..FaultConfig::none()
         });
-        let zeroed = run_kernel_with(kernel, seeded_zero).expect("zero-rate run");
+        let zeroed = RunSpec::new(kernel)
+            .config(seeded_zero)
+            .run()
+            .map(RunOutcome::into_single)
+            .expect("zero-rate run");
         assert_reports_identical(&plain, &zeroed, &kernel.name);
         assert_eq!(zeroed.ecc_retries, 0, "{}: no injections", kernel.name);
         assert_eq!(zeroed.dma_retries, 0, "{}: no injections", kernel.name);
@@ -285,14 +293,26 @@ fn fault_runs_are_deterministic_per_seed() {
         MachineConfig::for_mode(SysMode::HybridCoherent)
             .with_faults(FaultConfig::uniform(seed, 0.3))
     };
-    let a = run_kernel_with(kernel, cfg(7)).expect("run a");
-    let b = run_kernel_with(kernel, cfg(7)).expect("run b");
+    let a = RunSpec::new(kernel)
+        .config(cfg(7))
+        .run()
+        .map(RunOutcome::into_single)
+        .expect("run a");
+    let b = RunSpec::new(kernel)
+        .config(cfg(7))
+        .run()
+        .map(RunOutcome::into_single)
+        .expect("run b");
     assert_reports_identical(&a, &b, "same seed");
     assert!(
         a.ecc_retries + a.dma_retries + a.dir_nacks > 0,
         "rate 0.3 must inject something"
     );
-    let c = run_kernel_with(kernel, cfg(8)).expect("run c");
+    let c = RunSpec::new(kernel)
+        .config(cfg(8))
+        .run()
+        .map(RunOutcome::into_single)
+        .expect("run c");
     assert_eq!(a.committed, c.committed, "seed is timing-only");
 }
 
@@ -303,13 +323,19 @@ fn fault_runs_are_deterministic_per_seed() {
 #[test]
 fn saturated_fault_rate_recovers_and_escalates_without_hanging() {
     let kernel = &nas::all_nas(Scale::Test)[0];
-    let clean = run_kernel_with(kernel, MachineConfig::for_mode(SysMode::HybridCoherent))
+    let clean = RunSpec::new(kernel)
+        .config(MachineConfig::for_mode(SysMode::HybridCoherent))
+        .run()
+        .map(RunOutcome::into_single)
         .expect("clean run");
-    let hot = run_kernel_with(
-        kernel,
-        MachineConfig::for_mode(SysMode::HybridCoherent).with_faults(FaultConfig::uniform(3, 1.0)),
-    )
-    .expect("saturated run must terminate");
+    let hot = RunSpec::new(kernel)
+        .config(
+            MachineConfig::for_mode(SysMode::HybridCoherent)
+                .with_faults(FaultConfig::uniform(3, 1.0)),
+        )
+        .run()
+        .map(RunOutcome::into_single)
+        .expect("saturated run must terminate");
     assert_eq!(
         hot.committed, clean.committed,
         "architectural work identical"
@@ -345,7 +371,11 @@ fn injected_cluster_panic_degrades_gracefully() {
             cluster = cluster.serial();
         }
         let cfg = MachineConfig::for_mode(SysMode::HybridCoherent);
-        let err = run_kernel_clustered(&kernel, &cluster, cfg)
+        let err = RunSpec::new(&kernel)
+            .clustered(&cluster)
+            .config(cfg)
+            .run()
+            .map(RunOutcome::into_clusters)
             .expect_err("a panicking cluster must fail the run");
         let MultiRunError::Cluster(e) = err else {
             panic!("expected a structured cluster error, got {err}");
@@ -390,7 +420,12 @@ fn epoch_watchdog_bounds_the_run() {
             cluster = cluster.serial();
         }
         let cfg = MachineConfig::for_mode(SysMode::HybridCoherent);
-        match run_kernel_clustered(&kernel, &cluster, cfg) {
+        match RunSpec::new(&kernel)
+            .clustered(&cluster)
+            .config(cfg)
+            .run()
+            .map(RunOutcome::into_clusters)
+        {
             // NAS Test kernels run well past one 500-cycle epoch, so the
             // watchdog must fire; tolerate a kernel that halts inside the
             // first epoch anyway rather than encode its runtime here.

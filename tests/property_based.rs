@@ -94,7 +94,15 @@ proptest! {
     #[test]
     fn compiled_kernels_match_interpreter(kernel in arb_kernel()) {
         for mode in [SysMode::HybridCoherent, SysMode::HybridOracle, SysMode::CacheBased] {
-            let (r, mismatches) = run_kernel_verified(&kernel, mode, true).unwrap();
+            let (r, mismatches) = RunSpec::new(&kernel)
+            .mode(mode)
+            .track(true)
+            .verified()
+            .run()
+            .map(|out| {
+                let m = out.verify_mismatches.expect("verified run");
+                (out.into_single(), m)
+            }).unwrap();
             prop_assert_eq!(mismatches, 0, "memory diverged in {:?}", mode);
             prop_assert_eq!(r.violations, 0, "violations in {:?}", mode);
         }
@@ -103,8 +111,8 @@ proptest! {
     /// Simulation is deterministic for arbitrary kernels.
     #[test]
     fn simulation_is_deterministic(kernel in arb_kernel()) {
-        let a = run_kernel(&kernel, SysMode::HybridCoherent, false).unwrap();
-        let b = run_kernel(&kernel, SysMode::HybridCoherent, false).unwrap();
+        let a = RunSpec::new(&kernel).mode(SysMode::HybridCoherent).track(false).run().map(RunOutcome::into_single).unwrap();
+        let b = RunSpec::new(&kernel).mode(SysMode::HybridCoherent).track(false).run().map(RunOutcome::into_single).unwrap();
         prop_assert_eq!(a.cycles, b.cycles);
         prop_assert_eq!(a.committed, b.committed);
     }
@@ -115,8 +123,8 @@ proptest! {
     #[test]
     fn cycle_skipping_is_timing_invisible(kernel in arb_kernel()) {
         let cfg = MachineConfig::for_mode(SysMode::HybridCoherent);
-        let skip = run_kernel_with(&kernel, cfg.clone()).unwrap();
-        let lock = run_kernel_with(&kernel, cfg.with_lockstep()).unwrap();
+        let skip = RunSpec::new(&kernel).config(cfg.clone()).run().map(RunOutcome::into_single).unwrap();
+        let lock = RunSpec::new(&kernel).config(cfg.with_lockstep()).run().map(RunOutcome::into_single).unwrap();
         prop_assert_eq!(lock.skipped_cycles, 0);
         let mut core = skip.core.clone();
         core.skipped_cycles = 0;
@@ -272,7 +280,12 @@ mod cluster_props {
         }
         let mut cfg = MachineConfig::for_mode(SysMode::HybridCoherent).with_coherence(cm);
         cfg.mem.dram_channels = channels;
-        match run_kernel_clustered(kernel, &cluster, cfg) {
+        match RunSpec::new(kernel)
+            .clustered(&cluster)
+            .config(cfg)
+            .run()
+            .map(RunOutcome::into_clusters)
+        {
             Ok(r) => Some(r),
             Err(MultiRunError::Shard(_)) => None,
             Err(e) => panic!("simulation failed: {e}"),

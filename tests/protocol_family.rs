@@ -65,8 +65,18 @@ fn every_protocol_skips_bit_identically() {
     let kernel = nas::cg(Scale::Test);
     for cm in CoherenceMode::DIRECTORY {
         let cfg = MachineConfig::for_mode(SysMode::HybridCoherent).with_coherence(cm);
-        let skip = run_kernel_multi_with(&kernel, 4, cfg.clone()).expect("skip run");
-        let lock = run_kernel_multi_with(&kernel, 4, cfg.with_lockstep()).expect("lockstep run");
+        let skip = RunSpec::new(&kernel)
+            .cores(4)
+            .config(cfg.clone())
+            .run()
+            .map(RunOutcome::into_multi)
+            .expect("skip run");
+        let lock = RunSpec::new(&kernel)
+            .cores(4)
+            .config(cfg.with_lockstep())
+            .run()
+            .map(RunOutcome::into_multi)
+            .expect("lockstep run");
         assert_eq!(skip.makespan, lock.makespan, "{}: makespan", cm.name());
         assert_eq!(lock.total_skipped_cycles(), 0, "{}: lockstep", cm.name());
         assert!(
@@ -95,7 +105,12 @@ fn every_protocol_keeps_threaded_clusters_equal_to_serial() {
                 cluster = cluster.serial();
             }
             let cfg = MachineConfig::for_mode(SysMode::HybridCoherent).with_coherence(cm);
-            match run_kernel_clustered(&kernel, &cluster, cfg) {
+            match RunSpec::new(&kernel)
+                .clustered(&cluster)
+                .config(cfg)
+                .run()
+                .map(RunOutcome::into_clusters)
+            {
                 Ok(r) => Some(r),
                 Err(MultiRunError::Shard(_)) => None,
                 Err(e) => panic!("{}: cluster run failed: {e}", cm.name()),
@@ -144,8 +159,17 @@ fn every_protocol_treats_faults_as_pure_timing() {
                 .with_coherence(cm)
                 .with_faults(fault)
         };
-        let clean = run_kernel_multi_with(&kernel, 4, cfg(FaultConfig::none())).expect("clean run");
-        let faulted = run_kernel_multi_with(&kernel, 4, cfg(FaultConfig::uniform(7, 0.3)))
+        let clean = RunSpec::new(&kernel)
+            .cores(4)
+            .config(cfg(FaultConfig::none()))
+            .run()
+            .map(RunOutcome::into_multi)
+            .expect("clean run");
+        let faulted = RunSpec::new(&kernel)
+            .cores(4)
+            .config(cfg(FaultConfig::uniform(7, 0.3)))
+            .run()
+            .map(RunOutcome::into_multi)
             .expect("faulted run");
         assert_eq!(
             clean.total_committed(),
@@ -161,12 +185,12 @@ fn every_protocol_treats_faults_as_pure_timing() {
         );
         // Skipping stays invisible under faults for every protocol.
         let skip = faulted;
-        let lock = run_kernel_multi_with(
-            &kernel,
-            4,
-            cfg(FaultConfig::uniform(7, 0.3)).with_lockstep(),
-        )
-        .expect("faulted lockstep run");
+        let lock = RunSpec::new(&kernel)
+            .cores(4)
+            .config(cfg(FaultConfig::uniform(7, 0.3)).with_lockstep())
+            .run()
+            .map(RunOutcome::into_multi)
+            .expect("faulted lockstep run");
         assert_eq!(
             skip.makespan,
             lock.makespan,
@@ -233,12 +257,12 @@ fn family_members_differ_only_where_their_tables_say() {
     // shared table is read-mostly, so the orderings are non-strict.
     let kernel = nas::cg(Scale::Test);
     let run = |cm: CoherenceMode| {
-        run_kernel_multi_with(
-            &kernel,
-            4,
-            MachineConfig::for_mode(SysMode::HybridCoherent).with_coherence(cm),
-        )
-        .expect("run")
+        RunSpec::new(&kernel)
+            .cores(4)
+            .config(MachineConfig::for_mode(SysMode::HybridCoherent).with_coherence(cm))
+            .run()
+            .map(RunOutcome::into_multi)
+            .expect("run")
     };
     let msi = run(CoherenceMode::Msi);
     let mesi = run(CoherenceMode::Mesi);

@@ -98,9 +98,16 @@ fn assert_observables_equal(skip: &RunReport, lock: &RunReport, what: &str) {
 /// Runs `kernel` in `mode` both ways and checks the reports match.
 /// Returns the skipping report for further assertions.
 fn check_single(kernel: &hsim_compiler::Kernel, mode: SysMode) -> RunReport {
-    let skip = run_kernel_with(kernel, MachineConfig::for_mode(mode)).expect("skip run");
-    let lock =
-        run_kernel_with(kernel, MachineConfig::for_mode(mode).with_lockstep()).expect("lockstep");
+    let skip = RunSpec::new(kernel)
+        .config(MachineConfig::for_mode(mode))
+        .run()
+        .map(RunOutcome::into_single)
+        .expect("skip run");
+    let lock = RunSpec::new(kernel)
+        .config(MachineConfig::for_mode(mode).with_lockstep())
+        .run()
+        .map(RunOutcome::into_single)
+        .expect("lockstep");
     assert_reports_equal(&skip, &lock, &format!("{} {:?}", kernel.name, mode));
     skip
 }
@@ -172,9 +179,17 @@ fn final_memory_images_match_lockstep() {
 fn four_core_machines_are_identical_in_all_modes() {
     let kernel = nas::cg(Scale::Test);
     for mode in SysMode::ALL {
-        let skip = run_kernel_multi_with(&kernel, 4, MachineConfig::for_mode(mode))
+        let skip = RunSpec::new(&kernel)
+            .cores(4)
+            .config(MachineConfig::for_mode(mode))
+            .run()
+            .map(RunOutcome::into_multi)
             .expect("4-core skip run");
-        let lock = run_kernel_multi_with(&kernel, 4, MachineConfig::for_mode(mode).with_lockstep())
+        let lock = RunSpec::new(&kernel)
+            .cores(4)
+            .config(MachineConfig::for_mode(mode).with_lockstep())
+            .run()
+            .map(RunOutcome::into_multi)
             .expect("4-core lockstep run");
         assert_eq!(skip.makespan, lock.makespan, "{mode:?}: makespan");
         assert_eq!(skip.n_cores(), lock.n_cores());
@@ -201,8 +216,18 @@ fn four_core_mesi_machines_skip_bit_identically() {
     // environment leg this suite runs in.
     let kernel = nas::cg(Scale::Test);
     let cfg = MachineConfig::for_mode(SysMode::HybridCoherent).with_coherence(CoherenceMode::Mesi);
-    let skip = run_kernel_multi_with(&kernel, 4, cfg.clone()).expect("mesi skip run");
-    let lock = run_kernel_multi_with(&kernel, 4, cfg.with_lockstep()).expect("mesi lockstep run");
+    let skip = RunSpec::new(&kernel)
+        .cores(4)
+        .config(cfg.clone())
+        .run()
+        .map(RunOutcome::into_multi)
+        .expect("mesi skip run");
+    let lock = RunSpec::new(&kernel)
+        .cores(4)
+        .config(cfg.with_lockstep())
+        .run()
+        .map(RunOutcome::into_multi)
+        .expect("mesi lockstep run");
     assert_eq!(skip.makespan, lock.makespan, "mesi: makespan");
     for (s, l) in skip.per_core.iter().zip(&lock.per_core) {
         assert_reports_equal(s, l, &format!("mesi cg x4 core {}", s.core_id));
@@ -227,11 +252,19 @@ fn four_core_mesi_machines_skip_bit_identically() {
 fn identical_config_hetero_machine_is_bit_identical_to_homogeneous() {
     let kernel = nas::cg(Scale::Test);
     for mode in SysMode::ALL {
-        let homo = run_kernel_multi_with(&kernel, 4, MachineConfig::for_mode(mode))
+        let homo = RunSpec::new(&kernel)
+            .cores(4)
+            .config(MachineConfig::for_mode(mode))
+            .run()
+            .map(RunOutcome::into_multi)
             .expect("homogeneous run");
         let cfgs = vec![MachineConfig::for_mode(mode); 4];
-        let hetero =
-            hsim::run_kernel_multi_hetero(&kernel, &cfgs, &[1, 1, 1, 1]).expect("hetero run");
+        let hetero = RunSpec::new(&kernel)
+            .hetero(cfgs.to_vec())
+            .weights(&[1, 1, 1, 1])
+            .run()
+            .map(RunOutcome::into_multi)
+            .expect("hetero run");
         assert_eq!(homo.makespan, hetero.makespan, "{mode:?}: makespan");
         assert_eq!(hetero.replication_fallbacks, 0);
         for (h, e) in homo.per_core.iter().zip(&hetero.per_core) {
@@ -276,8 +309,18 @@ fn mixed_hybrid_cache_chip_skips_bit_identically() {
             .collect()
         };
         let w = [1u64, 1, 1, 1];
-        let skip = hsim::run_kernel_multi_hetero(&kernel, &cfgs(false), &w).expect("skip");
-        let lock = hsim::run_kernel_multi_hetero(&kernel, &cfgs(true), &w).expect("lockstep");
+        let skip = RunSpec::new(&kernel)
+            .hetero(cfgs(false).to_vec())
+            .weights(&w)
+            .run()
+            .map(RunOutcome::into_multi)
+            .expect("skip");
+        let lock = RunSpec::new(&kernel)
+            .hetero(cfgs(true).to_vec())
+            .weights(&w)
+            .run()
+            .map(RunOutcome::into_multi)
+            .expect("lockstep");
         assert_eq!(skip.makespan, lock.makespan, "{cm:?}: makespan");
         assert_eq!(lock.total_skipped_cycles(), 0);
         assert!(
@@ -329,7 +372,11 @@ fn flat_backside_reproduces_pr2_fig7_grid_bit_identically() {
             n: 2048,
         });
         let cfg = MachineConfig::for_mode(SysMode::HybridCoherent).with_flat_backside();
-        let r = run_kernel_with(&k, cfg.clone()).expect("flat run");
+        let r = RunSpec::new(&k)
+            .config(cfg.clone())
+            .run()
+            .map(RunOutcome::into_single)
+            .expect("flat run");
         assert_eq!(
             r.cycles, want,
             "({mode:?}, {pct}%): flat backside must reproduce PR-2 cycles"
@@ -343,7 +390,11 @@ fn flat_backside_reproduces_pr2_fig7_grid_bit_identically() {
         assert_eq!(r.dram_queue_stalls, 0);
         // And the escape hatch composes with the other one: lockstep
         // over the flat backside is the full PR-2 configuration.
-        let lock = run_kernel_with(&k, cfg.with_lockstep()).expect("flat lockstep");
+        let lock = RunSpec::new(&k)
+            .config(cfg.with_lockstep())
+            .run()
+            .map(RunOutcome::into_single)
+            .expect("flat lockstep");
         assert_reports_equal(&r, &lock, &format!("flat {mode:?} {pct}%"));
     }
 }
@@ -360,7 +411,11 @@ fn flat_backside_reproduces_pr2_fig8_kernels_bit_identically() {
     let kernels = [nas::is(Scale::Test), nas::cg(Scale::Test)];
     for &(ki, mode, cycles) in want {
         let cfg = MachineConfig::for_mode(mode).with_flat_backside();
-        let r = run_kernel_with(&kernels[ki], cfg).expect("flat run");
+        let r = RunSpec::new(&kernels[ki])
+            .config(cfg)
+            .run()
+            .map(RunOutcome::into_single)
+            .expect("flat run");
         assert_eq!(
             r.cycles, cycles,
             "{} {mode:?}: flat backside must reproduce PR-2 cycles",
@@ -396,14 +451,24 @@ fn flat_backside_reproduces_pr2_four_core_runs_bit_identically() {
     let kernel = nas::cg(Scale::Test);
     for &(mode, makespan, per_core, bus_waits) in want {
         let cfg = MachineConfig::for_mode(mode).with_flat_backside();
-        let r = run_kernel_multi_with(&kernel, 4, cfg.clone()).expect("flat 4-core run");
+        let r = RunSpec::new(&kernel)
+            .cores(4)
+            .config(cfg.clone())
+            .run()
+            .map(RunOutcome::into_multi)
+            .expect("flat 4-core run");
         assert_eq!(r.makespan, makespan, "{mode:?}: makespan");
         let got: Vec<u64> = r.per_core.iter().map(|c| c.cycles).collect();
         assert_eq!(got, per_core, "{mode:?}: per-core cycles");
         assert_eq!(r.total_bus_wait_cycles(), bus_waits, "{mode:?}: bus waits");
         // The skipper must stay bit-identical over the flat backside
         // too (the PR-2 equivalence claim, re-proven post-banking).
-        let lock = run_kernel_multi_with(&kernel, 4, cfg.with_lockstep()).expect("flat lockstep");
+        let lock = RunSpec::new(&kernel)
+            .cores(4)
+            .config(cfg.with_lockstep())
+            .run()
+            .map(RunOutcome::into_multi)
+            .expect("flat lockstep");
         for (s, l) in r.per_core.iter().zip(&lock.per_core) {
             assert_reports_equal(s, l, &format!("flat cg x4 {:?} core {}", mode, s.core_id));
         }
@@ -416,7 +481,11 @@ fn banked_backside_runs_differ_from_flat_but_partition_stats() {
     // live: it must produce row-classified DRAM traffic, and per-core
     // shares must still partition the shared totals exactly.
     let kernel = nas::cg(Scale::Test);
-    let r = run_kernel_multi_with(&kernel, 4, MachineConfig::for_mode(SysMode::HybridCoherent))
+    let r = RunSpec::new(&kernel)
+        .cores(4)
+        .config(MachineConfig::for_mode(SysMode::HybridCoherent))
+        .run()
+        .map(RunOutcome::into_multi)
         .expect("banked 4-core run");
     let classified: u64 = r
         .per_core
